@@ -1,0 +1,109 @@
+//===- bench/BenchCommon.h - Shared harness helpers -------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure regeneration binaries. Each binary
+/// prints one of the paper's tables (or writes one figure's data series)
+/// from a fresh end-to-end run: build the nine workloads, profile them,
+/// auto-optimize, re-profile, compare.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_BENCH_BENCHCOMMON_H
+#define JDRAG_BENCH_BENCHCOMMON_H
+
+#include "analysis/Savings.h"
+#include "benchmarks/Benchmarks.h"
+
+#include <cstdio>
+#include <string>
+
+namespace jdrag::bench {
+
+/// Prints a heading in a consistent style.
+inline void printHeading(const std::string &Title, const std::string &Note) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", Title.c_str());
+  if (!Note.empty())
+    std::printf("%s\n", Note.c_str());
+  std::printf("================================================================\n\n");
+}
+
+/// The paper's reference numbers for Table 2 (drag saving ratio %,
+/// space saving ratio %), used to print paper-vs-measured side by side.
+struct PaperTable2Row {
+  const char *Name;
+  double DragSavingPct;
+  double SpaceSavingPct;
+};
+
+inline const PaperTable2Row PaperTable2[] = {
+    {"javac", 21.8, 7.71},   {"db", 0.0, 0.0},
+    {"jack", 70.34, 42.06},  {"raytrace", 51.28, 30.55},
+    {"jess", 15.47, 11.2},   {"mc", 168.82, 6.27},
+    {"euler", 76.46, 7.28},  {"juru", 33.68, 10.95},
+    {"analyzer", 25.34, 15.05},
+};
+
+inline double paperDragSaving(const std::string &Name) {
+  for (const auto &R : PaperTable2)
+    if (Name == R.Name)
+      return R.DragSavingPct;
+  return 0;
+}
+
+inline double paperSpaceSaving(const std::string &Name) {
+  for (const auto &R : PaperTable2)
+    if (Name == R.Name)
+      return R.SpaceSavingPct;
+  return 0;
+}
+
+/// Paper Table 3 (alternate inputs): space saving ratio %.
+inline double paperAltSpaceSaving(const std::string &Name) {
+  if (Name == "javac")
+    return 3.5;
+  if (Name == "jack")
+    return 21.94;
+  if (Name == "raytrace")
+    return 28.43;
+  if (Name == "jess")
+    return 4.98;
+  if (Name == "euler")
+    return 5.25;
+  if (Name == "mc")
+    return 6.27;
+  if (Name == "juru")
+    return 10.48;
+  if (Name == "analyzer")
+    return 18.23;
+  return 0;
+}
+
+/// Paper Table 4 (runtime saving % on HotSpot 1.3 client).
+inline double paperRuntimeSaving(const std::string &Name) {
+  if (Name == "javac")
+    return -0.12;
+  if (Name == "jack")
+    return 0.99;
+  if (Name == "raytrace")
+    return 2.32;
+  if (Name == "jess")
+    return 2.05;
+  if (Name == "euler")
+    return 1.91;
+  if (Name == "mc")
+    return 2.09;
+  if (Name == "juru")
+    return 0.76;
+  if (Name == "analyzer")
+    return -0.38;
+  return 0;
+}
+
+} // namespace jdrag::bench
+
+#endif // JDRAG_BENCH_BENCHCOMMON_H

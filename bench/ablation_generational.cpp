@@ -1,0 +1,111 @@
+//===- bench/ablation_generational.cpp - Generational-GC effect -----------===//
+//
+// Paper section 4.2: the runtime results were shown "for Sun HotSpot
+// client since it uses a generational GC. A generational GC delays the
+// collection of some unreachable objects in order to get better
+// performance. Thus, the potential benefit for saving drag time for an
+// object is decreased."
+//
+// This ablation runs each benchmark (original and revised) under two
+// runtimes and compares the *realized* memory footprint:
+//
+//   full  - a full collection every 256 KB of allocation
+//   gen   - two-generation policy: 256 KB nursery, a major collection
+//           every 16th cycle
+//
+// Footprint = the mean reachable bytes over all GC samples. The revised
+// programs' savings are smaller under the generational runtime because
+// nulled-but-promoted objects wait for a major collection, exactly the
+// paper's point.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Format.h"
+#include "support/Table.h"
+#include "vm/VirtualMachine.h"
+
+using namespace jdrag;
+using namespace jdrag::bench;
+using namespace jdrag::benchmarks;
+using namespace jdrag::vm;
+
+namespace {
+
+/// Collects reachable-bytes samples at every GC.
+class FootprintObserver : public VMObserver {
+public:
+  std::uint64_t Sum = 0, Count = 0, GCs = 0;
+  void onGCEnd(ByteTime, std::uint64_t ReachableBytes,
+               std::uint64_t) override {
+    Sum += ReachableBytes;
+    ++Count;
+    ++GCs;
+  }
+  double meanKB() const {
+    return Count ? static_cast<double>(Sum) / Count / 1024.0 : 0;
+  }
+};
+
+struct Footprint {
+  double MeanKB = 0;
+  std::uint64_t GCs = 0;
+};
+
+Footprint measure(const ir::Program &P,
+                  const std::vector<std::int64_t> &Inputs, bool Gen) {
+  FootprintObserver Obs;
+  VMOptions Opts;
+  Opts.Observer = &Obs;
+  if (Gen) {
+    Opts.Generational.Enabled = true;
+    Opts.Generational.NurseryBytes = 256 * KB;
+    Opts.Generational.MajorEveryNMinors = 16;
+  } else {
+    Opts.DeepGCIntervalBytes = 256 * KB; // full collection cadence
+  }
+  VirtualMachine VM(P, Opts);
+  VM.setInputs(Inputs);
+  std::string Err;
+  if (VM.run(&Err) != Interpreter::Status::Ok) {
+    std::fprintf(stderr, "run failed: %s\n", Err.c_str());
+    std::exit(1);
+  }
+  return {Obs.meanKB(), Obs.GCs};
+}
+
+} // namespace
+
+int main() {
+  printHeading("Ablation: full-GC vs generational runtime (paper sec. 4.2)",
+               "mean reachable KB across GC samples; savings shrink under "
+               "the generational policy");
+
+  TextTable T({"Benchmark", "full orig KB", "full rev KB", "full save%",
+               "gen orig KB", "gen rev KB", "gen save%"});
+  for (unsigned C = 1; C <= 6; ++C)
+    T.setAlign(C, TextTable::Align::Right);
+
+  for (const BenchmarkProgram &B : buildAll()) {
+    OptimizationOutcome Out = optimizeBenchmark(B);
+
+    Footprint FO = measure(B.Prog, B.DefaultInputs, /*Gen=*/false);
+    Footprint FR = measure(Out.Revised, B.DefaultInputs, /*Gen=*/false);
+    Footprint GO = measure(B.Prog, B.DefaultInputs, /*Gen=*/true);
+    Footprint GR = measure(Out.Revised, B.DefaultInputs, /*Gen=*/true);
+
+    auto Save = [](const Footprint &O, const Footprint &R) {
+      return O.MeanKB > 0 ? (O.MeanKB - R.MeanKB) / O.MeanKB * 100 : 0;
+    };
+    T.addRow({B.Name, formatFixed(FO.MeanKB, 1), formatFixed(FR.MeanKB, 1),
+              formatFixed(Save(FO, FR), 2), formatFixed(GO.MeanKB, 1),
+              formatFixed(GR.MeanKB, 1), formatFixed(Save(GO, GR), 2)});
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("paper: \"since our techniques reduce the set of reachable "
+              "objects, space savings are expected for all JVMs employing "
+              "reachability-based GC\" -- but generational delay blunts "
+              "them, which is why the paper's Table 4 gains are modest\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+//===- bench/ablation_lag_drag_void.cpp - R&R lifetime decomposition ------===//
+//
+// The paper's drag model comes from Roejemo & Runciman's "Lag, drag,
+// void and use -- heap profiling and space-efficient compilation
+// revisited" (ICFP 1996), reference [21]. This harness decomposes every
+// benchmark's reachable integral into the four phases, before and after
+// optimization: the rewrites should drain the drag and void columns while
+// leaving lag and use (the program's real work) intact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "analysis/LagDragVoid.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+using namespace jdrag;
+using namespace jdrag::analysis;
+using namespace jdrag::bench;
+using namespace jdrag::benchmarks;
+
+int main() {
+  printHeading("Lag / use / drag / void decomposition (R&R, paper ref 21)",
+               "percent of the reachable integral, original -> revised");
+
+  TextTable T({"Benchmark", "lag%", "use%", "drag%", "void%",
+               "lag% rev", "use% rev", "drag% rev", "void% rev"});
+  for (unsigned C = 1; C <= 8; ++C)
+    T.setAlign(C, TextTable::Align::Right);
+
+  for (const BenchmarkProgram &B : buildAll()) {
+    OptimizationOutcome Out = optimizeBenchmark(B);
+    LifetimeDecomposition O = decomposeLifetimes(Out.OriginalRun.Log);
+    LifetimeDecomposition R = decomposeLifetimes(Out.RevisedRun.Log);
+    T.addRow({B.Name, formatFixed(O.lagFraction() * 100, 1),
+              formatFixed(O.useFraction() * 100, 1),
+              formatFixed(O.dragFraction() * 100, 1),
+              formatFixed(O.voidFraction() * 100, 1),
+              formatFixed(R.lagFraction() * 100, 1),
+              formatFixed(R.useFraction() * 100, 1),
+              formatFixed(R.dragFraction() * 100, 1),
+              formatFixed(R.voidFraction() * 100, 1)});
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("never-used objects (raytrace's shapes, mc's path results, "
+              "jack's tables) show up as void; held-too-long objects "
+              "(juru's buffers, euler's arrays) as drag\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- bench/ablation_site_depth.cpp - Nested-site depth ablation ---------===//
+//
+// The paper records the call chain leading to each allocation: "the
+// level of nesting can be set in order to tradeoff more accurate
+// information and speed" (section 2.1.1). This ablation sweeps the
+// depth: deeper chains split allocation sites into more precise groups
+// (more distinct sites, smaller top-site share), at the cost of a larger
+// site table.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "analysis/DragReport.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+using namespace jdrag;
+using namespace jdrag::analysis;
+using namespace jdrag::bench;
+using namespace jdrag::benchmarks;
+
+int main() {
+  printHeading("Ablation: nested allocation-site depth (default 4)",
+               "deeper chains split sites into finer, more actionable "
+               "groups");
+
+  TextTable T({"Benchmark", "Depth", "Distinct sites", "Site-table",
+               "Top-site drag %"});
+  for (unsigned C = 1; C <= 4; ++C)
+    T.setAlign(C, TextTable::Align::Right);
+
+  for (const char *Name : {"jack", "javac", "raytrace"}) {
+    BenchmarkProgram B = [&] {
+      for (auto &X : buildAll())
+        if (X.Name == Name)
+          return X;
+      std::abort();
+    }();
+    bool First = true;
+    for (std::uint32_t Depth : {1u, 2u, 4u, 8u}) {
+      profiler::ProfilerConfig PC;
+      PC.SiteDepth = Depth;
+      RunResult R = profiledRun(B.Prog, B.DefaultInputs, 100 * KB, PC);
+      DragReport Report(B.Prog, R.Log);
+      double TopShare =
+          Report.totalDrag() > 0 && !Report.groups().empty()
+              ? Report.groups()[0].TotalDrag / Report.totalDrag() * 100
+              : 0;
+      T.addRow({First ? B.Name : "", formatString("%u", Depth),
+                formatString("%zu", Report.groups().size()),
+                formatString("%u", R.Log.Sites.size()),
+                formatFixed(TopShare, 1)});
+      First = false;
+    }
+  }
+  std::printf("%s\n", T.render().c_str());
+  return 0;
+}

@@ -1,0 +1,172 @@
+//===- bench/micro_profiler.cpp - google-benchmark micro suite ------------===//
+//
+// Microbenchmarks of the substrate: interpreter throughput with and
+// without the drag profiler attached (the instrumentation overhead the
+// paper's tool pays), GC cost against live-set size, site-table
+// interning, and profile-log serialization throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "benchmarks/MiniJDK.h"
+#include "ir/Verifier.h"
+#include "profiler/DragProfiler.h"
+#include "vm/VirtualMachine.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace jdrag;
+using namespace jdrag::benchmarks;
+using namespace jdrag::ir;
+using namespace jdrag::vm;
+
+namespace {
+
+/// A compute+alloc loop: `iters` iterations of field writes, array ops
+/// and one small allocation.
+Program buildHotLoop() {
+  ProgramBuilder PB;
+  MiniJDK J = MiniJDK::build(PB);
+  ClassBuilder C = PB.beginClass("Hot", PB.objectClass());
+  FieldId V = C.addField("v", ValueKind::Int);
+  MethodBuilder Ctor = C.beginMethod("<init>", {}, ValueKind::Void);
+  Ctor.aload(0).invokespecial(PB.objectCtor()).ret();
+  Ctor.finish();
+
+  ClassBuilder MainC = PB.beginClass("Main", PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t N = M.newLocal(ValueKind::Int);
+  std::uint32_t I = M.newLocal(ValueKind::Int);
+  std::uint32_t O = M.newLocal(ValueKind::Ref);
+  M.iconst(0).invokestatic(J.Read).istore(N);
+  M.new_(C.id()).dup().invokespecial(Ctor.id()).astore(O);
+  Label Loop = M.newLabel(), Done = M.newLabel();
+  M.iconst(0).istore(I);
+  M.bind(Loop);
+  M.iload(I).iload(N).ifICmpGe(Done);
+  M.aload(O).iload(I).putfield(V);          // use event
+  M.aload(O).getfield(V).pop();             // use event
+  M.iconst(14).newarray(ArrayKind::Int).pop(); // allocation event
+  M.iload(I).iconst(1).iadd().istore(I);
+  M.goto_(Loop);
+  M.bind(Done);
+  M.aload(O).getfield(V).invokestatic(J.Emit);
+  M.ret();
+  M.finish();
+  PB.setMain(M.id());
+  Program P = PB.finish();
+  std::string Err;
+  if (!verifyProgram(P, &Err))
+    std::abort();
+  return P;
+}
+
+void BM_InterpreterPlain(benchmark::State &State) {
+  Program P = buildHotLoop();
+  std::int64_t Iters = State.range(0);
+  for (auto _ : State) {
+    VirtualMachine VM(P, {});
+    VM.setInputs({Iters});
+    if (VM.run() != Interpreter::Status::Ok)
+      std::abort();
+    benchmark::DoNotOptimize(VM.outputs());
+  }
+  State.SetItemsProcessed(State.iterations() * Iters);
+}
+BENCHMARK(BM_InterpreterPlain)->Arg(10000);
+
+void BM_InterpreterProfiled(benchmark::State &State) {
+  Program P = buildHotLoop();
+  std::int64_t Iters = State.range(0);
+  for (auto _ : State) {
+    profiler::DragProfiler Prof(P);
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Opts.Observer = &Prof;
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({Iters});
+    if (VM.run() != Interpreter::Status::Ok)
+      std::abort();
+    benchmark::DoNotOptimize(Prof.log().Records.size());
+  }
+  State.SetItemsProcessed(State.iterations() * Iters);
+}
+BENCHMARK(BM_InterpreterProfiled)->Arg(10000);
+
+/// GC cost against live-set size: a linked list of `n` nodes survives
+/// each collection.
+void BM_MarkSweepGC(benchmark::State &State) {
+  ProgramBuilder PB;
+  MiniJDK J = MiniJDK::build(PB);
+  (void)J;
+  ClassBuilder Node = PB.beginClass("Node", PB.objectClass());
+  FieldId Next = Node.addField("next", ValueKind::Ref);
+  ClassBuilder MainC = PB.beginClass("Main", PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  M.ret();
+  M.finish();
+  PB.setMain(M.id());
+  Program P = PB.finish();
+  std::string Err;
+  if (!verifyProgram(P, &Err))
+    std::abort();
+
+  Heap H(P);
+  class Pin : public RootSource {
+  public:
+    Handle Head;
+    void visitRoots(const std::function<void(Handle)> &V) override {
+      V(Head);
+    }
+  } Roots;
+  H.addRootSource(&Roots);
+  std::int64_t N = State.range(0);
+  for (std::int64_t I = 0; I != N; ++I) {
+    Handle Fresh = H.allocateObject(P.findClass("Node"));
+    H.object(Fresh).Slots[P.fieldOf(Next).Slot] =
+        Value::makeRef(Roots.Head);
+    Roots.Head = Fresh;
+  }
+  for (auto _ : State) {
+    GCStats S = H.collect();
+    benchmark::DoNotOptimize(S.ReachableObjects);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+  H.removeRootSource(&Roots);
+}
+BENCHMARK(BM_MarkSweepGC)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SiteInterning(benchmark::State &State) {
+  profiler::SiteTable Sites;
+  std::vector<CallFrameRef> Chain = {{MethodId(1), 4, 10},
+                                     {MethodId(2), 9, 20},
+                                     {MethodId(3), 1, 30}};
+  std::uint32_t Pc = 0;
+  for (auto _ : State) {
+    Chain[0].Pc = (Pc++) & 1023; // 1024 distinct sites, then hits
+    benchmark::DoNotOptimize(Sites.intern(
+        std::span<const CallFrameRef>(Chain.data(), Chain.size()), 4));
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SiteInterning);
+
+void BM_ProfileLogRoundTrip(benchmark::State &State) {
+  BenchmarkProgram B = buildJuru();
+  RunResult R = profiledRun(B.Prog, {2});
+  std::string Path = "/tmp/jdrag_bench_log.bin";
+  for (auto _ : State) {
+    if (!R.Log.writeFile(Path))
+      std::abort();
+    profiler::ProfileLog Back;
+    if (!profiler::ProfileLog::readFile(Path, Back))
+      std::abort();
+    benchmark::DoNotOptimize(Back.Records.size());
+  }
+  State.SetItemsProcessed(State.iterations() * R.Log.Records.size());
+}
+BENCHMARK(BM_ProfileLogRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+//===- bench/table5_rewritings.cpp - Paper Table 5 ------------------------===//
+//
+// Regenerates Table 5: "Summary of Rewritings" -- for each benchmark,
+// which rewriting strategy fired, on which reference kinds, and the drag
+// saving attributable to each strategy. Attribution runs the optimizer
+// three times per benchmark with a single strategy enabled (the paper
+// lists per-strategy percentages measured the same way: apply one kind
+// of rewrite, re-measure).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "analysis/DragReport.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <set>
+
+using namespace jdrag;
+using namespace jdrag::analysis;
+using namespace jdrag::bench;
+using namespace jdrag::benchmarks;
+using namespace jdrag::transform;
+
+namespace {
+
+/// Runs the loop with only one strategy allowed; returns (drag saving
+/// ratio, reference kinds used).
+std::pair<double, std::string> strategyOnly(const BenchmarkProgram &B,
+                                            RewriteStrategy S) {
+  OptimizerOptions Opts;
+  Opts.AllowDeadCodeRemoval = S == RewriteStrategy::DeadCodeRemoval;
+  Opts.AllowLazyAllocation = S == RewriteStrategy::LazyAllocation;
+  Opts.AllowAssignNull = S == RewriteStrategy::AssignNull;
+  OptimizationOutcome Out = optimizeBenchmark(B, /*Cycles=*/2, Opts);
+  SavingsRow Row = computeSavings(Out.OriginalRun.Log, Out.RevisedRun.Log);
+
+  std::set<std::string> Kinds;
+  for (const auto &D : Out.Decisions)
+    if (D.Applied && !D.RefKind.empty())
+      Kinds.insert(D.RefKind);
+  std::string KindText;
+  for (const auto &K : Kinds) {
+    if (!KindText.empty())
+      KindText += ", ";
+    KindText += K;
+  }
+  return {Row.dragSavingRatio(), KindText};
+}
+
+} // namespace
+
+int main() {
+  printHeading("Table 5: summary of rewritings",
+               "per-strategy drag saving: optimizer run with one strategy "
+               "enabled at a time (2 cycles each)");
+
+  TextTable T({"Benchmark", "Rewriting strategy", "Reference kinds",
+               "Drag saving %", "Expected analysis (paper sec. 5)"});
+  T.setAlign(3, TextTable::Align::Right);
+
+  struct StratRow {
+    RewriteStrategy S;
+    const char *Label;
+    const char *Analysis;
+  };
+  const StratRow Strategies[] = {
+      {RewriteStrategy::DeadCodeRemoval, "code removal",
+       "usage / indirect-usage (R)"},
+      {RewriteStrategy::LazyAllocation, "lazy allocation",
+       "minimal code insertion"},
+      {RewriteStrategy::AssignNull, "assigning null",
+       "liveness / array liveness (R)"},
+  };
+
+  for (const BenchmarkProgram &B : buildAll()) {
+    bool First = true;
+    for (const StratRow &S : Strategies) {
+      auto [Saving, Kinds] = strategyOnly(B, S.S);
+      if (Kinds.empty() && Saving < 0.005)
+        continue; // strategy did not fire for this benchmark
+      T.addRow({First ? B.Name : "", S.Label,
+                Kinds.empty() ? "-" : Kinds,
+                formatFixed(Saving * 100, 2), S.Analysis});
+      First = false;
+    }
+    if (First)
+      T.addRow({B.Name, "none (pattern 4)", "-", "0.00", "-"});
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("paper rows: javac removal/protected 21.8; jack lazy/package "
+              "70.34; raytrace removal/private-array 45.01 + null/private "
+              "6.27; jess null/private-array 2.7 + removal/public-static-"
+              "final 1.68 + removal/private-static 11.09; euler null/"
+              "package-array 76.46; mc removal/local+private 119.95 + "
+              "null/private-array 48.87; juru null/local 33.68; analyzer "
+              "null/local+private-static 25.34\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- examples/quickstart.cpp - jdrag in five minutes --------------------===//
+//
+// The smallest end-to-end use of the library:
+//   1. assemble a tiny Java-like program with ProgramBuilder,
+//   2. run it under the drag profiler (phase 1),
+//   3. print the drag report (phase 2) -- allocation sites sorted by
+//      accumulated drag, with the lifetime pattern and the rewriting
+//      strategy the paper's methodology suggests for each.
+//
+// The program deliberately contains the paper's flagship bug: a large
+// buffer held in a local long after its last use.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DragReport.h"
+#include "analysis/ReportPrinter.h"
+#include "ir/ProgramBuilder.h"
+#include "ir/Verifier.h"
+#include "profiler/DragProfiler.h"
+#include "vm/VirtualMachine.h"
+
+#include <cstdio>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::vm;
+
+int main() {
+  // -- 1. Assemble the program -------------------------------------------
+  ProgramBuilder PB;
+  ClassBuilder MainC = PB.beginClass("Main", PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void,
+                                      /*IsStatic=*/true);
+  std::uint32_t Buf = M.newLocal(ValueKind::Ref);
+  std::uint32_t I = M.newLocal(ValueKind::Int);
+
+  // char[] buf = new char[64 * 1024];  buf[0] = 'A';  (last use!)
+  M.stmt();
+  M.iconst(64 * 1024).newarray(ArrayKind::Char).astore(Buf);
+  M.aload(Buf).iconst(0).iconst(65).castore();
+
+  // ... a long second phase that never touches buf again:
+  // for (i = 0; i < 128; i++) { int[] tmp = new int[1024]; tmp[0] = i; }
+  Label Loop = M.newLabel(), Done = M.newLabel();
+  M.stmt();
+  M.iconst(0).istore(I);
+  M.bind(Loop);
+  M.iload(I).iconst(128).ifICmpGe(Done);
+  std::uint32_t Tmp = M.newLocal(ValueKind::Ref);
+  M.iconst(1024).newarray(ArrayKind::Int).astore(Tmp);
+  M.aload(Tmp).iconst(0).iload(I).iastore();
+  M.iload(I).iconst(1).iadd().istore(I);
+  M.goto_(Loop);
+  M.bind(Done);
+  M.ret();
+  M.finish();
+  PB.setMain(M.id());
+
+  Program P = PB.finish();
+  std::string Err;
+  if (!verifyProgram(P, &Err)) {
+    std::fprintf(stderr, "verification failed:\n%s", Err.c_str());
+    return 1;
+  }
+
+  // -- 2. Phase 1: run under the instrumented VM -------------------------
+  profiler::DragProfiler Prof(P);
+  VMOptions Opts;
+  Opts.DeepGCIntervalBytes = 100 * KB; // the paper's deep-GC period
+  Opts.Observer = &Prof;
+  VirtualMachine VM(P, Opts);
+  if (VM.run(&Err) != Interpreter::Status::Ok) {
+    std::fprintf(stderr, "run failed: %s\n", Err.c_str());
+    return 1;
+  }
+
+  // -- 3. Phase 2: analyze and report -------------------------------------
+  analysis::DragReport Report(P, Prof.log());
+  std::printf("%s", analysis::renderDragReport(Report).c_str());
+  std::printf("\nThe top site is the 128 KB buffer: allocated at the very "
+              "start,\nlast used immediately, reachable to the end -- "
+              "'assigning null'\nafter the last use is the suggested fix "
+              "(paper section 3.3.1).\n");
+  return 0;
+}

@@ -1,0 +1,197 @@
+//===- examples/roundtrip_fix.cpp - edit a program as text ----------------===//
+//
+// The profile -> rewrite loop with .jasm as the interchange format:
+//   1. assemble a leaky program from text,
+//   2. let the auto-optimizer fix it,
+//   3. serialize the *revised* program back to .jasm with the printer —
+//      the form a user would review, hand-tune and check in,
+//   4. reassemble that text and demonstrate the round trip preserved
+//      behaviour and the drag saving.
+//
+// Usage: roundtrip_fix [dump]   ("dump" also prints the revised .jasm)
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DragReport.h"
+#include "analysis/Savings.h"
+#include "support/Units.h"
+#include "ir/Assembler.h"
+#include "ir/JasmPrinter.h"
+#include "profiler/DragProfiler.h"
+#include "transform/AutoOptimizer.h"
+#include "vm/VirtualMachine.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+
+namespace {
+
+// A session-cache bug in text form: a 64 KB page is filled into a
+// static, read once early, and then pinned by the static through a long
+// allocation-heavy second phase. Assigning null to the static after the
+// final read recovers the drag (the paper's section 3.3.2 rewrite).
+const char *LeakySource = R"jasm(
+native jdrag.emitResult (int) void
+native jdrag.readInput (int) int
+
+class Sys extends java/lang/Object library
+  nativemethod emit jdrag.emitResult
+  nativemethod read jdrag.readInput
+end
+
+class Cache extends java/lang/Object
+  field page ref static private
+
+  method fill (int n) void static
+    local buf ref
+    iconst 32768
+    newarray char
+    astore buf
+    aload buf
+    iconst 0
+    iload n
+    castore
+    aload buf
+    putstatic Cache.page
+    ret
+  end
+
+  ; the long second phase: `rounds` x 4 KB temporaries, page untouched.
+  method churn (int rounds) int static
+    local tmp ref
+    local acc int
+    iconst 0
+    istore acc
+  loop:
+    iload rounds
+    ifle done
+    iconst 1016
+    newarray int
+    astore tmp
+    aload tmp
+    iconst 0
+    iload rounds
+    iastore
+    iload acc
+    aload tmp
+    iconst 0
+    iaload
+    iadd
+    istore acc
+    iload rounds
+    iconst 1
+    isub
+    istore rounds
+    goto loop
+  done:
+    iload acc
+    iret
+  end
+end
+
+class Main extends java/lang/Object
+  method main () void static
+    iconst 0
+    invokestatic Sys.read
+    invokestatic Cache.fill
+    ; the page's last use -- from here on the static only pins it.
+    getstatic Cache.page
+    iconst 0
+    caload
+    invokestatic Sys.emit
+    iconst 192
+    invokestatic Cache.churn
+    invokestatic Sys.emit
+    ret
+  end
+end
+
+main Main.main
+)jasm";
+
+std::vector<std::int64_t> run(const Program &P,
+                              const std::vector<std::int64_t> &Inputs) {
+  vm::VirtualMachine VM(P, {});
+  VM.setInputs(Inputs);
+  std::string Err;
+  if (VM.run(&Err) != vm::Interpreter::Status::Ok) {
+    std::fprintf(stderr, "run failed: %s\n", Err.c_str());
+    std::exit(1);
+  }
+  return VM.outputs();
+}
+
+analysis::DragReport profileAndReport(const Program &P,
+                                      const std::vector<std::int64_t> &In,
+                                      profiler::ProfileLog &LogOut) {
+  profiler::DragProfiler Prof(P);
+  vm::VMOptions Opts;
+  Opts.DeepGCIntervalBytes = 100 * KB; // the paper's deep-GC period
+  Opts.Observer = &Prof;
+  vm::VirtualMachine VM(P, Opts);
+  VM.setInputs(In);
+  std::string Err;
+  if (VM.run(&Err) != vm::Interpreter::Status::Ok) {
+    std::fprintf(stderr, "profiled run failed: %s\n", Err.c_str());
+    std::exit(1);
+  }
+  LogOut = Prof.takeLog();
+  return analysis::DragReport(P, LogOut);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const std::vector<std::int64_t> Inputs = {65};
+
+  // -- 1. Text -> program -------------------------------------------------
+  std::string Err;
+  auto P = assembleProgram(LeakySource, &Err);
+  if (!P) {
+    std::fprintf(stderr, "assembly failed: %s\n", Err.c_str());
+    return 1;
+  }
+
+  profiler::ProfileLog Log;
+  analysis::DragReport Before = profileAndReport(*P, Inputs, Log);
+  std::printf("original:  total drag %8.3f MB^2 over %zu objects\n",
+              toMB2(Log.totalDrag()), Log.Records.size());
+
+  // -- 2. Rewrite ----------------------------------------------------------
+  auto Decisions = transform::autoOptimize(*P, Before);
+  std::printf("optimizer: applied %zu rewrite(s)\n%s", Decisions.size(),
+              transform::renderDecisions(Decisions).c_str());
+
+  // -- 3. Program -> text: what a user would review and keep ---------------
+  auto Revised = printProgramAsJasm(*P, &Err);
+  if (!Revised) {
+    std::fprintf(stderr, "serialization failed: %s\n", Err.c_str());
+    return 1;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "dump") == 0)
+    std::printf("--- revised .jasm ---\n%s---------------------\n",
+                Revised->c_str());
+
+  // -- 4. Text -> program again: behaviour and saving survived -------------
+  auto Q = assembleProgram(*Revised, &Err);
+  if (!Q) {
+    std::fprintf(stderr, "reassembly failed: %s\n", Err.c_str());
+    return 1;
+  }
+  if (run(*P, Inputs) != run(*Q, Inputs)) {
+    std::fprintf(stderr, "outputs diverged after the round trip!\n");
+    return 1;
+  }
+
+  profiler::ProfileLog LogAfter;
+  (void)profileAndReport(*Q, Inputs, LogAfter);
+  std::printf("revised:   total drag %8.3f MB^2 over %zu objects\n",
+              toMB2(LogAfter.totalDrag()), LogAfter.Records.size());
+  std::printf("outputs identical; drag saving %.1f%%\n",
+              100.0 * (1.0 - static_cast<double>(LogAfter.totalDrag()) /
+                                 static_cast<double>(Log.totalDrag())));
+  return 0;
+}

@@ -1,0 +1,21 @@
+//===- analysis/AnchorSites.cpp -------------------------------------------===//
+
+#include "analysis/AnchorSites.h"
+
+using namespace jdrag;
+using namespace jdrag::analysis;
+
+std::optional<AnchorSite>
+jdrag::analysis::findAnchor(const ir::Program &P,
+                            const profiler::SiteTable &Sites, SiteId Site) {
+  const auto &Chain = Sites.chain(Site);
+  if (Chain.empty())
+    return std::nullopt;
+  for (std::uint32_t I = 0, E = static_cast<std::uint32_t>(Chain.size());
+       I != E; ++I) {
+    const ir::MethodInfo &M = P.methodOf(Chain[I].Method);
+    if (!P.classOf(M.Owner).IsLibrary)
+      return AnchorSite{Chain[I], I, /*InApplication=*/true};
+  }
+  return AnchorSite{Chain[0], 0, /*InApplication=*/false};
+}

@@ -1,0 +1,45 @@
+//===- analysis/AnchorSites.h - Anchor-site walk ----------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.4: "We choose a nested allocation site with high drag. The
+/// bottom level is likely to be an allocation site in JDK or other
+/// library code ... We follow the call chain upwards looking for the
+/// first place in application code where a reference to the allocated
+/// object ... is stored in a variable. We call this place the anchor
+/// allocation site."
+///
+/// We approximate the anchor as the innermost frame of the nested chain
+/// whose method belongs to a non-library class; if the whole chain is
+/// library code, the innermost frame is used.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_ANALYSIS_ANCHORSITES_H
+#define JDRAG_ANALYSIS_ANCHORSITES_H
+
+#include "analysis/DragReport.h"
+
+#include <optional>
+
+namespace jdrag::analysis {
+
+/// The anchor frame of a nested allocation site.
+struct AnchorSite {
+  profiler::SiteFrame Frame;   ///< the application-code frame
+  std::uint32_t ChainDepth = 0;///< its index in the nested chain
+  bool InApplication = false;  ///< false if the whole chain is library
+};
+
+/// Walks \p Site's chain to its anchor. Returns nullopt for the "<vm>"
+/// site (empty chain).
+std::optional<AnchorSite> findAnchor(const ir::Program &P,
+                                     const profiler::SiteTable &Sites,
+                                     SiteId Site);
+
+} // namespace jdrag::analysis
+
+#endif // JDRAG_ANALYSIS_ANCHORSITES_H

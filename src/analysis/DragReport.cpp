@@ -1,0 +1,174 @@
+//===- analysis/DragReport.cpp --------------------------------------------===//
+
+#include "analysis/DragReport.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace jdrag;
+using namespace jdrag::analysis;
+
+std::size_t SiteGroup::histoBucket(ByteTime DragTime) {
+  std::size_t Bucket = 0;
+  ByteTime Limit = 4 * 1024;
+  while (Bucket + 1 < NumHistoBuckets && DragTime >= Limit) {
+    Limit *= 4;
+    ++Bucket;
+  }
+  return Bucket;
+}
+
+std::string SiteGroup::histoBucketLabel(std::size_t Bucket) {
+  auto Fmt = [](ByteTime B) {
+    if (B >= 1024 * 1024)
+      return formatString("%lluM",
+                          static_cast<unsigned long long>(B / (1024 * 1024)));
+    return formatString("%lluK",
+                        static_cast<unsigned long long>(B / 1024));
+  };
+  ByteTime Lo = 4 * 1024;
+  for (std::size_t I = 0; I != Bucket; ++I)
+    Lo *= 4;
+  if (Bucket == 0)
+    return "<" + Fmt(Lo);
+  if (Bucket + 1 == NumHistoBuckets)
+    return ">=" + Fmt(Lo / 4); // lower edge of the open bucket
+  return Fmt(Lo / 4) + "-" + Fmt(Lo);
+}
+
+std::string ClassGroup::name(const ir::Program &P) const {
+  if (IsArray)
+    return ir::arrayKindName(AKind);
+  if (!Class.isValid() || Class.Index >= P.Classes.size())
+    return "<unknown>";
+  return P.classOf(Class).Name;
+}
+
+SiteId SiteGroup::dominantLastUseSite() const {
+  SiteId Best = InvalidSite;
+  SpaceTime BestDrag = -1.0;
+  for (const auto &[Site, Drag] : DragByLastUse)
+    if (Site != InvalidSite && Drag > BestDrag) {
+      Best = Site;
+      BestDrag = Drag;
+    }
+  return Best;
+}
+
+DragReport::DragReport(const ir::Program &P, const ProfileLog &Log)
+    : P(P), TheLog(Log), End(Log.EndTime) {
+  std::unordered_map<SiteId, std::size_t> Index;
+  for (const ObjectRecord &R : Log.Records) {
+    auto [It, Fresh] = Index.try_emplace(R.AllocSite, Groups.size());
+    if (Fresh) {
+      Groups.emplace_back();
+      Groups.back().Site = R.AllocSite;
+    }
+    SiteGroup &G = Groups[It->second];
+    ++G.ObjectCount;
+    G.TotalBytes += R.Bytes;
+    SpaceTime Drag = R.drag();
+    G.TotalDrag += Drag;
+    G.DragPerObject.add(Drag);
+    G.DragTimePerObject.add(static_cast<double>(R.dragTime()));
+    G.LifeTimePerObject.add(static_cast<double>(R.lifeTime()));
+    if (R.neverUsed()) {
+      ++G.NeverUsedCount;
+      G.NeverUsedDrag += Drag;
+    }
+    if (R.lifeTime() > 0 &&
+        static_cast<double>(R.dragTime()) >=
+            static_cast<double>(R.lifeTime()) / 3.0)
+      ++G.LargeDragCount;
+    ++G.DragTimeHisto[SiteGroup::histoBucket(R.dragTime())];
+    G.DragByLastUse[R.neverUsed() ? InvalidSite : R.LastUseSite] += Drag;
+
+    TotalDragSum += Drag;
+    ReachableSum += static_cast<SpaceTime>(R.Bytes) *
+                    static_cast<SpaceTime>(R.lifeTime());
+    InUseSum += static_cast<SpaceTime>(R.Bytes) *
+                static_cast<SpaceTime>(R.inUseTime());
+  }
+
+  std::sort(Groups.begin(), Groups.end(),
+            [](const SiteGroup &A, const SiteGroup &B) {
+              if (A.TotalDrag != B.TotalDrag)
+                return A.TotalDrag > B.TotalDrag;
+              return A.Site < B.Site; // deterministic tie-break
+            });
+  for (std::size_t I = 0, E = Groups.size(); I != E; ++I)
+    GroupIndex[Groups[I].Site] = I;
+
+  // Coarse partition: key on the innermost frame of the nested site.
+  struct CoarseKey {
+    std::uint32_t MethodIndex;
+    std::uint32_t Pc;
+    bool operator<(const CoarseKey &O) const {
+      return MethodIndex != O.MethodIndex ? MethodIndex < O.MethodIndex
+                                          : Pc < O.Pc;
+    }
+  };
+  std::map<CoarseKey, CoarseGroup> Coarse;
+  for (const SiteGroup &G : Groups) {
+    const profiler::SiteFrame *Inner = Log.Sites.innermost(G.Site);
+    CoarseKey Key{Inner ? Inner->Method.Index : ~0u, Inner ? Inner->Pc : 0};
+    CoarseGroup &C = Coarse[Key];
+    if (C.NestedSites.empty() && Inner) {
+      C.Method = Inner->Method;
+      C.Pc = Inner->Pc;
+      C.Line = Inner->Line;
+    }
+    C.TotalDrag += G.TotalDrag;
+    C.ObjectCount += G.ObjectCount;
+    C.NeverUsedCount += G.NeverUsedCount;
+    C.NeverUsedDrag += G.NeverUsedDrag;
+    C.NestedSites.push_back(G.Site);
+  }
+  CoarseGroups.reserve(Coarse.size());
+  for (auto &[Key, C] : Coarse)
+    CoarseGroups.push_back(std::move(C));
+  std::sort(CoarseGroups.begin(), CoarseGroups.end(),
+            [](const CoarseGroup &A, const CoarseGroup &B) {
+              if (A.TotalDrag != B.TotalDrag)
+                return A.TotalDrag > B.TotalDrag;
+              if (A.Method != B.Method)
+                return A.Method < B.Method;
+              return A.Pc < B.Pc;
+            });
+
+  // Per-class partition: key = class index, or array kind tagged high.
+  std::map<std::uint64_t, ClassGroup> ByClass;
+  for (const ObjectRecord &R : Log.Records) {
+    std::uint64_t Key = R.IsArray
+                            ? (1ull << 40) + static_cast<std::uint64_t>(
+                                                 R.AKind)
+                            : R.Class.Index;
+    ClassGroup &G = ByClass[Key];
+    if (G.ObjectCount == 0) {
+      G.Class = R.Class;
+      G.AKind = R.AKind;
+      G.IsArray = R.IsArray;
+    }
+    ++G.ObjectCount;
+    G.TotalBytes += R.Bytes;
+    G.TotalDrag += R.drag();
+    if (R.neverUsed())
+      ++G.NeverUsedCount;
+  }
+  ClassGroups.reserve(ByClass.size());
+  for (auto &[Key, G] : ByClass)
+    ClassGroups.push_back(std::move(G));
+  std::sort(ClassGroups.begin(), ClassGroups.end(),
+            [](const ClassGroup &A, const ClassGroup &B) {
+              if (A.TotalDrag != B.TotalDrag)
+                return A.TotalDrag > B.TotalDrag;
+              return A.TotalBytes > B.TotalBytes;
+            });
+}
+
+const SiteGroup *DragReport::group(SiteId Site) const {
+  auto It = GroupIndex.find(Site);
+  return It == GroupIndex.end() ? nullptr : &Groups[It->second];
+}

@@ -1,0 +1,158 @@
+//===- analysis/HeapCurves.cpp --------------------------------------------===//
+
+#include "analysis/HeapCurves.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace jdrag;
+using namespace jdrag::analysis;
+using profiler::ObjectRecord;
+using profiler::ProfileLog;
+
+namespace {
+
+/// Signed byte deltas at event times; prefix sums give the curve.
+struct Event {
+  ByteTime Time;
+  std::int64_t Delta;
+};
+
+std::vector<Event> buildEvents(const ProfileLog &Log, bool InUse) {
+  std::vector<Event> Events;
+  Events.reserve(Log.Records.size() * 2);
+  for (const ObjectRecord &R : Log.Records) {
+    ByteTime EndT = InUse ? R.LastUseTime : R.CollectTime;
+    if (EndT <= R.AllocTime)
+      continue; // never-used objects contribute nothing to in-use
+    Events.push_back({R.AllocTime, static_cast<std::int64_t>(R.Bytes)});
+    Events.push_back({EndT, -static_cast<std::int64_t>(R.Bytes)});
+  }
+  std::sort(Events.begin(), Events.end(),
+            [](const Event &A, const Event &B) { return A.Time < B.Time; });
+  return Events;
+}
+
+/// Samples the prefix-sum of \p Events at each grid time.
+std::vector<std::uint64_t> sample(const std::vector<Event> &Events,
+                                  const std::vector<ByteTime> &Grid) {
+  std::vector<std::uint64_t> Out;
+  Out.reserve(Grid.size());
+  std::int64_t Level = 0;
+  std::size_t Next = 0;
+  for (ByteTime T : Grid) {
+    while (Next < Events.size() && Events[Next].Time <= T)
+      Level += Events[Next++].Delta;
+    Out.push_back(static_cast<std::uint64_t>(std::max<std::int64_t>(0, Level)));
+  }
+  return Out;
+}
+
+std::vector<ByteTime> makeGrid(ByteTime End, std::uint32_t NumSamples) {
+  std::vector<ByteTime> Grid;
+  if (NumSamples == 0)
+    return Grid;
+  Grid.reserve(NumSamples);
+  for (std::uint32_t I = 0; I != NumSamples; ++I)
+    Grid.push_back(static_cast<ByteTime>(
+        (static_cast<unsigned __int128>(End) * (I + 1)) / NumSamples));
+  return Grid;
+}
+
+} // namespace
+
+SpaceTime HeapCurve::reachableIntegral() const {
+  SpaceTime Sum = 0;
+  for (std::size_t I = 0; I != Times.size(); ++I) {
+    ByteTime Prev = I ? Times[I - 1] : 0;
+    Sum += static_cast<SpaceTime>(ReachableBytes[I]) *
+           static_cast<SpaceTime>(Times[I] - Prev);
+  }
+  return Sum;
+}
+
+SpaceTime HeapCurve::inUseIntegral() const {
+  SpaceTime Sum = 0;
+  for (std::size_t I = 0; I != Times.size(); ++I) {
+    ByteTime Prev = I ? Times[I - 1] : 0;
+    Sum += static_cast<SpaceTime>(InUseBytes[I]) *
+           static_cast<SpaceTime>(Times[I] - Prev);
+  }
+  return Sum;
+}
+
+std::uint64_t HeapCurve::peakReachable() const {
+  std::uint64_t Peak = 0;
+  for (std::uint64_t V : ReachableBytes)
+    Peak = std::max(Peak, V);
+  return Peak;
+}
+
+HeapCurve jdrag::analysis::buildHeapCurve(const ProfileLog &Log,
+                                          std::uint32_t NumSamples) {
+  HeapCurve C;
+  C.Times = makeGrid(Log.EndTime, NumSamples);
+  C.ReachableBytes = sample(buildEvents(Log, /*InUse=*/false), C.Times);
+  C.InUseBytes = sample(buildEvents(Log, /*InUse=*/true), C.Times);
+  return C;
+}
+
+CsvWriter jdrag::analysis::recordsCsv(const ir::Program &P,
+                                      const ProfileLog &Log) {
+  CsvWriter Csv({"id", "class", "bytes", "alloc", "first_use", "last_use",
+                 "collect", "lag", "use", "drag", "void", "never_used",
+                 "survived", "alloc_site", "last_use_site"});
+  for (const ObjectRecord &R : Log.Records) {
+    std::string ClassName =
+        R.IsArray ? ir::arrayKindName(R.AKind)
+                  : (R.Class.isValid() && R.Class.Index < P.Classes.size()
+                         ? P.classOf(R.Class).Name
+                         : "<unknown>");
+    Csv.addRow(
+        {formatString("%llu", static_cast<unsigned long long>(R.Id)),
+         ClassName, formatString("%u", R.Bytes),
+         formatString("%llu", static_cast<unsigned long long>(R.AllocTime)),
+         formatString("%llu",
+                      static_cast<unsigned long long>(R.FirstUseTime)),
+         formatString("%llu",
+                      static_cast<unsigned long long>(R.LastUseTime)),
+         formatString("%llu",
+                      static_cast<unsigned long long>(R.CollectTime)),
+         formatString("%llu", static_cast<unsigned long long>(R.lagTime())),
+         formatString("%llu", static_cast<unsigned long long>(R.useTime())),
+         formatString("%llu", static_cast<unsigned long long>(R.dragTime())),
+         formatString("%llu", static_cast<unsigned long long>(R.voidTime())),
+         R.neverUsed() ? "1" : "0", R.SurvivedToEnd ? "1" : "0",
+         Log.Sites.describe(P, R.AllocSite),
+         R.LastUseSite != profiler::InvalidSite
+             ? Log.Sites.describe(P, R.LastUseSite)
+             : ""});
+  }
+  return Csv;
+}
+
+CsvWriter jdrag::analysis::figure2Csv(const ProfileLog &Original,
+                                      const ProfileLog &Revised,
+                                      std::uint32_t NumSamples) {
+  ByteTime End = std::max(Original.EndTime, Revised.EndTime);
+  std::vector<ByteTime> Grid = makeGrid(End, NumSamples);
+
+  auto SampleLog = [&](const ProfileLog &Log, bool InUse) {
+    return sample(buildEvents(Log, InUse), Grid);
+  };
+  auto OrigReach = SampleLog(Original, false);
+  auto OrigUse = SampleLog(Original, true);
+  auto RevReach = SampleLog(Revised, false);
+  auto RevUse = SampleLog(Revised, true);
+
+  CsvWriter Csv({"time_mb", "orig_reachable_mb", "orig_inuse_mb",
+                 "rev_reachable_mb", "rev_inuse_mb"});
+  for (std::size_t I = 0; I != Grid.size(); ++I)
+    Csv.addRow({formatFixed(toMB(Grid[I]), 3),
+                formatFixed(toMB(OrigReach[I]), 4),
+                formatFixed(toMB(OrigUse[I]), 4),
+                formatFixed(toMB(RevReach[I]), 4),
+                formatFixed(toMB(RevUse[I]), 4)});
+  return Csv;
+}

@@ -1,0 +1,34 @@
+//===- analysis/LagDragVoid.cpp -------------------------------------------===//
+
+#include "analysis/LagDragVoid.h"
+
+#include "support/Format.h"
+
+using namespace jdrag;
+using namespace jdrag::analysis;
+
+LifetimeDecomposition
+jdrag::analysis::decomposeLifetimes(const profiler::ProfileLog &Log) {
+  LifetimeDecomposition D;
+  for (const profiler::ObjectRecord &R : Log.Records) {
+    SpaceTime B = static_cast<SpaceTime>(R.Bytes);
+    if (R.neverUsed()) {
+      D.Void += B * static_cast<SpaceTime>(R.voidTime());
+      continue;
+    }
+    D.Lag += B * static_cast<SpaceTime>(R.lagTime());
+    D.Use += B * static_cast<SpaceTime>(R.useTime());
+    D.Drag += B * static_cast<SpaceTime>(R.dragTime());
+  }
+  return D;
+}
+
+std::string
+jdrag::analysis::renderDecomposition(const LifetimeDecomposition &D) {
+  return formatString(
+      "lag %.4f MB^2 (%.1f%%)  use %.4f MB^2 (%.1f%%)  drag %.4f MB^2 "
+      "(%.1f%%)  void %.4f MB^2 (%.1f%%)",
+      toMB2(D.Lag), D.lagFraction() * 100, toMB2(D.Use),
+      D.useFraction() * 100, toMB2(D.Drag), D.dragFraction() * 100,
+      toMB2(D.Void), D.voidFraction() * 100);
+}

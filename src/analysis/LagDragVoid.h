@@ -1,0 +1,54 @@
+//===- analysis/LagDragVoid.h - Roejemo-Runciman decomposition -*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's drag model descends from Roejemo & Runciman's "Lag, drag,
+/// void and use" (ICFP 1996), which splits every object's lifetime into
+/// four phases: *lag* (creation to first use), *use* (first to last use),
+/// *drag* (last use to unreachable) and *void* (the whole lifetime of an
+/// object that is never used). This module computes the four space-time
+/// integrals from a profile log. Identity:
+///
+///   lag + use + drag4 + void == reachable integral
+///
+/// where drag4 counts only used objects (the paper's 2-way split folds
+/// void into drag: drag2 = drag4 + void).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_ANALYSIS_LAGDRAGVOID_H
+#define JDRAG_ANALYSIS_LAGDRAGVOID_H
+
+#include "profiler/ProfileLog.h"
+
+#include <string>
+
+namespace jdrag::analysis {
+
+/// The four space-time integrals, in byte^2.
+struct LifetimeDecomposition {
+  SpaceTime Lag = 0;
+  SpaceTime Use = 0;
+  SpaceTime Drag = 0; ///< used objects only (drag4)
+  SpaceTime Void = 0; ///< never-used objects' whole lifetimes
+
+  SpaceTime total() const { return Lag + Use + Drag + Void; }
+
+  double lagFraction() const { return total() > 0 ? Lag / total() : 0; }
+  double useFraction() const { return total() > 0 ? Use / total() : 0; }
+  double dragFraction() const { return total() > 0 ? Drag / total() : 0; }
+  double voidFraction() const { return total() > 0 ? Void / total() : 0; }
+};
+
+/// Computes the decomposition over all records of \p Log.
+LifetimeDecomposition decomposeLifetimes(const profiler::ProfileLog &Log);
+
+/// One-line rendering, e.g. "lag 2.1% use 30.4% drag 55.0% void 12.5%".
+std::string renderDecomposition(const LifetimeDecomposition &D);
+
+} // namespace jdrag::analysis
+
+#endif // JDRAG_ANALYSIS_LAGDRAGVOID_H

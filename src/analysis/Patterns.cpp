@@ -1,0 +1,74 @@
+//===- analysis/Patterns.cpp ----------------------------------------------===//
+
+#include "analysis/Patterns.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace jdrag;
+using namespace jdrag::analysis;
+
+const char *jdrag::analysis::patternName(LifetimePattern P) {
+  switch (P) {
+  case LifetimePattern::AllNeverUsed:
+    return "all-never-used";
+  case LifetimePattern::MostNeverUsed:
+    return "most-never-used";
+  case LifetimePattern::MostLargeDrag:
+    return "most-large-drag";
+  case LifetimePattern::HighVariance:
+    return "high-variance";
+  case LifetimePattern::Mixed:
+    return "mixed";
+  }
+  jdrag_unreachable("unknown pattern");
+}
+
+const char *jdrag::analysis::strategyName(RewriteStrategy S) {
+  switch (S) {
+  case RewriteStrategy::DeadCodeRemoval:
+    return "dead code removal";
+  case RewriteStrategy::LazyAllocation:
+    return "lazy allocation";
+  case RewriteStrategy::AssignNull:
+    return "assigning null";
+  case RewriteStrategy::None:
+    return "none";
+  }
+  jdrag_unreachable("unknown strategy");
+}
+
+LifetimePattern
+jdrag::analysis::classifyPattern(const SiteGroup &G, PatternThresholds T,
+                                 SpaceTime ProgramReachableIntegral) {
+  if (G.ObjectCount == 0 || G.TotalDrag <= 0)
+    return LifetimePattern::Mixed;
+  if (G.neverUsedDragFraction() >= T.AllNeverUsedDragFraction)
+    return LifetimePattern::AllNeverUsed;
+  if (G.neverUsedObjectFraction() >= T.MostNeverUsedObjectFraction)
+    return LifetimePattern::MostNeverUsed;
+  if (G.DragPerObject.coefficientOfVariation() > T.HighVarianceCV)
+    return LifetimePattern::HighVariance;
+  if (G.largeDragObjectFraction() >= T.LargeDragObjectFraction)
+    return LifetimePattern::MostLargeDrag;
+  double MeanDrag = G.TotalDrag / static_cast<double>(G.ObjectCount);
+  if (ProgramReachableIntegral > 0 &&
+      MeanDrag >=
+          T.LargeMeanDragFractionOfReachable * ProgramReachableIntegral)
+    return LifetimePattern::MostLargeDrag;
+  return LifetimePattern::Mixed;
+}
+
+RewriteStrategy jdrag::analysis::strategyFor(LifetimePattern P) {
+  switch (P) {
+  case LifetimePattern::AllNeverUsed:
+    return RewriteStrategy::DeadCodeRemoval;
+  case LifetimePattern::MostNeverUsed:
+    return RewriteStrategy::LazyAllocation;
+  case LifetimePattern::MostLargeDrag:
+    return RewriteStrategy::AssignNull;
+  case LifetimePattern::HighVariance:
+  case LifetimePattern::Mixed:
+    return RewriteStrategy::None;
+  }
+  jdrag_unreachable("unknown pattern");
+}

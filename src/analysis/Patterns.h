@@ -1,0 +1,86 @@
+//===- analysis/Patterns.h - Lifetime pattern classifier --------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's section 3.4 identifies four lifetime patterns at an anchor
+/// allocation site and ties each to a rewriting strategy:
+///
+///   1. all drag from never-used objects        -> dead code removal
+///   2. most dragged objects never-used         -> lazy allocation
+///   3. most dragged objects have a large drag  -> assigning null
+///   4. high variance of the drag               -> (no transformation)
+///
+/// We check 1 and 2 first (as the paper lists them), then distinguish 4
+/// from 3 by the coefficient of variation of per-object drag: a site like
+/// db's repository -- queries spread over the run -- has wildly varying
+/// drags, whereas the "assign null" sites (juru's cycle arrays, euler's
+/// phase arrays) drag uniformly. Thresholds are configurable; defaults
+/// documented inline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_ANALYSIS_PATTERNS_H
+#define JDRAG_ANALYSIS_PATTERNS_H
+
+#include "analysis/DragReport.h"
+
+namespace jdrag::analysis {
+
+/// The paper's four lifetime patterns plus a none-of-the-above bucket.
+enum class LifetimePattern : std::uint8_t {
+  AllNeverUsed,  ///< pattern 1 -> dead code removal
+  MostNeverUsed, ///< pattern 2 -> lazy allocation
+  MostLargeDrag, ///< pattern 3 -> assigning null
+  HighVariance,  ///< pattern 4 -> probably nothing helps
+  Mixed,         ///< none of the patterns
+};
+
+const char *patternName(LifetimePattern P);
+
+/// The rewriting strategy a pattern suggests (section 3.4).
+enum class RewriteStrategy : std::uint8_t {
+  DeadCodeRemoval,
+  LazyAllocation,
+  AssignNull,
+  None,
+};
+
+const char *strategyName(RewriteStrategy S);
+
+/// Classification thresholds.
+struct PatternThresholds {
+  /// Pattern 1: at least this fraction of the group's drag comes from
+  /// never-used objects ("all of the drag at the site is due to objects
+  /// that are never-used").
+  double AllNeverUsedDragFraction = 0.97;
+  /// Pattern 2: at least this fraction of objects are never-used.
+  double MostNeverUsedObjectFraction = 0.5;
+  /// Pattern 4: coefficient of variation of per-object drag above this
+  /// marks a high-variance site.
+  double HighVarianceCV = 1.0;
+  /// Pattern 3, relative form: at least this fraction of objects have a
+  /// large drag (drag time >= 1/3 of lifetime, tracked by DragReport).
+  double LargeDragObjectFraction = 0.5;
+  /// Pattern 3, absolute form: the site's mean per-object drag is at
+  /// least this fraction of the whole program's reachable integral
+  /// (euler's solver arrays drag only ~15% of their lifetime, yet each
+  /// one's drag is a macroscopic slice of the program -- the paper still
+  /// calls that "a large drag").
+  double LargeMeanDragFractionOfReachable = 0.001;
+};
+
+/// Classifies one site group. \p ProgramReachableIntegral (byte^2)
+/// enables the absolute large-drag form; pass 0 to disable it.
+LifetimePattern classifyPattern(const SiteGroup &G,
+                                PatternThresholds T = PatternThresholds(),
+                                SpaceTime ProgramReachableIntegral = 0);
+
+/// Maps a pattern to the transformation it suggests.
+RewriteStrategy strategyFor(LifetimePattern P);
+
+} // namespace jdrag::analysis
+
+#endif // JDRAG_ANALYSIS_PATTERNS_H

@@ -1,0 +1,162 @@
+//===- analysis/ReportPrinter.cpp -----------------------------------------===//
+
+#include "analysis/ReportPrinter.h"
+
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace jdrag;
+using namespace jdrag::analysis;
+
+std::string jdrag::analysis::renderSiteDetail(const DragReport &Report,
+                                              const SiteGroup &G,
+                                              PatternThresholds T) {
+  const ir::Program &P = Report.program();
+  const profiler::SiteTable &Sites = Report.log().Sites;
+  LifetimePattern Pat = classifyPattern(G, T, Report.reachableIntegral());
+
+  std::string Out;
+  Out += formatString("site: %s\n", Sites.describe(P, G.Site).c_str());
+  Out += formatString(
+      "  drag %.4f MB^2 (%.1f%% of total), %llu objects, %llu bytes\n",
+      toMB2(G.TotalDrag),
+      Report.totalDrag() > 0 ? 100.0 * G.TotalDrag / Report.totalDrag() : 0.0,
+      static_cast<unsigned long long>(G.ObjectCount),
+      static_cast<unsigned long long>(G.TotalBytes));
+  Out += formatString(
+      "  never-used: %llu objects (%.1f%%), %.4f MB^2 (%.1f%% of site drag)\n",
+      static_cast<unsigned long long>(G.NeverUsedCount),
+      100.0 * G.neverUsedObjectFraction(), toMB2(G.NeverUsedDrag),
+      100.0 * G.neverUsedDragFraction());
+  Out += formatString(
+      "  drag time: mean %.0f bytes, cv %.2f; lifetime mean %.0f bytes\n",
+      G.DragTimePerObject.mean(), G.DragPerObject.coefficientOfVariation(),
+      G.LifeTimePerObject.mean());
+  Out += "  drag-time histogram:";
+  for (std::size_t B = 0; B != SiteGroup::NumHistoBuckets; ++B)
+    if (G.DragTimeHisto[B])
+      Out += formatString(
+          " %s:%llu", SiteGroup::histoBucketLabel(B).c_str(),
+          static_cast<unsigned long long>(G.DragTimeHisto[B]));
+  Out += '\n';
+  Out += formatString("  pattern: %s  =>  %s\n", patternName(Pat),
+                      strategyName(strategyFor(Pat)));
+  SiteId LastUse = G.dominantLastUseSite();
+  if (LastUse != InvalidSite)
+    Out += formatString("  dominant last-use site: %s\n",
+                        Sites.describe(P, LastUse).c_str());
+  return Out;
+}
+
+std::string jdrag::analysis::renderDragReport(const DragReport &Report,
+                                              ReportOptions Opts) {
+  const ir::Program &P = Report.program();
+  const profiler::SiteTable &Sites = Report.log().Sites;
+
+  std::string Out = "=== jdrag drag report ===\n";
+  Out += formatString(
+      "reachable integral %.4f MB^2, in-use integral %.4f MB^2, "
+      "total drag %.4f MB^2\n\n",
+      toMB2(Report.reachableIntegral()), toMB2(Report.inUseIntegral()),
+      toMB2(Report.totalDrag()));
+
+  TextTable Table({"#", "drag MB^2", "% total", "objs", "never-used",
+                   "pattern", "nested allocation site"});
+  for (unsigned Col : {0u, 1u, 2u, 3u, 4u})
+    Table.setAlign(Col, TextTable::Align::Right);
+  std::uint32_t N = std::min<std::uint32_t>(
+      Opts.MaxSites, static_cast<std::uint32_t>(Report.groups().size()));
+  for (std::uint32_t I = 0; I != N; ++I) {
+    const SiteGroup &G = Report.groups()[I];
+    LifetimePattern Pat = classifyPattern(G, Opts.Thresholds, Report.reachableIntegral());
+    Table.addRow(
+        {formatString("%u", I + 1), formatFixed(toMB2(G.TotalDrag), 4),
+         formatFixed(Report.totalDrag() > 0
+                         ? 100.0 * G.TotalDrag / Report.totalDrag()
+                         : 0.0,
+                     1),
+         formatString("%llu", static_cast<unsigned long long>(G.ObjectCount)),
+         formatString("%llu",
+                      static_cast<unsigned long long>(G.NeverUsedCount)),
+         patternName(Pat), Sites.describe(P, G.Site)});
+  }
+  Out += Table.render();
+
+  if (Opts.ShowCoarse && !Report.coarseGroups().empty()) {
+    Out += "\n--- coarse partition (plain allocation sites) ---\n";
+    TextTable CT({"drag MB^2", "objs", "allocation site"});
+    CT.setAlign(0, TextTable::Align::Right);
+    CT.setAlign(1, TextTable::Align::Right);
+    std::uint32_t CN = std::min<std::uint32_t>(
+        Opts.MaxSites, static_cast<std::uint32_t>(Report.coarseGroups().size()));
+    for (std::uint32_t I = 0; I != CN; ++I) {
+      const CoarseGroup &C = Report.coarseGroups()[I];
+      CT.addRow({formatFixed(toMB2(C.TotalDrag), 4),
+                 formatString("%llu",
+                              static_cast<unsigned long long>(C.ObjectCount)),
+                 C.Method.isValid()
+                     ? formatString("%s:%u",
+                                    P.qualifiedMethodName(C.Method).c_str(),
+                                    C.Line)
+                     : std::string("<vm>")});
+    }
+    Out += CT.render();
+  }
+
+  // "A large drag caused by never-used objects is a 'sure bet' for code
+  // rewriting" (paper section 2.2): list the never-used partition.
+  {
+    std::vector<const SiteGroup *> NeverUsed;
+    for (const SiteGroup &G : Report.groups())
+      if (G.NeverUsedDrag > 0)
+        NeverUsed.push_back(&G);
+    if (!NeverUsed.empty()) {
+      Out += "\n--- never-used objects (sure bets) ---\n";
+      TextTable NT({"drag MB^2", "objs", "nested allocation site"});
+      NT.setAlign(0, TextTable::Align::Right);
+      NT.setAlign(1, TextTable::Align::Right);
+      std::uint32_t NN = std::min<std::uint32_t>(
+          Opts.MaxSites, static_cast<std::uint32_t>(NeverUsed.size()));
+      for (std::uint32_t I = 0; I != NN; ++I) {
+        const SiteGroup &G = *NeverUsed[I];
+        NT.addRow({formatFixed(toMB2(G.NeverUsedDrag), 4),
+                   formatString("%llu", static_cast<unsigned long long>(
+                                            G.NeverUsedCount)),
+                   Sites.describe(P, G.Site)});
+      }
+      Out += NT.render();
+    }
+  }
+
+  if (!Report.classGroups().empty()) {
+    Out += "\n--- per-class partition ---\n";
+    TextTable KT({"drag MB^2", "objs", "bytes", "never-used", "class"});
+    for (unsigned Col : {0u, 1u, 2u, 3u})
+      KT.setAlign(Col, TextTable::Align::Right);
+    std::uint32_t KN = std::min<std::uint32_t>(
+        Opts.MaxSites,
+        static_cast<std::uint32_t>(Report.classGroups().size()));
+    for (std::uint32_t I = 0; I != KN; ++I) {
+      const ClassGroup &G = Report.classGroups()[I];
+      KT.addRow(
+          {formatFixed(toMB2(G.TotalDrag), 4),
+           formatString("%llu", static_cast<unsigned long long>(G.ObjectCount)),
+           formatString("%llu", static_cast<unsigned long long>(G.TotalBytes)),
+           formatString("%llu",
+                        static_cast<unsigned long long>(G.NeverUsedCount)),
+           G.name(P)});
+    }
+    Out += KT.render();
+  }
+
+  if (Opts.ShowLastUseSites) {
+    Out += "\n--- top sites in detail ---\n";
+    std::uint32_t DN = std::min<std::uint32_t>(
+        5, static_cast<std::uint32_t>(Report.groups().size()));
+    for (std::uint32_t I = 0; I != DN; ++I)
+      Out += renderSiteDetail(Report, Report.groups()[I], Opts.Thresholds);
+  }
+  return Out;
+}

@@ -1,0 +1,43 @@
+//===- analysis/ReportPrinter.h - Human-readable drag reports ---*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the tool's user-facing output: allocation sites sorted by
+/// accumulated drag, each with its lifetime pattern, suggested rewrite,
+/// never-used fraction, and dominant last-use site -- everything a
+/// programmer (or the AutoOptimizer) needs to pick a transformation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_ANALYSIS_REPORTPRINTER_H
+#define JDRAG_ANALYSIS_REPORTPRINTER_H
+
+#include "analysis/DragReport.h"
+#include "analysis/Patterns.h"
+
+#include <string>
+
+namespace jdrag::analysis {
+
+/// Rendering options.
+struct ReportOptions {
+  std::uint32_t MaxSites = 20;  ///< top-N nested sites to print
+  bool ShowLastUseSites = true; ///< include the last-use partition
+  bool ShowCoarse = true;       ///< include the coarse partition
+  PatternThresholds Thresholds;
+};
+
+/// Renders the full report as text.
+std::string renderDragReport(const DragReport &Report,
+                             ReportOptions Opts = ReportOptions());
+
+/// Renders one site group's detail block.
+std::string renderSiteDetail(const DragReport &Report, const SiteGroup &G,
+                             PatternThresholds T = PatternThresholds());
+
+} // namespace jdrag::analysis
+
+#endif // JDRAG_ANALYSIS_REPORTPRINTER_H

@@ -1,0 +1,16 @@
+//===- analysis/Savings.cpp -----------------------------------------------===//
+
+#include "analysis/Savings.h"
+
+using namespace jdrag;
+using namespace jdrag::analysis;
+
+SavingsRow jdrag::analysis::computeSavings(const profiler::ProfileLog &Original,
+                                           const profiler::ProfileLog &Revised) {
+  SavingsRow Row;
+  Row.OriginalReachableMB2 = toMB2(Original.reachableIntegral());
+  Row.OriginalInUseMB2 = toMB2(Original.inUseIntegral());
+  Row.ReducedReachableMB2 = toMB2(Revised.reachableIntegral());
+  Row.ReducedInUseMB2 = toMB2(Revised.inUseIntegral());
+  return Row;
+}

@@ -1,0 +1,62 @@
+//===- analysis/Savings.h - Table 2/3 savings computation -------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the paper's Table 2/3 quantities from an original and a
+/// revised profile log. Following Agesen et al., the *integrals* are
+/// space-time products (area under the reachable / in-use curves):
+///
+///   original drag      = orig reachable - orig in-use integral
+///   drag reduction     = orig reachable - reduced reachable integral
+///   drag saving ratio  = drag reduction / original drag
+///   space saving ratio = 1 - reduced reachable / orig reachable
+///
+/// The drag saving ratio can exceed 100% (mc: 168.82%) when the revised
+/// reachable integral falls below the original in-use integral, because
+/// eliminated allocations remove in-use space too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_ANALYSIS_SAVINGS_H
+#define JDRAG_ANALYSIS_SAVINGS_H
+
+#include "profiler/ProfileLog.h"
+
+namespace jdrag::analysis {
+
+/// One benchmark row of Table 2 (all integrals in MB^2).
+struct SavingsRow {
+  double OriginalReachableMB2 = 0;
+  double OriginalInUseMB2 = 0;
+  double ReducedReachableMB2 = 0;
+  double ReducedInUseMB2 = 0;
+
+  double originalDragMB2() const {
+    return OriginalReachableMB2 - OriginalInUseMB2;
+  }
+  double dragReductionMB2() const {
+    return OriginalReachableMB2 - ReducedReachableMB2;
+  }
+  /// Drag saving ratio in [.., can exceed 1]; 0 when there was no drag.
+  double dragSavingRatio() const {
+    double Drag = originalDragMB2();
+    return Drag > 0 ? dragReductionMB2() / Drag : 0.0;
+  }
+  /// Average space saving (ratio of integral reduction).
+  double spaceSavingRatio() const {
+    return OriginalReachableMB2 > 0
+               ? 1.0 - ReducedReachableMB2 / OriginalReachableMB2
+               : 0.0;
+  }
+};
+
+/// Computes the savings row from two logs of the same workload.
+SavingsRow computeSavings(const profiler::ProfileLog &Original,
+                          const profiler::ProfileLog &Revised);
+
+} // namespace jdrag::analysis
+
+#endif // JDRAG_ANALYSIS_SAVINGS_H

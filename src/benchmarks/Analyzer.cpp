@@ -1,0 +1,198 @@
+//===- benchmarks/Analyzer.cpp - Mutability analyzer (IBM tool) -----------===//
+//
+// Paper section 4.1: "for the analyzer benchmark the size of the
+// reachable heap is reduced only after allocating the first 78MB in the
+// program. This occurs because objects used for the first part of
+// computation (first 78MB of allocation) are not needed later in the
+// computation." Table 5: assigning null, local variable + private
+// static, 25.34%, expected analysis: liveness.
+//
+// Model: collect() builds a graph (nodes + adjacency arrays) referenced
+// by a local in run() and by a private static cache; analyze() consumes
+// it; report() runs a long second phase that reads only scalar summaries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "benchmarks/MiniJDK.h"
+
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+
+using namespace jdrag;
+using namespace jdrag::benchmarks;
+using namespace jdrag::ir;
+
+BenchmarkProgram jdrag::benchmarks::buildAnalyzer() {
+  ProgramBuilder PB;
+  MiniJDK J = MiniJDK::build(PB);
+
+  // class GraphNode { int id; int[] adj; }
+  ClassBuilder Node = PB.beginClass("GraphNode", PB.objectClass());
+  FieldId NodeId = Node.addField("id", ValueKind::Int, Visibility::Package);
+  FieldId NodeAdj = Node.addField("adj", ValueKind::Ref, Visibility::Package);
+  MethodBuilder NodeCtor = Node.beginMethod(
+      "<init>", {ValueKind::Int, ValueKind::Int}, ValueKind::Void);
+  NodeCtor.stmt();
+  NodeCtor.aload(0).invokespecial(PB.objectCtor());
+  NodeCtor.stmt();
+  NodeCtor.aload(0).iload(1).putfield(NodeId);
+  NodeCtor.aload(0).iload(2).newarray(ArrayKind::Int).putfield(NodeAdj);
+  NodeCtor.ret();
+  NodeCtor.finish();
+
+  ClassBuilder An = PB.beginClass("Analyzer", PB.objectClass());
+  FieldId Cache =
+      An.addField("cache", ValueKind::Ref, Visibility::Private, true);
+  FieldId Summary =
+      An.addField("summary", ValueKind::Int, Visibility::Private, true);
+  // The analysis results: retained and consulted throughout reporting,
+  // so most of the heap stays in use (only the graph/cache are savable).
+  FieldId Results =
+      An.addField("results", ValueKind::Ref, Visibility::Private, true);
+
+  // static ref collect(int n): build n nodes into a ref array; also park
+  // a scratch table in the private static cache.
+  MethodBuilder Collect = An.beginMethod("collect", {ValueKind::Int},
+                                         ValueKind::Ref, /*IsStatic=*/true);
+  {
+    std::uint32_t Nodes = Collect.newLocal(ValueKind::Ref);
+    std::uint32_t I = Collect.newLocal(ValueKind::Int);
+    Collect.stmt();
+    Collect.iload(0).newarray(ArrayKind::Ref).astore(Nodes);
+    Collect.stmt();
+    Collect.iconst(4096).newarray(ArrayKind::Int).putstatic(Cache);
+    Label Loop = Collect.newLabel(), Done = Collect.newLabel();
+    Collect.stmt();
+    Collect.iconst(0).istore(I);
+    Collect.bind(Loop);
+    Collect.iload(I).iload(0).ifICmpGe(Done);
+    Collect.aload(Nodes).iload(I);
+    Collect.new_(Node.id()).dup().iload(I).iconst(24)
+        .invokespecial(NodeCtor.id());
+    Collect.aastore();
+    // cache[i & 4095] = i
+    Collect.getstatic(Cache).iload(I).iconst(4095).iand_().iload(I)
+        .iastore();
+    Collect.iload(I).iconst(1).iadd().istore(I);
+    Collect.goto_(Loop);
+    Collect.bind(Done);
+    Collect.aload(Nodes).aret();
+    Collect.finish();
+  }
+
+  // static int analyze(ref nodes): walks all nodes (their last uses).
+  MethodBuilder Analyze = An.beginMethod("analyze", {ValueKind::Ref},
+                                         ValueKind::Int, /*IsStatic=*/true);
+  {
+    std::uint32_t I = Analyze.newLocal(ValueKind::Int);
+    std::uint32_t Acc = Analyze.newLocal(ValueKind::Int);
+    std::uint32_t Cur = Analyze.newLocal(ValueKind::Ref);
+    Label Loop = Analyze.newLabel(), Done = Analyze.newLabel();
+    Analyze.stmt();
+    Analyze.iconst(768).newarray(ArrayKind::Ref).putstatic(Results);
+    Analyze.iconst(0).istore(I).iconst(0).istore(Acc);
+    Analyze.bind(Loop);
+    Analyze.iload(I).aload(0).arraylength().ifICmpGe(Done);
+    Analyze.aload(0).iload(I).aaload().astore(Cur);
+    Analyze.iload(Acc).aload(Cur).getfield(NodeId).iadd();
+    Analyze.aload(Cur).getfield(NodeAdj).arraylength().iadd().istore(Acc);
+    // consult the cache
+    Analyze.iload(Acc).getstatic(Cache).iload(I).iconst(4095).iand_()
+        .iaload().iadd().istore(Acc);
+    Analyze.iload(I).iconst(1).iadd().istore(I);
+    Analyze.goto_(Loop);
+    Analyze.bind(Done);
+    // Materialise the result chunks (~400 KB): retained, consulted by
+    // the report phase with skewed access (their residual drag is
+    // repository-like and not removable).
+    {
+      std::uint32_t Jv = Analyze.newLocal(ValueKind::Int);
+      std::uint32_t Chunk = Analyze.newLocal(ValueKind::Ref);
+      Label RLoop = Analyze.newLabel(), RDone = Analyze.newLabel();
+      Analyze.stmt();
+      Analyze.iconst(0).istore(Jv);
+      Analyze.bind(RLoop);
+      Analyze.iload(Jv).iconst(768).ifICmpGe(RDone);
+      Analyze.iconst(126).newarray(ArrayKind::Int).astore(Chunk);
+      Analyze.aload(Chunk).iconst(0).iload(Acc).iload(Jv).iadd().iastore();
+      Analyze.getstatic(Results).iload(Jv).aload(Chunk).aastore();
+      Analyze.iload(Jv).iconst(1).iadd().istore(Jv);
+      Analyze.goto_(RLoop);
+      Analyze.bind(RDone);
+    }
+    Analyze.iload(Acc).iret();
+    Analyze.finish();
+  }
+
+  // static void report(int steps): long second phase; only the scalar
+  // summary is consulted.
+  MethodBuilder Report = An.beginMethod("report", {ValueKind::Int},
+                                        ValueKind::Void, /*IsStatic=*/true);
+  {
+    std::uint32_t I = Report.newLocal(ValueKind::Int);
+    std::uint32_t Acc = Report.newLocal(ValueKind::Int);
+    std::uint32_t Tmp = Report.newLocal(ValueKind::Ref);
+    Label Loop = Report.newLabel(), Done = Report.newLabel();
+    Report.stmt();
+    Report.iconst(0).istore(I).getstatic(Summary).istore(Acc);
+    Report.bind(Loop);
+    Report.iload(I).iload(0).ifICmpGe(Done);
+    Report.iconst(1016).newarray(ArrayKind::Int).astore(Tmp);
+    Report.aload(Tmp).iconst(0).iload(Acc).iastore();
+    Report.iload(Acc).aload(Tmp).iconst(0).iaload().iconst(7).iadd()
+        .iadd().istore(Acc);
+    // consult a result chunk with quadratic skew (popular chunks stay in
+    // use; unpopular ones drag -- unremovable, like db's repository)
+    {
+      std::uint32_t Idx = Report.newLocal(ValueKind::Int);
+      Report.iload(I).iconst(2654435761LL).imul().iconst(16).ishr();
+      Report.iconst(767).iand_().istore(Idx);
+      Report.iload(Idx).iload(Idx).imul().iconst(768).idiv().istore(Idx);
+      Report.iload(Acc);
+      Report.getstatic(Results).iload(Idx).aaload().iconst(0).iaload();
+      Report.iadd().istore(Acc);
+    }
+    Report.iload(I).iconst(1).iadd().istore(I);
+    Report.goto_(Loop);
+    Report.bind(Done);
+    Report.stmt();
+    Report.iload(Acc).invokestatic(J.Emit);
+    Report.ret();
+    Report.finish();
+  }
+
+  // main is the phase driver: the nodes local dies after analyze() and
+  // the cache static with it -- the paper's phase boundary.
+  MethodBuilder Main =
+      An.beginMethod("main", {}, ValueKind::Void, /*IsStatic=*/true);
+  {
+    std::uint32_t Nodes = Main.newLocal(ValueKind::Ref);
+    Main.stmt();
+    Main.iconst(0).invokestatic(J.Read).invokestatic(Collect.id())
+        .astore(Nodes);
+    Main.stmt();
+    Main.aload(Nodes).invokestatic(Analyze.id()).putstatic(Summary);
+    Main.stmt();
+    Main.iconst(1).invokestatic(J.Read).invokestatic(Report.id());
+    Main.ret();
+    Main.finish();
+  }
+  PB.setMain(Main.id());
+
+  BenchmarkProgram B;
+  B.Name = "analyzer";
+  B.Description = "mutability analyzer";
+  B.Prog = PB.finish();
+  std::string Err;
+  if (!verifyProgram(B.Prog, &Err))
+    reportFatalError("analyzer fails verification: " + Err);
+  // 700 nodes (~100 KB incl. adjacency) dead after the first phase, a
+  // ~400 KB chunked results store retained through 800 report steps
+  // (~3.3 MB) with repository-style skewed access.
+  B.DefaultInputs = {700, 800};
+  B.AlternateInputs = {1100, 650};
+  B.ExpectedRewrites =
+      "assigning null (local variable + private static), paper: 25.34%";
+  return B;
+}

@@ -1,0 +1,124 @@
+//===- benchmarks/Benchmarks.h - The nine paper workloads -------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR reimplementations of the paper's Table 1 benchmarks. We cannot run
+/// the original Java programs (no JVM, no SPEC sources), so each workload
+/// reproduces the *drag signature* the paper documents for it -- the same
+/// lifetime patterns at the same kinds of sites, driving the same
+/// rewriting strategies (DESIGN.md section 2 documents the substitution).
+///
+///   javac    - compiler churn + doc strings held by fields that are only
+///              copied, never dereferenced (indirect usage -> removal)
+///   db       - record repository; queries spread over the run (pattern
+///              4: high variance, nothing helps)
+///   jack     - tokens eagerly allocating Vector+2 Hashtables, >97%
+///              never used (lazy allocation)
+///   raytrace - 17 sites of constructor-only objects into an array +
+///              a setup buffer dragging through rendering (removal +
+///              assigning null)
+///   jess     - popped container elements never nulled + never-used JDK
+///              Locales + a never-read debug table
+///   mc       - per-path result objects never used (removal compresses
+///              the byte clock: >100% drag saving) + history arrays
+///              dragging through the report phase
+///   euler    - everything allocated up front; solver arrays unused
+///              during postprocessing (assigning null to statics)
+///   juru     - per-document 100K char arrays: in-use 200KB of
+///              allocation, then in-drag 200KB (assigning null to local)
+///   analyzer - phase-structured: early structures dead after the first
+///              part of the computation
+///
+/// Programs read their parameters through the jdrag.readInput native, so
+/// one Program runs on the default (Table 2) and alternate (Table 3)
+/// inputs without rebuilding, and emit checksums so original/revised
+/// output equality is machine-checkable (paper section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_BENCHMARKS_BENCHMARKS_H
+#define JDRAG_BENCHMARKS_BENCHMARKS_H
+
+#include "analysis/Savings.h"
+#include "ir/Program.h"
+#include "profiler/DragProfiler.h"
+#include "transform/AutoOptimizer.h"
+
+#include <string>
+#include <vector>
+
+namespace jdrag::benchmarks {
+
+/// One benchmark: program plus input sets and expectations.
+struct BenchmarkProgram {
+  std::string Name;
+  std::string Description; ///< Table 1's short description
+  ir::Program Prog;
+  std::vector<std::int64_t> DefaultInputs;   ///< Table 2 run
+  std::vector<std::int64_t> AlternateInputs; ///< Table 3 run
+  std::string ExpectedRewrites; ///< Table 5 row, for the docs
+};
+
+BenchmarkProgram buildJavac();
+BenchmarkProgram buildDb();
+BenchmarkProgram buildJack();
+BenchmarkProgram buildRaytrace();
+BenchmarkProgram buildJess();
+BenchmarkProgram buildMc();
+BenchmarkProgram buildEuler();
+BenchmarkProgram buildJuru();
+BenchmarkProgram buildAnalyzer();
+
+/// All nine, in the paper's Table 2 order.
+std::vector<BenchmarkProgram> buildAll();
+
+/// Result of one instrumented run.
+struct RunResult {
+  profiler::ProfileLog Log;
+  std::vector<std::int64_t> Outputs;
+  std::uint64_t Steps = 0;
+  std::uint64_t GCs = 0;
+};
+
+/// Runs \p Prog under the drag profiler (default: the paper's 100 KB
+/// deep-GC interval). Aborts the process on VM failure -- benchmarks are
+/// expected to be correct.
+RunResult profiledRun(const ir::Program &Prog,
+                      const std::vector<std::int64_t> &Inputs,
+                      std::uint64_t DeepGCIntervalBytes = 100 * KB,
+                      profiler::ProfilerConfig PC = profiler::ProfilerConfig());
+
+/// Result of one plain (uninstrumented) run.
+struct PlainRunResult {
+  std::vector<std::int64_t> Outputs;
+  double WallSeconds = 0;
+  std::uint64_t GCs = 0;
+  std::uint64_t Steps = 0;
+};
+
+/// Runs without instrumentation; \p MaxLiveBytes emulates -Xmx (0 =
+/// unbounded). Used for Table 4 runtime measurements.
+PlainRunResult plainRun(const ir::Program &Prog,
+                        const std::vector<std::int64_t> &Inputs,
+                        std::uint64_t MaxLiveBytes = 0);
+
+/// The paper's full loop on one benchmark: profile on the default input,
+/// auto-optimize, optionally iterate ("sometimes ... another cycle of
+/// code rewriting and applying the tool took place").
+struct OptimizationOutcome {
+  ir::Program Revised;
+  std::vector<transform::OptimizerDecision> Decisions;
+  RunResult OriginalRun;
+  RunResult RevisedRun;
+};
+
+OptimizationOutcome optimizeBenchmark(
+    const BenchmarkProgram &B, unsigned Cycles = 2,
+    transform::OptimizerOptions Opts = transform::OptimizerOptions());
+
+} // namespace jdrag::benchmarks
+
+#endif // JDRAG_BENCHMARKS_BENCHMARKS_H

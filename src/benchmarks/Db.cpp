@@ -1,0 +1,160 @@
+//===- benchmarks/Db.cpp - Database simulation (SPECjvm98 _209_db) --------===//
+//
+// Paper section 3.4, pattern 4: "there may be a large repository of
+// objects as in the db benchmark. A query on the repository leads to a
+// use of an object. However, each query accesses only a small number of
+// objects and the queries are spread out over the whole application.
+// Nevertheless the repository and all objects in it need to be kept as
+// the exact queries cannot be predicted in advance." Section 4.1: "The
+// graph for db is not shown. There are no space savings for this
+// benchmark."
+//
+// Model: a repository of records with size-skewed payloads; zipf-skewed
+// queries spread over the run. Per-record drag (bytes x time since last
+// query) varies wildly -> the classifier reports high variance and the
+// optimizer applies nothing of consequence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "benchmarks/MiniJDK.h"
+
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+
+using namespace jdrag;
+using namespace jdrag::benchmarks;
+using namespace jdrag::ir;
+
+BenchmarkProgram jdrag::benchmarks::buildDb() {
+  ProgramBuilder PB;
+  MiniJDK J = MiniJDK::build(PB);
+
+  // class Record { int key; char[] payload; }
+  ClassBuilder Rec = PB.beginClass("Record", PB.objectClass());
+  FieldId RKey = Rec.addField("key", ValueKind::Int, Visibility::Package);
+  FieldId RPayload =
+      Rec.addField("payload", ValueKind::Ref, Visibility::Package);
+  MethodBuilder RecCtor = Rec.beginMethod(
+      "<init>", {ValueKind::Int, ValueKind::Int}, ValueKind::Void);
+  {
+    std::uint32_t Arr = RecCtor.newLocal(ValueKind::Ref);
+    RecCtor.stmt();
+    RecCtor.aload(0).invokespecial(PB.objectCtor());
+    RecCtor.stmt();
+    RecCtor.aload(0).iload(1).putfield(RKey);
+    RecCtor.iload(2).newarray(ArrayKind::Char).astore(Arr);
+    RecCtor.aload(Arr).iconst(0).iload(1).castore();
+    RecCtor.aload(0).aload(Arr).putfield(RPayload);
+    RecCtor.ret();
+    RecCtor.finish();
+  }
+
+  ClassBuilder Db = PB.beginClass("Db", PB.objectClass());
+  FieldId Repo = Db.addField("repo", ValueKind::Ref, Visibility::Private,
+                             true);
+
+  // static void build(int n): records with size-skewed payloads
+  // (16..~1040 chars, xorshift-mixed).
+  MethodBuilder Build = Db.beginMethod("build", {ValueKind::Int},
+                                       ValueKind::Void, /*IsStatic=*/true);
+  {
+    std::uint32_t I = Build.newLocal(ValueKind::Int);
+    std::uint32_t Len = Build.newLocal(ValueKind::Int);
+    Label Loop = Build.newLabel(), Done = Build.newLabel();
+    Build.stmt();
+    Build.iload(0).newarray(ArrayKind::Ref).putstatic(Repo);
+    Build.stmt();
+    Build.iconst(0).istore(I);
+    Build.bind(Loop);
+    Build.iload(I).iload(0).ifICmpGe(Done);
+    //   len = 16 + ((i * 2654435761) >> 8) & 1023
+    Build.iload(I).iconst(2654435761LL).imul().iconst(8).ishr();
+    Build.iconst(1023).iand_().iconst(16).iadd().istore(Len);
+    Build.getstatic(Repo).iload(I);
+    Build.new_(Rec.id()).dup().iload(I).iload(Len)
+        .invokespecial(RecCtor.id());
+    Build.aastore();
+    Build.iload(I).iconst(1).iadd().istore(I);
+    Build.goto_(Loop);
+    Build.bind(Done);
+    Build.ret();
+    Build.finish();
+  }
+
+  // static int runQuery(int q, int n): skewed record selection; reads
+  // the record (a use spread over the run). Quadratic skew towards low
+  // indices: popular records stay queried all run long, unpopular ones
+  // effectively only early -- the per-record drag varies wildly.
+  MethodBuilder Query2 = Db.beginMethod(
+      "runQuery", {ValueKind::Int, ValueKind::Int}, ValueKind::Int,
+      /*IsStatic=*/true);
+  {
+    std::uint32_t Idx = Query2.newLocal(ValueKind::Int);
+    std::uint32_t R = Query2.newLocal(ValueKind::Ref);
+    std::uint32_t H = Query2.newLocal(ValueKind::Int);
+    Label NonNeg = Query2.newLabel();
+    Query2.stmt();
+    Query2.iload(0).iconst(1103515245).imul().iconst(12345).iadd();
+    Query2.iconst(16).ishr().istore(H);
+    Query2.iload(H).iload(1).irem().istore(Idx);
+    Query2.iload(Idx).ifGeZ(NonNeg);
+    Query2.iload(Idx).ineg().istore(Idx);
+    Query2.bind(NonNeg);
+    // quadratic skew: idx = idx * idx / n
+    Query2.iload(Idx).iload(Idx).imul().iload(1).idiv().istore(Idx);
+    Query2.getstatic(Repo).iload(Idx).aaload().astore(R);
+    Query2.aload(R).getfield(RKey);
+    Query2.aload(R).getfield(RPayload).iconst(0).caload().iadd();
+    Query2.aload(R).getfield(RPayload).arraylength().iadd();
+    Query2.iret();
+    Query2.finish();
+  }
+
+  MethodBuilder Main =
+      Db.beginMethod("main", {}, ValueKind::Void, /*IsStatic=*/true);
+  {
+    std::uint32_t N = Main.newLocal(ValueKind::Int);
+    std::uint32_t Q = Main.newLocal(ValueKind::Int);
+    std::uint32_t I = Main.newLocal(ValueKind::Int);
+    std::uint32_t Acc = Main.newLocal(ValueKind::Int);
+    std::uint32_t Tmp = Main.newLocal(ValueKind::Ref);
+    Main.stmt();
+    Main.iconst(0).invokestatic(J.Read).istore(N);
+    Main.iconst(1).invokestatic(J.Read).istore(Q);
+    Main.iload(N).invokestatic(Build.id());
+    Main.iconst(0).istore(I).iconst(0).istore(Acc);
+    Label Loop = Main.newLabel(), Done = Main.newLabel();
+    Main.bind(Loop);
+    Main.iload(I).iload(Q).ifICmpGe(Done);
+    Main.iload(Acc).iload(I).iload(N).invokestatic(Query2.id()).iadd()
+        .istore(Acc);
+    // result buffer (real work: written and read back)
+    Main.iconst(126).newarray(ArrayKind::Int).astore(Tmp);
+    Main.aload(Tmp).iconst(0).iload(Acc).iastore();
+    Main.aload(Tmp).iconst(0).iaload().istore(Acc);
+    Main.iload(I).iconst(1).iadd().istore(I);
+    Main.goto_(Loop);
+    Main.bind(Done);
+    Main.stmt();
+    Main.iload(Acc).invokestatic(J.Emit);
+    Main.ret();
+    Main.finish();
+  }
+  PB.setMain(Main.id());
+
+  BenchmarkProgram B;
+  B.Name = "db";
+  B.Description = "database simulation";
+  B.Prog = PB.finish();
+  std::string Err;
+  if (!verifyProgram(B.Prog, &Err))
+    reportFatalError("db fails verification: " + Err);
+  // 1500 records (~0.9 MB skewed payloads) + 5000 queries (~2.7 MB
+  // clock).
+  B.DefaultInputs = {1500, 5000};
+  B.AlternateInputs = {1000, 7000};
+  B.ExpectedRewrites = "none (pattern 4, high variance): paper reports no "
+                       "space savings for db";
+  return B;
+}

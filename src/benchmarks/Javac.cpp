@@ -1,0 +1,180 @@
+//===- benchmarks/Javac.cpp - Java compiler (SPECjvm98 _213_javac) --------===//
+//
+// Paper Table 5 for javac: code removal, protected reference, 21.8% drag
+// saving, expected analysis: indirect usage. Section 5.1: "In a class in
+// javac a string is allocated and assigned to an instance field. The
+// field is never used except for assigning its value to other reference
+// variables. These variables are never used; thus, the allocation of the
+// string can be saved."
+//
+// Model: per compilation unit, the parser builds a small AST (live
+// churn) and attaches a doc-comment String to the unit's protected
+// field; mirrorDoc() copies the field into a local that is never
+// dereferenced. Type checking walks the AST and emits a checksum.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "benchmarks/MiniJDK.h"
+
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+
+using namespace jdrag;
+using namespace jdrag::benchmarks;
+using namespace jdrag::ir;
+
+BenchmarkProgram jdrag::benchmarks::buildJavac() {
+  ProgramBuilder PB;
+  MiniJDK J = MiniJDK::build(PB);
+
+  // class AstNode { int op; AstNode left, right; }
+  ClassBuilder Ast = PB.beginClass("AstNode", PB.objectClass());
+  FieldId AOp = Ast.addField("op", ValueKind::Int, Visibility::Package);
+  FieldId ALeft = Ast.addField("left", ValueKind::Ref, Visibility::Package);
+  Ast.addField("right", ValueKind::Ref, Visibility::Package);
+  MethodBuilder AstCtor =
+      Ast.beginMethod("<init>", {ValueKind::Int}, ValueKind::Void);
+  AstCtor.stmt();
+  AstCtor.aload(0).invokespecial(PB.objectCtor());
+  AstCtor.aload(0).iload(1).putfield(AOp);
+  AstCtor.ret();
+  AstCtor.finish();
+
+  // class Unit { AstNode root; protected String doc; }
+  ClassBuilder Unit = PB.beginClass("Unit", PB.objectClass());
+  FieldId URoot = Unit.addField("root", ValueKind::Ref, Visibility::Package);
+  FieldId UDoc = Unit.addField("doc", ValueKind::Ref, Visibility::Protected);
+  MethodBuilder UnitCtor = Unit.beginMethod("<init>", {}, ValueKind::Void);
+  UnitCtor.stmt();
+  UnitCtor.aload(0).invokespecial(PB.objectCtor());
+  UnitCtor.ret();
+  UnitCtor.finish();
+
+  ClassBuilder Jc = PB.beginClass("Javac", PB.objectClass());
+
+  // static ref parse(int unitId, int docEvery): builds a chain of AST
+  // nodes; every docEvery-th unit gets the never-really-used doc string
+  // (alternate inputs carry fewer doc comments, so the removal saves
+  // less -- the paper's Table 3 effect for javac).
+  MethodBuilder Parse = Jc.beginMethod("parse",
+                                       {ValueKind::Int, ValueKind::Int},
+                                       ValueKind::Ref, /*IsStatic=*/true);
+  {
+    std::uint32_t U = Parse.newLocal(ValueKind::Ref);
+    std::uint32_t Cur = Parse.newLocal(ValueKind::Ref);
+    std::uint32_t I = Parse.newLocal(ValueKind::Int);
+    Parse.stmt();
+    Parse.new_(Unit.id()).dup().invokespecial(UnitCtor.id()).astore(U);
+    // if (unitId % docEvery == 0) u.doc = new String(128, unitId);
+    Label NoDoc = Parse.newLabel();
+    Parse.stmt();
+    Parse.iload(0).iload(1).irem().ifNeZ(NoDoc);
+    Parse.aload(U);
+    Parse.new_(J.String).dup().iconst(128).iload(0)
+        .invokespecial(J.StringCtor);
+    Parse.putfield(UDoc);
+    Parse.bind(NoDoc);
+    // u.root = chain of 24 nodes.
+    Parse.stmt();
+    Parse.new_(Ast.id()).dup().iload(0).invokespecial(AstCtor.id())
+        .astore(Cur);
+    Parse.aload(U).aload(Cur).putfield(URoot);
+    Label Loop = Parse.newLabel(), Done = Parse.newLabel();
+    Parse.iconst(0).istore(I);
+    Parse.bind(Loop);
+    Parse.iload(I).iconst(24).ifICmpGe(Done);
+    Parse.aload(Cur);
+    Parse.new_(Ast.id()).dup().iload(I).invokespecial(AstCtor.id());
+    Parse.putfield(ALeft);
+    Parse.aload(Cur).getfield(ALeft).astore(Cur);
+    Parse.iload(I).iconst(1).iadd().istore(I);
+    Parse.goto_(Loop);
+    Parse.bind(Done);
+    Parse.aload(U).aret();
+    Parse.finish();
+  }
+
+  // static void mirrorDoc(ref unit): the indirect-usage pattern -- the
+  // field is read only into a local that is never dereferenced.
+  MethodBuilder Mirror = Jc.beginMethod("mirrorDoc", {ValueKind::Ref},
+                                        ValueKind::Void, /*IsStatic=*/true);
+  {
+    std::uint32_t Copy = Mirror.newLocal(ValueKind::Ref);
+    Mirror.stmt();
+    Mirror.aload(0).getfield(UDoc).astore(Copy);
+    Mirror.ret();
+    Mirror.finish();
+    (void)Copy;
+  }
+
+  // static int check(ref unit): walks the AST chain (real uses).
+  MethodBuilder Check = Jc.beginMethod("check", {ValueKind::Ref},
+                                       ValueKind::Int, /*IsStatic=*/true);
+  {
+    std::uint32_t Cur = Check.newLocal(ValueKind::Ref);
+    std::uint32_t Acc = Check.newLocal(ValueKind::Int);
+    Label Loop = Check.newLabel(), Done = Check.newLabel();
+    Check.stmt();
+    Check.aload(0).getfield(URoot).astore(Cur);
+    Check.iconst(0).istore(Acc);
+    Check.bind(Loop);
+    Check.aload(Cur).ifNull(Done);
+    Check.iload(Acc).aload(Cur).getfield(AOp).iadd().istore(Acc);
+    Check.aload(Cur).getfield(ALeft).astore(Cur);
+    Check.goto_(Loop);
+    Check.bind(Done);
+    Check.iload(Acc).iret();
+    Check.finish();
+  }
+
+  // main: units = input0; per unit parse -> mirrorDoc -> check; plus a
+  // small temp to advance the clock.
+  MethodBuilder Main =
+      Jc.beginMethod("main", {}, ValueKind::Void, /*IsStatic=*/true);
+  {
+    std::uint32_t Units = Main.newLocal(ValueKind::Int);
+    std::uint32_t D = Main.newLocal(ValueKind::Int);
+    std::uint32_t Acc = Main.newLocal(ValueKind::Int);
+    std::uint32_t U = Main.newLocal(ValueKind::Ref);
+    std::uint32_t Tmp = Main.newLocal(ValueKind::Ref);
+    Main.stmt();
+    Main.iconst(0).invokestatic(J.Read).istore(Units);
+    Main.iconst(0).istore(D).iconst(0).istore(Acc);
+    Label Loop = Main.newLabel(), Done = Main.newLabel();
+    Main.bind(Loop);
+    Main.iload(D).iload(Units).ifICmpGe(Done);
+    Main.stmt();
+    Main.iload(D).iconst(1).invokestatic(J.Read).invokestatic(Parse.id())
+        .astore(U);
+    Main.aload(U).invokestatic(Mirror.id());
+    Main.iload(Acc).aload(U).invokestatic(Check.id()).iadd().istore(Acc);
+    Main.iconst(126).newarray(ArrayKind::Int).astore(Tmp);
+    Main.aload(Tmp).iconst(0).iload(Acc).iastore();
+    Main.aload(Tmp).iconst(0).iaload().istore(Acc);
+    Main.iload(D).iconst(1).iadd().istore(D);
+    Main.goto_(Loop);
+    Main.bind(Done);
+    Main.stmt();
+    Main.iload(Acc).invokestatic(J.Emit);
+    Main.ret();
+    Main.finish();
+  }
+  PB.setMain(Main.id());
+
+  BenchmarkProgram B;
+  B.Name = "javac";
+  B.Description = "java compiler";
+  B.Prog = PB.finish();
+  std::string Err;
+  if (!verifyProgram(B.Prog, &Err))
+    reportFatalError("javac fails verification: " + Err);
+  // 1200 units, every unit with a ~280 B dead doc string; the alternate
+  // input documents only every 8th unit, so the removal saves less
+  // (paper Table 3: javac 3.5% vs 7.71%).
+  B.DefaultInputs = {1200, 1};
+  B.AlternateInputs = {1700, 8};
+  B.ExpectedRewrites =
+      "code removal (protected field, indirect usage), paper: 21.8%";
+  return B;
+}

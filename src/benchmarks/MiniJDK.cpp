@@ -1,0 +1,315 @@
+//===- benchmarks/MiniJDK.cpp ---------------------------------------------===//
+
+#include "benchmarks/MiniJDK.h"
+
+using namespace jdrag;
+using namespace jdrag::benchmarks;
+using namespace jdrag::ir;
+
+MiniJDK MiniJDK::build(ProgramBuilder &PB) {
+  MiniJDK J;
+
+  // Sys natives.
+  {
+    auto EmitN = PB.declareNative("jdrag.emitResult", {ValueKind::Int},
+                                  ValueKind::Void);
+    auto EmitDN = PB.declareNative("jdrag.emitResultD", {ValueKind::Double},
+                                   ValueKind::Void);
+    auto ReadN = PB.declareNative("jdrag.readInput", {ValueKind::Int},
+                                  ValueKind::Int);
+    auto TouchN = PB.declareNative("jdrag.touch", {ValueKind::Ref},
+                                   ValueKind::Void);
+    auto CountN = PB.declareNative("jdrag.inputCount", {}, ValueKind::Int);
+    ClassBuilder Sys = PB.beginClass("Sys", PB.objectClass(),
+                                     /*IsLibrary=*/true);
+    J.Emit = Sys.addNativeMethod("emit", EmitN);
+    J.EmitD = Sys.addNativeMethod("emitD", EmitDN);
+    J.Read = Sys.addNativeMethod("read", ReadN);
+    J.Touch = Sys.addNativeMethod("touch", TouchN);
+    J.InputCount = Sys.addNativeMethod("inputCount", CountN);
+  }
+
+  // java/lang/String.
+  {
+    ClassBuilder C = PB.beginClass("java/lang/String", PB.objectClass(),
+                                   /*IsLibrary=*/true);
+    J.String = C.id();
+    J.StringChars =
+        C.addField("chars", ValueKind::Ref, Visibility::Private);
+
+    // <init>(len, seed): fill a fresh array via a local, then publish it
+    // (keeps the constructor visibly pure for the effect analysis).
+    MethodBuilder Ctor = C.beginMethod(
+        "<init>", {ValueKind::Int, ValueKind::Int}, ValueKind::Void);
+    {
+      std::uint32_t Arr = Ctor.newLocal(ValueKind::Ref);
+      std::uint32_t I = Ctor.newLocal(ValueKind::Int);
+      Ctor.stmt();
+      Ctor.aload(0).invokespecial(PB.objectCtor());
+      Ctor.stmt();
+      Ctor.iload(1).newarray(ArrayKind::Char).astore(Arr);
+      Label Loop = Ctor.newLabel(), Done = Ctor.newLabel();
+      Ctor.stmt();
+      Ctor.iconst(0).istore(I);
+      Ctor.bind(Loop);
+      Ctor.iload(I).iload(1).ifICmpGe(Done);
+      Ctor.aload(Arr).iload(I).iload(2).iload(I).iadd().castore();
+      Ctor.iload(I).iconst(1).iadd().istore(I);
+      Ctor.goto_(Loop);
+      Ctor.bind(Done);
+      Ctor.aload(0).aload(Arr).putfield(J.StringChars);
+      Ctor.ret();
+      Ctor.finish();
+      J.StringCtor = Ctor.id();
+    }
+
+    MethodBuilder Len = C.beginMethod("length", {}, ValueKind::Int);
+    Len.stmt();
+    Len.aload(0).getfield(J.StringChars).arraylength().iret();
+    Len.finish();
+    J.StringLength = Len.id();
+
+    MethodBuilder At =
+        C.beginMethod("charAt", {ValueKind::Int}, ValueKind::Int);
+    At.stmt();
+    At.aload(0).getfield(J.StringChars).iload(1).caload().iret();
+    At.finish();
+    J.StringCharAt = At.id();
+
+    // hash(): sum of chars (a real walk over the array).
+    MethodBuilder Hash = C.beginMethod("hash", {}, ValueKind::Int);
+    {
+      std::uint32_t I = Hash.newLocal(ValueKind::Int);
+      std::uint32_t H = Hash.newLocal(ValueKind::Int);
+      Label Loop = Hash.newLabel(), Done = Hash.newLabel();
+      Hash.stmt();
+      Hash.iconst(0).istore(I).iconst(0).istore(H);
+      Hash.bind(Loop);
+      Hash.iload(I).aload(0).getfield(J.StringChars).arraylength();
+      Hash.ifICmpGe(Done);
+      Hash.iload(H).iconst(31).imul();
+      Hash.aload(0).getfield(J.StringChars).iload(I).caload();
+      Hash.iadd().istore(H);
+      Hash.iload(I).iconst(1).iadd().istore(I);
+      Hash.goto_(Loop);
+      Hash.bind(Done);
+      Hash.iload(H).iret();
+      Hash.finish();
+      J.StringHash = Hash.id();
+    }
+  }
+
+  // java/util/Vector.
+  {
+    ClassBuilder C = PB.beginClass("java/util/Vector", PB.objectClass(),
+                                   /*IsLibrary=*/true);
+    J.Vector = C.id();
+    J.VectorElems = C.addField("elems", ValueKind::Ref, Visibility::Private);
+    J.VectorSize = C.addField("size", ValueKind::Int, Visibility::Private);
+
+    MethodBuilder Ctor = C.beginMethod("<init>", {}, ValueKind::Void);
+    Ctor.stmt();
+    Ctor.aload(0).invokespecial(PB.objectCtor());
+    Ctor.stmt();
+    Ctor.aload(0).iconst(64).newarray(ArrayKind::Ref).putfield(J.VectorElems);
+    Ctor.aload(0).iconst(0).putfield(J.VectorSize);
+    Ctor.ret();
+    Ctor.finish();
+    J.VectorCtor = Ctor.id();
+
+    MethodBuilder Add = C.beginMethod("add", {ValueKind::Ref},
+                                      ValueKind::Void);
+    Add.stmt();
+    Add.aload(0).getfield(J.VectorElems);
+    Add.aload(0).getfield(J.VectorSize);
+    Add.aload(1).aastore();
+    Add.aload(0).aload(0).getfield(J.VectorSize).iconst(1).iadd();
+    Add.putfield(J.VectorSize);
+    Add.ret();
+    Add.finish();
+    J.VectorAdd = Add.id();
+
+    MethodBuilder Get =
+        C.beginMethod("get", {ValueKind::Int}, ValueKind::Ref);
+    Get.stmt();
+    Get.aload(0).getfield(J.VectorElems).iload(1).aaload().aret();
+    Get.finish();
+    J.VectorGet = Get.id();
+
+    MethodBuilder Size = C.beginMethod("size", {}, ValueKind::Int);
+    Size.stmt();
+    Size.aload(0).getfield(J.VectorSize).iret();
+    Size.finish();
+    J.VectorGetSize = Size.id();
+
+    // removeLast: v = elems[size-1]; elems[size-1] = null (a *correct*
+    // library container nulls the vacated slot); size--; return v.
+    MethodBuilder Rem = C.beginMethod("removeLast", {}, ValueKind::Ref);
+    {
+      std::uint32_t V = Rem.newLocal(ValueKind::Ref);
+      Rem.stmt();
+      Rem.aload(0).getfield(J.VectorElems);
+      Rem.aload(0).getfield(J.VectorSize).iconst(1).isub();
+      Rem.aaload().astore(V);
+      Rem.aload(0).getfield(J.VectorElems);
+      Rem.aload(0).getfield(J.VectorSize).iconst(1).isub();
+      Rem.aconstNull().aastore();
+      Rem.aload(0).aload(0).getfield(J.VectorSize).iconst(1).isub();
+      Rem.putfield(J.VectorSize);
+      Rem.aload(V).aret();
+      Rem.finish();
+      J.VectorRemoveLast = Rem.id();
+    }
+  }
+
+  // java/util/Hashtable.
+  {
+    ClassBuilder C = PB.beginClass("java/util/Hashtable", PB.objectClass(),
+                                   /*IsLibrary=*/true);
+    J.Hashtable = C.id();
+    J.HashtableKeys = C.addField("keys", ValueKind::Ref, Visibility::Private);
+    J.HashtableVals = C.addField("vals", ValueKind::Ref, Visibility::Private);
+    J.HashtableCount =
+        C.addField("count", ValueKind::Int, Visibility::Private);
+
+    MethodBuilder Ctor = C.beginMethod("<init>", {}, ValueKind::Void);
+    Ctor.stmt();
+    Ctor.aload(0).invokespecial(PB.objectCtor());
+    Ctor.stmt();
+    Ctor.aload(0).iconst(64).newarray(ArrayKind::Int).putfield(
+        J.HashtableKeys);
+    Ctor.aload(0).iconst(64).newarray(ArrayKind::Ref).putfield(
+        J.HashtableVals);
+    Ctor.aload(0).iconst(0).putfield(J.HashtableCount);
+    Ctor.ret();
+    Ctor.finish();
+    J.HashtableCtor = Ctor.id();
+
+    // put(key, val): linear probe; keys store key+1 so 0 means empty.
+    MethodBuilder Put = C.beginMethod(
+        "put", {ValueKind::Int, ValueKind::Ref}, ValueKind::Void);
+    {
+      std::uint32_t Idx = Put.newLocal(ValueKind::Int);
+      Label Probe = Put.newLabel(), Store = Put.newLabel();
+      Put.stmt();
+      Put.iload(1).iconst(63).iand_().istore(Idx);
+      Put.bind(Probe);
+      // empty or same key -> store here
+      Put.aload(0).getfield(J.HashtableKeys).iload(Idx).iaload();
+      Put.ifEqZ(Store);
+      Put.aload(0).getfield(J.HashtableKeys).iload(Idx).iaload();
+      Put.iload(1).iconst(1).iadd().ifICmpEq(Store);
+      Put.iload(Idx).iconst(1).iadd().iconst(63).iand_().istore(Idx);
+      Put.goto_(Probe);
+      Put.bind(Store);
+      Put.aload(0).getfield(J.HashtableKeys).iload(Idx);
+      Put.iload(1).iconst(1).iadd().iastore();
+      Put.aload(0).getfield(J.HashtableVals).iload(Idx).aload(2).aastore();
+      Put.aload(0).aload(0).getfield(J.HashtableCount).iconst(1).iadd();
+      Put.putfield(J.HashtableCount);
+      Put.ret();
+      Put.finish();
+      J.HashtablePut = Put.id();
+    }
+
+    // get(key): linear probe; null if absent.
+    MethodBuilder Get =
+        C.beginMethod("get", {ValueKind::Int}, ValueKind::Ref);
+    {
+      std::uint32_t Idx = Get.newLocal(ValueKind::Int);
+      Label Probe = Get.newLabel(), Miss = Get.newLabel(),
+            Hit = Get.newLabel();
+      Get.stmt();
+      Get.iload(1).iconst(63).iand_().istore(Idx);
+      Get.bind(Probe);
+      Get.aload(0).getfield(J.HashtableKeys).iload(Idx).iaload();
+      Get.ifEqZ(Miss);
+      Get.aload(0).getfield(J.HashtableKeys).iload(Idx).iaload();
+      Get.iload(1).iconst(1).iadd().ifICmpEq(Hit);
+      Get.iload(Idx).iconst(1).iadd().iconst(63).iand_().istore(Idx);
+      Get.goto_(Probe);
+      Get.bind(Hit);
+      Get.aload(0).getfield(J.HashtableVals).iload(Idx).aaload().aret();
+      Get.bind(Miss);
+      Get.aconstNull().aret();
+      Get.finish();
+      J.HashtableGet = Get.id();
+    }
+
+    // containsKey(key) -> 0/1.
+    MethodBuilder Has =
+        C.beginMethod("containsKey", {ValueKind::Int}, ValueKind::Int);
+    {
+      Label Miss = Has.newLabel();
+      Has.stmt();
+      Has.aload(0).iload(1).invokevirtual(J.HashtableGet).ifNull(Miss);
+      Has.iconst(1).iret();
+      Has.bind(Miss);
+      Has.iconst(0).iret();
+      Has.finish();
+      J.HashtableContains = Has.id();
+    }
+  }
+
+  // java/util/Locale.
+  {
+    ClassBuilder C = PB.beginClass("java/util/Locale", PB.objectClass(),
+                                   /*IsLibrary=*/true);
+    J.Locale = C.id();
+    J.LocaleName = C.addField("name", ValueKind::Ref, Visibility::Private);
+    static const char *Names[] = {"EN", "FR", "DE", "ES",
+                                  "IT", "JA", "KO", "ZH"};
+    for (const char *N : Names)
+      J.LocaleStatics.push_back(C.addField(N, ValueKind::Ref,
+                                           Visibility::Public,
+                                           /*IsStatic=*/true,
+                                           /*IsFinal=*/true));
+
+    MethodBuilder Ctor =
+        C.beginMethod("<init>", {ValueKind::Int}, ValueKind::Void);
+    {
+      std::uint32_t Arr = Ctor.newLocal(ValueKind::Ref);
+      Ctor.stmt();
+      Ctor.aload(0).invokespecial(PB.objectCtor());
+      Ctor.stmt();
+      Ctor.iconst(16).newarray(ArrayKind::Char).astore(Arr);
+      Ctor.aload(Arr).iconst(0).iload(1).castore();
+      Ctor.aload(0).aload(Arr).putfield(J.LocaleName);
+      Ctor.ret();
+      Ctor.finish();
+      J.LocaleCtor = Ctor.id();
+    }
+
+    MethodBuilder Tag = C.beginMethod("tag", {}, ValueKind::Int);
+    Tag.stmt();
+    Tag.aload(0).getfield(J.LocaleName).iconst(0).caload().iret();
+    Tag.finish();
+    J.LocaleTag = Tag.id();
+
+    // In the JDK "a static variable is declared for every possible
+    // locale. These variables are assigned with newly allocated locale
+    // objects" (paper section 5.1). Eight distinct allocation sites.
+    MethodBuilder Init = C.beginMethod("initLocales", {}, ValueKind::Void,
+                                       /*IsStatic=*/true);
+    for (std::size_t I = 0; I != J.LocaleStatics.size(); ++I) {
+      Init.stmt();
+      Init.new_(C.id())
+          .dup()
+          .iconst(static_cast<std::int64_t>(65 + I))
+          .invokespecial(J.LocaleCtor)
+          .putstatic(J.LocaleStatics[I]);
+    }
+    Init.ret();
+    Init.finish();
+    J.InitLocales = Init.id();
+
+    MethodBuilder Def = C.beginMethod("getDefault", {}, ValueKind::Ref,
+                                      /*IsStatic=*/true);
+    Def.stmt();
+    Def.getstatic(J.LocaleStatics[0]).aret();
+    Def.finish();
+    J.LocaleDefault = Def.id();
+  }
+
+  return J;
+}

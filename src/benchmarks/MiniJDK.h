@@ -1,0 +1,70 @@
+//===- benchmarks/MiniJDK.h - Library classes for workloads -----*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature JDK shared by the nine benchmark programs: String (a char
+/// array wrapper), Vector and Hashtable (the containers jack's tokens
+/// eagerly allocate), and Locale (whose per-locale static instances are
+/// the JDK-rewriting opportunity the paper demonstrates on jess). All
+/// classes are flagged as library code so the anchor-allocation-site walk
+/// climbs out of them into application frames, exactly as the paper's
+/// tool walks out of java.util.String into application code.
+///
+/// The VM's standard natives are exposed as static methods of a "Sys"
+/// class (emit/read/touch/inputCount).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_BENCHMARKS_MINIJDK_H
+#define JDRAG_BENCHMARKS_MINIJDK_H
+
+#include "ir/ProgramBuilder.h"
+
+namespace jdrag::benchmarks {
+
+/// Ids of everything the mini JDK defines.
+struct MiniJDK {
+  // Sys natives.
+  ir::MethodId Emit, EmitD, Read, Touch, InputCount;
+
+  // java/lang/String: wraps a char array.
+  ir::ClassId String;
+  ir::FieldId StringChars;
+  ir::MethodId StringCtor;   ///< <init>(len, seed): fills chars
+  ir::MethodId StringLength; ///< length() -> int
+  ir::MethodId StringCharAt; ///< charAt(i) -> int
+  ir::MethodId StringHash;   ///< hash() -> int (walks all chars)
+
+  // java/util/Vector: fixed-capacity ref vector (capacity 64). Unlike
+  // jess's flawed container, removeLast() nulls the vacated slot.
+  ir::ClassId Vector;
+  ir::FieldId VectorElems, VectorSize;
+  ir::MethodId VectorCtor; ///< <init>(): state-independent
+  ir::MethodId VectorAdd, VectorGet, VectorGetSize, VectorRemoveLast;
+
+  // java/util/Hashtable: open addressing, int keys, capacity 64.
+  ir::ClassId Hashtable;
+  ir::FieldId HashtableKeys, HashtableVals, HashtableCount;
+  ir::MethodId HashtableCtor; ///< <init>(): state-independent
+  ir::MethodId HashtablePut, HashtableGet, HashtableContains;
+
+  // java/util/Locale: eight per-locale singletons in public static final
+  // fields, created by initLocales(); most are never used.
+  ir::ClassId Locale;
+  ir::FieldId LocaleName;
+  std::vector<ir::FieldId> LocaleStatics; ///< EN, FR, DE, ES, IT, JA, KO, ZH
+  ir::MethodId LocaleCtor;   ///< <init>(id)
+  ir::MethodId LocaleTag;    ///< tag() -> int: first char of the name
+  ir::MethodId InitLocales;  ///< static: populates the statics
+  ir::MethodId LocaleDefault;///< static: returns EN
+
+  /// Builds the mini JDK into \p PB (natives + classes).
+  static MiniJDK build(ir::ProgramBuilder &PB);
+};
+
+} // namespace jdrag::benchmarks
+
+#endif // JDRAG_BENCHMARKS_MINIJDK_H

@@ -1,0 +1,100 @@
+//===- benchmarks/Runner.cpp - Shared run/optimize helpers ----------------===//
+
+#include "benchmarks/Benchmarks.h"
+
+#include "analysis/DragReport.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+#include "vm/VirtualMachine.h"
+
+#include <chrono>
+
+using namespace jdrag;
+using namespace jdrag::benchmarks;
+using namespace jdrag::vm;
+
+std::vector<BenchmarkProgram> jdrag::benchmarks::buildAll() {
+  std::vector<BenchmarkProgram> All;
+  All.push_back(buildJavac());
+  All.push_back(buildDb());
+  All.push_back(buildJack());
+  All.push_back(buildRaytrace());
+  All.push_back(buildJess());
+  All.push_back(buildMc());
+  All.push_back(buildEuler());
+  All.push_back(buildJuru());
+  All.push_back(buildAnalyzer());
+  return All;
+}
+
+RunResult jdrag::benchmarks::profiledRun(const ir::Program &Prog,
+                                         const std::vector<std::int64_t> &In,
+                                         std::uint64_t DeepGCIntervalBytes,
+                                         profiler::ProfilerConfig PC) {
+  profiler::DragProfiler Prof(Prog, std::move(PC));
+  VMOptions Opts;
+  Opts.DeepGCIntervalBytes = DeepGCIntervalBytes;
+  Opts.Observer = &Prof;
+  VirtualMachine VM(Prog, Opts);
+  VM.setInputs(In);
+  std::string Err;
+  if (VM.run(&Err) != Interpreter::Status::Ok)
+    reportFatalError("benchmark run failed: " + Err);
+  RunResult R;
+  R.Outputs = VM.outputs();
+  R.Steps = VM.interpreter().steps();
+  R.GCs = VM.heap().gcCount();
+  R.Log = Prof.takeLog();
+  return R;
+}
+
+PlainRunResult jdrag::benchmarks::plainRun(const ir::Program &Prog,
+                                           const std::vector<std::int64_t> &In,
+                                           std::uint64_t MaxLiveBytes) {
+  VMOptions Opts;
+  if (MaxLiveBytes)
+    Opts.MaxLiveBytes = MaxLiveBytes;
+  VirtualMachine VM(Prog, Opts);
+  VM.setInputs(In);
+  std::string Err;
+  auto T0 = std::chrono::steady_clock::now();
+  if (VM.run(&Err) != Interpreter::Status::Ok)
+    reportFatalError("benchmark run failed: " + Err);
+  auto T1 = std::chrono::steady_clock::now();
+  PlainRunResult R;
+  R.Outputs = VM.outputs();
+  R.WallSeconds = std::chrono::duration<double>(T1 - T0).count();
+  R.GCs = VM.heap().gcCount();
+  R.Steps = VM.interpreter().steps();
+  return R;
+}
+
+OptimizationOutcome jdrag::benchmarks::optimizeBenchmark(
+    const BenchmarkProgram &B, unsigned Cycles,
+    transform::OptimizerOptions Opts) {
+  OptimizationOutcome Out;
+  Out.OriginalRun = profiledRun(B.Prog, B.DefaultInputs);
+  Out.Revised = B.Prog; // copy; transformations mutate the copy
+
+  for (unsigned Cycle = 0; Cycle != Cycles; ++Cycle) {
+    RunResult Current = profiledRun(Out.Revised, B.DefaultInputs);
+    analysis::DragReport Report(Out.Revised, Current.Log);
+    auto Decisions = transform::autoOptimize(Out.Revised, Report, Opts);
+    std::string Err;
+    if (!ir::verifyProgram(Out.Revised, &Err))
+      reportFatalError("revised program fails verification: " + Err);
+    bool AnyApplied = false;
+    for (const auto &D : Decisions)
+      AnyApplied |= D.Applied;
+    Out.Decisions.insert(Out.Decisions.end(), Decisions.begin(),
+                         Decisions.end());
+    if (!AnyApplied)
+      break; // fixpoint: nothing more to do
+  }
+
+  Out.RevisedRun = profiledRun(Out.Revised, B.DefaultInputs);
+  if (Out.RevisedRun.Outputs != Out.OriginalRun.Outputs)
+    reportFatalError("revised " + B.Name +
+                     " produces different results than the original");
+  return Out;
+}

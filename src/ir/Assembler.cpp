@@ -1,0 +1,688 @@
+//===- ir/Assembler.cpp ---------------------------------------------------===//
+
+#include "ir/Assembler.h"
+
+#include "ir/ProgramBuilder.h"
+#include "ir/Verifier.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+
+namespace {
+
+struct Line {
+  int No = 0;
+  std::vector<std::string> Tok;
+};
+
+/// Tokenizes: `;` comments, whitespace separation, and '(' ')' ',' as
+/// standalone tokens.
+std::vector<Line> tokenize(const std::string &Source) {
+  std::vector<Line> Lines;
+  int No = 0;
+  std::size_t Pos = 0;
+  while (Pos <= Source.size()) {
+    std::size_t Eol = Source.find('\n', Pos);
+    std::string Text = Source.substr(
+        Pos, Eol == std::string::npos ? std::string::npos : Eol - Pos);
+    ++No;
+    Pos = Eol == std::string::npos ? Source.size() + 1 : Eol + 1;
+
+    std::size_t Comment = Text.find(';');
+    if (Comment != std::string::npos)
+      Text.resize(Comment);
+
+    Line L;
+    L.No = No;
+    std::string Cur;
+    auto Flush = [&] {
+      if (!Cur.empty()) {
+        L.Tok.push_back(Cur);
+        Cur.clear();
+      }
+    };
+    for (char C : Text) {
+      if (C == ' ' || C == '\t' || C == '\r') {
+        Flush();
+      } else if (C == '(' || C == ')' || C == ',') {
+        Flush();
+        L.Tok.push_back(std::string(1, C));
+      } else {
+        Cur += C;
+      }
+    }
+    Flush();
+    if (!L.Tok.empty())
+      Lines.push_back(std::move(L));
+  }
+  return Lines;
+}
+
+std::optional<ValueKind> parseKind(const std::string &Tok) {
+  if (Tok == "int")
+    return ValueKind::Int;
+  if (Tok == "double")
+    return ValueKind::Double;
+  if (Tok == "ref")
+    return ValueKind::Ref;
+  if (Tok == "void")
+    return ValueKind::Void;
+  return std::nullopt;
+}
+
+std::optional<ArrayKind> parseArrayKind(const std::string &Tok) {
+  if (Tok == "char")
+    return ArrayKind::Char;
+  if (Tok == "int")
+    return ArrayKind::Int;
+  if (Tok == "double")
+    return ArrayKind::Double;
+  if (Tok == "ref")
+    return ArrayKind::Ref;
+  return std::nullopt;
+}
+
+std::optional<Visibility> parseVisibility(const std::string &Tok) {
+  if (Tok == "private")
+    return Visibility::Private;
+  if (Tok == "package")
+    return Visibility::Package;
+  if (Tok == "protected")
+    return Visibility::Protected;
+  if (Tok == "public")
+    return Visibility::Public;
+  return std::nullopt;
+}
+
+/// The assembler proper. Two passes: declarations, then bodies.
+class Assembler {
+public:
+  explicit Assembler(const std::string &Source) : Lines(tokenize(Source)) {
+    for (unsigned I = 0; I != NumOpcodes; ++I)
+      Mnemonics[opcodeName(static_cast<Opcode>(I))] =
+          static_cast<Opcode>(I);
+    // Builder-API-style aliases.
+    Mnemonics["ret"] = Opcode::Return;
+    Mnemonics["iret"] = Opcode::IReturn;
+    Mnemonics["dret"] = Opcode::DReturn;
+    Mnemonics["aret"] = Opcode::AReturn;
+  }
+
+  std::optional<Program> run(std::string *Err) {
+    if (!pass1() || !pass2()) {
+      if (Err)
+        *Err = Error;
+      return std::nullopt;
+    }
+    if (!MainSeen) {
+      if (Err)
+        *Err = "missing `main Class.method` directive";
+      return std::nullopt;
+    }
+    Program P = PB.finish();
+    std::string VErr;
+    if (!verifyProgram(P, &VErr)) {
+      if (Err)
+        *Err = "verification failed:\n" + VErr;
+      return std::nullopt;
+    }
+    return P;
+  }
+
+private:
+  bool fail(int LineNo, const std::string &Msg) {
+    if (Error.empty())
+      Error = formatString("line %d: %s", LineNo, Msg.c_str());
+    return false;
+  }
+
+  //===--------------------------------------------------------------------==//
+  // Pass 1: classes, fields, method signatures, natives.
+  //===--------------------------------------------------------------------==//
+
+  /// Parses `( kind name , kind name )` starting at Tok[I]; advances I
+  /// past the ')'.
+  bool parseParams(const Line &L, std::size_t &I,
+                   std::vector<ValueKind> &Kinds,
+                   std::vector<std::string> &Names) {
+    if (I >= L.Tok.size() || L.Tok[I] != "(")
+      return fail(L.No, "expected '('");
+    ++I;
+    while (I < L.Tok.size() && L.Tok[I] != ")") {
+      if (L.Tok[I] == ",") {
+        ++I;
+        continue;
+      }
+      auto K = parseKind(L.Tok[I]);
+      if (!K || *K == ValueKind::Void)
+        return fail(L.No, "bad parameter kind '" + L.Tok[I] + "'");
+      if (I + 1 >= L.Tok.size())
+        return fail(L.No, "parameter name missing");
+      Kinds.push_back(*K);
+      Names.push_back(L.Tok[I + 1]);
+      I += 2;
+    }
+    if (I >= L.Tok.size())
+      return fail(L.No, "unterminated parameter list");
+    ++I; // skip ')'
+    return true;
+  }
+
+  bool pass1() {
+    for (std::size_t LI = 0; LI != Lines.size(); ++LI) {
+      const Line &L = Lines[LI];
+      const std::string &Head = L.Tok[0];
+
+      if (Head == "native") {
+        // native <name> ( kinds ) <ret>
+        if (L.Tok.size() < 4)
+          return fail(L.No, "malformed native declaration");
+        std::size_t I = 2;
+        std::vector<ValueKind> Kinds;
+        if (L.Tok[I] != "(")
+          return fail(L.No, "expected '(' after native name");
+        ++I;
+        while (I < L.Tok.size() && L.Tok[I] != ")") {
+          if (L.Tok[I] == ",") {
+            ++I;
+            continue;
+          }
+          auto K = parseKind(L.Tok[I]);
+          if (!K || *K == ValueKind::Void)
+            return fail(L.No, "bad native parameter kind");
+          Kinds.push_back(*K);
+          ++I;
+        }
+        if (I + 1 >= L.Tok.size())
+          return fail(L.No, "native return kind missing");
+        auto Ret = parseKind(L.Tok[I + 1]);
+        if (!Ret)
+          return fail(L.No, "bad native return kind");
+        Natives[L.Tok[1]] = PB.declareNative(L.Tok[1], Kinds, *Ret);
+        continue;
+      }
+
+      if (Head == "main") {
+        if (L.Tok.size() != 2)
+          return fail(L.No, "usage: main Class.method");
+        MainRef = L.Tok[1];
+        MainLine = L.No;
+        MainSeen = true;
+        continue;
+      }
+
+      if (Head != "class")
+        continue; // bodies handled in pass 2
+
+      // class <name> extends <super> [library]
+      if (L.Tok.size() < 4 || L.Tok[2] != "extends")
+        return fail(L.No, "usage: class Name extends Super [library]");
+      ClassId Super = PB.program().findClass(L.Tok[3]);
+      if (!Super.isValid())
+        return fail(L.No, "unknown superclass '" + L.Tok[3] +
+                              "' (supers must be declared first)");
+      bool IsLibrary = L.Tok.size() > 4 && L.Tok[4] == "library";
+      ClassBuilder CB = PB.beginClass(L.Tok[1], Super, IsLibrary);
+
+      // Class members until the matching `end`.
+      for (++LI; LI != Lines.size(); ++LI) {
+        const Line &M = Lines[LI];
+        const std::string &Kw = M.Tok[0];
+        if (Kw == "end")
+          break;
+        if (Kw == "field") {
+          // field <name> <kind> [static] [final] [vis]
+          if (M.Tok.size() < 3)
+            return fail(M.No, "usage: field name kind [flags]");
+          auto K = parseKind(M.Tok[2]);
+          if (!K || *K == ValueKind::Void)
+            return fail(M.No, "bad field kind");
+          bool IsStatic = false, IsFinal = false;
+          Visibility Vis = Visibility::Public;
+          for (std::size_t I = 3; I < M.Tok.size(); ++I) {
+            if (M.Tok[I] == "static")
+              IsStatic = true;
+            else if (M.Tok[I] == "final")
+              IsFinal = true;
+            else if (auto V = parseVisibility(M.Tok[I]))
+              Vis = *V;
+            else
+              return fail(M.No, "unknown field flag '" + M.Tok[I] + "'");
+          }
+          CB.addField(M.Tok[1], *K, Vis, IsStatic, IsFinal);
+          continue;
+        }
+        if (Kw == "nativemethod") {
+          if (M.Tok.size() != 3)
+            return fail(M.No, "usage: nativemethod name nativeName");
+          auto It = Natives.find(M.Tok[2]);
+          if (It == Natives.end())
+            return fail(M.No, "unknown native '" + M.Tok[2] + "'");
+          CB.addNativeMethod(M.Tok[1], It->second);
+          continue;
+        }
+        if (Kw == "method") {
+          // method <name> ( params ) <ret> [static] [vis]
+          std::size_t I = 2;
+          std::vector<ValueKind> Kinds;
+          std::vector<std::string> Names;
+          if (M.Tok.size() < 2 || !parseParams(M, I, Kinds, Names))
+            return fail(M.No, "malformed method signature");
+          if (I >= M.Tok.size())
+            return fail(M.No, "method return kind missing");
+          auto Ret = parseKind(M.Tok[I]);
+          if (!Ret)
+            return fail(M.No, "bad method return kind");
+          ++I;
+          bool IsStatic = false;
+          Visibility Vis = Visibility::Public;
+          for (; I < M.Tok.size(); ++I) {
+            if (M.Tok[I] == "static")
+              IsStatic = true;
+            else if (auto V = parseVisibility(M.Tok[I]))
+              Vis = *V;
+            else
+              return fail(M.No, "unknown method flag '" + M.Tok[I] + "'");
+          }
+          MethodBuilder MB =
+              CB.beginMethod(M.Tok[1], Kinds, *Ret, IsStatic, Vis);
+          std::string Key = L.Tok[1] + "." + M.Tok[1];
+          if (MethodIndex.count(Key))
+            return fail(M.No, "duplicate method " + Key);
+          MethodIndex[Key] = Builders.size();
+          Builders.push_back(std::move(MB));
+          ParamNames.push_back(std::move(Names));
+          BodyIsStatic.push_back(IsStatic);
+          // Skip the body in this pass.
+          int Depth = 1;
+          for (++LI; LI != Lines.size(); ++LI) {
+            if (Lines[LI].Tok[0] == "end" && --Depth == 0)
+              break;
+          }
+          if (LI == Lines.size())
+            return fail(M.No, "method body missing `end`");
+          continue;
+        }
+        return fail(M.No, "unknown class member '" + Kw + "'");
+      }
+      if (LI == Lines.size())
+        return fail(L.No, "class missing `end`");
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------==//
+  // Pass 2: method bodies.
+  //===--------------------------------------------------------------------==//
+
+  bool resolveClassRef(int LineNo, const std::string &Name, ClassId &Out) {
+    Out = PB.program().findClass(Name);
+    if (!Out.isValid())
+      return fail(LineNo, "unknown class '" + Name + "'");
+    return true;
+  }
+
+  bool resolveFieldRef(int LineNo, const std::string &Ref, FieldId &Out) {
+    std::size_t Dot = Ref.rfind('.');
+    if (Dot == std::string::npos)
+      return fail(LineNo, "field reference must be Class.field");
+    ClassId C;
+    if (!resolveClassRef(LineNo, Ref.substr(0, Dot), C))
+      return false;
+    Out = PB.program().findField(C, Ref.substr(Dot + 1));
+    if (!Out.isValid())
+      return fail(LineNo, "unknown field '" + Ref + "'");
+    return true;
+  }
+
+  bool resolveMethodRef(int LineNo, const std::string &Ref, MethodId &Out) {
+    std::size_t Dot = Ref.rfind('.');
+    if (Dot == std::string::npos)
+      return fail(LineNo, "method reference must be Class.method");
+    ClassId C;
+    if (!resolveClassRef(LineNo, Ref.substr(0, Dot), C))
+      return false;
+    Out = PB.program().findMethod(C, Ref.substr(Dot + 1));
+    if (!Out.isValid())
+      return fail(LineNo, "unknown method '" + Ref + "'");
+    return true;
+  }
+
+  bool pass2() {
+    for (std::size_t LI = 0; LI != Lines.size(); ++LI) {
+      const Line &L = Lines[LI];
+      if (L.Tok[0] != "class")
+        continue;
+      std::string ClassName = L.Tok[1];
+      for (++LI; LI != Lines.size() && Lines[LI].Tok[0] != "end"; ++LI) {
+        if (Lines[LI].Tok[0] != "method")
+          continue;
+        std::string Key = ClassName + "." + Lines[LI].Tok[1];
+        std::size_t Idx = MethodIndex.at(Key);
+        if (!assembleBody(LI, Idx))
+          return false;
+        // assembleBody leaves LI on the body's `end`.
+      }
+    }
+    if (MainSeen) {
+      MethodId Main;
+      if (!resolveMethodRef(MainLine, MainRef, Main))
+        return false;
+      PB.setMain(Main);
+    }
+    return true;
+  }
+
+  /// Assembles one body; \p LI indexes the `method` line on entry and
+  /// the body's `end` line on exit.
+  bool assembleBody(std::size_t &LI, std::size_t Idx) {
+    MethodBuilder &MB = Builders[Idx];
+    std::map<std::string, std::uint32_t> Slots;
+    std::uint32_t Next = 0;
+    if (!BodyIsStatic[Idx])
+      Slots["this"] = Next++;
+    for (const std::string &Name : ParamNames[Idx])
+      Slots[Name] = Next++;
+    std::map<std::string, Label> Labels;
+    std::map<std::string, int> *FirstUsePtr = nullptr;
+    std::map<std::string, bool> *BoundPtr = nullptr;
+    int CurLineNo = 0;
+    auto GetLabel = [&](const std::string &Name) {
+      auto It = Labels.find(Name);
+      if (It != Labels.end())
+        return It->second;
+      Label Lb = MB.newLabel();
+      Labels.emplace(Name, Lb);
+      if (FirstUsePtr && !FirstUsePtr->count(Name))
+        (*FirstUsePtr)[Name] = CurLineNo;
+      if (BoundPtr && !BoundPtr->count(Name))
+        (*BoundPtr)[Name] = false;
+      return Lb;
+    };
+    auto GetSlot = [&](int LineNo, const std::string &Name,
+                       std::uint32_t &Out) {
+      auto It = Slots.find(Name);
+      if (It != Slots.end()) {
+        Out = It->second;
+        return true;
+      }
+      // Raw slot numbers are also accepted.
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Name.c_str(), &End, 10);
+      if (End && *End == '\0' && End != Name.c_str()) {
+        Out = static_cast<std::uint32_t>(V);
+        return true;
+      }
+      return fail(LineNo, "unknown local '" + Name + "'");
+    };
+
+    std::map<std::string, int> LabelFirstUse;
+    std::map<std::string, bool> LabelBound;
+    FirstUsePtr = &LabelFirstUse;
+    BoundPtr = &LabelBound;
+
+    for (++LI; LI != Lines.size(); ++LI) {
+      const Line &L = Lines[LI];
+      CurLineNo = L.No;
+      const std::string &Op = L.Tok[0];
+      if (Op == "end") {
+        for (const auto &[Name, Bound] : LabelBound)
+          if (!Bound)
+            return fail(LabelFirstUse[Name],
+                        "label '" + Name + "' is never bound");
+        MB.finish();
+        return true;
+      }
+
+      MB.stmt();
+
+      // Label binding: `name:`.
+      if (Op.size() > 1 && Op.back() == ':') {
+        std::string Name = Op.substr(0, Op.size() - 1);
+        if (LabelBound.count(Name) && LabelBound[Name])
+          return fail(L.No, "label '" + Name + "' bound twice");
+        MB.bind(GetLabel(Name));
+        LabelBound[Name] = true;
+        continue;
+      }
+      if (Op == "local") {
+        if (L.Tok.size() != 3)
+          return fail(L.No, "usage: local name kind");
+        auto K = parseKind(L.Tok[2]);
+        if (!K || *K == ValueKind::Void)
+          return fail(L.No, "bad local kind");
+        if (Slots.count(L.Tok[1]))
+          return fail(L.No, "duplicate local '" + L.Tok[1] + "'");
+        Slots[L.Tok[1]] = MB.newLocal(*K);
+        continue;
+      }
+      if (Op == "handler") {
+        if (L.Tok.size() < 4)
+          return fail(L.No, "usage: handler Lstart Lend Ltarget [Class]");
+        ClassId Type;
+        if (L.Tok.size() > 4 && !resolveClassRef(L.No, L.Tok[4], Type))
+          return false;
+        MB.addHandler(GetLabel(L.Tok[1]), GetLabel(L.Tok[2]),
+                      GetLabel(L.Tok[3]), Type);
+        continue;
+      }
+
+      auto MIt = Mnemonics.find(Op);
+      if (MIt == Mnemonics.end())
+        return fail(L.No, "unknown instruction '" + Op + "'");
+      Opcode O = MIt->second;
+      auto NeedOperand = [&]() {
+        if (L.Tok.size() < 2) {
+          fail(L.No, "'" + Op + "' needs an operand");
+          return false;
+        }
+        return true;
+      };
+
+      switch (O) {
+      case Opcode::IConst: {
+        if (!NeedOperand())
+          return false;
+        MB.iconst(std::strtoll(L.Tok[1].c_str(), nullptr, 0));
+        break;
+      }
+      case Opcode::DConst: {
+        if (!NeedOperand())
+          return false;
+        MB.dconst(std::strtod(L.Tok[1].c_str(), nullptr));
+        break;
+      }
+      case Opcode::ILoad:
+      case Opcode::IStore:
+      case Opcode::DLoad:
+      case Opcode::DStore:
+      case Opcode::ALoad:
+      case Opcode::AStore: {
+        if (!NeedOperand())
+          return false;
+        std::uint32_t Slot = 0;
+        if (!GetSlot(L.No, L.Tok[1], Slot))
+          return false;
+        switch (O) {
+        case Opcode::ILoad: MB.iload(Slot); break;
+        case Opcode::IStore: MB.istore(Slot); break;
+        case Opcode::DLoad: MB.dload(Slot); break;
+        case Opcode::DStore: MB.dstore(Slot); break;
+        case Opcode::ALoad: MB.aload(Slot); break;
+        default: MB.astore(Slot); break;
+        }
+        break;
+      }
+      case Opcode::New: {
+        if (!NeedOperand())
+          return false;
+        ClassId C;
+        if (!resolveClassRef(L.No, L.Tok[1], C))
+          return false;
+        MB.new_(C);
+        break;
+      }
+      case Opcode::NewArray: {
+        if (!NeedOperand())
+          return false;
+        auto K = parseArrayKind(L.Tok[1]);
+        if (!K)
+          return fail(L.No, "bad array kind '" + L.Tok[1] + "'");
+        MB.newarray(*K);
+        break;
+      }
+      case Opcode::GetField:
+      case Opcode::PutField:
+      case Opcode::GetStatic:
+      case Opcode::PutStatic: {
+        if (!NeedOperand())
+          return false;
+        FieldId F;
+        if (!resolveFieldRef(L.No, L.Tok[1], F))
+          return false;
+        switch (O) {
+        case Opcode::GetField: MB.getfield(F); break;
+        case Opcode::PutField: MB.putfield(F); break;
+        case Opcode::GetStatic: MB.getstatic(F); break;
+        default: MB.putstatic(F); break;
+        }
+        break;
+      }
+      case Opcode::InvokeVirtual:
+      case Opcode::InvokeSpecial:
+      case Opcode::InvokeStatic: {
+        if (!NeedOperand())
+          return false;
+        MethodId M;
+        if (!resolveMethodRef(L.No, L.Tok[1], M))
+          return false;
+        switch (O) {
+        case Opcode::InvokeVirtual: MB.invokevirtual(M); break;
+        case Opcode::InvokeSpecial: MB.invokespecial(M); break;
+        default: MB.invokestatic(M); break;
+        }
+        break;
+      }
+      default: {
+        if (isBranch(O)) {
+          if (!NeedOperand())
+            return false;
+          Label Lb = GetLabel(L.Tok[1]);
+          switch (O) {
+          case Opcode::Goto: MB.goto_(Lb); break;
+          case Opcode::IfEqZ: MB.ifEqZ(Lb); break;
+          case Opcode::IfNeZ: MB.ifNeZ(Lb); break;
+          case Opcode::IfLtZ: MB.ifLtZ(Lb); break;
+          case Opcode::IfLeZ: MB.ifLeZ(Lb); break;
+          case Opcode::IfGtZ: MB.ifGtZ(Lb); break;
+          case Opcode::IfGeZ: MB.ifGeZ(Lb); break;
+          case Opcode::IfICmpEq: MB.ifICmpEq(Lb); break;
+          case Opcode::IfICmpNe: MB.ifICmpNe(Lb); break;
+          case Opcode::IfICmpLt: MB.ifICmpLt(Lb); break;
+          case Opcode::IfICmpLe: MB.ifICmpLe(Lb); break;
+          case Opcode::IfICmpGt: MB.ifICmpGt(Lb); break;
+          case Opcode::IfICmpGe: MB.ifICmpGe(Lb); break;
+          case Opcode::IfNull: MB.ifNull(Lb); break;
+          case Opcode::IfNonNull: MB.ifNonNull(Lb); break;
+          case Opcode::IfACmpEq: MB.ifACmpEq(Lb); break;
+          default: MB.ifACmpNe(Lb); break;
+          }
+          break;
+        }
+        // Operand-free instructions.
+        switch (O) {
+        case Opcode::AConstNull: MB.aconstNull(); break;
+        case Opcode::Nop: MB.nop(); break;
+        case Opcode::Pop: MB.pop(); break;
+        case Opcode::Dup: MB.dup(); break;
+        case Opcode::Swap: MB.swap(); break;
+        case Opcode::IAdd: MB.iadd(); break;
+        case Opcode::ISub: MB.isub(); break;
+        case Opcode::IMul: MB.imul(); break;
+        case Opcode::IDiv: MB.idiv(); break;
+        case Opcode::IRem: MB.irem(); break;
+        case Opcode::INeg: MB.ineg(); break;
+        case Opcode::IAnd: MB.iand_(); break;
+        case Opcode::IOr: MB.ior_(); break;
+        case Opcode::IXor: MB.ixor_(); break;
+        case Opcode::IShl: MB.ishl(); break;
+        case Opcode::IShr: MB.ishr(); break;
+        case Opcode::DAdd: MB.dadd(); break;
+        case Opcode::DSub: MB.dsub(); break;
+        case Opcode::DMul: MB.dmul(); break;
+        case Opcode::DDiv: MB.ddiv(); break;
+        case Opcode::DNeg: MB.dneg(); break;
+        case Opcode::DCmp: MB.dcmp(); break;
+        case Opcode::I2D: MB.i2d(); break;
+        case Opcode::D2I: MB.d2i(); break;
+        case Opcode::ArrayLength: MB.arraylength(); break;
+        case Opcode::AALoad: MB.aaload(); break;
+        case Opcode::AAStore: MB.aastore(); break;
+        case Opcode::IALoad: MB.iaload(); break;
+        case Opcode::IAStore: MB.iastore(); break;
+        case Opcode::CALoad: MB.caload(); break;
+        case Opcode::CAStore: MB.castore(); break;
+        case Opcode::DALoad: MB.daload(); break;
+        case Opcode::DAStore: MB.dastore(); break;
+        case Opcode::Return: MB.ret(); break;
+        case Opcode::IReturn: MB.iret(); break;
+        case Opcode::DReturn: MB.dret(); break;
+        case Opcode::AReturn: MB.aret(); break;
+        case Opcode::Throw: MB.athrow(); break;
+        case Opcode::MonitorEnter: MB.monitorenter(); break;
+        case Opcode::MonitorExit: MB.monitorexit(); break;
+        default:
+          return fail(L.No, "instruction '" + Op + "' not supported here");
+        }
+        break;
+      }
+      }
+    }
+    return fail(Lines.back().No, "method body missing `end`");
+  }
+
+  ProgramBuilder PB;
+  std::vector<Line> Lines;
+  std::map<std::string, Opcode> Mnemonics;
+  std::map<std::string, NativeId> Natives;
+  std::vector<MethodBuilder> Builders;
+  std::vector<std::vector<std::string>> ParamNames;
+  std::vector<bool> BodyIsStatic;
+  std::map<std::string, std::size_t> MethodIndex;
+  std::string MainRef;
+  int MainLine = 0;
+  bool MainSeen = false;
+  std::string Error;
+};
+
+} // namespace
+
+std::optional<Program> jdrag::ir::assembleProgram(const std::string &Source,
+                                                  std::string *Err) {
+  // Builders must be finished before ProgramBuilder::finish(); the
+  // Assembler finishes each body as it completes in pass 2.
+  Assembler A(Source);
+  return A.run(Err);
+}
+
+std::optional<Program> jdrag::ir::assembleFile(const std::string &Path,
+                                               std::string *Err) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open " + Path;
+    return std::nullopt;
+  }
+  std::string Source;
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Source.append(Buf, N);
+  std::fclose(F);
+  return assembleProgram(Source, Err);
+}

@@ -1,0 +1,86 @@
+//===- ir/Assembler.h - Textual IR assembler --------------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the jdrag assembly language (.jasm) into a Program, so
+/// workloads can be written as text instead of C++ builder calls. The
+/// language is line-oriented; `;` starts a comment. Example:
+///
+/// \code
+///   native jdrag.emitResult (int) void
+///
+///   class Sys extends java/lang/Object library
+///     nativemethod emit jdrag.emitResult
+///   end
+///
+///   class Counter extends java/lang/Object
+///     field value int private
+///     method <init> (int start) void
+///       aload this
+///       invokespecial java/lang/Object.<init>
+///       aload this
+///       iload start
+///       putfield Counter.value
+///       ret
+///     end
+///     method get () int
+///       aload this
+///       getfield Counter.value
+///       iret
+///     end
+///   end
+///
+///   class Main extends java/lang/Object
+///     method main () void static
+///       local c ref
+///       new Counter
+///       dup
+///       iconst 41
+///       invokespecial Counter.<init>
+///       astore c
+///       aload c
+///       invokevirtual Counter.get
+///       iconst 1
+///       iadd
+///       invokestatic Sys.emit
+///       ret
+///     end
+///   end
+///
+///   main Main.main
+/// \endcode
+///
+/// Conveniences: instance methods get an implicit `this` parameter name;
+/// parameters are named in the signature; `local <name> <kind>` declares
+/// further slots; `<name>:` on its own line binds a label; branches name
+/// labels; `handler Lstart Lend Ltarget [ClassName]` declares a
+/// try/catch range. Classes, fields and methods may be referenced before
+/// their definition (the assembler makes two passes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_IR_ASSEMBLER_H
+#define JDRAG_IR_ASSEMBLER_H
+
+#include "ir/Program.h"
+
+#include <optional>
+#include <string>
+
+namespace jdrag::ir {
+
+/// Assembles \p Source into a verified Program. On failure returns
+/// nullopt and stores a "line N: message" diagnostic into \p Err.
+std::optional<Program> assembleProgram(const std::string &Source,
+                                       std::string *Err = nullptr);
+
+/// Reads \p Path and assembles it.
+std::optional<Program> assembleFile(const std::string &Path,
+                                    std::string *Err = nullptr);
+
+} // namespace jdrag::ir
+
+#endif // JDRAG_IR_ASSEMBLER_H

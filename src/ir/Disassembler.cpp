@@ -1,0 +1,112 @@
+//===- ir/Disassembler.cpp ------------------------------------------------===//
+
+#include "ir/Disassembler.h"
+
+#include "support/Format.h"
+
+using namespace jdrag;
+using namespace jdrag::ir;
+
+std::string jdrag::ir::disassembleInstruction(const Program &P,
+                                              const Instruction &I) {
+  std::string Out = opcodeName(I.Op);
+  switch (I.Op) {
+  case Opcode::IConst:
+    Out += formatString(" %lld", static_cast<long long>(I.IVal));
+    break;
+  case Opcode::DConst:
+    Out += formatString(" %g", I.DVal);
+    break;
+  case Opcode::ILoad:
+  case Opcode::IStore:
+  case Opcode::DLoad:
+  case Opcode::DStore:
+  case Opcode::ALoad:
+  case Opcode::AStore:
+    Out += formatString(" %d", I.A);
+    break;
+  case Opcode::New:
+    Out += " " + P.classOf(ClassId(static_cast<std::uint32_t>(I.A))).Name;
+    break;
+  case Opcode::NewArray:
+    Out += formatString(" %s", arrayKindName(static_cast<ArrayKind>(I.A)));
+    break;
+  case Opcode::GetField:
+  case Opcode::PutField:
+  case Opcode::GetStatic:
+  case Opcode::PutStatic:
+    Out += " " +
+           P.qualifiedFieldName(FieldId(static_cast<std::uint32_t>(I.A)));
+    break;
+  case Opcode::InvokeVirtual:
+  case Opcode::InvokeSpecial:
+  case Opcode::InvokeStatic:
+    Out += " " +
+           P.qualifiedMethodName(MethodId(static_cast<std::uint32_t>(I.A)));
+    break;
+  default:
+    if (isBranch(I.Op))
+      Out += formatString(" -> %d", I.A);
+    break;
+  }
+  return Out;
+}
+
+std::string jdrag::ir::disassembleMethod(const Program &P, MethodId Id) {
+  const MethodInfo &M = P.methodOf(Id);
+  std::string Out = formatString("%s %s(", valueKindName(M.Ret),
+                                 P.qualifiedMethodName(Id).c_str());
+  for (std::size_t I = 0, E = M.Params.size(); I != E; ++I) {
+    if (I)
+      Out += ", ";
+    Out += valueKindName(M.Params[I]);
+  }
+  Out += ")";
+  if (M.IsStatic)
+    Out += " static";
+  if (M.IsNative) {
+    Out += formatString(" native #%u\n", M.Native.Index);
+    return Out;
+  }
+  Out += formatString("  [locals %u, maxstack %u]\n", M.numLocals(),
+                      M.MaxStack);
+  for (std::uint32_t Pc = 0, E = static_cast<std::uint32_t>(M.Code.size());
+       Pc != E; ++Pc)
+    Out += formatString("  %4u  L%-5u %s\n", Pc, M.Code[Pc].Line,
+                        disassembleInstruction(P, M.Code[Pc]).c_str());
+  for (const ExceptionHandler &H : M.Handlers)
+    Out += formatString(
+        "  handler [%u,%u) -> %u catch %s\n", H.Start, H.End, H.Target,
+        H.CatchType.isValid() ? P.classOf(H.CatchType).Name.c_str() : "<any>");
+  return Out;
+}
+
+std::string jdrag::ir::disassembleClass(const Program &P, ClassId Id) {
+  const ClassInfo &C = P.classOf(Id);
+  std::string Out = formatString(
+      "class %s%s", C.Name.c_str(), C.IsLibrary ? " [library]" : "");
+  if (C.Super.isValid())
+    Out += " extends " + P.classOf(C.Super).Name;
+  Out += formatString("  // %u bytes/instance\n", C.InstanceAccountedBytes);
+  for (FieldId F : C.DeclaredInstanceFields)
+    Out += formatString("  %s %s %s\n", visibilityName(P.fieldOf(F).Vis),
+                        valueKindName(P.fieldOf(F).Kind),
+                        P.fieldOf(F).Name.c_str());
+  for (FieldId F : C.DeclaredStaticFields)
+    Out += formatString("  %s static %s %s\n",
+                        visibilityName(P.fieldOf(F).Vis),
+                        valueKindName(P.fieldOf(F).Kind),
+                        P.fieldOf(F).Name.c_str());
+  for (MethodId M : C.DeclaredMethods)
+    Out += disassembleMethod(P, M);
+  return Out;
+}
+
+std::string jdrag::ir::disassembleProgram(const Program &P) {
+  std::string Out;
+  for (const ClassInfo &C : P.Classes) {
+    Out += disassembleClass(P, C.Id);
+    Out += '\n';
+  }
+  return Out;
+}

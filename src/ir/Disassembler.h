@@ -1,0 +1,36 @@
+//===- ir/Disassembler.h - Human-readable IR dumps --------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders methods, classes and whole programs as assembler-style text.
+/// The drag reports quote these dumps when pointing at allocation sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_IR_DISASSEMBLER_H
+#define JDRAG_IR_DISASSEMBLER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace jdrag::ir {
+
+/// One instruction, e.g. "getfield Vector.elems".
+std::string disassembleInstruction(const Program &P, const Instruction &I);
+
+/// A full method body with pc and line columns.
+std::string disassembleMethod(const Program &P, MethodId M);
+
+/// A class: fields and method bodies.
+std::string disassembleClass(const Program &P, ClassId C);
+
+/// The whole program.
+std::string disassembleProgram(const Program &P);
+
+} // namespace jdrag::ir
+
+#endif // JDRAG_IR_DISASSEMBLER_H

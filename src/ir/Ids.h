@@ -1,0 +1,63 @@
+//===- ir/Ids.h - Strongly typed dense ids ----------------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense, strongly typed ids for classes, fields, methods and natives.
+/// All id spaces are per-Program; ids index the Program's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_IR_IDS_H
+#define JDRAG_IR_IDS_H
+
+#include <cstdint>
+#include <functional>
+
+namespace jdrag::ir {
+
+/// A dense id tagged by \p Tag so different id spaces do not mix.
+template <typename Tag> struct DenseId {
+  static constexpr std::uint32_t InvalidIndex = ~static_cast<std::uint32_t>(0);
+
+  std::uint32_t Index = InvalidIndex;
+
+  constexpr DenseId() = default;
+  constexpr explicit DenseId(std::uint32_t Index) : Index(Index) {}
+
+  constexpr bool isValid() const { return Index != InvalidIndex; }
+
+  friend constexpr bool operator==(DenseId A, DenseId B) {
+    return A.Index == B.Index;
+  }
+  friend constexpr bool operator!=(DenseId A, DenseId B) {
+    return A.Index != B.Index;
+  }
+  friend constexpr bool operator<(DenseId A, DenseId B) {
+    return A.Index < B.Index;
+  }
+};
+
+struct ClassTag {};
+struct FieldTag {};
+struct MethodTag {};
+struct NativeTag {};
+
+using ClassId = DenseId<ClassTag>;
+using FieldId = DenseId<FieldTag>;
+using MethodId = DenseId<MethodTag>;
+using NativeId = DenseId<NativeTag>;
+
+} // namespace jdrag::ir
+
+namespace std {
+template <typename Tag> struct hash<jdrag::ir::DenseId<Tag>> {
+  size_t operator()(jdrag::ir::DenseId<Tag> Id) const {
+    return std::hash<std::uint32_t>()(Id.Index);
+  }
+};
+} // namespace std
+
+#endif // JDRAG_IR_IDS_H

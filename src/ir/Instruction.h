@@ -1,0 +1,42 @@
+//===- ir/Instruction.h - One bytecode instruction --------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instructions are fixed-size PODs; methods store them in a flat vector
+/// and the pc is the vector index. Every instruction carries a source
+/// line so the profiler can report "the last line of code at which an
+/// object is used" (paper section 3.3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_IR_INSTRUCTION_H
+#define JDRAG_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+
+#include <cstdint>
+
+namespace jdrag::ir {
+
+/// One bytecode instruction. Operand meaning depends on the opcode:
+///  - locals: A = slot
+///  - branches: A = target pc
+///  - New: A = ClassId index
+///  - NewArray: A = ArrayKind
+///  - Get/PutField, Get/PutStatic: A = FieldId index
+///  - Invoke*: A = MethodId index
+///  - IConst: IVal; DConst: DVal
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  std::uint32_t Line = 0; ///< source line for drag-site reports
+  std::int32_t A = 0;
+  std::int64_t IVal = 0;
+  double DVal = 0.0;
+};
+
+} // namespace jdrag::ir
+
+#endif // JDRAG_IR_INSTRUCTION_H

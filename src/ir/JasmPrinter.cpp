@@ -1,0 +1,263 @@
+//===- ir/JasmPrinter.cpp -------------------------------------------------===//
+
+#include "ir/JasmPrinter.h"
+
+#include "support/Format.h"
+
+#include <set>
+#include <unordered_set>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+
+namespace {
+
+/// A name is printable if the tokenizer reads it back as one token and
+/// member references split correctly on the last '.'.
+bool nameIsPrintable(const std::string &Name, bool AllowDot) {
+  if (Name.empty())
+    return false;
+  for (char C : Name) {
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n' || C == '(' ||
+        C == ')' || C == ',' || C == ';')
+      return false;
+    if (C == '.' && !AllowDot)
+      return false;
+  }
+  // A trailing ':' would parse as a label binding.
+  return Name.back() != ':';
+}
+
+class Printer {
+public:
+  explicit Printer(const Program &P) : P(P) {}
+
+  std::optional<std::string> run(std::string *Err) {
+    bool Ok = check();
+    if (Ok) {
+      printNatives();
+      for (const ClassInfo &C : P.Classes) {
+        if (isBuiltin(C.Id))
+          continue;
+        if (!printClass(C)) {
+          Ok = false;
+          break;
+        }
+      }
+    }
+    if (!Ok) {
+      if (Err)
+        *Err = Error;
+      return std::nullopt;
+    }
+    Out += "main " + P.qualifiedMethodName(P.MainMethod) + "\n";
+    return std::move(Out);
+  }
+
+private:
+  const Program &P;
+  std::string Out;
+  std::string Error;
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+    return false;
+  }
+
+  bool isBuiltin(ClassId Id) const {
+    return Id == P.ObjectClass || Id == P.ThrowableClass || Id == P.OOMClass;
+  }
+
+  /// Everything the grammar cannot express is rejected up front so the
+  /// output, when produced, always reassembles.
+  bool check() {
+    if (!P.MainMethod.isValid())
+      return fail("program has no main method");
+    for (const ClassInfo &C : P.Classes) {
+      if (isBuiltin(C.Id)) {
+        // The assembler recreates the built-ins itself; any extra
+        // member would be lost, so refuse to print such a program.
+        if (C.DeclaredMethods.size() != 1 ||
+            !C.DeclaredInstanceFields.empty() ||
+            !C.DeclaredStaticFields.empty())
+          return fail("built-in class '" + C.Name + "' has extra members");
+        continue;
+      }
+      if (!nameIsPrintable(C.Name, /*AllowDot=*/false))
+        return fail("class name '" + C.Name + "' is not printable as jasm");
+      std::unordered_set<std::string> MethodNames;
+      for (MethodId Id : C.DeclaredMethods) {
+        const MethodInfo &M = P.methodOf(Id);
+        if (!nameIsPrintable(M.Name, /*AllowDot=*/false))
+          return fail("method name '" + M.Name + "' is not printable");
+        if (!MethodNames.insert(M.Name).second)
+          return fail("class '" + C.Name + "' overloads method '" + M.Name +
+                      "' (jasm references methods by name)");
+      }
+      for (FieldId Id : C.DeclaredInstanceFields)
+        if (!nameIsPrintable(P.fieldOf(Id).Name, /*AllowDot=*/false))
+          return fail("field name '" + P.fieldOf(Id).Name +
+                      "' is not printable");
+      for (FieldId Id : C.DeclaredStaticFields)
+        if (!nameIsPrintable(P.fieldOf(Id).Name, /*AllowDot=*/false))
+          return fail("field name '" + P.fieldOf(Id).Name +
+                      "' is not printable");
+    }
+    for (const NativeInfo &N : P.Natives)
+      if (!nameIsPrintable(N.Name, /*AllowDot=*/true))
+        return fail("native name '" + N.Name + "' is not printable");
+    return true;
+  }
+
+  void printNatives() {
+    for (const NativeInfo &N : P.Natives) {
+      Out += "native " + N.Name + " (";
+      for (std::size_t I = 0, E = N.Params.size(); I != E; ++I) {
+        if (I)
+          Out += ",";
+        Out += std::string(" ") + valueKindName(N.Params[I]);
+      }
+      Out += std::string(" ) ") + valueKindName(N.Ret) + "\n";
+    }
+    if (!P.Natives.empty())
+      Out += "\n";
+  }
+
+  void printField(const FieldInfo &F) {
+    Out += std::string("  field ") + F.Name + " " + valueKindName(F.Kind);
+    if (F.IsStatic)
+      Out += " static";
+    if (F.IsFinal)
+      Out += " final";
+    Out += std::string(" ") + visibilityName(F.Vis) + "\n";
+  }
+
+  bool printClass(const ClassInfo &C) {
+    Out += "class " + C.Name + " extends " + P.classOf(C.Super).Name;
+    if (C.IsLibrary)
+      Out += " library";
+    Out += "\n";
+    // Fields first: declaration order fixes the slot layout.
+    for (FieldId Id : C.DeclaredInstanceFields)
+      printField(P.fieldOf(Id));
+    for (FieldId Id : C.DeclaredStaticFields)
+      printField(P.fieldOf(Id));
+    for (MethodId Id : C.DeclaredMethods)
+      if (!printMethod(P.methodOf(Id)))
+        return false;
+    Out += "end\n\n";
+    return true;
+  }
+
+  bool printMethod(const MethodInfo &M) {
+    if (M.IsNative) {
+      Out += "  nativemethod " + M.Name + " " +
+             P.Natives[M.Native.Index].Name + "\n";
+      return true;
+    }
+    Out += "  method " + M.Name + " (";
+    for (std::size_t I = 0, E = M.Params.size(); I != E; ++I) {
+      if (I)
+        Out += " ,";
+      Out += std::string(" ") + valueKindName(M.Params[I]) +
+             formatString(" p%zu", I);
+    }
+    Out += std::string(" ) ") + valueKindName(M.Ret);
+    if (M.IsStatic)
+      Out += " static";
+    Out += std::string(" ") + visibilityName(M.Vis) + "\n";
+
+    // Extra local slots, in slot order so the assembler reassigns the
+    // same indices; instructions then use raw slot numbers.
+    for (std::uint32_t S = M.numParamSlots(), E = M.numLocals(); S != E; ++S)
+      Out += formatString("    local t%u %s\n", S,
+                          valueKindName(M.LocalKinds[S]));
+
+    // Every branch target and handler boundary gets a pc-named label.
+    std::set<std::uint32_t> LabelPcs;
+    for (const Instruction &I : M.Code)
+      if (isBranch(I.Op))
+        LabelPcs.insert(static_cast<std::uint32_t>(I.A));
+    for (const ExceptionHandler &H : M.Handlers) {
+      LabelPcs.insert(H.Start);
+      LabelPcs.insert(H.End);
+      LabelPcs.insert(H.Target);
+    }
+    for (const ExceptionHandler &H : M.Handlers) {
+      Out += formatString("    handler L%u L%u L%u", H.Start, H.End,
+                          H.Target);
+      if (H.CatchType.isValid())
+        Out += " " + P.classOf(H.CatchType).Name;
+      Out += "\n";
+    }
+
+    for (std::uint32_t Pc = 0, E = static_cast<std::uint32_t>(M.Code.size());
+         Pc != E; ++Pc) {
+      if (LabelPcs.count(Pc))
+        Out += formatString("  L%u:\n", Pc);
+      Out += "    " + renderInstruction(M.Code[Pc]) + "\n";
+    }
+    // A handler range may end at code size; bind that label last.
+    if (LabelPcs.count(static_cast<std::uint32_t>(M.Code.size())))
+      Out += formatString("  L%zu:\n", M.Code.size());
+    Out += "  end\n";
+    return true;
+  }
+
+  std::string renderInstruction(const Instruction &I) const {
+    std::string S = opcodeName(I.Op);
+    switch (I.Op) {
+    case Opcode::IConst:
+      return S + formatString(" %lld", static_cast<long long>(I.IVal));
+    case Opcode::DConst:
+      // %.17g survives strtod exactly for every finite double.
+      return S + formatString(" %.17g", I.DVal);
+    case Opcode::ILoad:
+    case Opcode::IStore:
+    case Opcode::DLoad:
+    case Opcode::DStore:
+    case Opcode::ALoad:
+    case Opcode::AStore:
+      return S + formatString(" %d", I.A);
+    case Opcode::New:
+      return S + " " +
+             P.classOf(ClassId(static_cast<std::uint32_t>(I.A))).Name;
+    case Opcode::NewArray:
+      // arrayKindName() appends "[]"; the grammar wants the bare kind.
+      switch (static_cast<ArrayKind>(I.A)) {
+      case ArrayKind::Char:
+        return S + " char";
+      case ArrayKind::Int:
+        return S + " int";
+      case ArrayKind::Double:
+        return S + " double";
+      case ArrayKind::Ref:
+        return S + " ref";
+      }
+      return S;
+    case Opcode::GetField:
+    case Opcode::PutField:
+    case Opcode::GetStatic:
+    case Opcode::PutStatic:
+      return S + " " +
+             P.qualifiedFieldName(FieldId(static_cast<std::uint32_t>(I.A)));
+    case Opcode::InvokeVirtual:
+    case Opcode::InvokeSpecial:
+    case Opcode::InvokeStatic:
+      return S + " " +
+             P.qualifiedMethodName(MethodId(static_cast<std::uint32_t>(I.A)));
+    default:
+      if (isBranch(I.Op))
+        return S + formatString(" L%d", I.A);
+      return S;
+    }
+  }
+};
+
+} // namespace
+
+std::optional<std::string> jdrag::ir::printProgramAsJasm(const Program &P,
+                                                         std::string *Err) {
+  return Printer(P).run(Err);
+}

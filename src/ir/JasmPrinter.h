@@ -1,0 +1,40 @@
+//===- ir/JasmPrinter.h - Program -> .jasm serializer -----------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inverse of the assembler: serializes a Program into .jasm text
+/// that assembleProgram() accepts and that reproduces the program
+/// structurally — the same classes, fields, signatures, instruction
+/// streams (opcode by opcode, pc by pc) and exception-handler tables.
+/// Only source line numbers differ, since those come from the text.
+///
+/// This makes .jasm a durable interchange format: any program built
+/// with the C++ ProgramBuilder — including the output of the rewriting
+/// passes — can be dumped, inspected, hand-edited and re-assembled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_IR_JASMPRINTER_H
+#define JDRAG_IR_JASMPRINTER_H
+
+#include "ir/Program.h"
+
+#include <optional>
+#include <string>
+
+namespace jdrag::ir {
+
+/// Serializes \p P to .jasm. Returns nullopt (with a diagnostic in
+/// \p Err) for the few programs the grammar cannot express: a class
+/// declaring two same-named methods (jasm has no overload syntax), a
+/// name containing a jasm separator character, members added to the
+/// built-in java/lang classes, or a missing main method.
+std::optional<std::string> printProgramAsJasm(const Program &P,
+                                              std::string *Err = nullptr);
+
+} // namespace jdrag::ir
+
+#endif // JDRAG_IR_JASMPRINTER_H

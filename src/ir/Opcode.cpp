@@ -1,0 +1,230 @@
+//===- ir/Opcode.cpp ------------------------------------------------------===//
+
+#include "ir/Opcode.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace jdrag;
+using namespace jdrag::ir;
+
+const char *jdrag::ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::IConst:
+    return "iconst";
+  case Opcode::DConst:
+    return "dconst";
+  case Opcode::AConstNull:
+    return "aconst_null";
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::Pop:
+    return "pop";
+  case Opcode::Dup:
+    return "dup";
+  case Opcode::Swap:
+    return "swap";
+  case Opcode::ILoad:
+    return "iload";
+  case Opcode::IStore:
+    return "istore";
+  case Opcode::DLoad:
+    return "dload";
+  case Opcode::DStore:
+    return "dstore";
+  case Opcode::ALoad:
+    return "aload";
+  case Opcode::AStore:
+    return "astore";
+  case Opcode::IAdd:
+    return "iadd";
+  case Opcode::ISub:
+    return "isub";
+  case Opcode::IMul:
+    return "imul";
+  case Opcode::IDiv:
+    return "idiv";
+  case Opcode::IRem:
+    return "irem";
+  case Opcode::INeg:
+    return "ineg";
+  case Opcode::IAnd:
+    return "iand";
+  case Opcode::IOr:
+    return "ior";
+  case Opcode::IXor:
+    return "ixor";
+  case Opcode::IShl:
+    return "ishl";
+  case Opcode::IShr:
+    return "ishr";
+  case Opcode::DAdd:
+    return "dadd";
+  case Opcode::DSub:
+    return "dsub";
+  case Opcode::DMul:
+    return "dmul";
+  case Opcode::DDiv:
+    return "ddiv";
+  case Opcode::DNeg:
+    return "dneg";
+  case Opcode::DCmp:
+    return "dcmp";
+  case Opcode::I2D:
+    return "i2d";
+  case Opcode::D2I:
+    return "d2i";
+  case Opcode::Goto:
+    return "goto";
+  case Opcode::IfEqZ:
+    return "ifeq";
+  case Opcode::IfNeZ:
+    return "ifne";
+  case Opcode::IfLtZ:
+    return "iflt";
+  case Opcode::IfLeZ:
+    return "ifle";
+  case Opcode::IfGtZ:
+    return "ifgt";
+  case Opcode::IfGeZ:
+    return "ifge";
+  case Opcode::IfICmpEq:
+    return "if_icmpeq";
+  case Opcode::IfICmpNe:
+    return "if_icmpne";
+  case Opcode::IfICmpLt:
+    return "if_icmplt";
+  case Opcode::IfICmpLe:
+    return "if_icmple";
+  case Opcode::IfICmpGt:
+    return "if_icmpgt";
+  case Opcode::IfICmpGe:
+    return "if_icmpge";
+  case Opcode::IfNull:
+    return "ifnull";
+  case Opcode::IfNonNull:
+    return "ifnonnull";
+  case Opcode::IfACmpEq:
+    return "if_acmpeq";
+  case Opcode::IfACmpNe:
+    return "if_acmpne";
+  case Opcode::New:
+    return "new";
+  case Opcode::GetField:
+    return "getfield";
+  case Opcode::PutField:
+    return "putfield";
+  case Opcode::GetStatic:
+    return "getstatic";
+  case Opcode::PutStatic:
+    return "putstatic";
+  case Opcode::NewArray:
+    return "newarray";
+  case Opcode::ArrayLength:
+    return "arraylength";
+  case Opcode::AALoad:
+    return "aaload";
+  case Opcode::AAStore:
+    return "aastore";
+  case Opcode::IALoad:
+    return "iaload";
+  case Opcode::IAStore:
+    return "iastore";
+  case Opcode::CALoad:
+    return "caload";
+  case Opcode::CAStore:
+    return "castore";
+  case Opcode::DALoad:
+    return "daload";
+  case Opcode::DAStore:
+    return "dastore";
+  case Opcode::InvokeVirtual:
+    return "invokevirtual";
+  case Opcode::InvokeSpecial:
+    return "invokespecial";
+  case Opcode::InvokeStatic:
+    return "invokestatic";
+  case Opcode::Return:
+    return "return";
+  case Opcode::IReturn:
+    return "ireturn";
+  case Opcode::DReturn:
+    return "dreturn";
+  case Opcode::AReturn:
+    return "areturn";
+  case Opcode::Throw:
+    return "athrow";
+  case Opcode::MonitorEnter:
+    return "monitorenter";
+  case Opcode::MonitorExit:
+    return "monitorexit";
+  }
+  jdrag_unreachable("unknown opcode");
+}
+
+bool jdrag::ir::isConditionalBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::IfEqZ:
+  case Opcode::IfNeZ:
+  case Opcode::IfLtZ:
+  case Opcode::IfLeZ:
+  case Opcode::IfGtZ:
+  case Opcode::IfGeZ:
+  case Opcode::IfICmpEq:
+  case Opcode::IfICmpNe:
+  case Opcode::IfICmpLt:
+  case Opcode::IfICmpLe:
+  case Opcode::IfICmpGt:
+  case Opcode::IfICmpGe:
+  case Opcode::IfNull:
+  case Opcode::IfNonNull:
+  case Opcode::IfACmpEq:
+  case Opcode::IfACmpNe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool jdrag::ir::isBranch(Opcode Op) {
+  return Op == Opcode::Goto || isConditionalBranch(Op);
+}
+
+bool jdrag::ir::isUnconditionalTerminator(Opcode Op) {
+  return Op == Opcode::Goto || Op == Opcode::Throw || isReturn(Op);
+}
+
+bool jdrag::ir::isReturn(Opcode Op) {
+  switch (Op) {
+  case Opcode::Return:
+  case Opcode::IReturn:
+  case Opcode::DReturn:
+  case Opcode::AReturn:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool jdrag::ir::isObjectUse(Opcode Op) {
+  switch (Op) {
+  case Opcode::GetField:
+  case Opcode::PutField:
+  case Opcode::InvokeVirtual:
+  case Opcode::InvokeSpecial:
+  case Opcode::MonitorEnter:
+  case Opcode::MonitorExit:
+  case Opcode::ArrayLength:
+  case Opcode::AALoad:
+  case Opcode::AAStore:
+  case Opcode::IALoad:
+  case Opcode::IAStore:
+  case Opcode::CALoad:
+  case Opcode::CAStore:
+  case Opcode::DALoad:
+  case Opcode::DAStore:
+  case Opcode::Throw:
+    return true;
+  default:
+    return false;
+  }
+}

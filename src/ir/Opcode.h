@@ -1,0 +1,153 @@
+//===- ir/Opcode.h - Bytecode opcode set ------------------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stack bytecode the mini-JVM interprets. The set mirrors the JVM
+/// opcodes the paper's instrumentation hooks (getfield, putfield,
+/// invokevirtual, monitorenter/monitorexit, new, ...) plus the arithmetic
+/// and control flow needed to express the nine benchmark workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_IR_OPCODE_H
+#define JDRAG_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace jdrag::ir {
+
+enum class Opcode : std::uint8_t {
+  // Constants.
+  IConst,     ///< push IVal
+  DConst,     ///< push DVal
+  AConstNull, ///< push null reference
+
+  // Pure stack manipulation.
+  Nop,
+  Pop,
+  Dup,
+  Swap,
+
+  // Locals (A = slot).
+  ILoad,
+  IStore,
+  DLoad,
+  DStore,
+  ALoad,
+  AStore,
+
+  // Integer arithmetic (64-bit in the VM, accounted as Java ints).
+  IAdd,
+  ISub,
+  IMul,
+  IDiv,
+  IRem,
+  INeg,
+  IAnd,
+  IOr,
+  IXor,
+  IShl,
+  IShr,
+
+  // Double arithmetic.
+  DAdd,
+  DSub,
+  DMul,
+  DDiv,
+  DNeg,
+  DCmp, ///< pops b, a; pushes -1/0/1 as Int
+
+  // Conversions.
+  I2D,
+  D2I,
+
+  // Control flow (A = target pc).
+  Goto,
+  IfEqZ,
+  IfNeZ,
+  IfLtZ,
+  IfLeZ,
+  IfGtZ,
+  IfGeZ,
+  IfICmpEq,
+  IfICmpNe,
+  IfICmpLt,
+  IfICmpLe,
+  IfICmpGt,
+  IfICmpGe,
+  IfNull,
+  IfNonNull,
+  IfACmpEq,
+  IfACmpNe,
+
+  // Objects (A = ClassId / FieldId index).
+  New,       ///< A = ClassId; pushes fresh uninitialised object
+  GetField,  ///< A = FieldId; pops obj, pushes value       [object use]
+  PutField,  ///< A = FieldId; pops value, obj              [object use]
+  GetStatic, ///< A = FieldId; pushes value
+  PutStatic, ///< A = FieldId; pops value
+
+  // Arrays (NewArray: A = ArrayKind; element ops pop index, array).
+  NewArray,    ///< pops length; pushes array                [-]
+  ArrayLength, ///< pops array; pushes length                [object use]
+  AALoad,      ///< ref element load                         [array use]
+  AAStore,     ///< ref element store                        [array use]
+  IALoad,
+  IAStore,
+  CALoad,
+  CAStore,
+  DALoad,
+  DAStore,
+
+  // Calls (A = MethodId index).
+  InvokeVirtual, ///< dynamic dispatch via vtable slot       [receiver use]
+  InvokeSpecial, ///< direct call (constructors, private)    [receiver use]
+  InvokeStatic,
+
+  // Returns.
+  Return,
+  IReturn,
+  DReturn,
+  AReturn,
+
+  // Exceptions.
+  Throw, ///< pops throwable reference                       [object use]
+
+  // Monitors (pop object; no-ops for concurrency, but object uses).
+  MonitorEnter,
+  MonitorExit,
+};
+
+/// Number of distinct opcodes (for tables indexed by opcode).
+inline constexpr unsigned NumOpcodes =
+    static_cast<unsigned>(Opcode::MonitorExit) + 1;
+
+/// Mnemonic of \p Op.
+const char *opcodeName(Opcode Op);
+
+/// True for conditional branches (one-operand and two-operand if-forms).
+bool isConditionalBranch(Opcode Op);
+
+/// True for any instruction whose A operand is a branch target
+/// (conditional branches and Goto).
+bool isBranch(Opcode Op);
+
+/// True if control never falls through to the next instruction
+/// (Goto, returns, Throw).
+bool isUnconditionalTerminator(Opcode Op);
+
+/// True for the return family.
+bool isReturn(Opcode Op);
+
+/// True for instructions the instrumented VM counts as a *use* of the
+/// popped receiver/array object (paper section 2.1.1: getfield, putfield,
+/// method invocation, monitorenter/monitorexit; array element access and
+/// arraylength dereference the array's handle).
+bool isObjectUse(Opcode Op);
+
+} // namespace jdrag::ir
+
+#endif // JDRAG_IR_OPCODE_H

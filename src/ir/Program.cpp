@@ -1,0 +1,125 @@
+//===- ir/Program.cpp -----------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace jdrag;
+using namespace jdrag::ir;
+
+const char *jdrag::ir::visibilityName(Visibility V) {
+  switch (V) {
+  case Visibility::Private:
+    return "private";
+  case Visibility::Package:
+    return "package";
+  case Visibility::Protected:
+    return "protected";
+  case Visibility::Public:
+    return "public";
+  }
+  jdrag_unreachable("unknown visibility");
+}
+
+const char *jdrag::ir::valueKindName(ValueKind K) {
+  switch (K) {
+  case ValueKind::Void:
+    return "void";
+  case ValueKind::Int:
+    return "int";
+  case ValueKind::Double:
+    return "double";
+  case ValueKind::Ref:
+    return "ref";
+  }
+  jdrag_unreachable("unknown value kind");
+}
+
+const char *jdrag::ir::arrayKindName(ArrayKind K) {
+  switch (K) {
+  case ArrayKind::Char:
+    return "char[]";
+  case ArrayKind::Int:
+    return "int[]";
+  case ArrayKind::Double:
+    return "double[]";
+  case ArrayKind::Ref:
+    return "ref[]";
+  }
+  jdrag_unreachable("unknown array kind");
+}
+
+bool Program::isSubclassOf(ClassId Sub, ClassId Super) const {
+  while (Sub.isValid()) {
+    if (Sub == Super)
+      return true;
+    Sub = classOf(Sub).Super;
+  }
+  return false;
+}
+
+ClassId Program::findClass(std::string_view Name) const {
+  for (const ClassInfo &C : Classes)
+    if (C.Name == Name)
+      return C.Id;
+  return ClassId();
+}
+
+MethodId Program::findDeclaredMethod(ClassId C, std::string_view Name) const {
+  for (MethodId M : classOf(C).DeclaredMethods)
+    if (methodOf(M).Name == Name)
+      return M;
+  return MethodId();
+}
+
+MethodId Program::findMethod(ClassId C, std::string_view Name) const {
+  for (ClassId Cur = C; Cur.isValid(); Cur = classOf(Cur).Super) {
+    MethodId M = findDeclaredMethod(Cur, Name);
+    if (M.isValid())
+      return M;
+  }
+  return MethodId();
+}
+
+FieldId Program::findField(ClassId C, std::string_view Name) const {
+  for (ClassId Cur = C; Cur.isValid(); Cur = classOf(Cur).Super) {
+    const ClassInfo &CI = classOf(Cur);
+    for (FieldId F : CI.DeclaredInstanceFields)
+      if (fieldOf(F).Name == Name)
+        return F;
+    for (FieldId F : CI.DeclaredStaticFields)
+      if (fieldOf(F).Name == Name)
+        return F;
+  }
+  return FieldId();
+}
+
+std::string Program::qualifiedMethodName(MethodId Id) const {
+  const MethodInfo &M = methodOf(Id);
+  return classOf(M.Owner).Name + "." + M.Name;
+}
+
+std::string Program::qualifiedFieldName(FieldId Id) const {
+  const FieldInfo &F = fieldOf(Id);
+  return classOf(F.Owner).Name + "." + F.Name;
+}
+
+std::uint64_t Program::countInstructions(bool ApplicationOnly) const {
+  std::uint64_t N = 0;
+  for (const MethodInfo &M : Methods) {
+    if (ApplicationOnly && classOf(M.Owner).IsLibrary)
+      continue;
+    N += M.Code.size();
+  }
+  return N;
+}
+
+std::uint32_t Program::countClasses(bool ApplicationOnly) const {
+  if (!ApplicationOnly)
+    return static_cast<std::uint32_t>(Classes.size());
+  std::uint32_t N = 0;
+  for (const ClassInfo &C : Classes)
+    if (!C.IsLibrary)
+      ++N;
+  return N;
+}

@@ -1,0 +1,481 @@
+//===- ir/ProgramBuilder.cpp ----------------------------------------------===//
+
+#include "ir/ProgramBuilder.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+
+//===----------------------------------------------------------------------===//
+// MethodBuilder
+//===----------------------------------------------------------------------===//
+
+MethodBuilder::MethodBuilder(ProgramBuilder &PB, MethodId Id)
+    : PB(PB), Id(Id), CurLine(PB.program().methodOf(Id).DeclLine) {}
+
+std::uint32_t MethodBuilder::newLocal(ValueKind K) {
+  assert(K != ValueKind::Void && "locals cannot be void");
+  MethodInfo &M = PB.program().methodOf(Id);
+  M.LocalKinds.push_back(K);
+  return static_cast<std::uint32_t>(M.LocalKinds.size()) - 1;
+}
+
+std::uint32_t MethodBuilder::stmt() {
+  CurLine = PB.NextLine++;
+  return CurLine;
+}
+
+Label MethodBuilder::newLabel() {
+  Label L;
+  L.Idx = static_cast<std::uint32_t>(LabelPcs.size());
+  LabelPcs.push_back(-1);
+  return L;
+}
+
+MethodBuilder &MethodBuilder::bind(Label L) {
+  assert(L.isValid() && L.Idx < LabelPcs.size() && "unknown label");
+  assert(LabelPcs[L.Idx] < 0 && "label bound twice");
+  LabelPcs[L.Idx] =
+      static_cast<std::int64_t>(PB.program().methodOf(Id).Code.size());
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::addHandler(Label Start, Label End, Label Target,
+                                         ClassId Type) {
+  HandlerFixups.push_back({Start.Idx, End.Idx, Target.Idx, Type});
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::emit(Opcode Op, std::int32_t A,
+                                   std::int64_t IVal, double DVal) {
+  assert(!Finished && "emitting into a finished method");
+  Instruction I;
+  I.Op = Op;
+  I.Line = CurLine;
+  I.A = A;
+  I.IVal = IVal;
+  I.DVal = DVal;
+  PB.program().methodOf(Id).Code.push_back(I);
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::emitJump(Opcode Op, Label L) {
+  assert(L.isValid() && L.Idx < LabelPcs.size() && "unknown label");
+  Fixups.push_back(
+      {static_cast<std::uint32_t>(PB.program().methodOf(Id).Code.size()),
+       L.Idx});
+  return emit(Op, /*A=*/-1);
+}
+
+MethodBuilder &MethodBuilder::iconst(std::int64_t V) {
+  return emit(Opcode::IConst, 0, V);
+}
+MethodBuilder &MethodBuilder::dconst(double V) {
+  return emit(Opcode::DConst, 0, 0, V);
+}
+MethodBuilder &MethodBuilder::aconstNull() { return emit(Opcode::AConstNull); }
+MethodBuilder &MethodBuilder::nop() { return emit(Opcode::Nop); }
+MethodBuilder &MethodBuilder::pop() { return emit(Opcode::Pop); }
+MethodBuilder &MethodBuilder::dup() { return emit(Opcode::Dup); }
+MethodBuilder &MethodBuilder::swap() { return emit(Opcode::Swap); }
+
+MethodBuilder &MethodBuilder::iload(std::uint32_t Slot) {
+  return emit(Opcode::ILoad, static_cast<std::int32_t>(Slot));
+}
+MethodBuilder &MethodBuilder::istore(std::uint32_t Slot) {
+  return emit(Opcode::IStore, static_cast<std::int32_t>(Slot));
+}
+MethodBuilder &MethodBuilder::dload(std::uint32_t Slot) {
+  return emit(Opcode::DLoad, static_cast<std::int32_t>(Slot));
+}
+MethodBuilder &MethodBuilder::dstore(std::uint32_t Slot) {
+  return emit(Opcode::DStore, static_cast<std::int32_t>(Slot));
+}
+MethodBuilder &MethodBuilder::aload(std::uint32_t Slot) {
+  return emit(Opcode::ALoad, static_cast<std::int32_t>(Slot));
+}
+MethodBuilder &MethodBuilder::astore(std::uint32_t Slot) {
+  return emit(Opcode::AStore, static_cast<std::int32_t>(Slot));
+}
+
+MethodBuilder &MethodBuilder::iadd() { return emit(Opcode::IAdd); }
+MethodBuilder &MethodBuilder::isub() { return emit(Opcode::ISub); }
+MethodBuilder &MethodBuilder::imul() { return emit(Opcode::IMul); }
+MethodBuilder &MethodBuilder::idiv() { return emit(Opcode::IDiv); }
+MethodBuilder &MethodBuilder::irem() { return emit(Opcode::IRem); }
+MethodBuilder &MethodBuilder::ineg() { return emit(Opcode::INeg); }
+MethodBuilder &MethodBuilder::iand_() { return emit(Opcode::IAnd); }
+MethodBuilder &MethodBuilder::ior_() { return emit(Opcode::IOr); }
+MethodBuilder &MethodBuilder::ixor_() { return emit(Opcode::IXor); }
+MethodBuilder &MethodBuilder::ishl() { return emit(Opcode::IShl); }
+MethodBuilder &MethodBuilder::ishr() { return emit(Opcode::IShr); }
+
+MethodBuilder &MethodBuilder::dadd() { return emit(Opcode::DAdd); }
+MethodBuilder &MethodBuilder::dsub() { return emit(Opcode::DSub); }
+MethodBuilder &MethodBuilder::dmul() { return emit(Opcode::DMul); }
+MethodBuilder &MethodBuilder::ddiv() { return emit(Opcode::DDiv); }
+MethodBuilder &MethodBuilder::dneg() { return emit(Opcode::DNeg); }
+MethodBuilder &MethodBuilder::dcmp() { return emit(Opcode::DCmp); }
+MethodBuilder &MethodBuilder::i2d() { return emit(Opcode::I2D); }
+MethodBuilder &MethodBuilder::d2i() { return emit(Opcode::D2I); }
+
+MethodBuilder &MethodBuilder::goto_(Label L) {
+  return emitJump(Opcode::Goto, L);
+}
+MethodBuilder &MethodBuilder::ifEqZ(Label L) {
+  return emitJump(Opcode::IfEqZ, L);
+}
+MethodBuilder &MethodBuilder::ifNeZ(Label L) {
+  return emitJump(Opcode::IfNeZ, L);
+}
+MethodBuilder &MethodBuilder::ifLtZ(Label L) {
+  return emitJump(Opcode::IfLtZ, L);
+}
+MethodBuilder &MethodBuilder::ifLeZ(Label L) {
+  return emitJump(Opcode::IfLeZ, L);
+}
+MethodBuilder &MethodBuilder::ifGtZ(Label L) {
+  return emitJump(Opcode::IfGtZ, L);
+}
+MethodBuilder &MethodBuilder::ifGeZ(Label L) {
+  return emitJump(Opcode::IfGeZ, L);
+}
+MethodBuilder &MethodBuilder::ifICmpEq(Label L) {
+  return emitJump(Opcode::IfICmpEq, L);
+}
+MethodBuilder &MethodBuilder::ifICmpNe(Label L) {
+  return emitJump(Opcode::IfICmpNe, L);
+}
+MethodBuilder &MethodBuilder::ifICmpLt(Label L) {
+  return emitJump(Opcode::IfICmpLt, L);
+}
+MethodBuilder &MethodBuilder::ifICmpLe(Label L) {
+  return emitJump(Opcode::IfICmpLe, L);
+}
+MethodBuilder &MethodBuilder::ifICmpGt(Label L) {
+  return emitJump(Opcode::IfICmpGt, L);
+}
+MethodBuilder &MethodBuilder::ifICmpGe(Label L) {
+  return emitJump(Opcode::IfICmpGe, L);
+}
+MethodBuilder &MethodBuilder::ifNull(Label L) {
+  return emitJump(Opcode::IfNull, L);
+}
+MethodBuilder &MethodBuilder::ifNonNull(Label L) {
+  return emitJump(Opcode::IfNonNull, L);
+}
+MethodBuilder &MethodBuilder::ifACmpEq(Label L) {
+  return emitJump(Opcode::IfACmpEq, L);
+}
+MethodBuilder &MethodBuilder::ifACmpNe(Label L) {
+  return emitJump(Opcode::IfACmpNe, L);
+}
+
+MethodBuilder &MethodBuilder::new_(ClassId C) {
+  return emit(Opcode::New, static_cast<std::int32_t>(C.Index));
+}
+MethodBuilder &MethodBuilder::getfield(FieldId F) {
+  return emit(Opcode::GetField, static_cast<std::int32_t>(F.Index));
+}
+MethodBuilder &MethodBuilder::putfield(FieldId F) {
+  return emit(Opcode::PutField, static_cast<std::int32_t>(F.Index));
+}
+MethodBuilder &MethodBuilder::getstatic(FieldId F) {
+  return emit(Opcode::GetStatic, static_cast<std::int32_t>(F.Index));
+}
+MethodBuilder &MethodBuilder::putstatic(FieldId F) {
+  return emit(Opcode::PutStatic, static_cast<std::int32_t>(F.Index));
+}
+MethodBuilder &MethodBuilder::newarray(ArrayKind K) {
+  return emit(Opcode::NewArray, static_cast<std::int32_t>(K));
+}
+MethodBuilder &MethodBuilder::arraylength() {
+  return emit(Opcode::ArrayLength);
+}
+MethodBuilder &MethodBuilder::aaload() { return emit(Opcode::AALoad); }
+MethodBuilder &MethodBuilder::aastore() { return emit(Opcode::AAStore); }
+MethodBuilder &MethodBuilder::iaload() { return emit(Opcode::IALoad); }
+MethodBuilder &MethodBuilder::iastore() { return emit(Opcode::IAStore); }
+MethodBuilder &MethodBuilder::caload() { return emit(Opcode::CALoad); }
+MethodBuilder &MethodBuilder::castore() { return emit(Opcode::CAStore); }
+MethodBuilder &MethodBuilder::daload() { return emit(Opcode::DALoad); }
+MethodBuilder &MethodBuilder::dastore() { return emit(Opcode::DAStore); }
+
+MethodBuilder &MethodBuilder::invokevirtual(MethodId M) {
+  return emit(Opcode::InvokeVirtual, static_cast<std::int32_t>(M.Index));
+}
+MethodBuilder &MethodBuilder::invokespecial(MethodId M) {
+  return emit(Opcode::InvokeSpecial, static_cast<std::int32_t>(M.Index));
+}
+MethodBuilder &MethodBuilder::invokestatic(MethodId M) {
+  return emit(Opcode::InvokeStatic, static_cast<std::int32_t>(M.Index));
+}
+MethodBuilder &MethodBuilder::ret() { return emit(Opcode::Return); }
+MethodBuilder &MethodBuilder::iret() { return emit(Opcode::IReturn); }
+MethodBuilder &MethodBuilder::dret() { return emit(Opcode::DReturn); }
+MethodBuilder &MethodBuilder::aret() { return emit(Opcode::AReturn); }
+MethodBuilder &MethodBuilder::athrow() { return emit(Opcode::Throw); }
+MethodBuilder &MethodBuilder::monitorenter() {
+  return emit(Opcode::MonitorEnter);
+}
+MethodBuilder &MethodBuilder::monitorexit() {
+  return emit(Opcode::MonitorExit);
+}
+
+void MethodBuilder::finish() {
+  assert(!Finished && "method finished twice");
+  MethodInfo &M = PB.program().methodOf(Id);
+  for (const Fixup &F : Fixups) {
+    if (LabelPcs[F.LabelIdx] < 0)
+      jdrag_unreachable("unbound label in method body");
+    M.Code[F.Pc].A = static_cast<std::int32_t>(LabelPcs[F.LabelIdx]);
+  }
+  for (const HandlerFixup &H : HandlerFixups) {
+    if (LabelPcs[H.Start] < 0 || LabelPcs[H.End] < 0 || LabelPcs[H.Target] < 0)
+      jdrag_unreachable("unbound label in exception handler");
+    ExceptionHandler EH;
+    EH.Start = static_cast<std::uint32_t>(LabelPcs[H.Start]);
+    EH.End = static_cast<std::uint32_t>(LabelPcs[H.End]);
+    EH.Target = static_cast<std::uint32_t>(LabelPcs[H.Target]);
+    EH.CatchType = H.Type;
+    M.Handlers.push_back(EH);
+  }
+  Finished = true;
+}
+
+//===----------------------------------------------------------------------===//
+// ClassBuilder
+//===----------------------------------------------------------------------===//
+
+ClassBuilder &ClassBuilder::setLibrary(bool IsLibrary) {
+  PB.program().classOf(Id).IsLibrary = IsLibrary;
+  return *this;
+}
+
+FieldId ClassBuilder::addField(std::string_view Name, ValueKind Kind,
+                               Visibility Vis, bool IsStatic, bool IsFinal) {
+  assert(Kind != ValueKind::Void && "fields cannot be void");
+  Program &P = PB.program();
+  FieldInfo F;
+  F.Id = FieldId(static_cast<std::uint32_t>(P.Fields.size()));
+  F.Owner = Id;
+  F.Name = std::string(Name);
+  F.Kind = Kind;
+  F.IsStatic = IsStatic;
+  F.IsFinal = IsFinal;
+  F.Vis = Vis;
+  F.DeclLine = PB.NextLine++;
+  P.Fields.push_back(F);
+  ClassInfo &C = P.classOf(Id);
+  if (IsStatic)
+    C.DeclaredStaticFields.push_back(F.Id);
+  else
+    C.DeclaredInstanceFields.push_back(F.Id);
+  return F.Id;
+}
+
+MethodBuilder ClassBuilder::beginMethod(std::string_view Name,
+                                        std::vector<ValueKind> Params,
+                                        ValueKind Ret, bool IsStatic,
+                                        Visibility Vis) {
+  Program &P = PB.program();
+  MethodInfo M;
+  M.Id = MethodId(static_cast<std::uint32_t>(P.Methods.size()));
+  M.Owner = Id;
+  M.Name = std::string(Name);
+  M.Params = std::move(Params);
+  M.Ret = Ret;
+  M.IsStatic = IsStatic;
+  M.Vis = Vis;
+  M.IsConstructor = (Name == "<init>");
+  M.IsFinalizer =
+      (Name == "finalize" && !IsStatic && M.Params.empty() &&
+       Ret == ValueKind::Void);
+  assert(!(M.IsConstructor && IsStatic) && "constructors are instance methods");
+  // Parameter slots: receiver first for instance methods.
+  if (!IsStatic)
+    M.LocalKinds.push_back(ValueKind::Ref);
+  for (ValueKind K : M.Params)
+    M.LocalKinds.push_back(K);
+  M.DeclLine = PB.NextLine++;
+  P.Methods.push_back(M);
+  P.classOf(Id).DeclaredMethods.push_back(M.Id);
+  return MethodBuilder(PB, M.Id);
+}
+
+MethodId ClassBuilder::addNativeMethod(std::string_view Name,
+                                       NativeId Native) {
+  Program &P = PB.program();
+  assert(Native.isValid() && Native.Index < P.Natives.size() &&
+         "unknown native");
+  const NativeInfo &N = P.nativeOf(Native);
+  MethodInfo M;
+  M.Id = MethodId(static_cast<std::uint32_t>(P.Methods.size()));
+  M.Owner = Id;
+  M.Name = std::string(Name);
+  M.Params = N.Params;
+  M.Ret = N.Ret;
+  M.IsStatic = true;
+  M.IsNative = true;
+  M.Native = Native;
+  M.LocalKinds = N.Params;
+  M.DeclLine = PB.NextLine++;
+  P.Methods.push_back(M);
+  P.classOf(Id).DeclaredMethods.push_back(M.Id);
+  return M.Id;
+}
+
+//===----------------------------------------------------------------------===//
+// ProgramBuilder
+//===----------------------------------------------------------------------===//
+
+ProgramBuilder::ProgramBuilder() : P(std::make_unique<Program>()) {
+  // java/lang/Object.
+  {
+    ClassInfo C;
+    C.Id = ClassId(0);
+    C.Name = "java/lang/Object";
+    C.IsLibrary = true;
+    C.DeclLine = NextLine++;
+    P->Classes.push_back(C);
+    P->ObjectClass = C.Id;
+  }
+  // Object.<init>: trivial constructor (just returns).
+  {
+    ClassBuilder CB(*this, P->ObjectClass);
+    MethodBuilder M =
+        CB.beginMethod("<init>", {}, ValueKind::Void, /*IsStatic=*/false);
+    M.ret();
+    M.finish();
+    ObjectInit = M.id();
+  }
+  // java/lang/Throwable and java/lang/OutOfMemoryError.
+  {
+    ClassBuilder T = beginClass("java/lang/Throwable", P->ObjectClass,
+                                /*IsLibrary=*/true);
+    MethodBuilder TI =
+        T.beginMethod("<init>", {}, ValueKind::Void, /*IsStatic=*/false);
+    TI.aload(0).invokespecial(ObjectInit).ret();
+    TI.finish();
+    P->ThrowableClass = T.id();
+
+    ClassBuilder O = beginClass("java/lang/OutOfMemoryError",
+                                P->ThrowableClass, /*IsLibrary=*/true);
+    MethodId ThrowableInit = P->findDeclaredMethod(T.id(), "<init>");
+    MethodBuilder OI =
+        O.beginMethod("<init>", {}, ValueKind::Void, /*IsStatic=*/false);
+    OI.aload(0).invokespecial(ThrowableInit).ret();
+    OI.finish();
+    P->OOMClass = O.id();
+  }
+}
+
+ClassBuilder ProgramBuilder::beginClass(std::string_view Name, ClassId Super,
+                                        bool IsLibrary) {
+  assert(!Finished && "builder already finished");
+  assert(Super.isValid() && Super.Index < P->Classes.size() &&
+         "superclass must be declared first");
+  assert(!P->findClass(Name).isValid() && "duplicate class name");
+  ClassInfo C;
+  C.Id = ClassId(static_cast<std::uint32_t>(P->Classes.size()));
+  C.Name = std::string(Name);
+  C.Super = Super;
+  C.IsLibrary = IsLibrary;
+  C.DeclLine = NextLine++;
+  P->Classes.push_back(C);
+  return ClassBuilder(*this, C.Id);
+}
+
+NativeId ProgramBuilder::declareNative(std::string_view Name,
+                                       std::vector<ValueKind> Params,
+                                       ValueKind Ret) {
+  NativeInfo N;
+  N.Id = NativeId(static_cast<std::uint32_t>(P->Natives.size()));
+  N.Name = std::string(Name);
+  N.Params = std::move(Params);
+  N.Ret = Ret;
+  P->Natives.push_back(N);
+  return N.Id;
+}
+
+void ProgramBuilder::setMain(MethodId M) {
+  const MethodInfo &MI = P->methodOf(M);
+  assert(MI.IsStatic && MI.Params.empty() && MI.Ret == ValueKind::Void &&
+         "main must be static () -> void");
+  (void)MI;
+  P->MainMethod = M;
+}
+
+Program ProgramBuilder::finish() {
+  assert(!Finished && "builder finished twice");
+  Finished = true;
+
+  // Instance layouts: classes are ordered supers-first by construction.
+  for (ClassInfo &C : P->Classes) {
+    std::uint32_t Slots = 0;
+    std::uint32_t DataBytes = 0;
+    if (C.Super.isValid()) {
+      const ClassInfo &S = P->classOf(C.Super);
+      Slots = S.NumInstanceSlots;
+      // Unpadded inherited data bytes; padding is re-applied below so a
+      // subclass can pack fields into the super's alignment slack.
+      for (ClassId Cur = C.Super; Cur.isValid(); Cur = P->classOf(Cur).Super)
+        for (FieldId F : P->classOf(Cur).DeclaredInstanceFields)
+          DataBytes += fieldBytes(P->fieldOf(F).Kind);
+    }
+    for (FieldId FId : C.DeclaredInstanceFields) {
+      FieldInfo &F = P->Fields[FId.Index];
+      F.Slot = Slots++;
+      DataBytes += fieldBytes(F.Kind);
+    }
+    C.NumInstanceSlots = Slots;
+    C.InstanceAccountedBytes = alignTo8(ObjectHeaderBytes + DataBytes);
+  }
+
+  // Static slots.
+  std::uint32_t StaticSlot = 0;
+  for (ClassInfo &C : P->Classes)
+    for (FieldId FId : C.DeclaredStaticFields)
+      P->Fields[FId.Index].Slot = StaticSlot++;
+  P->NumStaticSlots = StaticSlot;
+
+  // VTables: virtual = instance, non-constructor, non-private.
+  for (ClassInfo &C : P->Classes) {
+    if (C.Super.isValid()) {
+      const ClassInfo &S = P->classOf(C.Super);
+      C.VTable = S.VTable;
+      C.Finalizer = S.Finalizer;
+    }
+    for (MethodId MId : C.DeclaredMethods) {
+      MethodInfo &M = P->Methods[MId.Index];
+      if (M.IsStatic || M.IsConstructor || M.Vis == Visibility::Private)
+        continue;
+      // Override: same name in an existing vtable slot.
+      std::int32_t Slot = -1;
+      for (std::uint32_t I = 0, E = static_cast<std::uint32_t>(C.VTable.size());
+           I != E; ++I) {
+        const MethodInfo &Existing = P->methodOf(C.VTable[I]);
+        if (Existing.Name == M.Name) {
+          assert(Existing.Params.size() == M.Params.size() &&
+                 Existing.Ret == M.Ret && "override signature mismatch");
+          Slot = static_cast<std::int32_t>(I);
+          break;
+        }
+      }
+      if (Slot < 0) {
+        Slot = static_cast<std::int32_t>(C.VTable.size());
+        C.VTable.push_back(MId);
+      } else {
+        C.VTable[static_cast<std::uint32_t>(Slot)] = MId;
+      }
+      M.VTableSlot = Slot;
+      if (M.IsFinalizer)
+        C.Finalizer = MId;
+    }
+  }
+
+  return std::move(*P);
+}

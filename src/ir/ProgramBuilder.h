@@ -1,0 +1,275 @@
+//===- ir/ProgramBuilder.h - Fluent program assembler -----------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProgramBuilder assembles Programs: declare classes (supers first),
+/// fields and methods, emit bytecode through MethodBuilder, then call
+/// finish() to compute object layouts, static slots and vtables.
+///
+/// Line numbers model one big source file: the builder hands out
+/// monotonically increasing line numbers; MethodBuilder::stmt() starts a
+/// new "statement" (a new line). Allocation sites are therefore uniquely
+/// identified by (method, line) in reports, like the paper's tool.
+///
+/// Typical usage:
+/// \code
+///   ProgramBuilder PB;
+///   ClassBuilder C = PB.beginClass("Point", PB.objectClass());
+///   FieldId X = C.addField("x", ValueKind::Int);
+///   MethodBuilder M = C.beginMethod("getX", {}, ValueKind::Int);
+///   M.aload(0).getfield(X).iret();
+///   M.finish();
+///   Program P = PB.finish();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_IR_PROGRAMBUILDER_H
+#define JDRAG_IR_PROGRAMBUILDER_H
+
+#include "ir/Program.h"
+
+#include <memory>
+
+namespace jdrag::ir {
+
+class ProgramBuilder;
+class ClassBuilder;
+
+/// A forward-referenceable branch target inside one method body.
+struct Label {
+  std::uint32_t Idx = ~static_cast<std::uint32_t>(0);
+  bool isValid() const { return Idx != ~static_cast<std::uint32_t>(0); }
+};
+
+/// Emits the bytecode body of a single method. Non-copyable; keep it alive
+/// until finish().
+class MethodBuilder {
+public:
+  MethodBuilder(MethodBuilder &&) = default;
+  MethodBuilder(const MethodBuilder &) = delete;
+  MethodBuilder &operator=(const MethodBuilder &) = delete;
+
+  MethodId id() const { return Id; }
+
+  /// Allocates a fresh local slot of kind \p K and returns its index.
+  std::uint32_t newLocal(ValueKind K);
+
+  /// Starts a new source statement: subsequent instructions carry a fresh
+  /// line number. Returns the new line for tests that pin sites.
+  std::uint32_t stmt();
+
+  /// Current source line.
+  std::uint32_t line() const { return CurLine; }
+
+  // Labels.
+  Label newLabel();
+  MethodBuilder &bind(Label L);
+
+  /// Declares an exception handler covering [Start, End) with entry at
+  /// \p Target, catching \p Type (invalid id = catch-all).
+  MethodBuilder &addHandler(Label Start, Label End, Label Target,
+                            ClassId Type = ClassId());
+
+  // Constants and stack.
+  MethodBuilder &iconst(std::int64_t V);
+  MethodBuilder &dconst(double V);
+  MethodBuilder &aconstNull();
+  MethodBuilder &nop();
+  MethodBuilder &pop();
+  MethodBuilder &dup();
+  MethodBuilder &swap();
+
+  // Locals.
+  MethodBuilder &iload(std::uint32_t Slot);
+  MethodBuilder &istore(std::uint32_t Slot);
+  MethodBuilder &dload(std::uint32_t Slot);
+  MethodBuilder &dstore(std::uint32_t Slot);
+  MethodBuilder &aload(std::uint32_t Slot);
+  MethodBuilder &astore(std::uint32_t Slot);
+
+  // Integer arithmetic.
+  MethodBuilder &iadd();
+  MethodBuilder &isub();
+  MethodBuilder &imul();
+  MethodBuilder &idiv();
+  MethodBuilder &irem();
+  MethodBuilder &ineg();
+  MethodBuilder &iand_();
+  MethodBuilder &ior_();
+  MethodBuilder &ixor_();
+  MethodBuilder &ishl();
+  MethodBuilder &ishr();
+
+  // Double arithmetic and conversions.
+  MethodBuilder &dadd();
+  MethodBuilder &dsub();
+  MethodBuilder &dmul();
+  MethodBuilder &ddiv();
+  MethodBuilder &dneg();
+  MethodBuilder &dcmp();
+  MethodBuilder &i2d();
+  MethodBuilder &d2i();
+
+  // Control flow.
+  MethodBuilder &goto_(Label L);
+  MethodBuilder &ifEqZ(Label L);
+  MethodBuilder &ifNeZ(Label L);
+  MethodBuilder &ifLtZ(Label L);
+  MethodBuilder &ifLeZ(Label L);
+  MethodBuilder &ifGtZ(Label L);
+  MethodBuilder &ifGeZ(Label L);
+  MethodBuilder &ifICmpEq(Label L);
+  MethodBuilder &ifICmpNe(Label L);
+  MethodBuilder &ifICmpLt(Label L);
+  MethodBuilder &ifICmpLe(Label L);
+  MethodBuilder &ifICmpGt(Label L);
+  MethodBuilder &ifICmpGe(Label L);
+  MethodBuilder &ifNull(Label L);
+  MethodBuilder &ifNonNull(Label L);
+  MethodBuilder &ifACmpEq(Label L);
+  MethodBuilder &ifACmpNe(Label L);
+
+  // Objects and arrays.
+  MethodBuilder &new_(ClassId C);
+  MethodBuilder &getfield(FieldId F);
+  MethodBuilder &putfield(FieldId F);
+  MethodBuilder &getstatic(FieldId F);
+  MethodBuilder &putstatic(FieldId F);
+  MethodBuilder &newarray(ArrayKind K);
+  MethodBuilder &arraylength();
+  MethodBuilder &aaload();
+  MethodBuilder &aastore();
+  MethodBuilder &iaload();
+  MethodBuilder &iastore();
+  MethodBuilder &caload();
+  MethodBuilder &castore();
+  MethodBuilder &daload();
+  MethodBuilder &dastore();
+
+  // Calls and returns.
+  MethodBuilder &invokevirtual(MethodId M);
+  MethodBuilder &invokespecial(MethodId M);
+  MethodBuilder &invokestatic(MethodId M);
+  MethodBuilder &ret();
+  MethodBuilder &iret();
+  MethodBuilder &dret();
+  MethodBuilder &aret();
+
+  // Exceptions and monitors.
+  MethodBuilder &athrow();
+  MethodBuilder &monitorenter();
+  MethodBuilder &monitorexit();
+
+  /// Resolves labels into pc operands and seals the body. Must be called
+  /// exactly once; aborts on unbound labels.
+  void finish();
+
+private:
+  friend class ClassBuilder;
+  MethodBuilder(ProgramBuilder &PB, MethodId Id);
+
+  MethodBuilder &emit(Opcode Op, std::int32_t A = 0, std::int64_t IVal = 0,
+                      double DVal = 0.0);
+  MethodBuilder &emitJump(Opcode Op, Label L);
+
+  ProgramBuilder &PB;
+  MethodId Id;
+  std::uint32_t CurLine;
+  bool Finished = false;
+
+  // Label bookkeeping: LabelPcs[i] is the bound pc of label i, or -1.
+  std::vector<std::int64_t> LabelPcs;
+  struct Fixup {
+    std::uint32_t Pc;
+    std::uint32_t LabelIdx;
+  };
+  std::vector<Fixup> Fixups;
+  struct HandlerFixup {
+    std::uint32_t Start, End, Target; ///< label indices
+    ClassId Type;
+  };
+  std::vector<HandlerFixup> HandlerFixups;
+};
+
+/// Declares the members of one class.
+class ClassBuilder {
+public:
+  ClassId id() const { return Id; }
+
+  ClassBuilder &setLibrary(bool IsLibrary);
+
+  /// Adds an instance or static field.
+  FieldId addField(std::string_view Name, ValueKind Kind,
+                   Visibility Vis = Visibility::Public, bool IsStatic = false,
+                   bool IsFinal = false);
+
+  /// Begins a bytecode method. A method named "<init>" becomes a
+  /// constructor; "finalize" (instance, no params, void) becomes the
+  /// class's finalizer.
+  MethodBuilder beginMethod(std::string_view Name,
+                            std::vector<ValueKind> Params, ValueKind Ret,
+                            bool IsStatic = false,
+                            Visibility Vis = Visibility::Public);
+
+  /// Adds a native method (always static in jdrag). The signature is
+  /// taken from the native declaration.
+  MethodId addNativeMethod(std::string_view Name, NativeId Native);
+
+private:
+  friend class ProgramBuilder;
+  ClassBuilder(ProgramBuilder &PB, ClassId Id) : PB(PB), Id(Id) {}
+
+  ProgramBuilder &PB;
+  ClassId Id;
+};
+
+/// Builds a whole Program. The root class "java/lang/Object",
+/// "java/lang/Throwable" and "java/lang/OutOfMemoryError" (with trivial
+/// constructors) are created automatically.
+class ProgramBuilder {
+public:
+  ProgramBuilder();
+
+  ClassId objectClass() const { return P->ObjectClass; }
+  ClassId throwableClass() const { return P->ThrowableClass; }
+  ClassId oomClass() const { return P->OOMClass; }
+
+  /// Default constructor (<init> on Object) usable by any class whose
+  /// constructor just delegates to Object.
+  MethodId objectCtor() const { return ObjectInit; }
+
+  /// Begins a class deriving from \p Super (which must already exist).
+  ClassBuilder beginClass(std::string_view Name, ClassId Super,
+                          bool IsLibrary = false);
+
+  /// Declares a native entry point the VM must bind by name.
+  NativeId declareNative(std::string_view Name, std::vector<ValueKind> Params,
+                         ValueKind Ret);
+
+  /// Marks \p M as the program entry point (static, no params, void).
+  void setMain(MethodId M);
+
+  /// Access to the program under construction (used by builders).
+  Program &program() { return *P; }
+
+  /// Computes layouts, static slots and vtables; verifies structural
+  /// invariants; returns the finished program. The builder is dead after.
+  Program finish();
+
+private:
+  friend class ClassBuilder;
+  friend class MethodBuilder;
+
+  std::unique_ptr<Program> P;
+  MethodId ObjectInit;
+  std::uint32_t NextLine = 1;
+  bool Finished = false;
+};
+
+} // namespace jdrag::ir
+
+#endif // JDRAG_IR_PROGRAMBUILDER_H

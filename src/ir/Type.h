@@ -1,0 +1,84 @@
+//===- ir/Type.h - Value kinds and accounted sizes --------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The jdrag IR has three value kinds: Int (a 64-bit integer in the VM,
+/// *accounted* as a 4-byte Java int in heap sizes), Double, and Ref
+/// (an object handle, accounted as a 4-byte handle-era reference).
+/// Array element kinds add Char (2 bytes) so that the paper's juru
+/// workload -- 100K-element character arrays occupying 200 KB -- has the
+/// same footprint here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_IR_TYPE_H
+#define JDRAG_IR_TYPE_H
+
+#include "support/ErrorHandling.h"
+
+#include <cstdint>
+
+namespace jdrag::ir {
+
+/// Kind of a stack/local/field value.
+enum class ValueKind : std::uint8_t { Void, Int, Double, Ref };
+
+/// Kind of array elements. Char exists only inside arrays (like Java's
+/// char[] in String); scalar chars are Ints.
+enum class ArrayKind : std::uint8_t { Char, Int, Double, Ref };
+
+/// Accounted byte size of a field of kind \p K (Java 1.2, 32-bit layout:
+/// refs are 4-byte handles).
+inline constexpr std::uint32_t fieldBytes(ValueKind K) {
+  switch (K) {
+  case ValueKind::Int:
+    return 4;
+  case ValueKind::Double:
+    return 8;
+  case ValueKind::Ref:
+    return 4;
+  case ValueKind::Void:
+    break;
+  }
+  return 0;
+}
+
+/// Accounted byte size of an array element of kind \p K.
+inline constexpr std::uint32_t elementBytes(ArrayKind K) {
+  switch (K) {
+  case ArrayKind::Char:
+    return 2;
+  case ArrayKind::Int:
+    return 4;
+  case ArrayKind::Double:
+    return 8;
+  case ArrayKind::Ref:
+    return 4;
+  }
+  return 0;
+}
+
+/// The ValueKind stored in the VM for elements of kind \p K (Char elements
+/// load/store as Ints).
+inline constexpr ValueKind elementValueKind(ArrayKind K) {
+  switch (K) {
+  case ArrayKind::Char:
+  case ArrayKind::Int:
+    return ValueKind::Int;
+  case ArrayKind::Double:
+    return ValueKind::Double;
+  case ArrayKind::Ref:
+    return ValueKind::Ref;
+  }
+  return ValueKind::Void;
+}
+
+const char *valueKindName(ValueKind K);
+const char *arrayKindName(ArrayKind K);
+
+} // namespace jdrag::ir
+
+#endif // JDRAG_IR_TYPE_H

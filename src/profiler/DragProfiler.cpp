@@ -1,0 +1,100 @@
+//===- profiler/DragProfiler.cpp ------------------------------------------===//
+
+#include "profiler/DragProfiler.h"
+
+using namespace jdrag;
+using namespace jdrag::profiler;
+using namespace jdrag::vm;
+
+DragProfiler::DragProfiler(const ir::Program &P, ProfilerConfig Config)
+    : P(P), Config(std::move(Config)) {
+  for (ir::ClassId C : this->Config.ExcludedClasses)
+    Excluded.insert(C.Index);
+}
+
+void DragProfiler::onAllocate(ObjectId Id, Handle, const HeapObject &Obj,
+                              std::span<const CallFrameRef> Chain,
+                              ByteTime Now) {
+  Trailer T;
+  T.Class = Obj.Class;
+  T.AKind = Obj.AKind;
+  T.IsArray = Obj.isArray();
+  T.Bytes = Obj.AccountedBytes;
+  T.AllocTime = Now;
+  T.FirstUseTime = Now;
+  T.LastUseTime = Now; // never-used objects drag from creation
+  T.AllocSite = Log.Sites.intern(Chain, Config.SiteDepth);
+  T.Excluded = !Obj.isArray() && Excluded.count(Obj.Class.Index) != 0;
+  Trailers.emplace(Id, T);
+}
+
+void DragProfiler::onUse(ObjectId Id, UseKind,
+                         std::span<const CallFrameRef> Chain,
+                         bool DuringOwnInit, ByteTime Now) {
+  auto It = Trailers.find(Id);
+  if (It == Trailers.end())
+    return; // VM-internal object (e.g. the preallocated OOM instance)
+  Trailer &T = It->second;
+  // Paper section 2.1: "assuming that all uses of an object in the
+  // interval between consecutive garbage collection cycles are performed
+  // at the beginning of the interval."
+  ByteTime UseTime = Config.SnapUseTimes ? std::max(IntervalStart, T.AllocTime)
+                                         : Now;
+  // FirstUseTime anchors the R&R lag phase: the first use *outside*
+  // construction (initialization uses belong to the object's birth).
+  if (!DuringOwnInit && !T.UsedOutsideInit)
+    T.FirstUseTime = std::max(UseTime, T.AllocTime);
+  if (UseTime > T.LastUseTime)
+    T.LastUseTime = UseTime;
+  T.LastUseSite = Log.Sites.intern(Chain, Config.SiteDepth);
+  ++T.UseCount;
+  if (!DuringOwnInit)
+    T.UsedOutsideInit = true;
+}
+
+void DragProfiler::onGCEnd(ByteTime Now, std::uint64_t ReachableBytes,
+                           std::uint64_t ReachableObjects) {
+  Log.GCSamples.push_back({Now, ReachableBytes, ReachableObjects});
+}
+
+void DragProfiler::onDeepGCEnd(ByteTime Now) { IntervalStart = Now; }
+
+void DragProfiler::emitRecord(ObjectId Id, const Trailer &T, ByteTime Now,
+                              bool Survived) {
+  if (T.Excluded)
+    return;
+  ObjectRecord R;
+  R.Id = Id;
+  R.Class = T.Class;
+  R.AKind = T.AKind;
+  R.IsArray = T.IsArray;
+  R.Bytes = T.Bytes;
+  R.AllocTime = T.AllocTime;
+  R.FirstUseTime = T.FirstUseTime;
+  R.LastUseTime = T.LastUseTime;
+  R.CollectTime = Now;
+  R.AllocSite = T.AllocSite;
+  R.LastUseSite = T.LastUseSite;
+  R.UseCount = T.UseCount;
+  R.UsedOutsideInit = T.UsedOutsideInit;
+  R.SurvivedToEnd = Survived;
+  Log.Records.push_back(R);
+}
+
+void DragProfiler::onCollect(ObjectId Id, const HeapObject &, ByteTime Now) {
+  auto It = Trailers.find(Id);
+  if (It == Trailers.end())
+    return;
+  emitRecord(Id, It->second, Now, /*Survived=*/false);
+  Trailers.erase(It);
+}
+
+void DragProfiler::onSurvivor(ObjectId Id, const HeapObject &, ByteTime Now) {
+  auto It = Trailers.find(Id);
+  if (It == Trailers.end())
+    return;
+  emitRecord(Id, It->second, Now, /*Survived=*/true);
+  Trailers.erase(It);
+}
+
+void DragProfiler::onTerminate(ByteTime Now) { Log.EndTime = Now; }

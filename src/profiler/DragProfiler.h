@@ -1,0 +1,110 @@
+//===- profiler/DragProfiler.h - Phase-1 instrumentation --------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DragProfiler implements the paper's instrumented-JVM phase: it keeps a
+/// trailer per live object (in a side table keyed by immortal object id,
+/// so the heap's byte accounting excludes the trailer exactly as the
+/// paper specifies), timestamps every use on the byte clock (optionally
+/// snapped to the start of the current deep-GC interval, mirroring the
+/// paper's "all uses ... are performed at the beginning of the interval"
+/// assumption), records nested allocation and last-use sites, and logs a
+/// record when the object is reclaimed or survives termination.
+///
+/// Usage:
+/// \code
+///   DragProfiler Prof(Program, ProfilerConfig());
+///   VMOptions Opts;
+///   Opts.DeepGCIntervalBytes = 100 * KB; // the paper's interval
+///   Opts.Observer = &Prof;
+///   VirtualMachine VM(Program, Opts);
+///   VM.run();
+///   const ProfileLog &Log = Prof.log();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_PROFILER_DRAGPROFILER_H
+#define JDRAG_PROFILER_DRAGPROFILER_H
+
+#include "profiler/ProfileLog.h"
+#include "vm/Heap.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace jdrag::profiler {
+
+/// Tuning knobs for phase 1.
+struct ProfilerConfig {
+  /// Nesting level of recorded call chains ("the level of nesting can be
+  /// set in order to tradeoff more accurate information and speed").
+  std::uint32_t SiteDepth = 4;
+  /// Snap use timestamps to the last deep-GC boundary (paper behaviour).
+  /// Disable for exact timestamps (ablation).
+  bool SnapUseTimes = true;
+  /// Classes whose instances are excluded from the log, mirroring the
+  /// paper's exclusion of Class objects and class-reachable specials.
+  std::vector<ir::ClassId> ExcludedClasses;
+};
+
+/// The phase-1 observer. Attach to a VirtualMachine, run, take the log.
+class DragProfiler : public vm::VMObserver {
+public:
+  explicit DragProfiler(const ir::Program &P,
+                        ProfilerConfig Config = ProfilerConfig());
+
+  void onAllocate(vm::ObjectId Id, vm::Handle H, const vm::HeapObject &Obj,
+                  std::span<const vm::CallFrameRef> Chain,
+                  ByteTime Now) override;
+  void onUse(vm::ObjectId Id, vm::UseKind Kind,
+             std::span<const vm::CallFrameRef> Chain, bool DuringOwnInit,
+             ByteTime Now) override;
+  void onGCEnd(ByteTime Now, std::uint64_t ReachableBytes,
+               std::uint64_t ReachableObjects) override;
+  void onDeepGCEnd(ByteTime Now) override;
+  void onCollect(vm::ObjectId Id, const vm::HeapObject &Obj,
+                 ByteTime Now) override;
+  void onSurvivor(vm::ObjectId Id, const vm::HeapObject &Obj,
+                  ByteTime Now) override;
+  void onTerminate(ByteTime Now) override;
+
+  const ProfileLog &log() const { return Log; }
+  ProfileLog takeLog() { return std::move(Log); }
+
+  /// Live (not yet logged) object count -- should be 0 after a run.
+  std::size_t liveTrailers() const { return Trailers.size(); }
+
+private:
+  struct Trailer {
+    ir::ClassId Class;
+    ir::ArrayKind AKind = ir::ArrayKind::Int;
+    bool IsArray = false;
+    std::uint32_t Bytes = 0;
+    ByteTime AllocTime = 0;
+    ByteTime FirstUseTime = 0;
+    ByteTime LastUseTime = 0;
+    SiteId AllocSite = InvalidSite;
+    SiteId LastUseSite = InvalidSite;
+    std::uint32_t UseCount = 0;
+    bool UsedOutsideInit = false;
+    bool Excluded = false;
+  };
+
+  void emitRecord(vm::ObjectId Id, const Trailer &T, ByteTime Now,
+                  bool Survived);
+
+  const ir::Program &P;
+  ProfilerConfig Config;
+  ProfileLog Log;
+  std::unordered_map<vm::ObjectId, Trailer> Trailers;
+  std::unordered_set<std::uint32_t> Excluded; ///< class indices
+  ByteTime IntervalStart = 0; ///< last deep-GC boundary on the byte clock
+};
+
+} // namespace jdrag::profiler
+
+#endif // JDRAG_PROFILER_DRAGPROFILER_H

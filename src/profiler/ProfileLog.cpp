@@ -1,0 +1,201 @@
+//===- profiler/ProfileLog.cpp --------------------------------------------===//
+
+#include "profiler/ProfileLog.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace jdrag;
+using namespace jdrag::profiler;
+
+SpaceTime ProfileLog::totalDrag() const {
+  SpaceTime Sum = 0;
+  for (const ObjectRecord &R : Records)
+    Sum += R.drag();
+  return Sum;
+}
+
+SpaceTime ProfileLog::reachableIntegral() const {
+  SpaceTime Sum = 0;
+  for (const ObjectRecord &R : Records)
+    Sum += static_cast<SpaceTime>(R.Bytes) *
+           static_cast<SpaceTime>(R.lifeTime());
+  return Sum;
+}
+
+SpaceTime ProfileLog::inUseIntegral() const {
+  SpaceTime Sum = 0;
+  for (const ObjectRecord &R : Records)
+    Sum += static_cast<SpaceTime>(R.Bytes) *
+           static_cast<SpaceTime>(R.inUseTime());
+  return Sum;
+}
+
+namespace {
+
+constexpr std::uint64_t LogMagic = 0x6a64726167763032ULL; // "jdragv02"
+
+struct FileCloser {
+  void operator()(std::FILE *F) const {
+    if (F)
+      std::fclose(F);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T> bool writePod(std::FILE *F, const T &V) {
+  return std::fwrite(&V, sizeof(T), 1, F) == 1;
+}
+template <typename T> bool readPod(std::FILE *F, T &V) {
+  return std::fread(&V, sizeof(T), 1, F) == 1;
+}
+
+/// Fixed-width on-disk record (kept independent of in-memory layout).
+struct DiskRecord {
+  std::uint64_t Id;
+  std::uint32_t ClassIndex;
+  std::uint8_t AKind;
+  std::uint8_t IsArray;
+  std::uint8_t UsedOutsideInit;
+  std::uint8_t SurvivedToEnd;
+  std::uint32_t Bytes;
+  std::uint32_t UseCount;
+  std::uint64_t AllocTime;
+  std::uint64_t FirstUseTime;
+  std::uint64_t LastUseTime;
+  std::uint64_t CollectTime;
+  std::uint32_t AllocSite;
+  std::uint32_t LastUseSite;
+};
+
+struct DiskFrame {
+  std::uint32_t MethodIndex;
+  std::uint32_t Pc;
+  std::uint32_t Line;
+};
+
+} // namespace
+
+bool ProfileLog::writeFile(const std::string &Path) const {
+  FilePtr F(std::fopen(Path.c_str(), "wb"));
+  if (!F)
+    return false;
+  if (!writePod(F.get(), LogMagic) || !writePod(F.get(), EndTime))
+    return false;
+
+  std::uint64_t NumSites = Sites.size();
+  if (!writePod(F.get(), NumSites))
+    return false;
+  for (SiteId S = 0; S != NumSites; ++S) {
+    const auto &Chain = Sites.chain(S);
+    std::uint32_t Len = static_cast<std::uint32_t>(Chain.size());
+    if (!writePod(F.get(), Len))
+      return false;
+    for (const SiteFrame &Fr : Chain) {
+      DiskFrame D{Fr.Method.Index, Fr.Pc, Fr.Line};
+      if (!writePod(F.get(), D))
+        return false;
+    }
+  }
+
+  std::uint64_t NumRecords = Records.size();
+  if (!writePod(F.get(), NumRecords))
+    return false;
+  for (const ObjectRecord &R : Records) {
+    DiskRecord D;
+    D.Id = R.Id;
+    D.ClassIndex = R.Class.Index;
+    D.AKind = static_cast<std::uint8_t>(R.AKind);
+    D.IsArray = R.IsArray;
+    D.UsedOutsideInit = R.UsedOutsideInit;
+    D.SurvivedToEnd = R.SurvivedToEnd;
+    D.Bytes = R.Bytes;
+    D.UseCount = R.UseCount;
+    D.AllocTime = R.AllocTime;
+    D.FirstUseTime = R.FirstUseTime;
+    D.LastUseTime = R.LastUseTime;
+    D.CollectTime = R.CollectTime;
+    D.AllocSite = R.AllocSite;
+    D.LastUseSite = R.LastUseSite;
+    if (!writePod(F.get(), D))
+      return false;
+  }
+
+  std::uint64_t NumSamples = GCSamples.size();
+  if (!writePod(F.get(), NumSamples))
+    return false;
+  for (const GCSample &S : GCSamples)
+    if (!writePod(F.get(), S))
+      return false;
+  return true;
+}
+
+bool ProfileLog::readFile(const std::string &Path, ProfileLog &Out) {
+  FilePtr F(std::fopen(Path.c_str(), "rb"));
+  if (!F)
+    return false;
+  std::uint64_t Magic = 0;
+  if (!readPod(F.get(), Magic) || Magic != LogMagic)
+    return false;
+  if (!readPod(F.get(), Out.EndTime))
+    return false;
+
+  std::uint64_t NumSites = 0;
+  if (!readPod(F.get(), NumSites))
+    return false;
+  for (std::uint64_t S = 0; S != NumSites; ++S) {
+    std::uint32_t Len = 0;
+    if (!readPod(F.get(), Len) || Len > 1024)
+      return false;
+    std::vector<SiteFrame> Chain;
+    Chain.reserve(Len);
+    for (std::uint32_t I = 0; I != Len; ++I) {
+      DiskFrame D;
+      if (!readPod(F.get(), D))
+        return false;
+      Chain.push_back({ir::MethodId(D.MethodIndex), D.Pc, D.Line});
+    }
+    // Sites are written in id order, so re-interning preserves ids.
+    SiteId Got = Out.Sites.internFrames(std::move(Chain));
+    if (Got != S)
+      return false;
+  }
+
+  std::uint64_t NumRecords = 0;
+  if (!readPod(F.get(), NumRecords))
+    return false;
+  Out.Records.reserve(NumRecords);
+  for (std::uint64_t I = 0; I != NumRecords; ++I) {
+    DiskRecord D;
+    if (!readPod(F.get(), D))
+      return false;
+    ObjectRecord R;
+    R.Id = D.Id;
+    R.Class = ir::ClassId(D.ClassIndex);
+    R.AKind = static_cast<ir::ArrayKind>(D.AKind);
+    R.IsArray = D.IsArray;
+    R.UsedOutsideInit = D.UsedOutsideInit;
+    R.SurvivedToEnd = D.SurvivedToEnd;
+    R.Bytes = D.Bytes;
+    R.UseCount = D.UseCount;
+    R.AllocTime = D.AllocTime;
+    R.FirstUseTime = D.FirstUseTime;
+    R.LastUseTime = D.LastUseTime;
+    R.CollectTime = D.CollectTime;
+    R.AllocSite = D.AllocSite;
+    R.LastUseSite = D.LastUseSite;
+    Out.Records.push_back(R);
+  }
+
+  std::uint64_t NumSamples = 0;
+  if (!readPod(F.get(), NumSamples))
+    return false;
+  Out.GCSamples.reserve(NumSamples);
+  for (std::uint64_t I = 0; I != NumSamples; ++I) {
+    GCSample S;
+    if (!readPod(F.get(), S))
+      return false;
+    Out.GCSamples.push_back(S);
+  }
+  return true;
+}

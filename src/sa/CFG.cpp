@@ -1,0 +1,86 @@
+//===- sa/CFG.cpp ---------------------------------------------------------===//
+
+#include "sa/CFG.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::sa;
+
+void jdrag::sa::normalSuccessors(const MethodInfo &M, std::uint32_t Pc,
+                                 std::vector<std::uint32_t> &Out) {
+  const Instruction &I = M.Code[Pc];
+  if (isBranch(I.Op))
+    Out.push_back(static_cast<std::uint32_t>(I.A));
+  if (!isUnconditionalTerminator(I.Op))
+    Out.push_back(Pc + 1);
+}
+
+void jdrag::sa::exceptionalSuccessors(const MethodInfo &M, std::uint32_t Pc,
+                                      std::vector<std::uint32_t> &Out) {
+  for (const ExceptionHandler &H : M.Handlers)
+    if (Pc >= H.Start && Pc < H.End)
+      Out.push_back(H.Target);
+}
+
+CFG::CFG(const MethodInfo &M) : M(M) {
+  std::uint32_t N = static_cast<std::uint32_t>(M.Code.size());
+  // Leaders: entry, branch targets, instructions after branches and
+  // terminators, handler entries.
+  std::set<std::uint32_t> Leaders;
+  Leaders.insert(0);
+  for (std::uint32_t Pc = 0; Pc != N; ++Pc) {
+    const Instruction &I = M.Code[Pc];
+    if (isBranch(I.Op)) {
+      Leaders.insert(static_cast<std::uint32_t>(I.A));
+      if (Pc + 1 < N)
+        Leaders.insert(Pc + 1);
+    } else if (isUnconditionalTerminator(I.Op) && Pc + 1 < N) {
+      Leaders.insert(Pc + 1);
+    }
+  }
+  for (const ExceptionHandler &H : M.Handlers)
+    Leaders.insert(H.Target);
+
+  // Carve blocks.
+  PcToBlock.assign(N, 0);
+  std::vector<std::uint32_t> Starts(Leaders.begin(), Leaders.end());
+  for (std::size_t B = 0; B != Starts.size(); ++B) {
+    BasicBlock BB;
+    BB.Start = Starts[B];
+    BB.End = (B + 1 < Starts.size()) ? Starts[B + 1] : N;
+    Blocks.push_back(BB);
+    for (std::uint32_t Pc = BB.Start; Pc != BB.End; ++Pc)
+      PcToBlock[Pc] = static_cast<std::uint32_t>(B);
+  }
+  for (const ExceptionHandler &H : M.Handlers)
+    Blocks[PcToBlock[H.Target]].IsHandlerEntry = true;
+
+  // Edges: normal successors of the last instruction, plus exceptional
+  // successors of any instruction in the block.
+  std::vector<std::uint32_t> Scratch;
+  for (std::uint32_t B = 0, E = static_cast<std::uint32_t>(Blocks.size());
+       B != E; ++B) {
+    BasicBlock &BB = Blocks[B];
+    std::set<std::uint32_t> SuccBlocks;
+    if (BB.End > BB.Start) {
+      Scratch.clear();
+      normalSuccessors(M, BB.End - 1, Scratch);
+      for (std::uint32_t Pc : Scratch)
+        if (Pc < N)
+          SuccBlocks.insert(PcToBlock[Pc]);
+      for (std::uint32_t Pc = BB.Start; Pc != BB.End; ++Pc) {
+        Scratch.clear();
+        exceptionalSuccessors(M, Pc, Scratch);
+        for (std::uint32_t Target : Scratch)
+          SuccBlocks.insert(PcToBlock[Target]);
+      }
+    }
+    for (std::uint32_t SB : SuccBlocks) {
+      BB.Succs.push_back(SB);
+      Blocks[SB].Preds.push_back(B);
+    }
+  }
+}

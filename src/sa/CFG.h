@@ -1,0 +1,61 @@
+//===- sa/CFG.h - Control-flow graph over bytecode --------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks and successor edges (including exceptional edges to
+/// handler entries) over a method's bytecode. Used by the dataflow
+/// analyses of section 5 and by the dominator computation that guides
+/// lazy-allocation guard placement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SA_CFG_H
+#define JDRAG_SA_CFG_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace jdrag::sa {
+
+/// Appends the normal (non-exceptional) successor pcs of \p Pc to \p Out.
+void normalSuccessors(const ir::MethodInfo &M, std::uint32_t Pc,
+                      std::vector<std::uint32_t> &Out);
+
+/// Appends handler-entry pcs whose try range covers \p Pc.
+void exceptionalSuccessors(const ir::MethodInfo &M, std::uint32_t Pc,
+                           std::vector<std::uint32_t> &Out);
+
+/// A basic block: instruction range [Start, End).
+struct BasicBlock {
+  std::uint32_t Start = 0;
+  std::uint32_t End = 0;
+  std::vector<std::uint32_t> Succs; ///< block indices
+  std::vector<std::uint32_t> Preds; ///< block indices
+  bool IsHandlerEntry = false;
+};
+
+/// The CFG of one method. Block 0 is the entry block.
+class CFG {
+public:
+  explicit CFG(const ir::MethodInfo &M);
+
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+
+  /// Index of the block containing \p Pc.
+  std::uint32_t blockOf(std::uint32_t Pc) const { return PcToBlock.at(Pc); }
+
+  const ir::MethodInfo &method() const { return M; }
+
+private:
+  const ir::MethodInfo &M;
+  std::vector<BasicBlock> Blocks;
+  std::vector<std::uint32_t> PcToBlock;
+};
+
+} // namespace jdrag::sa
+
+#endif // JDRAG_SA_CFG_H

@@ -1,0 +1,91 @@
+//===- sa/CallGraph.cpp ---------------------------------------------------===//
+
+#include "sa/CallGraph.h"
+
+#include <deque>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::sa;
+
+CallGraph::CallGraph(const Program &P) : P(P), CH(P) {
+  Sites.resize(P.Methods.size());
+  for (const MethodInfo &M : P.Methods) {
+    for (std::uint32_t Pc = 0, N = static_cast<std::uint32_t>(M.Code.size());
+         Pc != N; ++Pc) {
+      const Instruction &I = M.Code[Pc];
+      if (I.Op == Opcode::InvokeVirtual || I.Op == Opcode::InvokeSpecial ||
+          I.Op == Opcode::InvokeStatic)
+        Sites[M.Id.Index].push_back(
+            {M.Id, Pc, MethodId(static_cast<std::uint32_t>(I.A))});
+    }
+  }
+
+  // Reachability from main. Instantiating a class with a finalizer makes
+  // that finalizer callable (the VM runs it during deep GC).
+  ReachableBit.assign(P.Methods.size(), false);
+  std::deque<MethodId> Worklist;
+  auto Mark = [&](MethodId M) {
+    if (!M.isValid() || ReachableBit[M.Index])
+      return;
+    ReachableBit[M.Index] = true;
+    Reachable.push_back(M);
+    Worklist.push_back(M);
+  };
+  Mark(P.MainMethod);
+  while (!Worklist.empty()) {
+    MethodId M = Worklist.front();
+    Worklist.pop_front();
+    for (const CallSite &CS : Sites[M.Index])
+      for (MethodId T : resolveTargets(CS))
+        Mark(T);
+    for (const Instruction &I : P.methodOf(M).Code)
+      if (I.Op == Opcode::New) {
+        ClassId C(static_cast<std::uint32_t>(I.A));
+        Mark(P.classOf(C).Finalizer);
+      }
+  }
+}
+
+std::vector<MethodId> CallGraph::resolveTargets(const CallSite &CS) const {
+  const MethodInfo &Named = P.methodOf(CS.NamedCallee);
+  const Instruction &I = P.methodOf(CS.Caller).Code[CS.Pc];
+  if (I.Op != Opcode::InvokeVirtual || Named.VTableSlot < 0)
+    return {CS.NamedCallee};
+  // CHA: the vtable entry of the named slot in every subclass of the
+  // declaring class.
+  std::vector<MethodId> Targets;
+  std::vector<bool> Seen(P.Methods.size(), false);
+  for (ClassId C : CH.subtree(Named.Owner)) {
+    const ClassInfo &CI = P.classOf(C);
+    std::uint32_t Slot = static_cast<std::uint32_t>(Named.VTableSlot);
+    if (Slot >= CI.VTable.size())
+      continue;
+    MethodId T = CI.VTable[Slot];
+    if (!Seen[T.Index]) {
+      Seen[T.Index] = true;
+      Targets.push_back(T);
+    }
+  }
+  return Targets;
+}
+
+std::vector<MethodId> CallGraph::targetsOf(MethodId Caller,
+                                           std::uint32_t Pc) const {
+  for (const CallSite &CS : Sites[Caller.Index])
+    if (CS.Pc == Pc)
+      return resolveTargets(CS);
+  return {};
+}
+
+std::vector<CallSite> CallGraph::callersOf(MethodId M) const {
+  std::vector<CallSite> Out;
+  for (MethodId Caller : Reachable)
+    for (const CallSite &CS : Sites[Caller.Index])
+      for (MethodId T : resolveTargets(CS))
+        if (T == M) {
+          Out.push_back(CS);
+          break;
+        }
+  return Out;
+}

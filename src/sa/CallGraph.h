@@ -1,0 +1,78 @@
+//===- sa/CallGraph.h - CHA call graph --------------------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Class-Hierarchy-Analysis call graph, the second JAN artifact the
+/// paper's workflow depends on (section 5.4): "the call graph shows the
+/// methods that are never called (unreachable methods) and can be used to
+/// reduce the set of possible targets for a virtual call site". The
+/// transformations marked (R) in the paper's Table 5 use this graph to
+/// refute uses that appear in the source but cannot happen at run time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SA_CALLGRAPH_H
+#define JDRAG_SA_CALLGRAPH_H
+
+#include "sa/ClassHierarchy.h"
+
+#include <vector>
+
+namespace jdrag::sa {
+
+/// One call site inside a method.
+struct CallSite {
+  ir::MethodId Caller;
+  std::uint32_t Pc = 0;
+  ir::MethodId NamedCallee; ///< the statically named method
+};
+
+/// CHA call graph with reachability from main (plus finalizers of
+/// instantiated classes, which the VM invokes).
+class CallGraph {
+public:
+  explicit CallGraph(const ir::Program &P);
+
+  /// Possible runtime targets of the call at (\p Caller, \p Pc):
+  /// singleton for invokestatic/invokespecial, all overriding
+  /// implementations in the hierarchy for invokevirtual.
+  std::vector<ir::MethodId> targetsOf(ir::MethodId Caller,
+                                      std::uint32_t Pc) const;
+
+  /// Methods that may execute (transitively callable from main, native
+  /// entry points excluded, finalizers of instantiated classes included).
+  const std::vector<ir::MethodId> &reachableMethods() const {
+    return Reachable;
+  }
+
+  bool isReachable(ir::MethodId M) const {
+    return M.Index < ReachableBit.size() && ReachableBit[M.Index];
+  }
+
+  /// Call sites inside \p M (empty for natives).
+  const std::vector<CallSite> &callSitesIn(ir::MethodId M) const {
+    return Sites[M.Index];
+  }
+
+  /// All call sites in reachable methods that may dispatch to \p M.
+  std::vector<CallSite> callersOf(ir::MethodId M) const;
+
+  const ClassHierarchy &hierarchy() const { return CH; }
+  const ir::Program &program() const { return P; }
+
+private:
+  std::vector<ir::MethodId> resolveTargets(const CallSite &CS) const;
+
+  const ir::Program &P;
+  ClassHierarchy CH;
+  std::vector<std::vector<CallSite>> Sites; ///< per method index
+  std::vector<ir::MethodId> Reachable;
+  std::vector<bool> ReachableBit;
+};
+
+} // namespace jdrag::sa
+
+#endif // JDRAG_SA_CALLGRAPH_H

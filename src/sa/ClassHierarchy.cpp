@@ -1,0 +1,50 @@
+//===- sa/ClassHierarchy.cpp ----------------------------------------------===//
+
+#include "sa/ClassHierarchy.h"
+
+#include "support/Format.h"
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::sa;
+
+ClassHierarchy::ClassHierarchy(const Program &P) : P(P) {
+  Direct.resize(P.Classes.size());
+  Subtree.resize(P.Classes.size());
+  for (const ClassInfo &C : P.Classes)
+    if (C.Super.isValid())
+      Direct[C.Super.Index].push_back(C.Id);
+  // Classes are supers-first, so a reverse sweep accumulates subtrees.
+  for (std::uint32_t I = static_cast<std::uint32_t>(P.Classes.size()); I-- > 0;) {
+    Subtree[I].push_back(ClassId(I));
+    for (ClassId Sub : Direct[I])
+      Subtree[I].insert(Subtree[I].end(), Subtree[Sub.Index].begin(),
+                        Subtree[Sub.Index].end());
+  }
+}
+
+std::string ClassHierarchy::renderTree() const {
+  std::string Out;
+  auto Walk = [&](auto &&Self, ClassId C, unsigned Depth) -> void {
+    Out.append(Depth * 2, ' ');
+    const ClassInfo &CI = P.classOf(C);
+    Out += CI.Name;
+    if (CI.IsLibrary)
+      Out += " [library]";
+    Out += '\n';
+    for (ClassId Sub : Direct[C.Index])
+      Self(Self, Sub, Depth + 1);
+  };
+  Walk(Walk, P.ObjectClass, 0);
+  return Out;
+}
+
+std::string ClassHierarchy::renderDot() const {
+  std::string Out = "digraph classes {\n  rankdir=BT;\n";
+  for (const ClassInfo &C : P.Classes)
+    if (C.Super.isValid())
+      Out += formatString("  \"%s\" -> \"%s\";\n", C.Name.c_str(),
+                          P.classOf(C.Super).Name.c_str());
+  Out += "}\n";
+  return Out;
+}

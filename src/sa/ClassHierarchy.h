@@ -1,0 +1,54 @@
+//===- sa/ClassHierarchy.h - Class hierarchy graph --------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The class hierarchy graph (subclass relation), one of the two JAN
+/// artifacts the paper's authors consulted while rewriting code
+/// (section 3.2: "we used the class hierarchy graph for accelerating
+/// source browsing"). Also the foundation of CHA call-graph construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SA_CLASSHIERARCHY_H
+#define JDRAG_SA_CLASSHIERARCHY_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace jdrag::sa {
+
+/// Precomputed subclass sets over a Program.
+class ClassHierarchy {
+public:
+  explicit ClassHierarchy(const ir::Program &P);
+
+  /// Direct subclasses of \p C.
+  const std::vector<ir::ClassId> &directSubclasses(ir::ClassId C) const {
+    return Direct[C.Index];
+  }
+
+  /// \p C and all its transitive subclasses, in id order.
+  const std::vector<ir::ClassId> &subtree(ir::ClassId C) const {
+    return Subtree[C.Index];
+  }
+
+  /// Renders the hierarchy as an indented tree (JAN-style browsing aid).
+  std::string renderTree() const;
+
+  /// Renders Graphviz dot.
+  std::string renderDot() const;
+
+private:
+  const ir::Program &P;
+  std::vector<std::vector<ir::ClassId>> Direct;
+  std::vector<std::vector<ir::ClassId>> Subtree;
+};
+
+} // namespace jdrag::sa
+
+#endif // JDRAG_SA_CLASSHIERARCHY_H

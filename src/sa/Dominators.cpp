@@ -1,0 +1,88 @@
+//===- sa/Dominators.cpp --------------------------------------------------===//
+
+#include "sa/Dominators.h"
+
+#include <algorithm>
+
+using namespace jdrag;
+using namespace jdrag::sa;
+
+DominatorTree::DominatorTree(const CFG &G) : G(G) {
+  std::uint32_t N = static_cast<std::uint32_t>(G.blocks().size());
+  IDom.assign(N, Unreached);
+  RPOIndex.assign(N, Unreached);
+
+  // Reverse postorder via iterative DFS from the entry block.
+  std::vector<std::uint32_t> PostOrder;
+  std::vector<std::uint8_t> State(N, 0); // 0 unvisited, 1 open, 2 done
+  std::vector<std::pair<std::uint32_t, std::size_t>> Stack;
+  Stack.push_back({0, 0});
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    const BasicBlock &BB = G.blocks()[B];
+    if (NextSucc < BB.Succs.size()) {
+      std::uint32_t S = BB.Succs[NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    State[B] = 2;
+    PostOrder.push_back(B);
+    Stack.pop_back();
+  }
+  std::vector<std::uint32_t> RPO(PostOrder.rbegin(), PostOrder.rend());
+  for (std::uint32_t I = 0; I != RPO.size(); ++I)
+    RPOIndex[RPO[I]] = I;
+
+  auto Intersect = [&](std::uint32_t A, std::uint32_t B) {
+    while (A != B) {
+      while (RPOIndex[A] > RPOIndex[B])
+        A = IDom[A];
+      while (RPOIndex[B] > RPOIndex[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  IDom[0] = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (std::uint32_t B : RPO) {
+      if (B == 0)
+        continue;
+      std::uint32_t NewIDom = Unreached;
+      for (std::uint32_t Pred : G.blocks()[B].Preds) {
+        if (IDom[Pred] == Unreached)
+          continue;
+        NewIDom = NewIDom == Unreached ? Pred : Intersect(NewIDom, Pred);
+      }
+      if (NewIDom != Unreached && IDom[B] != NewIDom) {
+        IDom[B] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(std::uint32_t A, std::uint32_t B) const {
+  if (IDom[A] == Unreached || IDom[B] == Unreached)
+    return false;
+  while (true) {
+    if (A == B)
+      return true;
+    if (B == 0)
+      return false;
+    B = IDom[B];
+  }
+}
+
+bool DominatorTree::dominatesPc(std::uint32_t PcA, std::uint32_t PcB) const {
+  std::uint32_t BA = G.blockOf(PcA), BB = G.blockOf(PcB);
+  if (BA == BB)
+    return PcA <= PcB;
+  return dominates(BA, BB);
+}

@@ -1,0 +1,52 @@
+//===- sa/Dominators.h - Dominator tree over a CFG --------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative dominator computation (Cooper-Harvey-Kennedy). The lazy
+/// allocation transformation uses dominance for *minimal code insertion*
+/// (paper section 5.1): a null-check guard is redundant at a field read
+/// dominated by another guarded read of the same field, in the spirit of
+/// the PRE-style placement the paper sketches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SA_DOMINATORS_H
+#define JDRAG_SA_DOMINATORS_H
+
+#include "sa/CFG.h"
+
+namespace jdrag::sa {
+
+/// Dominator tree over the blocks of a CFG.
+class DominatorTree {
+public:
+  explicit DominatorTree(const CFG &G);
+
+  /// Immediate dominator block index; the entry block (0) returns itself.
+  /// Unreachable blocks return ~0u.
+  std::uint32_t idom(std::uint32_t Block) const { return IDom[Block]; }
+
+  /// Does block \p A dominate block \p B?
+  bool dominates(std::uint32_t A, std::uint32_t B) const;
+
+  /// Does instruction \p PcA dominate instruction \p PcB? Within one
+  /// block, earlier pcs dominate later ones.
+  bool dominatesPc(std::uint32_t PcA, std::uint32_t PcB) const;
+
+  bool isReachable(std::uint32_t Block) const {
+    return IDom[Block] != Unreached;
+  }
+
+private:
+  static constexpr std::uint32_t Unreached = ~static_cast<std::uint32_t>(0);
+  const CFG &G;
+  std::vector<std::uint32_t> IDom;
+  std::vector<std::uint32_t> RPOIndex; ///< reverse-postorder number
+};
+
+} // namespace jdrag::sa
+
+#endif // JDRAG_SA_DOMINATORS_H

@@ -1,0 +1,252 @@
+//===- sa/Effects.cpp -----------------------------------------------------===//
+
+#include "sa/Effects.h"
+
+#include "sa/StackFlow.h"
+
+#include <algorithm>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::sa;
+
+namespace {
+
+/// Flow-insensitive fresh-local computation: a local slot is *fresh* if
+/// it is not a parameter and every value ever stored into it is a fresh
+/// allocation (or null). Loading a fresh slot yields a fresh object, so
+/// constructors that build an array in a local before publishing it stay
+/// visibly pure.
+std::uint64_t computeFreshLocals(const ir::MethodInfo &M,
+                                 const StackFlow &SF) {
+  if (M.numLocals() > 64)
+    return 0;
+  std::uint64_t Fresh = 0;
+  for (std::uint32_t Slot = M.numParamSlots(), E = M.numLocals(); Slot != E;
+       ++Slot)
+    if (M.LocalKinds[Slot] == ir::ValueKind::Ref)
+      Fresh |= 1ull << Slot;
+  for (std::uint32_t Pc = 0, N = static_cast<std::uint32_t>(M.Code.size());
+       Pc != N; ++Pc) {
+    const ir::Instruction &I = M.Code[Pc];
+    if (I.Op != Opcode::AStore || !SF.isReachable(Pc))
+      continue;
+    StackCell V = SF.operand(Pc, 0);
+    bool AllFresh = !V.Top && !V.Origins.empty();
+    if (!V.Top)
+      for (const StackValue &O : V.Origins)
+        if (O.O != StackValue::Origin::New &&
+            O.O != StackValue::Origin::Null)
+          AllFresh = false;
+    if (!AllFresh)
+      Fresh &= ~(1ull << static_cast<std::uint32_t>(I.A));
+  }
+  return Fresh;
+}
+
+/// True if every possible origin of \p Cell is `this` (local slot 0 of an
+/// instance method that never reassigns slot 0), an object freshly
+/// allocated in this method, or a fresh local.
+bool isSelfOrFresh(const StackCell &Cell, bool Slot0IsThis,
+                   std::uint64_t FreshLocals) {
+  if (Cell.Top)
+    return false;
+  for (const StackValue &V : Cell.Origins) {
+    if (V.O == StackValue::Origin::New)
+      continue;
+    if (V.O == StackValue::Origin::Local && V.Aux == 0 && Slot0IsThis)
+      continue;
+    if (V.O == StackValue::Origin::Local && V.Aux >= 0 && V.Aux < 64 &&
+        ((FreshLocals >> V.Aux) & 1))
+      continue;
+    return false;
+  }
+  return !Cell.Origins.empty();
+}
+
+/// True if every origin is a fresh allocation (directly or via a fresh
+/// local) in this method.
+bool isFresh(const StackCell &Cell, std::uint64_t FreshLocals) {
+  if (Cell.Top)
+    return false;
+  for (const StackValue &V : Cell.Origins) {
+    if (V.O == StackValue::Origin::New)
+      continue;
+    if (V.O == StackValue::Origin::Local && V.Aux >= 0 && V.Aux < 64 &&
+        ((FreshLocals >> V.Aux) & 1))
+      continue;
+    return false;
+  }
+  return !Cell.Origins.empty();
+}
+
+void addThrown(MethodEffects &E, ClassId C) {
+  if (std::find(E.ThrownClasses.begin(), E.ThrownClasses.end(), C) ==
+      E.ThrownClasses.end())
+    E.ThrownClasses.push_back(C);
+}
+
+} // namespace
+
+EffectAnalysis::EffectAnalysis(const Program &P, const CallGraph &CG)
+    : P(P), CG(CG) {
+  Summaries.resize(P.Methods.size());
+  HasCatchAll.assign(P.Methods.size(), false);
+
+  // Local (intraprocedural) summaries.
+  for (MethodId M : CG.reachableMethods()) {
+    const MethodInfo &MI = P.methodOf(M);
+    MethodEffects &E = Summaries[M.Index];
+    if (MI.IsNative) {
+      E.CallsNative = true;
+      continue;
+    }
+    summarizeLocal(MI, E);
+  }
+
+  // Fixpoint over call edges (effects only grow, so iterate to stable).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (MethodId M : CG.reachableMethods()) {
+      const MethodInfo &MI = P.methodOf(M);
+      if (MI.IsNative)
+        continue;
+      MethodEffects &E = Summaries[M.Index];
+      for (const CallSite &CS : CG.callSitesIn(M)) {
+        for (MethodId T : CG.targetsOf(M, CS.Pc)) {
+          const MethodEffects &TE = Summaries[T.Index];
+          auto Merge = [&](bool &Dst, bool Src) {
+            if (Src && !Dst) {
+              Dst = true;
+              Changed = true;
+            }
+          };
+          Merge(E.WritesStatic, TE.WritesStatic);
+          Merge(E.WritesForeignHeap, TE.WritesForeignHeap);
+          Merge(E.ReadsOuterState, TE.ReadsOuterState);
+          Merge(E.CallsNative, TE.CallsNative);
+          Merge(E.Allocates, TE.Allocates);
+          Merge(E.ThrowsExplicit, TE.ThrowsExplicit);
+          Merge(E.ThrowsUnknown, TE.ThrowsUnknown);
+          for (ClassId C : TE.ThrownClasses)
+            if (std::find(E.ThrownClasses.begin(), E.ThrownClasses.end(),
+                          C) == E.ThrownClasses.end()) {
+              E.ThrownClasses.push_back(C);
+              Changed = true;
+            }
+        }
+      }
+    }
+  }
+}
+
+void EffectAnalysis::summarizeLocal(const MethodInfo &M, MethodEffects &E) {
+  // Callee writes to fresh objects are writes to objects the caller never
+  // saw; but a callee writing into ITS `this` mutates an object the
+  // caller passed. So for summary purposes, only fresh receivers are
+  // innocuous when viewed from the caller... unless the method is a
+  // constructor, whose defining job is initializing its own `this`
+  // (removing the allocation removes those writes with it).
+  bool Slot0IsThis = !M.IsStatic;
+  for (const Instruction &I : M.Code)
+    if ((I.Op == Opcode::AStore || I.Op == Opcode::IStore ||
+         I.Op == Opcode::DStore) &&
+        I.A == 0)
+      Slot0IsThis = false;
+  bool TreatThisAsSelf = Slot0IsThis && M.IsConstructor;
+
+  StackFlow SF(P, M);
+  std::uint64_t FreshLocals = computeFreshLocals(M, SF);
+  for (std::uint32_t Pc = 0, N = static_cast<std::uint32_t>(M.Code.size());
+       Pc != N; ++Pc) {
+    if (!SF.isReachable(Pc))
+      continue;
+    const Instruction &I = M.Code[Pc];
+    switch (I.Op) {
+    case Opcode::New:
+    case Opcode::NewArray:
+      E.Allocates = true;
+      break;
+    case Opcode::PutStatic:
+      E.WritesStatic = true;
+      break;
+    case Opcode::GetStatic:
+      E.ReadsOuterState = true;
+      break;
+    case Opcode::PutField:
+      if (!isSelfOrFresh(SF.operand(Pc, 1), TreatThisAsSelf, FreshLocals))
+        E.WritesForeignHeap = true;
+      break;
+    case Opcode::GetField:
+      if (!isSelfOrFresh(SF.operand(Pc, 1), TreatThisAsSelf, FreshLocals))
+        E.ReadsOuterState = true;
+      break;
+    case Opcode::AAStore:
+    case Opcode::IAStore:
+    case Opcode::CAStore:
+    case Opcode::DAStore:
+      if (!isFresh(SF.operand(Pc, 2), FreshLocals))
+        E.WritesForeignHeap = true;
+      break;
+    case Opcode::AALoad:
+    case Opcode::IALoad:
+    case Opcode::CALoad:
+    case Opcode::DALoad:
+      if (!isFresh(SF.operand(Pc, 1), FreshLocals))
+        E.ReadsOuterState = true;
+      break;
+    case Opcode::Throw: {
+      E.ThrowsExplicit = true;
+      StackCell Ex = SF.operand(Pc, 0);
+      if (Ex.Top) {
+        E.ThrowsUnknown = true;
+        break;
+      }
+      for (const StackValue &V : Ex.Origins) {
+        if (V.O == StackValue::Origin::New && V.Aux >= 0 &&
+            M.Code[V.DefPc].Op == Opcode::New)
+          addThrown(E, ClassId(static_cast<std::uint32_t>(V.Aux)));
+        else
+          E.ThrowsUnknown = true;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  for (const ExceptionHandler &H : M.Handlers)
+    if (!H.CatchType.isValid())
+      HasCatchAll[M.Id.Index] = true;
+}
+
+bool EffectAnalysis::programHasHandlerFor(ClassId C) const {
+  for (MethodId M : CG.reachableMethods())
+    for (const ExceptionHandler &H : P.methodOf(M).Handlers) {
+      if (!H.CatchType.isValid())
+        return true; // catch-all
+      if (P.isSubclassOf(C, H.CatchType))
+        return true;
+    }
+  return false;
+}
+
+bool EffectAnalysis::isRemovableCtor(MethodId Ctor) const {
+  const MethodEffects &E = effects(Ctor);
+  if (E.WritesStatic || E.WritesForeignHeap || E.CallsNative ||
+      E.ThrowsExplicit || E.ThrowsUnknown)
+    return false;
+  if (E.Allocates && programHasHandlerFor(P.OOMClass))
+    return false;
+  return true;
+}
+
+bool EffectAnalysis::isStateIndependentCtor(MethodId Ctor) const {
+  const MethodInfo &MI = P.methodOf(Ctor);
+  if (!MI.Params.empty())
+    return false;
+  const MethodEffects &E = effects(Ctor);
+  return isRemovableCtor(Ctor) && !E.ReadsOuterState;
+}

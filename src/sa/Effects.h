@@ -1,0 +1,89 @@
+//===- sa/Effects.h - Side-effect and exception analysis --------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transitive side-effect summaries per method, the legality oracle for
+/// the paper's transformations:
+///
+///  * Dead code removal (section 3.3.2): "we must guarantee that the
+///    constructor is the only code that references the object and that
+///    the constructor has no influence on the rest of the program, e.g.,
+///    it does not update other objects or static variables and it cannot
+///    throw an exception for which there may be a handler."
+///  * Lazy allocation (section 3.3.3): "the constructor may not depend on
+///    program state, e.g., it must have no parameters ... and it may not
+///    read program state ... Also, the constructor may not throw
+///    exceptions for which there may be handlers" (only OOM was possible,
+///    so they "only had to check that there were no handlers for
+///    OUT_OF_MEMORY in the program").
+///
+/// Java's precise exception model (section 5.5) makes the handler check
+/// part of every removal's legality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SA_EFFECTS_H
+#define JDRAG_SA_EFFECTS_H
+
+#include "sa/CallGraph.h"
+
+#include <vector>
+
+namespace jdrag::sa {
+
+/// Transitive effect summary of one method.
+struct MethodEffects {
+  bool WritesStatic = false;
+  /// Writes a field of an object other than `this` or a fresh object
+  /// allocated inside the (transitive) callee.
+  bool WritesForeignHeap = false;
+  /// Reads a static or a field of an object other than `this`/fresh.
+  bool ReadsOuterState = false;
+  bool CallsNative = false;
+  bool Allocates = false; ///< may throw OOM
+  bool ThrowsExplicit = false;
+  /// User classes possibly thrown (empty unless ThrowsExplicit).
+  std::vector<ir::ClassId> ThrownClasses;
+  /// An athrow whose operand class could not be resolved.
+  bool ThrowsUnknown = false;
+};
+
+/// Whole-program effect analysis with fixpoint propagation over the CHA
+/// call graph.
+class EffectAnalysis {
+public:
+  EffectAnalysis(const ir::Program &P, const CallGraph &CG);
+
+  const MethodEffects &effects(ir::MethodId M) const {
+    return Summaries[M.Index];
+  }
+
+  /// Does any reachable method contain a handler that could catch \p C
+  /// (or a catch-all)?
+  bool programHasHandlerFor(ir::ClassId C) const;
+
+  /// Legality of deleting a call to constructor \p Ctor together with
+  /// its allocation: no outward writes, no native calls, no explicit
+  /// throws, and any OOM it could raise is uncatchable in this program.
+  bool isRemovableCtor(ir::MethodId Ctor) const;
+
+  /// Legality of *delaying* constructor \p Ctor (lazy allocation): it
+  /// must additionally take no parameters and read no program state, so
+  /// running it later yields the same object.
+  bool isStateIndependentCtor(ir::MethodId Ctor) const;
+
+private:
+  void summarizeLocal(const ir::MethodInfo &M, MethodEffects &E);
+
+  const ir::Program &P;
+  const CallGraph &CG;
+  std::vector<MethodEffects> Summaries;
+  std::vector<bool> HasCatchAll;
+};
+
+} // namespace jdrag::sa
+
+#endif // JDRAG_SA_EFFECTS_H

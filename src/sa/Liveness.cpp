@@ -1,0 +1,72 @@
+//===- sa/Liveness.cpp ----------------------------------------------------===//
+
+#include "sa/Liveness.h"
+
+#include "sa/CFG.h"
+
+#include <cassert>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::sa;
+
+namespace {
+
+bool isLocalLoad(Opcode Op) {
+  return Op == Opcode::ILoad || Op == Opcode::DLoad || Op == Opcode::ALoad;
+}
+
+bool isLocalStore(Opcode Op) {
+  return Op == Opcode::IStore || Op == Opcode::DStore || Op == Opcode::AStore;
+}
+
+} // namespace
+
+LivenessAnalysis::LivenessAnalysis(const Program &, const MethodInfo &M)
+    : M(M) {
+  assert(M.numLocals() <= 64 && "LivenessAnalysis supports up to 64 locals");
+  std::uint32_t N = static_cast<std::uint32_t>(M.Code.size());
+  LiveIn.assign(N, 0);
+  LiveOut.assign(N, 0);
+
+  std::vector<std::uint32_t> Succs;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (std::uint32_t Pc = N; Pc-- > 0;) {
+      const Instruction &I = M.Code[Pc];
+      std::uint64_t Out = 0;
+      Succs.clear();
+      normalSuccessors(M, Pc, Succs);
+      exceptionalSuccessors(M, Pc, Succs);
+      for (std::uint32_t S : Succs)
+        if (S < N)
+          Out |= LiveIn[S];
+
+      std::uint64_t In = Out;
+      if (isLocalStore(I.Op))
+        In &= ~(1ull << static_cast<std::uint32_t>(I.A));
+      else if (isLocalLoad(I.Op))
+        In |= 1ull << static_cast<std::uint32_t>(I.A);
+
+      if (Out != LiveOut[Pc] || In != LiveIn[Pc]) {
+        LiveOut[Pc] = Out;
+        LiveIn[Pc] = In;
+        Changed = true;
+      }
+    }
+  }
+}
+
+std::vector<std::uint32_t>
+LivenessAnalysis::lastUsePcs(std::uint32_t Slot) const {
+  std::vector<std::uint32_t> Out;
+  for (std::uint32_t Pc = 0, N = static_cast<std::uint32_t>(M.Code.size());
+       Pc != N; ++Pc) {
+    const Instruction &I = M.Code[Pc];
+    if (isLocalLoad(I.Op) && static_cast<std::uint32_t>(I.A) == Slot &&
+        !isLiveOut(Pc, Slot))
+      Out.push_back(Pc);
+  }
+  return Out;
+}

@@ -1,0 +1,66 @@
+//===- sa/Reports.cpp -----------------------------------------------------===//
+
+#include "sa/Reports.h"
+
+#include "support/Format.h"
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::sa;
+
+StaticFindings jdrag::sa::collectStaticFindings(const Program &P,
+                                                const CallGraph &CG,
+                                                const ValueFlowAnalysis &VFA,
+                                                const EffectAnalysis &EA,
+                                                bool IncludeLibrary) {
+  StaticFindings F;
+  auto IsApp = [&](MethodId M) {
+    return IncludeLibrary || !P.classOf(P.methodOf(M).Owner).IsLibrary;
+  };
+
+  for (const MethodInfo &M : P.Methods)
+    if (!CG.isReachable(M.Id) && IsApp(M.Id) && !M.IsNative)
+      F.UnreachableMethods.push_back(M.Id);
+
+  for (const AllocSiteInfo &A : VFA.allocations())
+    if (VFA.isAllocationDead(A.Method, A.Pc) && IsApp(A.Method))
+      F.DeadAllocations.push_back({A.Method, A.Pc});
+
+  for (const MethodInfo &M : P.Methods) {
+    if (!M.IsConstructor || !CG.isReachable(M.Id) || !IsApp(M.Id))
+      continue;
+    if (EA.isRemovableCtor(M.Id))
+      F.RemovableCtors.push_back(M.Id);
+    if (EA.isStateIndependentCtor(M.Id))
+      F.StateIndependentCtors.push_back(M.Id);
+  }
+
+  F.ProgramCatchesOOM = EA.programHasHandlerFor(P.OOMClass);
+  return F;
+}
+
+std::string jdrag::sa::renderStaticFindings(const Program &P,
+                                            const StaticFindings &F) {
+  std::string Out = "=== static analysis findings (paper section 5) ===\n";
+  Out += formatString("unreachable methods (%zu):\n",
+                      F.UnreachableMethods.size());
+  for (MethodId M : F.UnreachableMethods)
+    Out += "  " + P.qualifiedMethodName(M) + "\n";
+  Out += formatString("dead allocations (%zu):\n",
+                      F.DeadAllocations.size());
+  for (auto [M, Pc] : F.DeadAllocations)
+    Out += formatString("  %s pc %u (line %u)\n",
+                        P.qualifiedMethodName(M).c_str(), Pc,
+                        P.methodOf(M).Code[Pc].Line);
+  Out += formatString("removable constructors (%zu):\n",
+                      F.RemovableCtors.size());
+  for (MethodId M : F.RemovableCtors)
+    Out += "  " + P.qualifiedMethodName(M) + "\n";
+  Out += formatString("state-independent constructors (%zu):\n",
+                      F.StateIndependentCtors.size());
+  for (MethodId M : F.StateIndependentCtors)
+    Out += "  " + P.qualifiedMethodName(M) + "\n";
+  Out += formatString("program catches OutOfMemoryError: %s\n",
+                      F.ProgramCatchesOOM ? "yes" : "no");
+  return Out;
+}

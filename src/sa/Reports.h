@@ -1,0 +1,55 @@
+//===- sa/Reports.h - Static-analysis findings reports ----------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders what the section-5 analyses find *without any profile*: the
+/// methods the call graph proves unreachable, the allocations usage /
+/// indirect-usage analysis proves dead, the constructors the effect
+/// analysis certifies removable or state-independent, and the lazy-
+/// allocation candidates. This is the "feasible compiler algorithms"
+/// view the paper's conclusion aims at -- and the static half of the
+/// static-vs-profile ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SA_REPORTS_H
+#define JDRAG_SA_REPORTS_H
+
+#include "sa/Effects.h"
+#include "sa/ValueFlow.h"
+
+#include <string>
+#include <vector>
+
+namespace jdrag::sa {
+
+/// Aggregated static findings over one program.
+struct StaticFindings {
+  std::vector<ir::MethodId> UnreachableMethods;
+  /// Dead allocations (never used, never escaping, all sinks unused).
+  std::vector<std::pair<ir::MethodId, std::uint32_t>> DeadAllocations;
+  /// Constructors that may be deleted together with their allocation.
+  std::vector<ir::MethodId> RemovableCtors;
+  /// Constructors that may additionally be *delayed* (lazy allocation).
+  std::vector<ir::MethodId> StateIndependentCtors;
+  bool ProgramCatchesOOM = false;
+};
+
+/// Runs the analyses and collects the findings. Only application
+/// (non-library) methods are listed unless \p IncludeLibrary is set.
+StaticFindings collectStaticFindings(const ir::Program &P,
+                                     const CallGraph &CG,
+                                     const ValueFlowAnalysis &VFA,
+                                     const EffectAnalysis &EA,
+                                     bool IncludeLibrary = false);
+
+/// Renders the findings as text.
+std::string renderStaticFindings(const ir::Program &P,
+                                 const StaticFindings &F);
+
+} // namespace jdrag::sa
+
+#endif // JDRAG_SA_REPORTS_H

@@ -1,0 +1,250 @@
+//===- sa/StackFlow.cpp ---------------------------------------------------===//
+
+#include "sa/StackFlow.h"
+
+#include "sa/CFG.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::sa;
+
+bool StackCell::mayBeNewAt(std::uint32_t Pc) const {
+  if (Top)
+    return true;
+  for (const StackValue &V : Origins)
+    if (V.O == StackValue::Origin::New && V.DefPc == Pc)
+      return true;
+  return false;
+}
+
+StackCell StackCell::join(const StackCell &A, const StackCell &B) {
+  if (A.Top || B.Top)
+    return top();
+  StackCell Out;
+  Out.Origins.reserve(A.Origins.size() + B.Origins.size());
+  std::merge(A.Origins.begin(), A.Origins.end(), B.Origins.begin(),
+             B.Origins.end(), std::back_inserter(Out.Origins));
+  Out.Origins.erase(std::unique(Out.Origins.begin(), Out.Origins.end()),
+                    Out.Origins.end());
+  if (Out.Origins.size() > MaxOrigins)
+    return top();
+  return Out;
+}
+
+StackFlow::StackFlow(const Program &P, const MethodInfo &M) {
+  std::uint32_t N = static_cast<std::uint32_t>(M.Code.size());
+  States.assign(N, {});
+  Reached.assign(N, false);
+  if (M.IsNative || N == 0)
+    return;
+
+  std::deque<std::uint32_t> Worklist;
+  auto FlowTo = [&](std::uint32_t Pc, const std::vector<StackCell> &S) {
+    if (Pc >= N)
+      return;
+    if (!Reached[Pc]) {
+      Reached[Pc] = true;
+      States[Pc] = S;
+      Worklist.push_back(Pc);
+      return;
+    }
+    std::vector<StackCell> &Existing = States[Pc];
+    if (Existing.size() != S.size())
+      jdrag_unreachable("stack depth mismatch (verifier bug)");
+    bool Changed = false;
+    for (std::size_t I = 0, E = Existing.size(); I != E; ++I) {
+      StackCell J = StackCell::join(Existing[I], S[I]);
+      if (!(J == Existing[I])) {
+        Existing[I] = J;
+        Changed = true;
+      }
+    }
+    if (Changed)
+      Worklist.push_back(Pc);
+  };
+
+  Reached[0] = true;
+  Worklist.push_back(0);
+  // Handler entries start with the caught-exception value.
+  for (const ExceptionHandler &H : M.Handlers) {
+    StackValue Caught;
+    Caught.O = StackValue::Origin::Caught;
+    Caught.Aux = -1;
+    Caught.DefPc = H.Target;
+    FlowTo(H.Target, {StackCell::of(Caught)});
+  }
+
+  std::vector<std::uint32_t> Succs;
+  while (!Worklist.empty()) {
+    std::uint32_t Pc = Worklist.front();
+    Worklist.pop_front();
+    std::vector<StackCell> S = States[Pc];
+    const Instruction &I = M.Code[Pc];
+
+    auto PopN = [&](unsigned K) { S.resize(S.size() - K); };
+    auto PushV = [&](StackValue::Origin O, std::int32_t Aux = -1) {
+      StackValue V;
+      V.O = O;
+      V.Aux = Aux;
+      V.DefPc = Pc;
+      S.push_back(StackCell::of(V));
+    };
+
+    switch (I.Op) {
+    case Opcode::IConst:
+    case Opcode::DConst:
+      PushV(StackValue::Origin::Const);
+      break;
+    case Opcode::AConstNull:
+      PushV(StackValue::Origin::Null);
+      break;
+    case Opcode::Nop:
+      break;
+    case Opcode::Pop:
+      PopN(1);
+      break;
+    case Opcode::Dup:
+      S.push_back(S.back());
+      break;
+    case Opcode::Swap:
+      std::swap(S[S.size() - 1], S[S.size() - 2]);
+      break;
+    case Opcode::ILoad:
+    case Opcode::DLoad:
+    case Opcode::ALoad:
+      PushV(StackValue::Origin::Local, I.A);
+      break;
+    case Opcode::IStore:
+    case Opcode::DStore:
+    case Opcode::AStore:
+      PopN(1);
+      break;
+    case Opcode::IAdd:
+    case Opcode::ISub:
+    case Opcode::IMul:
+    case Opcode::IDiv:
+    case Opcode::IRem:
+    case Opcode::IAnd:
+    case Opcode::IOr:
+    case Opcode::IXor:
+    case Opcode::IShl:
+    case Opcode::IShr:
+    case Opcode::DAdd:
+    case Opcode::DSub:
+    case Opcode::DMul:
+    case Opcode::DDiv:
+    case Opcode::DCmp:
+      PopN(2);
+      PushV(StackValue::Origin::Const);
+      break;
+    case Opcode::INeg:
+    case Opcode::DNeg:
+    case Opcode::I2D:
+    case Opcode::D2I:
+      PopN(1);
+      PushV(StackValue::Origin::Const);
+      break;
+    case Opcode::Goto:
+      break;
+    case Opcode::IfEqZ:
+    case Opcode::IfNeZ:
+    case Opcode::IfLtZ:
+    case Opcode::IfLeZ:
+    case Opcode::IfGtZ:
+    case Opcode::IfGeZ:
+    case Opcode::IfNull:
+    case Opcode::IfNonNull:
+      PopN(1);
+      break;
+    case Opcode::IfICmpEq:
+    case Opcode::IfICmpNe:
+    case Opcode::IfICmpLt:
+    case Opcode::IfICmpLe:
+    case Opcode::IfICmpGt:
+    case Opcode::IfICmpGe:
+    case Opcode::IfACmpEq:
+    case Opcode::IfACmpNe:
+      PopN(2);
+      break;
+    case Opcode::New:
+    case Opcode::NewArray: {
+      if (I.Op == Opcode::NewArray)
+        PopN(1);
+      PushV(StackValue::Origin::New, I.A);
+      break;
+    }
+    case Opcode::GetField:
+      PopN(1);
+      PushV(StackValue::Origin::Field, I.A);
+      break;
+    case Opcode::PutField:
+      PopN(2);
+      break;
+    case Opcode::GetStatic:
+      PushV(StackValue::Origin::Static, I.A);
+      break;
+    case Opcode::PutStatic:
+      PopN(1);
+      break;
+    case Opcode::ArrayLength:
+      PopN(1);
+      PushV(StackValue::Origin::Const);
+      break;
+    case Opcode::AALoad: {
+      PopN(1); // index
+      StackCell Arr = S.back();
+      S.pop_back();
+      // Remember which field the array came from when that is unique.
+      std::int32_t FieldAux = -1;
+      if (Arr.isSingle() && (Arr.single().O == StackValue::Origin::Field ||
+                             Arr.single().O == StackValue::Origin::Static))
+        FieldAux = Arr.single().Aux;
+      PushV(StackValue::Origin::ArrayElem, FieldAux);
+      break;
+    }
+    case Opcode::IALoad:
+    case Opcode::CALoad:
+    case Opcode::DALoad:
+      PopN(2);
+      PushV(StackValue::Origin::Const);
+      break;
+    case Opcode::AAStore:
+    case Opcode::IAStore:
+    case Opcode::CAStore:
+    case Opcode::DAStore:
+      PopN(3);
+      break;
+    case Opcode::InvokeVirtual:
+    case Opcode::InvokeSpecial:
+    case Opcode::InvokeStatic: {
+      const MethodInfo &Callee = P.Methods[static_cast<std::uint32_t>(I.A)];
+      PopN(static_cast<unsigned>(Callee.Params.size()) +
+           (Callee.IsStatic ? 0u : 1u));
+      if (Callee.Ret != ValueKind::Void)
+        PushV(StackValue::Origin::CallResult, I.A);
+      break;
+    }
+    case Opcode::Return:
+    case Opcode::IReturn:
+    case Opcode::DReturn:
+    case Opcode::AReturn:
+    case Opcode::Throw:
+      break; // no fall-through successors
+    case Opcode::MonitorEnter:
+    case Opcode::MonitorExit:
+      PopN(1);
+      break;
+    }
+
+    Succs.clear();
+    normalSuccessors(M, Pc, Succs);
+    for (std::uint32_t Next : Succs)
+      FlowTo(Next, S);
+    // Exceptional successors are seeded once above (their entry state is
+    // always the single Top exception value).
+  }
+}

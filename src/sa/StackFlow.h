@@ -1,0 +1,127 @@
+//===- sa/StackFlow.h - Symbolic operand-stack origins ----------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An abstract interpretation over the operand stack that tracks, for
+/// every stack slot at every pc, *where its value may have come from*: a
+/// `new` instruction, a local, a field, a call result, a constant. Each
+/// cell holds a small set of possible origins; merge points union the
+/// sets (capping at a small bound, beyond which the cell degrades to the
+/// conservative Top). The verifier guarantees depth consistency.
+///
+/// StackFlow underlies the whole-program value-flow analysis (usage /
+/// indirect-usage, section 5.1), the constructor purity check (is the
+/// putfield receiver `this`?) and the transformation pattern matching
+/// (which stores consume the value of a given `new`?).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SA_STACKFLOW_H
+#define JDRAG_SA_STACKFLOW_H
+
+#include "ir/Program.h"
+
+#include <span>
+#include <vector>
+
+namespace jdrag::sa {
+
+/// One possible origin of a stack value.
+struct StackValue {
+  enum class Origin : std::uint8_t {
+    Const,      ///< iconst/dconst or arithmetic result
+    Null,       ///< aconst_null
+    New,        ///< result of `new` (Aux = ClassId) / `newarray`
+                ///< (Aux = ArrayKind) at pc DefPc
+    Local,      ///< loaded from local slot Aux
+    Field,      ///< loaded via getfield (field id Aux)
+    Static,     ///< loaded via getstatic (field id Aux)
+    ArrayElem,  ///< loaded via aaload; Aux = field id the array was read
+                ///< from, or -1 for unknown array provenance
+    CallResult, ///< returned by a call (Aux = MethodId index of the
+                ///< statically named callee)
+    Caught,     ///< the exception value at a handler entry
+  };
+
+  Origin O = Origin::Const;
+  std::int32_t Aux = -1;
+  std::uint32_t DefPc = 0; ///< pc of the producing instruction
+
+  friend bool operator==(const StackValue &A, const StackValue &B) {
+    return A.O == B.O && A.Aux == B.Aux && A.DefPc == B.DefPc;
+  }
+  friend bool operator<(const StackValue &A, const StackValue &B) {
+    if (A.O != B.O)
+      return A.O < B.O;
+    if (A.Aux != B.Aux)
+      return A.Aux < B.Aux;
+    return A.DefPc < B.DefPc;
+  }
+};
+
+/// A stack cell: a canonical (sorted, deduplicated) set of possible
+/// origins, or Top when the set overflowed the tracking bound.
+struct StackCell {
+  static constexpr std::size_t MaxOrigins = 8;
+
+  std::vector<StackValue> Origins; ///< empty iff Top
+  bool Top = false;
+
+  static StackCell top() {
+    StackCell C;
+    C.Top = true;
+    return C;
+  }
+  static StackCell of(StackValue V) {
+    StackCell C;
+    C.Origins.push_back(V);
+    return C;
+  }
+
+  bool isSingle() const { return !Top && Origins.size() == 1; }
+  const StackValue &single() const { return Origins.front(); }
+
+  /// True if New(DefPc == Pc) is among the possible origins (or Top).
+  bool mayBeNewAt(std::uint32_t Pc) const;
+
+  /// Set union; degrades to Top past MaxOrigins.
+  static StackCell join(const StackCell &A, const StackCell &B);
+
+  friend bool operator==(const StackCell &A, const StackCell &B) {
+    return A.Top == B.Top && A.Origins == B.Origins;
+  }
+};
+
+/// Per-method symbolic stack states.
+class StackFlow {
+public:
+  StackFlow(const ir::Program &P, const ir::MethodInfo &M);
+
+  /// The abstract stack just before \p Pc executes (bottom first).
+  /// Empty for unreachable pcs.
+  std::span<const StackCell> stackBefore(std::uint32_t Pc) const {
+    return {States[Pc].data(), States[Pc].size()};
+  }
+
+  /// The operand at depth \p FromTop (0 = top) before \p Pc; Top if the
+  /// recorded stack is shallower (unreachable code).
+  StackCell operand(std::uint32_t Pc, std::uint32_t FromTop) const {
+    const auto &S = States[Pc];
+    if (FromTop >= S.size())
+      return StackCell::top();
+    return S[S.size() - 1 - FromTop];
+  }
+
+  bool isReachable(std::uint32_t Pc) const { return Reached[Pc]; }
+
+private:
+  std::vector<std::vector<StackCell>> States;
+  std::vector<bool> Reached;
+};
+
+} // namespace jdrag::sa
+
+#endif // JDRAG_SA_STACKFLOW_H

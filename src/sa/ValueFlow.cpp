@@ -1,0 +1,387 @@
+//===- sa/ValueFlow.cpp ---------------------------------------------------===//
+
+#include "sa/ValueFlow.h"
+
+#include <deque>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::sa;
+
+namespace {
+
+std::uint64_t allocKey(MethodId M, std::uint32_t Pc) {
+  return (static_cast<std::uint64_t>(M.Index) << 32) | Pc;
+}
+
+/// CHA expansion of a statically named callee to all possible overrides.
+void expandTargets(const Program &P, const ClassHierarchy &CH, MethodId Named,
+                   std::vector<MethodId> &Out) {
+  const MethodInfo &NM = P.methodOf(Named);
+  if (NM.VTableSlot < 0) {
+    Out.push_back(Named);
+    return;
+  }
+  std::uint32_t Slot = static_cast<std::uint32_t>(NM.VTableSlot);
+  for (ClassId C : CH.subtree(NM.Owner)) {
+    const ClassInfo &CI = P.classOf(C);
+    if (Slot < CI.VTable.size()) {
+      MethodId T = CI.VTable[Slot];
+      bool Seen = false;
+      for (MethodId X : Out)
+        if (X == T) {
+          Seen = true;
+          break;
+        }
+      if (!Seen)
+        Out.push_back(T);
+    }
+  }
+}
+
+} // namespace
+
+ValueFlowAnalysis::ValueFlowAnalysis(const Program &P, const CallGraph &CG) {
+  for (MethodId M : CG.reachableMethods()) {
+    const MethodInfo &MI = P.methodOf(M);
+    if (!MI.IsNative)
+      analyzeMethod(P, CG, MI);
+  }
+  solve();
+}
+
+AllocSiteInfo &ValueFlowAnalysis::allocInfo(MethodId M, std::uint32_t Pc) {
+  auto [It, Fresh] = AllocIndex.try_emplace(allocKey(M, Pc), Allocs.size());
+  if (Fresh) {
+    Allocs.emplace_back();
+    Allocs.back().Method = M;
+    Allocs.back().Pc = Pc;
+  }
+  return Allocs[It->second];
+}
+
+const AllocSiteInfo *ValueFlowAnalysis::allocAt(MethodId M,
+                                                std::uint32_t Pc) const {
+  auto It = AllocIndex.find(allocKey(M, Pc));
+  return It == AllocIndex.end() ? nullptr : &Allocs[It->second];
+}
+
+void ValueFlowAnalysis::markUsed(const Location &L) { Used[L] = true; }
+
+void ValueFlowAnalysis::addEdge(const Location &From, const Location &To) {
+  Edges[From].push_back(To);
+}
+
+bool ValueFlowAnalysis::sourcesOf(const Program &P, const CallGraph &CG,
+                                  const MethodInfo &M, const StackValue &V,
+                                  std::vector<Location> &Out) const {
+  switch (V.O) {
+  case StackValue::Origin::Local:
+    Out.push_back(Location::local(M.Id, static_cast<std::uint32_t>(V.Aux)));
+    return true;
+  case StackValue::Origin::Field:
+    Out.push_back(Location::field(FieldId(static_cast<std::uint32_t>(V.Aux))));
+    return true;
+  case StackValue::Origin::Static:
+    Out.push_back(
+        Location::staticField(FieldId(static_cast<std::uint32_t>(V.Aux))));
+    return true;
+  case StackValue::Origin::ArrayElem:
+    Out.push_back(V.Aux >= 0 ? Location::arrayOf(FieldId(
+                                   static_cast<std::uint32_t>(V.Aux)))
+                             : Location::globalArray());
+    return true;
+  case StackValue::Origin::CallResult: {
+    std::vector<MethodId> Targets;
+    expandTargets(P, CG.hierarchy(),
+                  MethodId(static_cast<std::uint32_t>(V.Aux)), Targets);
+    for (MethodId T : Targets)
+      Out.push_back(Location::ret(T));
+    return true;
+  }
+  case StackValue::Origin::New:
+  case StackValue::Origin::Const:
+  case StackValue::Origin::Null:
+  case StackValue::Origin::Caught:
+    return false;
+  }
+  return false;
+}
+
+void ValueFlowAnalysis::analyzeMethod(const Program &P, const CallGraph &CG,
+                                      const MethodInfo &M) {
+  StackFlow SF(P, M);
+  std::vector<Location> Srcs;
+
+  // Dereference: every source location of the cell is used; New origins
+  // become directly-used (unless this is the object's constructor call).
+  auto Deref = [&](const StackCell &Cell, bool IsCtorCall = false,
+                   MethodId Ctor = MethodId(), std::uint32_t CtorPc = 0) {
+    if (Cell.Top) {
+      TopEvent = true;
+      return;
+    }
+    for (const StackValue &V : Cell.Origins) {
+      if (V.O == StackValue::Origin::New) {
+        AllocSiteInfo &A = allocInfo(M.Id, V.DefPc);
+        if (IsCtorCall) {
+          if (A.Ctor.isValid() && !(A.Ctor == Ctor && A.CtorPc == CtorPc))
+            A.MultipleCtors = true;
+          A.Ctor = Ctor;
+          A.CtorPc = CtorPc;
+        } else {
+          A.DirectlyUsed = true;
+        }
+        continue;
+      }
+      Srcs.clear();
+      if (sourcesOf(P, CG, M, V, Srcs))
+        for (const Location &L : Srcs)
+          markUsed(L);
+    }
+  };
+
+  // Copy: edges from every source location into \p Dst; New origins
+  // record \p Dst as a sink.
+  auto Flow = [&](const StackCell &Cell, const Location &Dst) {
+    if (Cell.Top) {
+      TopEvent = true;
+      return;
+    }
+    for (const StackValue &V : Cell.Origins) {
+      if (V.O == StackValue::Origin::New) {
+        allocInfo(M.Id, V.DefPc).Sinks.push_back(Dst);
+        continue;
+      }
+      Srcs.clear();
+      if (sourcesOf(P, CG, M, V, Srcs))
+        for (const Location &L : Srcs)
+          addEdge(L, Dst);
+    }
+  };
+
+  auto Escape = [&](const StackCell &Cell) {
+    if (Cell.Top) {
+      TopEvent = true;
+      return;
+    }
+    for (const StackValue &V : Cell.Origins) {
+      if (V.O == StackValue::Origin::New) {
+        allocInfo(M.Id, V.DefPc).Escaped = true;
+        continue;
+      }
+      Srcs.clear();
+      if (sourcesOf(P, CG, M, V, Srcs))
+        for (const Location &L : Srcs)
+          markUsed(L); // escapes to untracked territory: assume used
+    }
+  };
+
+  /// Bucket for array elements given the array operand's cell.
+  auto BucketOf = [&](const StackCell &Arr) {
+    if (Arr.isSingle()) {
+      const StackValue &V = Arr.single();
+      if (V.O == StackValue::Origin::Field ||
+          V.O == StackValue::Origin::Static)
+        return Location::arrayOf(FieldId(static_cast<std::uint32_t>(V.Aux)));
+    }
+    return Location::globalArray();
+  };
+
+  for (std::uint32_t Pc = 0, N = static_cast<std::uint32_t>(M.Code.size());
+       Pc != N; ++Pc) {
+    if (!SF.isReachable(Pc))
+      continue;
+    const Instruction &I = M.Code[Pc];
+    switch (I.Op) {
+    case Opcode::New:
+    case Opcode::NewArray:
+      allocInfo(M.Id, Pc); // ensure the site exists in the table
+      break;
+
+    case Opcode::GetField:
+    case Opcode::ArrayLength:
+    case Opcode::MonitorEnter:
+    case Opcode::MonitorExit:
+      Deref(SF.operand(Pc, 0));
+      break;
+
+    case Opcode::PutField: {
+      Deref(SF.operand(Pc, 1)); // receiver
+      FieldId F(static_cast<std::uint32_t>(I.A));
+      Flow(SF.operand(Pc, 0), Location::field(F));
+      break;
+    }
+    case Opcode::PutStatic: {
+      FieldId F(static_cast<std::uint32_t>(I.A));
+      Flow(SF.operand(Pc, 0), Location::staticField(F));
+      break;
+    }
+    case Opcode::AStore:
+      Flow(SF.operand(Pc, 0),
+           Location::local(M.Id, static_cast<std::uint32_t>(I.A)));
+      break;
+
+    case Opcode::AALoad:
+      Deref(SF.operand(Pc, 1)); // the array
+      break;
+    case Opcode::IALoad:
+    case Opcode::CALoad:
+    case Opcode::DALoad:
+      Deref(SF.operand(Pc, 1));
+      break;
+    case Opcode::AAStore: {
+      StackCell Arr = SF.operand(Pc, 2);
+      Deref(Arr);
+      Flow(SF.operand(Pc, 0), BucketOf(Arr));
+      break;
+    }
+    case Opcode::IAStore:
+    case Opcode::CAStore:
+    case Opcode::DAStore:
+      Deref(SF.operand(Pc, 2));
+      break;
+
+    case Opcode::AReturn:
+      Flow(SF.operand(Pc, 0), Location::ret(M.Id));
+      break;
+
+    case Opcode::Throw:
+      Deref(SF.operand(Pc, 0));
+      Escape(SF.operand(Pc, 0));
+      break;
+
+    case Opcode::InvokeVirtual:
+    case Opcode::InvokeSpecial:
+    case Opcode::InvokeStatic: {
+      MethodId Named(static_cast<std::uint32_t>(I.A));
+      const MethodInfo &Callee = P.methodOf(Named);
+      std::uint32_t NParams = static_cast<std::uint32_t>(Callee.Params.size());
+      std::vector<MethodId> Targets;
+      if (I.Op == Opcode::InvokeVirtual)
+        expandTargets(P, CG.hierarchy(), Named, Targets);
+      else
+        Targets.push_back(Named);
+
+      bool AnyNative = false;
+      for (MethodId T : Targets)
+        if (P.methodOf(T).IsNative)
+          AnyNative = true;
+
+      // Explicit parameters (arg j is at stack depth NParams-1-j).
+      for (std::uint32_t J = 0; J != NParams; ++J) {
+        StackCell Arg = SF.operand(Pc, NParams - 1 - J);
+        if (Callee.Params[J] != ValueKind::Ref)
+          continue;
+        if (AnyNative) {
+          Deref(Arg); // natives dereference their handles
+          Escape(Arg);
+          continue;
+        }
+        for (MethodId T : Targets) {
+          const MethodInfo &TI = P.methodOf(T);
+          std::uint32_t Slot = J + (TI.IsStatic ? 0u : 1u);
+          Flow(Arg, Location::local(T, Slot));
+        }
+      }
+
+      // Receiver.
+      if (!Callee.IsStatic) {
+        StackCell Recv = SF.operand(Pc, NParams);
+        if (Callee.IsConstructor) {
+          // Construction: records the ctor without counting as a use.
+          // The constructor's view of `this` is NOT modelled as a flow
+          // edge; dead-code removal therefore additionally requires the
+          // ctor to be pure (no leak of `this`), see EffectAnalysis.
+          Deref(Recv, /*IsCtorCall=*/true, Named, Pc);
+        } else {
+          Deref(Recv);
+          for (MethodId T : Targets)
+            if (!P.methodOf(T).IsNative)
+              Flow(Recv, Location::local(T, 0));
+        }
+      }
+      break;
+    }
+
+    default:
+      break;
+    }
+  }
+}
+
+void ValueFlowAnalysis::solve() {
+  if (Solved)
+    return;
+  Solved = true;
+  // Backward propagation: Used(src) <= Used(dst) for each edge src->dst.
+  std::unordered_map<Location, std::vector<Location>, LocationHash> Rev;
+  for (const auto &[Src, Dsts] : Edges)
+    for (const Location &Dst : Dsts)
+      Rev[Dst].push_back(Src);
+
+  std::deque<Location> Worklist;
+  for (const auto &[L, U] : Used)
+    if (U)
+      Worklist.push_back(L);
+  while (!Worklist.empty()) {
+    Location L = Worklist.front();
+    Worklist.pop_front();
+    auto It = Rev.find(L);
+    if (It == Rev.end())
+      continue;
+    for (const Location &Src : It->second) {
+      auto [UIt, Fresh] = Used.try_emplace(Src, true);
+      if (Fresh || !UIt->second) {
+        UIt->second = true;
+        Worklist.push_back(Src);
+      }
+    }
+  }
+}
+
+std::vector<Location>
+ValueFlowAnalysis::transitiveSinks(MethodId M, std::uint32_t Pc) const {
+  std::vector<Location> Out;
+  const AllocSiteInfo *A = allocAt(M, Pc);
+  if (!A)
+    return Out;
+  std::deque<Location> Worklist(A->Sinks.begin(), A->Sinks.end());
+  std::unordered_map<Location, bool, LocationHash> Seen;
+  for (const Location &L : A->Sinks)
+    Seen[L] = true;
+  while (!Worklist.empty()) {
+    Location L = Worklist.front();
+    Worklist.pop_front();
+    Out.push_back(L);
+    auto It = Edges.find(L);
+    if (It == Edges.end())
+      continue;
+    for (const Location &Dst : It->second) {
+      auto [SIt, Fresh] = Seen.try_emplace(Dst, true);
+      (void)SIt;
+      if (Fresh)
+        Worklist.push_back(Dst);
+    }
+  }
+  return Out;
+}
+
+bool ValueFlowAnalysis::isLocationUsed(const Location &L) const {
+  if (TopEvent)
+    return true;
+  auto It = Used.find(L);
+  return It != Used.end() && It->second;
+}
+
+bool ValueFlowAnalysis::isAllocationDead(MethodId M, std::uint32_t Pc) const {
+  if (TopEvent)
+    return false;
+  const AllocSiteInfo *A = allocAt(M, Pc);
+  if (!A || A->DirectlyUsed || A->Escaped)
+    return false;
+  for (const Location &L : A->Sinks)
+    if (isLocationUsed(L))
+      return false;
+  return true;
+}

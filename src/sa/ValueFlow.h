@@ -1,0 +1,148 @@
+//===- sa/ValueFlow.h - Usage and indirect-usage analysis -------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-program value-flow analysis behind the paper's section 5.1
+/// *usage analysis* ("finding variables that are set using side-effect
+/// free expressions, but never used") and *indirect-usage analysis* ("an
+/// object is never-used if none of its references is ever dereferenced").
+///
+/// Model: values live in *locations* -- local slots, instance fields
+/// (merged over all instances), static fields, per-field array-element
+/// buckets, and method returns. Copies between locations form a flow
+/// graph; an object-use opcode consuming a value *dereferences* its
+/// source location. A location is USED iff it is dereferenced or its
+/// value can flow into a used location. An allocation site is DEAD iff
+/// the object is never directly used outside its constructor, never
+/// escapes (non-constructor call argument, return, unknown store), and
+/// every location it is stored into is unused. Dead allocations are the
+/// dead-code-removal candidates (legality of removing the constructor is
+/// EffectAnalysis's job).
+///
+/// Only methods reachable in the CHA call graph are analyzed -- the
+/// paper's "(R)" refinement: uses in methods that are never invoked do
+/// not count (section 5.4, the raytrace getter example).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SA_VALUEFLOW_H
+#define JDRAG_SA_VALUEFLOW_H
+
+#include "sa/CallGraph.h"
+#include "sa/StackFlow.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace jdrag::sa {
+
+/// An abstract storage location.
+struct Location {
+  enum class Kind : std::uint8_t {
+    Local,        ///< A = method index, B = slot
+    InstanceField,///< A = field index
+    StaticField,  ///< A = field index
+    ArrayOfField, ///< elements of arrays held in field A
+    GlobalArray,  ///< elements of arrays of unknown provenance
+    Return,       ///< return value of method A
+  };
+
+  Kind K = Kind::GlobalArray;
+  std::uint32_t A = 0;
+  std::uint32_t B = 0;
+
+  static Location local(ir::MethodId M, std::uint32_t Slot) {
+    return {Kind::Local, M.Index, Slot};
+  }
+  static Location field(ir::FieldId F) {
+    return {Kind::InstanceField, F.Index, 0};
+  }
+  static Location staticField(ir::FieldId F) {
+    return {Kind::StaticField, F.Index, 0};
+  }
+  static Location arrayOf(ir::FieldId F) {
+    return {Kind::ArrayOfField, F.Index, 0};
+  }
+  static Location globalArray() { return {Kind::GlobalArray, 0, 0}; }
+  static Location ret(ir::MethodId M) { return {Kind::Return, M.Index, 0}; }
+
+  friend bool operator==(const Location &X, const Location &Y) {
+    return X.K == Y.K && X.A == Y.A && X.B == Y.B;
+  }
+};
+
+struct LocationHash {
+  std::size_t operator()(const Location &L) const {
+    return (static_cast<std::size_t>(L.K) * 0x9e3779b97f4a7c15ULL) ^
+           (static_cast<std::size_t>(L.A) << 20) ^ L.B;
+  }
+};
+
+/// Summary of one `new`/`newarray` site.
+struct AllocSiteInfo {
+  ir::MethodId Method;
+  std::uint32_t Pc = 0;
+  bool DirectlyUsed = false; ///< used outside its constructor call
+  bool Escaped = false;      ///< non-ctor call arg, return, native, ...
+  std::vector<Location> Sinks; ///< locations the object is stored into
+  ir::MethodId Ctor;           ///< constructor invoked on it (objects)
+  std::uint32_t CtorPc = 0;    ///< pc of that invokespecial
+  bool MultipleCtors = false;  ///< more than one ctor call site observed
+};
+
+/// The analysis result.
+class ValueFlowAnalysis {
+public:
+  ValueFlowAnalysis(const ir::Program &P, const CallGraph &CG);
+
+  /// Is \p L ever used (dereferenced directly or via copies)?
+  bool isLocationUsed(const Location &L) const;
+
+  /// Info for the allocation at (\p M, \p Pc); nullptr if that pc is not
+  /// an allocation in a reachable method.
+  const AllocSiteInfo *allocAt(ir::MethodId M, std::uint32_t Pc) const;
+
+  /// All allocation sites in reachable methods.
+  const std::vector<AllocSiteInfo> &allocations() const { return Allocs; }
+
+  /// True if the object allocated at (\p M, \p Pc) is provably never
+  /// used: not directly used, not escaped, all sinks unused. This is the
+  /// dead-code-removal candidate test (constructor legality separate).
+  bool isAllocationDead(ir::MethodId M, std::uint32_t Pc) const;
+
+  /// Every location the object allocated at (\p M, \p Pc) may flow into,
+  /// transitively through copies -- e.g. a call argument local, then the
+  /// container array the callee stores it in. The auto-optimizer uses
+  /// this to find the holder that keeps a dragged object alive.
+  std::vector<Location> transitiveSinks(ir::MethodId M,
+                                        std::uint32_t Pc) const;
+
+private:
+  void analyzeMethod(const ir::Program &P, const CallGraph &CG,
+                     const ir::MethodInfo &M);
+  void markUsed(const Location &L);
+  void addEdge(const Location &From, const Location &To);
+  AllocSiteInfo &allocInfo(ir::MethodId M, std::uint32_t Pc);
+
+  /// Resolves the source location(s) of an abstract stack value; returns
+  /// true if the value is location-tracked (fills \p Out), false for
+  /// Const/Null/Unknown/New.
+  bool sourcesOf(const ir::Program &P, const CallGraph &CG,
+                 const ir::MethodInfo &M, const StackValue &V,
+                 std::vector<Location> &Out) const;
+
+  std::unordered_map<Location, std::vector<Location>, LocationHash> Edges;
+  std::unordered_map<Location, bool, LocationHash> Used;
+  std::vector<AllocSiteInfo> Allocs;
+  std::unordered_map<std::uint64_t, std::size_t> AllocIndex;
+  bool TopEvent = false; ///< a Top cell was used/stored: collapse to "all used"
+  bool Solved = false;
+  void solve();
+};
+
+} // namespace jdrag::sa
+
+#endif // JDRAG_SA_VALUEFLOW_H

@@ -1,0 +1,63 @@
+//===- support/Csv.cpp ----------------------------------------------------===//
+
+#include "support/Csv.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+
+using namespace jdrag;
+
+CsvWriter::CsvWriter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void CsvWriter::addRow(std::vector<std::string> Cells) {
+  if (Cells.size() != Headers.size())
+    jdrag_unreachable("CSV row width does not match header width");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string CsvWriter::escapeCell(const std::string &Cell) {
+  bool NeedsQuote = false;
+  for (char C : Cell)
+    if (C == ',' || C == '"' || C == '\n' || C == '\r') {
+      NeedsQuote = true;
+      break;
+    }
+  if (!NeedsQuote)
+    return Cell;
+  std::string Out = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string CsvWriter::render() const {
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0, E = Row.size(); I != E; ++I) {
+      if (I)
+        Out += ',';
+      Out += escapeCell(Row[I]);
+    }
+    Out += '\n';
+  };
+  Emit(Headers);
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}
+
+bool CsvWriter::writeFile(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Text = render();
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  return Written == Text.size();
+}

@@ -1,0 +1,46 @@
+//===- support/Csv.h - CSV emission for figure data -------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CsvWriter emits the Figure 2 heap-size series (and other sweeps) in a
+/// plotting-friendly form. Cells containing separators or quotes are
+/// escaped per RFC 4180.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SUPPORT_CSV_H
+#define JDRAG_SUPPORT_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace jdrag {
+
+/// Accumulates rows and renders RFC 4180 CSV text.
+class CsvWriter {
+public:
+  explicit CsvWriter(std::vector<std::string> Headers);
+
+  /// Appends a data row; must match the header width.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders header plus all rows.
+  std::string render() const;
+
+  /// Renders and writes to \p Path. Returns false on I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+  /// Quotes a single cell if needed.
+  static std::string escapeCell(const std::string &Cell);
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace jdrag
+
+#endif // JDRAG_SUPPORT_CSV_H

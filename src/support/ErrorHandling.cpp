@@ -1,0 +1,17 @@
+//===- support/ErrorHandling.cpp ------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void jdrag::reportFatalError(std::string_view Msg, const char *File,
+                             int Line) {
+  if (File)
+    std::fprintf(stderr, "jdrag fatal error at %s:%d: %.*s\n", File, Line,
+                 static_cast<int>(Msg.size()), Msg.data());
+  else
+    std::fprintf(stderr, "jdrag fatal error: %.*s\n",
+                 static_cast<int>(Msg.size()), Msg.data());
+  std::abort();
+}

@@ -1,0 +1,36 @@
+//===- support/ErrorHandling.h - Fatal errors and unreachable --*- C++ -*-===//
+//
+// Part of jdrag, a reproduction of "Heap Profiling for Space-Efficient
+// Java" (Shaham, Kolodner, Sagiv; PLDI 2001).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal fatal-error reporting used throughout jdrag. The library avoids
+/// exceptions (LLVM style); invariant violations abort with a message and
+/// recoverable conditions are modelled with return values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SUPPORT_ERRORHANDLING_H
+#define JDRAG_SUPPORT_ERRORHANDLING_H
+
+#include <string_view>
+
+namespace jdrag {
+
+/// Prints \p Msg (with optional file/line context) to stderr and aborts.
+/// Used for unrecoverable internal errors, e.g. a VM state the interpreter
+/// cannot continue from.
+[[noreturn]] void reportFatalError(std::string_view Msg,
+                                   const char *File = nullptr, int Line = 0);
+
+} // namespace jdrag
+
+/// Marks a point in code that must never be reached if program invariants
+/// hold. Always aborts with the given message (we keep it active in release
+/// builds: this is a research tool, determinism beats speed).
+#define jdrag_unreachable(MSG)                                                 \
+  ::jdrag::reportFatalError(MSG, __FILE__, __LINE__)
+
+#endif // JDRAG_SUPPORT_ERRORHANDLING_H

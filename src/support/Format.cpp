@@ -1,0 +1,57 @@
+//===- support/Format.cpp -------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace jdrag;
+
+std::string jdrag::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::string jdrag::formatFixed(double Value, unsigned Decimals) {
+  return formatString("%.*f", static_cast<int>(Decimals), Value);
+}
+
+std::string jdrag::formatBytes(std::uint64_t Bytes) {
+  if (Bytes < 1024)
+    return formatString("%llu B", static_cast<unsigned long long>(Bytes));
+  double KBs = static_cast<double>(Bytes) / 1024.0;
+  if (KBs < 1024.0)
+    return formatString("%llu B (%.1f KB)",
+                        static_cast<unsigned long long>(Bytes), KBs);
+  return formatString("%llu B (%.2f MB)",
+                      static_cast<unsigned long long>(Bytes), KBs / 1024.0);
+}
+
+std::string jdrag::formatPercent(double Ratio01) {
+  return formatString("%.2f%%", Ratio01 * 100.0);
+}
+
+std::string jdrag::padLeft(std::string S, unsigned Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string jdrag::padRight(std::string S, unsigned Width) {
+  if (S.size() >= Width)
+    return S;
+  S.append(Width - S.size(), ' ');
+  return S;
+}

@@ -1,0 +1,44 @@
+//===- support/Format.h - Small string formatting helpers ------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style and fixed-point formatting helpers. jdrag libraries never
+/// include <iostream>; report text is built with these helpers and written
+/// by tool code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SUPPORT_FORMAT_H
+#define JDRAG_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace jdrag {
+
+/// printf into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats \p Value with \p Decimals digits after the point, e.g.
+/// formatFixed(3.14159, 2) == "3.14".
+std::string formatFixed(double Value, unsigned Decimals);
+
+/// Formats a byte count with a human unit, e.g. "204800 B (200.0 KB)".
+std::string formatBytes(std::uint64_t Bytes);
+
+/// Formats a percentage with two decimals, e.g. "21.80%".
+std::string formatPercent(double Ratio01);
+
+/// Left-pads \p S with spaces to \p Width (no-op if already wider).
+std::string padLeft(std::string S, unsigned Width);
+
+/// Right-pads \p S with spaces to \p Width (no-op if already wider).
+std::string padRight(std::string S, unsigned Width);
+
+} // namespace jdrag
+
+#endif // JDRAG_SUPPORT_FORMAT_H

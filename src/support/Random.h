@@ -1,0 +1,53 @@
+//===- support/Random.h - Deterministic PRNG --------------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based PRNG. The benchmark programs (the nine workloads of
+/// Table 1) must be bit-for-bit deterministic so that original and revised
+/// versions can be checked to "produce identical results on several
+/// inputs" (paper section 3.2); std::mt19937 would also work but this is
+/// smaller, faster, and its output is stable across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SUPPORT_RANDOM_H
+#define JDRAG_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace jdrag {
+
+/// Deterministic 64-bit PRNG (SplitMix64).
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t Seed) : State(Seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  std::uint64_t nextBelow(std::uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0)");
+    return next() % Bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace jdrag
+
+#endif // JDRAG_SUPPORT_RANDOM_H

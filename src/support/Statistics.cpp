@@ -1,0 +1,13 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cmath>
+
+using namespace jdrag;
+
+double RunningStat::coefficientOfVariation() const {
+  if (N == 0 || Mean == 0.0)
+    return 0.0;
+  return std::sqrt(variance()) / std::fabs(Mean);
+}

@@ -1,0 +1,63 @@
+//===- support/Statistics.h - Running statistics ----------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RunningStat accumulates count/mean/variance/min/max in one pass
+/// (Welford's algorithm). The drag report uses it to implement the paper's
+/// lifetime pattern 4 ("the variance of the drag for the objects at the
+/// site is high") and Table 4 uses it to average repeated runtime
+/// measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SUPPORT_STATISTICS_H
+#define JDRAG_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <limits>
+
+namespace jdrag {
+
+/// One-pass mean/variance/min/max accumulator.
+class RunningStat {
+public:
+  void add(double X) {
+    ++N;
+    double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(N);
+    M2 += Delta * (X - Mean);
+    if (X < MinV)
+      MinV = X;
+    if (X > MaxV)
+      MaxV = X;
+  }
+
+  std::uint64_t count() const { return N; }
+  double mean() const { return Mean; }
+
+  /// Population variance; 0 with fewer than two samples.
+  double variance() const {
+    return N < 2 ? 0.0 : M2 / static_cast<double>(N);
+  }
+
+  /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+  double coefficientOfVariation() const;
+
+  double min() const { return N ? MinV : 0.0; }
+  double max() const { return N ? MaxV : 0.0; }
+  double sum() const { return Mean * static_cast<double>(N); }
+
+private:
+  std::uint64_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double MinV = std::numeric_limits<double>::infinity();
+  double MaxV = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace jdrag
+
+#endif // JDRAG_SUPPORT_STATISTICS_H

@@ -1,0 +1,58 @@
+//===- support/StringInterner.h - String uniquing ---------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// StringInterner maps strings to dense ids and back. The IR uses it for
+/// class/method/field names; the profiler's site table uses the same
+/// pattern for call chains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SUPPORT_STRINGINTERNER_H
+#define JDRAG_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace jdrag {
+
+/// Dense-id string pool. Ids are stable for the interner's lifetime.
+class StringInterner {
+public:
+  using Id = std::uint32_t;
+  static constexpr Id InvalidId = ~static_cast<Id>(0);
+
+  /// Returns the id for \p S, interning it on first sight.
+  Id intern(std::string_view S) {
+    auto It = Map.find(std::string(S));
+    if (It != Map.end())
+      return It->second;
+    Id NewId = static_cast<Id>(Strings.size());
+    Strings.emplace_back(S);
+    Map.emplace(Strings.back(), NewId);
+    return NewId;
+  }
+
+  /// Returns the id for \p S if already interned, InvalidId otherwise.
+  Id lookup(std::string_view S) const {
+    auto It = Map.find(std::string(S));
+    return It == Map.end() ? InvalidId : It->second;
+  }
+
+  const std::string &str(Id I) const { return Strings.at(I); }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(Strings.size()); }
+
+private:
+  std::vector<std::string> Strings;
+  std::unordered_map<std::string, Id> Map;
+};
+
+} // namespace jdrag
+
+#endif // JDRAG_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,63 @@
+//===- support/Table.cpp --------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/ErrorHandling.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace jdrag;
+
+TextTable::TextTable(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {
+  Aligns.assign(this->Headers.size(), Align::Left);
+}
+
+void TextTable::setAlign(unsigned Col, Align A) {
+  assert(Col < Aligns.size() && "column out of range");
+  Aligns[Col] = A;
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  if (Cells.size() != Headers.size())
+    jdrag_unreachable("row width does not match header width");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<unsigned> Widths(Headers.size(), 0);
+  auto Grow = [&](const std::vector<std::string> &Row) {
+    for (unsigned I = 0, E = static_cast<unsigned>(Row.size()); I != E; ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = static_cast<unsigned>(Row[I].size());
+  };
+  Grow(Headers);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    for (unsigned I = 0, E = static_cast<unsigned>(Row.size()); I != E; ++I) {
+      if (I)
+        Out += "  ";
+      Out += Aligns[I] == Align::Right ? padLeft(Row[I], Widths[I])
+                                       : padRight(Row[I], Widths[I]);
+    }
+    // Trim trailing spaces from left-aligned last columns.
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  Emit(Headers);
+  unsigned Total = 0;
+  for (unsigned W : Widths)
+    Total += W;
+  Total += 2 * (static_cast<unsigned>(Widths.size()) - 1);
+  Out.append(Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}

@@ -1,0 +1,53 @@
+//===- support/Table.h - Aligned console table writer ----------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TextTable renders the paper's tables (Tables 1-5) as aligned monospace
+/// text. Columns are sized to their widest cell; numeric columns are
+/// right-aligned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SUPPORT_TABLE_H
+#define JDRAG_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace jdrag {
+
+/// A simple text table with a header row, used by the bench harnesses to
+/// print paper-shaped tables.
+class TextTable {
+public:
+  enum class Align { Left, Right };
+
+  /// Creates a table with the given column headers. All columns default to
+  /// left alignment; call setAlign for numeric columns.
+  explicit TextTable(std::vector<std::string> Headers);
+
+  /// Sets the alignment of column \p Col.
+  void setAlign(unsigned Col, Align A);
+
+  /// Appends a data row. The row must have exactly as many cells as there
+  /// are headers.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table, including a separator under the header.
+  std::string render() const;
+
+  unsigned numRows() const { return static_cast<unsigned>(Rows.size()); }
+  unsigned numCols() const { return static_cast<unsigned>(Headers.size()); }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<Align> Aligns;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace jdrag
+
+#endif // JDRAG_SUPPORT_TABLE_H

@@ -1,0 +1,45 @@
+//===- support/Units.h - Byte-clock units and conversions -------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper measures *time in bytes allocated since the beginning of
+/// program execution* and reports space-time products ("integrals") in
+/// megabytes squared (MB^2). This header centralises those units so every
+/// module agrees on the conversions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SUPPORT_UNITS_H
+#define JDRAG_SUPPORT_UNITS_H
+
+#include <cstdint>
+
+namespace jdrag {
+
+/// A point on the byte clock: total bytes allocated since program start.
+using ByteTime = std::uint64_t;
+
+/// A space-time product in byte^2 units (object bytes times byte-clock
+/// duration). Accumulated in double: byte^2 overflows uint64 for runs past
+/// ~4 GB of allocation, and the paper reports MB^2 with two decimals anyway.
+using SpaceTime = double;
+
+inline constexpr std::uint64_t KB = 1024;
+inline constexpr std::uint64_t MB = 1024 * 1024;
+
+/// Converts a byte^2 space-time product to the paper's MB^2 unit.
+inline constexpr double toMB2(SpaceTime ByteSquared) {
+  return ByteSquared / (static_cast<double>(MB) * static_cast<double>(MB));
+}
+
+/// Converts a byte count to MB as a double (for Figure 2 axes).
+inline constexpr double toMB(std::uint64_t Bytes) {
+  return static_cast<double>(Bytes) / static_cast<double>(MB);
+}
+
+} // namespace jdrag
+
+#endif // JDRAG_SUPPORT_UNITS_H

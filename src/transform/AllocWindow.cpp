@@ -1,0 +1,284 @@
+//===- transform/AllocWindow.cpp ------------------------------------------===//
+
+#include "transform/AllocWindow.h"
+
+#include <set>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::sa;
+using namespace jdrag::transform;
+
+namespace {
+
+/// Stack slots consumed by \p I.
+std::uint32_t popCount(const Program &P, const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::IConst:
+  case Opcode::DConst:
+  case Opcode::AConstNull:
+  case Opcode::Nop:
+  case Opcode::ILoad:
+  case Opcode::DLoad:
+  case Opcode::ALoad:
+  case Opcode::GetStatic:
+  case Opcode::New:
+  case Opcode::Goto:
+    return 0;
+  case Opcode::Dup: // reads without consuming
+    return 0;
+  case Opcode::Swap:
+    return 0;
+  case Opcode::Pop:
+  case Opcode::IStore:
+  case Opcode::DStore:
+  case Opcode::AStore:
+  case Opcode::INeg:
+  case Opcode::DNeg:
+  case Opcode::I2D:
+  case Opcode::D2I:
+  case Opcode::IfEqZ:
+  case Opcode::IfNeZ:
+  case Opcode::IfLtZ:
+  case Opcode::IfLeZ:
+  case Opcode::IfGtZ:
+  case Opcode::IfGeZ:
+  case Opcode::IfNull:
+  case Opcode::IfNonNull:
+  case Opcode::GetField:
+  case Opcode::PutStatic:
+  case Opcode::NewArray:
+  case Opcode::ArrayLength:
+  case Opcode::IReturn:
+  case Opcode::DReturn:
+  case Opcode::AReturn:
+  case Opcode::Throw:
+  case Opcode::MonitorEnter:
+  case Opcode::MonitorExit:
+    return 1;
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IDiv:
+  case Opcode::IRem:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+  case Opcode::IXor:
+  case Opcode::IShl:
+  case Opcode::IShr:
+  case Opcode::DAdd:
+  case Opcode::DSub:
+  case Opcode::DMul:
+  case Opcode::DDiv:
+  case Opcode::DCmp:
+  case Opcode::IfICmpEq:
+  case Opcode::IfICmpNe:
+  case Opcode::IfICmpLt:
+  case Opcode::IfICmpLe:
+  case Opcode::IfICmpGt:
+  case Opcode::IfICmpGe:
+  case Opcode::IfACmpEq:
+  case Opcode::IfACmpNe:
+  case Opcode::PutField:
+  case Opcode::AALoad:
+  case Opcode::IALoad:
+  case Opcode::CALoad:
+  case Opcode::DALoad:
+    return 2;
+  case Opcode::AAStore:
+  case Opcode::IAStore:
+  case Opcode::CAStore:
+  case Opcode::DAStore:
+    return 3;
+  case Opcode::Return:
+    return 0;
+  case Opcode::InvokeVirtual:
+  case Opcode::InvokeSpecial:
+  case Opcode::InvokeStatic: {
+    const MethodInfo &Callee = P.Methods[static_cast<std::uint32_t>(I.A)];
+    return static_cast<std::uint32_t>(Callee.Params.size()) +
+           (Callee.IsStatic ? 0u : 1u);
+  }
+  }
+  return 0;
+}
+
+/// Side-effect-free, non-trapping instructions that may appear inside a
+/// removable window (besides the allocation, its ctor and its store).
+bool isWindowTransparent(Opcode Op) {
+  switch (Op) {
+  case Opcode::IConst:
+  case Opcode::DConst:
+  case Opcode::AConstNull:
+  case Opcode::Nop:
+  case Opcode::ILoad:
+  case Opcode::DLoad:
+  case Opcode::ALoad:
+  case Opcode::GetStatic:
+  case Opcode::Dup:
+  case Opcode::Swap:
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+  case Opcode::IXor:
+  case Opcode::IShl:
+  case Opcode::IShr:
+  case Opcode::INeg:
+  case Opcode::DAdd:
+  case Opcode::DSub:
+  case Opcode::DMul:
+  case Opcode::DDiv:
+  case Opcode::DNeg:
+  case Opcode::DCmp:
+  case Opcode::I2D:
+  case Opcode::D2I:
+    return true;
+  default:
+    return false; // idiv/irem can trap; everything else has effects
+  }
+}
+
+/// True iff the single origin of \p Cell is New at \p NewPc.
+bool isExactlyNewAt(const StackCell &Cell, std::uint32_t NewPc) {
+  return Cell.isSingle() &&
+         Cell.single().O == StackValue::Origin::New &&
+         Cell.single().DefPc == NewPc;
+}
+
+} // namespace
+
+std::optional<AllocWindow>
+jdrag::transform::matchAllocWindow(const Program &P, const MethodInfo &M,
+                                   const StackFlow &SF, std::uint32_t NewPc) {
+  std::uint32_t N = static_cast<std::uint32_t>(M.Code.size());
+  if (NewPc >= N || !SF.isReachable(NewPc))
+    return std::nullopt;
+  const Opcode NewOp = M.Code[NewPc].Op;
+  if (NewOp != Opcode::New && NewOp != Opcode::NewArray)
+    return std::nullopt;
+
+  // Classify every consumer of the allocated value.
+  AllocWindow W;
+  W.NewPc = NewPc;
+  bool HaveStore = false;
+  for (std::uint32_t Pc = 0; Pc != N; ++Pc) {
+    if (!SF.isReachable(Pc))
+      continue;
+    const Instruction &I = M.Code[Pc];
+    std::uint32_t Pops = popCount(P, I);
+    bool Consumes = false;
+    bool Exact = true;
+    for (std::uint32_t D = 0; D != Pops; ++D) {
+      StackCell Cell = SF.operand(Pc, D);
+      if (Cell.mayBeNewAt(NewPc)) {
+        Consumes = true;
+        if (!isExactlyNewAt(Cell, NewPc))
+          Exact = false;
+      }
+    }
+    if (!Consumes)
+      continue;
+    if (!Exact)
+      return std::nullopt; // value merged with others: not removable
+
+    if (I.Op == Opcode::InvokeSpecial) {
+      const MethodInfo &Callee = P.Methods[static_cast<std::uint32_t>(I.A)];
+      StackCell Recv =
+          SF.operand(Pc, static_cast<std::uint32_t>(Callee.Params.size()));
+      if (Callee.IsConstructor && isExactlyNewAt(Recv, NewPc) &&
+          !W.hasCtor()) {
+        // Ensure the object is only the receiver, not also an argument.
+        bool AlsoArg = false;
+        for (std::uint32_t D = 0,
+                           E = static_cast<std::uint32_t>(
+                               Callee.Params.size());
+             D != E; ++D)
+          if (SF.operand(Pc, D).mayBeNewAt(NewPc))
+            AlsoArg = true;
+        if (!AlsoArg) {
+          W.CtorPc = Pc;
+          continue;
+        }
+      }
+      return std::nullopt;
+    }
+    if (I.Op == Opcode::AStore || I.Op == Opcode::PutField ||
+        I.Op == Opcode::PutStatic || I.Op == Opcode::AAStore ||
+        I.Op == Opcode::Pop) {
+      // The object must be the stored value (operand 0), not the
+      // receiver/array of the store.
+      if (!isExactlyNewAt(SF.operand(Pc, 0), NewPc))
+        return std::nullopt;
+      for (std::uint32_t D = 1; D != Pops; ++D)
+        if (SF.operand(Pc, D).mayBeNewAt(NewPc))
+          return std::nullopt;
+      if (HaveStore)
+        return std::nullopt; // more than one store
+      HaveStore = true;
+      W.StorePc = Pc;
+      continue;
+    }
+    return std::nullopt; // any other consumer (use, arg, return, throw)
+  }
+  if (!HaveStore)
+    return std::nullopt;
+  if (NewOp == Opcode::New && !W.hasCtor())
+    return std::nullopt; // unconstructed object (should not happen)
+  if (W.StorePc < NewPc || (W.hasCtor() && (W.CtorPc < NewPc ||
+                                            W.CtorPc > W.StorePc)))
+    return std::nullopt;
+
+  // Target depth after the store.
+  std::uint32_t DepthStore =
+      static_cast<std::uint32_t>(SF.stackBefore(W.StorePc).size());
+  std::uint32_t Pops = popCount(P, M.Code[W.StorePc]);
+  if (DepthStore < Pops)
+    return std::nullopt;
+  std::uint32_t DAfter = DepthStore - Pops;
+
+  // Extend the window backwards until the entry depth matches.
+  std::uint32_t Begin = NewPc;
+  while (SF.stackBefore(Begin).size() > DAfter) {
+    if (Begin == 0)
+      return std::nullopt;
+    --Begin;
+  }
+  if (SF.stackBefore(Begin).size() != DAfter)
+    return std::nullopt;
+
+  // Validate the window contents.
+  std::set<std::uint32_t> InboundTargets;
+  for (const Instruction &I : M.Code)
+    if (isBranch(I.Op))
+      InboundTargets.insert(static_cast<std::uint32_t>(I.A));
+  for (const ExceptionHandler &H : M.Handlers) {
+    InboundTargets.insert(H.Start);
+    InboundTargets.insert(H.End);
+    InboundTargets.insert(H.Target);
+  }
+
+  for (std::uint32_t Pc = Begin; Pc <= W.StorePc; ++Pc) {
+    if (!SF.isReachable(Pc))
+      return std::nullopt;
+    if (Pc > Begin && InboundTargets.count(Pc))
+      return std::nullopt; // control enters the interior
+    if (Pc > Begin && SF.stackBefore(Pc).size() < DAfter)
+      return std::nullopt; // window touches outer operands
+    if (Pc == NewPc || Pc == W.StorePc || (W.hasCtor() && Pc == W.CtorPc))
+      continue;
+    if (isWindowTransparent(M.Code[Pc].Op))
+      continue;
+    // An `aconst_null; astore` pair (inserted by the assigning-null
+    // pass) is stack-neutral and its only effect -- nulling a dead local
+    // -- may be removed along with the window.
+    if (M.Code[Pc].Op == Opcode::AStore && Pc > Begin &&
+        M.Code[Pc - 1].Op == Opcode::AConstNull)
+      continue;
+    return std::nullopt;
+  }
+
+  W.Begin = Begin;
+  return W;
+}

@@ -1,0 +1,54 @@
+//===- transform/AllocWindow.h - Removable allocation windows ---*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Locates the self-contained instruction window that computes one
+/// allocation and its single consuming store:
+///
+///     [Begin .. ]  pushes of the store's other operands (receiver,
+///                  array, index) and constructor arguments
+///     NewPc        the `new` / `newarray`
+///     CtorPc       the invokespecial of the constructor (objects only)
+///     StorePc      astore / putfield / putstatic / aastore / pop
+///
+/// The window is *removable* when every instruction inside is
+/// side-effect-free and non-trapping, the stack depth never dips below
+/// the post-store depth, no branch enters the interior, and the new
+/// object has exactly the constructor call and the store as consumers.
+/// Dead code removal nops the whole window; lazy allocation nops the
+/// eager-initialization window found in a constructor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_TRANSFORM_ALLOCWINDOW_H
+#define JDRAG_TRANSFORM_ALLOCWINDOW_H
+
+#include "sa/StackFlow.h"
+
+#include <optional>
+
+namespace jdrag::transform {
+
+/// A removable allocation window [Begin, StorePc].
+struct AllocWindow {
+  std::uint32_t Begin = 0;
+  std::uint32_t NewPc = 0;
+  std::uint32_t CtorPc = ~0u; ///< ~0 when the allocation is an array
+  std::uint32_t StorePc = 0;
+
+  bool hasCtor() const { return CtorPc != ~0u; }
+};
+
+/// Attempts to match the removable window of the allocation at \p NewPc.
+/// Returns nullopt when the code shape is not removable.
+std::optional<AllocWindow> matchAllocWindow(const ir::Program &P,
+                                            const ir::MethodInfo &M,
+                                            const sa::StackFlow &SF,
+                                            std::uint32_t NewPc);
+
+} // namespace jdrag::transform
+
+#endif // JDRAG_TRANSFORM_ALLOCWINDOW_H

@@ -1,0 +1,77 @@
+//===- transform/AssignNull.h - Null dead references ------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "assigning null" strategy (section 3.3.1) in its three
+/// reference-kind variants (Table 5):
+///
+///  * Local reference variables: liveness analysis finds the last use of
+///    each ref slot; a `aconst_null; astore` pair is inserted right after
+///    it (Agesen-et-al-style type-precision, section 5.1's
+///    liveness-analysis).
+///  * Static reference fields: a null store at a phase boundary in main,
+///    validated by call-graph forward-reachability -- no read of the
+///    field can execute after the insertion point (the paper's euler and
+///    analyzer rewrites; "(R)" in Table 5).
+///  * Array elements backing a vector-like container: after the
+///    container's size field is decremented, the now-dead element slot
+///    is overwritten with null (the paper's jess rewrite and the array
+///    liveness analysis of [Shaham et al., CC 2000]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_TRANSFORM_ASSIGNNULL_H
+#define JDRAG_TRANSFORM_ASSIGNNULL_H
+
+#include "transform/DeadCodeRemoval.h" // PassContext
+
+#include <string>
+#include <vector>
+
+namespace jdrag::transform {
+
+/// One inserted null assignment.
+struct InsertedNull {
+  enum class Kind : std::uint8_t { Local, StaticField, ArrayElement };
+  Kind K = Kind::Local;
+  ir::MethodId Method;
+  std::uint32_t AfterPc = 0; ///< pc (pre-edit) the store was placed after
+  std::uint32_t Slot = 0;    ///< local slot (Kind::Local)
+  ir::FieldId Field;         ///< static field / array field
+};
+
+/// Inserts `aconst_null; astore` after the last use of every dead ref
+/// local in \p M. Returns insertions performed. Never changes program
+/// results: the slot is provably dead at every insertion point.
+std::vector<InsertedNull> nullifyDeadLocals(ir::Program &P, ir::MethodId M);
+
+/// Runs nullifyDeadLocals on every reachable application method.
+std::vector<InsertedNull> nullifyDeadLocalsEverywhere(ir::Program &P,
+                                                      const PassContext &Ctx);
+
+/// Inserts `aconst_null; putstatic F` after \p AfterPc in main. Legality
+/// (checked): \p Main is the program entry (no callers, no frames below),
+/// and no read of \p F is reachable from any instruction after
+/// \p AfterPc. Returns false with \p Why on refusal.
+bool nullifyStaticAfter(ir::Program &P, const PassContext &Ctx, ir::FieldId F,
+                        std::uint32_t AfterPc,
+                        std::vector<InsertedNull> &Inserted,
+                        std::string *Why = nullptr);
+
+/// For the vector idiom: in every method of \p Owner that decrements
+/// int field \p SizeField, inserts `this.ArrayField[this.SizeField] =
+/// null` right after the decrement. Returns insertions performed.
+/// \p SizeField may be invalid: the pass then looks for a unique int
+/// field of \p Owner that is decremented anywhere in the class.
+std::vector<InsertedNull> nullifyPoppedArrayElements(ir::Program &P,
+                                                     ir::ClassId Owner,
+                                                     ir::FieldId ArrayField,
+                                                     ir::FieldId SizeField,
+                                                     std::string *Why = nullptr);
+
+} // namespace jdrag::transform
+
+#endif // JDRAG_TRANSFORM_ASSIGNNULL_H

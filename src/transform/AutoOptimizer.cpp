@@ -1,0 +1,402 @@
+//===- transform/AutoOptimizer.cpp ----------------------------------------===//
+
+#include "transform/AutoOptimizer.h"
+
+#include "sa/StackFlow.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <set>
+
+using namespace jdrag;
+using namespace jdrag::analysis;
+using namespace jdrag::ir;
+using namespace jdrag::sa;
+using namespace jdrag::transform;
+using profiler::SiteFrame;
+
+namespace {
+
+/// Stack depth (from top) of the object operand of a use instruction.
+std::int32_t receiverDepth(const Program &P, const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::GetField:
+  case Opcode::MonitorEnter:
+  case Opcode::MonitorExit:
+  case Opcode::ArrayLength:
+  case Opcode::Throw:
+    return 0;
+  case Opcode::PutField:
+  case Opcode::AALoad:
+  case Opcode::IALoad:
+  case Opcode::CALoad:
+  case Opcode::DALoad:
+    return 1;
+  case Opcode::AAStore:
+  case Opcode::IAStore:
+  case Opcode::CAStore:
+  case Opcode::DAStore:
+    return 2;
+  case Opcode::InvokeVirtual:
+  case Opcode::InvokeSpecial:
+    return static_cast<std::int32_t>(
+        P.Methods[static_cast<std::uint32_t>(I.A)].Params.size());
+  default:
+    return -1;
+  }
+}
+
+std::string visName(const Program &P, FieldId F) {
+  return visibilityName(P.fieldOf(F).Vis);
+}
+
+/// Candidate allocations for a nested site, innermost first. The paper's
+/// anchor walk (section 3.4): besides the allocating instruction itself,
+/// each caller frame whose instruction is a constructor invocation names
+/// an *object containing the allocated object* -- removing or lazifying
+/// the container removes the inner allocation with it (javac's doc
+/// string: the char array lives inside the String built in application
+/// code).
+std::vector<std::pair<MethodId, std::uint32_t>>
+allocCandidates(const Program &P, const profiler::SiteTable &Sites,
+                profiler::SiteId Site) {
+  std::vector<std::pair<MethodId, std::uint32_t>> Out;
+  const auto &Chain = Sites.chain(Site);
+  for (std::size_t I = 0; I != Chain.size(); ++I) {
+    const SiteFrame &Fr = Chain[I];
+    const MethodInfo &M = P.methodOf(Fr.Method);
+    if (Fr.Pc >= M.Code.size())
+      continue;
+    const Instruction &Inst = M.Code[Fr.Pc];
+    if (I == 0 &&
+        (Inst.Op == Opcode::New || Inst.Op == Opcode::NewArray)) {
+      Out.push_back({Fr.Method, Fr.Pc});
+      continue;
+    }
+    if (Inst.Op != Opcode::InvokeSpecial)
+      continue;
+    const MethodInfo &Callee = P.Methods[static_cast<std::uint32_t>(Inst.A)];
+    if (!Callee.IsConstructor)
+      continue;
+    StackFlow SF(P, M);
+    StackCell Recv = SF.operand(
+        Fr.Pc, static_cast<std::uint32_t>(Callee.Params.size()));
+    if (Recv.isSingle() && Recv.single().O == StackValue::Origin::New)
+      Out.push_back({Fr.Method, Recv.single().DefPc});
+  }
+  return Out;
+}
+
+/// Applies the assigning-null strategy for one site. All applicable
+/// variants are attempted: the dominant last-use receiver suggests where
+/// the reference is held, and the allocation's sink locations (from the
+/// value-flow analysis) cover holders the last use does not reveal --
+/// e.g. jess's popped container elements, whose last use goes through a
+/// local copy while the array element keeps the object alive.
+bool applyAssignNull(Program &P, const DragReport &Report, const SiteGroup &G,
+                     OptimizerDecision &D) {
+  bool Any = false;
+  std::string Details;
+  std::string RefKinds;
+  auto Record = [&](const std::string &Kind, const std::string &Detail) {
+    Any = true;
+    if (!RefKinds.empty())
+      RefKinds += " + ";
+    RefKinds += Kind;
+    if (!Details.empty())
+      Details += "; ";
+    Details += Detail;
+  };
+
+  // Deduplicated worklists of candidate holders.
+  std::set<std::uint32_t> LocalMethods; ///< method indices for variant 1
+  std::set<std::uint32_t> StaticFields; ///< field indices for variant 2
+  std::set<std::uint32_t> ArrayFields;  ///< field indices for variant 3
+
+  // Candidates from the dominant last-use receiver.
+  SiteId LastUse = G.dominantLastUseSite();
+  const SiteFrame *Use = LastUse != profiler::InvalidSite
+                             ? Report.log().Sites.innermost(LastUse)
+                             : nullptr;
+  if (Use) {
+    const MethodInfo &UseM = P.methodOf(Use->Method);
+    if (Use->Pc < UseM.Code.size()) {
+      std::int32_t Depth = receiverDepth(P, UseM.Code[Use->Pc]);
+      if (Depth >= 0) {
+        StackFlow SF(P, UseM);
+        StackCell Recv =
+            SF.operand(Use->Pc, static_cast<std::uint32_t>(Depth));
+        if (Recv.isSingle()) {
+          switch (Recv.single().O) {
+          case StackValue::Origin::Local:
+            LocalMethods.insert(Use->Method.Index);
+            break;
+          case StackValue::Origin::Static:
+            StaticFields.insert(static_cast<std::uint32_t>(Recv.single().Aux));
+            break;
+          case StackValue::Origin::Field: {
+            FieldId F(static_cast<std::uint32_t>(Recv.single().Aux));
+            if (P.fieldOf(F).Kind == ValueKind::Ref)
+              ArrayFields.insert(F.Index);
+            break;
+          }
+          default:
+            break;
+          }
+        }
+      }
+      // The last-use method is always worth a liveness pass.
+      LocalMethods.insert(Use->Method.Index);
+    }
+    // Walk the last-use chain: an outer frame may hold the reference (or
+    // a container of it) in one of its locals -- analyzer's node array
+    // lives in main while the last uses happen in analyze().
+    for (const SiteFrame &Fr : Report.log().Sites.chain(LastUse))
+      LocalMethods.insert(Fr.Method.Index);
+  }
+  // Same for the allocation chain.
+  for (const SiteFrame &Fr : Report.log().Sites.chain(G.Site))
+    LocalMethods.insert(Fr.Method.Index);
+
+  // Candidates from the allocation's (transitive) sinks: the holders
+  // that keep the dragged objects reachable.
+  PassContext Ctx(P);
+  const SiteFrame *Inner = Report.log().Sites.innermost(G.Site);
+  if (Inner) {
+    for (const Location &L : Ctx.VFA.transitiveSinks(Inner->Method,
+                                                     Inner->Pc)) {
+      switch (L.K) {
+      case Location::Kind::Local:
+        LocalMethods.insert(L.A);
+        break;
+      case Location::Kind::StaticField:
+        StaticFields.insert(L.A);
+        break;
+      case Location::Kind::ArrayOfField:
+        ArrayFields.insert(L.A);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  // Container-element nulling runs before local nulling: the inserted
+  // fix re-loads `this`, which a dead-local null could invalidate.
+  for (std::uint32_t FIdx : ArrayFields) {
+    FieldId F(FIdx);
+    if (P.fieldOf(F).Kind != ValueKind::Ref || P.fieldOf(F).IsStatic)
+      continue;
+    std::string Why;
+    auto Ins = nullifyPoppedArrayElements(P, P.fieldOf(F).Owner, F,
+                                          FieldId(), &Why);
+    if (!Ins.empty())
+      Record(formatString("%s array", visName(P, F).c_str()),
+             formatString("nulled popped elements of %s (%zu site(s))",
+                          P.qualifiedFieldName(F).c_str(), Ins.size()));
+  }
+
+  for (std::uint32_t MIdx : LocalMethods) {
+    MethodId M(MIdx);
+    if (P.classOf(P.methodOf(M).Owner).IsLibrary)
+      continue;
+    auto Ins = nullifyDeadLocals(P, M);
+    if (!Ins.empty())
+      Record("local variable",
+             formatString("nulled %zu dead local reference(s) in %s",
+                          Ins.size(), P.qualifiedMethodName(M).c_str()));
+  }
+
+  for (std::uint32_t FIdx : StaticFields) {
+    FieldId F(FIdx);
+    PassContext FreshCtx(P); // earlier edits may have changed main
+    std::vector<InsertedNull> Ins;
+    const MethodInfo &Main = P.methodOf(P.MainMethod);
+    std::string Why;
+    for (std::uint32_t Pc = 0,
+                       N = static_cast<std::uint32_t>(Main.Code.size());
+         Pc != N; ++Pc) {
+      const Instruction &I = Main.Code[Pc];
+      if (isBranch(I.Op) || isUnconditionalTerminator(I.Op))
+        continue;
+      if (nullifyStaticAfter(P, FreshCtx, F, Pc, Ins, &Why)) {
+        Record(formatString("%s static", visName(P, F).c_str()),
+               formatString("nulled static %s after main pc %u",
+                            P.qualifiedFieldName(F).c_str(), Pc));
+        break;
+      }
+    }
+  }
+
+
+  if (Any) {
+    D.RefKind = RefKinds;
+    D.Detail = Details;
+    return true;
+  }
+  D.Detail = "no applicable assigning-null variant";
+  return false;
+}
+
+} // namespace
+
+std::vector<OptimizerDecision>
+jdrag::transform::autoOptimize(Program &P, const DragReport &Report,
+                               OptimizerOptions Opts) {
+  std::vector<OptimizerDecision> Decisions;
+  SpaceTime Total = Report.totalDrag();
+
+  // Select and classify the sites to act on.
+  std::uint32_t Considered = 0;
+  std::vector<const SiteGroup *> Selected;
+  for (const SiteGroup &G : Report.groups()) {
+    if (Considered >= Opts.TopK)
+      break;
+    double Fraction = Total > 0 ? G.TotalDrag / Total : 0.0;
+    if (Fraction < Opts.MinSiteDragFraction)
+      break; // groups are drag-sorted; the rest are smaller
+    ++Considered;
+    Selected.push_back(&G);
+  }
+
+  // Two application phases: dead code removal and lazy allocation first
+  // (their edits preserve pcs: nop windows and same-length replacements),
+  // assigning null second (it *inserts* instructions, which would
+  // invalidate the profile's pcs for decisions applied after it).
+  auto Handle = [&](const SiteGroup &G, bool InsertPhase) {
+    double Fraction = Total > 0 ? G.TotalDrag / Total : 0.0;
+    OptimizerDecision D;
+    D.Site = G.Site;
+    D.SiteDesc = Report.log().Sites.describe(P, G.Site);
+    D.SiteDragMB2 = toMB2(G.TotalDrag);
+    D.SiteDragFraction = Fraction;
+    D.Pattern =
+        classifyPattern(G, Opts.Thresholds, Report.reachableIntegral());
+    D.Strategy = strategyFor(D.Pattern);
+    bool IsInsertStrategy = D.Strategy == RewriteStrategy::AssignNull ||
+                            D.Strategy == RewriteStrategy::None;
+    if (IsInsertStrategy != InsertPhase)
+      return;
+
+    switch (D.Strategy) {
+    case RewriteStrategy::DeadCodeRemoval: {
+      if (!Opts.AllowDeadCodeRemoval) {
+        D.Detail = "strategy disabled";
+        break;
+      }
+      auto Candidates = allocCandidates(P, Report.log().Sites, G.Site);
+      if (Candidates.empty()) {
+        D.Detail = "no allocation candidate on the chain";
+        break;
+      }
+      std::string Why = "no candidate matched";
+      for (auto [CM, CPc] : Candidates) {
+        PassContext Ctx(P);
+        std::vector<RemovedAllocation> Removed;
+        if (!removeDeadAllocation(P, Ctx, CM, CPc, Removed, &Why))
+          continue;
+        D.Applied = true;
+        const MethodInfo &M = P.methodOf(CM);
+        D.RefKind = M.IsConstructor ? "instance field" : "local variable";
+        // Refine: report the sink's visibility when the analysis knows
+        // it.
+        if (const AllocSiteInfo *A = Ctx.VFA.allocAt(CM, CPc))
+          for (const Location &L : A->Sinks) {
+            if (L.K == Location::Kind::InstanceField)
+              D.RefKind = visName(P, FieldId(L.A));
+            else if (L.K == Location::Kind::StaticField)
+              D.RefKind = formatString("%s static",
+                                       visName(P, FieldId(L.A)).c_str());
+            else if (L.K == Location::Kind::ArrayOfField)
+              D.RefKind = formatString("%s array",
+                                       visName(P, FieldId(L.A)).c_str());
+          }
+        D.Detail = formatString("removed allocation at %s pc %u",
+                                P.qualifiedMethodName(CM).c_str(), CPc);
+        break;
+      }
+      if (!D.Applied)
+        D.Detail = "removal refused: " + Why;
+      break;
+    }
+    case RewriteStrategy::LazyAllocation: {
+      if (!Opts.AllowLazyAllocation) {
+        D.Detail = "strategy disabled";
+        break;
+      }
+      auto Candidates = allocCandidates(P, Report.log().Sites, G.Site);
+      if (Candidates.empty()) {
+        D.Detail = "no allocation candidate on the chain";
+        break;
+      }
+      std::string Why = "no instance-field sink on the chain";
+      for (auto [CM, CPc] : Candidates) {
+        PassContext Ctx(P);
+        const AllocSiteInfo *A = Ctx.VFA.allocAt(CM, CPc);
+        FieldId Sink;
+        if (A)
+          for (const Location &L : A->Sinks)
+            if (L.K == Location::Kind::InstanceField) {
+              if (Sink.isValid() && !(Sink == FieldId(L.A))) {
+                Sink = FieldId();
+                break;
+              }
+              Sink = FieldId(L.A);
+            }
+        if (!Sink.isValid())
+          continue;
+        std::vector<LazifiedField> Done;
+        if (!lazifyField(P, Ctx, Sink, Done, &Why))
+          continue;
+        elideLazyGuards(P, Done.back());
+        D.Applied = true;
+        D.RefKind = visName(P, Sink);
+        D.Detail = formatString("lazified %s (%u guarded reads, %u elided)",
+                                P.qualifiedFieldName(Sink).c_str(),
+                                Done.back().GuardedReads,
+                                Done.back().ElidedGuards);
+        break;
+      }
+      if (!D.Applied)
+        D.Detail = "lazy allocation refused: " + Why;
+      break;
+    }
+    case RewriteStrategy::AssignNull: {
+      if (!Opts.AllowAssignNull) {
+        D.Detail = "strategy disabled";
+        break;
+      }
+      D.Applied = applyAssignNull(P, Report, G, D);
+      break;
+    }
+    case RewriteStrategy::None:
+      D.Detail = D.Pattern == LifetimePattern::HighVariance
+                     ? "high drag variance: no transformation helps "
+                       "(db-style repository)"
+                     : "no pattern matched";
+      break;
+    }
+    Decisions.push_back(std::move(D));
+  };
+
+  for (const SiteGroup *G : Selected)
+    Handle(*G, /*InsertPhase=*/false);
+  for (const SiteGroup *G : Selected)
+    Handle(*G, /*InsertPhase=*/true);
+  return Decisions;
+}
+
+std::string jdrag::transform::renderDecisions(
+    const std::vector<OptimizerDecision> &Decisions) {
+  TextTable T({"drag MB^2", "%drag", "pattern", "strategy", "ref kind",
+               "applied", "detail"});
+  T.setAlign(0, TextTable::Align::Right);
+  T.setAlign(1, TextTable::Align::Right);
+  for (const OptimizerDecision &D : Decisions)
+    T.addRow({formatFixed(D.SiteDragMB2, 4),
+              formatFixed(D.SiteDragFraction * 100.0, 1),
+              patternName(D.Pattern), strategyName(D.Strategy),
+              D.RefKind.empty() ? "-" : D.RefKind,
+              D.Applied ? "yes" : "no", D.Detail});
+  return T.render();
+}

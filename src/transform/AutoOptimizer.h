@@ -1,0 +1,75 @@
+//===- transform/AutoOptimizer.h - Profile-driven rewriting -----*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The closed loop the paper performs by hand and envisions automating
+/// ("our off-line profiler tool can be used either directly by a
+/// programmer or to produce input for a profile-based optimizer",
+/// section 1.2): take a drag report, walk the top allocation sites,
+/// classify each site's lifetime pattern (section 3.4), pick the
+/// suggested rewriting strategy, validate its legality with the static
+/// analyses of section 5, and apply it to the program.
+///
+/// Strategy selection per site:
+///   pattern 1 (all never-used)   -> dead code removal at the site
+///   pattern 2 (most never-used)  -> lazy allocation of the sink field
+///   pattern 3 (most large drag)  -> assigning null, variant chosen from
+///                                   the dominant last-use site's operand
+///                                   (local / static field / container
+///                                   array element)
+///   pattern 4 (high variance)    -> nothing (db's repository)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_TRANSFORM_AUTOOPTIMIZER_H
+#define JDRAG_TRANSFORM_AUTOOPTIMIZER_H
+
+#include "analysis/DragReport.h"
+#include "analysis/Patterns.h"
+#include "transform/AssignNull.h"
+#include "transform/DeadCodeRemoval.h"
+#include "transform/LazyAllocation.h"
+
+#include <string>
+#include <vector>
+
+namespace jdrag::transform {
+
+/// Optimizer knobs.
+struct OptimizerOptions {
+  std::uint32_t TopK = 12;                 ///< sites considered
+  double MinSiteDragFraction = 0.01;       ///< skip sites under 1% of drag
+  analysis::PatternThresholds Thresholds;
+  bool AllowDeadCodeRemoval = true;
+  bool AllowLazyAllocation = true;
+  bool AllowAssignNull = true;
+};
+
+/// One per-site decision, applied or refused (Table 5 raw material).
+struct OptimizerDecision {
+  profiler::SiteId Site = profiler::InvalidSite;
+  std::string SiteDesc;
+  double SiteDragMB2 = 0;
+  double SiteDragFraction = 0;
+  analysis::LifetimePattern Pattern = analysis::LifetimePattern::Mixed;
+  analysis::RewriteStrategy Strategy = analysis::RewriteStrategy::None;
+  bool Applied = false;
+  std::string RefKind; ///< Table 5's reference kind, e.g. "private array"
+  std::string Detail;  ///< what was done, or why it was refused
+};
+
+/// Applies profile-driven rewrites to \p P (which must be the program
+/// the report was measured on). Returns the per-site decisions.
+std::vector<OptimizerDecision>
+autoOptimize(ir::Program &P, const analysis::DragReport &Report,
+             OptimizerOptions Opts = OptimizerOptions());
+
+/// Renders decisions as a text table (Table 5 shape).
+std::string renderDecisions(const std::vector<OptimizerDecision> &Decisions);
+
+} // namespace jdrag::transform
+
+#endif // JDRAG_TRANSFORM_AUTOOPTIMIZER_H

@@ -1,0 +1,67 @@
+//===- transform/DeadCodeRemoval.h - Remove never-used allocs ---*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's first rewriting strategy (section 3.3.2): "Using a feature
+/// of the tool showing objects that are allocated but never used, we find
+/// allocation sites where all objects are never-used ... We eliminate the
+/// allocation of these objects." Legality: the constructor must be the
+/// only code referencing the object, have no influence on the rest of the
+/// program, and throw nothing catchable (EffectAnalysis::isRemovableCtor).
+///
+/// The pass can run in two modes: targeted (remove one allocation site
+/// named by the profiler/optimizer) or exhaustive (remove every provably
+/// dead allocation, the static usage-analysis of section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_TRANSFORM_DEADCODEREMOVAL_H
+#define JDRAG_TRANSFORM_DEADCODEREMOVAL_H
+
+#include "sa/Effects.h"
+#include "sa/ValueFlow.h"
+
+#include <string>
+#include <vector>
+
+namespace jdrag::transform {
+
+/// One removal performed.
+struct RemovedAllocation {
+  ir::MethodId Method;
+  std::uint32_t NewPc = 0;
+  std::uint32_t WindowBegin = 0;
+  std::uint32_t WindowEnd = 0; ///< inclusive store pc
+};
+
+/// Context shared by the transformation passes: the analyses are built
+/// once per program snapshot and invalidated after mutation.
+struct PassContext {
+  const ir::Program &P;
+  sa::CallGraph CG;
+  sa::ValueFlowAnalysis VFA;
+  sa::EffectAnalysis EA;
+
+  explicit PassContext(const ir::Program &Prog)
+      : P(Prog), CG(Prog), VFA(Prog, CG), EA(Prog, CG) {}
+};
+
+/// Attempts to remove the allocation at (\p M, \p NewPc). Returns true
+/// and appends to \p Removed on success; \p Why (if non-null) explains
+/// refusals.
+bool removeDeadAllocation(ir::Program &P, const PassContext &Ctx,
+                          ir::MethodId M, std::uint32_t NewPc,
+                          std::vector<RemovedAllocation> &Removed,
+                          std::string *Why = nullptr);
+
+/// Exhaustive mode: removes every provably-dead allocation in reachable
+/// application (non-library) methods. Returns the removals performed.
+std::vector<RemovedAllocation> removeAllDeadAllocations(ir::Program &P,
+                                                        const PassContext &Ctx);
+
+} // namespace jdrag::transform
+
+#endif // JDRAG_TRANSFORM_DEADCODEREMOVAL_H

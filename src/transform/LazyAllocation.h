@@ -1,0 +1,66 @@
+//===- transform/LazyAllocation.h - Allocate at first use -------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's third strategy (section 3.3.3): "we eliminate the original
+/// allocation of the object and the variable that would have referenced
+/// the object remains null ... at every possible first use of the object,
+/// there is a test to check whether the variable is still null. If so,
+/// the object is allocated."
+///
+/// Implementation: for an instance field F eagerly initialized in its
+/// owner's constructor with `new C(); ...` (a state-independent
+/// constructor -- no parameters, reads no program state, throws nothing
+/// catchable), the pass
+///   1. nops the eager-initialization window out of the constructor, and
+///   2. synthesizes a private accessor `F$lazy()` that null-checks,
+///      allocates on demand and returns the field, and
+///   3. rewrites every `getfield F` in the program into a call of the
+///      accessor (the "every possible first use" guards; guards at reads
+///      dominated by another guarded read could be elided with the
+///      dominator tree -- the PRE-style minimal code insertion the paper
+///      sketches in section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_TRANSFORM_LAZYALLOCATION_H
+#define JDRAG_TRANSFORM_LAZYALLOCATION_H
+
+#include "transform/DeadCodeRemoval.h" // PassContext
+
+#include <string>
+#include <vector>
+
+namespace jdrag::transform {
+
+/// Result of one lazified field.
+struct LazifiedField {
+  ir::FieldId Field;
+  ir::MethodId Accessor;
+  ir::MethodId RemovedFromCtor;
+  std::uint32_t GuardedReads = 0; ///< getfields rewritten to accessor calls
+  std::uint32_t ElidedGuards = 0; ///< guards later removed as redundant
+};
+
+/// Applies lazy allocation to instance field \p F. Returns true on
+/// success; \p Why (if non-null) explains refusals.
+bool lazifyField(ir::Program &P, const PassContext &Ctx, ir::FieldId F,
+                 std::vector<LazifiedField> &Done, std::string *Why = nullptr);
+
+/// The paper's *minimal code insertion* (section 5.1): "minimal code
+/// insertion is achieved by analyzing the places where such code is
+/// inserted in a PRE fashion". Within each method, an accessor call
+/// whose receiver provably equals the receiver of a *dominating*
+/// accessor call of the same field is redundant -- the field is already
+/// initialized -- and is downgraded back to a plain getfield. Receiver
+/// equality is established for locals that are never reassigned in the
+/// method (in particular `this`). Returns the number of guards elided
+/// and updates \p L.ElidedGuards.
+std::uint32_t elideLazyGuards(ir::Program &P, LazifiedField &L);
+
+} // namespace jdrag::transform
+
+#endif // JDRAG_TRANSFORM_LAZYALLOCATION_H

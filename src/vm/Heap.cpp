@@ -1,0 +1,315 @@
+//===- vm/Heap.cpp --------------------------------------------------------===//
+
+#include "vm/Heap.h"
+
+#include <algorithm>
+
+using namespace jdrag;
+using namespace jdrag::vm;
+
+RootSource::~RootSource() = default;
+VMObserver::~VMObserver() = default;
+
+const char *jdrag::vm::useKindName(UseKind K) {
+  switch (K) {
+  case UseKind::GetField:
+    return "getfield";
+  case UseKind::PutField:
+    return "putfield";
+  case UseKind::Invoke:
+    return "invoke";
+  case UseKind::Monitor:
+    return "monitor";
+  case UseKind::ArrayAccess:
+    return "array";
+  case UseKind::NativeDeref:
+    return "native";
+  case UseKind::Throw:
+    return "throw";
+  }
+  return "?";
+}
+
+Heap::Heap(const ir::Program &P) : P(P) {}
+
+Heap::~Heap() {
+  for (HeapObject *Obj : Table)
+    delete Obj;
+}
+
+Handle Heap::newHandle(HeapObject *Obj) {
+  std::uint32_t Index;
+  if (!FreeHandles.empty()) {
+    Index = FreeHandles.back();
+    FreeHandles.pop_back();
+    Table[Index] = Obj;
+  } else {
+    Index = static_cast<std::uint32_t>(Table.size());
+    Table.push_back(Obj);
+  }
+  return Handle(Index);
+}
+
+Handle Heap::allocateObject(ir::ClassId C) {
+  const ir::ClassInfo &CI = P.classOf(C);
+  auto *Obj = new HeapObject();
+  Obj->Class = C;
+  Obj->IsArray = false;
+  Obj->AccountedBytes = CI.InstanceAccountedBytes;
+  Obj->Id = NextObjectId++;
+  Obj->Slots.resize(CI.NumInstanceSlots);
+  // Zero fields by declared kind, walking the super chain.
+  for (ir::ClassId Cur = C; Cur.isValid(); Cur = P.classOf(Cur).Super)
+    for (ir::FieldId F : P.classOf(Cur).DeclaredInstanceFields) {
+      const ir::FieldInfo &FI = P.fieldOf(F);
+      Obj->Slots[FI.Slot] = Value::zeroOf(FI.Kind);
+    }
+  AllocatedTotal += Obj->AccountedBytes;
+  LiveBytes += Obj->AccountedBytes;
+  ++LiveObjects;
+  return newHandle(Obj);
+}
+
+Handle Heap::allocateArray(ir::ArrayKind K, std::uint32_t Len) {
+  auto *Obj = new HeapObject();
+  Obj->Class = ir::ClassId();
+  Obj->IsArray = true;
+  Obj->AKind = K;
+  Obj->AccountedBytes = ir::Program::arrayAccountedBytes(K, Len);
+  Obj->Id = NextObjectId++;
+  Obj->Slots.assign(Len, Value::zeroOf(ir::elementValueKind(K)));
+  AllocatedTotal += Obj->AccountedBytes;
+  LiveBytes += Obj->AccountedBytes;
+  ++LiveObjects;
+  return newHandle(Obj);
+}
+
+void Heap::removeRootSource(RootSource *S) {
+  RootSources.erase(std::remove(RootSources.begin(), RootSources.end(), S),
+                    RootSources.end());
+}
+
+void Heap::mark(Handle H, std::vector<Handle> &Stack) {
+  if (H.isNull() || !isLive(H))
+    return;
+  HeapObject &Obj = object(H);
+  if (Obj.Marked)
+    return;
+  Obj.Marked = true;
+  Stack.push_back(H);
+}
+
+GCStats Heap::collect() {
+  ++GCCount;
+  GCStats Stats;
+
+  // Mark phase.
+  std::vector<Handle> Stack;
+  auto Visit = [&](Handle H) { mark(H, Stack); };
+  for (RootSource *S : RootSources)
+    S->visitRoots(Visit);
+  for (Handle H : PendingQueue)
+    mark(H, Stack);
+
+  while (!Stack.empty()) {
+    Handle H = Stack.back();
+    Stack.pop_back();
+    HeapObject &Obj = object(H);
+    if (Obj.isArray()) {
+      if (Obj.AKind == ir::ArrayKind::Ref)
+        for (const Value &V : Obj.Slots)
+          mark(V.asRef(), Stack);
+      continue;
+    }
+    for (const Value &V : Obj.Slots)
+      if (V.Kind == ir::ValueKind::Ref)
+        mark(V.asRef(), Stack);
+  }
+
+  // Sweep phase. Unreachable-but-finalizable objects get resurrected
+  // onto the pending queue (their finalizers have not run yet).
+  for (std::uint32_t Index = 0, E = static_cast<std::uint32_t>(Table.size());
+       Index != E; ++Index) {
+    HeapObject *Obj = Table[Index];
+    if (!Obj)
+      continue;
+    if (Obj->Marked) {
+      Obj->Marked = false;
+      ++Stats.ReachableObjects;
+      Stats.ReachableBytes += Obj->AccountedBytes;
+      continue;
+    }
+    bool HasFinalizer = !Obj->isArray() &&
+                        P.classOf(Obj->Class).Finalizer.isValid() &&
+                        !Obj->Finalized;
+    if (HasFinalizer && !Obj->PendingFinalize) {
+      Obj->PendingFinalize = true;
+      PendingQueue.push_back(Handle(Index));
+      ++Stats.NewlyFinalizable;
+      ++Stats.ReachableObjects; // survives this cycle
+      Stats.ReachableBytes += Obj->AccountedBytes;
+      continue;
+    }
+    if (Obj->PendingFinalize && !Obj->Finalized) {
+      // Still waiting for its finalizer to run; keep it.
+      ++Stats.ReachableObjects;
+      Stats.ReachableBytes += Obj->AccountedBytes;
+      continue;
+    }
+    ++Stats.FreedObjects;
+    Stats.FreedBytes += Obj->AccountedBytes;
+    if (Observer)
+      Observer->onCollect(Obj->Id, *Obj, AllocatedTotal);
+    free(Index);
+  }
+
+  if (Observer)
+    Observer->onGCEnd(AllocatedTotal, Stats.ReachableBytes,
+                      Stats.ReachableObjects);
+  return Stats;
+}
+
+void Heap::markYoung(Handle H, std::vector<Handle> &Stack) {
+  if (H.isNull() || !isLive(H))
+    return;
+  HeapObject &Obj = object(H);
+  if (Obj.Marked || Obj.Old)
+    return; // old objects are covered by the remembered set
+  Obj.Marked = true;
+  Stack.push_back(H);
+}
+
+GCStats Heap::collectMinor() {
+  ++GCCount;
+  ++MinorGCCount;
+  GCStats Stats;
+  Stats.Minor = true;
+
+  // Mark young objects reachable from the roots and from remembered
+  // old objects' reference slots.
+  std::vector<Handle> Stack;
+  auto Visit = [&](Handle H) { markYoung(H, Stack); };
+  for (RootSource *S : RootSources)
+    S->visitRoots(Visit);
+  for (Handle H : PendingQueue)
+    markYoung(H, Stack);
+  for (std::uint32_t Index : RememberedSet) {
+    if (!Table[Index])
+      continue;
+    const HeapObject &Old = *Table[Index];
+    if (Old.isArray()) {
+      if (Old.AKind == ir::ArrayKind::Ref)
+        for (const Value &V : Old.Slots)
+          markYoung(V.asRef(), Stack);
+      continue;
+    }
+    for (const Value &V : Old.Slots)
+      if (V.Kind == ir::ValueKind::Ref)
+        markYoung(V.asRef(), Stack);
+  }
+
+  while (!Stack.empty()) {
+    Handle H = Stack.back();
+    Stack.pop_back();
+    HeapObject &Obj = object(H);
+    if (Obj.isArray()) {
+      if (Obj.AKind == ir::ArrayKind::Ref)
+        for (const Value &V : Obj.Slots)
+          markYoung(V.asRef(), Stack);
+      continue;
+    }
+    for (const Value &V : Obj.Slots)
+      if (V.Kind == ir::ValueKind::Ref)
+        markYoung(V.asRef(), Stack);
+  }
+
+  // Sweep the nursery; age and promote survivors.
+  for (std::uint32_t Index = 0, E = static_cast<std::uint32_t>(Table.size());
+       Index != E; ++Index) {
+    HeapObject *Obj = Table[Index];
+    if (!Obj)
+      continue;
+    if (Obj->Old) {
+      ++Stats.ReachableObjects;
+      Stats.ReachableBytes += Obj->AccountedBytes;
+      continue;
+    }
+    if (Obj->Marked) {
+      Obj->Marked = false;
+      if (++Obj->Age >= Gen.PromoteAge)
+        Obj->Old = true;
+      ++Stats.ReachableObjects;
+      Stats.ReachableBytes += Obj->AccountedBytes;
+      continue;
+    }
+    bool HasFinalizer = !Obj->isArray() &&
+                        P.classOf(Obj->Class).Finalizer.isValid() &&
+                        !Obj->Finalized;
+    if (HasFinalizer && !Obj->PendingFinalize) {
+      Obj->PendingFinalize = true;
+      PendingQueue.push_back(Handle(Index));
+      ++Stats.NewlyFinalizable;
+      ++Stats.ReachableObjects;
+      Stats.ReachableBytes += Obj->AccountedBytes;
+      continue;
+    }
+    if (Obj->PendingFinalize && !Obj->Finalized) {
+      ++Stats.ReachableObjects;
+      Stats.ReachableBytes += Obj->AccountedBytes;
+      continue;
+    }
+    ++Stats.FreedObjects;
+    Stats.FreedBytes += Obj->AccountedBytes;
+    if (Observer)
+      Observer->onCollect(Obj->Id, *Obj, AllocatedTotal);
+    free(Index);
+  }
+
+  if (Observer)
+    Observer->onGCEnd(AllocatedTotal, Stats.ReachableBytes,
+                      Stats.ReachableObjects);
+  return Stats;
+}
+
+void Heap::maybeScheduledGC() {
+  if (!Gen.Enabled)
+    return;
+  if (AllocatedTotal - LastScheduledGC < Gen.NurseryBytes)
+    return;
+  LastScheduledGC = AllocatedTotal;
+  if (Gen.MajorEveryNMinors &&
+      MinorGCCount % Gen.MajorEveryNMinors == Gen.MajorEveryNMinors - 1) {
+    ++MinorGCCount; // keep the minor/major cadence advancing
+    collect();
+    return;
+  }
+  collectMinor();
+}
+
+void Heap::finishFinalization() {
+  for (Handle H : PendingQueue)
+    if (isLive(H)) {
+      object(H).Finalized = true;
+      object(H).PendingFinalize = false;
+    }
+  PendingQueue.clear();
+}
+
+void Heap::free(std::uint32_t Index) {
+  HeapObject *Obj = Table[Index];
+  LiveBytes -= Obj->AccountedBytes;
+  --LiveObjects;
+  delete Obj;
+  Table[Index] = nullptr;
+  FreeHandles.push_back(Index);
+  if (!RememberedSet.empty())
+    RememberedSet.erase(Index);
+}
+
+void Heap::forEachLiveObject(
+    const std::function<void(Handle, const HeapObject &)> &Fn) const {
+  for (std::uint32_t Index = 0, E = static_cast<std::uint32_t>(Table.size());
+       Index != E; ++Index)
+    if (const HeapObject *Obj = Table[Index])
+      Fn(Handle(Index), *Obj);
+}

@@ -1,0 +1,213 @@
+//===- vm/Heap.h - Handle-based heap with mark-sweep GC ---------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heap substrate: a handle table of objects, a byte clock (the
+/// paper's time unit: bytes allocated since program start), accounted
+/// sizes (8-byte header, 8-byte alignment, handle and trailer excluded),
+/// stop-the-world mark-sweep GC over registered root sources, and the
+/// finalization protocol the deep GC relies on: an unreachable object
+/// whose class has a finalizer is resurrected onto a pending queue, its
+/// finalizer runs (driven by the VM), and the next GC reclaims it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_VM_HEAP_H
+#define JDRAG_VM_HEAP_H
+
+#include "ir/Program.h"
+#include "support/Units.h"
+#include "vm/Events.h"
+#include "vm/Value.h"
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+namespace jdrag::vm {
+
+/// A heap object: a plain instance (Slots = fields) or an array
+/// (Slots = elements). Stored behind a handle; GC never moves the C++
+/// storage, only recycles handles.
+class HeapObject {
+public:
+  ir::ClassId Class;          ///< instance class; invalid for arrays
+  ir::ArrayKind AKind = ir::ArrayKind::Int; ///< valid if isArray()
+  bool IsArray = false;
+  std::uint32_t AccountedBytes = 0;
+  ObjectId Id = 0;
+  std::uint32_t InitDepth = 0;   ///< active <init> frames on this object
+  /// Serial of the innermost constructor frame active when this object
+  /// was allocated (0 = none). While that frame is still live, uses of
+  /// this object count as initialization uses: the paper treats an
+  /// object whose "only use ... may be in its constructor" as
+  /// never-used, and an object born inside its container's constructor
+  /// is part of that initialization.
+  std::uint64_t BirthCtorSerial = 0;
+  std::uint32_t MonitorCount = 0;
+  bool Marked = false;
+  bool PendingFinalize = false;  ///< sitting on the finalization queue
+  bool Finalized = false;        ///< finalizer already ran
+  bool Old = false;              ///< promoted to the old generation
+  std::uint8_t Age = 0;          ///< minor collections survived
+  std::vector<Value> Slots;
+
+  bool isArray() const { return IsArray; }
+  std::uint32_t arrayLength() const {
+    return static_cast<std::uint32_t>(Slots.size());
+  }
+};
+
+/// Anything that can contribute GC roots (interpreter frames, statics,
+/// native handle scopes).
+class RootSource {
+public:
+  virtual ~RootSource();
+  /// Calls \p Visit for every root handle (null handles are ignored).
+  virtual void visitRoots(const std::function<void(Handle)> &Visit) = 0;
+};
+
+/// Result of one GC cycle.
+struct GCStats {
+  std::uint64_t FreedObjects = 0;
+  std::uint64_t FreedBytes = 0;
+  std::uint64_t ReachableObjects = 0;
+  std::uint64_t ReachableBytes = 0;
+  std::uint64_t NewlyFinalizable = 0;
+  bool Minor = false; ///< nursery-only collection
+};
+
+/// Two-generation collection policy (paper section 4.2 runs the revised
+/// benchmarks on HotSpot's generational collector, which "delays the
+/// collection of some unreachable objects").
+struct GenerationalConfig {
+  bool Enabled = false;
+  /// Nursery budget: a minor GC runs after this many allocated bytes.
+  std::uint64_t NurseryBytes = 256 * KB;
+  /// Minor collections an object must survive before promotion.
+  std::uint8_t PromoteAge = 1;
+  /// A full (major) collection every N minor ones.
+  std::uint32_t MajorEveryNMinors = 16;
+};
+
+/// The handle-indirection heap.
+class Heap {
+public:
+  explicit Heap(const ir::Program &P);
+  ~Heap();
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  /// Sets the observer notified of GC/collection events (may be null).
+  void setObserver(VMObserver *O) { Observer = O; }
+
+  /// Allocates an instance of \p C with zeroed fields. Never fails (the
+  /// byte budget is enforced by the VM, not here). Advances the clock.
+  Handle allocateObject(ir::ClassId C);
+
+  /// Allocates an array of \p Len elements of kind \p K, zeroed.
+  Handle allocateArray(ir::ArrayKind K, std::uint32_t Len);
+
+  /// Dereferences a handle. The handle must be live and non-null.
+  HeapObject &object(Handle H) {
+    assert(!H.isNull() && H.Index < Table.size() && Table[H.Index] &&
+           "dangling or null handle");
+    return *Table[H.Index];
+  }
+  const HeapObject &object(Handle H) const {
+    assert(!H.isNull() && H.Index < Table.size() && Table[H.Index] &&
+           "dangling or null handle");
+    return *Table[H.Index];
+  }
+
+  /// True if \p H currently refers to a live object.
+  bool isLive(Handle H) const {
+    return !H.isNull() && H.Index < Table.size() && Table[H.Index] != nullptr;
+  }
+
+  /// Registers a root source; must outlive the heap or be removed.
+  void addRootSource(RootSource *S) { RootSources.push_back(S); }
+  void removeRootSource(RootSource *S);
+
+  /// Runs a full stop-the-world mark-sweep collection. Unreachable
+  /// objects with un-run finalizers are resurrected onto the pending
+  /// finalization queue instead of being freed.
+  GCStats collect();
+
+  /// Enables/configures the two-generation policy.
+  void setGenerational(GenerationalConfig C) { Gen = C; }
+  const GenerationalConfig &generational() const { return Gen; }
+
+  /// Nursery-only collection: marks from the root sources plus the
+  /// remembered set (old objects that may reference young ones), sweeps
+  /// unmarked *young* objects, and promotes survivors past PromoteAge.
+  GCStats collectMinor();
+
+  /// Scheduled-collection hook the interpreter calls after allocations:
+  /// runs a minor (or every-Nth major) collection when the nursery
+  /// budget is exhausted. No-op unless generational mode is enabled.
+  void maybeScheduledGC();
+
+  /// Write barrier: the interpreter calls this when a reference is
+  /// stored into \p Container; old containers join the remembered set.
+  void writeBarrier(Handle Container) {
+    if (Gen.Enabled && isLive(Container) && object(Container).Old)
+      RememberedSet.insert(Container.Index);
+  }
+
+  std::uint64_t minorGCCount() const { return MinorGCCount; }
+  std::size_t rememberedSetSize() const { return RememberedSet.size(); }
+
+  /// Objects awaiting finalization (the VM runs their finalize methods,
+  /// then clears the queue entries via finishFinalization).
+  const std::vector<Handle> &pendingFinalizers() const { return PendingQueue; }
+
+  /// Marks all pending-finalization objects as finalized and empties the
+  /// queue; the next collect() can reclaim them if still unreachable.
+  void finishFinalization();
+
+  /// The byte clock: total bytes ever allocated (paper's time unit).
+  ByteTime clock() const { return AllocatedTotal; }
+
+  std::uint64_t liveBytes() const { return LiveBytes; }
+  std::uint64_t liveObjectCount() const { return LiveObjects; }
+
+  /// Iterates live objects (used for termination survivor reports).
+  void forEachLiveObject(
+      const std::function<void(Handle, const HeapObject &)> &Fn) const;
+
+  /// Total GC cycles run (for Table 4's "GC invoked less frequently").
+  std::uint64_t gcCount() const { return GCCount; }
+
+private:
+  Handle newHandle(HeapObject *Obj);
+  void mark(Handle H, std::vector<Handle> &Stack);
+  /// Like mark(), but never traverses *into* old objects (their young
+  /// referents are covered by the remembered set).
+  void markYoung(Handle H, std::vector<Handle> &Stack);
+  void free(std::uint32_t Index);
+
+  const ir::Program &P;
+  VMObserver *Observer = nullptr;
+  std::vector<HeapObject *> Table;
+  std::vector<std::uint32_t> FreeHandles;
+  std::vector<RootSource *> RootSources;
+  std::vector<Handle> PendingQueue;
+  ByteTime AllocatedTotal = 0;
+  std::uint64_t LiveBytes = 0;
+  std::uint64_t LiveObjects = 0;
+  std::uint64_t GCCount = 0;
+  ObjectId NextObjectId = 1;
+
+  GenerationalConfig Gen;
+  std::unordered_set<std::uint32_t> RememberedSet; ///< old handle indices
+  std::uint64_t MinorGCCount = 0;
+  ByteTime LastScheduledGC = 0;
+};
+
+} // namespace jdrag::vm
+
+#endif // JDRAG_VM_HEAP_H

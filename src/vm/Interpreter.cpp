@@ -1,0 +1,762 @@
+//===- vm/Interpreter.cpp -------------------------------------------------===//
+
+#include "vm/Interpreter.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::vm;
+
+const char *jdrag::vm::statusName(Interpreter::Status S) {
+  switch (S) {
+  case Interpreter::Status::Ok:
+    return "ok";
+  case Interpreter::Status::UncaughtException:
+    return "uncaught exception";
+  case Interpreter::Status::StepLimit:
+    return "step limit exceeded";
+  case Interpreter::Status::Trap:
+    return "trap";
+  }
+  return "?";
+}
+
+HeapObject &NativeContext::deref(Handle H) {
+  Interp.fireNativeUse(H);
+  return Interp.heap().object(H);
+}
+
+Interpreter::Interpreter(const Program &P, Heap &H, std::vector<Value> &Statics,
+                         std::vector<NativeFn> Natives, VMObserver *Observer,
+                         InterpreterConfig Config)
+    : P(P), TheHeap(H), Statics(Statics), Natives(std::move(Natives)),
+      Observer(Observer), Config(Config) {
+  TheHeap.addRootSource(this);
+}
+
+Interpreter::~Interpreter() { TheHeap.removeRootSource(this); }
+
+void Interpreter::visitRoots(const std::function<void(Handle)> &Visit) {
+  for (const Frame &F : Frames) {
+    for (const Value &V : F.Locals)
+      if (V.Kind == ValueKind::Ref)
+        Visit(V.asRef());
+    for (const Value &V : F.Stack)
+      if (V.Kind == ValueKind::Ref)
+        Visit(V.asRef());
+    Visit(F.Receiver);
+  }
+  for (Handle H : FinalizingNow)
+    Visit(H);
+  Visit(PendingException);
+  Visit(OOMInstance);
+}
+
+std::span<const CallFrameRef> Interpreter::captureChain() {
+  ChainScratch.clear();
+  bool Top = true;
+  for (auto It = Frames.rbegin();
+       It != Frames.rend() && ChainScratch.size() < Config.ChainDepth; ++It) {
+    // Caller frames have already advanced past their invoke instruction;
+    // report the call site itself.
+    std::uint32_t Pc = Top ? It->Pc : It->Pc - 1;
+    Top = false;
+    if (Pc >= It->M->Code.size())
+      continue;
+    ChainScratch.push_back({It->M->Id, Pc, It->M->Code[Pc].Line});
+  }
+  return {ChainScratch.data(), ChainScratch.size()};
+}
+
+std::string Interpreter::here() const {
+  if (Frames.empty())
+    return "<no frame>";
+  const Frame &F = Frames.back();
+  std::uint32_t Line =
+      F.Pc < F.M->Code.size() ? F.M->Code[F.Pc].Line : 0;
+  return formatString("%s pc %u (line %u)",
+                      P.qualifiedMethodName(F.M->Id).c_str(), F.Pc, Line);
+}
+
+void Interpreter::fireUse(Handle H, UseKind Kind, bool CalleeIsCtor) {
+  if (!Observer || H.isNull())
+    return;
+  HeapObject &Obj = TheHeap.object(H);
+  // Initialization uses: the object's own <init> is active, this IS its
+  // constructor invocation, or the constructor frame it was born inside
+  // is still running (an object built as part of its container's
+  // initialization).
+  bool DuringInit =
+      Obj.InitDepth > 0 || CalleeIsCtor ||
+      (Obj.BirthCtorSerial != 0 &&
+       std::binary_search(ActiveCtorSerials.begin(), ActiveCtorSerials.end(),
+                          Obj.BirthCtorSerial));
+  Observer->onUse(Obj.Id, Kind, captureChain(), DuringInit, TheHeap.clock());
+}
+
+void Interpreter::fireNativeUse(Handle H) { fireUse(H, UseKind::NativeDeref); }
+
+void Interpreter::fireAllocate(Handle H) {
+  if (!Observer)
+    return;
+  const HeapObject &Obj = TheHeap.object(H);
+  Observer->onAllocate(Obj.Id, H, Obj, captureChain(), TheHeap.clock());
+}
+
+void Interpreter::pushFrame(const MethodInfo &M, std::span<const Value> Args) {
+  Frame NF;
+  NF.M = &M;
+  NF.Pc = 0;
+  NF.Locals.resize(M.numLocals());
+  for (std::uint32_t I = 0, E = M.numLocals(); I != E; ++I)
+    NF.Locals[I] = Value::zeroOf(M.LocalKinds[I]);
+  assert(Args.size() == M.numParamSlots() && "argument count mismatch");
+  for (std::size_t I = 0, E = Args.size(); I != E; ++I)
+    NF.Locals[I] = Args[I];
+  NF.Stack.reserve(M.MaxStack);
+  if (M.IsConstructor) {
+    NF.Receiver = Args[0].asRef();
+    NF.IsCtorFrame = true;
+    NF.Serial = NextFrameSerial++;
+    ActiveCtorSerials.push_back(NF.Serial);
+    if (!NF.Receiver.isNull())
+      ++TheHeap.object(NF.Receiver).InitDepth;
+  }
+  Frames.push_back(std::move(NF));
+}
+
+void Interpreter::popFrame() {
+  Frame &F = Frames.back();
+  if (F.IsCtorFrame) {
+    if (!F.Receiver.isNull())
+      --TheHeap.object(F.Receiver).InitDepth;
+    assert(!ActiveCtorSerials.empty() &&
+           ActiveCtorSerials.back() == F.Serial &&
+           "constructor serial stack out of sync");
+    ActiveCtorSerials.pop_back();
+  }
+  Frames.pop_back();
+}
+
+bool Interpreter::throwToHandler(Handle Ex, std::size_t Base) {
+  const HeapObject &ExObj = TheHeap.object(Ex);
+  assert(!ExObj.isArray() && "thrown value must be an object");
+  ClassId ExClass = ExObj.Class;
+  bool Top = true;
+  while (Frames.size() > Base) {
+    Frame &F = Frames.back();
+    // Caller frames have advanced past their invoke; the handler range
+    // must cover the call instruction itself.
+    std::uint32_t CheckPc = Top ? F.Pc : F.Pc - 1;
+    Top = false;
+    for (const ExceptionHandler &H : F.M->Handlers) {
+      if (CheckPc < H.Start || CheckPc >= H.End)
+        continue;
+      if (H.CatchType.isValid() && !P.isSubclassOf(ExClass, H.CatchType))
+        continue;
+      F.Stack.clear();
+      F.Stack.push_back(Value::makeRef(Ex));
+      F.Pc = H.Target;
+      return true;
+    }
+    popFrame();
+  }
+  PendingException = Ex;
+  return false;
+}
+
+bool Interpreter::raiseOOM(std::size_t Base) {
+  assert(!OOMInstance.isNull() && "OOM instance not installed");
+  return throwToHandler(OOMInstance, Base);
+}
+
+void Interpreter::runPendingFinalizers() {
+  // Copy the queue and keep the objects rooted while finalizers run.
+  FinalizingNow = TheHeap.pendingFinalizers();
+  TheHeap.finishFinalization();
+  for (Handle H : FinalizingNow) {
+    if (!TheHeap.isLive(H))
+      continue;
+    const HeapObject &Obj = TheHeap.object(H);
+    MethodId Fin = P.classOf(Obj.Class).Finalizer;
+    if (!Fin.isValid())
+      continue;
+    Value Recv = Value::makeRef(H);
+    std::string Ignored;
+    Status S = call(Fin, {&Recv, 1}, nullptr, &Ignored);
+    if (S == Status::UncaughtException)
+      PendingException = Handle(); // Java swallows finalizer exceptions.
+    else if (S != Status::Ok)
+      Trapped = true;
+  }
+  FinalizingNow.clear();
+}
+
+void Interpreter::runDeepGC() {
+  if (InDeepGC)
+    return;
+  InDeepGC = true;
+  ++DeepGCs;
+  TheHeap.collect();
+  runPendingFinalizers();
+  TheHeap.collect();
+  LastDeepGC = TheHeap.clock();
+  if (Observer)
+    Observer->onDeepGCEnd(TheHeap.clock());
+  InDeepGC = false;
+}
+
+Interpreter::Status Interpreter::call(MethodId M, std::span<const Value> Args,
+                                      Value *Ret, std::string *Err) {
+  const MethodInfo &MI = P.methodOf(M);
+  assert(!MI.IsNative && "cannot call natives directly");
+  std::size_t Base = Frames.size();
+  pushFrame(MI, Args);
+  Status S = execute(Base, Err);
+  if (S == Status::Ok && Ret)
+    *Ret = TopReturn;
+  // On failure, discard any frames the failed activation left behind.
+  while (Frames.size() > Base)
+    popFrame();
+  return S;
+}
+
+Interpreter::Status Interpreter::execute(std::size_t Base, std::string *Err) {
+  auto Trap = [&](const std::string &Msg) {
+    TrapMessage = here() + ": " + Msg;
+    if (Err)
+      *Err = TrapMessage;
+    return Status::Trap;
+  };
+  auto Uncaught = [&]() {
+    if (Err)
+      *Err = "uncaught exception of class " +
+             P.classOf(TheHeap.object(PendingException).Class).Name;
+    return Status::UncaughtException;
+  };
+  // Returns false when the allocation budget cannot be met even after GC.
+  auto EnsureBudget = [&](std::uint64_t Bytes) {
+    if (TheHeap.liveBytes() + Bytes <= Config.MaxLiveBytes)
+      return true;
+    TheHeap.collect();
+    return TheHeap.liveBytes() + Bytes <= Config.MaxLiveBytes;
+  };
+  auto MaybeDeepGC = [&] {
+    if (Config.DeepGCIntervalBytes && !InDeepGC &&
+        TheHeap.clock() - LastDeepGC >= Config.DeepGCIntervalBytes)
+      runDeepGC();
+  };
+
+  while (Frames.size() > Base) {
+    if (Trapped)
+      return Trap("trap inside finalizer");
+    if (++Steps > Config.MaxSteps) {
+      if (Err)
+        *Err = "step limit exceeded at " + here();
+      return Status::StepLimit;
+    }
+    Frame &F = Frames.back();
+    assert(F.Pc < F.M->Code.size() && "pc out of range (verifier bug)");
+    const Instruction &I = F.M->Code[F.Pc];
+    std::vector<Value> &S = F.Stack;
+
+    switch (I.Op) {
+    case Opcode::IConst:
+      S.push_back(Value::makeInt(I.IVal));
+      ++F.Pc;
+      break;
+    case Opcode::DConst:
+      S.push_back(Value::makeDouble(I.DVal));
+      ++F.Pc;
+      break;
+    case Opcode::AConstNull:
+      S.push_back(Value::makeNull());
+      ++F.Pc;
+      break;
+    case Opcode::Nop:
+      ++F.Pc;
+      break;
+    case Opcode::Pop:
+      S.pop_back();
+      ++F.Pc;
+      break;
+    case Opcode::Dup:
+      S.push_back(S.back());
+      ++F.Pc;
+      break;
+    case Opcode::Swap:
+      std::swap(S[S.size() - 1], S[S.size() - 2]);
+      ++F.Pc;
+      break;
+
+    case Opcode::ILoad:
+    case Opcode::DLoad:
+    case Opcode::ALoad:
+      S.push_back(F.Locals[static_cast<std::uint32_t>(I.A)]);
+      ++F.Pc;
+      break;
+    case Opcode::IStore:
+    case Opcode::DStore:
+    case Opcode::AStore:
+      F.Locals[static_cast<std::uint32_t>(I.A)] = S.back();
+      S.pop_back();
+      ++F.Pc;
+      break;
+
+    case Opcode::IAdd: {
+      std::int64_t B = S.back().asInt();
+      S.pop_back();
+      S.back() = Value::makeInt(S.back().asInt() + B);
+      ++F.Pc;
+      break;
+    }
+    case Opcode::ISub: {
+      std::int64_t B = S.back().asInt();
+      S.pop_back();
+      S.back() = Value::makeInt(S.back().asInt() - B);
+      ++F.Pc;
+      break;
+    }
+    case Opcode::IMul: {
+      std::int64_t B = S.back().asInt();
+      S.pop_back();
+      S.back() = Value::makeInt(S.back().asInt() * B);
+      ++F.Pc;
+      break;
+    }
+    case Opcode::IDiv: {
+      std::int64_t B = S.back().asInt();
+      S.pop_back();
+      if (B == 0)
+        return Trap("integer division by zero");
+      S.back() = Value::makeInt(S.back().asInt() / B);
+      ++F.Pc;
+      break;
+    }
+    case Opcode::IRem: {
+      std::int64_t B = S.back().asInt();
+      S.pop_back();
+      if (B == 0)
+        return Trap("integer remainder by zero");
+      S.back() = Value::makeInt(S.back().asInt() % B);
+      ++F.Pc;
+      break;
+    }
+    case Opcode::INeg:
+      S.back() = Value::makeInt(-S.back().asInt());
+      ++F.Pc;
+      break;
+    case Opcode::IAnd: {
+      std::int64_t B = S.back().asInt();
+      S.pop_back();
+      S.back() = Value::makeInt(S.back().asInt() & B);
+      ++F.Pc;
+      break;
+    }
+    case Opcode::IOr: {
+      std::int64_t B = S.back().asInt();
+      S.pop_back();
+      S.back() = Value::makeInt(S.back().asInt() | B);
+      ++F.Pc;
+      break;
+    }
+    case Opcode::IXor: {
+      std::int64_t B = S.back().asInt();
+      S.pop_back();
+      S.back() = Value::makeInt(S.back().asInt() ^ B);
+      ++F.Pc;
+      break;
+    }
+    case Opcode::IShl: {
+      std::int64_t B = S.back().asInt();
+      S.pop_back();
+      S.back() = Value::makeInt(static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(S.back().asInt()) << (B & 63)));
+      ++F.Pc;
+      break;
+    }
+    case Opcode::IShr: {
+      std::int64_t B = S.back().asInt();
+      S.pop_back();
+      S.back() = Value::makeInt(S.back().asInt() >> (B & 63));
+      ++F.Pc;
+      break;
+    }
+
+    case Opcode::DAdd: {
+      double B = S.back().asDouble();
+      S.pop_back();
+      S.back() = Value::makeDouble(S.back().asDouble() + B);
+      ++F.Pc;
+      break;
+    }
+    case Opcode::DSub: {
+      double B = S.back().asDouble();
+      S.pop_back();
+      S.back() = Value::makeDouble(S.back().asDouble() - B);
+      ++F.Pc;
+      break;
+    }
+    case Opcode::DMul: {
+      double B = S.back().asDouble();
+      S.pop_back();
+      S.back() = Value::makeDouble(S.back().asDouble() * B);
+      ++F.Pc;
+      break;
+    }
+    case Opcode::DDiv: {
+      double B = S.back().asDouble();
+      S.pop_back();
+      S.back() = Value::makeDouble(S.back().asDouble() / B);
+      ++F.Pc;
+      break;
+    }
+    case Opcode::DNeg:
+      S.back() = Value::makeDouble(-S.back().asDouble());
+      ++F.Pc;
+      break;
+    case Opcode::DCmp: {
+      double B = S.back().asDouble();
+      S.pop_back();
+      double A = S.back().asDouble();
+      // dcmpl semantics: NaN compares as -1.
+      std::int64_t R = A > B ? 1 : (A == B ? 0 : -1);
+      S.back() = Value::makeInt(R);
+      ++F.Pc;
+      break;
+    }
+    case Opcode::I2D:
+      S.back() = Value::makeDouble(static_cast<double>(S.back().asInt()));
+      ++F.Pc;
+      break;
+    case Opcode::D2I:
+      S.back() =
+          Value::makeInt(static_cast<std::int64_t>(S.back().asDouble()));
+      ++F.Pc;
+      break;
+
+    case Opcode::Goto:
+      F.Pc = static_cast<std::uint32_t>(I.A);
+      break;
+    case Opcode::IfEqZ:
+    case Opcode::IfNeZ:
+    case Opcode::IfLtZ:
+    case Opcode::IfLeZ:
+    case Opcode::IfGtZ:
+    case Opcode::IfGeZ: {
+      std::int64_t V = S.back().asInt();
+      S.pop_back();
+      bool Taken = false;
+      switch (I.Op) {
+      case Opcode::IfEqZ: Taken = V == 0; break;
+      case Opcode::IfNeZ: Taken = V != 0; break;
+      case Opcode::IfLtZ: Taken = V < 0; break;
+      case Opcode::IfLeZ: Taken = V <= 0; break;
+      case Opcode::IfGtZ: Taken = V > 0; break;
+      case Opcode::IfGeZ: Taken = V >= 0; break;
+      default: break;
+      }
+      F.Pc = Taken ? static_cast<std::uint32_t>(I.A) : F.Pc + 1;
+      break;
+    }
+    case Opcode::IfICmpEq:
+    case Opcode::IfICmpNe:
+    case Opcode::IfICmpLt:
+    case Opcode::IfICmpLe:
+    case Opcode::IfICmpGt:
+    case Opcode::IfICmpGe: {
+      std::int64_t B = S.back().asInt();
+      S.pop_back();
+      std::int64_t A = S.back().asInt();
+      S.pop_back();
+      bool Taken = false;
+      switch (I.Op) {
+      case Opcode::IfICmpEq: Taken = A == B; break;
+      case Opcode::IfICmpNe: Taken = A != B; break;
+      case Opcode::IfICmpLt: Taken = A < B; break;
+      case Opcode::IfICmpLe: Taken = A <= B; break;
+      case Opcode::IfICmpGt: Taken = A > B; break;
+      case Opcode::IfICmpGe: Taken = A >= B; break;
+      default: break;
+      }
+      F.Pc = Taken ? static_cast<std::uint32_t>(I.A) : F.Pc + 1;
+      break;
+    }
+    case Opcode::IfNull:
+    case Opcode::IfNonNull: {
+      Handle H = S.back().asRef();
+      S.pop_back();
+      bool Taken = (I.Op == Opcode::IfNull) == H.isNull();
+      F.Pc = Taken ? static_cast<std::uint32_t>(I.A) : F.Pc + 1;
+      break;
+    }
+    case Opcode::IfACmpEq:
+    case Opcode::IfACmpNe: {
+      Handle B = S.back().asRef();
+      S.pop_back();
+      Handle A = S.back().asRef();
+      S.pop_back();
+      bool Taken = (I.Op == Opcode::IfACmpEq) == (A == B);
+      F.Pc = Taken ? static_cast<std::uint32_t>(I.A) : F.Pc + 1;
+      break;
+    }
+
+    case Opcode::New: {
+      ClassId C(static_cast<std::uint32_t>(I.A));
+      std::uint32_t Bytes = P.classOf(C).InstanceAccountedBytes;
+      if (!EnsureBudget(Bytes)) {
+        if (!raiseOOM(Base))
+          return Uncaught();
+        continue;
+      }
+      Handle H = TheHeap.allocateObject(C);
+      if (!ActiveCtorSerials.empty())
+        TheHeap.object(H).BirthCtorSerial = ActiveCtorSerials.back();
+      S.push_back(Value::makeRef(H));
+      fireAllocate(H); // chain still points at the new instruction
+      ++F.Pc;
+      MaybeDeepGC();
+      TheHeap.maybeScheduledGC(); // generational policy (plain runs)
+      continue; // F may be stale after finalizers ran
+    }
+
+    case Opcode::GetField: {
+      Handle H = S.back().asRef();
+      if (H.isNull())
+        return Trap("getfield on null");
+      HeapObject &Obj = TheHeap.object(H);
+      if (Obj.isArray())
+        return Trap("getfield on array");
+      fireUse(H, UseKind::GetField);
+      const FieldInfo &FI = P.Fields[static_cast<std::uint32_t>(I.A)];
+      S.back() = Obj.Slots[FI.Slot];
+      ++F.Pc;
+      break;
+    }
+    case Opcode::PutField: {
+      Value V = S.back();
+      S.pop_back();
+      Handle H = S.back().asRef();
+      S.pop_back();
+      if (H.isNull())
+        return Trap("putfield on null");
+      HeapObject &Obj = TheHeap.object(H);
+      if (Obj.isArray())
+        return Trap("putfield on array");
+      fireUse(H, UseKind::PutField);
+      const FieldInfo &FI = P.Fields[static_cast<std::uint32_t>(I.A)];
+      Obj.Slots[FI.Slot] = V;
+      if (V.Kind == ValueKind::Ref && !V.asRef().isNull())
+        TheHeap.writeBarrier(H); // generational remembered set
+      ++F.Pc;
+      break;
+    }
+    case Opcode::GetStatic: {
+      const FieldInfo &FI = P.Fields[static_cast<std::uint32_t>(I.A)];
+      S.push_back(Statics[FI.Slot]);
+      ++F.Pc;
+      break;
+    }
+    case Opcode::PutStatic: {
+      const FieldInfo &FI = P.Fields[static_cast<std::uint32_t>(I.A)];
+      Statics[FI.Slot] = S.back();
+      S.pop_back();
+      ++F.Pc;
+      break;
+    }
+
+    case Opcode::NewArray: {
+      std::int64_t Len = S.back().asInt();
+      S.pop_back();
+      if (Len < 0 || Len > (1ll << 31))
+        return Trap("bad array length");
+      ArrayKind K = static_cast<ArrayKind>(I.A);
+      std::uint32_t Bytes =
+          Program::arrayAccountedBytes(K, static_cast<std::uint32_t>(Len));
+      if (!EnsureBudget(Bytes)) {
+        if (!raiseOOM(Base))
+          return Uncaught();
+        continue;
+      }
+      Handle H = TheHeap.allocateArray(K, static_cast<std::uint32_t>(Len));
+      if (!ActiveCtorSerials.empty())
+        TheHeap.object(H).BirthCtorSerial = ActiveCtorSerials.back();
+      S.push_back(Value::makeRef(H));
+      fireAllocate(H);
+      ++F.Pc;
+      MaybeDeepGC();
+      TheHeap.maybeScheduledGC();
+      continue;
+    }
+    case Opcode::ArrayLength: {
+      Handle H = S.back().asRef();
+      if (H.isNull())
+        return Trap("arraylength on null");
+      HeapObject &Obj = TheHeap.object(H);
+      if (!Obj.isArray())
+        return Trap("arraylength on non-array");
+      fireUse(H, UseKind::ArrayAccess);
+      S.back() = Value::makeInt(Obj.arrayLength());
+      ++F.Pc;
+      break;
+    }
+    case Opcode::AALoad:
+    case Opcode::IALoad:
+    case Opcode::CALoad:
+    case Opcode::DALoad: {
+      std::int64_t Idx = S.back().asInt();
+      S.pop_back();
+      Handle H = S.back().asRef();
+      if (H.isNull())
+        return Trap("array load on null");
+      HeapObject &Obj = TheHeap.object(H);
+      if (!Obj.isArray())
+        return Trap("array load on non-array");
+      if (Idx < 0 || static_cast<std::uint64_t>(Idx) >= Obj.Slots.size())
+        return Trap(formatString("array index %lld out of bounds (len %u)",
+                                 static_cast<long long>(Idx),
+                                 Obj.arrayLength()));
+      fireUse(H, UseKind::ArrayAccess);
+      S.back() = Obj.Slots[static_cast<std::size_t>(Idx)];
+      ++F.Pc;
+      break;
+    }
+    case Opcode::AAStore:
+    case Opcode::IAStore:
+    case Opcode::CAStore:
+    case Opcode::DAStore: {
+      Value V = S.back();
+      S.pop_back();
+      std::int64_t Idx = S.back().asInt();
+      S.pop_back();
+      Handle H = S.back().asRef();
+      S.pop_back();
+      if (H.isNull())
+        return Trap("array store on null");
+      HeapObject &Obj = TheHeap.object(H);
+      if (!Obj.isArray())
+        return Trap("array store on non-array");
+      if (Idx < 0 || static_cast<std::uint64_t>(Idx) >= Obj.Slots.size())
+        return Trap(formatString("array index %lld out of bounds (len %u)",
+                                 static_cast<long long>(Idx),
+                                 Obj.arrayLength()));
+      fireUse(H, UseKind::ArrayAccess);
+      if (I.Op == Opcode::CAStore)
+        V = Value::makeInt(V.asInt() & 0xFFFF); // char truncation
+      Obj.Slots[static_cast<std::size_t>(Idx)] = V;
+      if (I.Op == Opcode::AAStore && !V.asRef().isNull())
+        TheHeap.writeBarrier(H);
+      ++F.Pc;
+      break;
+    }
+
+    case Opcode::InvokeStatic: {
+      const MethodInfo &Callee = P.Methods[static_cast<std::uint32_t>(I.A)];
+      std::size_t NArgs = Callee.Params.size();
+      if (Callee.IsNative) {
+        NativeFn &Fn = Natives[Callee.Native.Index];
+        if (!Fn)
+          return Trap("unbound native " + Callee.Name);
+        ArgScratch.assign(S.end() - static_cast<std::ptrdiff_t>(NArgs),
+                          S.end());
+        S.resize(S.size() - NArgs);
+        NativeContext Ctx(*this, {ArgScratch.data(), ArgScratch.size()});
+        Value R = Fn(Ctx);
+        if (Callee.Ret != ValueKind::Void) {
+          assert(R.Kind == Callee.Ret && "native returned wrong kind");
+          S.push_back(R);
+        }
+        ++F.Pc;
+        break;
+      }
+      ArgScratch.assign(S.end() - static_cast<std::ptrdiff_t>(NArgs), S.end());
+      S.resize(S.size() - NArgs);
+      ++F.Pc;
+      pushFrame(Callee, {ArgScratch.data(), ArgScratch.size()});
+      continue;
+    }
+    case Opcode::InvokeVirtual:
+    case Opcode::InvokeSpecial: {
+      const MethodInfo &Callee = P.Methods[static_cast<std::uint32_t>(I.A)];
+      std::size_t Total = Callee.Params.size() + 1;
+      Handle Recv = S[S.size() - Total].asRef();
+      if (Recv.isNull())
+        return Trap("invoke on null receiver: " + Callee.Name);
+      HeapObject &RObj = TheHeap.object(Recv);
+      const MethodInfo *Target = &Callee;
+      if (I.Op == Opcode::InvokeVirtual) {
+        if (RObj.isArray())
+          return Trap("invokevirtual on array");
+        const ClassInfo &RC = P.classOf(RObj.Class);
+        assert(Callee.VTableSlot >= 0 &&
+               static_cast<std::size_t>(Callee.VTableSlot) < RC.VTable.size());
+        Target = &P.methodOf(
+            RC.VTable[static_cast<std::uint32_t>(Callee.VTableSlot)]);
+      }
+      fireUse(Recv, UseKind::Invoke, Target->IsConstructor);
+      ArgScratch.assign(S.end() - static_cast<std::ptrdiff_t>(Total), S.end());
+      S.resize(S.size() - Total);
+      ++F.Pc;
+      pushFrame(*Target, {ArgScratch.data(), ArgScratch.size()});
+      continue;
+    }
+
+    case Opcode::Return: {
+      popFrame();
+      continue;
+    }
+    case Opcode::IReturn:
+    case Opcode::DReturn:
+    case Opcode::AReturn: {
+      Value V = S.back();
+      popFrame();
+      if (Frames.size() > Base)
+        Frames.back().Stack.push_back(V);
+      else
+        TopReturn = V;
+      continue;
+    }
+
+    case Opcode::Throw: {
+      Handle Ex = S.back().asRef();
+      S.pop_back();
+      if (Ex.isNull())
+        return Trap("throw null");
+      if (TheHeap.object(Ex).isArray())
+        return Trap("throw of array");
+      fireUse(Ex, UseKind::Throw);
+      if (!throwToHandler(Ex, Base))
+        return Uncaught();
+      continue;
+    }
+
+    case Opcode::MonitorEnter: {
+      Handle H = S.back().asRef();
+      S.pop_back();
+      if (H.isNull())
+        return Trap("monitorenter on null");
+      fireUse(H, UseKind::Monitor);
+      ++TheHeap.object(H).MonitorCount;
+      ++F.Pc;
+      break;
+    }
+    case Opcode::MonitorExit: {
+      Handle H = S.back().asRef();
+      S.pop_back();
+      if (H.isNull())
+        return Trap("monitorexit on null");
+      HeapObject &Obj = TheHeap.object(H);
+      if (Obj.MonitorCount == 0)
+        return Trap("monitorexit without matching enter");
+      fireUse(H, UseKind::Monitor);
+      --Obj.MonitorCount;
+      ++F.Pc;
+      break;
+    }
+    }
+  }
+  return Status::Ok;
+}

@@ -1,0 +1,158 @@
+//===- vm/Interpreter.h - Bytecode interpreter ------------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution engine: a frame-stack bytecode interpreter over the
+/// jdrag IR with Java-style exception unwinding, virtual dispatch, the
+/// deep-GC protocol (GC, run finalizers, GC -- paper section 2.1.1) and
+/// instrumentation callbacks for every allocation and object use.
+///
+/// Runtime faults that a correct benchmark never commits (null
+/// dereference, array bounds, division by zero) are *traps*: execution
+/// stops with a diagnostic instead of modelling the Java exception. Only
+/// OutOfMemoryError is thrown as a real exception, since the paper's lazy
+/// allocation transformation reasons about OOM handlers (section 3.3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_VM_INTERPRETER_H
+#define JDRAG_VM_INTERPRETER_H
+
+#include "ir/Program.h"
+#include "vm/Heap.h"
+#include "vm/Natives.h"
+
+#include <string>
+
+namespace jdrag::vm {
+
+/// Interpreter configuration.
+struct InterpreterConfig {
+  /// Deep-GC trigger period on the byte clock; 0 disables periodic deep
+  /// GC (plain uninstrumented execution). The paper uses 100 KB.
+  std::uint64_t DeepGCIntervalBytes = 0;
+  /// Hard cap on executed instructions (guards test hangs).
+  std::uint64_t MaxSteps = 1ull << 42;
+  /// Live-byte budget; exceeding it after a forced GC throws OOM.
+  std::uint64_t MaxLiveBytes = ~0ull;
+  /// Frames captured per allocation/use event.
+  std::uint32_t ChainDepth = 8;
+};
+
+/// The bytecode interpreter. Owns the frame stack; registers itself as a
+/// GC root source on the heap it executes against.
+class Interpreter : public RootSource {
+public:
+  enum class Status : std::uint8_t { Ok, UncaughtException, StepLimit, Trap };
+
+  /// \p Statics is the global static-field area (rooted by the caller).
+  /// \p Natives maps NativeId index to a bound callback (empty entries
+  /// trap when called).
+  Interpreter(const ir::Program &P, Heap &H, std::vector<Value> &Statics,
+              std::vector<NativeFn> Natives, VMObserver *Observer,
+              InterpreterConfig Config);
+  ~Interpreter() override;
+
+  /// Calls \p M with \p Args (receiver first for instance methods) and
+  /// runs to completion. On Ok, \p Ret (if non-null) receives the return
+  /// value. On failure \p Err (if non-null) receives a diagnostic.
+  Status call(ir::MethodId M, std::span<const Value> Args, Value *Ret,
+              std::string *Err);
+
+  /// Runs one deep GC: collect, run pending finalizers, collect again.
+  /// No-op if a deep GC is already in progress.
+  void runDeepGC();
+
+  /// Pins the preallocated OutOfMemoryError instance (set by the VM).
+  void setOOMInstance(Handle H) { OOMInstance = H; }
+
+  /// The exception that escaped the last call(), if any.
+  Handle pendingException() const { return PendingException; }
+
+  std::uint64_t steps() const { return Steps; }
+  std::uint64_t deepGCCount() const { return DeepGCs; }
+
+  void visitRoots(const std::function<void(Handle)> &Visit) override;
+
+  /// Fires a NativeDeref use event (NativeContext::deref calls this).
+  void fireNativeUse(Handle H);
+
+  Heap &heap() { return TheHeap; }
+  const ir::Program &program() const { return P; }
+
+private:
+  struct Frame {
+    const ir::MethodInfo *M = nullptr;
+    std::uint32_t Pc = 0;
+    Handle Receiver;          ///< valid for constructor frames
+    bool IsCtorFrame = false; ///< InitDepth bookkeeping on pop
+    std::uint64_t Serial = 0; ///< monotonic frame identity (ctor frames)
+    std::vector<Value> Locals;
+    std::vector<Value> Stack;
+  };
+
+  /// Executes until the frame stack shrinks back to \p Base frames.
+  Status execute(std::size_t Base, std::string *Err);
+
+  /// Pushes a frame for \p M, moving \p NumArgs values off \p Caller's
+  /// stack into the locals. Returns false on trap (reported via Trap).
+  void pushFrame(const ir::MethodInfo &M, std::span<const Value> Args);
+
+  /// Pops the top frame, maintaining InitDepth bookkeeping.
+  void popFrame();
+
+  /// Unwinds \p Ex to the nearest matching handler, not unwinding past
+  /// \p Base frames. Returns true if a handler took over.
+  bool throwToHandler(Handle Ex, std::size_t Base);
+
+  /// Raises OOM after a failed allocation budget check.
+  bool raiseOOM(std::size_t Base);
+
+  /// Runs all pending finalizers (swallowing their exceptions).
+  void runPendingFinalizers();
+
+  /// Fires the observer's use event for \p H.
+  void fireUse(Handle H, UseKind Kind, bool CalleeIsCtor = false);
+
+  /// Fires the observer's allocate event for the object behind \p H.
+  void fireAllocate(Handle H);
+
+  /// Captures the innermost ChainDepth frames into ChainScratch.
+  std::span<const CallFrameRef> captureChain();
+
+  /// Formats "Class.method pc N (line L)" for diagnostics.
+  std::string here() const;
+
+  const ir::Program &P;
+  Heap &TheHeap;
+  std::vector<Value> &Statics;
+  std::vector<NativeFn> Natives;
+  VMObserver *Observer;
+  InterpreterConfig Config;
+
+  std::vector<Frame> Frames;
+  /// Strictly increasing stack of serials of active constructor frames.
+  std::vector<std::uint64_t> ActiveCtorSerials;
+  std::uint64_t NextFrameSerial = 1;
+  std::vector<Handle> FinalizingNow; ///< roots while finalizers run
+  Handle PendingException;
+  Handle OOMInstance;
+  std::vector<CallFrameRef> ChainScratch;
+  std::vector<Value> ArgScratch;
+  Value TopReturn;
+  std::string TrapMessage;
+  ByteTime LastDeepGC = 0;
+  std::uint64_t Steps = 0;
+  std::uint64_t DeepGCs = 0;
+  bool InDeepGC = false;
+  bool Trapped = false;
+};
+
+const char *statusName(Interpreter::Status S);
+
+} // namespace jdrag::vm
+
+#endif // JDRAG_VM_INTERPRETER_H

@@ -1,0 +1,110 @@
+//===- vm/Value.h - Runtime values and handles ------------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values are tagged unions of Int/Double/Ref. References are
+/// *handles*: indices into the heap's handle table, mirroring the paper's
+/// instrumented Sun JVM 1.2 whose "memory system uses indirect pointers
+/// to objects" (section 2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_VM_VALUE_H
+#define JDRAG_VM_VALUE_H
+
+#include "ir/Type.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace jdrag::vm {
+
+/// An indirect object reference (index into the heap's handle table).
+struct Handle {
+  static constexpr std::uint32_t NullIndex = ~static_cast<std::uint32_t>(0);
+
+  std::uint32_t Index = NullIndex;
+
+  constexpr Handle() = default;
+  constexpr explicit Handle(std::uint32_t Index) : Index(Index) {}
+
+  constexpr bool isNull() const { return Index == NullIndex; }
+
+  friend constexpr bool operator==(Handle A, Handle B) {
+    return A.Index == B.Index;
+  }
+  friend constexpr bool operator!=(Handle A, Handle B) {
+    return A.Index != B.Index;
+  }
+};
+
+/// A unique per-allocation identity. Handles are recycled by GC; object
+/// ids never are, so profiler side tables key on them.
+using ObjectId = std::uint64_t;
+
+/// A tagged runtime value.
+struct Value {
+  ir::ValueKind Kind = ir::ValueKind::Int;
+  union {
+    std::int64_t I;
+    double D;
+    Handle H;
+  };
+
+  Value() : I(0) {}
+
+  static Value makeInt(std::int64_t V) {
+    Value R;
+    R.Kind = ir::ValueKind::Int;
+    R.I = V;
+    return R;
+  }
+  static Value makeDouble(double V) {
+    Value R;
+    R.Kind = ir::ValueKind::Double;
+    R.D = V;
+    return R;
+  }
+  static Value makeRef(Handle H) {
+    Value R;
+    R.Kind = ir::ValueKind::Ref;
+    R.H = H;
+    return R;
+  }
+  static Value makeNull() { return makeRef(Handle()); }
+
+  /// Zero value of kind \p K (0, 0.0, or null).
+  static Value zeroOf(ir::ValueKind K) {
+    switch (K) {
+    case ir::ValueKind::Int:
+      return makeInt(0);
+    case ir::ValueKind::Double:
+      return makeDouble(0.0);
+    case ir::ValueKind::Ref:
+      return makeNull();
+    case ir::ValueKind::Void:
+      break;
+    }
+    return Value();
+  }
+
+  std::int64_t asInt() const {
+    assert(Kind == ir::ValueKind::Int && "not an int");
+    return I;
+  }
+  double asDouble() const {
+    assert(Kind == ir::ValueKind::Double && "not a double");
+    return D;
+  }
+  Handle asRef() const {
+    assert(Kind == ir::ValueKind::Ref && "not a reference");
+    return H;
+  }
+};
+
+} // namespace jdrag::vm
+
+#endif // JDRAG_VM_VALUE_H

@@ -1,0 +1,105 @@
+//===- vm/VirtualMachine.cpp ----------------------------------------------===//
+
+#include "vm/VirtualMachine.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cstring>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::vm;
+
+VirtualMachine::VirtualMachine(const Program &P, VMOptions Opts)
+    : P(P), Opts(Opts), TheHeap(P) {
+  Statics.Values.resize(P.NumStaticSlots);
+  for (const FieldInfo &F : P.Fields)
+    if (F.IsStatic)
+      Statics.Values[F.Slot] = Value::zeroOf(F.Kind);
+  TheHeap.addRootSource(&Statics);
+  TheHeap.setGenerational(Opts.Generational);
+  bindStandardNatives();
+}
+
+VirtualMachine::~VirtualMachine() { TheHeap.removeRootSource(&Statics); }
+
+void VirtualMachine::bindNative(std::string_view Name, NativeFn Fn) {
+  Bound[std::string(Name)] = std::move(Fn);
+}
+
+void VirtualMachine::bindStandardNatives() {
+  bindNative("jdrag.readInput", [this](NativeContext &Ctx) {
+    std::int64_t Idx = Ctx.args()[0].asInt();
+    if (Idx < 0 || static_cast<std::size_t>(Idx) >= Inputs.size())
+      reportFatalError("jdrag.readInput index out of range");
+    return Value::makeInt(Inputs[static_cast<std::size_t>(Idx)]);
+  });
+  bindNative("jdrag.inputCount", [this](NativeContext &) {
+    return Value::makeInt(static_cast<std::int64_t>(Inputs.size()));
+  });
+  bindNative("jdrag.emitResult", [this](NativeContext &Ctx) {
+    Outputs.push_back(Ctx.args()[0].asInt());
+    return Value();
+  });
+  bindNative("jdrag.emitResultD", [this](NativeContext &Ctx) {
+    double D = Ctx.args()[0].asDouble();
+    std::int64_t Bits;
+    std::memcpy(&Bits, &D, sizeof(Bits));
+    Outputs.push_back(Bits);
+    return Value();
+  });
+  bindNative("jdrag.touch", [](NativeContext &Ctx) {
+    Handle H = Ctx.args()[0].asRef();
+    if (!H.isNull())
+      Ctx.deref(H); // fires the NativeDeref use event
+    return Value();
+  });
+}
+
+Value VirtualMachine::staticValue(FieldId F) const {
+  const FieldInfo &FI = P.fieldOf(F);
+  assert(FI.IsStatic && "staticValue on instance field");
+  return Statics.Values[FI.Slot];
+}
+
+Interpreter::Status VirtualMachine::run(std::string *Err) {
+  assert(!Ran && "a VirtualMachine runs exactly once");
+  Ran = true;
+  TheHeap.setObserver(Opts.Observer);
+
+  std::vector<NativeFn> NativeTable(P.Natives.size());
+  for (const NativeInfo &N : P.Natives) {
+    auto It = Bound.find(N.Name);
+    if (It != Bound.end())
+      NativeTable[N.Id.Index] = It->second;
+  }
+
+  InterpreterConfig IC;
+  IC.DeepGCIntervalBytes = Opts.DeepGCIntervalBytes;
+  IC.MaxSteps = Opts.MaxSteps;
+  IC.MaxLiveBytes = Opts.MaxLiveBytes;
+  IC.ChainDepth = Opts.ChainDepth;
+  Interp = std::make_unique<Interpreter>(P, TheHeap, Statics.Values,
+                                         std::move(NativeTable), Opts.Observer,
+                                         IC);
+
+  // Preallocate the OutOfMemoryError instance so OOM can be raised
+  // without allocating (the VM pins it as a root).
+  Interp->setOOMInstance(TheHeap.allocateObject(P.OOMClass));
+
+  Interpreter::Status S = Interp->call(P.MainMethod, {}, nullptr, Err);
+  if (S != Interpreter::Status::Ok)
+    return S;
+
+  // The paper: "When the program terminates, we perform a last deep GC
+  // and then we log information for all objects that still remain in the
+  // heap."
+  Interp->runDeepGC();
+  if (Opts.Observer) {
+    TheHeap.forEachLiveObject([&](Handle, const HeapObject &Obj) {
+      Opts.Observer->onSurvivor(Obj.Id, Obj, TheHeap.clock());
+    });
+    Opts.Observer->onTerminate(TheHeap.clock());
+  }
+  return S;
+}

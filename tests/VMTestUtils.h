@@ -1,0 +1,57 @@
+//===- tests/VMTestUtils.h - Shared program-building helpers ----*- C++ -*-===//
+//
+// Part of jdrag test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_TESTS_VMTESTUTILS_H
+#define JDRAG_TESTS_VMTESTUTILS_H
+
+#include "ir/ProgramBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+namespace jdrag::testutil {
+
+/// A ProgramBuilder pre-wired with the standard jdrag natives exposed as
+/// static methods on a library class "Sys":
+///   Sys.emit(int), Sys.emitD(double), Sys.read(int) -> int,
+///   Sys.touch(ref), Sys.inputCount() -> int
+struct TestProgramBuilder {
+  ir::ProgramBuilder PB;
+  ir::MethodId Emit, EmitD, Read, Touch, InputCount;
+
+  TestProgramBuilder() {
+    using ir::ValueKind;
+    auto EmitN =
+        PB.declareNative("jdrag.emitResult", {ValueKind::Int}, ValueKind::Void);
+    auto EmitDN = PB.declareNative("jdrag.emitResultD", {ValueKind::Double},
+                                   ValueKind::Void);
+    auto ReadN =
+        PB.declareNative("jdrag.readInput", {ValueKind::Int}, ValueKind::Int);
+    auto TouchN =
+        PB.declareNative("jdrag.touch", {ValueKind::Ref}, ValueKind::Void);
+    auto CountN = PB.declareNative("jdrag.inputCount", {}, ValueKind::Int);
+    ir::ClassBuilder Sys = PB.beginClass("Sys", PB.objectClass(),
+                                         /*IsLibrary=*/true);
+    Emit = Sys.addNativeMethod("emit", EmitN);
+    EmitD = Sys.addNativeMethod("emitD", EmitDN);
+    Read = Sys.addNativeMethod("read", ReadN);
+    Touch = Sys.addNativeMethod("touch", TouchN);
+    InputCount = Sys.addNativeMethod("inputCount", CountN);
+  }
+
+  /// Finishes and verifies; aborts the test on verifier failure.
+  ir::Program finishVerified() {
+    ir::Program P = PB.finish();
+    std::string Err;
+    bool OK = ir::verifyProgram(P, &Err);
+    EXPECT_TRUE(OK) << Err;
+    return P;
+  }
+};
+
+} // namespace jdrag::testutil
+
+#endif // JDRAG_TESTS_VMTESTUTILS_H

@@ -1,0 +1,397 @@
+//===- tests/test_ir.cpp - IR builder/verifier/printer tests --------------===//
+
+#include "ir/Disassembler.h"
+#include "ir/ProgramBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+
+namespace {
+
+/// Builds: class Point { int x; <init>(int); int getX(); } plus a static
+/// main that allocates a Point and reads x.
+Program buildPointProgram() {
+  ProgramBuilder PB;
+  ClassBuilder C = PB.beginClass("Point", PB.objectClass());
+  FieldId X = C.addField("x", ValueKind::Int, Visibility::Private);
+
+  MethodBuilder Ctor = C.beginMethod("<init>", {ValueKind::Int},
+                                     ValueKind::Void);
+  Ctor.aload(0).invokespecial(PB.objectCtor());
+  Ctor.aload(0).iload(1).putfield(X).ret();
+  Ctor.finish();
+
+  MethodBuilder GetX = C.beginMethod("getX", {}, ValueKind::Int);
+  GetX.aload(0).getfield(X).iret();
+  GetX.finish();
+
+  ClassBuilder MainC = PB.beginClass("Main", PB.objectClass());
+  MethodBuilder Main =
+      MainC.beginMethod("main", {}, ValueKind::Void, /*IsStatic=*/true);
+  std::uint32_t P = Main.newLocal(ValueKind::Ref);
+  Main.new_(C.id())
+      .dup()
+      .iconst(7)
+      .invokespecial(PB.program().findDeclaredMethod(C.id(), "<init>"))
+      .astore(P);
+  Main.aload(P)
+      .invokevirtual(PB.program().findDeclaredMethod(C.id(), "getX"))
+      .pop()
+      .ret();
+  Main.finish();
+  PB.setMain(Main.id());
+  return PB.finish();
+}
+
+} // namespace
+
+TEST(Ids, ValidityAndHash) {
+  ClassId A;
+  EXPECT_FALSE(A.isValid());
+  ClassId B(3), C(3), D(4);
+  EXPECT_TRUE(B.isValid());
+  EXPECT_EQ(B, C);
+  EXPECT_NE(B, D);
+  EXPECT_LT(B, D);
+  EXPECT_EQ(std::hash<ClassId>()(B), std::hash<ClassId>()(C));
+}
+
+TEST(Type, AccountedSizes) {
+  EXPECT_EQ(fieldBytes(ValueKind::Int), 4u);
+  EXPECT_EQ(fieldBytes(ValueKind::Double), 8u);
+  EXPECT_EQ(fieldBytes(ValueKind::Ref), 4u);
+  EXPECT_EQ(elementBytes(ArrayKind::Char), 2u);
+  EXPECT_EQ(elementBytes(ArrayKind::Ref), 4u);
+  EXPECT_EQ(elementValueKind(ArrayKind::Char), ValueKind::Int);
+  EXPECT_EQ(elementValueKind(ArrayKind::Double), ValueKind::Double);
+}
+
+TEST(Type, ArrayAccounting) {
+  // The paper's juru arrays: 100K chars = 200 KB + 12-byte header,
+  // aligned to 8.
+  EXPECT_EQ(Program::arrayAccountedBytes(ArrayKind::Char, 100 * 1024),
+            alignTo8(12 + 2 * 100 * 1024));
+  EXPECT_EQ(Program::arrayAccountedBytes(ArrayKind::Ref, 0), alignTo8(12));
+  EXPECT_EQ(alignTo8(12), 16u);
+  EXPECT_EQ(alignTo8(16), 16u);
+  EXPECT_EQ(alignTo8(17), 24u);
+}
+
+TEST(Opcode, Predicates) {
+  EXPECT_TRUE(isBranch(Opcode::Goto));
+  EXPECT_FALSE(isConditionalBranch(Opcode::Goto));
+  EXPECT_TRUE(isConditionalBranch(Opcode::IfICmpLt));
+  EXPECT_TRUE(isUnconditionalTerminator(Opcode::Return));
+  EXPECT_TRUE(isUnconditionalTerminator(Opcode::Throw));
+  EXPECT_FALSE(isUnconditionalTerminator(Opcode::IfNull));
+  EXPECT_TRUE(isReturn(Opcode::AReturn));
+  EXPECT_TRUE(isObjectUse(Opcode::GetField));
+  EXPECT_TRUE(isObjectUse(Opcode::MonitorEnter));
+  EXPECT_TRUE(isObjectUse(Opcode::AALoad));
+  EXPECT_FALSE(isObjectUse(Opcode::GetStatic));
+  EXPECT_FALSE(isObjectUse(Opcode::ALoad));
+  EXPECT_STREQ(opcodeName(Opcode::InvokeVirtual), "invokevirtual");
+}
+
+TEST(Builder, WellKnownClasses) {
+  ProgramBuilder PB;
+  Program P = PB.finish();
+  EXPECT_TRUE(P.ObjectClass.isValid());
+  EXPECT_TRUE(P.ThrowableClass.isValid());
+  EXPECT_TRUE(P.OOMClass.isValid());
+  EXPECT_TRUE(P.isSubclassOf(P.OOMClass, P.ThrowableClass));
+  EXPECT_TRUE(P.isSubclassOf(P.OOMClass, P.ObjectClass));
+  EXPECT_FALSE(P.isSubclassOf(P.ObjectClass, P.OOMClass));
+  EXPECT_EQ(P.findClass("java/lang/Object"), P.ObjectClass);
+  EXPECT_FALSE(P.findClass("no/such/Class").isValid());
+}
+
+TEST(Builder, LayoutComputation) {
+  ProgramBuilder PB;
+  ClassBuilder A = PB.beginClass("A", PB.objectClass());
+  A.addField("i", ValueKind::Int);
+  A.addField("r", ValueKind::Ref);
+  ClassBuilder B = PB.beginClass("B", A.id());
+  FieldId BD = B.addField("d", ValueKind::Double);
+  ClassBuilder MainC = PB.beginClass("Main", PB.objectClass());
+  MethodBuilder Main =
+      MainC.beginMethod("main", {}, ValueKind::Void, /*IsStatic=*/true);
+  Main.ret();
+  Main.finish();
+  PB.setMain(Main.id());
+  Program P = PB.finish();
+
+  const ClassInfo &AI = P.classOf(A.id());
+  const ClassInfo &BI = P.classOf(B.id());
+  EXPECT_EQ(AI.NumInstanceSlots, 2u);
+  EXPECT_EQ(AI.InstanceAccountedBytes, alignTo8(8 + 4 + 4));
+  EXPECT_EQ(BI.NumInstanceSlots, 3u);
+  EXPECT_EQ(BI.InstanceAccountedBytes, alignTo8(8 + 4 + 4 + 8));
+  EXPECT_EQ(P.fieldOf(BD).Slot, 2u); // after inherited slots
+}
+
+TEST(Builder, StaticSlotsAreGlobal) {
+  ProgramBuilder PB;
+  ClassBuilder A = PB.beginClass("A", PB.objectClass());
+  FieldId S1 = A.addField("s1", ValueKind::Int, Visibility::Public, true);
+  ClassBuilder B = PB.beginClass("B", PB.objectClass());
+  FieldId S2 = B.addField("s2", ValueKind::Ref, Visibility::Public, true);
+  ClassBuilder MainC = PB.beginClass("Main", PB.objectClass());
+  MethodBuilder Main =
+      MainC.beginMethod("main", {}, ValueKind::Void, /*IsStatic=*/true);
+  Main.ret();
+  Main.finish();
+  PB.setMain(Main.id());
+  Program P = PB.finish();
+  EXPECT_EQ(P.NumStaticSlots, 2u);
+  EXPECT_NE(P.fieldOf(S1).Slot, P.fieldOf(S2).Slot);
+}
+
+TEST(Builder, VTableOverride) {
+  ProgramBuilder PB;
+  ClassBuilder A = PB.beginClass("A", PB.objectClass());
+  MethodBuilder AM = A.beginMethod("run", {}, ValueKind::Int);
+  AM.iconst(1).iret();
+  AM.finish();
+  ClassBuilder B = PB.beginClass("B", A.id());
+  MethodBuilder BM = B.beginMethod("run", {}, ValueKind::Int);
+  BM.iconst(2).iret();
+  BM.finish();
+  ClassBuilder MainC = PB.beginClass("Main", PB.objectClass());
+  MethodBuilder Main =
+      MainC.beginMethod("main", {}, ValueKind::Void, /*IsStatic=*/true);
+  Main.ret();
+  Main.finish();
+  PB.setMain(Main.id());
+  Program P = PB.finish();
+
+  const MethodInfo &AMi = P.methodOf(P.findDeclaredMethod(A.id(), "run"));
+  const MethodInfo &BMi = P.methodOf(P.findDeclaredMethod(B.id(), "run"));
+  EXPECT_GE(AMi.VTableSlot, 0);
+  EXPECT_EQ(AMi.VTableSlot, BMi.VTableSlot);
+  EXPECT_EQ(P.classOf(B.id()).VTable[AMi.VTableSlot], BMi.Id);
+  EXPECT_EQ(P.classOf(A.id()).VTable[AMi.VTableSlot], AMi.Id);
+}
+
+TEST(Builder, FinalizerDetection) {
+  ProgramBuilder PB;
+  ClassBuilder A = PB.beginClass("A", PB.objectClass());
+  MethodBuilder Fin = A.beginMethod("finalize", {}, ValueKind::Void);
+  Fin.ret();
+  Fin.finish();
+  ClassBuilder B = PB.beginClass("B", A.id()); // inherits finalizer
+  ClassBuilder MainC = PB.beginClass("Main", PB.objectClass());
+  MethodBuilder Main =
+      MainC.beginMethod("main", {}, ValueKind::Void, /*IsStatic=*/true);
+  Main.ret();
+  Main.finish();
+  PB.setMain(Main.id());
+  Program P = PB.finish();
+  EXPECT_TRUE(P.classOf(A.id()).Finalizer.isValid());
+  EXPECT_EQ(P.classOf(B.id()).Finalizer, P.classOf(A.id()).Finalizer);
+  EXPECT_FALSE(P.classOf(P.ObjectClass).Finalizer.isValid());
+}
+
+TEST(Verifier, AcceptsWellFormed) {
+  Program P = buildPointProgram();
+  std::string Err;
+  EXPECT_TRUE(verifyProgram(P, &Err)) << Err;
+  // MaxStack computed: Main pushes up to 3 (obj, dup, int).
+  const MethodInfo &Main = P.methodOf(P.MainMethod);
+  EXPECT_GE(Main.MaxStack, 3u);
+}
+
+TEST(Verifier, RejectsStackUnderflow) {
+  ProgramBuilder PB;
+  ClassBuilder C = PB.beginClass("C", PB.objectClass());
+  MethodBuilder M = C.beginMethod("bad", {}, ValueKind::Void, true);
+  M.pop().ret(); // pops empty stack
+  M.finish();
+  PB.setMain(M.id());
+  Program P = PB.finish();
+  std::string Err;
+  EXPECT_FALSE(verifyProgram(P, &Err));
+  EXPECT_NE(Err.find("underflow"), std::string::npos);
+}
+
+TEST(Verifier, RejectsKindMismatch) {
+  ProgramBuilder PB;
+  ClassBuilder C = PB.beginClass("C", PB.objectClass());
+  MethodBuilder M = C.beginMethod("bad", {}, ValueKind::Void, true);
+  M.iconst(1).iconst(2).dadd(); // dadd on ints
+  M.ret();
+  M.finish();
+  PB.setMain(M.id());
+  Program P = PB.finish();
+  std::string Err;
+  EXPECT_FALSE(verifyProgram(P, &Err));
+  EXPECT_NE(Err.find("expected double"), std::string::npos);
+}
+
+TEST(Verifier, RejectsLocalKindMismatch) {
+  ProgramBuilder PB;
+  ClassBuilder C = PB.beginClass("C", PB.objectClass());
+  MethodBuilder M = C.beginMethod("bad", {}, ValueKind::Void, true);
+  std::uint32_t L = M.newLocal(ValueKind::Int);
+  M.aconstNull().astore(L); // ref store into int local
+  M.ret();
+  M.finish();
+  PB.setMain(M.id());
+  Program P = PB.finish();
+  std::string Err;
+  EXPECT_FALSE(verifyProgram(P, &Err));
+  EXPECT_NE(Err.find("local slot"), std::string::npos);
+}
+
+TEST(Verifier, RejectsInconsistentMerge) {
+  ProgramBuilder PB;
+  ClassBuilder C = PB.beginClass("C", PB.objectClass());
+  MethodBuilder M = C.beginMethod("bad", {}, ValueKind::Void,
+                                  /*IsStatic=*/true);
+  Label LElse = M.newLabel(), LJoin = M.newLabel();
+  M.iconst(0).ifEqZ(LElse);
+  M.iconst(1).goto_(LJoin); // then: stack [int]
+  M.bind(LElse);
+  M.dconst(1.0).goto_(LJoin); // else: stack [double]
+  M.bind(LJoin);
+  M.pop().ret();
+  M.finish();
+  PB.setMain(M.id());
+  Program P = PB.finish();
+  std::string Err;
+  EXPECT_FALSE(verifyProgram(P, &Err));
+  EXPECT_NE(Err.find("merge"), std::string::npos);
+}
+
+TEST(Verifier, RejectsFallOffEnd) {
+  ProgramBuilder PB;
+  ClassBuilder C = PB.beginClass("C", PB.objectClass());
+  MethodBuilder M = C.beginMethod("bad", {}, ValueKind::Void, true);
+  M.iconst(1).pop(); // no return
+  M.finish();
+  PB.setMain(M.id());
+  Program P = PB.finish();
+  std::string Err;
+  EXPECT_FALSE(verifyProgram(P, &Err));
+  EXPECT_NE(Err.find("falls off"), std::string::npos);
+}
+
+TEST(Verifier, RejectsMissingMain) {
+  ProgramBuilder PB;
+  Program P = PB.finish();
+  std::string Err;
+  EXPECT_FALSE(verifyProgram(P, &Err));
+  EXPECT_NE(Err.find("no main"), std::string::npos);
+}
+
+TEST(Verifier, HandlerEntryHasExceptionOnStack) {
+  ProgramBuilder PB;
+  ClassBuilder C = PB.beginClass("C", PB.objectClass());
+  MethodBuilder M = C.beginMethod("f", {}, ValueKind::Void, true);
+  Label TryStart = M.newLabel(), TryEnd = M.newLabel(), Handler = M.newLabel();
+  M.bind(TryStart);
+  M.iconst(0).pop();
+  M.bind(TryEnd);
+  M.ret();
+  M.bind(Handler);
+  M.pop().ret(); // pops the exception ref
+  M.addHandler(TryStart, TryEnd, Handler, PB.throwableClass());
+  M.finish();
+  PB.setMain(M.id());
+  Program P = PB.finish();
+  std::string Err;
+  EXPECT_TRUE(verifyProgram(P, &Err)) << Err;
+}
+
+TEST(Disassembler, MentionsSymbols) {
+  Program P = buildPointProgram();
+  std::string Text = disassembleProgram(P);
+  EXPECT_NE(Text.find("class Point"), std::string::npos);
+  EXPECT_NE(Text.find("getfield Point.x"), std::string::npos);
+  EXPECT_NE(Text.find("invokevirtual Point.getX"), std::string::npos);
+  EXPECT_NE(Text.find("new Point"), std::string::npos);
+}
+
+TEST(Program, Queries) {
+  Program P = buildPointProgram();
+  ClassId Point = P.findClass("Point");
+  ASSERT_TRUE(Point.isValid());
+  EXPECT_TRUE(P.findMethod(Point, "getX").isValid());
+  EXPECT_TRUE(P.findField(Point, "x").isValid());
+  EXPECT_FALSE(P.findField(Point, "y").isValid());
+  EXPECT_EQ(P.qualifiedFieldName(P.findField(Point, "x")), "Point.x");
+  // Inherited lookup: Point inherits <init> resolution from Object chain.
+  EXPECT_TRUE(P.findMethod(Point, "<init>").isValid());
+  EXPECT_GT(P.countInstructions(false), P.countInstructions(true));
+  EXPECT_EQ(P.countClasses(true), 2u); // Point + Main
+}
+
+TEST(Program, CountsExcludeLibrary) {
+  Program P = buildPointProgram();
+  EXPECT_EQ(P.countClasses(false), 5u); // Object, Throwable, OOM, Point, Main
+}
+
+TEST(Opcode, EveryOpcodeHasAName) {
+  for (unsigned I = 0; I != NumOpcodes; ++I) {
+    const char *Name = opcodeName(static_cast<Opcode>(I));
+    ASSERT_NE(Name, nullptr);
+    EXPECT_GT(std::string(Name).size(), 0u);
+  }
+}
+
+TEST(Disassembler, InstructionOperandForms) {
+  Program P = buildPointProgram();
+  Instruction I;
+  I.Op = Opcode::IConst;
+  I.IVal = -42;
+  EXPECT_EQ(disassembleInstruction(P, I), "iconst -42");
+  I.Op = Opcode::DConst;
+  I.DVal = 2.5;
+  EXPECT_EQ(disassembleInstruction(P, I), "dconst 2.5");
+  I.Op = Opcode::ALoad;
+  I.A = 3;
+  EXPECT_EQ(disassembleInstruction(P, I), "aload 3");
+  I.Op = Opcode::Goto;
+  I.A = 17;
+  EXPECT_EQ(disassembleInstruction(P, I), "goto -> 17");
+  I.Op = Opcode::NewArray;
+  I.A = static_cast<std::int32_t>(ArrayKind::Char);
+  EXPECT_EQ(disassembleInstruction(P, I), "newarray char[]");
+  I.Op = Opcode::Nop;
+  EXPECT_EQ(disassembleInstruction(P, I), "nop");
+}
+
+TEST(Builder, StmtAdvancesLines) {
+  ProgramBuilder PB;
+  ClassBuilder C = PB.beginClass("C", PB.objectClass());
+  MethodBuilder M = C.beginMethod("f", {}, ValueKind::Void, true);
+  std::uint32_t L1 = M.stmt();
+  M.iconst(1).pop();
+  std::uint32_t L2 = M.stmt();
+  M.ret();
+  M.finish();
+  PB.setMain(M.id());
+  Program P = PB.finish();
+  EXPECT_LT(L1, L2);
+  const MethodInfo &MI = P.methodOf(P.MainMethod);
+  EXPECT_EQ(MI.Code[0].Line, L1);
+  EXPECT_EQ(MI.Code[2].Line, L2);
+}
+
+TEST(Verifier, NativeMethodsHaveNoCode) {
+  ProgramBuilder PB;
+  auto N = PB.declareNative("x", {ValueKind::Int}, ValueKind::Int);
+  ClassBuilder C = PB.beginClass("C", PB.objectClass());
+  MethodId Nm = C.addNativeMethod("x", N);
+  MethodBuilder Main = C.beginMethod("main", {}, ValueKind::Void, true);
+  Main.iconst(1).invokestatic(Nm).pop().ret();
+  Main.finish();
+  PB.setMain(Main.id());
+  Program P = PB.finish();
+  std::string Err;
+  EXPECT_TRUE(verifyProgram(P, &Err)) << Err;
+  EXPECT_TRUE(P.methodOf(Nm).Code.empty());
+}

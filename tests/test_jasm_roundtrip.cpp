@@ -1,0 +1,319 @@
+//===- tests/test_jasm_roundtrip.cpp - Program <-> .jasm round trips ------===//
+//
+// The printer promises that any printable Program survives a trip
+// through the textual format: same classes, fields, signatures,
+// instruction streams and handler tables, and — the property the whole
+// repository leans on — identical observable behaviour. These tests
+// check that promise on the nine paper benchmarks, on the rewritten
+// programs the optimizer produces, and on the fuzzer corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Assembler.h"
+#include "ir/Disassembler.h"
+#include "ir/JasmPrinter.h"
+#include "ir/ProgramBuilder.h"
+#include "ir/Verifier.h"
+
+#include "RandomProgram.h"
+#include "benchmarks/Benchmarks.h"
+#include "vm/VirtualMachine.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+
+namespace {
+
+std::vector<std::int64_t> runWith(const Program &P,
+                                  const std::vector<std::int64_t> &Inputs) {
+  vm::VirtualMachine VM(P, {});
+  VM.setInputs(Inputs);
+  std::string Err;
+  EXPECT_EQ(VM.run(&Err), vm::Interpreter::Status::Ok) << Err;
+  return VM.outputs();
+}
+
+std::optional<Program> reassemble(const Program &P) {
+  std::string Err;
+  auto Text = printProgramAsJasm(P, &Err);
+  if (!Text.has_value()) {
+    ADD_FAILURE() << "printProgramAsJasm failed: " << Err;
+    return std::nullopt;
+  }
+  auto Q = assembleProgram(*Text, &Err);
+  if (!Q.has_value())
+    ADD_FAILURE() << "reassembly failed: " << Err
+                  << "\n--- printed program ---\n"
+                  << *Text;
+  return Q;
+}
+
+/// Structural equality, keyed by names so it is independent of id
+/// numbering. Line numbers are expected to differ and are not compared.
+void expectStructurallyEqual(const Program &A, const Program &B) {
+  ASSERT_EQ(A.Classes.size(), B.Classes.size());
+  ASSERT_EQ(A.Natives.size(), B.Natives.size());
+  EXPECT_EQ(A.qualifiedMethodName(A.MainMethod),
+            B.qualifiedMethodName(B.MainMethod));
+
+  for (const ClassInfo &CA : A.Classes) {
+    ClassId BC = B.findClass(CA.Name);
+    ASSERT_TRUE(BC.isValid()) << CA.Name;
+    const ClassInfo &CB = B.classOf(BC);
+    EXPECT_EQ(CA.IsLibrary, CB.IsLibrary) << CA.Name;
+    if (CA.Super.isValid()) {
+      EXPECT_EQ(A.classOf(CA.Super).Name, B.classOf(CB.Super).Name);
+    }
+    EXPECT_EQ(CA.NumInstanceSlots, CB.NumInstanceSlots) << CA.Name;
+    EXPECT_EQ(CA.InstanceAccountedBytes, CB.InstanceAccountedBytes)
+        << CA.Name;
+
+    ASSERT_EQ(CA.DeclaredInstanceFields.size(),
+              CB.DeclaredInstanceFields.size())
+        << CA.Name;
+    for (std::size_t I = 0; I != CA.DeclaredInstanceFields.size(); ++I) {
+      const FieldInfo &FA = A.fieldOf(CA.DeclaredInstanceFields[I]);
+      const FieldInfo &FB = B.fieldOf(CB.DeclaredInstanceFields[I]);
+      EXPECT_EQ(FA.Name, FB.Name);
+      EXPECT_EQ(FA.Kind, FB.Kind);
+      EXPECT_EQ(FA.IsFinal, FB.IsFinal);
+      EXPECT_EQ(FA.Vis, FB.Vis);
+      EXPECT_EQ(FA.Slot, FB.Slot);
+    }
+    ASSERT_EQ(CA.DeclaredStaticFields.size(), CB.DeclaredStaticFields.size())
+        << CA.Name;
+    for (std::size_t I = 0; I != CA.DeclaredStaticFields.size(); ++I) {
+      const FieldInfo &FA = A.fieldOf(CA.DeclaredStaticFields[I]);
+      const FieldInfo &FB = B.fieldOf(CB.DeclaredStaticFields[I]);
+      EXPECT_EQ(FA.Name, FB.Name);
+      EXPECT_EQ(FA.Kind, FB.Kind);
+    }
+
+    ASSERT_EQ(CA.DeclaredMethods.size(), CB.DeclaredMethods.size())
+        << CA.Name;
+    for (std::size_t I = 0; I != CA.DeclaredMethods.size(); ++I) {
+      const MethodInfo &MA = A.methodOf(CA.DeclaredMethods[I]);
+      const MethodInfo &MB = B.methodOf(CB.DeclaredMethods[I]);
+      EXPECT_EQ(MA.Name, MB.Name) << CA.Name;
+      EXPECT_EQ(MA.Params, MB.Params) << CA.Name << "." << MA.Name;
+      EXPECT_EQ(MA.Ret, MB.Ret);
+      EXPECT_EQ(MA.IsStatic, MB.IsStatic);
+      EXPECT_EQ(MA.Vis, MB.Vis);
+      EXPECT_EQ(MA.IsNative, MB.IsNative);
+      EXPECT_EQ(MA.IsConstructor, MB.IsConstructor);
+      EXPECT_EQ(MA.IsFinalizer, MB.IsFinalizer);
+      if (MA.IsNative) {
+        EXPECT_EQ(A.Natives[MA.Native.Index].Name,
+                  B.Natives[MB.Native.Index].Name);
+        continue;
+      }
+      EXPECT_EQ(MA.LocalKinds, MB.LocalKinds) << CA.Name << "." << MA.Name;
+      EXPECT_EQ(MA.MaxStack, MB.MaxStack) << CA.Name << "." << MA.Name;
+      ASSERT_EQ(MA.Code.size(), MB.Code.size()) << CA.Name << "." << MA.Name;
+      for (std::size_t Pc = 0; Pc != MA.Code.size(); ++Pc)
+        EXPECT_EQ(disassembleInstruction(A, MA.Code[Pc]),
+                  disassembleInstruction(B, MB.Code[Pc]))
+            << CA.Name << "." << MA.Name << " pc " << Pc;
+      ASSERT_EQ(MA.Handlers.size(), MB.Handlers.size())
+          << CA.Name << "." << MA.Name;
+      for (std::size_t H = 0; H != MA.Handlers.size(); ++H) {
+        EXPECT_EQ(MA.Handlers[H].Start, MB.Handlers[H].Start);
+        EXPECT_EQ(MA.Handlers[H].End, MB.Handlers[H].End);
+        EXPECT_EQ(MA.Handlers[H].Target, MB.Handlers[H].Target);
+        EXPECT_EQ(MA.Handlers[H].CatchType.isValid(),
+                  MB.Handlers[H].CatchType.isValid());
+        if (MA.Handlers[H].CatchType.isValid()) {
+          EXPECT_EQ(A.classOf(MA.Handlers[H].CatchType).Name,
+                    B.classOf(MB.Handlers[H].CatchType).Name);
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The nine paper benchmarks.
+//===----------------------------------------------------------------------===//
+
+class BenchmarkRoundTrip : public testing::TestWithParam<const char *> {
+protected:
+  benchmarks::BenchmarkProgram build() const {
+    for (benchmarks::BenchmarkProgram &B : benchmarks::buildAll())
+      if (B.Name == GetParam())
+        return std::move(B);
+    ADD_FAILURE() << "unknown benchmark " << GetParam();
+    return {};
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Paper, BenchmarkRoundTrip,
+                         testing::Values("javac", "db", "jack", "raytrace",
+                                         "jess", "mc", "euler", "juru",
+                                         "analyzer"));
+
+TEST_P(BenchmarkRoundTrip, PrintsAndReassembles) {
+  benchmarks::BenchmarkProgram B = build();
+  auto Q = reassemble(B.Prog);
+  ASSERT_TRUE(Q.has_value());
+  expectStructurallyEqual(B.Prog, *Q);
+}
+
+TEST_P(BenchmarkRoundTrip, OutputsIdenticalOnBothInputs) {
+  benchmarks::BenchmarkProgram B = build();
+  auto Q = reassemble(B.Prog);
+  ASSERT_TRUE(Q.has_value());
+  EXPECT_EQ(runWith(B.Prog, B.DefaultInputs), runWith(*Q, B.DefaultInputs));
+  EXPECT_EQ(runWith(B.Prog, B.AlternateInputs),
+            runWith(*Q, B.AlternateInputs));
+}
+
+TEST_P(BenchmarkRoundTrip, PrintIsAFixpoint) {
+  benchmarks::BenchmarkProgram B = build();
+  std::string Err;
+  auto Text1 = printProgramAsJasm(B.Prog, &Err);
+  ASSERT_TRUE(Text1.has_value()) << Err;
+  auto Q = assembleProgram(*Text1, &Err);
+  ASSERT_TRUE(Q.has_value()) << Err;
+  auto Text2 = printProgramAsJasm(*Q, &Err);
+  ASSERT_TRUE(Text2.has_value()) << Err;
+  EXPECT_EQ(*Text1, *Text2);
+}
+
+/// The optimizer's output is also a plain Program, so the dump of a
+/// *rewritten* benchmark must survive the trip too — this is how a user
+/// would inspect and keep what the tool did to their code.
+TEST_P(BenchmarkRoundTrip, RevisedProgramRoundTrips) {
+  benchmarks::BenchmarkProgram B = build();
+  benchmarks::OptimizationOutcome O = benchmarks::optimizeBenchmark(B);
+  auto Q = reassemble(O.Revised);
+  ASSERT_TRUE(Q.has_value());
+  expectStructurallyEqual(O.Revised, *Q);
+  EXPECT_EQ(runWith(O.Revised, B.DefaultInputs),
+            runWith(*Q, B.DefaultInputs));
+}
+
+//===----------------------------------------------------------------------===//
+// The fuzzer corpus.
+//===----------------------------------------------------------------------===//
+
+class RandomRoundTrip : public testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRoundTrip,
+                         testing::Range<std::uint64_t>(1, 61));
+
+TEST_P(RandomRoundTrip, PrintsReassemblesAndBehavesIdentically) {
+  Program P = testutil::buildRandomProgram(GetParam());
+  std::string VErr;
+  ASSERT_TRUE(verifyProgram(P, &VErr)) << VErr; // computes MaxStack
+  auto Q = reassemble(P);
+  ASSERT_TRUE(Q.has_value());
+  expectStructurallyEqual(P, *Q);
+  EXPECT_EQ(runWith(P, {}), runWith(*Q, {}));
+}
+
+//===----------------------------------------------------------------------===//
+// What the grammar cannot express is refused, not mangled.
+//===----------------------------------------------------------------------===//
+
+TEST(JasmPrinter, RefusesOverloadedMethods) {
+  ProgramBuilder PB;
+  ClassBuilder C = PB.beginClass("Over", PB.objectClass());
+  MethodBuilder M1 =
+      C.beginMethod("f", {}, ValueKind::Void, /*IsStatic=*/true);
+  M1.ret();
+  M1.finish();
+  MethodBuilder M2 = C.beginMethod("f", {ValueKind::Int}, ValueKind::Void,
+                                   /*IsStatic=*/true);
+  M2.ret();
+  M2.finish();
+  MethodBuilder Main =
+      C.beginMethod("main", {}, ValueKind::Void, /*IsStatic=*/true);
+  Main.ret();
+  Main.finish();
+  PB.setMain(Main.id());
+  Program P = PB.finish();
+
+  std::string Err;
+  EXPECT_FALSE(printProgramAsJasm(P, &Err).has_value());
+  EXPECT_NE(Err.find("overloads"), std::string::npos) << Err;
+}
+
+TEST(JasmPrinter, RefusesUnprintableNames) {
+  ProgramBuilder PB;
+  ClassBuilder C = PB.beginClass("Bad(Name)", PB.objectClass());
+  MethodBuilder Main =
+      C.beginMethod("main", {}, ValueKind::Void, /*IsStatic=*/true);
+  Main.ret();
+  Main.finish();
+  PB.setMain(Main.id());
+  Program P = PB.finish();
+
+  std::string Err;
+  EXPECT_FALSE(printProgramAsJasm(P, &Err).has_value());
+  EXPECT_NE(Err.find("not printable"), std::string::npos) << Err;
+}
+
+TEST(JasmPrinter, HandlerEndAtCodeSizePrints) {
+  // A try range that runs to the very end of the method forces the
+  // printer to bind a label after the last instruction.
+  ProgramBuilder PB;
+  ClassBuilder C = PB.beginClass("Tail", PB.objectClass());
+  MethodBuilder Main =
+      C.beginMethod("main", {}, ValueKind::Void, /*IsStatic=*/true);
+  Label Start = Main.newLabel(), End = Main.newLabel(),
+        Target = Main.newLabel();
+  Main.bind(Start);
+  Main.nop();
+  Main.ret();
+  Main.bind(Target); // unreachable except via the handler table
+  Main.pop();        // discard the caught throwable
+  Main.ret();
+  Main.bind(End); // == code size: the range covers the whole method
+  Main.addHandler(Start, End, Target, PB.throwableClass());
+  Main.finish();
+  PB.setMain(Main.id());
+  Program P = PB.finish();
+  std::string Err;
+  ASSERT_TRUE(verifyProgram(P, &Err)) << Err;
+
+  auto Q = reassemble(P);
+  ASSERT_TRUE(Q.has_value());
+  const MethodInfo &M = Q->methodOf(Q->MainMethod);
+  ASSERT_EQ(M.Handlers.size(), 1u);
+  EXPECT_EQ(M.Handlers[0].End, M.Code.size());
+}
+
+TEST(JasmPrinter, DoubleConstantsSurviveExactly) {
+  ProgramBuilder PB;
+  ClassBuilder C = PB.beginClass("Doubles", PB.objectClass());
+  const double Values[] = {0.1, 1.0 / 3.0, 6.02214076e23, -0.0,
+                           123456789.123456789};
+  MethodBuilder Main =
+      C.beginMethod("main", {}, ValueKind::Void, /*IsStatic=*/true);
+  for (double V : Values)
+    Main.dconst(V).dconst(V).dcmp().pop();
+  Main.ret();
+  Main.finish();
+  PB.setMain(Main.id());
+  Program P = PB.finish();
+
+  auto Q = reassemble(P);
+  ASSERT_TRUE(Q.has_value());
+  const MethodInfo &M = Q->methodOf(Q->MainMethod);
+  std::size_t Pc = 0;
+  for (double V : Values) {
+    ASSERT_EQ(M.Code[Pc].Op, Opcode::DConst);
+    // Bit-exact, including the sign of -0.0.
+    std::uint64_t WantBits, GotBits;
+    std::memcpy(&WantBits, &V, sizeof V);
+    std::memcpy(&GotBits, &M.Code[Pc].DVal, sizeof V);
+    EXPECT_EQ(WantBits, GotBits) << V;
+    Pc += 4;
+  }
+}

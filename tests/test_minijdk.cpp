@@ -1,0 +1,161 @@
+//===- tests/test_minijdk.cpp - mini-JDK container semantics --------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "benchmarks/MiniJDK.h"
+
+#include "ir/Verifier.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace jdrag;
+using namespace jdrag::benchmarks;
+using namespace jdrag::ir;
+using namespace jdrag::vm;
+
+namespace {
+
+/// Builds a program that exercises one mini-JDK scenario via `emit`.
+struct JdkFixture {
+  ProgramBuilder PB;
+  MiniJDK J;
+  JdkFixture() : J(MiniJDK::build(PB)) {}
+
+  Program finish(MethodId Main) {
+    PB.setMain(Main);
+    Program P = PB.finish();
+    std::string Err;
+    EXPECT_TRUE(verifyProgram(P, &Err)) << Err;
+    return P;
+  }
+};
+
+std::vector<std::int64_t> run(const Program &P) {
+  VirtualMachine VM(P, {});
+  std::string Err;
+  EXPECT_EQ(VM.run(&Err), Interpreter::Status::Ok) << Err;
+  return VM.outputs();
+}
+
+} // namespace
+
+TEST(MiniJDKTest, VectorAddGetRemove) {
+  JdkFixture F;
+  ClassBuilder MainC = F.PB.beginClass("Main", F.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t V = M.newLocal(ValueKind::Ref);
+  std::uint32_t S = M.newLocal(ValueKind::Ref);
+  // v = new Vector(); s = new String(4, 65); v.add(s); v.add(s);
+  M.new_(F.J.Vector).dup().invokespecial(F.J.VectorCtor).astore(V);
+  M.new_(F.J.String).dup().iconst(4).iconst(65)
+      .invokespecial(F.J.StringCtor).astore(S);
+  M.aload(V).aload(S).invokevirtual(F.J.VectorAdd);
+  M.aload(V).aload(S).invokevirtual(F.J.VectorAdd);
+  M.aload(V).invokevirtual(F.J.VectorGetSize).invokestatic(F.J.Emit); // 2
+  // v.get(0).length()
+  M.aload(V).iconst(0).invokevirtual(F.J.VectorGet)
+      .invokevirtual(F.J.StringLength).invokestatic(F.J.Emit); // 4
+  // removeLast twice -> size 0.
+  M.aload(V).invokevirtual(F.J.VectorRemoveLast).pop();
+  M.aload(V).invokevirtual(F.J.VectorRemoveLast).pop();
+  M.aload(V).invokevirtual(F.J.VectorGetSize).invokestatic(F.J.Emit); // 0
+  M.ret();
+  M.finish();
+  Program P = F.finish(M.id());
+  EXPECT_EQ(run(P), (std::vector<std::int64_t>{2, 4, 0}));
+}
+
+TEST(MiniJDKTest, HashtablePutGetContains) {
+  JdkFixture F;
+  ClassBuilder MainC = F.PB.beginClass("Main", F.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t H = M.newLocal(ValueKind::Ref);
+  std::uint32_t S = M.newLocal(ValueKind::Ref);
+  M.new_(F.J.Hashtable).dup().invokespecial(F.J.HashtableCtor).astore(H);
+  M.new_(F.J.String).dup().iconst(7).iconst(97)
+      .invokespecial(F.J.StringCtor).astore(S);
+  // Colliding keys (5 and 69 are 64 apart -> same bucket).
+  M.aload(H).iconst(5).aload(S).invokevirtual(F.J.HashtablePut);
+  M.aload(H).iconst(69).aload(S).invokevirtual(F.J.HashtablePut);
+  M.aload(H).iconst(5).invokevirtual(F.J.HashtableContains)
+      .invokestatic(F.J.Emit); // 1
+  M.aload(H).iconst(69).invokevirtual(F.J.HashtableContains)
+      .invokestatic(F.J.Emit); // 1
+  M.aload(H).iconst(6).invokevirtual(F.J.HashtableContains)
+      .invokestatic(F.J.Emit); // 0
+  M.aload(H).iconst(69).invokevirtual(F.J.HashtableGet)
+      .invokevirtual(F.J.StringLength).invokestatic(F.J.Emit); // 7
+  M.ret();
+  M.finish();
+  Program P = F.finish(M.id());
+  EXPECT_EQ(run(P), (std::vector<std::int64_t>{1, 1, 0, 7}));
+}
+
+TEST(MiniJDKTest, StringHashAndCharAt) {
+  JdkFixture F;
+  ClassBuilder MainC = F.PB.beginClass("Main", F.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t S = M.newLocal(ValueKind::Ref);
+  // "AB" as (len 2, seed 65): chars 65, 66; hash = 65*31 + 66 = 2081.
+  M.new_(F.J.String).dup().iconst(2).iconst(65)
+      .invokespecial(F.J.StringCtor).astore(S);
+  M.aload(S).iconst(1).invokevirtual(F.J.StringCharAt)
+      .invokestatic(F.J.Emit); // 66
+  M.aload(S).invokevirtual(F.J.StringHash).invokestatic(F.J.Emit); // 2081
+  M.ret();
+  M.finish();
+  Program P = F.finish(M.id());
+  EXPECT_EQ(run(P), (std::vector<std::int64_t>{66, 2081}));
+}
+
+TEST(MiniJDKTest, LocaleSingletons) {
+  JdkFixture F;
+  ClassBuilder MainC = F.PB.beginClass("Main", F.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  M.invokestatic(F.J.InitLocales);
+  M.invokestatic(F.J.LocaleDefault).invokevirtual(F.J.LocaleTag)
+      .invokestatic(F.J.Emit); // 'A' = 65 (EN is locale 0, seed 65)
+  // The same object comes back on a second call.
+  Label Same = M.newLabel(), Done = M.newLabel();
+  M.invokestatic(F.J.LocaleDefault);
+  M.invokestatic(F.J.LocaleDefault);
+  M.ifACmpEq(Same);
+  M.iconst(0).invokestatic(F.J.Emit).goto_(Done);
+  M.bind(Same);
+  M.iconst(1).invokestatic(F.J.Emit);
+  M.bind(Done);
+  M.ret();
+  M.finish();
+  Program P = F.finish(M.id());
+  EXPECT_EQ(run(P), (std::vector<std::int64_t>{65, 1}));
+}
+
+TEST(MiniJDKTest, AllLibraryFlagged) {
+  JdkFixture F;
+  ClassBuilder MainC = F.PB.beginClass("Main", F.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  M.ret();
+  M.finish();
+  Program P = F.finish(M.id());
+  for (const char *Name : {"Sys", "java/lang/String", "java/util/Vector",
+                           "java/util/Hashtable", "java/util/Locale"})
+    EXPECT_TRUE(P.classOf(P.findClass(Name)).IsLibrary) << Name;
+  EXPECT_FALSE(P.classOf(P.findClass("Main")).IsLibrary);
+}
+
+TEST(MiniJDKTest, ScaleSoak) {
+  // juru at 3x the default input: the pipeline must stay stable and the
+  // drag-per-cycle structure must be input-size independent.
+  auto B = buildJuru();
+  RunResult Small = profiledRun(B.Prog, {4});
+  RunResult Large = profiledRun(B.Prog, {12});
+  ASSERT_FALSE(Small.Log.Records.empty());
+  ASSERT_FALSE(Large.Log.Records.empty());
+  // Triple the documents -> roughly triple the allocation and drag.
+  double Ratio = Large.Log.totalDrag() / Small.Log.totalDrag();
+  EXPECT_GT(Ratio, 2.0);
+  EXPECT_LT(Ratio, 4.5);
+  double ClockRatio = static_cast<double>(Large.Log.EndTime) /
+                      static_cast<double>(Small.Log.EndTime);
+  EXPECT_NEAR(ClockRatio, 3.0, 0.5);
+}

@@ -1,0 +1,409 @@
+//===- tests/test_profiler.cpp - drag profiler (phase 1) tests ------------===//
+
+#include "profiler/DragProfiler.h"
+
+#include "vm/VirtualMachine.h"
+
+#include "VMTestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::profiler;
+using namespace jdrag::vm;
+using jdrag::testutil::TestProgramBuilder;
+
+/// Finds a field by class/name in the program under construction.
+#define PB_FIELD(T, CLS, FLD)                                                  \
+  (T).PB.program().findField((T).PB.program().findClass(CLS), (FLD))
+
+namespace {
+
+/// Runs \p P under the profiler with the paper's 100 KB deep-GC interval.
+ProfileLog profileRun(const Program &P, ProfilerConfig PC = ProfilerConfig(),
+                      std::uint64_t Interval = 100 * KB) {
+  DragProfiler Prof(P, std::move(PC));
+  VMOptions Opts;
+  Opts.DeepGCIntervalBytes = Interval;
+  Opts.Observer = &Prof;
+  VirtualMachine VM(P, Opts);
+  std::string Err;
+  EXPECT_EQ(VM.run(&Err), Interpreter::Status::Ok) << Err;
+  EXPECT_EQ(Prof.liveTrailers(), 0u);
+  return Prof.takeLog();
+}
+
+/// A program with one "hot" class allocated in a helper, used, dropped,
+/// plus filler allocation to drive deep GCs.
+Program buildDragProgram(TestProgramBuilder &T) {
+  ClassBuilder Box = T.PB.beginClass("Box", T.PB.objectClass());
+  FieldId V = Box.addField("v", ValueKind::Int);
+  MethodBuilder Ctor =
+      Box.beginMethod("<init>", {ValueKind::Int}, ValueKind::Void);
+  Ctor.aload(0).invokespecial(T.PB.objectCtor());
+  Ctor.aload(0).iload(1).putfield(V).ret();
+  Ctor.finish();
+
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  // makeBox(int) -> Box  (gives the allocation a nested site)
+  MethodBuilder Make = MainC.beginMethod("makeBox", {ValueKind::Int},
+                                         ValueKind::Ref, /*IsStatic=*/true);
+  Make.stmt();
+  Make.new_(Box.id()).dup().iload(0).invokespecial(Ctor.id()).aret();
+  Make.finish();
+
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t B = M.newLocal(ValueKind::Ref);
+  std::uint32_t I = M.newLocal(ValueKind::Int);
+  // Box b = makeBox(3); use it; then keep it reachable but unused while
+  // 400 KB of filler allocates (several deep-GC intervals of drag).
+  M.stmt();
+  M.iconst(3).invokestatic(Make.id()).astore(B);
+  M.aload(B).getfield(PB_FIELD(T, "Box", "v")).invokestatic(T.Emit);
+  Label Loop = M.newLabel(), Done = M.newLabel();
+  M.iconst(100).istore(I);
+  M.bind(Loop);
+  M.iload(I).ifLeZ(Done);
+  M.iconst(1024).newarray(ArrayKind::Int).pop(); // ~4KB filler
+  M.iload(I).iconst(1).isub().istore(I);
+  M.goto_(Loop);
+  M.bind(Done);
+  M.aload(B).pop(); // reference copy: NOT a use
+  M.ret();
+  M.finish();
+  T.PB.setMain(M.id());
+  return T.finishVerified();
+}
+
+} // namespace
+
+TEST(Profiler, RecordsEveryObjectOnce) {
+  TestProgramBuilder T;
+  Program P = buildDragProgram(T);
+  ProfileLog Log = profileRun(P);
+  // 1 Box + 100 filler arrays (OOM preallocation has no trailer).
+  EXPECT_EQ(Log.Records.size(), 101u);
+  for (const ObjectRecord &R : Log.Records) {
+    EXPECT_LE(R.AllocTime, R.LastUseTime);
+    EXPECT_LE(R.LastUseTime, R.CollectTime);
+    EXPECT_GT(R.Bytes, 0u);
+  }
+  EXPECT_GT(Log.EndTime, 400 * KB);
+}
+
+TEST(Profiler, DragOfHeldButUnusedObject) {
+  TestProgramBuilder T;
+  Program P = buildDragProgram(T);
+  ProfileLog Log = profileRun(P);
+
+  ClassId Box = P.findClass("Box");
+  const ObjectRecord *BoxRec = nullptr;
+  for (const ObjectRecord &R : Log.Records)
+    if (!R.IsArray && R.Class == Box)
+      BoxRec = &R;
+  ASSERT_NE(BoxRec, nullptr);
+  EXPECT_TRUE(BoxRec->UsedOutsideInit);
+  EXPECT_GT(BoxRec->UseCount, 0u);
+  // Used early, dragged while ~400 KB of filler allocated.
+  EXPECT_GT(BoxRec->dragTime(), 300 * KB);
+  EXPECT_GT(BoxRec->drag(), 0.0);
+}
+
+TEST(Profiler, NestedAllocationSiteChain) {
+  TestProgramBuilder T;
+  Program P = buildDragProgram(T);
+  ProfileLog Log = profileRun(P);
+
+  ClassId Box = P.findClass("Box");
+  const ObjectRecord *BoxRec = nullptr;
+  for (const ObjectRecord &R : Log.Records)
+    if (!R.IsArray && R.Class == Box)
+      BoxRec = &R;
+  ASSERT_NE(BoxRec, nullptr);
+  const auto &Chain = Log.Sites.chain(BoxRec->AllocSite);
+  ASSERT_GE(Chain.size(), 2u);
+  EXPECT_EQ(P.qualifiedMethodName(Chain[0].Method), "Main.makeBox");
+  EXPECT_EQ(P.qualifiedMethodName(Chain[1].Method), "Main.main");
+  std::string Desc = Log.Sites.describe(P, BoxRec->AllocSite);
+  EXPECT_NE(Desc.find("Main.makeBox"), std::string::npos);
+  EXPECT_NE(Desc.find(" <- Main.main"), std::string::npos);
+}
+
+TEST(Profiler, SiteDepthTrimsChain) {
+  TestProgramBuilder T;
+  Program P = buildDragProgram(T);
+  ProfilerConfig PC;
+  PC.SiteDepth = 1;
+  ProfileLog Log = profileRun(P, PC);
+  for (const ObjectRecord &R : Log.Records)
+    EXPECT_LE(Log.Sites.chain(R.AllocSite).size(), 1u);
+}
+
+TEST(Profiler, NeverUsedDetection) {
+  TestProgramBuilder T;
+  ClassBuilder Dead = T.PB.beginClass("Dead", T.PB.objectClass());
+  FieldId DV = Dead.addField("v", ValueKind::Int);
+  // Constructor writes this.v: a use *during own init* only.
+  MethodBuilder Ctor = Dead.beginMethod("<init>", {}, ValueKind::Void);
+  Ctor.aload(0).invokespecial(T.PB.objectCtor());
+  Ctor.aload(0).iconst(1).putfield(DV).ret();
+  Ctor.finish();
+
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  M.new_(Dead.id()).dup().invokespecial(Ctor.id()).pop();
+  M.ret();
+  M.finish();
+  T.PB.setMain(M.id());
+  Program P = T.finishVerified();
+
+  ProfileLog Log = profileRun(P);
+  ClassId DeadC = P.findClass("Dead");
+  bool Found = false;
+  for (const ObjectRecord &R : Log.Records)
+    if (!R.IsArray && R.Class == DeadC) {
+      Found = true;
+      EXPECT_TRUE(R.neverUsed()) << "ctor-only uses must stay never-used";
+      EXPECT_GT(R.UseCount, 0u) << "ctor uses are still counted";
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Profiler, UseOutsideInitClearsNeverUsed) {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  FieldId V = C.addField("v", ValueKind::Int);
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t O = M.newLocal(ValueKind::Ref);
+  M.new_(C.id()).dup().invokespecial(T.PB.objectCtor()).astore(O);
+  M.aload(O).getfield(V).pop(); // a real use
+  M.ret();
+  M.finish();
+  T.PB.setMain(M.id());
+  Program P = T.finishVerified();
+
+  ProfileLog Log = profileRun(P);
+  ClassId CC = P.findClass("C");
+  for (const ObjectRecord &R : Log.Records)
+    if (!R.IsArray && R.Class == CC) {
+      EXPECT_FALSE(R.neverUsed());
+    }
+}
+
+TEST(Profiler, SurvivorsFlaggedAtTermination) {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  FieldId Keep =
+      MainC.addField("keep", ValueKind::Ref, Visibility::Public, true);
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  M.new_(C.id()).dup().invokespecial(T.PB.objectCtor()).putstatic(Keep);
+  M.ret();
+  M.finish();
+  T.PB.setMain(M.id());
+  Program P = T.finishVerified();
+
+  ProfileLog Log = profileRun(P);
+  ClassId CC = P.findClass("C");
+  bool Found = false;
+  for (const ObjectRecord &R : Log.Records)
+    if (!R.IsArray && R.Class == CC) {
+      Found = true;
+      EXPECT_TRUE(R.SurvivedToEnd);
+      EXPECT_EQ(R.CollectTime, Log.EndTime);
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Profiler, UseTimesSnapToIntervalStart) {
+  // An object allocated at ~0 and used continuously: with snapping, the
+  // last use time equals the last deep-GC boundary, not the exact clock.
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  FieldId V = C.addField("v", ValueKind::Int);
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t O = M.newLocal(ValueKind::Ref);
+  std::uint32_t I = M.newLocal(ValueKind::Int);
+  M.new_(C.id()).dup().invokespecial(T.PB.objectCtor()).astore(O);
+  Label Loop = M.newLabel(), Done = M.newLabel();
+  M.iconst(50).istore(I);
+  M.bind(Loop);
+  M.iload(I).ifLeZ(Done);
+  M.aload(O).getfield(V).pop();                 // use each iteration
+  M.iconst(1024).newarray(ArrayKind::Int).pop(); // filler
+  M.iload(I).iconst(1).isub().istore(I);
+  M.goto_(Loop);
+  M.bind(Done);
+  M.ret();
+  M.finish();
+  T.PB.setMain(M.id());
+  Program P = T.finishVerified();
+
+  ClassId CC = P.findClass("C");
+  auto FindRec = [&](const ProfileLog &Log) -> ObjectRecord {
+    for (const ObjectRecord &R : Log.Records)
+      if (!R.IsArray && R.Class == CC)
+        return R;
+    ADD_FAILURE() << "record not found";
+    return ObjectRecord();
+  };
+
+  ProfilerConfig Snap;
+  Snap.SnapUseTimes = true;
+  ProfileLog SnapLog = profileRun(P, Snap, 50 * KB);
+  ProfilerConfig Exact;
+  Exact.SnapUseTimes = false;
+  ProfileLog ExactLog = profileRun(P, Exact, 50 * KB);
+
+  ObjectRecord SnapRec = FindRec(SnapLog);
+  ObjectRecord ExactRec = FindRec(ExactLog);
+  // Snapped last-use is a deep-GC boundary (multiple of nothing exact,
+  // but strictly earlier than the exact last use).
+  EXPECT_LT(SnapRec.LastUseTime, ExactRec.LastUseTime);
+  EXPECT_GE(SnapRec.dragTime(), ExactRec.dragTime());
+}
+
+TEST(Profiler, ExcludedClassesNotLogged) {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  M.new_(C.id()).dup().invokespecial(T.PB.objectCtor()).pop();
+  M.ret();
+  M.finish();
+  T.PB.setMain(M.id());
+  Program P = T.finishVerified();
+
+  ProfilerConfig PC;
+  PC.ExcludedClasses.push_back(P.findClass("C"));
+  ProfileLog Log = profileRun(P, PC);
+  for (const ObjectRecord &R : Log.Records)
+    EXPECT_TRUE(R.IsArray || R.Class != P.findClass("C"));
+}
+
+TEST(Profiler, GCSamplesRecorded) {
+  TestProgramBuilder T;
+  Program P = buildDragProgram(T);
+  ProfileLog Log = profileRun(P);
+  // 400 KB of filler with a 100 KB interval: at least 4 deep GCs, each
+  // contributing two samples (GC + GC after finalization).
+  EXPECT_GE(Log.GCSamples.size(), 8u);
+  for (const GCSample &S : Log.GCSamples)
+    EXPECT_LE(S.Time, Log.EndTime);
+}
+
+TEST(Profiler, LastUseSiteRecorded) {
+  TestProgramBuilder T;
+  Program P = buildDragProgram(T);
+  ProfileLog Log = profileRun(P);
+  ClassId Box = P.findClass("Box");
+  for (const ObjectRecord &R : Log.Records)
+    if (!R.IsArray && R.Class == Box) {
+      ASSERT_NE(R.LastUseSite, InvalidSite);
+      std::string Desc = Log.Sites.describe(P, R.LastUseSite);
+      EXPECT_NE(Desc.find("Main.main"), std::string::npos);
+    }
+}
+
+TEST(ProfileLogIO, FileRoundTrip) {
+  TestProgramBuilder T;
+  Program P = buildDragProgram(T);
+  ProfileLog Log = profileRun(P);
+
+  std::string Path = testing::TempDir() + "/jdrag_log_test.bin";
+  ASSERT_TRUE(Log.writeFile(Path));
+  ProfileLog Back;
+  ASSERT_TRUE(ProfileLog::readFile(Path, Back));
+
+  ASSERT_EQ(Back.Records.size(), Log.Records.size());
+  EXPECT_EQ(Back.EndTime, Log.EndTime);
+  EXPECT_EQ(Back.GCSamples.size(), Log.GCSamples.size());
+  EXPECT_EQ(Back.Sites.size(), Log.Sites.size());
+  for (std::size_t I = 0; I != Log.Records.size(); ++I) {
+    EXPECT_EQ(Back.Records[I].Id, Log.Records[I].Id);
+    EXPECT_EQ(Back.Records[I].Bytes, Log.Records[I].Bytes);
+    EXPECT_EQ(Back.Records[I].AllocSite, Log.Records[I].AllocSite);
+    EXPECT_EQ(Back.Records[I].LastUseTime, Log.Records[I].LastUseTime);
+  }
+  EXPECT_DOUBLE_EQ(Back.totalDrag(), Log.totalDrag());
+}
+
+TEST(ProfileLogIO, RejectsGarbageFile) {
+  std::string Path = testing::TempDir() + "/jdrag_garbage.bin";
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::fputs("not a log", F);
+  std::fclose(F);
+  ProfileLog Out;
+  EXPECT_FALSE(ProfileLog::readFile(Path, Out));
+  EXPECT_FALSE(ProfileLog::readFile("/nonexistent/file", Out));
+}
+
+TEST(ProfileLog, IntegralIdentities) {
+  TestProgramBuilder T;
+  Program P = buildDragProgram(T);
+  ProfileLog Log = profileRun(P);
+  // reachable integral = in-use integral + total drag, by definition.
+  EXPECT_NEAR(Log.reachableIntegral(), Log.inUseIntegral() + Log.totalDrag(),
+              1.0);
+  EXPECT_GE(Log.reachableIntegral(), Log.inUseIntegral());
+}
+
+TEST(ProfileLogIO, RejectsOldFormatMagic) {
+  // A v01-magic file must be rejected by the v02 reader.
+  std::string Path = testing::TempDir() + "/jdrag_oldmagic.bin";
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::uint64_t OldMagic = 0x6a64726167763031ULL;
+  std::fwrite(&OldMagic, sizeof(OldMagic), 1, F);
+  std::fclose(F);
+  ProfileLog Out;
+  EXPECT_FALSE(ProfileLog::readFile(Path, Out));
+}
+
+TEST(Profiler, FirstUseTimeTracked) {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  FieldId V = C.addField("v", ValueKind::Int);
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t O = M.newLocal(ValueKind::Ref);
+  std::uint32_t I = M.newLocal(ValueKind::Int);
+  // Allocate, let ~200 KB pass (lag), then use, then 200 KB more (drag).
+  M.new_(C.id()).dup().invokespecial(T.PB.objectCtor()).astore(O);
+  Label L1 = M.newLabel(), D1 = M.newLabel();
+  M.iconst(50).istore(I);
+  M.bind(L1);
+  M.iload(I).ifLeZ(D1);
+  M.iconst(1016).newarray(ArrayKind::Int).pop();
+  M.iload(I).iconst(1).isub().istore(I);
+  M.goto_(L1);
+  M.bind(D1);
+  M.aload(O).getfield(V).pop(); // first (and last) real use
+  Label L2 = M.newLabel(), D2 = M.newLabel();
+  M.iconst(50).istore(I);
+  M.bind(L2);
+  M.iload(I).ifLeZ(D2);
+  M.iconst(1016).newarray(ArrayKind::Int).pop();
+  M.iload(I).iconst(1).isub().istore(I);
+  M.goto_(L2);
+  M.bind(D2);
+  M.ret();
+  M.finish();
+  T.PB.setMain(M.id());
+  Program P = T.finishVerified();
+
+  ProfileLog Log = profileRun(P, ProfilerConfig(), 50 * KB);
+  ClassId CC = P.findClass("C");
+  for (const ObjectRecord &R : Log.Records)
+    if (!R.IsArray && R.Class == CC) {
+      EXPECT_GT(R.lagTime(), 100 * KB) << "lag spans the first filler";
+      EXPECT_GT(R.dragTime(), 100 * KB) << "drag spans the second filler";
+      EXPECT_EQ(R.FirstUseTime, R.LastUseTime) << "single use";
+      EXPECT_LE(R.AllocTime, R.FirstUseTime);
+      EXPECT_LE(R.FirstUseTime, R.LastUseTime);
+    }
+}

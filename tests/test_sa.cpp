@@ -1,0 +1,715 @@
+//===- tests/test_sa.cpp - static analysis tests --------------------------===//
+
+#include "sa/CFG.h"
+#include "sa/CallGraph.h"
+#include "sa/ClassHierarchy.h"
+#include "sa/Dominators.h"
+#include "sa/Effects.h"
+#include "sa/Liveness.h"
+#include "sa/Reports.h"
+#include "sa/StackFlow.h"
+#include "sa/ValueFlow.h"
+
+#include "VMTestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::sa;
+using jdrag::testutil::TestProgramBuilder;
+
+namespace {
+
+/// main with a diamond: if (x) y = 1 else y = 2; emit(y)
+Program buildDiamond(TestProgramBuilder &T) {
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t X = M.newLocal(ValueKind::Int);
+  std::uint32_t Y = M.newLocal(ValueKind::Int);
+  Label Else = M.newLabel(), Join = M.newLabel();
+  M.iconst(1).istore(X);
+  M.iload(X).ifEqZ(Else);
+  M.iconst(1).istore(Y).goto_(Join);
+  M.bind(Else);
+  M.iconst(2).istore(Y);
+  M.bind(Join);
+  M.iload(Y).invokestatic(T.Emit).ret();
+  M.finish();
+  T.PB.setMain(M.id());
+  return T.finishVerified();
+}
+
+} // namespace
+
+TEST(CFG, DiamondBlocksAndEdges) {
+  TestProgramBuilder T;
+  Program P = buildDiamond(T);
+  const MethodInfo &M = P.methodOf(P.MainMethod);
+  CFG G(M);
+  // Entry, then-branch, else-branch, join: at least 4 blocks.
+  ASSERT_GE(G.blocks().size(), 4u);
+  const BasicBlock &Entry = G.blocks()[0];
+  EXPECT_EQ(Entry.Start, 0u);
+  EXPECT_EQ(Entry.Succs.size(), 2u); // conditional branch
+  // Join block has two predecessors.
+  std::uint32_t JoinBlock = G.blockOf(static_cast<std::uint32_t>(
+      M.Code.size() - 3)); // iload Y
+  EXPECT_EQ(G.blocks()[JoinBlock].Preds.size(), 2u);
+}
+
+TEST(CFG, HandlerEdges) {
+  TestProgramBuilder T;
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  Label TryStart = M.newLabel(), TryEnd = M.newLabel(), H = M.newLabel(),
+        Done = M.newLabel();
+  M.bind(TryStart);
+  M.iconst(1).pop();
+  M.bind(TryEnd);
+  M.goto_(Done);
+  M.bind(H);
+  M.pop();
+  M.bind(Done);
+  M.ret();
+  M.addHandler(TryStart, TryEnd, H, T.PB.throwableClass());
+  M.finish();
+  T.PB.setMain(M.id());
+  Program P = T.finishVerified();
+
+  const MethodInfo &MI = P.methodOf(P.MainMethod);
+  CFG G(MI);
+  bool HandlerIsEntry = false;
+  for (const BasicBlock &B : G.blocks())
+    if (B.IsHandlerEntry) {
+      HandlerIsEntry = true;
+      EXPECT_FALSE(B.Preds.empty()); // exceptional edge from try block
+    }
+  EXPECT_TRUE(HandlerIsEntry);
+}
+
+TEST(Liveness, LastUseAndDeadness) {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  FieldId V = C.addField("v", ValueKind::Int);
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t O = M.newLocal(ValueKind::Ref);
+  // O = new C(); use O; <O dead here>; allocate filler; return
+  M.new_(C.id()).dup().invokespecial(T.PB.objectCtor()).astore(O); // pcs 0-3
+  M.aload(O).getfield(V).pop();                                    // pcs 4-6
+  M.iconst(8).newarray(ArrayKind::Int).pop();                      // pcs 7-9
+  M.ret();
+  M.finish();
+  T.PB.setMain(M.id());
+  Program P = T.finishVerified();
+
+  const MethodInfo &MI = P.methodOf(P.MainMethod);
+  LivenessAnalysis LA(P, MI);
+  // O (slot 0) live between the store (pc 3) and the load (pc 4).
+  EXPECT_TRUE(LA.isLiveIn(4, O));
+  EXPECT_FALSE(LA.isLiveOut(4, O)); // load at 4 is the last use
+  auto LastUses = LA.lastUsePcs(O);
+  ASSERT_EQ(LastUses.size(), 1u);
+  EXPECT_EQ(LastUses[0], 4u);
+}
+
+TEST(Liveness, LoopKeepsVariableLive) {
+  TestProgramBuilder T;
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t I = M.newLocal(ValueKind::Int);
+  Label Loop = M.newLabel(), Done = M.newLabel();
+  M.iconst(3).istore(I);      // 0,1
+  M.bind(Loop);
+  M.iload(I).ifLeZ(Done);     // 2,3
+  M.iload(I).iconst(1).isub().istore(I); // 4-7
+  M.goto_(Loop);              // 8
+  M.bind(Done);
+  M.ret();                    // 9
+  M.finish();
+  T.PB.setMain(M.id());
+  Program P = T.finishVerified();
+
+  LivenessAnalysis LA(P, P.methodOf(P.MainMethod));
+  // I is live out of the back edge and out of the decrement store.
+  EXPECT_TRUE(LA.isLiveOut(7, I));
+  EXPECT_TRUE(LA.isLiveIn(2, I));
+  // The load at pc 2 is NOT a last use (loop may continue).
+  for (std::uint32_t Pc : LA.lastUsePcs(I))
+    EXPECT_NE(Pc, 2u);
+}
+
+TEST(StackFlow, TracksOriginsThroughDup) {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t O = M.newLocal(ValueKind::Ref);
+  M.new_(C.id());                       // 0
+  M.dup();                              // 1
+  M.invokespecial(T.PB.objectCtor());   // 2
+  M.astore(O);                          // 3
+  M.ret();
+  M.finish();
+  T.PB.setMain(M.id());
+  Program P = T.finishVerified();
+
+  StackFlow SF(P, P.methodOf(P.MainMethod));
+  // The ctor receiver and the stored value both originate at the new.
+  StackCell Recv = SF.operand(2, 0);
+  ASSERT_TRUE(Recv.isSingle());
+  EXPECT_EQ(Recv.single().O, StackValue::Origin::New);
+  EXPECT_EQ(Recv.single().DefPc, 0u);
+  StackCell Stored = SF.operand(3, 0);
+  EXPECT_TRUE(Stored.mayBeNewAt(0));
+}
+
+TEST(StackFlow, JoinsAtMergePoints) {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  FieldId F = C.addField("f", ValueKind::Ref);
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  FieldId S = MainC.addField("s", ValueKind::Ref, Visibility::Public, true);
+  MethodBuilder M = MainC.beginMethod("pick", {ValueKind::Int},
+                                      ValueKind::Void, true);
+  std::uint32_t R = M.newLocal(ValueKind::Ref);
+  Label Else = M.newLabel(), Join = M.newLabel();
+  M.iload(0).ifEqZ(Else);       // 0,1
+  M.getstatic(S).goto_(Join);   // 2,3
+  M.bind(Else);
+  M.aconstNull();               // 4
+  M.bind(Join);
+  M.astore(R);                  // 5
+  M.ret();
+  M.finish();
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  Main.iconst(1).invokestatic(M.id()).ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+  (void)F;
+
+  StackFlow SF(P, P.methodOf(P.findDeclaredMethod(P.findClass("Main"),
+                                                  "pick")));
+  StackCell AtStore = SF.operand(5, 0);
+  ASSERT_FALSE(AtStore.Top);
+  EXPECT_EQ(AtStore.Origins.size(), 2u); // Static(s) | Null
+}
+
+TEST(ClassHierarchy, SubtreesAndRendering) {
+  TestProgramBuilder T;
+  ClassBuilder A = T.PB.beginClass("A", T.PB.objectClass());
+  ClassBuilder B = T.PB.beginClass("B", A.id());
+  ClassBuilder C = T.PB.beginClass("C", A.id());
+  ClassBuilder D = T.PB.beginClass("D", B.id());
+  (void)C;
+  (void)D;
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  Main.ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+
+  ClassHierarchy CH(P);
+  EXPECT_EQ(CH.directSubclasses(A.id()).size(), 2u);
+  EXPECT_EQ(CH.subtree(A.id()).size(), 4u); // A, B, C, D
+  EXPECT_EQ(CH.subtree(B.id()).size(), 2u); // B, D
+  std::string Tree = CH.renderTree();
+  EXPECT_NE(Tree.find("java/lang/Object"), std::string::npos);
+  EXPECT_NE(Tree.find("  A"), std::string::npos);
+  std::string Dot = CH.renderDot();
+  EXPECT_NE(Dot.find("\"D\" -> \"B\""), std::string::npos);
+}
+
+namespace {
+
+/// A: tag()=1; B extends A: tag()=2; main calls a.tag() virtually plus
+/// an orphan method nobody calls.
+struct VirtualFixture {
+  TestProgramBuilder T;
+  Program P;
+  ClassId A, B;
+  MethodId ATag, BTag, Orphan, Main;
+
+  VirtualFixture() {
+    ClassBuilder CA = T.PB.beginClass("A", T.PB.objectClass());
+    MethodBuilder MA = CA.beginMethod("tag", {}, ValueKind::Int);
+    MA.iconst(1).iret();
+    MA.finish();
+    ClassBuilder CB = T.PB.beginClass("B", CA.id());
+    MethodBuilder MB = CB.beginMethod("tag", {}, ValueKind::Int);
+    MB.iconst(2).iret();
+    MB.finish();
+    ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+    MethodBuilder MO = MainC.beginMethod("orphan", {}, ValueKind::Void, true);
+    MO.ret();
+    MO.finish();
+    MethodBuilder MM = MainC.beginMethod("main", {}, ValueKind::Void, true);
+    std::uint32_t O = MM.newLocal(ValueKind::Ref);
+    MM.new_(CB.id()).dup().invokespecial(T.PB.objectCtor()).astore(O);
+    MM.aload(O).invokevirtual(MA.id()).pop().ret();
+    MM.finish();
+    T.PB.setMain(MM.id());
+    A = CA.id();
+    B = CB.id();
+    ATag = MA.id();
+    BTag = MB.id();
+    Orphan = MO.id();
+    Main = MM.id();
+    P = T.finishVerified();
+  }
+};
+
+} // namespace
+
+TEST(CallGraph, CHAResolvesOverrides) {
+  VirtualFixture F;
+  CallGraph CG(F.P);
+  // Find the invokevirtual site in main.
+  const auto &Sites = CG.callSitesIn(F.Main);
+  bool FoundVirtual = false;
+  for (const CallSite &CS : Sites) {
+    if (CS.NamedCallee == F.ATag) {
+      FoundVirtual = true;
+      auto Targets = CG.targetsOf(F.Main, CS.Pc);
+      EXPECT_EQ(Targets.size(), 2u); // A.tag and B.tag
+    }
+  }
+  EXPECT_TRUE(FoundVirtual);
+}
+
+TEST(CallGraph, UnreachableMethodsExcluded) {
+  VirtualFixture F;
+  CallGraph CG(F.P);
+  EXPECT_TRUE(CG.isReachable(F.Main));
+  EXPECT_TRUE(CG.isReachable(F.ATag));
+  EXPECT_TRUE(CG.isReachable(F.BTag));
+  EXPECT_FALSE(CG.isReachable(F.Orphan));
+}
+
+TEST(CallGraph, CallersOf) {
+  VirtualFixture F;
+  CallGraph CG(F.P);
+  auto Callers = CG.callersOf(F.BTag);
+  ASSERT_EQ(Callers.size(), 1u);
+  EXPECT_EQ(Callers[0].Caller, F.Main);
+  EXPECT_TRUE(CG.callersOf(F.Orphan).empty());
+}
+
+TEST(CallGraph, FinalizersReachableWhenInstantiated) {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("Fin", T.PB.objectClass());
+  MethodBuilder Fin = C.beginMethod("finalize", {}, ValueKind::Void);
+  Fin.ret();
+  Fin.finish();
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  Main.new_(C.id()).dup().invokespecial(T.PB.objectCtor()).pop().ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+  CallGraph CG(P);
+  EXPECT_TRUE(CG.isReachable(Fin.id()));
+}
+
+TEST(ValueFlow, DeadAllocationIntoUnreadStatic) {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  FieldId Sink =
+      MainC.addField("sink", ValueKind::Ref, Visibility::Private, true);
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  Main.new_(C.id()).dup().invokespecial(T.PB.objectCtor()).putstatic(Sink);
+  Main.ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+
+  CallGraph CG(P);
+  ValueFlowAnalysis VFA(P, CG);
+  EXPECT_FALSE(VFA.isLocationUsed(Location::staticField(Sink)));
+  EXPECT_TRUE(VFA.isAllocationDead(P.MainMethod, 0));
+}
+
+TEST(ValueFlow, UsedAllocationNotDead) {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  FieldId V = C.addField("v", ValueKind::Int);
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t O = Main.newLocal(ValueKind::Ref);
+  Main.new_(C.id()).dup().invokespecial(T.PB.objectCtor()).astore(O);
+  Main.aload(O).getfield(V).pop().ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+
+  CallGraph CG(P);
+  ValueFlowAnalysis VFA(P, CG);
+  EXPECT_TRUE(VFA.isLocationUsed(Location::local(P.MainMethod, O)));
+  EXPECT_FALSE(VFA.isAllocationDead(P.MainMethod, 0));
+}
+
+TEST(ValueFlow, IndirectUsageThroughCopies) {
+  // The paper's javac example: a field read only to be copied into
+  // variables that are themselves never used.
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  ClassBuilder Holder = T.PB.beginClass("Holder", T.PB.objectClass());
+  FieldId F = Holder.addField("f", ValueKind::Ref, Visibility::Protected);
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t H = Main.newLocal(ValueKind::Ref);
+  std::uint32_t Copy = Main.newLocal(ValueKind::Ref);
+  // h = new Holder(); h.f = new C(); copy = h.f; (copy never used)
+  Main.new_(Holder.id()).dup().invokespecial(T.PB.objectCtor()).astore(H);
+  std::uint32_t NewCPc = static_cast<std::uint32_t>(5);
+  Main.aload(H);
+  Main.new_(C.id()).dup().invokespecial(T.PB.objectCtor()); // pcs 5-7
+  Main.putfield(F);
+  Main.aload(H).getfield(F).astore(Copy);
+  Main.ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+
+  CallGraph CG(P);
+  ValueFlowAnalysis VFA(P, CG);
+  // copy is never dereferenced, so f is unused and the C allocation dead.
+  EXPECT_FALSE(VFA.isLocationUsed(Location::field(F)));
+  EXPECT_TRUE(VFA.isAllocationDead(P.MainMethod, NewCPc));
+  // But the Holder allocation is used (its field is written/read).
+  EXPECT_FALSE(VFA.isAllocationDead(P.MainMethod, 0));
+}
+
+TEST(ValueFlow, ArrayElementBucketPerField) {
+  // raytrace-style: objects stored into array elements, array held in a
+  // field, elements never loaded.
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  FieldId Arr =
+      MainC.addField("arr", ValueKind::Ref, Visibility::Private, true);
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  Main.iconst(4).newarray(ArrayKind::Ref).putstatic(Arr); // pcs 0-2
+  Main.getstatic(Arr).iconst(0);                          // 3,4
+  Main.new_(C.id()).dup().invokespecial(T.PB.objectCtor()); // 5-7
+  Main.aastore();                                           // 8
+  Main.ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+
+  CallGraph CG(P);
+  ValueFlowAnalysis VFA(P, CG);
+  EXPECT_FALSE(VFA.isLocationUsed(Location::arrayOf(Arr)));
+  EXPECT_TRUE(VFA.isAllocationDead(P.MainMethod, 5));
+  // The array itself IS used (aastore dereferences it).
+  EXPECT_TRUE(VFA.isLocationUsed(Location::staticField(Arr)));
+  EXPECT_FALSE(VFA.isAllocationDead(P.MainMethod, 1)); // the newarray
+}
+
+TEST(ValueFlow, CallGraphRefutesUsesInUnreachableMethods) {
+  // raytrace's getter: the only real use of the field sits in a method
+  // that is never invoked.
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  ClassBuilder Holder = T.PB.beginClass("Holder", T.PB.objectClass());
+  FieldId F = Holder.addField("f", ValueKind::Ref, Visibility::Private);
+  // Holder.get(): reads and dereferences f -- but nobody calls it.
+  MethodBuilder Get = Holder.beginMethod("get", {}, ValueKind::Ref);
+  Get.aload(0).getfield(F).aret();
+  Get.finish();
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t H = Main.newLocal(ValueKind::Ref);
+  Main.new_(Holder.id()).dup().invokespecial(T.PB.objectCtor()).astore(H);
+  Main.aload(H);
+  Main.new_(C.id()).dup().invokespecial(T.PB.objectCtor()); // pcs 5-7
+  Main.putfield(F);
+  Main.ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+
+  CallGraph CG(P);
+  EXPECT_FALSE(CG.isReachable(Get.id()));
+  ValueFlowAnalysis VFA(P, CG);
+  EXPECT_TRUE(VFA.isAllocationDead(P.MainMethod, 5));
+}
+
+TEST(Effects, PureAndImpureCtors) {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  FieldId V = C.addField("v", ValueKind::Int);
+  // Pure ctor: writes only this.v.
+  MethodBuilder Pure = C.beginMethod("<init>", {ValueKind::Int},
+                                     ValueKind::Void);
+  Pure.aload(0).invokespecial(T.PB.objectCtor());
+  Pure.aload(0).iload(1).putfield(V).ret();
+  Pure.finish();
+
+  ClassBuilder D = T.PB.beginClass("D", T.PB.objectClass());
+  FieldId Counter =
+      D.addField("counter", ValueKind::Int, Visibility::Public, true);
+  // Impure ctor: bumps a static counter.
+  MethodBuilder Impure = D.beginMethod("<init>", {}, ValueKind::Void);
+  Impure.aload(0).invokespecial(T.PB.objectCtor());
+  Impure.getstatic(Counter).iconst(1).iadd().putstatic(Counter).ret();
+  Impure.finish();
+
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  Main.new_(C.id()).dup().iconst(1).invokespecial(Pure.id()).pop();
+  Main.new_(D.id()).dup().invokespecial(Impure.id()).pop();
+  Main.ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+
+  CallGraph CG(P);
+  EffectAnalysis EA(P, CG);
+  EXPECT_TRUE(EA.isRemovableCtor(Pure.id()));
+  EXPECT_FALSE(EA.isRemovableCtor(Impure.id()));
+  EXPECT_TRUE(EA.effects(Impure.id()).WritesStatic);
+  EXPECT_FALSE(EA.effects(Pure.id()).WritesStatic);
+  // State independence: Pure takes a parameter -> not independent.
+  EXPECT_FALSE(EA.isStateIndependentCtor(Pure.id()));
+}
+
+TEST(Effects, StateIndependentCtor) {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  FieldId V = C.addField("v", ValueKind::Int);
+  MethodBuilder Ctor = C.beginMethod("<init>", {}, ValueKind::Void);
+  Ctor.aload(0).invokespecial(T.PB.objectCtor());
+  Ctor.aload(0).iconst(7).putfield(V).ret();
+  Ctor.finish();
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  Main.new_(C.id()).dup().invokespecial(Ctor.id()).pop().ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+
+  CallGraph CG(P);
+  EffectAnalysis EA(P, CG);
+  EXPECT_TRUE(EA.isStateIndependentCtor(Ctor.id()));
+}
+
+TEST(Effects, OOMHandlerBlocksRemovableAllocatingCtor) {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  FieldId Buf = C.addField("buf", ValueKind::Ref);
+  // Ctor allocates an array (can throw OOM).
+  MethodBuilder Ctor = C.beginMethod("<init>", {}, ValueKind::Void);
+  Ctor.aload(0).invokespecial(T.PB.objectCtor());
+  Ctor.aload(0).iconst(16).newarray(ArrayKind::Int).putfield(Buf).ret();
+  Ctor.finish();
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  Label TryStart = Main.newLabel(), TryEnd = Main.newLabel(),
+        H = Main.newLabel(), Done = Main.newLabel();
+  Main.bind(TryStart);
+  Main.new_(C.id()).dup().invokespecial(Ctor.id()).pop();
+  Main.bind(TryEnd);
+  Main.goto_(Done);
+  Main.bind(H);
+  Main.pop();
+  Main.bind(Done);
+  Main.ret();
+  Main.addHandler(TryStart, TryEnd, H, T.PB.oomClass());
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+
+  CallGraph CG(P);
+  EffectAnalysis EA(P, CG);
+  EXPECT_TRUE(EA.effects(Ctor.id()).Allocates);
+  EXPECT_TRUE(EA.programHasHandlerFor(P.OOMClass));
+  EXPECT_FALSE(EA.isRemovableCtor(Ctor.id()));
+}
+
+TEST(Effects, ThrownClassesTracked) {
+  TestProgramBuilder T;
+  ClassBuilder Ex = T.PB.beginClass("MyError", T.PB.throwableClass());
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder Thrower =
+      MainC.beginMethod("thrower", {}, ValueKind::Void, true);
+  Thrower.new_(Ex.id())
+      .dup()
+      .invokespecial(T.PB.program().findMethod(T.PB.throwableClass(),
+                                               "<init>"))
+      .athrow();
+  Thrower.finish();
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  Main.invokestatic(Thrower.id()).ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+
+  CallGraph CG(P);
+  EffectAnalysis EA(P, CG);
+  const MethodEffects &E = EA.effects(Main.id());
+  EXPECT_TRUE(E.ThrowsExplicit);
+  ASSERT_EQ(E.ThrownClasses.size(), 1u);
+  EXPECT_EQ(E.ThrownClasses[0], Ex.id());
+  EXPECT_FALSE(E.ThrowsUnknown);
+}
+
+TEST(Dominators, DiamondStructure) {
+  TestProgramBuilder T;
+  Program P = buildDiamond(T);
+  const MethodInfo &M = P.methodOf(P.MainMethod);
+  CFG G(M);
+  DominatorTree DT(G);
+
+  std::uint32_t Entry = 0;
+  std::uint32_t Join = G.blockOf(static_cast<std::uint32_t>(M.Code.size() - 3));
+  std::uint32_t Then = G.blockOf(4);  // iconst 1 after branch
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_TRUE(DT.dominates(Entry, Then));
+  EXPECT_FALSE(DT.dominates(Then, Join)); // join reachable via else too
+  EXPECT_EQ(DT.idom(Join), Entry);
+  // Instruction-level: pc 0 dominates everything.
+  EXPECT_TRUE(DT.dominatesPc(0, static_cast<std::uint32_t>(M.Code.size() - 1)));
+}
+
+TEST(StaticReports, CollectsFindings) {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  MethodBuilder Ctor = C.beginMethod("<init>", {}, ValueKind::Void);
+  Ctor.aload(0).invokespecial(T.PB.objectCtor()).ret();
+  Ctor.finish();
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  FieldId Sink =
+      MainC.addField("sink", ValueKind::Ref, Visibility::Private, true);
+  MethodBuilder Orphan = MainC.beginMethod("orphan", {}, ValueKind::Void,
+                                           /*IsStatic=*/true);
+  Orphan.ret();
+  Orphan.finish();
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  Main.new_(C.id()).dup().invokespecial(Ctor.id()).putstatic(Sink);
+  Main.ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+
+  CallGraph CG(P);
+  ValueFlowAnalysis VFA(P, CG);
+  EffectAnalysis EA(P, CG);
+  StaticFindings F = collectStaticFindings(P, CG, VFA, EA);
+  ASSERT_EQ(F.UnreachableMethods.size(), 1u);
+  EXPECT_EQ(F.UnreachableMethods[0], Orphan.id());
+  ASSERT_EQ(F.DeadAllocations.size(), 1u);
+  EXPECT_EQ(F.DeadAllocations[0].first, Main.id());
+  EXPECT_FALSE(F.ProgramCatchesOOM);
+  // The ctor is reachable and pure.
+  bool CtorRemovable = false;
+  for (MethodId M : F.RemovableCtors)
+    if (M == Ctor.id())
+      CtorRemovable = true;
+  EXPECT_TRUE(CtorRemovable);
+
+  std::string Text = renderStaticFindings(P, F);
+  EXPECT_NE(Text.find("Main.orphan"), std::string::npos);
+  EXPECT_NE(Text.find("dead allocations (1)"), std::string::npos);
+}
+
+TEST(ValueFlowExtra, TransitiveSinksFollowCopies) {
+  // new C stored into local, passed to callee, stored into a field there.
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  ClassBuilder Holder = T.PB.beginClass("Holder", T.PB.objectClass());
+  FieldId F = Holder.addField("f", ValueKind::Ref, Visibility::Package);
+  MethodBuilder Keep = Holder.beginMethod("keep", {ValueKind::Ref},
+                                          ValueKind::Void);
+  Keep.aload(0).aload(1).putfield(F).ret();
+  Keep.finish();
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t H = Main.newLocal(ValueKind::Ref);
+  std::uint32_t O = Main.newLocal(ValueKind::Ref);
+  Main.new_(Holder.id()).dup().invokespecial(T.PB.objectCtor()).astore(H);
+  std::uint32_t NewCPc = 4;
+  Main.new_(C.id()).dup().invokespecial(T.PB.objectCtor()).astore(O);
+  Main.aload(H).aload(O).invokevirtual(Keep.id());
+  Main.ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+
+  CallGraph CG(P);
+  ValueFlowAnalysis VFA(P, CG);
+  auto Sinks = VFA.transitiveSinks(P.MainMethod, NewCPc);
+  bool SawLocal = false, SawParam = false, SawField = false;
+  for (const Location &L : Sinks) {
+    if (L.K == Location::Kind::Local && L.A == P.MainMethod.Index)
+      SawLocal = true;
+    if (L.K == Location::Kind::Local && L.A == Keep.id().Index)
+      SawParam = true;
+    if (L.K == Location::Kind::InstanceField && L.A == F.Index)
+      SawField = true;
+  }
+  EXPECT_TRUE(SawLocal);
+  EXPECT_TRUE(SawParam);
+  EXPECT_TRUE(SawField);
+}
+
+TEST(EffectsExtra, FreshLocalKeepsCtorPure) {
+  // Ctor builds an array via a local, fills it, then publishes it: still
+  // removable (the MiniJDK String/Locale pattern).
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  FieldId Buf = C.addField("buf", ValueKind::Ref, Visibility::Private);
+  MethodBuilder Ctor = C.beginMethod("<init>", {}, ValueKind::Void);
+  std::uint32_t Arr = Ctor.newLocal(ValueKind::Ref);
+  Ctor.aload(0).invokespecial(T.PB.objectCtor());
+  Ctor.iconst(8).newarray(ArrayKind::Int).astore(Arr);
+  Ctor.aload(Arr).iconst(0).iconst(7).iastore();
+  Ctor.aload(0).aload(Arr).putfield(Buf);
+  Ctor.ret();
+  Ctor.finish();
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  Main.new_(C.id()).dup().invokespecial(Ctor.id()).pop().ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+
+  CallGraph CG(P);
+  EffectAnalysis EA(P, CG);
+  EXPECT_FALSE(EA.effects(Ctor.id()).WritesForeignHeap);
+  EXPECT_TRUE(EA.isRemovableCtor(Ctor.id()));
+  EXPECT_TRUE(EA.isStateIndependentCtor(Ctor.id()));
+}
+
+TEST(EffectsExtra, ParamTaintedLocalIsNotFresh) {
+  // A local that may hold a parameter is not fresh: writing through it
+  // is a foreign write.
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("C", T.PB.objectClass());
+  FieldId V = C.addField("v", ValueKind::Int, Visibility::Package);
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder Mut = MainC.beginMethod("mutate", {ValueKind::Ref},
+                                        ValueKind::Void, /*IsStatic=*/true);
+  std::uint32_t L = Mut.newLocal(ValueKind::Ref);
+  Mut.aload(0).astore(L);               // local <- parameter
+  Mut.aload(L).iconst(5).putfield(V);   // foreign write
+  Mut.ret();
+  Mut.finish();
+  MethodBuilder Main = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t O = Main.newLocal(ValueKind::Ref);
+  Main.new_(C.id()).dup().invokespecial(T.PB.objectCtor()).astore(O);
+  Main.aload(O).invokestatic(Mut.id());
+  Main.ret();
+  Main.finish();
+  T.PB.setMain(Main.id());
+  Program P = T.finishVerified();
+
+  CallGraph CG(P);
+  EffectAnalysis EA(P, CG);
+  EXPECT_TRUE(EA.effects(Mut.id()).WritesForeignHeap);
+}

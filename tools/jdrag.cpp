@@ -1,0 +1,495 @@
+//===- tools/jdrag.cpp - The drag-reduction tool CLI ----------------------===//
+//
+// The command-line face of the library, mirroring the paper's two-phase
+// tool:
+//
+//   jdrag list                      the built-in workloads
+//   jdrag profile <bench> <log>     phase 1: run instrumented, write log
+//   jdrag report <bench> [<log>]    phase 2: drag report (from a log file
+//                                   or a fresh in-process run)
+//   jdrag optimize <bench>          the full loop: report -> rewrite ->
+//                                   re-measure (decision log + savings)
+//   jdrag timeline <bench>          reachable/in-use ASCII chart
+//   jdrag static <bench>            section-5 static findings
+//   jdrag disasm <bench>            program disassembly
+//   jdrag hierarchy <bench>         class hierarchy (JAN-style)
+//   jdrag callgraph <bench>         reachable methods + call sites
+//
+// Options after the subcommand: --interval <KB> (deep-GC period,
+// default 100), --depth <N> (nested-site depth, default 4), --exact
+// (exact use timestamps instead of interval snapping).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DragReport.h"
+#include "analysis/HeapCurves.h"
+#include "analysis/LagDragVoid.h"
+#include "analysis/ReportPrinter.h"
+#include "analysis/Savings.h"
+#include "benchmarks/Benchmarks.h"
+#include "ir/Assembler.h"
+#include "vm/VirtualMachine.h"
+#include "ir/Disassembler.h"
+#include "ir/JasmPrinter.h"
+#include "profiler/DragProfiler.h"
+#include "transform/AutoOptimizer.h"
+#include "sa/CallGraph.h"
+#include "sa/Reports.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace jdrag;
+using namespace jdrag::analysis;
+using namespace jdrag::benchmarks;
+
+namespace {
+
+struct Options {
+  std::uint64_t IntervalBytes = 100 * KB;
+  std::uint32_t Depth = 4;
+  bool Exact = false;
+  bool Revised = false; ///< dumpjasm: dump the rewritten program
+  std::string OutPath;  ///< optimizeasm: write the revised .jasm here
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: jdrag <command> [args] [--interval KB] [--depth N] [--exact]\n"
+      "commands:\n"
+      "  list                         available workloads\n"
+      "  profile <bench> <log-file>   phase 1: write the object log\n"
+      "  report <bench> [<log-file>]  phase 2: drag report\n"
+      "  optimize <bench>             full profile->rewrite->measure loop\n"
+      "  timeline <bench>             reachable/in-use ASCII chart\n"
+      "  lagdragvoid <bench>          R&R lifetime decomposition\n"
+      "  static <bench>               section-5 static analysis findings\n"
+      "  disasm <bench>               bytecode disassembly\n"
+      "  dumpjasm <bench> [<file>]    serialize to .jasm (--revised:\n"
+      "                               dump the auto-rewritten program)\n"
+      "  hierarchy <bench>            class hierarchy graph\n"
+      "  callgraph <bench>            CHA call graph summary\n"
+      "  asm <file.jasm>              assemble + verify + disassemble\n"
+      "  runasm <file.jasm> [ints...] run an assembled program\n"
+      "  reportasm <file.jasm> [ints.] profile + drag report for a .jasm\n"
+      "  optimizeasm <file.jasm> [i..] profile + rewrite + re-measure\n"
+      "                               (--out FILE: write revised .jasm)\n"
+      "  export <bench> <file.csv>    per-object records as CSV\n");
+  return 2;
+}
+
+std::optional<BenchmarkProgram> findBench(const std::string &Name) {
+  for (auto &B : buildAll())
+    if (B.Name == Name)
+      return std::move(B);
+  std::fprintf(stderr, "unknown benchmark '%s'; try `jdrag list`\n",
+               Name.c_str());
+  return std::nullopt;
+}
+
+RunResult runProfiled(const BenchmarkProgram &B, const Options &O) {
+  profiler::ProfilerConfig PC;
+  PC.SiteDepth = O.Depth;
+  PC.SnapUseTimes = !O.Exact;
+  return profiledRun(B.Prog, B.DefaultInputs, O.IntervalBytes, PC);
+}
+
+int cmdList() {
+  for (const auto &B : buildAll())
+    std::printf("%-10s %s  [%s]\n", B.Name.c_str(), B.Description.c_str(),
+                B.ExpectedRewrites.c_str());
+  return 0;
+}
+
+int cmdProfile(const BenchmarkProgram &B, const std::string &Path,
+               const Options &O) {
+  RunResult R = runProfiled(B, O);
+  if (!R.Log.writeFile(Path)) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return 1;
+  }
+  std::printf("profiled '%s': %zu object records, %.2f MB allocated, "
+              "%llu GC cycles -> %s\n",
+              B.Name.c_str(), R.Log.Records.size(), toMB(R.Log.EndTime),
+              static_cast<unsigned long long>(R.GCs), Path.c_str());
+  return 0;
+}
+
+int cmdReport(const BenchmarkProgram &B, const std::string &LogPath,
+              const Options &O) {
+  profiler::ProfileLog Log;
+  if (!LogPath.empty()) {
+    if (!profiler::ProfileLog::readFile(LogPath, Log)) {
+      std::fprintf(stderr, "cannot read log %s\n", LogPath.c_str());
+      return 1;
+    }
+  } else {
+    Log = runProfiled(B, O).Log;
+  }
+  DragReport Report(B.Prog, Log);
+  std::printf("%s", renderDragReport(Report).c_str());
+  return 0;
+}
+
+int cmdOptimize(const BenchmarkProgram &B) {
+  OptimizationOutcome Out = optimizeBenchmark(B);
+  std::printf("%s\n", transform::renderDecisions(Out.Decisions).c_str());
+  SavingsRow Row = computeSavings(Out.OriginalRun.Log, Out.RevisedRun.Log);
+  std::printf("reachable integral %.4f -> %.4f MB^2; drag saving %.2f%%, "
+              "space saving %.2f%%\n",
+              Row.OriginalReachableMB2, Row.ReducedReachableMB2,
+              Row.dragSavingRatio() * 100, Row.spaceSavingRatio() * 100);
+  std::printf("results identical: %s\n",
+              Out.RevisedRun.Outputs == Out.OriginalRun.Outputs ? "yes"
+                                                                : "NO");
+  return 0;
+}
+
+int cmdTimeline(const BenchmarkProgram &B, const Options &O) {
+  RunResult R = runProfiled(B, O);
+  constexpr std::uint32_t Cols = 76, Rows = 16;
+  HeapCurve C = buildHeapCurve(R.Log, Cols);
+  std::uint64_t Peak = C.peakReachable();
+  if (!Peak)
+    return 0;
+  std::printf("'%s': %.2f MB allocated, peak reachable %.3f MB\n\n",
+              B.Name.c_str(), toMB(R.Log.EndTime), toMB(Peak));
+  for (std::uint32_t Row = 0; Row != Rows; ++Row) {
+    std::uint64_t Level = Peak - (Peak * Row) / Rows;
+    std::string Line;
+    for (std::uint32_t Col = 0; Col != Cols; ++Col) {
+      char Ch = ' ';
+      if (C.InUseBytes[Col] >= Level)
+        Ch = '@';
+      else if (C.ReachableBytes[Col] >= Level)
+        Ch = '#';
+      Line += Ch;
+    }
+    std::printf("%8.3f |%s\n", toMB(Level), Line.c_str());
+  }
+  std::printf("    MB   +%s\n", std::string(Cols, '-').c_str());
+  std::printf("          # drag (reachable, not in use), @ in-use\n");
+  return 0;
+}
+
+int cmdLagDragVoid(const BenchmarkProgram &B, const Options &O) {
+  RunResult R = runProfiled(B, O);
+  LifetimeDecomposition D = decomposeLifetimes(R.Log);
+  std::printf("'%s' (%.2f MB allocated): %s\n", B.Name.c_str(),
+              toMB(R.Log.EndTime), renderDecomposition(D).c_str());
+  return 0;
+}
+
+int cmdExport(const BenchmarkProgram &B, const std::string &Path,
+              const Options &O) {
+  RunResult R = runProfiled(B, O);
+  CsvWriter Csv = recordsCsv(B.Prog, R.Log);
+  if (!Csv.writeFile(Path)) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu object records to %s\n", R.Log.Records.size(),
+              Path.c_str());
+  return 0;
+}
+
+int cmdStatic(const BenchmarkProgram &B) {
+  sa::CallGraph CG(B.Prog);
+  sa::ValueFlowAnalysis VFA(B.Prog, CG);
+  sa::EffectAnalysis EA(B.Prog, CG);
+  sa::StaticFindings F = sa::collectStaticFindings(B.Prog, CG, VFA, EA);
+  std::printf("%s", sa::renderStaticFindings(B.Prog, F).c_str());
+  return 0;
+}
+
+int cmdDumpJasm(const BenchmarkProgram &B, const std::string &Path,
+                bool Revised) {
+  ir::Program P = B.Prog;
+  if (Revised) {
+    OptimizationOutcome Out = optimizeBenchmark(B);
+    P = std::move(Out.Revised);
+  }
+  std::string Err;
+  auto Text = ir::printProgramAsJasm(P, &Err);
+  if (!Text) {
+    std::fprintf(stderr, "cannot serialize %s: %s\n", B.Name.c_str(),
+                 Err.c_str());
+    return 1;
+  }
+  if (Path.empty()) {
+    std::printf("%s", Text->c_str());
+    return 0;
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return 1;
+  }
+  std::fputs(Text->c_str(), F);
+  std::fclose(F);
+  std::printf("wrote %s%s as jasm to %s\n", B.Name.c_str(),
+              Revised ? " (revised)" : "", Path.c_str());
+  return 0;
+}
+
+int cmdDisasm(const BenchmarkProgram &B) {
+  std::printf("%s", ir::disassembleProgram(B.Prog).c_str());
+  return 0;
+}
+
+int cmdHierarchy(const BenchmarkProgram &B) {
+  sa::ClassHierarchy CH(B.Prog);
+  std::printf("%s", CH.renderTree().c_str());
+  return 0;
+}
+
+int cmdAsm(const std::string &Path) {
+  std::string Err;
+  auto P = ir::assembleFile(Path, &Err);
+  if (!P) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), Err.c_str());
+    return 1;
+  }
+  std::printf("%s", ir::disassembleProgram(*P).c_str());
+  return 0;
+}
+
+int cmdRunAsm(const std::string &Path,
+              const std::vector<std::string> &Inputs) {
+  std::string Err;
+  auto P = ir::assembleFile(Path, &Err);
+  if (!P) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), Err.c_str());
+    return 1;
+  }
+  vm::VirtualMachine VM(*P);
+  std::vector<std::int64_t> In;
+  for (const std::string &S : Inputs)
+    In.push_back(std::strtoll(S.c_str(), nullptr, 0));
+  VM.setInputs(In);
+  if (VM.run(&Err) != vm::Interpreter::Status::Ok) {
+    std::fprintf(stderr, "run failed: %s\n", Err.c_str());
+    return 1;
+  }
+  for (std::int64_t V : VM.outputs())
+    std::printf("%lld\n", static_cast<long long>(V));
+  return 0;
+}
+
+int cmdReportAsm(const std::string &Path,
+                 const std::vector<std::string> &Inputs, const Options &O) {
+  std::string Err;
+  auto P = ir::assembleFile(Path, &Err);
+  if (!P) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), Err.c_str());
+    return 1;
+  }
+  profiler::ProfilerConfig PC;
+  PC.SiteDepth = O.Depth;
+  PC.SnapUseTimes = !O.Exact;
+  profiler::DragProfiler Prof(*P, PC);
+  vm::VMOptions VOpts;
+  VOpts.DeepGCIntervalBytes = O.IntervalBytes;
+  VOpts.Observer = &Prof;
+  vm::VirtualMachine VM(*P, VOpts);
+  std::vector<std::int64_t> In;
+  for (const std::string &S : Inputs)
+    In.push_back(std::strtoll(S.c_str(), nullptr, 0));
+  VM.setInputs(In);
+  if (VM.run(&Err) != vm::Interpreter::Status::Ok) {
+    std::fprintf(stderr, "run failed: %s\n", Err.c_str());
+    return 1;
+  }
+  DragReport Report(*P, Prof.log());
+  std::printf("%s", renderDragReport(Report).c_str());
+  return 0;
+}
+
+std::optional<profiler::ProfileLog>
+profileAssembled(const ir::Program &P, const std::vector<std::int64_t> &In,
+                 const Options &O, std::vector<std::int64_t> *Out) {
+  profiler::ProfilerConfig PC;
+  PC.SiteDepth = O.Depth;
+  PC.SnapUseTimes = !O.Exact;
+  profiler::DragProfiler Prof(P, PC);
+  vm::VMOptions VOpts;
+  VOpts.DeepGCIntervalBytes = O.IntervalBytes;
+  VOpts.Observer = &Prof;
+  vm::VirtualMachine VM(P, VOpts);
+  VM.setInputs(In);
+  std::string Err;
+  if (VM.run(&Err) != vm::Interpreter::Status::Ok) {
+    std::fprintf(stderr, "run failed: %s\n", Err.c_str());
+    return std::nullopt;
+  }
+  if (Out)
+    *Out = VM.outputs();
+  return Prof.takeLog();
+}
+
+int cmdOptimizeAsm(const std::string &Path,
+                   const std::vector<std::string> &Inputs,
+                   const Options &O) {
+  std::string Err;
+  auto P = ir::assembleFile(Path, &Err);
+  if (!P) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), Err.c_str());
+    return 1;
+  }
+  std::vector<std::int64_t> In;
+  for (const std::string &S : Inputs)
+    In.push_back(std::strtoll(S.c_str(), nullptr, 0));
+
+  std::vector<std::int64_t> OrigOut;
+  auto OrigLog = profileAssembled(*P, In, O, &OrigOut);
+  if (!OrigLog)
+    return 1;
+
+  ir::Program Revised = *P;
+  for (int Cycle = 0; Cycle != 2; ++Cycle) {
+    std::vector<std::int64_t> Ignore;
+    auto Log = profileAssembled(Revised, In, O, &Ignore);
+    if (!Log)
+      return 1;
+    DragReport Report(Revised, *Log);
+    auto Decisions = transform::autoOptimize(Revised, Report);
+    std::printf("--- cycle %d decisions ---\n%s\n", Cycle + 1,
+                transform::renderDecisions(Decisions).c_str());
+    bool Any = false;
+    for (const auto &D : Decisions)
+      Any |= D.Applied;
+    if (!Any)
+      break;
+  }
+
+  std::vector<std::int64_t> RevOut;
+  auto RevLog = profileAssembled(Revised, In, O, &RevOut);
+  if (!RevLog)
+    return 1;
+  if (RevOut != OrigOut) {
+    std::fprintf(stderr, "FATAL: revised program changed the outputs\n");
+    return 1;
+  }
+  SavingsRow Row = computeSavings(*OrigLog, *RevLog);
+  std::printf("reachable integral %.4f -> %.4f MB^2; drag saving %.2f%%, "
+              "space saving %.2f%% (outputs identical)\n",
+              Row.OriginalReachableMB2, Row.ReducedReachableMB2,
+              Row.dragSavingRatio() * 100, Row.spaceSavingRatio() * 100);
+  // Emit the revised program in its re-assemblable textual form; a
+  // user keeps this file, reviews the inserted instructions, and runs
+  // it straight back through `runasm`/`reportasm`.
+  auto Jasm = ir::printProgramAsJasm(Revised, &Err);
+  if (!Jasm) {
+    std::fprintf(stderr, "cannot serialize revised program: %s\n",
+                 Err.c_str());
+    std::printf("--- revised program (disassembly) ---\n%s",
+                ir::disassembleProgram(Revised).c_str());
+    return 0;
+  }
+  if (O.OutPath.empty()) {
+    std::printf("--- revised program (.jasm) ---\n%s", Jasm->c_str());
+    return 0;
+  }
+  std::FILE *F = std::fopen(O.OutPath.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", O.OutPath.c_str());
+    return 1;
+  }
+  std::fputs(Jasm->c_str(), F);
+  std::fclose(F);
+  std::printf("wrote revised program to %s\n", O.OutPath.c_str());
+  return 0;
+}
+
+int cmdCallGraph(const BenchmarkProgram &B) {
+  sa::CallGraph CG(B.Prog);
+  std::printf("reachable methods (%zu):\n", CG.reachableMethods().size());
+  for (ir::MethodId M : CG.reachableMethods()) {
+    std::printf("  %s\n", B.Prog.qualifiedMethodName(M).c_str());
+    for (const sa::CallSite &CS : CG.callSitesIn(M)) {
+      auto Targets = CG.targetsOf(M, CS.Pc);
+      std::string T;
+      for (ir::MethodId X : Targets) {
+        if (!T.empty())
+          T += ", ";
+        T += B.Prog.qualifiedMethodName(X);
+      }
+      std::printf("    pc %-4u -> %s\n", CS.Pc, T.c_str());
+    }
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  Options O;
+  // Strip flag arguments.
+  std::vector<std::string> Pos;
+  for (std::size_t I = 0; I != Args.size(); ++I) {
+    if (Args[I] == "--interval" && I + 1 < Args.size())
+      O.IntervalBytes = std::strtoull(Args[++I].c_str(), nullptr, 10) * KB;
+    else if (Args[I] == "--depth" && I + 1 < Args.size())
+      O.Depth = static_cast<std::uint32_t>(
+          std::strtoul(Args[++I].c_str(), nullptr, 10));
+    else if (Args[I] == "--exact")
+      O.Exact = true;
+    else if (Args[I] == "--revised")
+      O.Revised = true;
+    else if (Args[I] == "--out" && I + 1 < Args.size())
+      O.OutPath = Args[++I];
+    else
+      Pos.push_back(Args[I]);
+  }
+  if (Pos.empty())
+    return usage();
+  const std::string &Cmd = Pos[0];
+  if (Cmd == "list")
+    return cmdList();
+  if (Pos.size() < 2)
+    return usage();
+  if (Cmd == "asm")
+    return cmdAsm(Pos[1]);
+  if (Cmd == "runasm")
+    return cmdRunAsm(Pos[1],
+                     std::vector<std::string>(Pos.begin() + 2, Pos.end()));
+  if (Cmd == "reportasm")
+    return cmdReportAsm(
+        Pos[1], std::vector<std::string>(Pos.begin() + 2, Pos.end()), O);
+  if (Cmd == "optimizeasm")
+    return cmdOptimizeAsm(
+        Pos[1], std::vector<std::string>(Pos.begin() + 2, Pos.end()), O);
+  auto B = findBench(Pos[1]);
+  if (!B)
+    return 1;
+  if (Cmd == "profile")
+    return Pos.size() < 3 ? usage() : cmdProfile(*B, Pos[2], O);
+  if (Cmd == "report")
+    return cmdReport(*B, Pos.size() > 2 ? Pos[2] : "", O);
+  if (Cmd == "optimize")
+    return cmdOptimize(*B);
+  if (Cmd == "timeline")
+    return cmdTimeline(*B, O);
+  if (Cmd == "lagdragvoid")
+    return cmdLagDragVoid(*B, O);
+  if (Cmd == "export")
+    return Pos.size() < 3 ? usage() : cmdExport(*B, Pos[2], O);
+  if (Cmd == "static")
+    return cmdStatic(*B);
+  if (Cmd == "disasm")
+    return cmdDisasm(*B);
+  if (Cmd == "dumpjasm")
+    return cmdDumpJasm(*B, Pos.size() > 2 ? Pos[2] : "", O.Revised);
+  if (Cmd == "hierarchy")
+    return cmdHierarchy(*B);
+  if (Cmd == "callgraph")
+    return cmdCallGraph(*B);
+  return usage();
+}
