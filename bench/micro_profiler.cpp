@@ -75,6 +75,28 @@ void BM_InterpreterPlain(benchmark::State &State) {
 }
 BENCHMARK(BM_InterpreterPlain)->Arg(10000);
 
+/// Observer-overhead ladder, step 2 of 3: the VM emits, encodes and
+/// chunks every event but the sink discards the bytes -- isolating the
+/// pure event-production cost from the consumer (compare against
+/// BM_InterpreterPlain below it and BM_InterpreterProfiled above it).
+void BM_InterpreterNullSink(benchmark::State &State) {
+  Program P = buildHotLoop();
+  std::int64_t Iters = State.range(0);
+  for (auto _ : State) {
+    profiler::NullSink Sink;
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Opts.Sink = &Sink;
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({Iters});
+    if (VM.run() != Interpreter::Status::Ok)
+      std::abort();
+    benchmark::DoNotOptimize(Sink.bytesDiscarded());
+  }
+  State.SetItemsProcessed(State.iterations() * Iters);
+}
+BENCHMARK(BM_InterpreterNullSink)->Arg(10000);
+
 void BM_InterpreterProfiled(benchmark::State &State) {
   Program P = buildHotLoop();
   std::int64_t Iters = State.range(0);
@@ -82,7 +104,7 @@ void BM_InterpreterProfiled(benchmark::State &State) {
     profiler::DragProfiler Prof(P);
     VMOptions Opts;
     Opts.DeepGCIntervalBytes = 100 * KB;
-    Opts.Observer = &Prof;
+    Prof.attachTo(Opts);
     VirtualMachine VM(P, Opts);
     VM.setInputs({Iters});
     if (VM.run() != Interpreter::Status::Ok)

@@ -29,7 +29,7 @@ std::uint64_t countTables(const Program &P) {
   profiler::DragProfiler Prof(P);
   VMOptions Opts;
   Opts.DeepGCIntervalBytes = 100 * KB;
-  Opts.Observer = &Prof;
+  Prof.attachTo(Opts);
   VirtualMachine VM(P, Opts);
   std::string Err;
   if (VM.run(&Err) != Interpreter::Status::Ok) {

@@ -67,7 +67,7 @@ int main() {
   profiler::DragProfiler Prof(P);
   VMOptions Opts;
   Opts.DeepGCIntervalBytes = 100 * KB; // the paper's deep-GC period
-  Opts.Observer = &Prof;
+  Prof.attachTo(Opts);
   VirtualMachine VM(P, Opts);
   if (VM.run(&Err) != Interpreter::Status::Ok) {
     std::fprintf(stderr, "run failed: %s\n", Err.c_str());

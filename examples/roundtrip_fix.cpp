@@ -130,7 +130,7 @@ analysis::DragReport profileAndReport(const Program &P,
   profiler::DragProfiler Prof(P);
   vm::VMOptions Opts;
   Opts.DeepGCIntervalBytes = 100 * KB; // the paper's deep-GC period
-  Opts.Observer = &Prof;
+  Prof.attachTo(Opts);
   vm::VirtualMachine VM(P, Opts);
   VM.setInputs(In);
   std::string Err;

@@ -34,7 +34,7 @@ RunResult jdrag::benchmarks::profiledRun(const ir::Program &Prog,
   profiler::DragProfiler Prof(Prog, std::move(PC));
   VMOptions Opts;
   Opts.DeepGCIntervalBytes = DeepGCIntervalBytes;
-  Opts.Observer = &Prof;
+  Prof.attachTo(Opts);
   VirtualMachine VM(Prog, Opts);
   VM.setInputs(In);
   std::string Err;

@@ -12,52 +12,85 @@ DragProfiler::DragProfiler(const ir::Program &P, ProfilerConfig Config)
     Excluded.insert(C.Index);
 }
 
-void DragProfiler::onAllocate(ObjectId Id, Handle, const HeapObject &Obj,
-                              std::span<const CallFrameRef> Chain,
-                              ByteTime Now) {
-  Trailer T;
-  T.Class = Obj.Class;
-  T.AKind = Obj.AKind;
-  T.IsArray = Obj.isArray();
-  T.Bytes = Obj.AccountedBytes;
-  T.AllocTime = Now;
-  T.FirstUseTime = Now;
-  T.LastUseTime = Now; // never-used objects drag from creation
-  T.AllocSite = Log.Sites.intern(Chain, Config.SiteDepth);
-  T.Excluded = !Obj.isArray() && Excluded.count(Obj.Class.Index) != 0;
-  Trailers.emplace(Id, T);
+void DragProfiler::onSite(SiteId Id, std::span<const SiteFrame> Frames) {
+  // Producers define sites in id order (0, 1, 2, ...), so re-interning in
+  // arrival order reproduces their ids; the map tolerates gaps anyway.
+  SiteId Local =
+      Log.Sites.internFrames(std::vector<SiteFrame>(Frames.begin(),
+                                                    Frames.end()));
+  if (Id >= SiteMap.size())
+    SiteMap.resize(Id + 1, InvalidSite);
+  SiteMap[Id] = Local;
 }
 
-void DragProfiler::onUse(ObjectId Id, UseKind,
-                         std::span<const CallFrameRef> Chain,
-                         bool DuringOwnInit, ByteTime Now) {
-  auto It = Trailers.find(Id);
-  if (It == Trailers.end())
-    return; // VM-internal object (e.g. the preallocated OOM instance)
-  Trailer &T = It->second;
-  // Paper section 2.1: "assuming that all uses of an object in the
-  // interval between consecutive garbage collection cycles are performed
-  // at the beginning of the interval."
-  ByteTime UseTime = Config.SnapUseTimes ? std::max(IntervalStart, T.AllocTime)
-                                         : Now;
-  // FirstUseTime anchors the R&R lag phase: the first use *outside*
-  // construction (initialization uses belong to the object's birth).
-  if (!DuringOwnInit && !T.UsedOutsideInit)
-    T.FirstUseTime = std::max(UseTime, T.AllocTime);
-  if (UseTime > T.LastUseTime)
-    T.LastUseTime = UseTime;
-  T.LastUseSite = Log.Sites.intern(Chain, Config.SiteDepth);
-  ++T.UseCount;
-  if (!DuringOwnInit)
-    T.UsedOutsideInit = true;
+void DragProfiler::onEvent(const EventRecord &E) {
+  switch (E.kind()) {
+  case EventKind::Alloc: {
+    Trailer T;
+    T.Class = ir::ClassId(static_cast<std::uint32_t>(E.Arg1));
+    T.AKind = static_cast<ir::ArrayKind>(E.Sub);
+    T.IsArray = E.Flags & 1;
+    T.Bytes = static_cast<std::uint32_t>(E.Arg0);
+    T.AllocTime = E.Time;
+    T.FirstUseTime = E.Time;
+    T.LastUseTime = E.Time; // never-used objects drag from creation
+    T.AllocSite = localSite(E.Site);
+    T.Excluded = !T.IsArray && Excluded.count(T.Class.Index) != 0;
+    Trailers.emplace(E.Id, T);
+    break;
+  }
+  case EventKind::Use: {
+    auto It = Trailers.find(E.Id);
+    if (It == Trailers.end())
+      break; // VM-internal object (e.g. the preallocated OOM instance)
+    Trailer &T = It->second;
+    bool DuringOwnInit = E.Flags & 1;
+    // Paper section 2.1: "assuming that all uses of an object in the
+    // interval between consecutive garbage collection cycles are
+    // performed at the beginning of the interval."
+    ByteTime UseTime =
+        Config.SnapUseTimes ? std::max(IntervalStart, T.AllocTime) : E.Time;
+    // FirstUseTime anchors the R&R lag phase: the first use *outside*
+    // construction (initialization uses belong to the object's birth).
+    if (!DuringOwnInit && !T.UsedOutsideInit)
+      T.FirstUseTime = std::max(UseTime, T.AllocTime);
+    if (UseTime > T.LastUseTime)
+      T.LastUseTime = UseTime;
+    T.LastUseSite = localSite(E.Site);
+    ++T.UseCount;
+    if (!DuringOwnInit)
+      T.UsedOutsideInit = true;
+    break;
+  }
+  case EventKind::GCEnd:
+    Log.GCSamples.push_back({E.Time, E.Arg0, E.Arg1});
+    break;
+  case EventKind::DeepGCEnd:
+    IntervalStart = E.Time;
+    break;
+  case EventKind::Collect: {
+    auto It = Trailers.find(E.Id);
+    if (It == Trailers.end())
+      break;
+    emitRecord(E.Id, It->second, E.Time, /*Survived=*/false);
+    Trailers.erase(It);
+    break;
+  }
+  case EventKind::Survivor: {
+    auto It = Trailers.find(E.Id);
+    if (It == Trailers.end())
+      break;
+    emitRecord(E.Id, It->second, E.Time, /*Survived=*/true);
+    Trailers.erase(It);
+    break;
+  }
+  case EventKind::Terminate:
+    Log.EndTime = E.Time;
+    break;
+  case EventKind::DefineSite:
+    break; // delivered via onSite
+  }
 }
-
-void DragProfiler::onGCEnd(ByteTime Now, std::uint64_t ReachableBytes,
-                           std::uint64_t ReachableObjects) {
-  Log.GCSamples.push_back({Now, ReachableBytes, ReachableObjects});
-}
-
-void DragProfiler::onDeepGCEnd(ByteTime Now) { IntervalStart = Now; }
 
 void DragProfiler::emitRecord(ObjectId Id, const Trailer &T, ByteTime Now,
                               bool Survived) {
@@ -81,20 +114,13 @@ void DragProfiler::emitRecord(ObjectId Id, const Trailer &T, ByteTime Now,
   Log.Records.push_back(R);
 }
 
-void DragProfiler::onCollect(ObjectId Id, const HeapObject &, ByteTime Now) {
-  auto It = Trailers.find(Id);
-  if (It == Trailers.end())
-    return;
-  emitRecord(Id, It->second, Now, /*Survived=*/false);
-  Trailers.erase(It);
+bool jdrag::profiler::replayProfile(const std::string &Path,
+                                    const ir::Program &P,
+                                    ProfilerConfig Config, ProfileLog &Out,
+                                    std::string *Err) {
+  DragProfiler Prof(P, std::move(Config));
+  if (!replayFile(Path, Prof, Err))
+    return false;
+  Out = Prof.takeLog();
+  return true;
 }
-
-void DragProfiler::onSurvivor(ObjectId Id, const HeapObject &, ByteTime Now) {
-  auto It = Trailers.find(Id);
-  if (It == Trailers.end())
-    return;
-  emitRecord(Id, It->second, Now, /*Survived=*/true);
-  Trailers.erase(It);
-}
-
-void DragProfiler::onTerminate(ByteTime Now) { Log.EndTime = Now; }

@@ -5,21 +5,32 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// DragProfiler implements the paper's instrumented-JVM phase: it keeps a
-/// trailer per live object (in a side table keyed by immortal object id,
-/// so the heap's byte accounting excludes the trailer exactly as the
-/// paper specifies), timestamps every use on the byte clock (optionally
-/// snapped to the start of the current deep-GC interval, mirroring the
-/// paper's "all uses ... are performed at the beginning of the interval"
-/// assumption), records nested allocation and last-use sites, and logs a
-/// record when the object is reclaimed or survives termination.
+/// DragProfiler implements the paper's instrumented-JVM phase as an
+/// *event-stream consumer*: it keeps a trailer per live object (in a side
+/// table keyed by immortal object id, so the heap's byte accounting
+/// excludes the trailer exactly as the paper specifies), timestamps every
+/// use on the byte clock (optionally snapped to the start of the current
+/// deep-GC interval, mirroring the paper's "all uses ... are performed at
+/// the beginning of the interval" assumption), records nested allocation
+/// and last-use sites, and logs a record when the object is reclaimed or
+/// survives termination.
 ///
-/// Usage:
+/// Because its only input is the binary event stream, the same profiler
+/// runs in two modes:
+///
+///  - attached (live): attachTo() installs its dispatch sink in the
+///    VMOptions and it consumes events as the VM flushes them;
+///  - detached: replayProfile() (or profiler::replayFile with the
+///    profiler as consumer) rebuilds an identical ProfileLog from a
+///    recorded `.jdev` file, with no VM at all -- the paper's genuinely
+///    separable phase 2.
+///
+/// Usage (attached):
 /// \code
 ///   DragProfiler Prof(Program, ProfilerConfig());
 ///   VMOptions Opts;
 ///   Opts.DeepGCIntervalBytes = 100 * KB; // the paper's interval
-///   Opts.Observer = &Prof;
+///   Prof.attachTo(Opts);
 ///   VirtualMachine VM(Program, Opts);
 ///   VM.run();
 ///   const ProfileLog &Log = Prof.log();
@@ -30,8 +41,9 @@
 #ifndef JDRAG_PROFILER_DRAGPROFILER_H
 #define JDRAG_PROFILER_DRAGPROFILER_H
 
+#include "profiler/EventStream.h"
 #include "profiler/ProfileLog.h"
-#include "vm/Heap.h"
+#include "vm/VirtualMachine.h"
 
 #include <unordered_map>
 #include <unordered_set>
@@ -42,6 +54,7 @@ namespace jdrag::profiler {
 struct ProfilerConfig {
   /// Nesting level of recorded call chains ("the level of nesting can be
   /// set in order to tradeoff more accurate information and speed").
+  /// Enforced by the VM-side emitter; attachTo() wires it through.
   std::uint32_t SiteDepth = 4;
   /// Snap use timestamps to the last deep-GC boundary (paper behaviour).
   /// Disable for exact timestamps (ablation).
@@ -51,26 +64,27 @@ struct ProfilerConfig {
   std::vector<ir::ClassId> ExcludedClasses;
 };
 
-/// The phase-1 observer. Attach to a VirtualMachine, run, take the log.
-class DragProfiler : public vm::VMObserver {
+/// The phase-1 profiler. Attach to a VirtualMachine (attachTo) or replay
+/// a recorded stream over it, then take the log.
+class DragProfiler : public EventConsumer {
 public:
   explicit DragProfiler(const ir::Program &P,
                         ProfilerConfig Config = ProfilerConfig());
 
-  void onAllocate(vm::ObjectId Id, vm::Handle H, const vm::HeapObject &Obj,
-                  std::span<const vm::CallFrameRef> Chain,
-                  ByteTime Now) override;
-  void onUse(vm::ObjectId Id, vm::UseKind Kind,
-             std::span<const vm::CallFrameRef> Chain, bool DuringOwnInit,
-             ByteTime Now) override;
-  void onGCEnd(ByteTime Now, std::uint64_t ReachableBytes,
-               std::uint64_t ReachableObjects) override;
-  void onDeepGCEnd(ByteTime Now) override;
-  void onCollect(vm::ObjectId Id, const vm::HeapObject &Obj,
-                 ByteTime Now) override;
-  void onSurvivor(vm::ObjectId Id, const vm::HeapObject &Obj,
-                  ByteTime Now) override;
-  void onTerminate(ByteTime Now) override;
+  /// Configures \p Opts for live profiling: installs this profiler's
+  /// dispatch sink and its site depth.
+  void attachTo(vm::VMOptions &Opts) {
+    Opts.Sink = &Sink;
+    Opts.SiteDepth = Config.SiteDepth;
+  }
+
+  /// The sink feeding this profiler (for manual wiring, e.g. a TeeSink
+  /// that both records to file and profiles live).
+  EventSink &sink() { return Sink; }
+
+  // EventConsumer: decoded stream input.
+  void onSite(SiteId Id, std::span<const SiteFrame> Frames) override;
+  void onEvent(const EventRecord &E) override;
 
   const ProfileLog &log() const { return Log; }
   ProfileLog takeLog() { return std::move(Log); }
@@ -96,14 +110,28 @@ private:
 
   void emitRecord(vm::ObjectId Id, const Trailer &T, ByteTime Now,
                   bool Survived);
+  SiteId localSite(SiteId StreamId) const {
+    return StreamId < SiteMap.size() ? SiteMap[StreamId] : InvalidSite;
+  }
 
   const ir::Program &P;
   ProfilerConfig Config;
   ProfileLog Log;
+  DispatchSink Sink{*this};
+  /// Stream site id -> id in Log.Sites. Stream ids are dense and arrive
+  /// in order, so in practice this is the identity map.
+  std::vector<SiteId> SiteMap;
   std::unordered_map<vm::ObjectId, Trailer> Trailers;
   std::unordered_set<std::uint32_t> Excluded; ///< class indices
   ByteTime IntervalStart = 0; ///< last deep-GC boundary on the byte clock
 };
+
+/// Detached phase 2: replays the `.jdev` recording at \p Path through a
+/// fresh DragProfiler and moves its log into \p Out. Returns false and
+/// sets \p Err on a malformed or truncated recording.
+bool replayProfile(const std::string &Path, const ir::Program &P,
+                   ProfilerConfig Config, ProfileLog &Out,
+                   std::string *Err = nullptr);
 
 } // namespace jdrag::profiler
 

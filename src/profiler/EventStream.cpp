@@ -1,0 +1,260 @@
+//===- profiler/EventStream.cpp -------------------------------------------===//
+
+#include "profiler/EventStream.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace jdrag;
+using namespace jdrag::profiler;
+
+EventSink::~EventSink() = default;
+EventConsumer::~EventConsumer() = default;
+
+namespace {
+constexpr const char *EventKindNames[] = {
+    "define-site", "alloc",   "use",      "gc-end",
+    "deep-gc-end", "collect", "survivor", "terminate",
+};
+static_assert(std::size(EventKindNames) == NumEventKinds,
+              "name every EventKind");
+
+// .jdev header: 8-byte magic, u32 version, u32 reserved.
+constexpr std::uint64_t StreamMagic = 0x6a64657673747231ULL; // "jdevstr1"
+} // namespace
+
+const char *jdrag::profiler::eventKindName(EventKind K) {
+  auto I = static_cast<std::size_t>(K);
+  return I < NumEventKinds ? EventKindNames[I] : "?";
+}
+
+//===----------------------------------------------------------------------===//
+// FileEventSink
+//===----------------------------------------------------------------------===//
+
+FileEventSink::~FileEventSink() {
+  if (F)
+    std::fclose(F);
+}
+
+bool FileEventSink::open(const std::string &Path) {
+  assert(!F && "sink already open");
+  F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return Ok = false;
+  std::uint32_t Version = FormatVersion;
+  std::uint32_t Reserved = 0;
+  Ok = std::fwrite(&StreamMagic, sizeof(StreamMagic), 1, F) == 1 &&
+       std::fwrite(&Version, sizeof(Version), 1, F) == 1 &&
+       std::fwrite(&Reserved, sizeof(Reserved), 1, F) == 1;
+  return Ok;
+}
+
+bool FileEventSink::writeChunk(const std::byte *Data, std::size_t Size) {
+  if (!F || !Ok)
+    return false;
+  if (std::fwrite(Data, 1, Size, F) != Size)
+    return Ok = false;
+  Bytes += Size;
+  return true;
+}
+
+bool FileEventSink::finish() {
+  if (!F)
+    return Ok;
+  if (std::fflush(F) != 0)
+    Ok = false;
+  std::fclose(F);
+  F = nullptr;
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// EventBuffer
+//===----------------------------------------------------------------------===//
+
+EventBuffer::EventBuffer(EventSink &Sink, std::size_t ChunkBytes)
+    : Sink(Sink), ChunkBytes(ChunkBytes ? ChunkBytes : DefaultChunkBytes) {
+  Chunk.reserve(this->ChunkBytes);
+}
+
+void EventBuffer::writeBytes(const void *Data, std::size_t Size) {
+  if (!Ok)
+    return;
+  const auto *Src = static_cast<const std::byte *>(Data);
+  while (Size) {
+    std::size_t Room = ChunkBytes - Chunk.size();
+    std::size_t N = Size < Room ? Size : Room;
+    Chunk.insert(Chunk.end(), Src, Src + N);
+    Src += N;
+    Size -= N;
+    if (Chunk.size() == ChunkBytes && !flush())
+      return;
+  }
+}
+
+void EventBuffer::writeEvent(const EventRecord &E) {
+  writeBytes(&E, sizeof(E));
+  if (Ok)
+    ++Events;
+}
+
+void EventBuffer::writeSite(SiteId Id, std::span<const SiteFrame> Frames) {
+  EventRecord E;
+  E.Kind = static_cast<std::uint8_t>(EventKind::DefineSite);
+  E.Site = Id;
+  E.Arg0 = Frames.size();
+  writeBytes(&E, sizeof(E));
+  for (const SiteFrame &F : Frames) {
+    WireFrame W{F.Method.Index, F.Pc, F.Line};
+    writeBytes(&W, sizeof(W));
+  }
+  if (Ok)
+    ++Events;
+}
+
+bool EventBuffer::flush() {
+  if (!Ok)
+    return false;
+  if (!Chunk.empty()) {
+    if (!Sink.writeChunk(Chunk.data(), Chunk.size()))
+      return Ok = false;
+    Chunk.clear();
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// StreamDecoder
+//===----------------------------------------------------------------------===//
+
+bool StreamDecoder::fail(std::string Msg) {
+  Failed = true;
+  if (Error.empty())
+    Error = std::move(Msg);
+  return false;
+}
+
+bool StreamDecoder::feed(const std::byte *Data, std::size_t Size) {
+  if (Failed)
+    return false;
+
+  // Work over the concatenation of leftover bytes and the new slice
+  // without copying the new slice unless a record straddles its end.
+  const std::byte *Cur = Data;
+  std::size_t Avail = Size;
+  if (!Pending.empty()) {
+    Pending.insert(Pending.end(), Data, Data + Size);
+    Cur = Pending.data();
+    Avail = Pending.size();
+  }
+
+  std::size_t Off = 0;
+  while (true) {
+    if (Avail - Off < sizeof(EventRecord))
+      break;
+    EventRecord E;
+    std::memcpy(&E, Cur + Off, sizeof(E));
+    if (E.Kind >= NumEventKinds)
+      return fail("malformed event stream: unknown event kind " +
+                  std::to_string(E.Kind));
+    if (E.kind() == EventKind::DefineSite) {
+      if (E.Arg0 > MaxWireFrames)
+        return fail("malformed event stream: site with " +
+                    std::to_string(E.Arg0) + " frames");
+      std::size_t Payload = static_cast<std::size_t>(E.Arg0) * sizeof(WireFrame);
+      if (Avail - Off < sizeof(EventRecord) + Payload)
+        break;
+      FrameScratch.clear();
+      const std::byte *P = Cur + Off + sizeof(EventRecord);
+      for (std::uint64_t I = 0; I != E.Arg0; ++I) {
+        WireFrame W;
+        std::memcpy(&W, P + I * sizeof(WireFrame), sizeof(W));
+        FrameScratch.push_back({ir::MethodId(W.Method), W.Pc, W.Line});
+      }
+      C.onSite(E.Site, FrameScratch);
+      Off += sizeof(EventRecord) + Payload;
+    } else {
+      C.onEvent(E);
+      Off += sizeof(EventRecord);
+    }
+    ++Events;
+  }
+
+  // Stash the incomplete tail for the next feed.
+  if (!Pending.empty()) {
+    Pending.erase(Pending.begin(),
+                  Pending.begin() + static_cast<std::ptrdiff_t>(Off));
+  } else if (Off < Avail) {
+    Pending.assign(Cur + Off, Cur + Avail);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Replay
+//===----------------------------------------------------------------------===//
+
+bool jdrag::profiler::replayBytes(std::span<const std::byte> Bytes,
+                                  EventConsumer &C, std::string *Err) {
+  StreamDecoder D(C);
+  if (!D.feed(Bytes.data(), Bytes.size())) {
+    if (Err)
+      *Err = D.error();
+    return false;
+  }
+  if (!D.atRecordBoundary()) {
+    if (Err)
+      *Err = "truncated event stream: partial trailing record";
+    return false;
+  }
+  return true;
+}
+
+bool jdrag::profiler::replayFile(const std::string &Path, EventConsumer &C,
+                                 std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Fail("cannot open " + Path);
+
+  std::uint64_t Magic = 0;
+  std::uint32_t Version = 0, Reserved = 0;
+  if (std::fread(&Magic, sizeof(Magic), 1, F) != 1 || Magic != StreamMagic) {
+    std::fclose(F);
+    return Fail(Path + ": not a .jdev event stream (bad magic)");
+  }
+  if (std::fread(&Version, sizeof(Version), 1, F) != 1 ||
+      std::fread(&Reserved, sizeof(Reserved), 1, F) != 1 ||
+      Version != FileEventSink::FormatVersion) {
+    std::fclose(F);
+    return Fail(Path + ": unsupported .jdev version " +
+                std::to_string(Version));
+  }
+
+  StreamDecoder D(C);
+  std::byte Buf[64 * 1024];
+  bool Ok = true;
+  while (true) {
+    std::size_t N = std::fread(Buf, 1, sizeof(Buf), F);
+    if (N == 0)
+      break;
+    if (!D.feed(Buf, N)) {
+      Ok = false;
+      break;
+    }
+  }
+  bool ReadError = std::ferror(F) != 0;
+  std::fclose(F);
+  if (!Ok)
+    return Fail(D.error());
+  if (ReadError)
+    return Fail(Path + ": read error");
+  if (!D.atRecordBoundary())
+    return Fail(Path + ": truncated event stream (partial trailing record)");
+  return true;
+}

@@ -1,0 +1,284 @@
+//===- profiler/EventStream.h - Binary instrumentation events ---*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event-stream pipeline decouples the instrumented VM (phase 1) from
+/// the drag profiler (phase 2), the way the paper's two-phase tool and
+/// production heap profilers (heapprofd-style) are structured: the VM does
+/// minimal in-line work -- it appends compact fixed-width binary events to
+/// a chunked EventBuffer -- and a pluggable EventSink decides where the
+/// bytes go:
+///
+///   DispatchSink   decode chunks as they are flushed and feed an
+///                  EventConsumer (attached / live profiling)
+///   FileEventSink  write a `.jdev` recording for detached analysis
+///   MemorySink     keep the raw stream in memory (tests, tooling)
+///   TeeSink        both at once
+///   NullSink       discard (overhead measurement)
+///
+/// Call chains are NOT carried per event: the VM interns each unique
+/// nested site once, emits a single DefineSite record with the frames,
+/// and every subsequent event refers to the 4-byte SiteId. A recording
+/// is therefore self-contained: replaying a `.jdev` through the same
+/// consumer rebuilds a bit-identical ProfileLog.
+///
+/// Wire format (native-endian; a recording is consumed on the machine
+/// that produced it): every record starts with a 40-byte EventRecord;
+/// DefineSite records are followed by FrameCount 12-byte WireFrames.
+/// Records may straddle chunk boundaries -- StreamDecoder reassembles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_PROFILER_EVENTSTREAM_H
+#define JDRAG_PROFILER_EVENTSTREAM_H
+
+#include "profiler/SiteTable.h"
+#include "support/Units.h"
+#include "vm/Value.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace jdrag::profiler {
+
+/// The event set of the paper's instrumented JVM (section 2.1.1), plus
+/// the DefineSite metadata record that makes streams self-contained.
+enum class EventKind : std::uint8_t {
+  DefineSite, ///< first sighting of an interned nested site
+  Alloc,      ///< object allocated (before its constructor runs)
+  Use,        ///< one of the paper's object-use kinds
+  GCEnd,      ///< a GC cycle finished (reachable-heap sample)
+  DeepGCEnd,  ///< GC + finalization + GC finished
+  Collect,    ///< object found unreachable, being reclaimed
+  Survivor,   ///< object survived the final deep GC
+  Terminate,  ///< program (including final deep GC) done
+};
+inline constexpr std::size_t NumEventKinds = 8;
+
+const char *eventKindName(EventKind K);
+
+/// One fixed-width wire record. Field meaning depends on Kind:
+///
+///   Kind        Time  Id      Arg0            Arg1           Site  Sub    Flags
+///   DefineSite  -     -       frame count     -              id    -      -
+///   Alloc       clock object  accounted bytes class index    alloc akind  bit0=isArray
+///   Use         clock object  -               -              use   kind   bit0=duringInit
+///   GCEnd       clock -       reachable bytes reachable objs -     -      -
+///   DeepGCEnd   clock -       -               -              -     -      -
+///   Collect     clock object  -               -              -     -      -
+///   Survivor    clock object  -               -              -     -      -
+///   Terminate   clock -       -               -              -     -      -
+struct EventRecord {
+  ByteTime Time = 0;
+  vm::ObjectId Id = 0;
+  std::uint64_t Arg0 = 0;
+  std::uint64_t Arg1 = 0;
+  SiteId Site = InvalidSite;
+  std::uint8_t Kind = 0;
+  std::uint8_t Sub = 0;
+  std::uint8_t Flags = 0;
+  std::uint8_t Reserved = 0;
+
+  EventKind kind() const { return static_cast<EventKind>(Kind); }
+};
+static_assert(sizeof(EventRecord) == 40, "wire format is fixed-width");
+static_assert(std::is_trivially_copyable_v<EventRecord>);
+
+/// One frame of a DefineSite payload.
+struct WireFrame {
+  std::uint32_t Method = 0;
+  std::uint32_t Pc = 0;
+  std::uint32_t Line = 0;
+};
+static_assert(sizeof(WireFrame) == 12);
+
+/// Upper bound on DefineSite frame counts; a decoder rejects anything
+/// larger as corruption (matches ProfileLog's chain limit).
+inline constexpr std::uint64_t MaxWireFrames = 1024;
+
+/// Where flushed chunks go. Implementations must tolerate any chunk
+/// sizes; record boundaries do NOT align with chunk boundaries.
+class EventSink {
+public:
+  virtual ~EventSink();
+  /// Receives the next \p Size bytes of the stream. Returns false on
+  /// unrecoverable error (the producer stops emitting).
+  virtual bool writeChunk(const std::byte *Data, std::size_t Size) = 0;
+  /// Stream complete (all chunks flushed). Default: no-op.
+  virtual bool finish() { return true; }
+};
+
+/// Keeps the raw stream in memory.
+class MemorySink : public EventSink {
+public:
+  bool writeChunk(const std::byte *Data, std::size_t Size) override {
+    Buf.insert(Buf.end(), Data, Data + Size);
+    return true;
+  }
+  std::span<const std::byte> bytes() const { return Buf; }
+
+private:
+  std::vector<std::byte> Buf;
+};
+
+/// Discards the stream (the "null sink" overhead baseline).
+class NullSink : public EventSink {
+public:
+  bool writeChunk(const std::byte *, std::size_t Size) override {
+    Bytes += Size;
+    return true;
+  }
+  std::uint64_t bytesDiscarded() const { return Bytes; }
+
+private:
+  std::uint64_t Bytes = 0;
+};
+
+/// Duplicates the stream into two sinks (e.g. live consumer + file).
+class TeeSink : public EventSink {
+public:
+  TeeSink(EventSink &A, EventSink &B) : A(A), B(B) {}
+  bool writeChunk(const std::byte *Data, std::size_t Size) override {
+    bool OkA = A.writeChunk(Data, Size);
+    bool OkB = B.writeChunk(Data, Size);
+    return OkA && OkB;
+  }
+  bool finish() override {
+    bool OkA = A.finish();
+    bool OkB = B.finish();
+    return OkA && OkB;
+  }
+
+private:
+  EventSink &A;
+  EventSink &B;
+};
+
+/// Writes a `.jdev` recording: a 16-byte header (magic, version) followed
+/// by the raw stream bytes.
+class FileEventSink : public EventSink {
+public:
+  static constexpr std::uint32_t FormatVersion = 1;
+
+  FileEventSink() = default;
+  ~FileEventSink() override;
+  FileEventSink(const FileEventSink &) = delete;
+  FileEventSink &operator=(const FileEventSink &) = delete;
+
+  /// Opens \p Path and writes the header. Returns false on I/O error.
+  bool open(const std::string &Path);
+  bool writeChunk(const std::byte *Data, std::size_t Size) override;
+  /// Flushes and closes. Returns false if any write failed.
+  bool finish() override;
+
+  std::uint64_t bytesWritten() const { return Bytes; }
+
+private:
+  std::FILE *F = nullptr;
+  std::uint64_t Bytes = 0;
+  bool Ok = true;
+};
+
+/// Chunked accumulator between the emitting VM and a sink. Events are
+/// appended byte-wise; a full chunk is handed to the sink and writing
+/// continues in the next chunk, so records freely straddle boundaries.
+class EventBuffer {
+public:
+  static constexpr std::size_t DefaultChunkBytes = 64 * 1024;
+
+  explicit EventBuffer(EventSink &Sink,
+                       std::size_t ChunkBytes = DefaultChunkBytes);
+
+  void writeEvent(const EventRecord &E);
+  /// Emits a DefineSite record for \p Id with \p Frames.
+  void writeSite(SiteId Id, std::span<const SiteFrame> Frames);
+  /// Hands the current partial chunk to the sink.
+  bool flush();
+  /// False once any sink write has failed (writes become no-ops).
+  bool ok() const { return Ok; }
+  std::uint64_t eventsWritten() const { return Events; }
+
+private:
+  void writeBytes(const void *Data, std::size_t Size);
+
+  EventSink &Sink;
+  std::vector<std::byte> Chunk;
+  std::size_t ChunkBytes;
+  std::uint64_t Events = 0;
+  bool Ok = true;
+};
+
+/// Receiver of decoded events. DefineSite records arrive through
+/// onSite() in stream order, so interning the frames in arrival order
+/// reproduces the producer's SiteTable ids.
+class EventConsumer {
+public:
+  virtual ~EventConsumer();
+  virtual void onSite(SiteId Id, std::span<const SiteFrame> Frames) = 0;
+  virtual void onEvent(const EventRecord &E) = 0;
+};
+
+/// Incremental decoder: feed() any byte slices (chunks of any size, a
+/// whole file, single bytes) and complete records are dispatched to the
+/// consumer; partial tail bytes are buffered until the next feed.
+class StreamDecoder {
+public:
+  explicit StreamDecoder(EventConsumer &C) : C(C) {}
+
+  /// Decodes as much as possible. Returns false (sticky) on malformed
+  /// input; error() describes the problem.
+  bool feed(const std::byte *Data, std::size_t Size);
+
+  /// True when no partial record is pending -- i.e. the stream so far is
+  /// well-formed and complete up to a record boundary.
+  bool atRecordBoundary() const { return Pending.empty() && !Failed; }
+
+  std::uint64_t eventsDecoded() const { return Events; }
+  const std::string &error() const { return Error; }
+
+private:
+  bool fail(std::string Msg);
+
+  EventConsumer &C;
+  std::vector<std::byte> Pending;
+  std::vector<SiteFrame> FrameScratch;
+  std::uint64_t Events = 0;
+  std::string Error;
+  bool Failed = false;
+};
+
+/// A sink that decodes inline and feeds a consumer -- attached (live)
+/// profiling: the VM flushes chunks, the consumer sees decoded events.
+class DispatchSink : public EventSink {
+public:
+  explicit DispatchSink(EventConsumer &C) : Decoder(C) {}
+  bool writeChunk(const std::byte *Data, std::size_t Size) override {
+    return Decoder.feed(Data, Size);
+  }
+  bool finish() override { return Decoder.atRecordBoundary(); }
+  const StreamDecoder &decoder() const { return Decoder; }
+
+private:
+  StreamDecoder Decoder;
+};
+
+/// Replays raw stream bytes (no file header) into \p C. Returns false
+/// and sets \p Err on malformed or truncated input.
+bool replayBytes(std::span<const std::byte> Bytes, EventConsumer &C,
+                 std::string *Err = nullptr);
+
+/// Replays a `.jdev` recording into \p C, validating the header and
+/// detecting truncation (a partial trailing record). A header-only file
+/// (zero events) replays successfully.
+bool replayFile(const std::string &Path, EventConsumer &C,
+                std::string *Err = nullptr);
+
+} // namespace jdrag::profiler
+
+#endif // JDRAG_PROFILER_EVENTSTREAM_H

@@ -33,7 +33,13 @@ SpaceTime ProfileLog::inUseIntegral() const {
 
 namespace {
 
-constexpr std::uint64_t LogMagic = 0x6a64726167763032ULL; // "jdragv02"
+// Format v03: magic, u32 version, u32 record size (layout check), then
+// EndTime, sites, records, GC samples. The version and record-size
+// fields plus file-size validation of every count make corrupt,
+// truncated, or wrong-version files fail cleanly instead of producing
+// garbage records (or huge blind reserves).
+constexpr std::uint64_t LogMagic = 0x6a64726167763033ULL; // "jdragv03"
+constexpr std::uint32_t LogVersion = 3;
 
 struct FileCloser {
   void operator()(std::FILE *F) const {
@@ -80,7 +86,9 @@ bool ProfileLog::writeFile(const std::string &Path) const {
   FilePtr F(std::fopen(Path.c_str(), "wb"));
   if (!F)
     return false;
-  if (!writePod(F.get(), LogMagic) || !writePod(F.get(), EndTime))
+  std::uint32_t RecordBytes = sizeof(DiskRecord);
+  if (!writePod(F.get(), LogMagic) || !writePod(F.get(), LogVersion) ||
+      !writePod(F.get(), RecordBytes) || !writePod(F.get(), EndTime))
     return false;
 
   std::uint64_t NumSites = Sites.size();
@@ -134,8 +142,30 @@ bool ProfileLog::readFile(const std::string &Path, ProfileLog &Out) {
   FilePtr F(std::fopen(Path.c_str(), "rb"));
   if (!F)
     return false;
+
+  // Total file size bounds every element count below: a corrupt count
+  // fails validation instead of driving a huge reserve() or a long
+  // garbage-read loop.
+  if (std::fseek(F.get(), 0, SEEK_END) != 0)
+    return false;
+  long EndPos = std::ftell(F.get());
+  if (EndPos < 0 || std::fseek(F.get(), 0, SEEK_SET) != 0)
+    return false;
+  std::uint64_t FileSize = static_cast<std::uint64_t>(EndPos);
+  auto Remaining = [&] {
+    long Pos = std::ftell(F.get());
+    return Pos < 0 ? std::uint64_t{0}
+                   : FileSize - static_cast<std::uint64_t>(Pos);
+  };
+
   std::uint64_t Magic = 0;
+  std::uint32_t Version = 0;
+  std::uint32_t RecordBytes = 0;
   if (!readPod(F.get(), Magic) || Magic != LogMagic)
+    return false;
+  if (!readPod(F.get(), Version) || Version != LogVersion)
+    return false;
+  if (!readPod(F.get(), RecordBytes) || RecordBytes != sizeof(DiskRecord))
     return false;
   if (!readPod(F.get(), Out.EndTime))
     return false;
@@ -143,9 +173,13 @@ bool ProfileLog::readFile(const std::string &Path, ProfileLog &Out) {
   std::uint64_t NumSites = 0;
   if (!readPod(F.get(), NumSites))
     return false;
+  // Each site needs at least its 4-byte frame count.
+  if (NumSites > Remaining() / sizeof(std::uint32_t))
+    return false;
   for (std::uint64_t S = 0; S != NumSites; ++S) {
     std::uint32_t Len = 0;
-    if (!readPod(F.get(), Len) || Len > 1024)
+    if (!readPod(F.get(), Len) || Len > 1024 ||
+        Len > Remaining() / sizeof(DiskFrame))
       return false;
     std::vector<SiteFrame> Chain;
     Chain.reserve(Len);
@@ -163,6 +197,8 @@ bool ProfileLog::readFile(const std::string &Path, ProfileLog &Out) {
 
   std::uint64_t NumRecords = 0;
   if (!readPod(F.get(), NumRecords))
+    return false;
+  if (NumRecords > Remaining() / sizeof(DiskRecord))
     return false;
   Out.Records.reserve(NumRecords);
   for (std::uint64_t I = 0; I != NumRecords; ++I) {
@@ -189,6 +225,10 @@ bool ProfileLog::readFile(const std::string &Path, ProfileLog &Out) {
 
   std::uint64_t NumSamples = 0;
   if (!readPod(F.get(), NumSamples))
+    return false;
+  // The samples are the final section: their size must match the bytes
+  // left exactly, catching both truncation and trailing garbage.
+  if (NumSamples * sizeof(GCSample) != Remaining())
     return false;
   Out.GCSamples.reserve(NumSamples);
   for (std::uint64_t I = 0; I != NumSamples; ++I) {

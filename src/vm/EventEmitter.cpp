@@ -1,0 +1,120 @@
+//===- vm/EventEmitter.cpp ------------------------------------------------===//
+
+#include "vm/EventEmitter.h"
+
+#include "vm/Heap.h"
+
+using namespace jdrag;
+using namespace jdrag::profiler;
+using namespace jdrag::vm;
+
+EventEmitter::EventEmitter(EventSink &Sink, Config C)
+    : Buf(Sink, C.ChunkBytes), C(C) {
+  Nodes.push_back(Node{}); // node 0: the root (empty) context
+}
+
+std::uint32_t EventEmitter::child(std::uint32_t Parent, ir::MethodId Method,
+                                  std::uint32_t Pc, std::uint32_t Line) {
+  ChildKey K{Parent, Method.Index, Pc};
+  auto [It, New] =
+      Children.try_emplace(K, static_cast<std::uint32_t>(Nodes.size()));
+  if (New)
+    Nodes.push_back(Node{Parent, Method, Pc, Line, InvalidSite});
+  return It->second;
+}
+
+std::uint32_t EventEmitter::pushContext(std::uint32_t Parent,
+                                        ir::MethodId Method, std::uint32_t Pc,
+                                        std::uint32_t Line) {
+  return child(Parent, Method, Pc, Line);
+}
+
+SiteId EventEmitter::siteFor(std::uint32_t Ctx, ir::MethodId Method,
+                             std::uint32_t Pc, std::uint32_t Line) {
+  std::uint32_t N = child(Ctx, Method, Pc, Line);
+  if (Nodes[N].Site != InvalidSite)
+    return Nodes[N].Site;
+
+  // First event at this node: materialise the innermost SiteDepth frames
+  // by walking parents, intern, and define in-stream if the chain is new
+  // (distinct nodes can trim to identical chains).
+  FrameScratch.clear();
+  for (std::uint32_t Cur = N;
+       Cur != RootContext && FrameScratch.size() < C.SiteDepth;
+       Cur = Nodes[Cur].Parent) {
+    const Node &Nd = Nodes[Cur];
+    FrameScratch.push_back({Nd.Method, Nd.Pc, Nd.Line});
+  }
+  std::uint32_t Before = Sites.size();
+  SiteId S = Sites.internFrames(FrameScratch);
+  if (Sites.size() != Before)
+    Buf.writeSite(S, FrameScratch);
+  Nodes[N].Site = S;
+  return S;
+}
+
+void EventEmitter::alloc(ObjectId Id, const HeapObject &Obj, SiteId Site,
+                         ByteTime Now) {
+  EventRecord E;
+  E.Kind = static_cast<std::uint8_t>(EventKind::Alloc);
+  E.Time = Now;
+  E.Id = Id;
+  E.Arg0 = Obj.AccountedBytes;
+  E.Arg1 = Obj.Class.Index;
+  E.Site = Site;
+  E.Sub = static_cast<std::uint8_t>(Obj.AKind);
+  E.Flags = Obj.isArray() ? 1 : 0;
+  Buf.writeEvent(E);
+}
+
+void EventEmitter::use(ObjectId Id, UseKind Kind, SiteId Site, bool DuringInit,
+                       ByteTime Now) {
+  EventRecord E;
+  E.Kind = static_cast<std::uint8_t>(EventKind::Use);
+  E.Time = Now;
+  E.Id = Id;
+  E.Site = Site;
+  E.Sub = static_cast<std::uint8_t>(Kind);
+  E.Flags = DuringInit ? 1 : 0;
+  Buf.writeEvent(E);
+}
+
+void EventEmitter::gcEnd(ByteTime Now, std::uint64_t ReachableBytes,
+                         std::uint64_t ReachableObjects) {
+  EventRecord E;
+  E.Kind = static_cast<std::uint8_t>(EventKind::GCEnd);
+  E.Time = Now;
+  E.Arg0 = ReachableBytes;
+  E.Arg1 = ReachableObjects;
+  Buf.writeEvent(E);
+}
+
+void EventEmitter::deepGCEnd(ByteTime Now) {
+  EventRecord E;
+  E.Kind = static_cast<std::uint8_t>(EventKind::DeepGCEnd);
+  E.Time = Now;
+  Buf.writeEvent(E);
+}
+
+void EventEmitter::collect(ObjectId Id, ByteTime Now) {
+  EventRecord E;
+  E.Kind = static_cast<std::uint8_t>(EventKind::Collect);
+  E.Time = Now;
+  E.Id = Id;
+  Buf.writeEvent(E);
+}
+
+void EventEmitter::survivor(ObjectId Id, ByteTime Now) {
+  EventRecord E;
+  E.Kind = static_cast<std::uint8_t>(EventKind::Survivor);
+  E.Time = Now;
+  E.Id = Id;
+  Buf.writeEvent(E);
+}
+
+void EventEmitter::terminate(ByteTime Now) {
+  EventRecord E;
+  E.Kind = static_cast<std::uint8_t>(EventKind::Terminate);
+  E.Time = Now;
+  Buf.writeEvent(E);
+}

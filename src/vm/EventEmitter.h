@@ -1,0 +1,128 @@
+//===- vm/EventEmitter.h - VM-side event production -------------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EventEmitter is the thin, non-virtual facade the interpreter and heap
+/// use to produce the binary instrumentation stream. It owns the hot-path
+/// optimisation that motivates the pipeline: instead of capturing a call
+/// chain on every allocation/use (the old VMObserver contract), the
+/// interpreter maintains a *call-context trie* -- one node per distinct
+/// call path, computed incrementally with a single hash lookup at frame
+/// push -- and an event's nested site is the trie child of (context,
+/// method, pc). The chain is materialised, interned and emitted as a
+/// DefineSite record only the first time a given site occurs; every later
+/// occurrence costs one cached 4-byte SiteId.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_VM_EVENTEMITTER_H
+#define JDRAG_VM_EVENTEMITTER_H
+
+#include "profiler/EventStream.h"
+#include "vm/Events.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace jdrag::vm {
+
+class HeapObject;
+
+/// Produces the event stream for one VM run. Owned by VirtualMachine;
+/// Interpreter and Heap hold non-owning pointers.
+class EventEmitter {
+public:
+  struct Config {
+    /// Nesting depth of interned sites (the paper's "level of nesting").
+    std::uint32_t SiteDepth = 4;
+    /// Buffer chunk size; 0 = EventBuffer::DefaultChunkBytes.
+    std::size_t ChunkBytes = 0;
+  };
+
+  /// The empty call context (base frames: main, finalizer activations).
+  static constexpr std::uint32_t RootContext = 0;
+
+  EventEmitter(profiler::EventSink &Sink, Config C);
+
+  /// Returns the trie node for the call path "\p Parent then a call at
+  /// \p Method/\p Pc". O(1) amortised; called once per frame push.
+  std::uint32_t pushContext(std::uint32_t Parent, ir::MethodId Method,
+                            std::uint32_t Pc, std::uint32_t Line);
+
+  /// Interns (and on first encounter defines in-stream) the nested site
+  /// for an event at \p Method/\p Pc under call context \p Ctx.
+  profiler::SiteId siteFor(std::uint32_t Ctx, ir::MethodId Method,
+                           std::uint32_t Pc, std::uint32_t Line);
+
+  void alloc(ObjectId Id, const HeapObject &Obj, profiler::SiteId Site,
+             ByteTime Now);
+  void use(ObjectId Id, UseKind Kind, profiler::SiteId Site, bool DuringInit,
+           ByteTime Now);
+  void gcEnd(ByteTime Now, std::uint64_t ReachableBytes,
+             std::uint64_t ReachableObjects);
+  void deepGCEnd(ByteTime Now);
+  void collect(ObjectId Id, ByteTime Now);
+  void survivor(ObjectId Id, ByteTime Now);
+  void terminate(ByteTime Now);
+
+  /// Flushes buffered events to the sink.
+  bool flush() { return Buf.flush(); }
+  /// False once a sink write has failed.
+  bool ok() const { return Buf.ok(); }
+  std::uint64_t eventsEmitted() const { return Buf.eventsWritten(); }
+  std::uint32_t sitesDefined() const { return Sites.size(); }
+
+private:
+  /// One call-context trie node. Node 0 is the root (empty context); a
+  /// node's chain is (Method, Pc, Line) then its parent's chain.
+  struct Node {
+    std::uint32_t Parent = 0;
+    ir::MethodId Method;
+    std::uint32_t Pc = 0;
+    std::uint32_t Line = 0;
+    /// Cached site id for events at exactly this node; InvalidSite until
+    /// first materialised.
+    profiler::SiteId Site = profiler::InvalidSite;
+  };
+
+  struct ChildKey {
+    std::uint32_t Parent;
+    std::uint32_t Method;
+    std::uint32_t Pc;
+    friend bool operator==(const ChildKey &A, const ChildKey &B) {
+      return A.Parent == B.Parent && A.Method == B.Method && A.Pc == B.Pc;
+    }
+  };
+  struct ChildKeyHash {
+    std::size_t operator()(const ChildKey &K) const {
+      std::uint64_t H = 0xcbf29ce484222325ULL;
+      for (std::uint64_t V : {static_cast<std::uint64_t>(K.Parent),
+                              static_cast<std::uint64_t>(K.Method),
+                              static_cast<std::uint64_t>(K.Pc)}) {
+        H ^= V;
+        H *= 0x100000001b3ULL;
+      }
+      return static_cast<std::size_t>(H);
+    }
+  };
+
+  std::uint32_t child(std::uint32_t Parent, ir::MethodId Method,
+                      std::uint32_t Pc, std::uint32_t Line);
+
+  profiler::EventBuffer Buf;
+  Config C;
+  std::vector<Node> Nodes;
+  std::unordered_map<ChildKey, std::uint32_t, ChildKeyHash> Children;
+  /// Producer-side dedup: distinct trie nodes whose depth-trimmed chains
+  /// coincide (e.g. truncated recursion) must share one SiteId, exactly
+  /// as per-event interning used to guarantee.
+  profiler::SiteTable Sites;
+  std::vector<profiler::SiteFrame> FrameScratch;
+};
+
+} // namespace jdrag::vm
+
+#endif // JDRAG_VM_EVENTEMITTER_H

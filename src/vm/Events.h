@@ -46,6 +46,12 @@ enum class UseKind : std::uint8_t {
   Throw,
 };
 
+/// Number of UseKind enumerators; keep in sync with the enum (and with
+/// useKindName's table, which static_asserts against this).
+inline constexpr std::size_t NumUseKinds = 7;
+static_assert(static_cast<std::size_t>(UseKind::Throw) + 1 == NumUseKinds,
+              "update NumUseKinds (and useKindName) when adding a UseKind");
+
 const char *useKindName(UseKind K);
 
 /// Instrumentation callbacks. All default to no-ops so observers override

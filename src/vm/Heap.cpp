@@ -2,7 +2,10 @@
 
 #include "vm/Heap.h"
 
+#include "vm/EventEmitter.h"
+
 #include <algorithm>
+#include <iterator>
 
 using namespace jdrag;
 using namespace jdrag::vm;
@@ -10,24 +13,17 @@ using namespace jdrag::vm;
 RootSource::~RootSource() = default;
 VMObserver::~VMObserver() = default;
 
+namespace {
+constexpr const char *UseKindNames[] = {
+    "getfield", "putfield", "invoke", "monitor", "array", "native", "throw",
+};
+static_assert(std::size(UseKindNames) == NumUseKinds,
+              "name every UseKind enumerator");
+} // namespace
+
 const char *jdrag::vm::useKindName(UseKind K) {
-  switch (K) {
-  case UseKind::GetField:
-    return "getfield";
-  case UseKind::PutField:
-    return "putfield";
-  case UseKind::Invoke:
-    return "invoke";
-  case UseKind::Monitor:
-    return "monitor";
-  case UseKind::ArrayAccess:
-    return "array";
-  case UseKind::NativeDeref:
-    return "native";
-  case UseKind::Throw:
-    return "throw";
-  }
-  return "?";
+  auto I = static_cast<std::size_t>(K);
+  return I < NumUseKinds ? UseKindNames[I] : "?";
 }
 
 Heap::Heap(const ir::Program &P) : P(P) {}
@@ -160,12 +156,17 @@ GCStats Heap::collect() {
     Stats.FreedBytes += Obj->AccountedBytes;
     if (Observer)
       Observer->onCollect(Obj->Id, *Obj, AllocatedTotal);
+    if (Emitter)
+      Emitter->collect(Obj->Id, AllocatedTotal);
     free(Index);
   }
 
   if (Observer)
     Observer->onGCEnd(AllocatedTotal, Stats.ReachableBytes,
                       Stats.ReachableObjects);
+  if (Emitter)
+    Emitter->gcEnd(AllocatedTotal, Stats.ReachableBytes,
+                   Stats.ReachableObjects);
   return Stats;
 }
 
@@ -262,12 +263,17 @@ GCStats Heap::collectMinor() {
     Stats.FreedBytes += Obj->AccountedBytes;
     if (Observer)
       Observer->onCollect(Obj->Id, *Obj, AllocatedTotal);
+    if (Emitter)
+      Emitter->collect(Obj->Id, AllocatedTotal);
     free(Index);
   }
 
   if (Observer)
     Observer->onGCEnd(AllocatedTotal, Stats.ReachableBytes,
                       Stats.ReachableObjects);
+  if (Emitter)
+    Emitter->gcEnd(AllocatedTotal, Stats.ReachableBytes,
+                   Stats.ReachableObjects);
   return Stats;
 }
 

@@ -29,6 +29,8 @@
 
 namespace jdrag::vm {
 
+class EventEmitter;
+
 /// A heap object: a plain instance (Slots = fields) or an array
 /// (Slots = elements). Stored behind a handle; GC never moves the C++
 /// storage, only recycles handles.
@@ -103,6 +105,10 @@ public:
 
   /// Sets the observer notified of GC/collection events (may be null).
   void setObserver(VMObserver *O) { Observer = O; }
+
+  /// Sets the event emitter GC/collection events are streamed through
+  /// (may be null; independent of the legacy observer).
+  void setEmitter(EventEmitter *E) { Emitter = E; }
 
   /// Allocates an instance of \p C with zeroed fields. Never fails (the
   /// byte budget is enforced by the VM, not here). Advances the clock.
@@ -192,6 +198,7 @@ private:
 
   const ir::Program &P;
   VMObserver *Observer = nullptr;
+  EventEmitter *Emitter = nullptr;
   std::vector<HeapObject *> Table;
   std::vector<std::uint32_t> FreeHandles;
   std::vector<RootSource *> RootSources;

@@ -3,6 +3,7 @@
 #include "vm/Interpreter.h"
 
 #include "support/Format.h"
+#include "vm/EventEmitter.h"
 
 #include <algorithm>
 
@@ -82,7 +83,7 @@ std::string Interpreter::here() const {
 }
 
 void Interpreter::fireUse(Handle H, UseKind Kind, bool CalleeIsCtor) {
-  if (!Observer || H.isNull())
+  if ((!Observer && !Emitter) || H.isNull())
     return;
   HeapObject &Obj = TheHeap.object(H);
   // Initialization uses: the object's own <init> is active, this IS its
@@ -94,22 +95,38 @@ void Interpreter::fireUse(Handle H, UseKind Kind, bool CalleeIsCtor) {
       (Obj.BirthCtorSerial != 0 &&
        std::binary_search(ActiveCtorSerials.begin(), ActiveCtorSerials.end(),
                           Obj.BirthCtorSerial));
-  Observer->onUse(Obj.Id, Kind, captureChain(), DuringInit, TheHeap.clock());
+  if (Observer)
+    Observer->onUse(Obj.Id, Kind, captureChain(), DuringInit, TheHeap.clock());
+  if (Emitter) {
+    const Frame &F = Frames.back();
+    profiler::SiteId Site =
+        Emitter->siteFor(F.Ctx, F.M->Id, F.Pc, F.M->Code[F.Pc].Line);
+    Emitter->use(Obj.Id, Kind, Site, DuringInit, TheHeap.clock());
+  }
 }
 
 void Interpreter::fireNativeUse(Handle H) { fireUse(H, UseKind::NativeDeref); }
 
 void Interpreter::fireAllocate(Handle H) {
-  if (!Observer)
+  if (!Observer && !Emitter)
     return;
   const HeapObject &Obj = TheHeap.object(H);
-  Observer->onAllocate(Obj.Id, H, Obj, captureChain(), TheHeap.clock());
+  if (Observer)
+    Observer->onAllocate(Obj.Id, H, Obj, captureChain(), TheHeap.clock());
+  if (Emitter) {
+    const Frame &F = Frames.back();
+    profiler::SiteId Site =
+        Emitter->siteFor(F.Ctx, F.M->Id, F.Pc, F.M->Code[F.Pc].Line);
+    Emitter->alloc(Obj.Id, Obj, Site, TheHeap.clock());
+  }
 }
 
-void Interpreter::pushFrame(const MethodInfo &M, std::span<const Value> Args) {
+void Interpreter::pushFrame(const MethodInfo &M, std::span<const Value> Args,
+                            std::uint32_t Ctx) {
   Frame NF;
   NF.M = &M;
   NF.Pc = 0;
+  NF.Ctx = Ctx;
   NF.Locals.resize(M.numLocals());
   for (std::uint32_t I = 0, E = M.numLocals(); I != E; ++I)
     NF.Locals[I] = Value::zeroOf(M.LocalKinds[I]);
@@ -206,6 +223,8 @@ void Interpreter::runDeepGC() {
   LastDeepGC = TheHeap.clock();
   if (Observer)
     Observer->onDeepGCEnd(TheHeap.clock());
+  if (Emitter)
+    Emitter->deepGCEnd(TheHeap.clock());
   InDeepGC = false;
 }
 
@@ -307,23 +326,35 @@ Interpreter::Status Interpreter::execute(std::size_t Base, std::string *Err) {
       break;
 
     case Opcode::IAdd: {
+      // Two's-complement wraparound (Java semantics); go through
+      // unsigned so overflow is defined.
       std::int64_t B = S.back().asInt();
       S.pop_back();
-      S.back() = Value::makeInt(S.back().asInt() + B);
+      S.back() = Value::makeInt(static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(S.back().asInt()) +
+          static_cast<std::uint64_t>(B)));
       ++F.Pc;
       break;
     }
     case Opcode::ISub: {
+      // Two's-complement wraparound (Java semantics); go through
+      // unsigned so overflow is defined.
       std::int64_t B = S.back().asInt();
       S.pop_back();
-      S.back() = Value::makeInt(S.back().asInt() - B);
+      S.back() = Value::makeInt(static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(S.back().asInt()) -
+          static_cast<std::uint64_t>(B)));
       ++F.Pc;
       break;
     }
     case Opcode::IMul: {
+      // Two's-complement wraparound (Java semantics); go through
+      // unsigned so overflow is defined.
       std::int64_t B = S.back().asInt();
       S.pop_back();
-      S.back() = Value::makeInt(S.back().asInt() * B);
+      S.back() = Value::makeInt(static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(S.back().asInt()) *
+          static_cast<std::uint64_t>(B)));
       ++F.Pc;
       break;
     }
@@ -332,7 +363,13 @@ Interpreter::Status Interpreter::execute(std::size_t Base, std::string *Err) {
       S.pop_back();
       if (B == 0)
         return Trap("integer division by zero");
-      S.back() = Value::makeInt(S.back().asInt() / B);
+      // INT64_MIN / -1 overflows (and faults on x86); Java wraps it
+      // back to INT64_MIN.
+      if (B == -1)
+        S.back() = Value::makeInt(static_cast<std::int64_t>(
+            -static_cast<std::uint64_t>(S.back().asInt())));
+      else
+        S.back() = Value::makeInt(S.back().asInt() / B);
       ++F.Pc;
       break;
     }
@@ -341,12 +378,14 @@ Interpreter::Status Interpreter::execute(std::size_t Base, std::string *Err) {
       S.pop_back();
       if (B == 0)
         return Trap("integer remainder by zero");
-      S.back() = Value::makeInt(S.back().asInt() % B);
+      // INT64_MIN % -1 faults on x86; the result is 0 in Java.
+      S.back() = Value::makeInt(B == -1 ? 0 : S.back().asInt() % B);
       ++F.Pc;
       break;
     }
     case Opcode::INeg:
-      S.back() = Value::makeInt(-S.back().asInt());
+      S.back() = Value::makeInt(static_cast<std::int64_t>(
+          -static_cast<std::uint64_t>(S.back().asInt())));
       ++F.Pc;
       break;
     case Opcode::IAnd: {
@@ -674,8 +713,10 @@ Interpreter::Status Interpreter::execute(std::size_t Base, std::string *Err) {
       }
       ArgScratch.assign(S.end() - static_cast<std::ptrdiff_t>(NArgs), S.end());
       S.resize(S.size() - NArgs);
+      std::uint32_t CalleeCtx =
+          Emitter ? Emitter->pushContext(F.Ctx, F.M->Id, F.Pc, I.Line) : 0;
       ++F.Pc;
-      pushFrame(Callee, {ArgScratch.data(), ArgScratch.size()});
+      pushFrame(Callee, {ArgScratch.data(), ArgScratch.size()}, CalleeCtx);
       continue;
     }
     case Opcode::InvokeVirtual:
@@ -699,8 +740,10 @@ Interpreter::Status Interpreter::execute(std::size_t Base, std::string *Err) {
       fireUse(Recv, UseKind::Invoke, Target->IsConstructor);
       ArgScratch.assign(S.end() - static_cast<std::ptrdiff_t>(Total), S.end());
       S.resize(S.size() - Total);
+      std::uint32_t CalleeCtx =
+          Emitter ? Emitter->pushContext(F.Ctx, F.M->Id, F.Pc, I.Line) : 0;
       ++F.Pc;
-      pushFrame(*Target, {ArgScratch.data(), ArgScratch.size()});
+      pushFrame(*Target, {ArgScratch.data(), ArgScratch.size()}, CalleeCtx);
       continue;
     }
 

@@ -69,6 +69,10 @@ public:
   /// Pins the preallocated OutOfMemoryError instance (set by the VM).
   void setOOMInstance(Handle H) { OOMInstance = H; }
 
+  /// Sets the event emitter allocation/use events are streamed through
+  /// (set by the VM; may be null). Independent of the legacy observer.
+  void setEmitter(EventEmitter *E) { Emitter = E; }
+
   /// The exception that escaped the last call(), if any.
   Handle pendingException() const { return PendingException; }
 
@@ -87,6 +91,9 @@ private:
   struct Frame {
     const ir::MethodInfo *M = nullptr;
     std::uint32_t Pc = 0;
+    /// Call-context trie node of this activation (EventEmitter);
+    /// RootContext for base frames pushed by call().
+    std::uint32_t Ctx = 0;
     Handle Receiver;          ///< valid for constructor frames
     bool IsCtorFrame = false; ///< InitDepth bookkeeping on pop
     std::uint64_t Serial = 0; ///< monotonic frame identity (ctor frames)
@@ -98,8 +105,10 @@ private:
   Status execute(std::size_t Base, std::string *Err);
 
   /// Pushes a frame for \p M, moving \p NumArgs values off \p Caller's
-  /// stack into the locals. Returns false on trap (reported via Trap).
-  void pushFrame(const ir::MethodInfo &M, std::span<const Value> Args);
+  /// stack into the locals. \p Ctx is the activation's call-context trie
+  /// node (RootContext for base frames).
+  void pushFrame(const ir::MethodInfo &M, std::span<const Value> Args,
+                 std::uint32_t Ctx = 0);
 
   /// Pops the top frame, maintaining InitDepth bookkeeping.
   void popFrame();
@@ -131,6 +140,7 @@ private:
   std::vector<Value> &Statics;
   std::vector<NativeFn> Natives;
   VMObserver *Observer;
+  EventEmitter *Emitter = nullptr;
   InterpreterConfig Config;
 
   std::vector<Frame> Frames;

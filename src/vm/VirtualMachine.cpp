@@ -3,7 +3,9 @@
 #include "vm/VirtualMachine.h"
 
 #include "support/ErrorHandling.h"
+#include "vm/EventEmitter.h"
 
+#include <algorithm>
 #include <cstring>
 
 using namespace jdrag;
@@ -66,6 +68,16 @@ Interpreter::Status VirtualMachine::run(std::string *Err) {
   assert(!Ran && "a VirtualMachine runs exactly once");
   Ran = true;
   TheHeap.setObserver(Opts.Observer);
+  if (Opts.Sink) {
+    EventEmitter::Config EC;
+    // Old per-event chain capture took ChainDepth frames and interned
+    // the innermost SiteDepth of them; the streamed equivalent is one
+    // depth bound.
+    EC.SiteDepth = std::min(Opts.SiteDepth, Opts.ChainDepth);
+    EC.ChunkBytes = Opts.EventChunkBytes;
+    Emitter = std::make_unique<EventEmitter>(*Opts.Sink, EC);
+    TheHeap.setEmitter(Emitter.get());
+  }
 
   std::vector<NativeFn> NativeTable(P.Natives.size());
   for (const NativeInfo &N : P.Natives) {
@@ -82,6 +94,7 @@ Interpreter::Status VirtualMachine::run(std::string *Err) {
   Interp = std::make_unique<Interpreter>(P, TheHeap, Statics.Values,
                                          std::move(NativeTable), Opts.Observer,
                                          IC);
+  Interp->setEmitter(Emitter.get());
 
   // Preallocate the OutOfMemoryError instance so OOM can be raised
   // without allocating (the VM pins it as a root).
@@ -100,6 +113,18 @@ Interpreter::Status VirtualMachine::run(std::string *Err) {
       Opts.Observer->onSurvivor(Obj.Id, Obj, TheHeap.clock());
     });
     Opts.Observer->onTerminate(TheHeap.clock());
+  }
+  if (Emitter) {
+    TheHeap.forEachLiveObject([&](Handle, const HeapObject &Obj) {
+      Emitter->survivor(Obj.Id, TheHeap.clock());
+    });
+    Emitter->terminate(TheHeap.clock());
+    Emitter->flush();
+    if (!Emitter->ok() || !Opts.Sink->finish()) {
+      if (Err)
+        *Err = "event stream sink write failed";
+      return Interpreter::Status::Trap;
+    }
   }
   return S;
 }

@@ -29,7 +29,13 @@
 #include <string_view>
 #include <unordered_map>
 
+namespace jdrag::profiler {
+class EventSink;
+} // namespace jdrag::profiler
+
 namespace jdrag::vm {
+
+class EventEmitter;
 
 /// Options controlling one VM instance.
 struct VMOptions {
@@ -39,10 +45,20 @@ struct VMOptions {
   std::uint64_t MaxLiveBytes = ~0ull;
   /// Instruction budget for runaway protection.
   std::uint64_t MaxSteps = 1ull << 42;
-  /// Frames captured per profiling event.
+  /// Frames captured per legacy-observer profiling event, and the upper
+  /// bound on streamed site nesting.
   std::uint32_t ChainDepth = 8;
-  /// Observer receiving instrumentation events (may be null).
+  /// Observer receiving instrumentation events (may be null). Legacy
+  /// virtual-dispatch path; prefer Sink for new consumers.
   VMObserver *Observer = nullptr;
+  /// Sink receiving the binary instrumentation event stream (may be
+  /// null). Attach a profiler::DispatchSink for live profiling or a
+  /// profiler::FileEventSink to record a `.jdev` file.
+  profiler::EventSink *Sink = nullptr;
+  /// Nesting depth of streamed event sites (capped by ChainDepth).
+  std::uint32_t SiteDepth = 4;
+  /// Event-buffer chunk size in bytes; 0 = the default (64 KB).
+  std::size_t EventChunkBytes = 0;
   /// Two-generation runtime collection policy (off by default; the
   /// profiler's deep GCs are always full collections regardless).
   GenerationalConfig Generational;
@@ -95,6 +111,7 @@ private:
   Heap TheHeap;
   StaticArea Statics;
   std::unordered_map<std::string, NativeFn> Bound;
+  std::unique_ptr<EventEmitter> Emitter;
   std::unique_ptr<Interpreter> Interp;
   std::vector<std::int64_t> Inputs;
   std::vector<std::int64_t> Outputs;

@@ -568,7 +568,7 @@ TEST(CurveCrossValidation, OfflineReconstructionMatchesGCSamples) {
   profiler::DragProfiler Prof(P);
   vm::VMOptions Opts;
   Opts.DeepGCIntervalBytes = 20 * KB;
-  Opts.Observer = &Prof;
+  Prof.attachTo(Opts);
   vm::VirtualMachine VM(P, Opts);
   std::string Err;
   ASSERT_EQ(VM.run(&Err), vm::Interpreter::Status::Ok) << Err;

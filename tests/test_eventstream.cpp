@@ -1,0 +1,479 @@
+//===- tests/test_eventstream.cpp - Event-stream pipeline tests -----------===//
+//
+// Part of jdrag test suite.
+//
+// Covers the binary instrumentation event stream end to end: wire-level
+// encode/decode, chunk-boundary reassembly, `.jdev` record/replay
+// equality against attached profiling (the pipeline's core guarantee),
+// zero-event edge cases, and corruption/truncation rejection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "profiler/DragProfiler.h"
+#include "profiler/EventStream.h"
+#include "vm/Events.h"
+#include "vm/VirtualMachine.h"
+
+#include "VMTestUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace jdrag;
+using namespace jdrag::profiler;
+using namespace jdrag::testutil;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return std::string("/tmp/jdrag_eventstream_") + Name;
+}
+
+std::vector<char> readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << Path;
+  return std::vector<char>(std::istreambuf_iterator<char>(In),
+                           std::istreambuf_iterator<char>());
+}
+
+/// A consumer that records everything it sees, in order.
+class CollectingConsumer : public EventConsumer {
+public:
+  struct Site {
+    SiteId Id;
+    std::vector<SiteFrame> Frames;
+  };
+  std::vector<Site> Sites;
+  std::vector<EventRecord> Events;
+
+  void onSite(SiteId Id, std::span<const SiteFrame> Frames) override {
+    Sites.push_back({Id, {Frames.begin(), Frames.end()}});
+  }
+  void onEvent(const EventRecord &E) override { Events.push_back(E); }
+};
+
+/// An alloc-and-use workload: builds N small objects, touches half of
+/// them, lets the rest drag. Enough traffic to cross chunk boundaries
+/// and produce GC activity with a small deep-GC interval.
+ir::Program buildChurnProgram() {
+  using ir::ValueKind;
+  TestProgramBuilder T;
+  ir::ClassBuilder C = T.PB.beginClass("Box", T.PB.objectClass());
+  ir::FieldId V = C.addField("v", ValueKind::Int);
+  ir::MethodBuilder Ctor = C.beginMethod("<init>", {}, ValueKind::Void);
+  Ctor.aload(0).invokespecial(T.PB.objectCtor()).ret();
+  Ctor.finish();
+
+  ir::ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  ir::MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t N = M.newLocal(ValueKind::Int);
+  std::uint32_t I = M.newLocal(ValueKind::Int);
+  std::uint32_t O = M.newLocal(ValueKind::Ref);
+  M.iconst(0).invokestatic(T.Read).istore(N);
+  ir::Label Loop = M.newLabel(), Skip = M.newLabel(), Done = M.newLabel();
+  M.iconst(0).istore(I);
+  M.bind(Loop);
+  M.iload(I).iload(N).ifICmpGe(Done);
+  M.new_(C.id()).dup().invokespecial(Ctor.id()).astore(O);
+  M.iload(I).iconst(1).iand_().ifEqZ(Skip);
+  M.aload(O).iload(I).putfield(V); // use every other object
+  M.aload(O).getfield(V).pop();
+  M.bind(Skip);
+  M.iconst(9).newarray(ir::ArrayKind::Int).pop(); // dragging garbage
+  M.iload(I).iconst(1).iadd().istore(I);
+  M.goto_(Loop);
+  M.bind(Done);
+  M.iconst(0).invokestatic(T.Emit);
+  M.ret();
+  M.finish();
+  T.PB.setMain(M.id());
+  return T.finishVerified();
+}
+
+/// main { ret } -- no allocations, no uses.
+ir::Program buildEmptyProgram() {
+  using ir::ValueKind;
+  TestProgramBuilder T;
+  ir::ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  ir::MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  M.ret();
+  M.finish();
+  T.PB.setMain(M.id());
+  return T.finishVerified();
+}
+
+/// Runs \p P live-attached and returns the log. \p ChunkBytes = 0 keeps
+/// the default chunking.
+ProfileLog liveRun(const ir::Program &P, const std::vector<std::int64_t> &In,
+                   std::size_t ChunkBytes = 0) {
+  DragProfiler Prof(P);
+  vm::VMOptions Opts;
+  Opts.DeepGCIntervalBytes = 100 * KB;
+  Prof.attachTo(Opts);
+  Opts.EventChunkBytes = ChunkBytes;
+  vm::VirtualMachine VM(P, Opts);
+  VM.setInputs(In);
+  std::string Err;
+  EXPECT_EQ(VM.run(&Err), vm::Interpreter::Status::Ok) << Err;
+  EXPECT_EQ(Prof.liveTrailers(), 0u);
+  return Prof.takeLog();
+}
+
+/// Runs \p P with a FileEventSink recording to \p Path.
+void recordRun(const ir::Program &P, const std::vector<std::int64_t> &In,
+               const std::string &Path) {
+  FileEventSink Sink;
+  ASSERT_TRUE(Sink.open(Path));
+  vm::VMOptions Opts;
+  Opts.DeepGCIntervalBytes = 100 * KB;
+  Opts.Sink = &Sink;
+  vm::VirtualMachine VM(P, Opts);
+  VM.setInputs(In);
+  std::string Err;
+  ASSERT_EQ(VM.run(&Err), vm::Interpreter::Status::Ok) << Err;
+  ASSERT_GT(Sink.bytesWritten(), 0u);
+}
+
+/// Serializes both logs and compares the bytes -- the strongest
+/// equality we can ask for (records, sites, GC samples, end time).
+void expectBitIdentical(const ProfileLog &A, const ProfileLog &B) {
+  std::string PathA = tempPath("cmp_a.bin"), PathB = tempPath("cmp_b.bin");
+  ASSERT_TRUE(A.writeFile(PathA));
+  ASSERT_TRUE(B.writeFile(PathB));
+  EXPECT_EQ(readFileBytes(PathA), readFileBytes(PathB));
+  std::remove(PathA.c_str());
+  std::remove(PathB.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Wire level
+//===----------------------------------------------------------------------===//
+
+TEST(EventWire, KindNamesComplete) {
+  std::set<std::string> Seen;
+  for (std::size_t I = 0; I != NumEventKinds; ++I) {
+    const char *Name = eventKindName(static_cast<EventKind>(I));
+    ASSERT_NE(Name, nullptr);
+    EXPECT_STRNE(Name, "?") << "kind " << I;
+    Seen.insert(Name);
+  }
+  EXPECT_EQ(Seen.size(), NumEventKinds) << "duplicate kind names";
+}
+
+TEST(EventWire, UseKindNamesComplete) {
+  std::set<std::string> Seen;
+  for (std::size_t I = 0; I != vm::NumUseKinds; ++I) {
+    const char *Name = vm::useKindName(static_cast<vm::UseKind>(I));
+    ASSERT_NE(Name, nullptr);
+    EXPECT_STRNE(Name, "?") << "kind " << I;
+    Seen.insert(Name);
+  }
+  EXPECT_EQ(Seen.size(), vm::NumUseKinds) << "duplicate use-kind names";
+  EXPECT_STREQ(vm::useKindName(vm::UseKind::Throw), "throw");
+  EXPECT_STREQ(vm::useKindName(vm::UseKind::NativeDeref), "native");
+  // Out-of-range values must not index off the table.
+  EXPECT_STREQ(vm::useKindName(static_cast<vm::UseKind>(250)), "?");
+}
+
+TEST(EventWire, BufferDecodeRoundTrip) {
+  MemorySink Mem;
+  EventBuffer Buf(Mem);
+
+  std::vector<SiteFrame> Frames = {{ir::MethodId(3), 7, 42},
+                                   {ir::MethodId(1), 2, 11}};
+  Buf.writeSite(SiteId(0), Frames);
+  EventRecord Alloc;
+  Alloc.Time = 128;
+  Alloc.Id = 5;
+  Alloc.Arg0 = 24; // bytes
+  Alloc.Arg1 = 9;  // class index
+  Alloc.Site = 0;
+  Alloc.Kind = static_cast<std::uint8_t>(EventKind::Alloc);
+  Buf.writeEvent(Alloc);
+  EventRecord Use = Alloc;
+  Use.Time = 160;
+  Use.Kind = static_cast<std::uint8_t>(EventKind::Use);
+  Use.Sub = static_cast<std::uint8_t>(vm::UseKind::GetField);
+  Use.Flags = 1;
+  Buf.writeEvent(Use);
+  ASSERT_TRUE(Buf.flush());
+  ASSERT_TRUE(Buf.ok());
+  EXPECT_EQ(Buf.eventsWritten(), 3u); // DefineSite counts as an event
+
+  CollectingConsumer C;
+  std::string Err;
+  ASSERT_TRUE(replayBytes(Mem.bytes(), C, &Err)) << Err;
+  ASSERT_EQ(C.Sites.size(), 1u);
+  EXPECT_EQ(C.Sites[0].Id, SiteId(0));
+  ASSERT_EQ(C.Sites[0].Frames.size(), 2u);
+  EXPECT_EQ(C.Sites[0].Frames[0].Method, ir::MethodId(3));
+  EXPECT_EQ(C.Sites[0].Frames[0].Pc, 7u);
+  EXPECT_EQ(C.Sites[0].Frames[1].Line, 11u);
+  ASSERT_EQ(C.Events.size(), 2u);
+  EXPECT_EQ(C.Events[0].kind(), EventKind::Alloc);
+  EXPECT_EQ(C.Events[0].Time, 128u);
+  EXPECT_EQ(C.Events[0].Arg0, 24u);
+  EXPECT_EQ(C.Events[1].kind(), EventKind::Use);
+  EXPECT_EQ(C.Events[1].Flags, 1u);
+}
+
+TEST(EventWire, ChunkingDoesNotChangeTheBytes) {
+  // The same records through a 7-byte chunk buffer (every record
+  // straddles several chunks) must yield the same byte stream.
+  auto Emit = [](EventBuffer &Buf) {
+    std::vector<SiteFrame> Frames = {{ir::MethodId(2), 1, 5}};
+    Buf.writeSite(SiteId(0), Frames);
+    for (std::uint32_t I = 0; I != 25; ++I) {
+      EventRecord E;
+      E.Time = 100 + I;
+      E.Id = I;
+      E.Site = 0;
+      E.Kind = static_cast<std::uint8_t>(EventKind::Alloc);
+      Buf.writeEvent(E);
+    }
+    ASSERT_TRUE(Buf.flush());
+  };
+  MemorySink Big, Tiny;
+  {
+    EventBuffer Buf(Big);
+    Emit(Buf);
+  }
+  {
+    EventBuffer Buf(Tiny, /*ChunkBytes=*/7);
+    Emit(Buf);
+  }
+  ASSERT_EQ(Big.bytes().size(), Tiny.bytes().size());
+  EXPECT_EQ(std::memcmp(Big.bytes().data(), Tiny.bytes().data(),
+                        Big.bytes().size()),
+            0);
+}
+
+TEST(EventWire, DecoderReassemblesByteAtATime) {
+  MemorySink Mem;
+  EventBuffer Buf(Mem);
+  std::vector<SiteFrame> Frames = {{ir::MethodId(4), 0, 1},
+                                   {ir::MethodId(5), 3, 2},
+                                   {ir::MethodId(6), 6, 3}};
+  Buf.writeSite(SiteId(0), Frames);
+  for (std::uint32_t I = 0; I != 5; ++I) {
+    EventRecord E;
+    E.Time = I;
+    E.Id = I;
+    E.Kind = static_cast<std::uint8_t>(EventKind::Collect);
+    Buf.writeEvent(E);
+  }
+  ASSERT_TRUE(Buf.flush());
+
+  CollectingConsumer C;
+  StreamDecoder D(C);
+  std::span<const std::byte> Bytes = Mem.bytes();
+  for (std::size_t I = 0; I != Bytes.size(); ++I)
+    ASSERT_TRUE(D.feed(&Bytes[I], 1)) << D.error();
+  EXPECT_TRUE(D.atRecordBoundary());
+  EXPECT_EQ(D.eventsDecoded(), 6u);
+  ASSERT_EQ(C.Sites.size(), 1u);
+  EXPECT_EQ(C.Sites[0].Frames.size(), 3u);
+  EXPECT_EQ(C.Events.size(), 5u);
+}
+
+TEST(EventWire, DecoderRejectsUnknownKind) {
+  EventRecord E;
+  E.Kind = 200;
+  CollectingConsumer C;
+  StreamDecoder D(C);
+  EXPECT_FALSE(D.feed(reinterpret_cast<const std::byte *>(&E), sizeof(E)));
+  EXPECT_NE(D.error().find("kind"), std::string::npos) << D.error();
+  // Sticky: further feeds keep failing.
+  EXPECT_FALSE(D.feed(reinterpret_cast<const std::byte *>(&E), sizeof(E)));
+}
+
+TEST(EventWire, DecoderRejectsOversizedFrameCount) {
+  EventRecord E;
+  E.Kind = static_cast<std::uint8_t>(EventKind::DefineSite);
+  E.Arg0 = MaxWireFrames + 1;
+  CollectingConsumer C;
+  StreamDecoder D(C);
+  EXPECT_FALSE(D.feed(reinterpret_cast<const std::byte *>(&E), sizeof(E)));
+}
+
+TEST(EventWire, TruncatedStreamIsNotAtRecordBoundary) {
+  MemorySink Mem;
+  EventBuffer Buf(Mem);
+  EventRecord E;
+  E.Kind = static_cast<std::uint8_t>(EventKind::Terminate);
+  Buf.writeEvent(E);
+  ASSERT_TRUE(Buf.flush());
+
+  CollectingConsumer C;
+  std::string Err;
+  std::span<const std::byte> Bytes = Mem.bytes();
+  EXPECT_FALSE(replayBytes(Bytes.first(Bytes.size() - 1), C, &Err));
+  EXPECT_NE(Err.find("truncated"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Record / replay
+//===----------------------------------------------------------------------===//
+
+// The pipeline's core guarantee, on a real workload (the acceptance
+// criterion): recording jess to a `.jdev` file and replaying it detached
+// produces a ProfileLog bit-identical to a live attached run -- same
+// records, same GC samples, same sites, same total drag.
+TEST(RecordReplay, JessReplayMatchesAttachedBitForBit) {
+  benchmarks::BenchmarkProgram B = benchmarks::buildJess();
+  ProfileLog Live = liveRun(B.Prog, B.DefaultInputs);
+  ASSERT_FALSE(Live.Records.empty());
+  ASSERT_FALSE(Live.GCSamples.empty());
+
+  std::string Path = tempPath("jess.jdev");
+  recordRun(B.Prog, B.DefaultInputs, Path);
+
+  ProfileLog Replayed;
+  std::string Err;
+  ASSERT_TRUE(replayProfile(Path, B.Prog, ProfilerConfig(), Replayed, &Err))
+      << Err;
+  std::remove(Path.c_str());
+
+  EXPECT_EQ(Replayed.Records.size(), Live.Records.size());
+  EXPECT_EQ(Replayed.GCSamples.size(), Live.GCSamples.size());
+  EXPECT_EQ(Replayed.Sites.size(), Live.Sites.size());
+  EXPECT_EQ(Replayed.EndTime, Live.EndTime);
+  EXPECT_EQ(Replayed.totalDrag(), Live.totalDrag());
+  expectBitIdentical(Live, Replayed);
+}
+
+// A TeeSink records and profiles in a single run; the recording then
+// replays to the same log the live consumer built from the same bytes.
+TEST(RecordReplay, TeeRecordsWhileProfilingLive) {
+  ir::Program P = buildChurnProgram();
+  std::string Path = tempPath("tee.jdev");
+
+  DragProfiler Prof(P);
+  FileEventSink File;
+  ASSERT_TRUE(File.open(Path));
+  TeeSink Tee(Prof.sink(), File);
+  vm::VMOptions Opts;
+  Opts.DeepGCIntervalBytes = 100 * KB;
+  Prof.attachTo(Opts);
+  Opts.Sink = &Tee; // override: tee into both consumers
+  vm::VirtualMachine VM(P, Opts);
+  VM.setInputs({400});
+  std::string Err;
+  ASSERT_EQ(VM.run(&Err), vm::Interpreter::Status::Ok) << Err;
+  ProfileLog Live = Prof.takeLog();
+  ASSERT_FALSE(Live.Records.empty());
+
+  ProfileLog Replayed;
+  ASSERT_TRUE(replayProfile(Path, P, ProfilerConfig(), Replayed, &Err)) << Err;
+  std::remove(Path.c_str());
+  expectBitIdentical(Live, Replayed);
+}
+
+// Chunk-boundary torture on the live path: a 7-byte chunk size forces
+// every record through several DispatchSink::writeChunk calls, and the
+// log must not change.
+TEST(RecordReplay, TinyChunksMatchDefaultChunks) {
+  ir::Program P = buildChurnProgram();
+  ProfileLog Default = liveRun(P, {300});
+  ProfileLog Tiny = liveRun(P, {300}, /*ChunkBytes=*/7);
+  ASSERT_FALSE(Default.Records.empty());
+  expectBitIdentical(Default, Tiny);
+}
+
+// Zero-allocation program: the stream still carries the final deep-GC
+// bookkeeping (GC samples, terminate) and replays cleanly.
+TEST(RecordReplay, EmptyProgramRoundTrips) {
+  ir::Program P = buildEmptyProgram();
+  ProfileLog Live = liveRun(P, {});
+  EXPECT_TRUE(Live.Records.empty());
+  EXPECT_FALSE(Live.GCSamples.empty()); // final deep GC always samples
+
+  std::string Path = tempPath("empty.jdev");
+  recordRun(P, {}, Path);
+  ProfileLog Replayed;
+  std::string Err;
+  ASSERT_TRUE(replayProfile(Path, P, ProfilerConfig(), Replayed, &Err)) << Err;
+  std::remove(Path.c_str());
+  expectBitIdentical(Live, Replayed);
+}
+
+// A header-only `.jdev` (zero events) is a valid, empty stream.
+TEST(RecordReplay, HeaderOnlyFileReplaysToNothing) {
+  std::string Path = tempPath("headeronly.jdev");
+  {
+    FileEventSink Sink;
+    ASSERT_TRUE(Sink.open(Path));
+    ASSERT_TRUE(Sink.finish());
+  }
+  CollectingConsumer C;
+  std::string Err;
+  EXPECT_TRUE(replayFile(Path, C, &Err)) << Err;
+  EXPECT_TRUE(C.Events.empty());
+  EXPECT_TRUE(C.Sites.empty());
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Corrupt / truncated recordings
+//===----------------------------------------------------------------------===//
+
+TEST(RecordReplay, RejectsBadMagic) {
+  std::string Path = tempPath("badmagic.jdev");
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << "this is not a jdev stream at all, not even close";
+  }
+  CollectingConsumer C;
+  std::string Err;
+  EXPECT_FALSE(replayFile(Path, C, &Err));
+  EXPECT_NE(Err.find("magic"), std::string::npos) << Err;
+  std::remove(Path.c_str());
+}
+
+TEST(RecordReplay, RejectsWrongVersion) {
+  std::string Path = tempPath("badversion.jdev");
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    std::uint64_t Magic = 0x6a64657673747231ULL; // "jdevstr1"
+    std::uint32_t Version = 999, Reserved = 0;
+    Out.write(reinterpret_cast<const char *>(&Magic), sizeof(Magic));
+    Out.write(reinterpret_cast<const char *>(&Version), sizeof(Version));
+    Out.write(reinterpret_cast<const char *>(&Reserved), sizeof(Reserved));
+  }
+  CollectingConsumer C;
+  std::string Err;
+  EXPECT_FALSE(replayFile(Path, C, &Err));
+  EXPECT_NE(Err.find("version"), std::string::npos) << Err;
+  std::remove(Path.c_str());
+}
+
+TEST(RecordReplay, RejectsTruncatedRecording) {
+  ir::Program P = buildChurnProgram();
+  std::string Path = tempPath("trunc.jdev");
+  recordRun(P, {50}, Path);
+
+  // Chop mid-record: drop the last 17 bytes (17 < sizeof(EventRecord),
+  // and not a multiple of anything in the format).
+  std::vector<char> Bytes = readFileBytes(Path);
+  ASSERT_GT(Bytes.size(), 16u + 17u);
+  std::string Cut = tempPath("trunc_cut.jdev");
+  {
+    std::ofstream Out(Cut, std::ios::binary);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size() - 17));
+  }
+  ProfileLog Ignored;
+  std::string Err;
+  EXPECT_FALSE(replayProfile(Cut, P, ProfilerConfig(), Ignored, &Err));
+  EXPECT_NE(Err.find("truncated"), std::string::npos) << Err;
+  std::remove(Path.c_str());
+  std::remove(Cut.c_str());
+}
+
+} // namespace

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <vector>
+
 using namespace jdrag;
 using namespace jdrag::ir;
 using namespace jdrag::profiler;
@@ -26,7 +29,7 @@ ProfileLog profileRun(const Program &P, ProfilerConfig PC = ProfilerConfig(),
   DragProfiler Prof(P, std::move(PC));
   VMOptions Opts;
   Opts.DeepGCIntervalBytes = Interval;
-  Opts.Observer = &Prof;
+  Prof.attachTo(Opts);
   VirtualMachine VM(P, Opts);
   std::string Err;
   EXPECT_EQ(VM.run(&Err), Interpreter::Status::Ok) << Err;
@@ -353,12 +356,78 @@ TEST(ProfileLog, IntegralIdentities) {
 }
 
 TEST(ProfileLogIO, RejectsOldFormatMagic) {
-  // A v01-magic file must be rejected by the v02 reader.
+  // A v01-magic file must be rejected by the current reader.
   std::string Path = testing::TempDir() + "/jdrag_oldmagic.bin";
   std::FILE *F = std::fopen(Path.c_str(), "wb");
   ASSERT_NE(F, nullptr);
   std::uint64_t OldMagic = 0x6a64726167763031ULL;
   std::fwrite(&OldMagic, sizeof(OldMagic), 1, F);
+  std::fclose(F);
+  ProfileLog Out;
+  EXPECT_FALSE(ProfileLog::readFile(Path, Out));
+}
+
+TEST(ProfileLogIO, RejectsTruncatedFile) {
+  // A valid log chopped at any point after the header must be rejected:
+  // the reader bounds every section count against the remaining file
+  // size and demands the GC-sample section consume it exactly.
+  TestProgramBuilder T;
+  Program P = buildDragProgram(T);
+  ProfileLog Log = profileRun(P);
+  std::string Path = testing::TempDir() + "/jdrag_trunc_src.bin";
+  ASSERT_TRUE(Log.writeFile(Path));
+
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  std::vector<char> Bytes(1 << 20);
+  std::size_t N = std::fread(Bytes.data(), 1, Bytes.size(), F);
+  std::fclose(F);
+  ASSERT_GT(N, 64u);
+  Bytes.resize(N);
+
+  // Several cut points: mid-header, mid-sites, mid-records, and one
+  // byte short of complete.
+  for (std::size_t Cut : {std::size_t(12), std::size_t(40), N / 2, N - 1}) {
+    std::string CutPath = testing::TempDir() + "/jdrag_trunc_cut.bin";
+    std::FILE *G = std::fopen(CutPath.c_str(), "wb");
+    ASSERT_NE(G, nullptr);
+    ASSERT_EQ(std::fwrite(Bytes.data(), 1, Cut, G), Cut);
+    std::fclose(G);
+    ProfileLog Out;
+    EXPECT_FALSE(ProfileLog::readFile(CutPath, Out)) << "cut at " << Cut;
+  }
+}
+
+TEST(ProfileLogIO, RejectsTrailingGarbage) {
+  // Extra bytes after the GC-sample section mean the file was not
+  // written by us -- reject rather than silently ignore.
+  TestProgramBuilder T;
+  Program P = buildDragProgram(T);
+  ProfileLog Log = profileRun(P);
+  std::string Path = testing::TempDir() + "/jdrag_trailing.bin";
+  ASSERT_TRUE(Log.writeFile(Path));
+  std::FILE *F = std::fopen(Path.c_str(), "ab");
+  ASSERT_NE(F, nullptr);
+  std::fputs("x", F);
+  std::fclose(F);
+  ProfileLog Out;
+  EXPECT_FALSE(ProfileLog::readFile(Path, Out));
+}
+
+TEST(ProfileLogIO, RejectsAbsurdSectionCounts) {
+  // A header claiming more records than the file could possibly hold
+  // must be rejected up front (no giant reserve, no short-read loop).
+  std::string Path = testing::TempDir() + "/jdrag_absurd.bin";
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::uint64_t Magic = 0x6a64726167763033ULL; // current magic
+  std::uint32_t Version = 3, RecordBytes = 64;
+  std::uint64_t EndTime = 0, NumSites = 0xffffffffu;
+  std::fwrite(&Magic, sizeof(Magic), 1, F);
+  std::fwrite(&Version, sizeof(Version), 1, F);
+  std::fwrite(&RecordBytes, sizeof(RecordBytes), 1, F);
+  std::fwrite(&EndTime, sizeof(EndTime), 1, F);
+  std::fwrite(&NumSites, sizeof(NumSites), 1, F);
   std::fclose(F);
   ProfileLog Out;
   EXPECT_FALSE(ProfileLog::readFile(Path, Out));

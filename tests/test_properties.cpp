@@ -46,7 +46,7 @@ ProfileLog profileOf(const Program &P, std::size_t *LiveTrailers = nullptr) {
   VMOptions Opts;
   Opts.DeepGCIntervalBytes = 4 * KB; // tiny interval: many GCs
   Opts.MaxSteps = 1u << 24;
-  Opts.Observer = &Prof;
+  Prof.attachTo(Opts);
   VirtualMachine VM(P, Opts);
   std::string Err;
   EXPECT_EQ(VM.run(&Err), Interpreter::Status::Ok) << Err;
@@ -97,7 +97,7 @@ TEST_P(RandomPrograms, ProfilingDoesNotChangeResults) {
   VMOptions Opts;
   Opts.DeepGCIntervalBytes = 4 * KB;
   Opts.MaxSteps = 1u << 24;
-  Opts.Observer = &Prof;
+  Prof.attachTo(Opts);
   VirtualMachine VM(P, Opts);
   std::string Err;
   ASSERT_EQ(VM.run(&Err), Interpreter::Status::Ok) << Err;
@@ -193,7 +193,7 @@ TEST_P(GCIntervalSweep, RecordCountIndependentOfInterval) {
   DragProfiler Prof(P);
   VMOptions Opts;
   Opts.DeepGCIntervalBytes = GetParam();
-  Opts.Observer = &Prof;
+  Prof.attachTo(Opts);
   VirtualMachine VM(P, Opts);
   std::string Err;
   ASSERT_EQ(VM.run(&Err), Interpreter::Status::Ok) << Err;
@@ -214,7 +214,7 @@ TEST_P(GCIntervalSweep, MeasuredDragGrowsWithInterval) {
   DragProfiler Prof(P);
   VMOptions Opts;
   Opts.DeepGCIntervalBytes = GetParam();
-  Opts.Observer = &Prof;
+  Prof.attachTo(Opts);
   VirtualMachine VM(P, Opts);
   ASSERT_EQ(VM.run(), Interpreter::Status::Ok);
   double Drag = Prof.log().totalDrag();

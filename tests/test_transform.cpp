@@ -37,7 +37,7 @@ ProfileLog profile(const Program &P, std::vector<std::int64_t> Inputs = {}) {
   DragProfiler Prof(P);
   VMOptions Opts;
   Opts.DeepGCIntervalBytes = 100 * KB;
-  Opts.Observer = &Prof;
+  Prof.attachTo(Opts);
   VirtualMachine VM(P, Opts);
   VM.setInputs(std::move(Inputs));
   std::string Err;

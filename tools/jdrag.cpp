@@ -5,6 +5,10 @@
 //
 //   jdrag list                      the built-in workloads
 //   jdrag profile <bench> <log>     phase 1: run instrumented, write log
+//   jdrag record <bench> <jdev>     phase 1 only: record the raw binary
+//                                   event stream, no in-process profiler
+//   jdrag replay <bench> <jdev>     phase 2 only: rebuild the profile
+//                                   from a recording and report on it
 //   jdrag report <bench> [<log>]    phase 2: drag report (from a log file
 //                                   or a fresh in-process run)
 //   jdrag optimize <bench>          the full loop: report -> rewrite ->
@@ -65,6 +69,9 @@ int usage() {
       "commands:\n"
       "  list                         available workloads\n"
       "  profile <bench> <log-file>   phase 1: write the object log\n"
+      "  record <bench> <file.jdev>   phase 1: record the raw event stream\n"
+      "  replay <bench> <file.jdev>   phase 2: drag report from a recording\n"
+      "                               (--out LOG also writes the object log)\n"
       "  report <bench> [<log-file>]  phase 2: drag report\n"
       "  optimize <bench>             full profile->rewrite->measure loop\n"
       "  timeline <bench>             reachable/in-use ASCII chart\n"
@@ -118,6 +125,51 @@ int cmdProfile(const BenchmarkProgram &B, const std::string &Path,
               "%llu GC cycles -> %s\n",
               B.Name.c_str(), R.Log.Records.size(), toMB(R.Log.EndTime),
               static_cast<unsigned long long>(R.GCs), Path.c_str());
+  return 0;
+}
+
+int cmdRecord(const BenchmarkProgram &B, const std::string &Path,
+              const Options &O) {
+  profiler::FileEventSink Sink;
+  if (!Sink.open(Path)) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return 1;
+  }
+  vm::VMOptions Opts;
+  Opts.DeepGCIntervalBytes = O.IntervalBytes;
+  Opts.SiteDepth = O.Depth;
+  Opts.Sink = &Sink;
+  vm::VirtualMachine VM(B.Prog, Opts);
+  VM.setInputs(B.DefaultInputs);
+  std::string Err;
+  if (VM.run(&Err) != vm::Interpreter::Status::Ok) {
+    std::fprintf(stderr, "run failed: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("recorded '%s': %.2f MB allocated, %llu event bytes -> %s\n",
+              B.Name.c_str(), toMB(VM.heap().clock()),
+              static_cast<unsigned long long>(Sink.bytesWritten()),
+              Path.c_str());
+  return 0;
+}
+
+int cmdReplay(const BenchmarkProgram &B, const std::string &Path,
+              const Options &O) {
+  profiler::ProfilerConfig PC;
+  PC.SiteDepth = O.Depth;
+  PC.SnapUseTimes = !O.Exact;
+  profiler::ProfileLog Log;
+  std::string Err;
+  if (!profiler::replayProfile(Path, B.Prog, PC, Log, &Err)) {
+    std::fprintf(stderr, "replay failed: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!O.OutPath.empty() && !Log.writeFile(O.OutPath)) {
+    std::fprintf(stderr, "cannot write %s\n", O.OutPath.c_str());
+    return 1;
+  }
+  DragReport Report(B.Prog, Log);
+  std::printf("%s", renderDragReport(Report).c_str());
   return 0;
 }
 
@@ -296,7 +348,7 @@ int cmdReportAsm(const std::string &Path,
   profiler::DragProfiler Prof(*P, PC);
   vm::VMOptions VOpts;
   VOpts.DeepGCIntervalBytes = O.IntervalBytes;
-  VOpts.Observer = &Prof;
+  Prof.attachTo(VOpts);
   vm::VirtualMachine VM(*P, VOpts);
   std::vector<std::int64_t> In;
   for (const std::string &S : Inputs)
@@ -320,7 +372,7 @@ profileAssembled(const ir::Program &P, const std::vector<std::int64_t> &In,
   profiler::DragProfiler Prof(P, PC);
   vm::VMOptions VOpts;
   VOpts.DeepGCIntervalBytes = O.IntervalBytes;
-  VOpts.Observer = &Prof;
+  Prof.attachTo(VOpts);
   vm::VirtualMachine VM(P, VOpts);
   VM.setInputs(In);
   std::string Err;
@@ -471,6 +523,10 @@ int main(int argc, char **argv) {
     return 1;
   if (Cmd == "profile")
     return Pos.size() < 3 ? usage() : cmdProfile(*B, Pos[2], O);
+  if (Cmd == "record")
+    return Pos.size() < 3 ? usage() : cmdRecord(*B, Pos[2], O);
+  if (Cmd == "replay")
+    return Pos.size() < 3 ? usage() : cmdReplay(*B, Pos[2], O);
   if (Cmd == "report")
     return cmdReport(*B, Pos.size() > 2 ? Pos[2] : "", O);
   if (Cmd == "optimize")
