@@ -11,6 +11,7 @@
 #include "benchmarks/MiniJDK.h"
 #include "ir/Verifier.h"
 #include "profiler/DragProfiler.h"
+#include "support/Crc32c.h"
 #include "vm/VirtualMachine.h"
 
 #include <benchmark/benchmark.h>
@@ -97,6 +98,29 @@ void BM_InterpreterNullSink(benchmark::State &State) {
 }
 BENCHMARK(BM_InterpreterNullSink)->Arg(10000);
 
+/// The integrity tax: the same null-sink run with chunk CRC-32C framing
+/// disabled. The delta against BM_InterpreterNullSink is the whole cost
+/// of checksumming every flushed chunk (EventCrc=false is bench-only;
+/// decoders reject unchecksummed streams).
+void BM_InterpreterNullSinkNoCrc(benchmark::State &State) {
+  Program P = buildHotLoop();
+  std::int64_t Iters = State.range(0);
+  for (auto _ : State) {
+    profiler::NullSink Sink;
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Opts.Sink = &Sink;
+    Opts.EventCrc = false;
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({Iters});
+    if (VM.run() != Interpreter::Status::Ok)
+      std::abort();
+    benchmark::DoNotOptimize(Sink.bytesDiscarded());
+  }
+  State.SetItemsProcessed(State.iterations() * Iters);
+}
+BENCHMARK(BM_InterpreterNullSinkNoCrc)->Arg(10000);
+
 void BM_InterpreterProfiled(benchmark::State &State) {
   Program P = buildHotLoop();
   std::int64_t Iters = State.range(0);
@@ -172,6 +196,18 @@ void BM_SiteInterning(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_SiteInterning);
+
+/// Raw CRC-32C throughput at the event-buffer chunk size -- the upper
+/// bound on what the framing can cost per flushed chunk.
+void BM_Crc32c(benchmark::State &State) {
+  std::vector<std::byte> Buf(State.range(0));
+  for (std::size_t I = 0; I != Buf.size(); ++I)
+    Buf[I] = std::byte(I * 31);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(support::crc32c(Buf.data(), Buf.size()));
+  State.SetBytesProcessed(State.iterations() * Buf.size());
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(64 * 1024);
 
 void BM_ProfileLogRoundTrip(benchmark::State &State) {
   BenchmarkProgram B = buildJuru();

@@ -56,6 +56,12 @@ std::string jdrag::analysis::renderDragReport(const DragReport &Report,
   const profiler::SiteTable &Sites = Report.log().Sites;
 
   std::string Out = "=== jdrag drag report ===\n";
+  if (!Report.log().Complete)
+    Out += formatString(
+        "WARNING: incomplete recording -- %llu chunks (%llu bytes) of the "
+        "event stream were dropped; every figure below is a lower bound\n",
+        static_cast<unsigned long long>(Report.log().DroppedChunks),
+        static_cast<unsigned long long>(Report.log().DroppedBytes));
   Out += formatString(
       "reachable integral %.4f MB^2, in-use integral %.4f MB^2, "
       "total drag %.4f MB^2\n\n",

@@ -40,6 +40,7 @@ RunResult jdrag::benchmarks::profiledRun(const ir::Program &Prog,
   std::string Err;
   if (VM.run(&Err) != Interpreter::Status::Ok)
     reportFatalError("benchmark run failed: " + Err);
+  Prof.noteStreamHealth(VM.streamHealth());
   RunResult R;
   R.Outputs = VM.outputs();
   R.Steps = VM.interpreter().steps();

@@ -89,6 +89,15 @@ public:
   const ProfileLog &log() const { return Log; }
   ProfileLog takeLog() { return std::move(Log); }
 
+  /// Stamps the recording's delivery accounting into the log. Call after
+  /// the run with the VM's streamHealth(); a lossy stream marks the log
+  /// incomplete so every report over it carries the warning.
+  void noteStreamHealth(const StreamHealth &H) {
+    Log.Complete = H.intact();
+    Log.DroppedChunks = H.ChunksDropped;
+    Log.DroppedBytes = H.BytesDropped;
+  }
+
   /// Live (not yet logged) object count -- should be 0 after a run.
   std::size_t liveTrailers() const { return Trailers.size(); }
 

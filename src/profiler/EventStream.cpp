@@ -2,8 +2,15 @@
 
 #include "profiler/EventStream.h"
 
-#include <cassert>
+#include "support/Crc32c.h"
+
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 using namespace jdrag;
 using namespace jdrag::profiler;
@@ -19,8 +26,10 @@ constexpr const char *EventKindNames[] = {
 static_assert(std::size(EventKindNames) == NumEventKinds,
               "name every EventKind");
 
-// .jdev header: 8-byte magic, u32 version, u32 reserved.
-constexpr std::uint64_t StreamMagic = 0x6a64657673747231ULL; // "jdevstr1"
+// .jdev header: 8-byte StreamFileMagic, u32 version, u32 reserved. The
+// version field is 2 since chunk framing (v1 was the unframed record
+// stream).
+constexpr std::uint64_t StreamMagic = StreamFileMagic;
 } // namespace
 
 const char *jdrag::profiler::eventKindName(EventKind K) {
@@ -37,32 +46,85 @@ FileEventSink::~FileEventSink() {
     std::fclose(F);
 }
 
-bool FileEventSink::open(const std::string &Path) {
-  assert(!F && "sink already open");
+bool FileEventSink::open(const std::string &Path, Options O) {
+  if (F)
+    return false; // double-open: reject; the first stream stays usable
+  Opt = O;
   F = std::fopen(Path.c_str(), "wb");
-  if (!F)
+  if (!F) {
+    LastErr = errno;
     return Ok = false;
+  }
   std::uint32_t Version = FormatVersion;
   std::uint32_t Reserved = 0;
   Ok = std::fwrite(&StreamMagic, sizeof(StreamMagic), 1, F) == 1 &&
        std::fwrite(&Version, sizeof(Version), 1, F) == 1 &&
        std::fwrite(&Reserved, sizeof(Reserved), 1, F) == 1;
+  if (!Ok)
+    LastErr = errno;
   return Ok;
+}
+
+std::size_t FileEventSink::rawWrite(const std::byte *Data, std::size_t Size) {
+  return std::fwrite(Data, 1, Size, F);
+}
+
+bool FileEventSink::durableFlush() {
+  if (std::fflush(F) != 0) {
+    LastErr = errno;
+    return false;
+  }
+#ifndef _WIN32
+  if (fsync(fileno(F)) != 0) {
+    LastErr = errno;
+    return false;
+  }
+#endif
+  return true;
 }
 
 bool FileEventSink::writeChunk(const std::byte *Data, std::size_t Size) {
   if (!F || !Ok)
     return false;
-  if (std::fwrite(Data, 1, Size, F) != Size)
-    return Ok = false;
+  std::size_t Off = 0;
+  std::uint32_t Attempts = 0;
+  while (Off < Size) {
+    errno = 0;
+    std::size_t N = rawWrite(Data + Off, Size - Off);
+    Off += N;
+    if (Off == Size)
+      break;
+    int E = errno;
+    LastErr = E;
+    // A short write that made progress is always worth continuing;
+    // EINTR/EAGAIN without progress is transient up to the retry
+    // budget. Anything else (ENOSPC, EIO) is fatal for this sink.
+    bool Transient = N > 0 || E == EINTR || E == EAGAIN || E == EWOULDBLOCK;
+    if (N > 0) {
+      Attempts = 0;
+      continue;
+    }
+    if (!Transient || Attempts >= Opt.MaxRetries)
+      return Ok = false;
+    ++Attempts;
+    ++Retries;
+    std::clearerr(F);
+    // Exponential backoff, capped well under human-visible latency.
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        100u << (Attempts < 7 ? Attempts : 7)));
+  }
   Bytes += Size;
+  ++Chunks;
+  if (Opt.FsyncEveryChunks && Chunks % Opt.FsyncEveryChunks == 0 &&
+      !durableFlush())
+    return Ok = false;
   return true;
 }
 
 bool FileEventSink::finish() {
   if (!F)
     return Ok;
-  if (std::fflush(F) != 0)
+  if (Ok && !durableFlush())
     Ok = false;
   std::fclose(F);
   F = nullptr;
@@ -73,30 +135,36 @@ bool FileEventSink::finish() {
 // EventBuffer
 //===----------------------------------------------------------------------===//
 
-EventBuffer::EventBuffer(EventSink &Sink, std::size_t ChunkBytes)
-    : Sink(Sink), ChunkBytes(ChunkBytes ? ChunkBytes : DefaultChunkBytes) {
-  Chunk.reserve(this->ChunkBytes);
+EventBuffer::EventBuffer(EventSink &Sink, std::size_t ChunkBytes,
+                         bool Checksum)
+    : Sink(Sink), ChunkBytes(ChunkBytes ? ChunkBytes : DefaultChunkBytes),
+      Checksum(Checksum) {
+  Chunk.reserve(sizeof(ChunkHeader) + this->ChunkBytes);
+  beginChunk();
+}
+
+void EventBuffer::beginChunk() {
+  Chunk.clear();
+  Chunk.resize(sizeof(ChunkHeader)); // placeholder, filled at flush
 }
 
 void EventBuffer::writeBytes(const void *Data, std::size_t Size) {
-  if (!Ok)
-    return;
   const auto *Src = static_cast<const std::byte *>(Data);
+  std::size_t Cap = sizeof(ChunkHeader) + ChunkBytes;
   while (Size) {
-    std::size_t Room = ChunkBytes - Chunk.size();
+    std::size_t Room = Cap - Chunk.size();
     std::size_t N = Size < Room ? Size : Room;
     Chunk.insert(Chunk.end(), Src, Src + N);
     Src += N;
     Size -= N;
-    if (Chunk.size() == ChunkBytes && !flush())
-      return;
+    if (Chunk.size() == Cap)
+      flush(); // dropped chunks are accounted; keep emitting regardless
   }
 }
 
 void EventBuffer::writeEvent(const EventRecord &E) {
   writeBytes(&E, sizeof(E));
-  if (Ok)
-    ++Events;
+  ++Events;
 }
 
 void EventBuffer::writeSite(SiteId Id, std::span<const SiteFrame> Frames) {
@@ -109,23 +177,57 @@ void EventBuffer::writeSite(SiteId Id, std::span<const SiteFrame> Frames) {
     WireFrame W{F.Method.Index, F.Pc, F.Line};
     writeBytes(&W, sizeof(W));
   }
-  if (Ok)
-    ++Events;
+  ++Events;
 }
 
 bool EventBuffer::flush() {
-  if (!Ok)
-    return false;
-  if (!Chunk.empty()) {
-    if (!Sink.writeChunk(Chunk.data(), Chunk.size()))
-      return Ok = false;
-    Chunk.clear();
+  std::size_t Payload = Chunk.size() - sizeof(ChunkHeader);
+  if (!Payload)
+    return !SinkFailed;
+
+  ChunkHeader H;
+  H.Magic = ChunkMagic;
+  H.Seq = NextSeq++;
+  H.PayloadBytes = static_cast<std::uint32_t>(Payload);
+  H.Crc = Checksum
+              ? support::crc32c(Chunk.data() + sizeof(ChunkHeader), Payload)
+              : 0;
+  std::memcpy(Chunk.data(), &H, sizeof(H));
+
+  bool Accepted =
+      !SinkFailed && Sink.writeChunk(Chunk.data(), Chunk.size());
+  if (Accepted) {
+    ++Health.ChunksWritten;
+    Health.BytesWritten += Chunk.size();
+  } else {
+    ++Health.ChunksDropped;
+    Health.BytesDropped += Chunk.size();
+    if (!SinkFailed) {
+      SinkFailed = true;
+      if (!Warned) {
+        Warned = true;
+        int E = Sink.lastErrno();
+        std::fprintf(stderr,
+                     "jdrag: warning: event-stream sink write failed%s%s; "
+                     "continuing with drop accounting, the recording will "
+                     "be incomplete\n",
+                     E ? ": " : "", E ? std::strerror(E) : "");
+      }
+    }
   }
-  return true;
+  beginChunk();
+  return Accepted;
+}
+
+StreamHealth EventBuffer::health() const {
+  StreamHealth H = Health;
+  H.Retries = Sink.retries();
+  H.LastErrno = Sink.lastErrno();
+  return H;
 }
 
 //===----------------------------------------------------------------------===//
-// StreamDecoder
+// StreamDecoder (record layer)
 //===----------------------------------------------------------------------===//
 
 bool StreamDecoder::fail(std::string Msg) {
@@ -192,12 +294,79 @@ bool StreamDecoder::feed(const std::byte *Data, std::size_t Size) {
 }
 
 //===----------------------------------------------------------------------===//
+// FrameDecoder (chunk layer)
+//===----------------------------------------------------------------------===//
+
+bool FrameDecoder::fail(std::string Msg) {
+  Failed = true;
+  if (Error.empty())
+    Error = std::move(Msg);
+  return false;
+}
+
+bool FrameDecoder::feed(const std::byte *Data, std::size_t Size) {
+  if (Failed)
+    return false;
+
+  // Same zero-copy-unless-straddling strategy as the record layer; on
+  // the live path each feed is exactly one whole frame, so Pending
+  // normally stays empty.
+  const std::byte *Cur = Data;
+  std::size_t Avail = Size;
+  if (!Pending.empty()) {
+    Pending.insert(Pending.end(), Data, Data + Size);
+    Cur = Pending.data();
+    Avail = Pending.size();
+  }
+
+  std::size_t Off = 0;
+  while (Avail - Off >= sizeof(ChunkHeader)) {
+    ChunkHeader H;
+    std::memcpy(&H, Cur + Off, sizeof(H));
+    if (H.Magic != ChunkMagic)
+      return fail("corrupt event stream: bad chunk magic at chunk " +
+                  std::to_string(NextSeq));
+    if (H.PayloadBytes == 0 || H.PayloadBytes > MaxChunkPayload)
+      return fail("corrupt event stream: chunk " + std::to_string(NextSeq) +
+                  " has implausible payload length " +
+                  std::to_string(H.PayloadBytes));
+    if (H.Seq != NextSeq)
+      return fail("corrupt event stream: chunk sequence jumped from " +
+                  std::to_string(NextSeq) + " to " + std::to_string(H.Seq) +
+                  " (dropped or reordered chunks)");
+    if (Avail - Off < sizeof(ChunkHeader) + H.PayloadBytes)
+      break; // partial payload: wait for more bytes
+    const std::byte *Payload = Cur + Off + sizeof(ChunkHeader);
+    std::uint32_t Crc = support::crc32c(Payload, H.PayloadBytes);
+    if (Crc != H.Crc)
+      return fail("corrupt event stream: chunk " + std::to_string(NextSeq) +
+                  " CRC mismatch (stored " + std::to_string(H.Crc) +
+                  ", computed " + std::to_string(Crc) + ")");
+    if (!Records.feed(Payload, H.PayloadBytes)) {
+      Failed = true;
+      return false; // record-layer error() is surfaced by error()
+    }
+    ++Chunks;
+    ++NextSeq;
+    Off += sizeof(ChunkHeader) + H.PayloadBytes;
+  }
+
+  if (!Pending.empty()) {
+    Pending.erase(Pending.begin(),
+                  Pending.begin() + static_cast<std::ptrdiff_t>(Off));
+  } else if (Off < Avail) {
+    Pending.assign(Cur + Off, Cur + Avail);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
 // Replay
 //===----------------------------------------------------------------------===//
 
 bool jdrag::profiler::replayBytes(std::span<const std::byte> Bytes,
                                   EventConsumer &C, std::string *Err) {
-  StreamDecoder D(C);
+  FrameDecoder D(C);
   if (!D.feed(Bytes.data(), Bytes.size())) {
     if (Err)
       *Err = D.error();
@@ -205,7 +374,7 @@ bool jdrag::profiler::replayBytes(std::span<const std::byte> Bytes,
   }
   if (!D.atRecordBoundary()) {
     if (Err)
-      *Err = "truncated event stream: partial trailing record";
+      *Err = "truncated event stream: partial trailing chunk or record";
     return false;
   }
   return true;
@@ -236,7 +405,7 @@ bool jdrag::profiler::replayFile(const std::string &Path, EventConsumer &C,
                 std::to_string(Version));
   }
 
-  StreamDecoder D(C);
+  FrameDecoder D(C);
   std::byte Buf[64 * 1024];
   bool Ok = true;
   while (true) {
@@ -255,6 +424,8 @@ bool jdrag::profiler::replayFile(const std::string &Path, EventConsumer &C,
   if (ReadError)
     return Fail(Path + ": read error");
   if (!D.atRecordBoundary())
-    return Fail(Path + ": truncated event stream (partial trailing record)");
+    return Fail(Path +
+                ": truncated event stream (partial trailing chunk or "
+                "record); try `jdrag salvage`");
   return true;
 }

@@ -12,12 +12,13 @@
 /// a chunked EventBuffer -- and a pluggable EventSink decides where the
 /// bytes go:
 ///
-///   DispatchSink   decode chunks as they are flushed and feed an
-///                  EventConsumer (attached / live profiling)
-///   FileEventSink  write a `.jdev` recording for detached analysis
-///   MemorySink     keep the raw stream in memory (tests, tooling)
-///   TeeSink        both at once
-///   NullSink       discard (overhead measurement)
+///   DispatchSink       decode chunks as they are flushed and feed an
+///                      EventConsumer (attached / live profiling)
+///   FileEventSink      write a `.jdev` recording for detached analysis
+///   MemorySink         keep the raw stream in memory (tests, tooling)
+///   TeeSink            both at once
+///   NullSink           discard (overhead measurement)
+///   FaultInjectionSink wrap another sink and fail on a schedule (tests)
 ///
 /// Call chains are NOT carried per event: the VM interns each unique
 /// nested site once, emits a single DefineSite record with the frames,
@@ -26,9 +27,23 @@
 /// consumer rebuilds a bit-identical ProfileLog.
 ///
 /// Wire format (native-endian; a recording is consumed on the machine
-/// that produced it): every record starts with a 40-byte EventRecord;
-/// DefineSite records are followed by FrameCount 12-byte WireFrames.
-/// Records may straddle chunk boundaries -- StreamDecoder reassembles.
+/// that produced it): the stream is a sequence of *framed chunks*, each
+/// a 16-byte ChunkHeader (magic, sequence number, payload length,
+/// CRC-32C of the payload) followed by the payload. Payloads concatenate
+/// into the record stream: every record starts with a 40-byte
+/// EventRecord; DefineSite records are followed by FrameCount 12-byte
+/// WireFrames. Records may straddle chunk boundaries -- FrameDecoder
+/// verifies and strips the frames, StreamDecoder reassembles records.
+/// The framing is what makes a damaged recording *salvageable*: a
+/// decoder can verify each chunk independently, detect exactly where
+/// corruption or truncation begins, and recover every complete record
+/// before it (see profiler/StreamSalvage.h).
+///
+/// The producer side degrades gracefully instead of failing silently:
+/// when a sink write fails, EventBuffer keeps accepting events, accounts
+/// every dropped chunk and byte in a StreamHealth struct, and warns once
+/// on stderr -- a long run that hits ENOSPC ends with a salvageable
+/// prefix plus an exact accounting of the loss, not an empty file.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +54,7 @@
 #include "support/Units.h"
 #include "vm/Value.h"
 
+#include <cerrno>
 #include <cstddef>
 #include <cstdio>
 #include <span>
@@ -102,16 +118,66 @@ static_assert(sizeof(WireFrame) == 12);
 /// larger as corruption (matches ProfileLog's chain limit).
 inline constexpr std::uint64_t MaxWireFrames = 1024;
 
+/// `.jdev` file magic ("jdevstr1"): 8 bytes, followed by a u32 format
+/// version (FileEventSink::FormatVersion) and a u32 reserved field.
+inline constexpr std::uint64_t StreamFileMagic = 0x6a64657673747231ULL;
+
+//===----------------------------------------------------------------------===//
+// Chunk framing
+//===----------------------------------------------------------------------===//
+
+/// Frame header preceding every chunk payload in the stream. The magic
+/// lets a salvage scan resynchronize at the next chunk boundary after
+/// damage; Seq makes dropped or reordered chunks detectable; Crc
+/// (CRC-32C of the payload bytes) makes bit flips detectable.
+struct ChunkHeader {
+  std::uint32_t Magic = 0;
+  std::uint32_t Seq = 0;
+  std::uint32_t PayloadBytes = 0;
+  std::uint32_t Crc = 0;
+};
+static_assert(sizeof(ChunkHeader) == 16, "wire format is fixed-width");
+static_assert(std::is_trivially_copyable_v<ChunkHeader>);
+
+/// "jdCk", little-endian.
+inline constexpr std::uint32_t ChunkMagic = 0x6b43646a;
+
+/// Sanity bound on chunk payloads; a decoder rejects larger length
+/// fields as corruption instead of attempting a giant buffer.
+inline constexpr std::uint32_t MaxChunkPayload = 64u << 20;
+
+/// Producer-side accounting of stream integrity. Every byte handed to a
+/// failing sink is counted, never silently discarded: after a run,
+/// `intact()` says whether the recording is complete and the counters
+/// say exactly how much was lost and why (last errno, retries spent).
+struct StreamHealth {
+  std::uint64_t ChunksWritten = 0; ///< chunks accepted by the sink
+  std::uint64_t ChunksDropped = 0; ///< chunks the sink refused
+  std::uint64_t BytesWritten = 0;  ///< frame bytes accepted (header+payload)
+  std::uint64_t BytesDropped = 0;  ///< frame bytes refused
+  std::uint32_t Retries = 0;       ///< transient-error retries in the sink
+  int LastErrno = 0;               ///< errno of the last sink failure
+
+  bool intact() const { return ChunksDropped == 0; }
+};
+
 /// Where flushed chunks go. Implementations must tolerate any chunk
-/// sizes; record boundaries do NOT align with chunk boundaries.
+/// sizes; each writeChunk call carries exactly one framed chunk (header
+/// plus payload), but record boundaries do NOT align with chunk
+/// boundaries.
 class EventSink {
 public:
   virtual ~EventSink();
   /// Receives the next \p Size bytes of the stream. Returns false on
-  /// unrecoverable error (the producer stops emitting).
+  /// unrecoverable error (the producer stops handing chunks to this
+  /// sink and accounts further chunks as dropped).
   virtual bool writeChunk(const std::byte *Data, std::size_t Size) = 0;
   /// Stream complete (all chunks flushed). Default: no-op.
   virtual bool finish() { return true; }
+  /// errno of the most recent failure, 0 if none (for StreamHealth).
+  virtual int lastErrno() const { return 0; }
+  /// Transient-error retries performed so far (for StreamHealth).
+  virtual std::uint32_t retries() const { return 0; }
 };
 
 /// Keeps the raw stream in memory.
@@ -154,64 +220,163 @@ public:
     bool OkB = B.finish();
     return OkA && OkB;
   }
+  int lastErrno() const override {
+    return A.lastErrno() ? A.lastErrno() : B.lastErrno();
+  }
+  std::uint32_t retries() const override {
+    return A.retries() + B.retries();
+  }
 
 private:
   EventSink &A;
   EventSink &B;
 };
 
-/// Writes a `.jdev` recording: a 16-byte header (magic, version) followed
-/// by the raw stream bytes.
+/// Wraps another sink and fails on a deterministic schedule -- the test
+/// harness for the pipeline's crash/ENOSPC behaviour. Passes bytes
+/// through until \p FailAfterBytes total bytes, then (optionally) short-
+/// writes the first \p ShortWriteBytes bytes of the failing chunk before
+/// refusing it and everything after -- simulating a crash or full disk
+/// that truncates the recording mid-frame.
+class FaultInjectionSink : public EventSink {
+public:
+  struct Plan {
+    /// Total bytes to pass through before the permanent failure.
+    std::uint64_t FailAfterBytes = ~0ull;
+    /// Bytes of the failing chunk still written (a short write that
+    /// truncates the stream mid-frame). 0 = the failing chunk is lost
+    /// whole, leaving a clean chunk-boundary prefix.
+    std::size_t ShortWriteBytes = 0;
+    /// errno reported for the injected failure.
+    int Errno = ENOSPC;
+  };
+
+  FaultInjectionSink(EventSink &Inner, Plan P) : Inner(Inner), P(P) {}
+
+  bool writeChunk(const std::byte *Data, std::size_t Size) override {
+    if (Tripped)
+      return false;
+    if (Written + Size <= P.FailAfterBytes) {
+      Written += Size;
+      return Inner.writeChunk(Data, Size);
+    }
+    Tripped = true;
+    if (P.ShortWriteBytes && P.ShortWriteBytes < Size)
+      Inner.writeChunk(Data, P.ShortWriteBytes);
+    return false;
+  }
+  bool finish() override { return Inner.finish() && !Tripped; }
+  int lastErrno() const override { return Tripped ? P.Errno : 0; }
+  std::uint32_t retries() const override { return Inner.retries(); }
+
+  bool tripped() const { return Tripped; }
+
+private:
+  EventSink &Inner;
+  Plan P;
+  std::uint64_t Written = 0;
+  bool Tripped = false;
+};
+
+/// Writes a `.jdev` recording: a 16-byte file header (magic, version)
+/// followed by the framed chunk stream. Transient write errors (EINTR,
+/// EAGAIN, short writes) are retried with bounded backoff; genuine
+/// failures (ENOSPC, EIO) mark the sink failed and are surfaced through
+/// lastErrno()/retries(). An optional fsync cadence bounds how much a
+/// crash of the *recording process* can lose.
 class FileEventSink : public EventSink {
 public:
-  static constexpr std::uint32_t FormatVersion = 1;
+  static constexpr std::uint32_t FormatVersion = 2;
+
+  struct Options {
+    /// Retry budget for transient errors on one chunk.
+    std::uint32_t MaxRetries = 8;
+    /// fsync the file every N accepted chunks (0 = never). With N=1
+    /// every flushed chunk is durable before the VM continues.
+    std::uint32_t FsyncEveryChunks = 0;
+  };
 
   FileEventSink() = default;
   ~FileEventSink() override;
   FileEventSink(const FileEventSink &) = delete;
   FileEventSink &operator=(const FileEventSink &) = delete;
 
-  /// Opens \p Path and writes the header. Returns false on I/O error.
-  bool open(const std::string &Path);
+  /// Opens \p Path and writes the header. Returns false on I/O error,
+  /// or if this sink is already open (the first stream stays usable).
+  bool open(const std::string &Path, Options Opt);
+  bool open(const std::string &Path) { return open(Path, Options()); }
   bool writeChunk(const std::byte *Data, std::size_t Size) override;
   /// Flushes and closes. Returns false if any write failed.
   bool finish() override;
 
   std::uint64_t bytesWritten() const { return Bytes; }
+  int lastErrno() const override { return LastErr; }
+  std::uint32_t retries() const override { return Retries; }
+
+protected:
+  /// Write seam: returns bytes actually written, setting errno on a
+  /// failure or short write. Tests override this to inject transient
+  /// faults and exercise the retry loop.
+  virtual std::size_t rawWrite(const std::byte *Data, std::size_t Size);
 
 private:
+  bool durableFlush();
+
   std::FILE *F = nullptr;
+  Options Opt;
   std::uint64_t Bytes = 0;
+  std::uint64_t Chunks = 0;
+  std::uint32_t Retries = 0;
+  int LastErr = 0;
   bool Ok = true;
 };
 
 /// Chunked accumulator between the emitting VM and a sink. Events are
-/// appended byte-wise; a full chunk is handed to the sink and writing
-/// continues in the next chunk, so records freely straddle boundaries.
+/// appended byte-wise; a full chunk is framed (ChunkHeader + payload)
+/// and handed to the sink, and writing continues in the next chunk, so
+/// records freely straddle chunk payload boundaries.
+///
+/// A sink failure does not stop event production: the buffer keeps
+/// accepting events, accounts every refused chunk in health(), and
+/// warns once on stderr. The recording then holds a valid prefix that
+/// StreamSalvage can recover.
 class EventBuffer {
 public:
   static constexpr std::size_t DefaultChunkBytes = 64 * 1024;
 
+  /// \p Checksum = false skips the CRC computation and stamps 0 into
+  /// the frame headers. Decoders reject such frames -- the switch
+  /// exists ONLY to measure the integrity overhead (bench/) and must
+  /// never be used for real recordings.
   explicit EventBuffer(EventSink &Sink,
-                       std::size_t ChunkBytes = DefaultChunkBytes);
+                       std::size_t ChunkBytes = DefaultChunkBytes,
+                       bool Checksum = true);
 
   void writeEvent(const EventRecord &E);
   /// Emits a DefineSite record for \p Id with \p Frames.
   void writeSite(SiteId Id, std::span<const SiteFrame> Frames);
-  /// Hands the current partial chunk to the sink.
+  /// Frames the current partial chunk and hands it to the sink.
+  /// Returns false if the chunk was dropped (accounted in health()).
   bool flush();
-  /// False once any sink write has failed (writes become no-ops).
-  bool ok() const { return Ok; }
+  /// True while no sink write has failed.
+  bool ok() const { return !SinkFailed; }
+  /// Integrity accounting, including the sink's errno/retry counters.
+  StreamHealth health() const;
   std::uint64_t eventsWritten() const { return Events; }
 
 private:
   void writeBytes(const void *Data, std::size_t Size);
+  void beginChunk();
 
   EventSink &Sink;
-  std::vector<std::byte> Chunk;
+  std::vector<std::byte> Chunk; ///< ChunkHeader placeholder + payload
   std::size_t ChunkBytes;
   std::uint64_t Events = 0;
-  bool Ok = true;
+  std::uint32_t NextSeq = 0;
+  StreamHealth Health;
+  bool Checksum = true;
+  bool SinkFailed = false;
+  bool Warned = false;
 };
 
 /// Receiver of decoded events. DefineSite records arrive through
@@ -224,9 +389,10 @@ public:
   virtual void onEvent(const EventRecord &E) = 0;
 };
 
-/// Incremental decoder: feed() any byte slices (chunks of any size, a
-/// whole file, single bytes) and complete records are dispatched to the
-/// consumer; partial tail bytes are buffered until the next feed.
+/// Incremental *record-layer* decoder: feed() payload byte slices (whole
+/// chunks, single bytes) and complete records are dispatched to the
+/// consumer; partial tail bytes are buffered until the next feed. Does
+/// not know about chunk frames -- FrameDecoder strips those first.
 class StreamDecoder {
 public:
   explicit StreamDecoder(EventConsumer &C) : C(C) {}
@@ -240,6 +406,8 @@ public:
   bool atRecordBoundary() const { return Pending.empty() && !Failed; }
 
   std::uint64_t eventsDecoded() const { return Events; }
+  /// Bytes of the buffered partial record (0 at a record boundary).
+  std::size_t pendingBytes() const { return Pending.size(); }
   const std::string &error() const { return Error; }
 
 private:
@@ -253,6 +421,41 @@ private:
   bool Failed = false;
 };
 
+/// Incremental *chunk-layer* decoder: feed() arbitrary byte slices of a
+/// framed stream; it validates each ChunkHeader (magic, sequence,
+/// length, CRC-32C of the payload) and passes verified payloads to the
+/// record layer. Any integrity violation fails sticky with a precise
+/// error naming the chunk -- use StreamSalvage to recover what precedes
+/// the damage.
+class FrameDecoder {
+public:
+  explicit FrameDecoder(EventConsumer &C) : Records(C) {}
+
+  bool feed(const std::byte *Data, std::size_t Size);
+
+  /// True when the stream so far ends exactly at a chunk boundary that
+  /// is also a record boundary -- i.e. a complete, undamaged stream.
+  bool atRecordBoundary() const {
+    return !Failed && Pending.empty() && Records.atRecordBoundary();
+  }
+
+  std::uint64_t eventsDecoded() const { return Records.eventsDecoded(); }
+  std::uint64_t chunksDecoded() const { return Chunks; }
+  const std::string &error() const {
+    return Error.empty() ? Records.error() : Error;
+  }
+
+private:
+  bool fail(std::string Msg);
+
+  StreamDecoder Records;
+  std::vector<std::byte> Pending;
+  std::uint64_t Chunks = 0;
+  std::uint32_t NextSeq = 0;
+  std::string Error;
+  bool Failed = false;
+};
+
 /// A sink that decodes inline and feeds a consumer -- attached (live)
 /// profiling: the VM flushes chunks, the consumer sees decoded events.
 class DispatchSink : public EventSink {
@@ -262,20 +465,21 @@ public:
     return Decoder.feed(Data, Size);
   }
   bool finish() override { return Decoder.atRecordBoundary(); }
-  const StreamDecoder &decoder() const { return Decoder; }
+  const FrameDecoder &decoder() const { return Decoder; }
 
 private:
-  StreamDecoder Decoder;
+  FrameDecoder Decoder;
 };
 
-/// Replays raw stream bytes (no file header) into \p C. Returns false
-/// and sets \p Err on malformed or truncated input.
+/// Replays raw framed stream bytes (no file header) into \p C. Returns
+/// false and sets \p Err on malformed or truncated input.
 bool replayBytes(std::span<const std::byte> Bytes, EventConsumer &C,
                  std::string *Err = nullptr);
 
-/// Replays a `.jdev` recording into \p C, validating the header and
-/// detecting truncation (a partial trailing record). A header-only file
-/// (zero events) replays successfully.
+/// Replays a `.jdev` recording into \p C, validating the file header,
+/// every chunk frame (sequence + CRC), and record completeness. A
+/// header-only file (zero events) replays successfully. Damaged files
+/// fail with a precise error; `jdrag salvage` recovers their prefix.
 bool replayFile(const std::string &Path, EventConsumer &C,
                 std::string *Err = nullptr);
 

@@ -33,13 +33,14 @@ SpaceTime ProfileLog::inUseIntegral() const {
 
 namespace {
 
-// Format v03: magic, u32 version, u32 record size (layout check), then
-// EndTime, sites, records, GC samples. The version and record-size
-// fields plus file-size validation of every count make corrupt,
-// truncated, or wrong-version files fail cleanly instead of producing
-// garbage records (or huge blind reserves).
-constexpr std::uint64_t LogMagic = 0x6a64726167763033ULL; // "jdragv03"
-constexpr std::uint32_t LogVersion = 3;
+// Format v04: magic, u32 version, u32 record size (layout check), then
+// EndTime, completeness (u8 Complete + u64 dropped chunks/bytes from
+// the recording's StreamHealth), sites, records, GC samples. The
+// version and record-size fields plus file-size validation of every
+// count make corrupt, truncated, or wrong-version files fail cleanly
+// instead of producing garbage records (or huge blind reserves).
+constexpr std::uint64_t LogMagic = 0x6a64726167763034ULL; // "jdragv04"
+constexpr std::uint32_t LogVersion = 4;
 
 struct FileCloser {
   void operator()(std::FILE *F) const {
@@ -89,6 +90,10 @@ bool ProfileLog::writeFile(const std::string &Path) const {
   std::uint32_t RecordBytes = sizeof(DiskRecord);
   if (!writePod(F.get(), LogMagic) || !writePod(F.get(), LogVersion) ||
       !writePod(F.get(), RecordBytes) || !writePod(F.get(), EndTime))
+    return false;
+  std::uint8_t CompleteByte = Complete;
+  if (!writePod(F.get(), CompleteByte) || !writePod(F.get(), DroppedChunks) ||
+      !writePod(F.get(), DroppedBytes))
     return false;
 
   std::uint64_t NumSites = Sites.size();
@@ -168,6 +173,15 @@ bool ProfileLog::readFile(const std::string &Path, ProfileLog &Out) {
   if (!readPod(F.get(), RecordBytes) || RecordBytes != sizeof(DiskRecord))
     return false;
   if (!readPod(F.get(), Out.EndTime))
+    return false;
+  std::uint8_t CompleteByte = 1;
+  if (!readPod(F.get(), CompleteByte) || CompleteByte > 1 ||
+      !readPod(F.get(), Out.DroppedChunks) ||
+      !readPod(F.get(), Out.DroppedBytes))
+    return false;
+  Out.Complete = CompleteByte;
+  // A complete log must not claim drops (and vice versa).
+  if (Out.Complete != (Out.DroppedChunks == 0 && Out.DroppedBytes == 0))
     return false;
 
   std::uint64_t NumSites = 0;

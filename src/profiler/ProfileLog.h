@@ -84,6 +84,13 @@ public:
   std::vector<GCSample> GCSamples;
   SiteTable Sites;
   ByteTime EndTime = 0;
+  /// False when the event stream behind this log lost chunks (sink
+  /// failure during recording): every analysis over it is a lower
+  /// bound, and reports must say so.
+  bool Complete = true;
+  /// Extent of the loss when !Complete (from profiler::StreamHealth).
+  std::uint64_t DroppedChunks = 0;
+  std::uint64_t DroppedBytes = 0;
 
   /// Serializes to \p Path. Returns false on I/O error.
   bool writeFile(const std::string &Path) const;

@@ -1,0 +1,260 @@
+//===- profiler/StreamSalvage.cpp -----------------------------------------===//
+
+#include "profiler/StreamSalvage.h"
+
+#include "support/Crc32c.h"
+#include "support/Format.h"
+
+#include <cstring>
+#include <memory>
+
+using namespace jdrag;
+using namespace jdrag::profiler;
+
+const char *jdrag::profiler::chunkStatusName(ChunkStatus S) {
+  switch (S) {
+  case ChunkStatus::Ok:
+    return "ok";
+  case ChunkStatus::TruncatedHeader:
+    return "truncated-header";
+  case ChunkStatus::TruncatedPayload:
+    return "truncated-payload";
+  case ChunkStatus::BadMagic:
+    return "bad-magic";
+  case ChunkStatus::BadSequence:
+    return "bad-sequence";
+  case ChunkStatus::OversizedPayload:
+    return "oversized-payload";
+  case ChunkStatus::BadCrc:
+    return "crc-mismatch";
+  case ChunkStatus::BadRecords:
+    return "bad-records";
+  }
+  return "?";
+}
+
+std::uint64_t SalvageReport::chunksOk() const {
+  std::uint64_t N = 0;
+  for (const ChunkVerdict &V : Chunks)
+    N += V.ok();
+  return N;
+}
+
+std::uint64_t SalvageReport::chunksDamaged() const {
+  return Chunks.size() - chunksOk();
+}
+
+std::string SalvageReport::summary(const std::string &Path) const {
+  if (!readable())
+    return Path + ": " + FileError + "\n";
+  std::string Out = formatString(
+      "%s: jdev v%u, %llu bytes, %zu chunks: %llu ok, %llu damaged\n",
+      Path.c_str(), Version, static_cast<unsigned long long>(FileBytes),
+      Chunks.size(), static_cast<unsigned long long>(chunksOk()),
+      static_cast<unsigned long long>(chunksDamaged()));
+  for (const ChunkVerdict &V : Chunks)
+    if (!V.ok())
+      Out += formatString(
+          "  chunk %u @ offset %llu: %s (%u-byte payload)\n", V.Seq,
+          static_cast<unsigned long long>(V.Offset),
+          chunkStatusName(V.Status), V.PayloadBytes);
+  Out += formatString(
+      "recoverable prefix: %llu events, %llu payload bytes%s\n",
+      static_cast<unsigned long long>(EventsRecovered),
+      static_cast<unsigned long long>(BytesRecovered),
+      TailPartialRecord ? " (partial trailing record dropped)" : "");
+  return Out;
+}
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE *F) const {
+    if (F)
+      std::fclose(F);
+  }
+};
+
+/// Reads the whole file (recordings are scanned and resynchronized with
+/// random access, so streaming buys nothing here).
+bool readAll(const std::string &Path, std::vector<std::byte> &Out) {
+  std::unique_ptr<std::FILE, FileCloser> F(std::fopen(Path.c_str(), "rb"));
+  if (!F)
+    return false;
+  if (std::fseek(F.get(), 0, SEEK_END) != 0)
+    return false;
+  long End = std::ftell(F.get());
+  if (End < 0 || std::fseek(F.get(), 0, SEEK_SET) != 0)
+    return false;
+  Out.resize(static_cast<std::size_t>(End));
+  return Out.empty() ||
+         std::fread(Out.data(), 1, Out.size(), F.get()) == Out.size();
+}
+
+/// Byte-wise search for the next chunk magic at or after \p From.
+std::size_t findMagic(std::span<const std::byte> Bytes, std::size_t From) {
+  std::uint32_t M = ChunkMagic;
+  std::byte Pat[sizeof(M)];
+  std::memcpy(Pat, &M, sizeof(M));
+  for (std::size_t I = From; I + sizeof(M) <= Bytes.size(); ++I)
+    if (std::memcmp(Bytes.data() + I, Pat, sizeof(M)) == 0)
+      return I;
+  return SalvageReport::npos;
+}
+
+class NullConsumer : public EventConsumer {
+public:
+  void onSite(SiteId, std::span<const SiteFrame>) override {}
+  void onEvent(const EventRecord &) override {}
+};
+
+/// Re-encodes the recovered prefix through a fresh EventBuffer; site
+/// ids pass through unchanged, so the salvaged recording replays with
+/// the producer's original ids.
+class ReencodeConsumer : public EventConsumer {
+public:
+  explicit ReencodeConsumer(EventBuffer &Buf) : Buf(Buf) {}
+  void onSite(SiteId Id, std::span<const SiteFrame> Frames) override {
+    Buf.writeSite(Id, Frames);
+  }
+  void onEvent(const EventRecord &E) override { Buf.writeEvent(E); }
+
+private:
+  EventBuffer &Buf;
+};
+
+} // namespace
+
+SalvageReport jdrag::profiler::scanEventFile(const std::string &Path,
+                                             EventConsumer *C) {
+  SalvageReport Rep;
+  std::vector<std::byte> Bytes;
+  if (!readAll(Path, Bytes)) {
+    Rep.FileError = "cannot read file";
+    return Rep;
+  }
+  Rep.FileBytes = Bytes.size();
+
+  constexpr std::size_t FileHeaderBytes = 16;
+  std::uint64_t Magic = 0;
+  if (Bytes.size() < FileHeaderBytes) {
+    Rep.FileError = "not a .jdev event stream (too short)";
+    return Rep;
+  }
+  std::memcpy(&Magic, Bytes.data(), sizeof(Magic));
+  if (Magic != StreamFileMagic) {
+    Rep.FileError = "not a .jdev event stream (bad magic)";
+    return Rep;
+  }
+  std::memcpy(&Rep.Version, Bytes.data() + 8, sizeof(Rep.Version));
+  if (Rep.Version != FileEventSink::FormatVersion) {
+    Rep.FileError =
+        "unsupported .jdev version " + std::to_string(Rep.Version);
+    return Rep;
+  }
+
+  NullConsumer Discard;
+  StreamDecoder Records(C ? *C : static_cast<EventConsumer &>(Discard));
+  std::size_t Off = FileHeaderBytes;
+  std::uint32_t ExpectedSeq = 0;
+  bool Damaged = false;
+  std::uint64_t FedBytes = 0;
+
+  auto judge = [&](ChunkVerdict V) {
+    if (!V.ok() && Rep.FirstDamaged == SalvageReport::npos)
+      Rep.FirstDamaged = Rep.Chunks.size();
+    Rep.Chunks.push_back(V);
+    Damaged |= !V.ok();
+  };
+
+  while (Off < Bytes.size()) {
+    ChunkVerdict V;
+    V.Offset = Off;
+    if (Bytes.size() - Off < sizeof(ChunkHeader)) {
+      V.Status = ChunkStatus::TruncatedHeader;
+      judge(V);
+      break;
+    }
+    ChunkHeader H;
+    std::memcpy(&H, Bytes.data() + Off, sizeof(H));
+    V.Seq = H.Seq;
+    V.PayloadBytes = H.PayloadBytes;
+
+    bool Resync = false;
+    if (H.Magic != ChunkMagic) {
+      V.Status = ChunkStatus::BadMagic;
+      Resync = true;
+    } else if (H.PayloadBytes == 0 || H.PayloadBytes > MaxChunkPayload) {
+      V.Status = ChunkStatus::OversizedPayload;
+      Resync = true;
+    } else if (!Damaged && H.Seq != ExpectedSeq) {
+      // Only meaningful before the first damage; after a resync the
+      // sequence is whatever the surviving chunks say.
+      V.Status = ChunkStatus::BadSequence;
+    } else if (Bytes.size() - Off - sizeof(ChunkHeader) < H.PayloadBytes) {
+      V.Status = ChunkStatus::TruncatedPayload;
+      judge(V);
+      break; // nothing beyond EOF to resynchronize on
+    } else {
+      const std::byte *Payload = Bytes.data() + Off + sizeof(ChunkHeader);
+      if (support::crc32c(Payload, H.PayloadBytes) != H.Crc) {
+        V.Status = ChunkStatus::BadCrc;
+      } else if (!Damaged) {
+        // Valid, in-sequence chunk before any damage: extend the prefix.
+        if (Records.feed(Payload, H.PayloadBytes)) {
+          FedBytes += H.PayloadBytes;
+        } else {
+          V.Status = ChunkStatus::BadRecords;
+        }
+      }
+      // Valid chunks after damage are judged but not replayed: a
+      // straddling record or missing site definition poisons them.
+    }
+    judge(V);
+
+    if (Resync) {
+      // The header itself is untrustworthy; hunt for the next magic.
+      std::size_t Next = findMagic(Bytes, Off + 1);
+      if (Next == SalvageReport::npos)
+        break;
+      Off = Next;
+    } else {
+      Off += sizeof(ChunkHeader) + H.PayloadBytes;
+      ExpectedSeq = H.Seq + 1;
+    }
+  }
+
+  Rep.EventsRecovered = Records.eventsDecoded();
+  Rep.TailPartialRecord = Records.pendingBytes() != 0;
+  Rep.BytesRecovered = FedBytes - Records.pendingBytes();
+  return Rep;
+}
+
+bool jdrag::profiler::salvageEventFile(const std::string &In,
+                                       const std::string &Out,
+                                       SalvageReport *Rep,
+                                       std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+
+  // First pass judges readability without touching the output path.
+  SalvageReport Probe = scanEventFile(In, nullptr);
+  if (Rep)
+    *Rep = Probe;
+  if (!Probe.readable())
+    return Fail(In + ": " + Probe.FileError);
+
+  FileEventSink Sink;
+  if (!Sink.open(Out))
+    return Fail("cannot write " + Out);
+  EventBuffer Buf(Sink);
+  ReencodeConsumer Re(Buf);
+  scanEventFile(In, &Re);
+  Buf.flush();
+  if (!Buf.ok() || !Sink.finish())
+    return Fail("cannot write " + Out);
+  return true;
+}

@@ -1,0 +1,56 @@
+//===- support/Crc32c.cpp -------------------------------------------------===//
+
+#include "support/Crc32c.h"
+
+#include <bit>
+#include <cstring>
+
+namespace {
+
+constexpr std::uint32_t Poly = 0x82F63B78u; // reflected Castagnoli
+
+/// Eight 256-entry tables: Tables[0] is the classic byte-at-a-time table,
+/// Tables[k][b] extends a byte through k additional zero bytes, enabling
+/// the slicing-by-8 inner loop.
+struct CrcTables {
+  std::uint32_t T[8][256];
+};
+
+constexpr CrcTables makeTables() {
+  CrcTables R{};
+  for (std::uint32_t I = 0; I != 256; ++I) {
+    std::uint32_t C = I;
+    for (int K = 0; K != 8; ++K)
+      C = (C & 1) ? (C >> 1) ^ Poly : C >> 1;
+    R.T[0][I] = C;
+  }
+  for (std::uint32_t I = 0; I != 256; ++I)
+    for (int K = 1; K != 8; ++K)
+      R.T[K][I] = (R.T[K - 1][I] >> 8) ^ R.T[0][R.T[K - 1][I] & 0xFF];
+  return R;
+}
+
+constexpr CrcTables Tables = makeTables();
+
+} // namespace
+
+std::uint32_t jdrag::support::crc32c(const void *Data, std::size_t Size,
+                                     std::uint32_t Seed) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  std::uint32_t C = ~Seed;
+  // The 8-byte fold assumes the CRC lands in the low-order input bytes.
+  while (std::endian::native == std::endian::little && Size >= 8) {
+    std::uint64_t W;
+    std::memcpy(&W, P, 8);
+    W ^= C; // little-endian: the CRC folds into the low 4 bytes
+    C = Tables.T[7][W & 0xFF] ^ Tables.T[6][(W >> 8) & 0xFF] ^
+        Tables.T[5][(W >> 16) & 0xFF] ^ Tables.T[4][(W >> 24) & 0xFF] ^
+        Tables.T[3][(W >> 32) & 0xFF] ^ Tables.T[2][(W >> 40) & 0xFF] ^
+        Tables.T[1][(W >> 48) & 0xFF] ^ Tables.T[0][(W >> 56) & 0xFF];
+    P += 8;
+    Size -= 8;
+  }
+  while (Size--)
+    C = (C >> 8) ^ Tables.T[0][(C ^ *P++) & 0xFF];
+  return ~C;
+}

@@ -40,6 +40,8 @@ public:
     std::uint32_t SiteDepth = 4;
     /// Buffer chunk size; 0 = EventBuffer::DefaultChunkBytes.
     std::size_t ChunkBytes = 0;
+    /// CRC-32C chunk framing (see EventBuffer); off is bench-only.
+    bool Checksum = true;
   };
 
   /// The empty call context (base frames: main, finalizer activations).
@@ -70,8 +72,11 @@ public:
 
   /// Flushes buffered events to the sink.
   bool flush() { return Buf.flush(); }
-  /// False once a sink write has failed.
+  /// False once a sink write has failed (events are then dropped and
+  /// accounted in health(); emission itself keeps going).
   bool ok() const { return Buf.ok(); }
+  /// Delivery accounting for this run's stream (drops, retries, errno).
+  profiler::StreamHealth health() const { return Buf.health(); }
   std::uint64_t eventsEmitted() const { return Buf.eventsWritten(); }
   std::uint32_t sitesDefined() const { return Sites.size(); }
 

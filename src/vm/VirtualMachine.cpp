@@ -75,6 +75,7 @@ Interpreter::Status VirtualMachine::run(std::string *Err) {
     // depth bound.
     EC.SiteDepth = std::min(Opts.SiteDepth, Opts.ChainDepth);
     EC.ChunkBytes = Opts.EventChunkBytes;
+    EC.Checksum = Opts.EventCrc;
     Emitter = std::make_unique<EventEmitter>(*Opts.Sink, EC);
     TheHeap.setEmitter(Emitter.get());
   }
@@ -119,11 +120,16 @@ Interpreter::Status VirtualMachine::run(std::string *Err) {
       Emitter->survivor(Obj.Id, TheHeap.clock());
     });
     Emitter->terminate(TheHeap.clock());
+    // A failing sink does not trap the program: its result stands, the
+    // buffer keeps accounting drops, and the health record below tells
+    // callers how much of the recording survived.
     Emitter->flush();
-    if (!Emitter->ok() || !Opts.Sink->finish()) {
-      if (Err)
-        *Err = "event stream sink write failed";
-      return Interpreter::Status::Trap;
+    Health = Emitter->health();
+    if (!Opts.Sink->finish() && Health.ChunksDropped == 0) {
+      // finish() failed after every chunk landed (close/fsync error);
+      // reflect it so intact() is honest about durability.
+      Health.ChunksDropped = 1;
+      Health.LastErrno = Opts.Sink->lastErrno();
     }
   }
   return S;

@@ -23,15 +23,12 @@
 #ifndef JDRAG_VM_VIRTUALMACHINE_H
 #define JDRAG_VM_VIRTUALMACHINE_H
 
+#include "profiler/EventStream.h"
 #include "vm/Interpreter.h"
 
 #include <memory>
 #include <string_view>
 #include <unordered_map>
-
-namespace jdrag::profiler {
-class EventSink;
-} // namespace jdrag::profiler
 
 namespace jdrag::vm {
 
@@ -59,6 +56,9 @@ struct VMOptions {
   std::uint32_t SiteDepth = 4;
   /// Event-buffer chunk size in bytes; 0 = the default (64 KB).
   std::size_t EventChunkBytes = 0;
+  /// CRC-32C framing on event-stream chunks. Turning it off is a
+  /// benchmarking aid only -- decoders reject unframed streams.
+  bool EventCrc = true;
   /// Two-generation runtime collection policy (off by default; the
   /// profiler's deep GCs are always full collections regardless).
   GenerationalConfig Generational;
@@ -93,6 +93,14 @@ public:
   /// Reads a static field (test helper).
   Value staticValue(ir::FieldId F) const;
 
+  /// Delivery accounting for the run's event stream. A failing sink no
+  /// longer traps the program -- the run completes, drops are counted
+  /// here, and callers decide whether an incomplete recording matters.
+  const profiler::StreamHealth &streamHealth() const { return Health; }
+  /// True when every emitted chunk reached the sink (or no sink was
+  /// attached at all).
+  bool streamIntact() const { return Health.intact(); }
+
 private:
   class StaticArea : public RootSource {
   public:
@@ -116,6 +124,7 @@ private:
   std::vector<std::int64_t> Inputs;
   std::vector<std::int64_t> Outputs;
   std::size_t NextInput = 0;
+  profiler::StreamHealth Health;
   bool Ran = false;
 };
 

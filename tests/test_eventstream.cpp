@@ -224,9 +224,10 @@ TEST(EventWire, BufferDecodeRoundTrip) {
   EXPECT_EQ(C.Events[1].Flags, 1u);
 }
 
-TEST(EventWire, ChunkingDoesNotChangeTheBytes) {
+TEST(EventWire, ChunkingDoesNotChangeTheEvents) {
   // The same records through a 7-byte chunk buffer (every record
-  // straddles several chunks) must yield the same byte stream.
+  // straddles several chunk payloads, and each payload carries its own
+  // frame header) must decode to the identical record sequence.
   auto Emit = [](EventBuffer &Buf) {
     std::vector<SiteFrame> Frames = {{ir::MethodId(2), 1, 5}};
     Buf.writeSite(SiteId(0), Frames);
@@ -249,10 +250,19 @@ TEST(EventWire, ChunkingDoesNotChangeTheBytes) {
     EventBuffer Buf(Tiny, /*ChunkBytes=*/7);
     Emit(Buf);
   }
-  ASSERT_EQ(Big.bytes().size(), Tiny.bytes().size());
-  EXPECT_EQ(std::memcmp(Big.bytes().data(), Tiny.bytes().data(),
-                        Big.bytes().size()),
+  // Framing differs (one chunk vs dozens), so compare decoded events.
+  CollectingConsumer FromBig, FromTiny;
+  std::string Err;
+  ASSERT_TRUE(replayBytes(Big.bytes(), FromBig, &Err)) << Err;
+  ASSERT_TRUE(replayBytes(Tiny.bytes(), FromTiny, &Err)) << Err;
+  ASSERT_EQ(FromBig.Sites.size(), FromTiny.Sites.size());
+  ASSERT_EQ(FromBig.Events.size(), 25u);
+  ASSERT_EQ(FromTiny.Events.size(), 25u);
+  EXPECT_EQ(std::memcmp(FromBig.Events.data(), FromTiny.Events.data(),
+                        FromBig.Events.size() * sizeof(EventRecord)),
             0);
+  EXPECT_GT(Tiny.bytes().size(), Big.bytes().size())
+      << "tiny chunks should pay more framing overhead";
 }
 
 TEST(EventWire, DecoderReassemblesByteAtATime) {
@@ -271,13 +281,16 @@ TEST(EventWire, DecoderReassemblesByteAtATime) {
   }
   ASSERT_TRUE(Buf.flush());
 
+  // The framed stream reassembles from single-byte feeds: chunk headers
+  // and payloads both straddle feed boundaries.
   CollectingConsumer C;
-  StreamDecoder D(C);
+  FrameDecoder D(C);
   std::span<const std::byte> Bytes = Mem.bytes();
   for (std::size_t I = 0; I != Bytes.size(); ++I)
     ASSERT_TRUE(D.feed(&Bytes[I], 1)) << D.error();
   EXPECT_TRUE(D.atRecordBoundary());
   EXPECT_EQ(D.eventsDecoded(), 6u);
+  EXPECT_EQ(D.chunksDecoded(), 1u);
   ASSERT_EQ(C.Sites.size(), 1u);
   EXPECT_EQ(C.Sites[0].Frames.size(), 3u);
   EXPECT_EQ(C.Events.size(), 5u);
@@ -402,6 +415,31 @@ TEST(RecordReplay, EmptyProgramRoundTrips) {
   ASSERT_TRUE(replayProfile(Path, P, ProfilerConfig(), Replayed, &Err)) << Err;
   std::remove(Path.c_str());
   expectBitIdentical(Live, Replayed);
+}
+
+// Opening an already-open sink is a real error in every build mode, and
+// the first stream keeps working (it used to be release-mode UB via a
+// compiled-out assert).
+TEST(RecordReplay, DoubleOpenFailsWithoutKillingFirstStream) {
+  std::string PathA = tempPath("dopen_a.jdev");
+  std::string PathB = tempPath("dopen_b.jdev");
+  FileEventSink Sink;
+  ASSERT_TRUE(Sink.open(PathA));
+  EXPECT_FALSE(Sink.open(PathB));
+
+  EventBuffer Buf(Sink);
+  EventRecord E;
+  E.Kind = static_cast<std::uint8_t>(EventKind::Terminate);
+  Buf.writeEvent(E);
+  EXPECT_TRUE(Buf.flush());
+  EXPECT_TRUE(Sink.finish());
+
+  CollectingConsumer C;
+  std::string Err;
+  EXPECT_TRUE(replayFile(PathA, C, &Err)) << Err;
+  EXPECT_EQ(C.Events.size(), 1u);
+  std::remove(PathA.c_str());
+  std::remove(PathB.c_str());
 }
 
 // A header-only `.jdev` (zero events) is a valid, empty stream.

@@ -1,0 +1,641 @@
+//===- tests/test_streamrobustness.cpp - Stream integrity tests -----------===//
+//
+// Part of jdrag test suite.
+//
+// The hostile half of the event-stream pipeline's contract:
+//
+//   CorruptionCorpus  every truncation point and bit flip over a framed
+//                     stream is detected (no crash, no over-read -- run
+//                     these under the sanitize preset);
+//   FaultInjection    a failing sink degrades gracefully: the VM run
+//                     still succeeds, drops are accounted exactly, and
+//                     transient errors are retried to success;
+//   Salvage           fsck/salvage recover the longest valid event
+//                     prefix of damaged recordings, and replaying the
+//                     salvaged file reproduces the profile of the
+//                     pre-damage prefix bit for bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DragReport.h"
+#include "analysis/ReportPrinter.h"
+#include "profiler/DragProfiler.h"
+#include "profiler/EventStream.h"
+#include "profiler/StreamSalvage.h"
+#include "support/Crc32c.h"
+#include "vm/VirtualMachine.h"
+
+#include "VMTestUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace jdrag;
+using namespace jdrag::profiler;
+using namespace jdrag::testutil;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return std::string("/tmp/jdrag_robust_") + Name;
+}
+
+std::vector<std::byte> readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << Path;
+  std::vector<char> Chars((std::istreambuf_iterator<char>(In)),
+                          std::istreambuf_iterator<char>());
+  std::vector<std::byte> Out(Chars.size());
+  std::memcpy(Out.data(), Chars.data(), Chars.size());
+  return Out;
+}
+
+void writeFileBytes(const std::string &Path,
+                    const std::vector<std::byte> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary);
+  ASSERT_TRUE(Out.good()) << Path;
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+}
+
+/// Counts decoded items without holding them.
+class CountingConsumer : public EventConsumer {
+public:
+  std::uint64_t Sites = 0, Events = 0;
+  void onSite(SiteId, std::span<const SiteFrame>) override { ++Sites; }
+  void onEvent(const EventRecord &) override { ++Events; }
+};
+
+/// Records the decoded stream in order so a prefix of it can be
+/// replayed into another consumer (the salvage acceptance oracle).
+class OrderedCollector : public EventConsumer {
+public:
+  struct Item {
+    bool IsSite = false;
+    SiteId Id = InvalidSite;
+    std::vector<SiteFrame> Frames;
+    EventRecord E;
+  };
+  std::vector<Item> Items;
+
+  void onSite(SiteId Id, std::span<const SiteFrame> Frames) override {
+    Item I;
+    I.IsSite = true;
+    I.Id = Id;
+    I.Frames.assign(Frames.begin(), Frames.end());
+    Items.push_back(std::move(I));
+  }
+  void onEvent(const EventRecord &E) override {
+    Item I;
+    I.E = E;
+    Items.push_back(std::move(I));
+  }
+
+  /// Replays the first \p N items into \p C.
+  void replayPrefix(std::size_t N, EventConsumer &C) const {
+    for (std::size_t I = 0; I != N && I != Items.size(); ++I) {
+      if (Items[I].IsSite)
+        C.onSite(Items[I].Id, Items[I].Frames);
+      else
+        C.onEvent(Items[I].E);
+    }
+  }
+};
+
+/// The alloc-and-use churn workload shared with test_eventstream:
+/// deterministic, crosses chunk boundaries, produces GC traffic.
+ir::Program buildChurnProgram() {
+  using ir::ValueKind;
+  TestProgramBuilder T;
+  ir::ClassBuilder C = T.PB.beginClass("Box", T.PB.objectClass());
+  ir::FieldId V = C.addField("v", ValueKind::Int);
+  ir::MethodBuilder Ctor = C.beginMethod("<init>", {}, ValueKind::Void);
+  Ctor.aload(0).invokespecial(T.PB.objectCtor()).ret();
+  Ctor.finish();
+
+  ir::ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  ir::MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t N = M.newLocal(ValueKind::Int);
+  std::uint32_t I = M.newLocal(ValueKind::Int);
+  std::uint32_t O = M.newLocal(ValueKind::Ref);
+  M.iconst(0).invokestatic(T.Read).istore(N);
+  ir::Label Loop = M.newLabel(), Skip = M.newLabel(), Done = M.newLabel();
+  M.iconst(0).istore(I);
+  M.bind(Loop);
+  M.iload(I).iload(N).ifICmpGe(Done);
+  M.new_(C.id()).dup().invokespecial(Ctor.id()).astore(O);
+  M.iload(I).iconst(1).iand_().ifEqZ(Skip);
+  M.aload(O).iload(I).putfield(V);
+  M.aload(O).getfield(V).pop();
+  M.bind(Skip);
+  M.iconst(9).newarray(ir::ArrayKind::Int).pop();
+  M.iload(I).iconst(1).iadd().istore(I);
+  M.goto_(Loop);
+  M.bind(Done);
+  M.iconst(0).invokestatic(T.Emit);
+  M.ret();
+  M.finish();
+  T.PB.setMain(M.id());
+  return T.finishVerified();
+}
+
+/// Builds a small many-chunk framed stream in memory (no file header).
+std::vector<std::byte> buildFramedStream(std::size_t ChunkBytes = 64,
+                                         std::uint32_t Events = 30) {
+  MemorySink Mem;
+  EventBuffer Buf(Mem, ChunkBytes);
+  std::vector<SiteFrame> Frames = {{ir::MethodId(3), 7, 42},
+                                   {ir::MethodId(1), 2, 11}};
+  Buf.writeSite(SiteId(0), Frames);
+  for (std::uint32_t I = 0; I != Events; ++I) {
+    EventRecord E;
+    E.Time = 100 + I;
+    E.Id = I;
+    E.Site = 0;
+    E.Kind = static_cast<std::uint8_t>(
+        I % 3 ? EventKind::Alloc : EventKind::Collect);
+    Buf.writeEvent(E);
+  }
+  EXPECT_TRUE(Buf.flush());
+  return {Mem.bytes().begin(), Mem.bytes().end()};
+}
+
+/// Runs the churn program into \p Sink with small event chunks so
+/// recordings span many frames. Returns the VM's stream health.
+StreamHealth runChurnInto(const ir::Program &P, EventSink &Sink,
+                          std::int64_t Work = 300) {
+  vm::VMOptions Opts;
+  Opts.DeepGCIntervalBytes = 100 * KB;
+  Opts.Sink = &Sink;
+  Opts.EventChunkBytes = 512;
+  vm::VirtualMachine VM(P, Opts);
+  VM.setInputs({Work});
+  std::string Err;
+  EXPECT_EQ(VM.run(&Err), vm::Interpreter::Status::Ok) << Err;
+  return VM.streamHealth();
+}
+
+/// Serialized-bytes equality -- the strongest log comparison available.
+void expectBitIdentical(const ProfileLog &A, const ProfileLog &B) {
+  std::string PathA = tempPath("cmp_a.bin"), PathB = tempPath("cmp_b.bin");
+  ASSERT_TRUE(A.writeFile(PathA));
+  ASSERT_TRUE(B.writeFile(PathB));
+  EXPECT_EQ(readFileBytes(PathA), readFileBytes(PathB));
+  std::remove(PathA.c_str());
+  std::remove(PathB.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// CorruptionCorpus: exhaustive truncation + bit-flip sweeps
+//===----------------------------------------------------------------------===//
+
+TEST(CorruptionCorpus, TruncationAtEveryByteNeverCrashesOrOverreads) {
+  std::vector<std::byte> Stream = buildFramedStream();
+  CountingConsumer Full;
+  ASSERT_TRUE(replayBytes(Stream, Full));
+  ASSERT_GT(Full.Events, 0u);
+
+  // Every proper prefix either fails cleanly or decodes a (possibly
+  // empty) prefix of the events -- never more, never UB. Prefixes that
+  // happen to end exactly on a chunk-and-record boundary are valid
+  // shorter streams; all others must be reported truncated.
+  for (std::size_t Cut = 0; Cut != Stream.size(); ++Cut) {
+    CountingConsumer C;
+    std::string Err;
+    std::span<const std::byte> Prefix(Stream.data(), Cut);
+    if (replayBytes(Prefix, C, &Err)) {
+      EXPECT_LE(C.Events + C.Sites, Full.Events + Full.Sites) << Cut;
+    } else {
+      EXPECT_FALSE(Err.empty()) << Cut;
+    }
+  }
+}
+
+TEST(CorruptionCorpus, EveryBitFlipIsDetected) {
+  std::vector<std::byte> Stream = buildFramedStream();
+  for (std::size_t I = 0; I != Stream.size(); ++I) {
+    for (unsigned Bit : {0u, 7u}) {
+      std::vector<std::byte> Mut = Stream;
+      Mut[I] ^= std::byte(1u << Bit);
+      CountingConsumer C;
+      std::string Err;
+      EXPECT_FALSE(replayBytes(Mut, C, &Err))
+          << "single-bit flip at byte " << I << " bit " << Bit
+          << " went undetected";
+    }
+  }
+}
+
+TEST(CorruptionCorpus, OversizedFrameCountInValidChunkRejected) {
+  // A chunk that passes every frame check (magic, sequence, length,
+  // CRC) but whose payload lies about its DefineSite frame count must
+  // still be rejected by the record layer -- without over-reading.
+  EventRecord E;
+  E.Kind = static_cast<std::uint8_t>(EventKind::DefineSite);
+  E.Site = 0;
+  E.Arg0 = MaxWireFrames + 1;
+
+  std::vector<std::byte> Stream(sizeof(ChunkHeader) + sizeof(E));
+  ChunkHeader H;
+  H.Magic = ChunkMagic;
+  H.Seq = 0;
+  H.PayloadBytes = sizeof(E);
+  H.Crc = support::crc32c(&E, sizeof(E));
+  std::memcpy(Stream.data(), &H, sizeof(H));
+  std::memcpy(Stream.data() + sizeof(H), &E, sizeof(E));
+
+  CountingConsumer C;
+  std::string Err;
+  EXPECT_FALSE(replayBytes(Stream, C, &Err));
+  EXPECT_NE(Err.find("frames"), std::string::npos) << Err;
+  EXPECT_EQ(C.Sites, 0u);
+}
+
+TEST(CorruptionCorpus, ImplausiblePayloadLengthRejected) {
+  ChunkHeader H;
+  H.Magic = ChunkMagic;
+  H.Seq = 0;
+  H.PayloadBytes = MaxChunkPayload + 1;
+  H.Crc = 0;
+  std::vector<std::byte> Stream(sizeof(H));
+  std::memcpy(Stream.data(), &H, sizeof(H));
+  CountingConsumer C;
+  std::string Err;
+  EXPECT_FALSE(replayBytes(Stream, C, &Err));
+  EXPECT_NE(Err.find("implausible"), std::string::npos) << Err;
+}
+
+TEST(CorruptionCorpus, UncrcedStreamIsRejectedByDecoders) {
+  // Checksum=false is a bench-only switch: decoders must refuse the
+  // resulting zero-CRC frames rather than quietly skipping validation.
+  MemorySink Mem;
+  EventBuffer Buf(Mem, EventBuffer::DefaultChunkBytes, /*Checksum=*/false);
+  EventRecord E;
+  E.Kind = static_cast<std::uint8_t>(EventKind::Terminate);
+  Buf.writeEvent(E);
+  ASSERT_TRUE(Buf.flush());
+  CountingConsumer C;
+  std::string Err;
+  EXPECT_FALSE(replayBytes(Mem.bytes(), C, &Err));
+  EXPECT_NE(Err.find("CRC"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjection: failing and flaky sinks
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjection, SinkFailureDoesNotTrapTheRunAndIsAccounted) {
+  ir::Program P = buildChurnProgram();
+  MemorySink Inner;
+  FaultInjectionSink::Plan Plan;
+  Plan.FailAfterBytes = 4096;
+  FaultInjectionSink Faulty(Inner, Plan);
+
+  // The run must complete normally (the paper's program result is not
+  // hostage to profiling I/O) while every refused chunk is accounted.
+  StreamHealth H = runChurnInto(P, Faulty);
+  EXPECT_TRUE(Faulty.tripped());
+  EXPECT_GT(H.ChunksWritten, 0u);
+  EXPECT_GT(H.ChunksDropped, 0u);
+  EXPECT_GT(H.BytesDropped, 0u);
+  EXPECT_EQ(H.LastErrno, ENOSPC);
+  EXPECT_FALSE(H.intact());
+
+  // Every chunk that reached the sink verifies; the stream may end
+  // mid-record (records straddle chunk boundaries), which is exactly
+  // the partial tail salvage drops.
+  CountingConsumer C;
+  FrameDecoder D(C);
+  EXPECT_TRUE(D.feed(Inner.bytes().data(), Inner.bytes().size()))
+      << D.error();
+  EXPECT_GT(D.chunksDecoded(), 0u);
+  EXPECT_EQ(D.chunksDecoded(), H.ChunksWritten);
+  EXPECT_GT(C.Events, 0u);
+}
+
+TEST(FaultInjection, DroppedChunksMarkTheLogIncompleteAndReportWarns) {
+  ir::Program P = buildChurnProgram();
+  DragProfiler Prof(P);
+  FaultInjectionSink::Plan Plan;
+  Plan.FailAfterBytes = 4096;
+  FaultInjectionSink Faulty(Prof.sink(), Plan);
+
+  StreamHealth H = runChurnInto(P, Faulty);
+  ASSERT_FALSE(H.intact());
+  Prof.noteStreamHealth(H);
+  ProfileLog Log = Prof.takeLog();
+  EXPECT_FALSE(Log.Complete);
+  EXPECT_EQ(Log.DroppedChunks, H.ChunksDropped);
+  EXPECT_EQ(Log.DroppedBytes, H.BytesDropped);
+
+  // Incompleteness survives the log's file round trip and shows up as
+  // a warning at the top of the rendered report.
+  std::string Path = tempPath("incomplete.log");
+  ASSERT_TRUE(Log.writeFile(Path));
+  ProfileLog Back;
+  ASSERT_TRUE(ProfileLog::readFile(Path, Back));
+  std::remove(Path.c_str());
+  EXPECT_FALSE(Back.Complete);
+  EXPECT_EQ(Back.DroppedChunks, Log.DroppedChunks);
+  EXPECT_EQ(Back.DroppedBytes, Log.DroppedBytes);
+
+  analysis::DragReport Report(P, Back);
+  std::string Text = analysis::renderDragReport(Report);
+  EXPECT_NE(Text.find("WARNING: incomplete recording"), std::string::npos);
+  EXPECT_NE(Text.find("lower bound"), std::string::npos);
+}
+
+/// FileEventSink whose underlying write fails transiently (EINTR, no
+/// progress) on a schedule -- exercises the retry-with-backoff loop at
+/// the fwrite seam.
+class FlakyFileSink : public FileEventSink {
+public:
+  std::uint32_t FailEvery; ///< every Nth rawWrite fails transiently
+  std::uint32_t Calls = 0;
+
+  explicit FlakyFileSink(std::uint32_t FailEvery) : FailEvery(FailEvery) {}
+
+protected:
+  std::size_t rawWrite(const std::byte *Data, std::size_t Size) override {
+    if (++Calls % FailEvery == 0) {
+      errno = EINTR;
+      return 0;
+    }
+    return FileEventSink::rawWrite(Data, Size);
+  }
+};
+
+TEST(FaultInjection, TransientErrorsAreRetriedToACompleteRecording) {
+  ir::Program P = buildChurnProgram();
+  std::string Path = tempPath("flaky.jdev");
+  FlakyFileSink Sink(/*FailEvery=*/2); // every other write EINTRs
+  ASSERT_TRUE(Sink.open(Path));
+  StreamHealth H = runChurnInto(P, Sink);
+
+  // Every chunk eventually landed; the retries are visible in health.
+  EXPECT_TRUE(H.intact());
+  EXPECT_GT(H.Retries, 0u);
+  EXPECT_EQ(H.ChunksDropped, 0u);
+
+  CountingConsumer C;
+  std::string Err;
+  EXPECT_TRUE(replayFile(Path, C, &Err)) << Err;
+  EXPECT_GT(C.Events, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(FaultInjection, ExhaustedRetryBudgetFailsTheSink) {
+  // A sink that only ever EINTRs must give up after MaxRetries instead
+  // of spinning forever.
+  class DeadSink : public FileEventSink {
+  protected:
+    std::size_t rawWrite(const std::byte *, std::size_t) override {
+      errno = EINTR;
+      return 0;
+    }
+  };
+  std::string Path = tempPath("dead.jdev");
+  DeadSink Sink;
+  FileEventSink::Options Opt;
+  Opt.MaxRetries = 2;
+  ASSERT_TRUE(Sink.open(Path, Opt)); // header goes through fwrite directly
+  EventBuffer Buf(Sink);
+  EventRecord E;
+  E.Kind = static_cast<std::uint8_t>(EventKind::Terminate);
+  Buf.writeEvent(E);
+  EXPECT_FALSE(Buf.flush());
+  EXPECT_FALSE(Buf.ok());
+  StreamHealth H = Buf.health();
+  EXPECT_EQ(H.ChunksDropped, 1u);
+  EXPECT_EQ(H.Retries, 2u);
+  EXPECT_EQ(H.LastErrno, EINTR);
+  std::remove(Path.c_str());
+}
+
+TEST(FaultInjection, FsyncCadenceStillProducesAValidRecording) {
+  ir::Program P = buildChurnProgram();
+  std::string Path = tempPath("fsync.jdev");
+  FileEventSink Sink;
+  FileEventSink::Options Opt;
+  Opt.FsyncEveryChunks = 1; // maximum durability: fsync per chunk
+  ASSERT_TRUE(Sink.open(Path, Opt));
+  StreamHealth H = runChurnInto(P, Sink, /*Work=*/100);
+  EXPECT_TRUE(H.intact());
+  CountingConsumer C;
+  std::string Err;
+  EXPECT_TRUE(replayFile(Path, C, &Err)) << Err;
+  EXPECT_GT(C.Events, 0u);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Salvage: fsck verdicts and prefix recovery
+//===----------------------------------------------------------------------===//
+
+/// Records the churn workload to \p Path with 512-byte chunks and
+/// returns the clean scan (verdicts carry every chunk's file offset).
+SalvageReport recordChurn(const ir::Program &P, const std::string &Path) {
+  FileEventSink Sink;
+  EXPECT_TRUE(Sink.open(Path));
+  StreamHealth H = runChurnInto(P, Sink);
+  EXPECT_TRUE(H.intact());
+  SalvageReport Rep = scanEventFile(Path, nullptr);
+  EXPECT_TRUE(Rep.clean()) << Rep.summary(Path);
+  EXPECT_GE(Rep.Chunks.size(), 4u) << "need several chunks to damage";
+  return Rep;
+}
+
+TEST(Salvage, CleanRecordingScansClean) {
+  ir::Program P = buildChurnProgram();
+  std::string Path = tempPath("clean.jdev");
+  SalvageReport Rep = recordChurn(P, Path);
+  EXPECT_EQ(Rep.chunksDamaged(), 0u);
+  EXPECT_EQ(Rep.FirstDamaged, SalvageReport::npos);
+  EXPECT_FALSE(Rep.TailPartialRecord);
+  CountingConsumer C;
+  ASSERT_TRUE(replayFile(Path, C));
+  EXPECT_EQ(Rep.EventsRecovered, C.Events + C.Sites);
+  std::string Summary = Rep.summary(Path);
+  EXPECT_NE(Summary.find("0 damaged"), std::string::npos) << Summary;
+  std::remove(Path.c_str());
+}
+
+TEST(Salvage, BitFlippedChunkIsNamedAndPrefixRecovered) {
+  ir::Program P = buildChurnProgram();
+  std::string Path = tempPath("flip.jdev");
+  SalvageReport Clean = recordChurn(P, Path);
+
+  // Flip one payload bit in a middle chunk.
+  std::size_t Victim = Clean.Chunks.size() / 2;
+  std::vector<std::byte> Bytes = readFileBytes(Path);
+  std::size_t FlipAt =
+      Clean.Chunks[Victim].Offset + sizeof(ChunkHeader) + 3;
+  Bytes[FlipAt] ^= std::byte(0x10);
+  writeFileBytes(Path, Bytes);
+
+  // Strict replay refuses the file outright.
+  CountingConsumer Strict;
+  std::string Err;
+  EXPECT_FALSE(replayFile(Path, Strict, &Err));
+  EXPECT_NE(Err.find("CRC"), std::string::npos) << Err;
+
+  // The scan names exactly the damaged chunk and keeps judging the
+  // rest (all still structurally valid).
+  SalvageReport Rep = scanEventFile(Path, nullptr);
+  ASSERT_FALSE(Rep.clean());
+  ASSERT_EQ(Rep.FirstDamaged, Victim);
+  EXPECT_EQ(Rep.Chunks[Victim].Status, ChunkStatus::BadCrc);
+  EXPECT_EQ(Rep.chunksDamaged(), 1u);
+  EXPECT_EQ(Rep.Chunks.size(), Clean.Chunks.size());
+  EXPECT_LT(Rep.EventsRecovered, Clean.EventsRecovered);
+  std::string Summary = Rep.summary(Path);
+  EXPECT_NE(Summary.find("crc-mismatch"), std::string::npos) << Summary;
+
+  // Salvage writes a fully valid recording holding exactly the prefix.
+  std::string Out = tempPath("flip_salvaged.jdev");
+  SalvageReport Rep2;
+  ASSERT_TRUE(salvageEventFile(Path, Out, &Rep2, &Err)) << Err;
+  CountingConsumer C;
+  ASSERT_TRUE(replayFile(Out, C, &Err)) << Err;
+  EXPECT_EQ(C.Events + C.Sites, Rep.EventsRecovered);
+  std::remove(Path.c_str());
+  std::remove(Out.c_str());
+}
+
+TEST(Salvage, MidChunkTruncationRecoversAllCompleteChunks) {
+  ir::Program P = buildChurnProgram();
+  std::string Path = tempPath("cut.jdev");
+  SalvageReport Clean = recordChurn(P, Path);
+
+  // Cut the file in the middle of the second-to-last chunk's payload.
+  std::size_t Victim = Clean.Chunks.size() - 2;
+  std::vector<std::byte> Bytes = readFileBytes(Path);
+  Bytes.resize(Clean.Chunks[Victim].Offset + sizeof(ChunkHeader) + 37);
+  writeFileBytes(Path, Bytes);
+
+  CountingConsumer Strict;
+  std::string Err;
+  EXPECT_FALSE(replayFile(Path, Strict, &Err));
+  EXPECT_NE(Err.find("truncated"), std::string::npos) << Err;
+
+  SalvageReport Rep = scanEventFile(Path, nullptr);
+  ASSERT_FALSE(Rep.clean());
+  ASSERT_EQ(Rep.FirstDamaged, Victim);
+  EXPECT_EQ(Rep.Chunks[Victim].Status, ChunkStatus::TruncatedPayload);
+  ASSERT_EQ(Rep.Chunks.size(), Victim + 1); // nothing beyond EOF
+
+  std::string Out = tempPath("cut_salvaged.jdev");
+  ASSERT_TRUE(salvageEventFile(Path, Out, nullptr, &Err)) << Err;
+  CountingConsumer C;
+  ASSERT_TRUE(replayFile(Out, C, &Err)) << Err;
+  EXPECT_EQ(C.Events + C.Sites, Rep.EventsRecovered);
+  EXPECT_GT(C.Events, 0u);
+  std::remove(Path.c_str());
+  std::remove(Out.c_str());
+}
+
+TEST(Salvage, OverwrittenChunkHeaderResynchronizesOnNextMagic) {
+  ir::Program P = buildChurnProgram();
+  std::string Path = tempPath("zeroed.jdev");
+  SalvageReport Clean = recordChurn(P, Path);
+
+  // Zero a middle chunk's whole header: magic, length and CRC are all
+  // garbage, so the scan must hunt for the next chunk magic to keep
+  // judging the remainder of the file.
+  std::size_t Victim = Clean.Chunks.size() / 2;
+  std::vector<std::byte> Bytes = readFileBytes(Path);
+  std::memset(Bytes.data() + Clean.Chunks[Victim].Offset, 0,
+              sizeof(ChunkHeader));
+  writeFileBytes(Path, Bytes);
+
+  SalvageReport Rep = scanEventFile(Path, nullptr);
+  ASSERT_FALSE(Rep.clean());
+  ASSERT_EQ(Rep.FirstDamaged, Victim);
+  EXPECT_EQ(Rep.Chunks[Victim].Status, ChunkStatus::BadMagic);
+  // Resync found the following chunks and judged them individually.
+  EXPECT_GT(Rep.Chunks.size(), Victim + 1);
+  EXPECT_TRUE(Rep.Chunks.back().ok());
+  EXPECT_LT(Rep.EventsRecovered, Clean.EventsRecovered);
+  std::remove(Path.c_str());
+}
+
+TEST(Salvage, SalvageOfACleanFileIsAnIdentityForReplay) {
+  ir::Program P = buildChurnProgram();
+  std::string Path = tempPath("ident.jdev");
+  std::string Out = tempPath("ident_salvaged.jdev");
+  recordChurn(P, Path);
+  std::string Err;
+  ASSERT_TRUE(salvageEventFile(Path, Out, nullptr, &Err)) << Err;
+
+  ProfileLog A, B;
+  ASSERT_TRUE(replayProfile(Path, P, ProfilerConfig(), A, &Err)) << Err;
+  ASSERT_TRUE(replayProfile(Out, P, ProfilerConfig(), B, &Err)) << Err;
+  expectBitIdentical(A, B);
+  std::remove(Path.c_str());
+  std::remove(Out.c_str());
+}
+
+// The acceptance criterion: a run whose sink dies mid-recording (with a
+// short write truncating the stream mid-frame) leaves a `.jdev` whose
+// salvaged replay produces exactly the profile of the pre-failure event
+// prefix of an undamaged reference run.
+TEST(Salvage, CrashedRecordingSalvagesToTheExactPrefixProfile) {
+  ir::Program P = buildChurnProgram();
+
+  // Reference run: identical workload, undamaged recording.
+  std::string RefPath = tempPath("accept_ref.jdev");
+  {
+    FileEventSink Sink;
+    ASSERT_TRUE(Sink.open(RefPath));
+    ASSERT_TRUE(runChurnInto(P, Sink).intact());
+  }
+
+  // Crashing run: the sink dies mid-stream and truncates mid-frame.
+  std::string CrashPath = tempPath("accept_crash.jdev");
+  {
+    FileEventSink File;
+    ASSERT_TRUE(File.open(CrashPath));
+    FaultInjectionSink::Plan Plan;
+    Plan.FailAfterBytes = 6 * 1024;
+    Plan.ShortWriteBytes = 100; // a torn frame at the end of the file
+    FaultInjectionSink Faulty(File, Plan);
+    StreamHealth H = runChurnInto(P, Faulty);
+    EXPECT_TRUE(Faulty.tripped());
+    EXPECT_FALSE(H.intact());
+    EXPECT_GT(H.ChunksWritten, 0u);
+  }
+
+  // Salvage the crashed recording and replay it through the profiler.
+  std::string Salvaged = tempPath("accept_salvaged.jdev");
+  SalvageReport Rep;
+  std::string Err;
+  ASSERT_TRUE(salvageEventFile(CrashPath, Salvaged, &Rep, &Err)) << Err;
+  ASSERT_GT(Rep.EventsRecovered, 0u);
+  ProfileLog SalvagedLog;
+  ASSERT_TRUE(
+      replayProfile(Salvaged, P, ProfilerConfig(), SalvagedLog, &Err))
+      << Err;
+
+  // Oracle: the same number of events taken off the front of the
+  // reference stream, fed to a fresh profiler. The VM is deterministic,
+  // so the reference stream is byte-for-byte the stream the crashing
+  // run tried to write.
+  OrderedCollector Ref;
+  ASSERT_TRUE(replayFile(RefPath, Ref, &Err)) << Err;
+  ASSERT_GT(Ref.Items.size(), Rep.EventsRecovered);
+  DragProfiler PrefixProf(P);
+  Ref.replayPrefix(Rep.EventsRecovered, PrefixProf);
+  ProfileLog PrefixLog = PrefixProf.takeLog();
+
+  expectBitIdentical(SalvagedLog, PrefixLog);
+  std::remove(RefPath.c_str());
+  std::remove(CrashPath.c_str());
+  std::remove(Salvaged.c_str());
+}
+
+} // namespace

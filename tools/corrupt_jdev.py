@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Deterministic `.jdev` recording mangler for the salvage test chain.
+
+Damages a recording in a reproducible way so `jdrag fsck` / `jdrag
+salvage` can be exercised from the command line and from ctest without
+shipping corrupt binaries in the repo:
+
+    corrupt_jdev.py truncate <in> <out> [--at FRACTION]
+        cut the file at FRACTION of its length (default 0.6), landing
+        mid-chunk for any realistic recording;
+    corrupt_jdev.py bitflip <in> <out> [--at FRACTION] [--bit N]
+        XOR one bit (default bit 4) of the byte at FRACTION of the
+        file (default 0.6) -- a CRC-detectable single-bit error;
+    corrupt_jdev.py zero <in> <out> [--at FRACTION] [--len N]
+        overwrite N bytes (default 16, one chunk header) with zeros at
+        FRACTION of the file -- kills a chunk magic, forcing resync.
+
+Offsets are clamped past the 16-byte file header so the damage lands in
+the chunk stream (file-header damage is the trivially detected case).
+No randomness anywhere: the same input produces the same output.
+"""
+
+import argparse
+import sys
+
+FILE_HEADER_BYTES = 16
+
+
+def clamp_offset(data: bytes, fraction: float) -> int:
+    off = int(len(data) * fraction)
+    return max(FILE_HEADER_BYTES, min(off, len(data) - 1))
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("mode", choices=["truncate", "bitflip", "zero"])
+    ap.add_argument("infile")
+    ap.add_argument("outfile")
+    ap.add_argument("--at", type=float, default=0.6,
+                    help="damage position as a fraction of file length")
+    ap.add_argument("--bit", type=int, default=4,
+                    help="bit to flip (bitflip mode)")
+    ap.add_argument("--len", type=int, default=16, dest="length",
+                    help="bytes to zero (zero mode)")
+    args = ap.parse_args()
+
+    with open(args.infile, "rb") as f:
+        data = bytearray(f.read())
+    if len(data) <= FILE_HEADER_BYTES:
+        print(f"{args.infile}: too short to be a recording", file=sys.stderr)
+        return 2
+
+    off = clamp_offset(data, args.at)
+    if args.mode == "truncate":
+        data = data[:off]
+    elif args.mode == "bitflip":
+        data[off] ^= 1 << (args.bit & 7)
+    else:  # zero
+        end = min(off + args.length, len(data))
+        data[off:end] = bytes(end - off)
+
+    with open(args.outfile, "wb") as f:
+        f.write(data)
+    print(f"{args.mode}: {args.infile} ({len(data)} bytes written) "
+          f"@ offset {off} -> {args.outfile}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,10 @@
 //                                   event stream, no in-process profiler
 //   jdrag replay <bench> <jdev>     phase 2 only: rebuild the profile
 //                                   from a recording and report on it
+//   jdrag fsck <jdev>               verify a recording chunk by chunk
+//                                   (exit 1 on damage, 2 if unreadable)
+//   jdrag salvage <in> <out>        recover the longest valid event
+//                                   prefix of a damaged recording
 //   jdrag report <bench> [<log>]    phase 2: drag report (from a log file
 //                                   or a fresh in-process run)
 //   jdrag optimize <bench>          the full loop: report -> rewrite ->
@@ -36,6 +40,7 @@
 #include "ir/Disassembler.h"
 #include "ir/JasmPrinter.h"
 #include "profiler/DragProfiler.h"
+#include "profiler/StreamSalvage.h"
 #include "transform/AutoOptimizer.h"
 #include "sa/CallGraph.h"
 #include "sa/Reports.h"
@@ -72,6 +77,9 @@ int usage() {
       "  record <bench> <file.jdev>   phase 1: record the raw event stream\n"
       "  replay <bench> <file.jdev>   phase 2: drag report from a recording\n"
       "                               (--out LOG also writes the object log)\n"
+      "  fsck <file.jdev>             verify a recording chunk by chunk\n"
+      "  salvage <in.jdev> <out.jdev> recover the valid prefix of a\n"
+      "                               damaged recording\n"
       "  report <bench> [<log-file>]  phase 2: drag report\n"
       "  optimize <bench>             full profile->rewrite->measure loop\n"
       "  timeline <bench>             reachable/in-use ASCII chart\n"
@@ -150,6 +158,38 @@ int cmdRecord(const BenchmarkProgram &B, const std::string &Path,
               B.Name.c_str(), toMB(VM.heap().clock()),
               static_cast<unsigned long long>(Sink.bytesWritten()),
               Path.c_str());
+  if (!VM.streamIntact()) {
+    const profiler::StreamHealth &H = VM.streamHealth();
+    std::fprintf(stderr,
+                 "jdrag: recording is INCOMPLETE: %llu chunks (%llu bytes) "
+                 "dropped, last errno %d (%s)\n",
+                 static_cast<unsigned long long>(H.ChunksDropped),
+                 static_cast<unsigned long long>(H.BytesDropped), H.LastErrno,
+                 H.LastErrno ? std::strerror(H.LastErrno) : "none");
+    return 3;
+  }
+  return 0;
+}
+
+int cmdFsck(const std::string &Path) {
+  profiler::SalvageReport Rep = profiler::scanEventFile(Path, nullptr);
+  std::printf("%s", Rep.summary(Path).c_str());
+  if (!Rep.readable())
+    return 2;
+  return Rep.clean() ? 0 : 1;
+}
+
+int cmdSalvage(const std::string &In, const std::string &Out) {
+  profiler::SalvageReport Rep;
+  std::string Err;
+  if (!profiler::salvageEventFile(In, Out, &Rep, &Err)) {
+    std::fprintf(stderr, "salvage failed: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("%s", Rep.summary(In).c_str());
+  std::printf("wrote salvaged recording (%llu events) to %s\n",
+              static_cast<unsigned long long>(Rep.EventsRecovered),
+              Out.c_str());
   return 0;
 }
 
@@ -509,6 +549,10 @@ int main(int argc, char **argv) {
     return usage();
   if (Cmd == "asm")
     return cmdAsm(Pos[1]);
+  if (Cmd == "fsck")
+    return cmdFsck(Pos[1]);
+  if (Cmd == "salvage")
+    return Pos.size() < 3 ? usage() : cmdSalvage(Pos[1], Pos[2]);
   if (Cmd == "runasm")
     return cmdRunAsm(Pos[1],
                      std::vector<std::string>(Pos.begin() + 2, Pos.end()));
