@@ -10,11 +10,15 @@
 #include "benchmarks/Benchmarks.h"
 #include "benchmarks/MiniJDK.h"
 #include "ir/Verifier.h"
+#include "profiler/AsyncEventSink.h"
 #include "profiler/DragProfiler.h"
 #include "support/Crc32c.h"
 #include "vm/VirtualMachine.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <unistd.h>
 
 using namespace jdrag;
 using namespace jdrag::benchmarks;
@@ -98,6 +102,53 @@ void BM_InterpreterNullSink(benchmark::State &State) {
 }
 BENCHMARK(BM_InterpreterNullSink)->Arg(10000);
 
+/// The legacy fixed-width wire format on the same null-sink run. The
+/// delta against BM_InterpreterNullSink (which encodes v3 varints) is
+/// what the compact format costs -- or saves -- on the producer side.
+void BM_InterpreterNullSinkV2(benchmark::State &State) {
+  Program P = buildHotLoop();
+  std::int64_t Iters = State.range(0);
+  for (auto _ : State) {
+    profiler::NullSink Sink;
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Opts.Sink = &Sink;
+    Opts.EventFormat = profiler::WireFormat::V2;
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({Iters});
+    if (VM.run() != Interpreter::Status::Ok)
+      std::abort();
+    benchmark::DoNotOptimize(Sink.bytesDiscarded());
+  }
+  State.SetItemsProcessed(State.iterations() * Iters);
+}
+BENCHMARK(BM_InterpreterNullSinkV2)->Arg(10000);
+
+/// The background-writer hand-off cost: same null-sink run, but every
+/// flushed chunk takes the AsyncEventSink path (copy + mutex + condvar)
+/// before the writer thread discards it. The delta against
+/// BM_InterpreterNullSink is the queueing overhead the async sink adds
+/// when the inner sink is infinitely fast; against a real file sink the
+/// same hand-off *replaces* the file write on the VM thread.
+void BM_InterpreterNullSinkAsync(benchmark::State &State) {
+  Program P = buildHotLoop();
+  std::int64_t Iters = State.range(0);
+  for (auto _ : State) {
+    profiler::NullSink Sink;
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Opts.Sink = &Sink;
+    Opts.AsyncEvents = true;
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({Iters});
+    if (VM.run() != Interpreter::Status::Ok)
+      std::abort();
+    benchmark::DoNotOptimize(Sink.bytesDiscarded());
+  }
+  State.SetItemsProcessed(State.iterations() * Iters);
+}
+BENCHMARK(BM_InterpreterNullSinkAsync)->Arg(10000);
+
 /// The integrity tax: the same null-sink run with chunk CRC-32C framing
 /// disabled. The delta against BM_InterpreterNullSink is the whole cost
 /// of checksumming every flushed chunk (EventCrc=false is bench-only;
@@ -138,6 +189,30 @@ void BM_InterpreterProfiled(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * Iters);
 }
 BENCHMARK(BM_InterpreterProfiled)->Arg(10000);
+
+/// The trailer-store ladder rung: the same profiled run with the
+/// hash-map trailer store instead of the paged dense array. The delta
+/// against BM_InterpreterProfiled is the hashing cost on the per-Use
+/// consumer hot path.
+void BM_InterpreterProfiledMap(benchmark::State &State) {
+  Program P = buildHotLoop();
+  std::int64_t Iters = State.range(0);
+  for (auto _ : State) {
+    profiler::ProfilerConfig PC;
+    PC.UseDenseTrailers = false;
+    profiler::DragProfiler Prof(P, PC);
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Prof.attachTo(Opts);
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({Iters});
+    if (VM.run() != Interpreter::Status::Ok)
+      std::abort();
+    benchmark::DoNotOptimize(Prof.log().Records.size());
+  }
+  State.SetItemsProcessed(State.iterations() * Iters);
+}
+BENCHMARK(BM_InterpreterProfiledMap)->Arg(10000);
 
 /// GC cost against live-set size: a linked list of `n` nodes survives
 /// each collection.
@@ -209,10 +284,65 @@ void BM_Crc32c(benchmark::State &State) {
 }
 BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(64 * 1024);
 
+/// The table-driven software fallback on the same buffers -- the
+/// portable floor the hardware dispatch (BM_Crc32c) is measured against.
+void BM_Crc32cSW(benchmark::State &State) {
+  std::vector<std::byte> Buf(State.range(0));
+  for (std::size_t I = 0; I != Buf.size(); ++I)
+    Buf[I] = std::byte(I * 31);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        support::crc32cSoftware(Buf.data(), Buf.size()));
+  State.SetBytesProcessed(State.iterations() * Buf.size());
+}
+BENCHMARK(BM_Crc32cSW)->Arg(4096)->Arg(64 * 1024);
+
+/// Phase-2 decode throughput: frames + records of an in-memory
+/// recording through the full FrameDecoder/StreamDecoder path into a
+/// null consumer. Arg selects the wire format (2 or 3); items are
+/// decoded event records.
+void BM_ReplayDecode(benchmark::State &State) {
+  Program P = buildHotLoop();
+  auto Format = static_cast<profiler::WireFormat>(State.range(0));
+  profiler::MemorySink Mem;
+  VMOptions Opts;
+  Opts.DeepGCIntervalBytes = 100 * KB;
+  Opts.Sink = &Mem;
+  Opts.EventFormat = Format;
+  VirtualMachine VM(P, Opts);
+  VM.setInputs({10000});
+  if (VM.run() != Interpreter::Status::Ok)
+    std::abort();
+
+  class NullConsumer : public profiler::EventConsumer {
+  public:
+    std::uint64_t Events = 0;
+    void onSite(profiler::SiteId,
+                std::span<const profiler::SiteFrame>) override {}
+    void onEvent(const profiler::EventRecord &) override { ++Events; }
+  };
+  std::uint64_t EventsPerPass = 0;
+  for (auto _ : State) {
+    NullConsumer C;
+    std::string Err;
+    if (!profiler::replayBytes(Mem.bytes(), C, &Err, Format))
+      std::abort();
+    EventsPerPass = C.Events;
+    benchmark::DoNotOptimize(C.Events);
+  }
+  State.SetItemsProcessed(State.iterations() * EventsPerPass);
+  State.SetBytesProcessed(State.iterations() * Mem.bytes().size());
+}
+BENCHMARK(BM_ReplayDecode)->Arg(2)->Arg(3);
+
 void BM_ProfileLogRoundTrip(benchmark::State &State) {
   BenchmarkProgram B = buildJuru();
   RunResult R = profiledRun(B.Prog, {2});
-  std::string Path = "/tmp/jdrag_bench_log.bin";
+  // Unique per process so concurrent bench runs (e.g. the bench-smoke
+  // ctest entry next to a manual run) don't clobber each other's file.
+  char Path[64];
+  std::snprintf(Path, sizeof(Path), "/tmp/jdrag_bench_log.%d.bin",
+                static_cast<int>(getpid()));
   for (auto _ : State) {
     if (!R.Log.writeFile(Path))
       std::abort();
@@ -222,6 +352,7 @@ void BM_ProfileLogRoundTrip(benchmark::State &State) {
     benchmark::DoNotOptimize(Back.Records.size());
   }
   State.SetItemsProcessed(State.iterations() * R.Log.Records.size());
+  std::remove(Path);
 }
 BENCHMARK(BM_ProfileLogRoundTrip);
 

@@ -1,0 +1,140 @@
+//===- profiler/AsyncEventSink.cpp ----------------------------------------===//
+
+#include "profiler/AsyncEventSink.h"
+
+using namespace jdrag;
+using namespace jdrag::profiler;
+
+AsyncEventSink::AsyncEventSink(EventSink &Inner, Options O)
+    : Inner(Inner), Opt(O) {
+  if (Opt.QueueChunks == 0)
+    Opt.QueueChunks = 1;
+  Writer = std::thread([this] { writerLoop(); });
+}
+
+AsyncEventSink::~AsyncEventSink() {
+  // Join without finishing the inner sink: whether the stream is
+  // complete is finish()'s verdict, not the destructor's.
+  if (Writer.joinable()) {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Stopping = true;
+    }
+    NotEmpty.notify_all();
+    Writer.join();
+  }
+}
+
+void AsyncEventSink::dropQueueLocked() {
+  for (const std::vector<std::byte> &B : Queue) {
+    DroppedChunks.fetch_add(1, std::memory_order_relaxed);
+    DroppedBytes.fetch_add(B.size(), std::memory_order_relaxed);
+  }
+  Queue.clear();
+  NotFull.notify_all();
+}
+
+void AsyncEventSink::writerLoop() {
+  while (true) {
+    std::vector<std::byte> Buf;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      NotEmpty.wait(L, [&] { return !Queue.empty() || Stopping; });
+      if (Queue.empty())
+        return; // Stopping and fully drained
+      Buf = std::move(Queue.front());
+      Queue.pop_front();
+    }
+
+    bool Ok = !InnerFailed && Inner.writeChunk(Buf.data(), Buf.size());
+    // Inner counters are only touched on this thread between writes;
+    // snapshot them into atomics so the producer can read health
+    // mid-run without racing the write.
+    InnerErrno.store(Inner.lastErrno(), std::memory_order_relaxed);
+    InnerRetries.store(Inner.retries(), std::memory_order_relaxed);
+
+    std::lock_guard<std::mutex> L(Mu);
+    if (Ok) {
+      Forwarded.fetch_add(1, std::memory_order_relaxed);
+      Buf.clear();
+      FreeList.push_back(std::move(Buf));
+      NotFull.notify_one();
+    } else {
+      // The producer was told this chunk was accepted, so the loss is
+      // ours to account: the failed chunk and everything still queued.
+      InnerFailed = true;
+      DroppedChunks.fetch_add(1, std::memory_order_relaxed);
+      DroppedBytes.fetch_add(Buf.size(), std::memory_order_relaxed);
+      dropQueueLocked();
+    }
+  }
+}
+
+bool AsyncEventSink::writeChunk(const std::byte *Data, std::size_t Size) {
+  std::unique_lock<std::mutex> L(Mu);
+  if (InnerFailed || Stopping)
+    return false; // refused outright: the producer accounts this drop
+
+  if (Queue.size() >= Opt.QueueChunks) {
+    if (Opt.Policy == QueueFullPolicy::Drop) {
+      // Accepted-then-shed: bounded overhead at the cost of sequence
+      // gaps, which the decoder detects and salvage recovers around.
+      DroppedChunks.fetch_add(1, std::memory_order_relaxed);
+      DroppedBytes.fetch_add(Size, std::memory_order_relaxed);
+      return true;
+    }
+    NotFull.wait(L, [&] {
+      return Queue.size() < Opt.QueueChunks || InnerFailed || Stopping;
+    });
+    if (InnerFailed || Stopping)
+      return false;
+  }
+
+  std::vector<std::byte> Buf;
+  if (!FreeList.empty()) {
+    Buf = std::move(FreeList.back());
+    FreeList.pop_back();
+  }
+  Buf.assign(Data, Data + Size);
+  Queue.push_back(std::move(Buf));
+  L.unlock();
+  NotEmpty.notify_one();
+  return true;
+}
+
+bool AsyncEventSink::finish() {
+  if (Finished)
+    return FinishOk;
+  Finished = true;
+  if (Writer.joinable()) {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Stopping = true;
+    }
+    NotEmpty.notify_all();
+    Writer.join(); // drains the queue before exiting
+  }
+  bool InnerOk = Inner.finish();
+  InnerErrno.store(Inner.lastErrno(), std::memory_order_relaxed);
+  InnerRetries.store(Inner.retries(), std::memory_order_relaxed);
+  FinishOk = InnerOk && !InnerFailed &&
+             DroppedChunks.load(std::memory_order_relaxed) == 0;
+  return FinishOk;
+}
+
+int AsyncEventSink::lastErrno() const {
+  return InnerErrno.load(std::memory_order_relaxed);
+}
+
+std::uint32_t AsyncEventSink::retries() const {
+  return InnerRetries.load(std::memory_order_relaxed);
+}
+
+std::uint64_t AsyncEventSink::droppedChunks() const {
+  return DroppedChunks.load(std::memory_order_relaxed) +
+         Inner.droppedChunks();
+}
+
+std::uint64_t AsyncEventSink::droppedBytes() const {
+  return DroppedBytes.load(std::memory_order_relaxed) + Inner.droppedBytes();
+}

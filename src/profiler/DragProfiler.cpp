@@ -10,6 +10,12 @@ DragProfiler::DragProfiler(const ir::Program &P, ProfilerConfig Config)
     : P(P), Config(std::move(Config)) {
   for (ir::ClassId C : this->Config.ExcludedClasses)
     Excluded.insert(C.Index);
+  // Typical runs intern a few hundred sites and log thousands of
+  // objects; reserving up front keeps reallocation out of the measured
+  // consumer path.
+  SiteMap.reserve(256);
+  Log.Records.reserve(1024);
+  Log.GCSamples.reserve(64);
 }
 
 void DragProfiler::onSite(SiteId Id, std::span<const SiteFrame> Frames) {
@@ -26,7 +32,9 @@ void DragProfiler::onSite(SiteId Id, std::span<const SiteFrame> Frames) {
 void DragProfiler::onEvent(const EventRecord &E) {
   switch (E.kind()) {
   case EventKind::Alloc: {
-    Trailer T;
+    Trailer &T = Config.UseDenseTrailers
+                     ? Dense.insert(E.Id)
+                     : Trailers[E.Id];
     T.Class = ir::ClassId(static_cast<std::uint32_t>(E.Arg1));
     T.AKind = static_cast<ir::ArrayKind>(E.Sub);
     T.IsArray = E.Flags & 1;
@@ -36,30 +44,28 @@ void DragProfiler::onEvent(const EventRecord &E) {
     T.LastUseTime = E.Time; // never-used objects drag from creation
     T.AllocSite = localSite(E.Site);
     T.Excluded = !T.IsArray && Excluded.count(T.Class.Index) != 0;
-    Trailers.emplace(E.Id, T);
     break;
   }
   case EventKind::Use: {
-    auto It = Trailers.find(E.Id);
-    if (It == Trailers.end())
+    Trailer *T = findTrailer(E.Id);
+    if (!T)
       break; // VM-internal object (e.g. the preallocated OOM instance)
-    Trailer &T = It->second;
     bool DuringOwnInit = E.Flags & 1;
     // Paper section 2.1: "assuming that all uses of an object in the
     // interval between consecutive garbage collection cycles are
     // performed at the beginning of the interval."
     ByteTime UseTime =
-        Config.SnapUseTimes ? std::max(IntervalStart, T.AllocTime) : E.Time;
+        Config.SnapUseTimes ? std::max(IntervalStart, T->AllocTime) : E.Time;
     // FirstUseTime anchors the R&R lag phase: the first use *outside*
     // construction (initialization uses belong to the object's birth).
-    if (!DuringOwnInit && !T.UsedOutsideInit)
-      T.FirstUseTime = std::max(UseTime, T.AllocTime);
-    if (UseTime > T.LastUseTime)
-      T.LastUseTime = UseTime;
-    T.LastUseSite = localSite(E.Site);
-    ++T.UseCount;
+    if (!DuringOwnInit && !T->UsedOutsideInit)
+      T->FirstUseTime = std::max(UseTime, T->AllocTime);
+    if (UseTime > T->LastUseTime)
+      T->LastUseTime = UseTime;
+    T->LastUseSite = localSite(E.Site);
+    ++T->UseCount;
     if (!DuringOwnInit)
-      T.UsedOutsideInit = true;
+      T->UsedOutsideInit = true;
     break;
   }
   case EventKind::GCEnd:
@@ -68,20 +74,14 @@ void DragProfiler::onEvent(const EventRecord &E) {
   case EventKind::DeepGCEnd:
     IntervalStart = E.Time;
     break;
-  case EventKind::Collect: {
-    auto It = Trailers.find(E.Id);
-    if (It == Trailers.end())
-      break;
-    emitRecord(E.Id, It->second, E.Time, /*Survived=*/false);
-    Trailers.erase(It);
-    break;
-  }
+  case EventKind::Collect:
   case EventKind::Survivor: {
-    auto It = Trailers.find(E.Id);
-    if (It == Trailers.end())
+    Trailer *T = findTrailer(E.Id);
+    if (!T)
       break;
-    emitRecord(E.Id, It->second, E.Time, /*Survived=*/true);
-    Trailers.erase(It);
+    emitRecord(E.Id, *T, E.Time,
+               /*Survived=*/E.kind() == EventKind::Survivor);
+    eraseTrailer(E.Id);
     break;
   }
   case EventKind::Terminate:
@@ -90,6 +90,20 @@ void DragProfiler::onEvent(const EventRecord &E) {
   case EventKind::DefineSite:
     break; // delivered via onSite
   }
+}
+
+DragProfiler::Trailer *DragProfiler::findTrailer(ObjectId Id) {
+  if (Config.UseDenseTrailers)
+    return Dense.find(Id);
+  auto It = Trailers.find(Id);
+  return It == Trailers.end() ? nullptr : &It->second;
+}
+
+void DragProfiler::eraseTrailer(ObjectId Id) {
+  if (Config.UseDenseTrailers)
+    Dense.erase(Id);
+  else
+    Trailers.erase(Id);
 }
 
 void DragProfiler::emitRecord(ObjectId Id, const Trailer &T, ByteTime Now,

@@ -45,6 +45,7 @@
 #include "profiler/ProfileLog.h"
 #include "vm/VirtualMachine.h"
 
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -62,6 +63,11 @@ struct ProfilerConfig {
   /// Classes whose instances are excluded from the log, mirroring the
   /// paper's exclusion of Class objects and class-reachable specials.
   std::vector<ir::ClassId> ExcludedClasses;
+  /// Keep trailers in a paged dense array indexed by object id (object
+  /// ids are dense and monotonic) instead of a hash map -- no hashing on
+  /// the per-Use hot path. The map fallback exists so the bench ladder
+  /// can measure the difference.
+  bool UseDenseTrailers = true;
 };
 
 /// The phase-1 profiler. Attach to a VirtualMachine (attachTo) or replay
@@ -72,10 +78,13 @@ public:
                         ProfilerConfig Config = ProfilerConfig());
 
   /// Configures \p Opts for live profiling: installs this profiler's
-  /// dispatch sink and its site depth.
+  /// dispatch sink and its site depth, and aligns the sink's decoder
+  /// with the VM's wire format -- set Opts.EventFormat (if non-default)
+  /// *before* calling this.
   void attachTo(vm::VMOptions &Opts) {
     Opts.Sink = &Sink;
     Opts.SiteDepth = Config.SiteDepth;
+    Sink.setWireFormat(Opts.EventFormat);
   }
 
   /// The sink feeding this profiler (for manual wiring, e.g. a TeeSink
@@ -99,7 +108,9 @@ public:
   }
 
   /// Live (not yet logged) object count -- should be 0 after a run.
-  std::size_t liveTrailers() const { return Trailers.size(); }
+  std::size_t liveTrailers() const {
+    return Config.UseDenseTrailers ? Dense.size() : Trailers.size();
+  }
 
 private:
   struct Trailer {
@@ -117,6 +128,74 @@ private:
     bool Excluded = false;
   };
 
+  /// Paged dense trailer store indexed by object id. The heap hands out
+  /// object ids densely and monotonically, so id -> slot is a shift and
+  /// a mask with no hashing on the per-Use hot path; the per-slot Live
+  /// flag is the free-slot check (a stale or VM-internal id hits a dead
+  /// slot, never a neighbour's trailer). A page whose live count drains
+  /// to zero *behind* the allocation frontier is released, so resident
+  /// memory tracks the live-object population, not the total number of
+  /// objects ever allocated.
+  class TrailerTable {
+  public:
+    Trailer &insert(vm::ObjectId Id) {
+      std::size_t Pi = static_cast<std::size_t>(Id) / PageSize;
+      std::size_t Si = static_cast<std::size_t>(Id) % PageSize;
+      if (Pi >= Pages.size())
+        Pages.resize(Pi + 1);
+      if (!Pages[Pi])
+        Pages[Pi] = std::make_unique<Page>();
+      if (Pi > Frontier)
+        Frontier = Pi;
+      Page &Pg = *Pages[Pi];
+      if (!Pg.Live[Si]) {
+        Pg.Live[Si] = true;
+        ++Pg.LiveCount;
+        ++LiveTotal;
+      }
+      Pg.Slots[Si] = Trailer();
+      return Pg.Slots[Si];
+    }
+    Trailer *find(vm::ObjectId Id) {
+      std::size_t Pi = static_cast<std::size_t>(Id) / PageSize;
+      if (Pi >= Pages.size() || !Pages[Pi])
+        return nullptr;
+      Page &Pg = *Pages[Pi];
+      std::size_t Si = static_cast<std::size_t>(Id) % PageSize;
+      return Pg.Live[Si] ? &Pg.Slots[Si] : nullptr;
+    }
+    void erase(vm::ObjectId Id) {
+      std::size_t Pi = static_cast<std::size_t>(Id) / PageSize;
+      if (Pi >= Pages.size() || !Pages[Pi])
+        return;
+      Page &Pg = *Pages[Pi];
+      std::size_t Si = static_cast<std::size_t>(Id) % PageSize;
+      if (!Pg.Live[Si])
+        return;
+      Pg.Live[Si] = false;
+      --Pg.LiveCount;
+      --LiveTotal;
+      // Keep the frontier page even when briefly empty: allocation is
+      // still filling it and releasing would just recreate it.
+      if (Pg.LiveCount == 0 && Pi < Frontier)
+        Pages[Pi].reset();
+    }
+    std::size_t size() const { return LiveTotal; }
+
+  private:
+    static constexpr std::size_t PageSize = 4096;
+    struct Page {
+      Trailer Slots[PageSize];
+      bool Live[PageSize] = {};
+      std::size_t LiveCount = 0;
+    };
+    std::vector<std::unique_ptr<Page>> Pages;
+    std::size_t Frontier = 0;
+    std::size_t LiveTotal = 0;
+  };
+
+  Trailer *findTrailer(vm::ObjectId Id);
+  void eraseTrailer(vm::ObjectId Id);
   void emitRecord(vm::ObjectId Id, const Trailer &T, ByteTime Now,
                   bool Survived);
   SiteId localSite(SiteId StreamId) const {
@@ -130,6 +209,9 @@ private:
   /// Stream site id -> id in Log.Sites. Stream ids are dense and arrive
   /// in order, so in practice this is the identity map.
   std::vector<SiteId> SiteMap;
+  TrailerTable Dense;
+  /// Hash-map fallback (Config.UseDenseTrailers = false), kept so the
+  /// bench ladder can measure the dense table's win.
   std::unordered_map<vm::ObjectId, Trailer> Trailers;
   std::unordered_set<std::uint32_t> Excluded; ///< class indices
   ByteTime IntervalStart = 0; ///< last deep-GC boundary on the byte clock

@@ -26,10 +26,112 @@ constexpr const char *EventKindNames[] = {
 static_assert(std::size(EventKindNames) == NumEventKinds,
               "name every EventKind");
 
-// .jdev header: 8-byte StreamFileMagic, u32 version, u32 reserved. The
-// version field is 2 since chunk framing (v1 was the unframed record
-// stream).
+// .jdev header: 8-byte StreamFileMagic, u32 version, u32 reserved.
 constexpr std::uint64_t StreamMagic = StreamFileMagic;
+
+//===----------------------------------------------------------------------===//
+// v3 varint primitives
+//===----------------------------------------------------------------------===//
+//
+// LEB128 unsigned varints, at most 10 bytes for a u64. Timestamps are
+// zigzag-mapped signed *deltas* against the previous record's time (the
+// byte clock is monotonic, so deltas are small), every other field is an
+// unsigned varint of its value. SiteIds are biased by +1 so the common
+// InvalidSite (~0u) costs one byte instead of five.
+
+constexpr std::size_t MaxVarintBytes = 10;
+
+/// Appends V as a LEB128 varint; returns bytes written (<= 10).
+inline std::size_t putUvar(std::uint8_t *P, std::uint64_t V) {
+  std::size_t N = 0;
+  do {
+    std::uint8_t B = V & 0x7F;
+    V >>= 7;
+    if (V)
+      B |= 0x80;
+    P[N++] = B;
+  } while (V);
+  return N;
+}
+
+inline std::uint64_t zigzagEncode(std::int64_t V) {
+  return (static_cast<std::uint64_t>(V) << 1) ^
+         static_cast<std::uint64_t>(V >> 63);
+}
+
+inline std::int64_t zigzagDecode(std::uint64_t V) {
+  return static_cast<std::int64_t>(V >> 1) ^
+         -static_cast<std::int64_t>(V & 1);
+}
+
+inline std::size_t putSvar(std::uint8_t *P, std::int64_t V) {
+  return putUvar(P, zigzagEncode(V));
+}
+
+/// The +1 site bias, in u32 arithmetic so InvalidSite wraps to 0.
+inline std::uint64_t biasSite(SiteId S) {
+  return static_cast<std::uint32_t>(S + 1);
+}
+
+/// Bounded varint reader over one contiguous span. Distinguishes "ran
+/// out of bytes" (Short: the record straddles the feed boundary, wait
+/// for more) from "malformed" (Bad: overlong varint or u64 overflow,
+/// the stream is corrupt).
+struct VarReader {
+  const std::byte *P;
+  std::size_t N;
+  std::size_t Off = 0;
+  bool Short = false;
+  bool Bad = false;
+
+  bool byte(std::uint8_t &B) {
+    if (Off == N) {
+      Short = true;
+      return false;
+    }
+    B = std::to_integer<std::uint8_t>(P[Off++]);
+    return true;
+  }
+
+  std::uint64_t uvar() {
+    std::uint64_t V = 0;
+    for (std::size_t I = 0; I != MaxVarintBytes; ++I) {
+      std::uint8_t B;
+      if (!byte(B))
+        return 0;
+      V |= static_cast<std::uint64_t>(B & 0x7F) << (7 * I);
+      if (!(B & 0x80)) {
+        if (I == MaxVarintBytes - 1 && B > 1)
+          Bad = true; // 10th byte may only carry bit 64's remainder
+        return V;
+      }
+    }
+    Bad = true; // continuation bit set past the 10-byte limit
+    return 0;
+  }
+
+  std::int64_t svar() { return zigzagDecode(uvar()); }
+
+  /// uvar that must fit a u32 (site ids, frame fields).
+  std::uint32_t uvar32() {
+    std::uint64_t V = uvar();
+    if (V > 0xFFFFFFFFull)
+      Bad = true;
+    return static_cast<std::uint32_t>(V);
+  }
+};
+
+// v3 tag byte: bits 0-2 = EventKind, bits 3-7 = kind-specific inline
+// flags. Spare bits MUST be zero -- a set spare bit fails the decode,
+// preserving the corruption detection the fixed format got for free.
+constexpr std::uint8_t TagKindMask = 0x07;
+constexpr std::uint8_t AllocIsArrayBit = 0x08;  // Flags bit0
+constexpr std::uint8_t AllocKindShift = 4;      // Sub (ArrayKind, 2 bits)
+constexpr std::uint8_t AllocSpareMask = 0xC0;   // bits 6-7
+constexpr std::uint8_t UseDuringInitBit = 0x08; // Flags bit0
+constexpr std::uint8_t UseKindShift = 4;        // Sub (UseKind, 3 bits)
+constexpr std::uint8_t UseSpareMask = 0x80;     // bit 7
+
 } // namespace
 
 const char *jdrag::profiler::eventKindName(EventKind K) {
@@ -55,7 +157,7 @@ bool FileEventSink::open(const std::string &Path, Options O) {
     LastErr = errno;
     return Ok = false;
   }
-  std::uint32_t Version = FormatVersion;
+  std::uint32_t Version = static_cast<std::uint32_t>(Opt.Format);
   std::uint32_t Reserved = 0;
   Ok = std::fwrite(&StreamMagic, sizeof(StreamMagic), 1, F) == 1 &&
        std::fwrite(&Version, sizeof(Version), 1, F) == 1 &&
@@ -136,9 +238,9 @@ bool FileEventSink::finish() {
 //===----------------------------------------------------------------------===//
 
 EventBuffer::EventBuffer(EventSink &Sink, std::size_t ChunkBytes,
-                         bool Checksum)
+                         bool Checksum, WireFormat Format)
     : Sink(Sink), ChunkBytes(ChunkBytes ? ChunkBytes : DefaultChunkBytes),
-      Checksum(Checksum) {
+      Format(Format), Checksum(Checksum) {
   Chunk.reserve(sizeof(ChunkHeader) + this->ChunkBytes);
   beginChunk();
 }
@@ -162,20 +264,97 @@ void EventBuffer::writeBytes(const void *Data, std::size_t Size) {
   }
 }
 
+void EventBuffer::writeEventV3(const EventRecord &E) {
+  // Largest non-site record: tag + 5 varints -- comfortably under 64.
+  std::uint8_t Buf[1 + 5 * MaxVarintBytes];
+  std::size_t N = 0;
+  std::uint8_t Tag = E.Kind;
+  auto Kind = E.kind();
+
+  // Every timed record carries a zigzag delta against the previous one.
+  std::int64_t Delta = static_cast<std::int64_t>(E.Time - LastTime);
+  LastTime = E.Time;
+
+  switch (Kind) {
+  case EventKind::Alloc:
+    Tag |= (E.Flags & 1) ? AllocIsArrayBit : 0;
+    Tag |= static_cast<std::uint8_t>(E.Sub << AllocKindShift);
+    Buf[N++] = Tag;
+    N += putSvar(Buf + N, Delta);
+    N += putUvar(Buf + N, E.Id);
+    N += putUvar(Buf + N, E.Arg0);
+    N += putUvar(Buf + N, E.Arg1);
+    N += putUvar(Buf + N, biasSite(E.Site));
+    break;
+  case EventKind::Use:
+    Tag |= (E.Flags & 1) ? UseDuringInitBit : 0;
+    Tag |= static_cast<std::uint8_t>(E.Sub << UseKindShift);
+    Buf[N++] = Tag;
+    N += putSvar(Buf + N, Delta);
+    N += putUvar(Buf + N, E.Id);
+    N += putUvar(Buf + N, biasSite(E.Site));
+    break;
+  case EventKind::GCEnd:
+    Buf[N++] = Tag;
+    N += putSvar(Buf + N, Delta);
+    N += putUvar(Buf + N, E.Arg0);
+    N += putUvar(Buf + N, E.Arg1);
+    break;
+  case EventKind::Collect:
+  case EventKind::Survivor:
+    Buf[N++] = Tag;
+    N += putSvar(Buf + N, Delta);
+    N += putUvar(Buf + N, E.Id);
+    break;
+  case EventKind::DeepGCEnd:
+  case EventKind::Terminate:
+    Buf[N++] = Tag;
+    N += putSvar(Buf + N, Delta);
+    break;
+  case EventKind::DefineSite:
+    // DefineSite goes through writeSite(); never reaches here.
+    return;
+  }
+  writeBytes(Buf, N);
+}
+
 void EventBuffer::writeEvent(const EventRecord &E) {
-  writeBytes(&E, sizeof(E));
+  if (Format == WireFormat::V2)
+    writeBytes(&E, sizeof(E));
+  else
+    writeEventV3(E);
   ++Events;
 }
 
 void EventBuffer::writeSite(SiteId Id, std::span<const SiteFrame> Frames) {
-  EventRecord E;
-  E.Kind = static_cast<std::uint8_t>(EventKind::DefineSite);
-  E.Site = Id;
-  E.Arg0 = Frames.size();
-  writeBytes(&E, sizeof(E));
-  for (const SiteFrame &F : Frames) {
-    WireFrame W{F.Method.Index, F.Pc, F.Line};
-    writeBytes(&W, sizeof(W));
+  if (Format == WireFormat::V2) {
+    EventRecord E;
+    E.Kind = static_cast<std::uint8_t>(EventKind::DefineSite);
+    E.Site = Id;
+    E.Arg0 = Frames.size();
+    writeBytes(&E, sizeof(E));
+    for (const SiteFrame &F : Frames) {
+      WireFrame W{F.Method.Index, F.Pc, F.Line};
+      writeBytes(&W, sizeof(W));
+    }
+  } else {
+    // DefineSite is untimed (Time is always 0) and does NOT participate
+    // in the time-delta chain: sites intern lazily, so their position
+    // in the stream is not meaningful to the clock.
+    std::uint8_t Buf[1 + 2 * MaxVarintBytes];
+    std::size_t N = 0;
+    Buf[N++] = static_cast<std::uint8_t>(EventKind::DefineSite);
+    N += putUvar(Buf + N, Id);
+    N += putUvar(Buf + N, Frames.size());
+    writeBytes(Buf, N);
+    for (const SiteFrame &F : Frames) {
+      std::uint8_t FB[3 * MaxVarintBytes];
+      std::size_t FN = 0;
+      FN += putUvar(FB + FN, F.Method.Index);
+      FN += putUvar(FB + FN, F.Pc);
+      FN += putUvar(FB + FN, F.Line);
+      writeBytes(FB, FN);
+    }
   }
   ++Events;
 }
@@ -223,6 +402,14 @@ StreamHealth EventBuffer::health() const {
   StreamHealth H = Health;
   H.Retries = Sink.retries();
   H.LastErrno = Sink.lastErrno();
+  // Chunks a sink accepted but later shed (async queue under drop
+  // policy, background write failure) count as dropped end-to-end.
+  H.ChunksDropped += Sink.droppedChunks();
+  H.BytesDropped += Sink.droppedBytes();
+  std::uint64_t DC = Sink.droppedChunks();
+  std::uint64_t DB = Sink.droppedBytes();
+  H.ChunksWritten -= DC < H.ChunksWritten ? DC : H.ChunksWritten;
+  H.BytesWritten -= DB < H.BytesWritten ? DB : H.BytesWritten;
   return H;
 }
 
@@ -237,21 +424,8 @@ bool StreamDecoder::fail(std::string Msg) {
   return false;
 }
 
-bool StreamDecoder::feed(const std::byte *Data, std::size_t Size) {
-  if (Failed)
-    return false;
-
-  // Work over the concatenation of leftover bytes and the new slice
-  // without copying the new slice unless a record straddles its end.
-  const std::byte *Cur = Data;
-  std::size_t Avail = Size;
-  if (!Pending.empty()) {
-    Pending.insert(Pending.end(), Data, Data + Size);
-    Cur = Pending.data();
-    Avail = Pending.size();
-  }
-
-  std::size_t Off = 0;
+bool StreamDecoder::decodeV2(const std::byte *Cur, std::size_t Avail,
+                             std::size_t &Off) {
   while (true) {
     if (Avail - Off < sizeof(EventRecord))
       break;
@@ -264,7 +438,8 @@ bool StreamDecoder::feed(const std::byte *Data, std::size_t Size) {
       if (E.Arg0 > MaxWireFrames)
         return fail("malformed event stream: site with " +
                     std::to_string(E.Arg0) + " frames");
-      std::size_t Payload = static_cast<std::size_t>(E.Arg0) * sizeof(WireFrame);
+      std::size_t Payload =
+          static_cast<std::size_t>(E.Arg0) * sizeof(WireFrame);
       if (Avail - Off < sizeof(EventRecord) + Payload)
         break;
       FrameScratch.clear();
@@ -282,6 +457,138 @@ bool StreamDecoder::feed(const std::byte *Data, std::size_t Size) {
     }
     ++Events;
   }
+  return true;
+}
+
+bool StreamDecoder::decodeV3(const std::byte *Cur, std::size_t Avail,
+                             std::size_t &Off) {
+  while (Off < Avail) {
+    VarReader R{Cur + Off, Avail - Off};
+    std::uint8_t Tag;
+    R.byte(Tag);
+    std::uint8_t KindBits = Tag & TagKindMask;
+    auto Kind = static_cast<EventKind>(KindBits);
+
+    EventRecord E;
+    E.Kind = KindBits;
+    ByteTime NewLast = LastTime;
+
+    // Decode the whole record before committing anything: if the reader
+    // runs short the record straddles the feed boundary and we retry it
+    // once more bytes arrive, so no state (LastTime, Events, consumer
+    // dispatch) may change until the record is complete.
+    bool IsSite = Kind == EventKind::DefineSite;
+    SiteId SiteDef = InvalidSite;
+    std::uint64_t FrameCount = 0;
+
+    if (IsSite) {
+      if (Tag & ~TagKindMask)
+        return fail("malformed event stream: spare tag bits set on "
+                    "define-site record");
+      SiteDef = R.uvar32();
+      FrameCount = R.uvar();
+      if (!R.Short && !R.Bad && FrameCount > MaxWireFrames)
+        return fail("malformed event stream: site with " +
+                    std::to_string(FrameCount) + " frames");
+      FrameScratch.clear();
+      for (std::uint64_t I = 0; I != FrameCount && !R.Short && !R.Bad; ++I) {
+        std::uint32_t Method = R.uvar32();
+        std::uint32_t Pc = R.uvar32();
+        std::uint32_t Line = R.uvar32();
+        FrameScratch.push_back({ir::MethodId(Method), Pc, Line});
+      }
+    } else {
+      std::int64_t Delta = R.svar();
+      NewLast = LastTime + static_cast<std::uint64_t>(Delta);
+      E.Time = NewLast;
+      switch (Kind) {
+      case EventKind::Alloc:
+        if (Tag & AllocSpareMask)
+          return fail("malformed event stream: spare tag bits set on "
+                      "alloc record");
+        E.Flags = (Tag & AllocIsArrayBit) ? 1 : 0;
+        E.Sub = static_cast<std::uint8_t>((Tag >> AllocKindShift) & 0x3);
+        E.Id = R.uvar();
+        E.Arg0 = R.uvar();
+        E.Arg1 = R.uvar();
+        E.Site = static_cast<SiteId>(R.uvar32() - 1);
+        break;
+      case EventKind::Use:
+        if (Tag & UseSpareMask)
+          return fail("malformed event stream: spare tag bits set on "
+                      "use record");
+        E.Flags = (Tag & UseDuringInitBit) ? 1 : 0;
+        E.Sub = static_cast<std::uint8_t>((Tag >> UseKindShift) & 0x7);
+        if (E.Sub == 7 && !R.Short)
+          return fail("malformed event stream: unknown use kind 7");
+        E.Id = R.uvar();
+        E.Site = static_cast<SiteId>(R.uvar32() - 1);
+        break;
+      case EventKind::GCEnd:
+        if (Tag & ~TagKindMask)
+          return fail("malformed event stream: spare tag bits set on "
+                      "gc-end record");
+        E.Arg0 = R.uvar();
+        E.Arg1 = R.uvar();
+        break;
+      case EventKind::Collect:
+      case EventKind::Survivor:
+        if (Tag & ~TagKindMask)
+          return fail("malformed event stream: spare tag bits set on " +
+                      std::string(eventKindName(Kind)) + " record");
+        E.Id = R.uvar();
+        break;
+      case EventKind::DeepGCEnd:
+      case EventKind::Terminate:
+        if (Tag & ~TagKindMask)
+          return fail("malformed event stream: spare tag bits set on " +
+                      std::string(eventKindName(Kind)) + " record");
+        break;
+      case EventKind::DefineSite:
+        break; // unreachable: handled above
+      }
+    }
+
+    // Malformation wins over shortness: Bad never depends on bytes
+    // that have not arrived yet (a reader that ran short after hitting
+    // an overlong varint is still malformed, not merely incomplete).
+    if (R.Bad)
+      return fail("malformed event stream: bad varint in " +
+                  std::string(eventKindName(Kind)) + " record");
+    if (R.Short)
+      break; // partial record at feed boundary: wait for more bytes
+
+    // Commit.
+    if (IsSite) {
+      C.onSite(SiteDef, FrameScratch);
+    } else {
+      LastTime = NewLast;
+      C.onEvent(E);
+    }
+    ++Events;
+    Off += R.Off;
+  }
+  return true;
+}
+
+bool StreamDecoder::feed(const std::byte *Data, std::size_t Size) {
+  if (Failed)
+    return false;
+
+  // Work over the concatenation of leftover bytes and the new slice
+  // without copying the new slice unless a record straddles its end.
+  const std::byte *Cur = Data;
+  std::size_t Avail = Size;
+  if (!Pending.empty()) {
+    Pending.insert(Pending.end(), Data, Data + Size);
+    Cur = Pending.data();
+    Avail = Pending.size();
+  }
+
+  std::size_t Off = 0;
+  if (!(Format == WireFormat::V2 ? decodeV2(Cur, Avail, Off)
+                                 : decodeV3(Cur, Avail, Off)))
+    return false;
 
   // Stash the incomplete tail for the next feed.
   if (!Pending.empty()) {
@@ -365,8 +672,9 @@ bool FrameDecoder::feed(const std::byte *Data, std::size_t Size) {
 //===----------------------------------------------------------------------===//
 
 bool jdrag::profiler::replayBytes(std::span<const std::byte> Bytes,
-                                  EventConsumer &C, std::string *Err) {
-  FrameDecoder D(C);
+                                  EventConsumer &C, std::string *Err,
+                                  WireFormat Format) {
+  FrameDecoder D(C, Format);
   if (!D.feed(Bytes.data(), Bytes.size())) {
     if (Err)
       *Err = D.error();
@@ -399,13 +707,14 @@ bool jdrag::profiler::replayFile(const std::string &Path, EventConsumer &C,
   }
   if (std::fread(&Version, sizeof(Version), 1, F) != 1 ||
       std::fread(&Reserved, sizeof(Reserved), 1, F) != 1 ||
-      Version != FileEventSink::FormatVersion) {
+      (Version != static_cast<std::uint32_t>(WireFormat::V2) &&
+       Version != static_cast<std::uint32_t>(WireFormat::V3))) {
     std::fclose(F);
     return Fail(Path + ": unsupported .jdev version " +
                 std::to_string(Version));
   }
 
-  FrameDecoder D(C);
+  FrameDecoder D(C, static_cast<WireFormat>(Version));
   std::byte Buf[64 * 1024];
   bool Ok = true;
   while (true) {

@@ -8,13 +8,14 @@
 /// The event-stream pipeline decouples the instrumented VM (phase 1) from
 /// the drag profiler (phase 2), the way the paper's two-phase tool and
 /// production heap profilers (heapprofd-style) are structured: the VM does
-/// minimal in-line work -- it appends compact fixed-width binary events to
-/// a chunked EventBuffer -- and a pluggable EventSink decides where the
-/// bytes go:
+/// minimal in-line work -- it appends compact binary events to a chunked
+/// EventBuffer -- and a pluggable EventSink decides where the bytes go:
 ///
 ///   DispatchSink       decode chunks as they are flushed and feed an
 ///                      EventConsumer (attached / live profiling)
 ///   FileEventSink      write a `.jdev` recording for detached analysis
+///   AsyncEventSink     hand chunks to a background writer thread
+///                      (profiler/AsyncEventSink.h)
 ///   MemorySink         keep the raw stream in memory (tests, tooling)
 ///   TeeSink            both at once
 ///   NullSink           discard (overhead measurement)
@@ -30,14 +31,21 @@
 /// that produced it): the stream is a sequence of *framed chunks*, each
 /// a 16-byte ChunkHeader (magic, sequence number, payload length,
 /// CRC-32C of the payload) followed by the payload. Payloads concatenate
-/// into the record stream: every record starts with a 40-byte
-/// EventRecord; DefineSite records are followed by FrameCount 12-byte
-/// WireFrames. Records may straddle chunk boundaries -- FrameDecoder
-/// verifies and strips the frames, StreamDecoder reassembles records.
-/// The framing is what makes a damaged recording *salvageable*: a
-/// decoder can verify each chunk independently, detect exactly where
-/// corruption or truncation begins, and recover every complete record
-/// before it (see profiler/StreamSalvage.h).
+/// into the record stream. Two record encodings exist (WireFormat):
+///
+///   v2  every record is a fixed 40-byte EventRecord; DefineSite records
+///       are followed by FrameCount 12-byte WireFrames;
+///   v3  per-kind variable-length records: a tag byte (kind + inline
+///       flags) followed by LEB128 varint fields, with timestamps
+///       encoded as zigzag deltas against the previous record -- the
+///       dominant Use/Collect events shrink from 40 to ~4-8 bytes.
+///
+/// Records may straddle chunk boundaries in both encodings --
+/// FrameDecoder verifies and strips the frames, StreamDecoder
+/// reassembles records. The framing is what makes a damaged recording
+/// *salvageable*: a decoder can verify each chunk independently, detect
+/// exactly where corruption or truncation begins, and recover every
+/// complete record before it (see profiler/StreamSalvage.h).
 ///
 /// The producer side degrades gracefully instead of failing silently:
 /// when a sink write fails, EventBuffer keeps accepting events, accounts
@@ -54,11 +62,14 @@
 #include "support/Units.h"
 #include "vm/Value.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace jdrag::profiler {
@@ -79,7 +90,19 @@ inline constexpr std::size_t NumEventKinds = 8;
 
 const char *eventKindName(EventKind K);
 
-/// One fixed-width wire record. Field meaning depends on Kind:
+/// Record-layer encoding of a stream (the `.jdev` header version). The
+/// chunk framing is identical in both; only the record bytes differ.
+enum class WireFormat : std::uint8_t {
+  V2 = 2, ///< fixed 40-byte EventRecords (legacy; still replayable)
+  V3 = 3, ///< per-kind varint records with byte-clock time deltas
+};
+
+/// What new streams are written as (decoders accept both).
+inline constexpr WireFormat DefaultWireFormat = WireFormat::V3;
+
+/// One decoded event. This is the *in-memory* record every consumer
+/// sees regardless of wire format; it is also, verbatim, the v2 wire
+/// encoding. Field meaning depends on Kind:
 ///
 ///   Kind        Time  Id      Arg0            Arg1           Site  Sub    Flags
 ///   DefineSite  -     -       frame count     -              id    -      -
@@ -103,10 +126,10 @@ struct EventRecord {
 
   EventKind kind() const { return static_cast<EventKind>(Kind); }
 };
-static_assert(sizeof(EventRecord) == 40, "wire format is fixed-width");
+static_assert(sizeof(EventRecord) == 40, "v2 wire format is fixed-width");
 static_assert(std::is_trivially_copyable_v<EventRecord>);
 
-/// One frame of a DefineSite payload.
+/// One frame of a v2 DefineSite payload (v3 encodes frames as varints).
 struct WireFrame {
   std::uint32_t Method = 0;
   std::uint32_t Pc = 0;
@@ -119,7 +142,7 @@ static_assert(sizeof(WireFrame) == 12);
 inline constexpr std::uint64_t MaxWireFrames = 1024;
 
 /// `.jdev` file magic ("jdevstr1"): 8 bytes, followed by a u32 format
-/// version (FileEventSink::FormatVersion) and a u32 reserved field.
+/// version (the stream's WireFormat) and a u32 reserved field.
 inline constexpr std::uint64_t StreamFileMagic = 0x6a64657673747231ULL;
 
 //===----------------------------------------------------------------------===//
@@ -129,7 +152,7 @@ inline constexpr std::uint64_t StreamFileMagic = 0x6a64657673747231ULL;
 /// Frame header preceding every chunk payload in the stream. The magic
 /// lets a salvage scan resynchronize at the next chunk boundary after
 /// damage; Seq makes dropped or reordered chunks detectable; Crc
-/// (CRC-32C of the payload bytes) makes bit flips detectable.
+/// (CRC-32C of the payload) makes bit flips detectable.
 struct ChunkHeader {
   std::uint32_t Magic = 0;
   std::uint32_t Seq = 0;
@@ -152,9 +175,9 @@ inline constexpr std::uint32_t MaxChunkPayload = 64u << 20;
 /// say exactly how much was lost and why (last errno, retries spent).
 struct StreamHealth {
   std::uint64_t ChunksWritten = 0; ///< chunks accepted by the sink
-  std::uint64_t ChunksDropped = 0; ///< chunks the sink refused
+  std::uint64_t ChunksDropped = 0; ///< chunks the sink refused or shed
   std::uint64_t BytesWritten = 0;  ///< frame bytes accepted (header+payload)
-  std::uint64_t BytesDropped = 0;  ///< frame bytes refused
+  std::uint64_t BytesDropped = 0;  ///< frame bytes refused or shed
   std::uint32_t Retries = 0;       ///< transient-error retries in the sink
   int LastErrno = 0;               ///< errno of the last sink failure
 
@@ -178,12 +201,22 @@ public:
   virtual int lastErrno() const { return 0; }
   /// Transient-error retries performed so far (for StreamHealth).
   virtual std::uint32_t retries() const { return 0; }
+  /// Chunks/bytes this sink *accepted* (writeChunk returned true) but
+  /// had to discard later -- an async queue shedding load, a background
+  /// write failing. EventBuffer::health() folds these into the drop
+  /// accounting so StreamHealth::intact() stays an end-to-end truth.
+  virtual std::uint64_t droppedChunks() const { return 0; }
+  virtual std::uint64_t droppedBytes() const { return 0; }
 };
 
 /// Keeps the raw stream in memory.
 class MemorySink : public EventSink {
 public:
   bool writeChunk(const std::byte *Data, std::size_t Size) override {
+    // Geometric growth up front: one reserve doubles the buffer instead
+    // of letting insert() reallocate mid-copy on the hot path.
+    if (Buf.capacity() - Buf.size() < Size)
+      Buf.reserve(std::max(Buf.capacity() * 2, Buf.size() + Size));
     Buf.insert(Buf.end(), Data, Data + Size);
     return true;
   }
@@ -225,6 +258,12 @@ public:
   }
   std::uint32_t retries() const override {
     return A.retries() + B.retries();
+  }
+  std::uint64_t droppedChunks() const override {
+    return A.droppedChunks() + B.droppedChunks();
+  }
+  std::uint64_t droppedBytes() const override {
+    return A.droppedBytes() + B.droppedBytes();
   }
 
 private:
@@ -268,6 +307,10 @@ public:
   bool finish() override { return Inner.finish() && !Tripped; }
   int lastErrno() const override { return Tripped ? P.Errno : 0; }
   std::uint32_t retries() const override { return Inner.retries(); }
+  std::uint64_t droppedChunks() const override {
+    return Inner.droppedChunks();
+  }
+  std::uint64_t droppedBytes() const override { return Inner.droppedBytes(); }
 
   bool tripped() const { return Tripped; }
 
@@ -286,7 +329,9 @@ private:
 /// crash of the *recording process* can lose.
 class FileEventSink : public EventSink {
 public:
-  static constexpr std::uint32_t FormatVersion = 2;
+  /// The newest `.jdev` version this sink writes (and the default).
+  static constexpr std::uint32_t FormatVersion =
+      static_cast<std::uint32_t>(DefaultWireFormat);
 
   struct Options {
     /// Retry budget for transient errors on one chunk.
@@ -294,6 +339,9 @@ public:
     /// fsync the file every N accepted chunks (0 = never). With N=1
     /// every flushed chunk is durable before the VM continues.
     std::uint32_t FsyncEveryChunks = 0;
+    /// Header version stamped on the file. Must match the WireFormat of
+    /// the EventBuffer producing the chunks.
+    WireFormat Format = DefaultWireFormat;
   };
 
   FileEventSink() = default;
@@ -332,9 +380,11 @@ private:
 };
 
 /// Chunked accumulator between the emitting VM and a sink. Events are
-/// appended byte-wise; a full chunk is framed (ChunkHeader + payload)
-/// and handed to the sink, and writing continues in the next chunk, so
-/// records freely straddle chunk payload boundaries.
+/// encoded (v2 fixed-width or v3 compact, per the constructor's
+/// WireFormat) into the current chunk; a full chunk is framed
+/// (ChunkHeader + payload) and handed to the sink, and writing continues
+/// in the next chunk, so records freely straddle chunk payload
+/// boundaries.
 ///
 /// A sink failure does not stop event production: the buffer keeps
 /// accepting events, accounts every refused chunk in health(), and
@@ -350,7 +400,8 @@ public:
   /// never be used for real recordings.
   explicit EventBuffer(EventSink &Sink,
                        std::size_t ChunkBytes = DefaultChunkBytes,
-                       bool Checksum = true);
+                       bool Checksum = true,
+                       WireFormat Format = DefaultWireFormat);
 
   void writeEvent(const EventRecord &E);
   /// Emits a DefineSite record for \p Id with \p Frames.
@@ -360,12 +411,15 @@ public:
   bool flush();
   /// True while no sink write has failed.
   bool ok() const { return !SinkFailed; }
-  /// Integrity accounting, including the sink's errno/retry counters.
+  /// Integrity accounting, including the sink's errno/retry counters
+  /// and any chunks the sink accepted but later shed (droppedChunks()).
   StreamHealth health() const;
   std::uint64_t eventsWritten() const { return Events; }
+  WireFormat wireFormat() const { return Format; }
 
 private:
   void writeBytes(const void *Data, std::size_t Size);
+  void writeEventV3(const EventRecord &E);
   void beginChunk();
 
   EventSink &Sink;
@@ -373,7 +427,9 @@ private:
   std::size_t ChunkBytes;
   std::uint64_t Events = 0;
   std::uint32_t NextSeq = 0;
+  ByteTime LastTime = 0; ///< v3 time-delta chain
   StreamHealth Health;
+  WireFormat Format;
   bool Checksum = true;
   bool SinkFailed = false;
   bool Warned = false;
@@ -395,7 +451,12 @@ public:
 /// not know about chunk frames -- FrameDecoder strips those first.
 class StreamDecoder {
 public:
-  explicit StreamDecoder(EventConsumer &C) : C(C) {}
+  explicit StreamDecoder(EventConsumer &C,
+                         WireFormat Format = DefaultWireFormat)
+      : C(C), Format(Format) {}
+
+  /// Selects the record encoding. Only valid before the first feed().
+  void setWireFormat(WireFormat F) { Format = F; }
 
   /// Decodes as much as possible. Returns false (sticky) on malformed
   /// input; error() describes the problem.
@@ -412,11 +473,17 @@ public:
 
 private:
   bool fail(std::string Msg);
+  /// Decodes records from [Cur, Cur+Avail), advancing \p Off past every
+  /// complete record. Returns false on malformed input (sticky).
+  bool decodeV2(const std::byte *Cur, std::size_t Avail, std::size_t &Off);
+  bool decodeV3(const std::byte *Cur, std::size_t Avail, std::size_t &Off);
 
   EventConsumer &C;
+  WireFormat Format;
   std::vector<std::byte> Pending;
   std::vector<SiteFrame> FrameScratch;
   std::uint64_t Events = 0;
+  ByteTime LastTime = 0; ///< v3 time-delta chain
   std::string Error;
   bool Failed = false;
 };
@@ -429,7 +496,12 @@ private:
 /// the damage.
 class FrameDecoder {
 public:
-  explicit FrameDecoder(EventConsumer &C) : Records(C) {}
+  explicit FrameDecoder(EventConsumer &C,
+                        WireFormat Format = DefaultWireFormat)
+      : Records(C, Format) {}
+
+  /// Selects the record encoding. Only valid before the first feed().
+  void setWireFormat(WireFormat F) { Records.setWireFormat(F); }
 
   bool feed(const std::byte *Data, std::size_t Size);
 
@@ -458,9 +530,14 @@ private:
 
 /// A sink that decodes inline and feeds a consumer -- attached (live)
 /// profiling: the VM flushes chunks, the consumer sees decoded events.
+/// The decoder's wire format must match the emitting EventBuffer's
+/// (DragProfiler::attachTo aligns it with the VMOptions).
 class DispatchSink : public EventSink {
 public:
-  explicit DispatchSink(EventConsumer &C) : Decoder(C) {}
+  explicit DispatchSink(EventConsumer &C,
+                        WireFormat Format = DefaultWireFormat)
+      : Decoder(C, Format) {}
+  void setWireFormat(WireFormat F) { Decoder.setWireFormat(F); }
   bool writeChunk(const std::byte *Data, std::size_t Size) override {
     return Decoder.feed(Data, Size);
   }
@@ -474,12 +551,15 @@ private:
 /// Replays raw framed stream bytes (no file header) into \p C. Returns
 /// false and sets \p Err on malformed or truncated input.
 bool replayBytes(std::span<const std::byte> Bytes, EventConsumer &C,
-                 std::string *Err = nullptr);
+                 std::string *Err = nullptr,
+                 WireFormat Format = DefaultWireFormat);
 
 /// Replays a `.jdev` recording into \p C, validating the file header,
-/// every chunk frame (sequence + CRC), and record completeness. A
-/// header-only file (zero events) replays successfully. Damaged files
-/// fail with a precise error; `jdrag salvage` recovers their prefix.
+/// every chunk frame (sequence + CRC), and record completeness. Both v2
+/// and v3 recordings are accepted (the header version selects the
+/// record decoder). A header-only file (zero events) replays
+/// successfully. Damaged files fail with a precise error;
+/// `jdrag salvage` recovers their prefix.
 bool replayFile(const std::string &Path, EventConsumer &C,
                 std::string *Err = nullptr);
 

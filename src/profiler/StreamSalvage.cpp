@@ -147,14 +147,16 @@ SalvageReport jdrag::profiler::scanEventFile(const std::string &Path,
     return Rep;
   }
   std::memcpy(&Rep.Version, Bytes.data() + 8, sizeof(Rep.Version));
-  if (Rep.Version != FileEventSink::FormatVersion) {
+  if (Rep.Version != static_cast<std::uint32_t>(WireFormat::V2) &&
+      Rep.Version != static_cast<std::uint32_t>(WireFormat::V3)) {
     Rep.FileError =
         "unsupported .jdev version " + std::to_string(Rep.Version);
     return Rep;
   }
 
   NullConsumer Discard;
-  StreamDecoder Records(C ? *C : static_cast<EventConsumer &>(Discard));
+  StreamDecoder Records(C ? *C : static_cast<EventConsumer &>(Discard),
+                        static_cast<WireFormat>(Rep.Version));
   std::size_t Off = FileHeaderBytes;
   std::uint32_t ExpectedSeq = 0;
   bool Damaged = false;

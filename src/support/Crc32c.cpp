@@ -5,6 +5,13 @@
 #include <bit>
 #include <cstring>
 
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+
 namespace {
 
 constexpr std::uint32_t Poly = 0x82F63B78u; // reflected Castagnoli
@@ -32,10 +39,79 @@ constexpr CrcTables makeTables() {
 
 constexpr CrcTables Tables = makeTables();
 
+using CrcFn = std::uint32_t (*)(const void *, std::size_t, std::uint32_t);
+
+//===----------------------------------------------------------------------===//
+// Hardware paths
+//===----------------------------------------------------------------------===//
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define JDRAG_CRC32C_HW_X86 1
+// Compiled for SSE4.2 regardless of the global -march; only called after
+// the cpuid check in pickImpl().
+__attribute__((target("sse4.2"))) std::uint32_t
+crc32cHw(const void *Data, std::size_t Size, std::uint32_t Seed) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  std::uint64_t C = ~Seed; // crc32q works on the low 32 bits
+  while (Size >= 8) {
+    std::uint64_t W;
+    std::memcpy(&W, P, 8);
+    C = __builtin_ia32_crc32di(C, W);
+    P += 8;
+    Size -= 8;
+  }
+  std::uint32_t C32 = static_cast<std::uint32_t>(C);
+  while (Size--)
+    C32 = __builtin_ia32_crc32qi(C32, *P++);
+  return ~C32;
+}
+#elif defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define JDRAG_CRC32C_HW_ARM 1
+__attribute__((target("+crc"))) std::uint32_t
+crc32cHw(const void *Data, std::size_t Size, std::uint32_t Seed) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  std::uint32_t C = ~Seed;
+  while (Size >= 8) {
+    std::uint64_t W;
+    std::memcpy(&W, P, 8);
+    C = __builtin_aarch64_crc32cx(C, W);
+    P += 8;
+    Size -= 8;
+  }
+  while (Size--)
+    C = __builtin_aarch64_crc32cb(C, *P++);
+  return ~C;
+}
+#endif
+
+bool hwCrcAvailable() {
+#if defined(JDRAG_CRC32C_HW_X86)
+  return __builtin_cpu_supports("sse4.2");
+#elif defined(JDRAG_CRC32C_HW_ARM)
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#else
+  return false;
+#endif
+}
+
+CrcFn pickImpl() {
+#if defined(JDRAG_CRC32C_HW_X86) || defined(JDRAG_CRC32C_HW_ARM)
+  if (hwCrcAvailable())
+    return crc32cHw;
+#endif
+  return jdrag::support::crc32cSoftware;
+}
+
+CrcFn dispatched() {
+  static const CrcFn F = pickImpl();
+  return F;
+}
+
 } // namespace
 
-std::uint32_t jdrag::support::crc32c(const void *Data, std::size_t Size,
-                                     std::uint32_t Seed) {
+std::uint32_t jdrag::support::crc32cSoftware(const void *Data,
+                                             std::size_t Size,
+                                             std::uint32_t Seed) {
   const auto *P = static_cast<const unsigned char *>(Data);
   std::uint32_t C = ~Seed;
   // The 8-byte fold assumes the CRC lands in the low-order input bytes.
@@ -53,4 +129,21 @@ std::uint32_t jdrag::support::crc32c(const void *Data, std::size_t Size,
   while (Size--)
     C = (C >> 8) ^ Tables.T[0][(C ^ *P++) & 0xFF];
   return ~C;
+}
+
+std::uint32_t jdrag::support::crc32c(const void *Data, std::size_t Size,
+                                     std::uint32_t Seed) {
+  return dispatched()(Data, Size, Seed);
+}
+
+const char *jdrag::support::crc32cImplName() {
+  if (dispatched() == &crc32cSoftware)
+    return "software";
+#if defined(JDRAG_CRC32C_HW_X86)
+  return "sse4.2";
+#elif defined(JDRAG_CRC32C_HW_ARM)
+  return "armv8-crc";
+#else
+  return "software";
+#endif
 }

@@ -9,7 +9,7 @@ using namespace jdrag::profiler;
 using namespace jdrag::vm;
 
 EventEmitter::EventEmitter(EventSink &Sink, Config C)
-    : Buf(Sink, C.ChunkBytes, C.Checksum), C(C) {
+    : Buf(Sink, C.ChunkBytes, C.Checksum, C.Format), C(C) {
   Nodes.push_back(Node{}); // node 0: the root (empty) context
 }
 

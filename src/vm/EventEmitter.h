@@ -42,6 +42,8 @@ public:
     std::size_t ChunkBytes = 0;
     /// CRC-32C chunk framing (see EventBuffer); off is bench-only.
     bool Checksum = true;
+    /// Record encoding of the produced stream (see WireFormat).
+    profiler::WireFormat Format = profiler::DefaultWireFormat;
   };
 
   /// The empty call context (base frames: main, finalizer activations).

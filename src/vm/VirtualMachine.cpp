@@ -2,6 +2,7 @@
 
 #include "vm/VirtualMachine.h"
 
+#include "profiler/AsyncEventSink.h"
 #include "support/ErrorHandling.h"
 #include "vm/EventEmitter.h"
 
@@ -68,7 +69,18 @@ Interpreter::Status VirtualMachine::run(std::string *Err) {
   assert(!Ran && "a VirtualMachine runs exactly once");
   Ran = true;
   TheHeap.setObserver(Opts.Observer);
-  if (Opts.Sink) {
+  profiler::EventSink *RunSink = Opts.Sink;
+  if (RunSink && Opts.AsyncEvents) {
+    profiler::AsyncEventSink::Options AO;
+    if (Opts.AsyncQueueChunks)
+      AO.QueueChunks = Opts.AsyncQueueChunks;
+    AO.Policy = Opts.AsyncDropOnFull
+                    ? profiler::AsyncEventSink::QueueFullPolicy::Drop
+                    : profiler::AsyncEventSink::QueueFullPolicy::Block;
+    Async = std::make_unique<profiler::AsyncEventSink>(*RunSink, AO);
+    RunSink = Async.get();
+  }
+  if (RunSink) {
     EventEmitter::Config EC;
     // Old per-event chain capture took ChainDepth frames and interned
     // the innermost SiteDepth of them; the streamed equivalent is one
@@ -76,7 +88,8 @@ Interpreter::Status VirtualMachine::run(std::string *Err) {
     EC.SiteDepth = std::min(Opts.SiteDepth, Opts.ChainDepth);
     EC.ChunkBytes = Opts.EventChunkBytes;
     EC.Checksum = Opts.EventCrc;
-    Emitter = std::make_unique<EventEmitter>(*Opts.Sink, EC);
+    EC.Format = Opts.EventFormat;
+    Emitter = std::make_unique<EventEmitter>(*RunSink, EC);
     TheHeap.setEmitter(Emitter.get());
   }
 
@@ -122,14 +135,19 @@ Interpreter::Status VirtualMachine::run(std::string *Err) {
     Emitter->terminate(TheHeap.clock());
     // A failing sink does not trap the program: its result stands, the
     // buffer keeps accounting drops, and the health record below tells
-    // callers how much of the recording survived.
+    // callers how much of the recording survived. finish() runs on the
+    // outermost sink BEFORE the health snapshot so an async writer's
+    // drain-time losses are already accounted.
     Emitter->flush();
+    profiler::EventSink *Outer =
+        Async ? static_cast<profiler::EventSink *>(Async.get()) : Opts.Sink;
+    bool FinishOk = Outer->finish();
     Health = Emitter->health();
-    if (!Opts.Sink->finish() && Health.ChunksDropped == 0) {
+    if (!FinishOk && Health.ChunksDropped == 0) {
       // finish() failed after every chunk landed (close/fsync error);
       // reflect it so intact() is honest about durability.
       Health.ChunksDropped = 1;
-      Health.LastErrno = Opts.Sink->lastErrno();
+      Health.LastErrno = Outer->lastErrno();
     }
   }
   return S;

@@ -30,6 +30,10 @@
 #include <string_view>
 #include <unordered_map>
 
+namespace jdrag::profiler {
+class AsyncEventSink;
+} // namespace jdrag::profiler
+
 namespace jdrag::vm {
 
 class EventEmitter;
@@ -59,6 +63,21 @@ struct VMOptions {
   /// CRC-32C framing on event-stream chunks. Turning it off is a
   /// benchmarking aid only -- decoders reject unframed streams.
   bool EventCrc = true;
+  /// Record encoding of the emitted stream. V3 (compact varint records)
+  /// is the default; V2 writes the legacy fixed-width records. An
+  /// attached DispatchSink must be configured with the same format
+  /// (DragProfiler::attachTo handles this).
+  profiler::WireFormat EventFormat = profiler::DefaultWireFormat;
+  /// Hand flushed chunks to a background writer thread instead of
+  /// calling Sink on the interpreter thread (see AsyncEventSink.h).
+  /// Only meaningful for sinks that do real I/O -- an attached
+  /// DispatchSink must stay synchronous and single-threaded.
+  bool AsyncEvents = false;
+  /// Queue depth (chunks) of the async writer. 0 = default (16).
+  std::size_t AsyncQueueChunks = 0;
+  /// Under async, shed chunks instead of blocking when the queue is
+  /// full (bounded overhead; losses are accounted in streamHealth()).
+  bool AsyncDropOnFull = false;
   /// Two-generation runtime collection policy (off by default; the
   /// profiler's deep GCs are always full collections regardless).
   GenerationalConfig Generational;
@@ -119,6 +138,9 @@ private:
   Heap TheHeap;
   StaticArea Statics;
   std::unordered_map<std::string, NativeFn> Bound;
+  /// Declared before Emitter: the emitter's buffer references this sink,
+  /// so it must be destroyed after the emitter.
+  std::unique_ptr<profiler::AsyncEventSink> Async;
   std::unique_ptr<EventEmitter> Emitter;
   std::unique_ptr<Interpreter> Interp;
   std::vector<std::int64_t> Inputs;

@@ -12,6 +12,7 @@
 #include "benchmarks/Benchmarks.h"
 #include "profiler/DragProfiler.h"
 #include "profiler/EventStream.h"
+#include "profiler/StreamSalvage.h"
 #include "vm/Events.h"
 #include "vm/VirtualMachine.h"
 
@@ -112,10 +113,12 @@ ir::Program buildEmptyProgram() {
 /// Runs \p P live-attached and returns the log. \p ChunkBytes = 0 keeps
 /// the default chunking.
 ProfileLog liveRun(const ir::Program &P, const std::vector<std::int64_t> &In,
-                   std::size_t ChunkBytes = 0) {
+                   std::size_t ChunkBytes = 0,
+                   WireFormat Format = DefaultWireFormat) {
   DragProfiler Prof(P);
   vm::VMOptions Opts;
   Opts.DeepGCIntervalBytes = 100 * KB;
+  Opts.EventFormat = Format;
   Prof.attachTo(Opts);
   Opts.EventChunkBytes = ChunkBytes;
   vm::VirtualMachine VM(P, Opts);
@@ -128,16 +131,22 @@ ProfileLog liveRun(const ir::Program &P, const std::vector<std::int64_t> &In,
 
 /// Runs \p P with a FileEventSink recording to \p Path.
 void recordRun(const ir::Program &P, const std::vector<std::int64_t> &In,
-               const std::string &Path) {
+               const std::string &Path,
+               WireFormat Format = DefaultWireFormat, bool Async = false) {
   FileEventSink Sink;
-  ASSERT_TRUE(Sink.open(Path));
+  FileEventSink::Options FO;
+  FO.Format = Format;
+  ASSERT_TRUE(Sink.open(Path, FO));
   vm::VMOptions Opts;
   Opts.DeepGCIntervalBytes = 100 * KB;
   Opts.Sink = &Sink;
+  Opts.EventFormat = Format;
+  Opts.AsyncEvents = Async;
   vm::VirtualMachine VM(P, Opts);
   VM.setInputs(In);
   std::string Err;
   ASSERT_EQ(VM.run(&Err), vm::Interpreter::Status::Ok) << Err;
+  ASSERT_TRUE(VM.streamIntact());
   ASSERT_GT(Sink.bytesWritten(), 0u);
 }
 
@@ -297,10 +306,11 @@ TEST(EventWire, DecoderReassemblesByteAtATime) {
 }
 
 TEST(EventWire, DecoderRejectsUnknownKind) {
+  // A raw 40-byte record is the v2 encoding; pin the decoder to V2.
   EventRecord E;
   E.Kind = 200;
   CollectingConsumer C;
-  StreamDecoder D(C);
+  StreamDecoder D(C, WireFormat::V2);
   EXPECT_FALSE(D.feed(reinterpret_cast<const std::byte *>(&E), sizeof(E)));
   EXPECT_NE(D.error().find("kind"), std::string::npos) << D.error();
   // Sticky: further feeds keep failing.
@@ -312,8 +322,88 @@ TEST(EventWire, DecoderRejectsOversizedFrameCount) {
   E.Kind = static_cast<std::uint8_t>(EventKind::DefineSite);
   E.Arg0 = MaxWireFrames + 1;
   CollectingConsumer C;
-  StreamDecoder D(C);
+  StreamDecoder D(C, WireFormat::V2);
   EXPECT_FALSE(D.feed(reinterpret_cast<const std::byte *>(&E), sizeof(E)));
+}
+
+TEST(EventWire, V3DecoderRejectsSpareTagBits) {
+  // v3 kind values all fit 3 bits, so unknown-kind detection moves to
+  // the spare tag bits: any set spare bit must fail the decode.
+  std::byte Tag{0xF8}; // DefineSite kind with all spare bits set
+  CollectingConsumer C;
+  StreamDecoder D(C, WireFormat::V3);
+  EXPECT_FALSE(D.feed(&Tag, 1));
+  EXPECT_NE(D.error().find("spare tag bits"), std::string::npos) << D.error();
+  EXPECT_FALSE(D.feed(&Tag, 1)); // sticky
+}
+
+TEST(EventWire, V3DecoderRejectsOversizedFrameCount) {
+  // DefineSite tag, site id 0, frame count MaxWireFrames+1 as a varint.
+  std::uint8_t Buf[8];
+  std::size_t N = 0;
+  Buf[N++] = static_cast<std::uint8_t>(EventKind::DefineSite);
+  Buf[N++] = 0; // site id
+  std::uint64_t Count = MaxWireFrames + 1;
+  while (Count >= 0x80) {
+    Buf[N++] = static_cast<std::uint8_t>(Count) | 0x80;
+    Count >>= 7;
+  }
+  Buf[N++] = static_cast<std::uint8_t>(Count);
+  CollectingConsumer C;
+  StreamDecoder D(C, WireFormat::V3);
+  EXPECT_FALSE(D.feed(reinterpret_cast<const std::byte *>(Buf), N));
+  EXPECT_NE(D.error().find("frames"), std::string::npos) << D.error();
+}
+
+TEST(EventWire, V3DecoderRejectsOverlongVarint) {
+  // Use record whose time delta is 11 continuation bytes: varints are
+  // capped at 10 bytes, so this is malformed, not merely incomplete.
+  std::uint8_t Buf[16];
+  std::size_t N = 0;
+  Buf[N++] = static_cast<std::uint8_t>(EventKind::Use);
+  for (int I = 0; I != 11; ++I)
+    Buf[N++] = 0x80;
+  CollectingConsumer C;
+  StreamDecoder D(C, WireFormat::V3);
+  EXPECT_FALSE(D.feed(reinterpret_cast<const std::byte *>(Buf), N));
+  EXPECT_NE(D.error().find("varint"), std::string::npos) << D.error();
+}
+
+TEST(EventWire, V3RecordsStraddleFeedBoundaries) {
+  // Encode a couple of events, then feed the payload one byte at a
+  // time: the decoder must buffer partial records without corrupting
+  // the time-delta chain.
+  MemorySink Mem;
+  EventBuffer Buf(Mem, EventBuffer::DefaultChunkBytes, true, WireFormat::V3);
+  EventRecord A;
+  A.Kind = static_cast<std::uint8_t>(EventKind::Alloc);
+  A.Time = 1000;
+  A.Id = 7;
+  A.Arg0 = 24;
+  A.Arg1 = 3;
+  A.Site = 5;
+  Buf.writeEvent(A);
+  EventRecord U;
+  U.Kind = static_cast<std::uint8_t>(EventKind::Use);
+  U.Time = 1500;
+  U.Id = 7;
+  U.Site = 6;
+  Buf.writeEvent(U);
+  ASSERT_TRUE(Buf.flush());
+
+  CollectingConsumer C;
+  FrameDecoder D(C, WireFormat::V3);
+  for (std::byte B : Mem.bytes())
+    ASSERT_TRUE(D.feed(&B, 1)) << D.error();
+  ASSERT_TRUE(D.atRecordBoundary());
+  ASSERT_EQ(C.Events.size(), 2u);
+  EXPECT_EQ(C.Events[0].Time, 1000u);
+  EXPECT_EQ(C.Events[0].Id, 7u);
+  EXPECT_EQ(C.Events[0].Arg0, 24u);
+  EXPECT_EQ(C.Events[0].Arg1, 3u);
+  EXPECT_EQ(C.Events[0].Site, 5u);
+  EXPECT_EQ(C.Events[1].Time, 1500u);
+  EXPECT_EQ(C.Events[1].Site, 6u);
 }
 
 TEST(EventWire, TruncatedStreamIsNotAtRecordBoundary) {
@@ -359,6 +449,111 @@ TEST(RecordReplay, JessReplayMatchesAttachedBitForBit) {
   EXPECT_EQ(Replayed.Sites.size(), Live.Sites.size());
   EXPECT_EQ(Replayed.EndTime, Live.EndTime);
   EXPECT_EQ(Replayed.totalDrag(), Live.totalDrag());
+  expectBitIdentical(Live, Replayed);
+}
+
+// Cross-version acceptance: the same jess run recorded as v2 and as v3
+// replays to ProfileLogs bit-identical to the attached run in either
+// format, and the compact v3 recording is at most half the v2 size.
+TEST(RecordReplay, V2AndV3RecordingsReplayToTheAttachedProfile) {
+  benchmarks::BenchmarkProgram B = benchmarks::buildJess();
+  ProfileLog Live = liveRun(B.Prog, B.DefaultInputs);
+  ASSERT_FALSE(Live.Records.empty());
+
+  // Attached profiling over the legacy v2 encoding sees the same log.
+  ProfileLog LiveV2 = liveRun(B.Prog, B.DefaultInputs, 0, WireFormat::V2);
+  expectBitIdentical(Live, LiveV2);
+
+  std::string P3 = tempPath("fmt_v3.jdev"), P2 = tempPath("fmt_v2.jdev");
+  recordRun(B.Prog, B.DefaultInputs, P3, WireFormat::V3);
+  recordRun(B.Prog, B.DefaultInputs, P2, WireFormat::V2);
+
+  std::size_t Size3 = readFileBytes(P3).size();
+  std::size_t Size2 = readFileBytes(P2).size();
+  EXPECT_LE(Size3 * 2, Size2)
+      << "v3 recording is " << Size3 << " bytes vs " << Size2
+      << " for v2 -- expected at most half";
+
+  ProfileLog R3, R2;
+  std::string Err;
+  ASSERT_TRUE(replayProfile(P3, B.Prog, ProfilerConfig(), R3, &Err)) << Err;
+  ASSERT_TRUE(replayProfile(P2, B.Prog, ProfilerConfig(), R2, &Err)) << Err;
+  std::remove(P3.c_str());
+  std::remove(P2.c_str());
+  expectBitIdentical(Live, R3);
+  expectBitIdentical(Live, R2);
+}
+
+// The async writer thread must not change a single byte of the
+// recording -- chunks arrive in order from one producer, so the file is
+// byte-for-byte what the synchronous sink writes.
+TEST(RecordReplay, AsyncRecordingIsByteIdenticalToSync) {
+  ir::Program P = buildChurnProgram();
+  std::string SyncPath = tempPath("sync.jdev");
+  std::string AsyncPath = tempPath("async.jdev");
+  recordRun(P, {400}, SyncPath);
+  recordRun(P, {400}, AsyncPath, DefaultWireFormat, /*Async=*/true);
+  EXPECT_EQ(readFileBytes(SyncPath), readFileBytes(AsyncPath));
+  std::remove(SyncPath.c_str());
+  std::remove(AsyncPath.c_str());
+}
+
+// The hash-map trailer fallback and the dense paged table must be
+// observationally identical -- same log, bit for bit.
+TEST(RecordReplay, DenseAndMapTrailerTablesAgree) {
+  ir::Program P = buildChurnProgram();
+  std::string Path = tempPath("trailers.jdev");
+  recordRun(P, {400}, Path);
+  ProfilerConfig DenseCfg, MapCfg;
+  DenseCfg.UseDenseTrailers = true;
+  MapCfg.UseDenseTrailers = false;
+  ProfileLog A, B;
+  std::string Err;
+  ASSERT_TRUE(replayProfile(Path, P, DenseCfg, A, &Err)) << Err;
+  ASSERT_TRUE(replayProfile(Path, P, MapCfg, B, &Err)) << Err;
+  std::remove(Path.c_str());
+  ASSERT_FALSE(A.Records.empty());
+  expectBitIdentical(A, B);
+}
+
+// Pinned observables of tests/data/juru_v2.jdev, captured when the
+// fixture was generated (see CommittedV2FixtureStillReplays).
+constexpr std::size_t FixtureRecords = 1011;
+constexpr std::uint32_t FixtureSites = 12;
+constexpr ByteTime FixtureEndTime = 8176216;
+
+// A `.jdev` on disk is a contract that outlives the writer: this v2
+// recording of the juru benchmark was committed before the default
+// wire format moved to v3, and it must keep fsck'ing clean and
+// replaying to the same profile forever. The counts are pinned from
+// the fixture-generation run; if this test fails after an
+// event-pipeline change, v2 backward compatibility broke -- fix the
+// decoder, do not regenerate the fixture.
+TEST(RecordReplay, CommittedV2FixtureStillReplays) {
+  const std::string Path =
+      std::string(JDRAG_TEST_DATA_DIR) + "/juru_v2.jdev";
+
+  SalvageReport Rep = scanEventFile(Path, nullptr);
+  ASSERT_TRUE(Rep.readable()) << Rep.FileError;
+  EXPECT_EQ(Rep.Version, 2u);
+  EXPECT_TRUE(Rep.clean());
+
+  benchmarks::BenchmarkProgram B = benchmarks::buildJuru();
+  ProfileLog Replayed;
+  std::string Err;
+  ASSERT_TRUE(replayProfile(Path, B.Prog, ProfilerConfig(), Replayed, &Err))
+      << Err;
+  EXPECT_TRUE(Replayed.Complete);
+
+  // Pinned at fixture-generation time (jdrag record db --v2, default
+  // interval and depth).
+  EXPECT_EQ(Replayed.Records.size(), FixtureRecords);
+  EXPECT_EQ(Replayed.Sites.size(), FixtureSites);
+  EXPECT_EQ(Replayed.EndTime, FixtureEndTime);
+
+  // And the modern pipeline agrees with the legacy recording: a live v3
+  // run of the same benchmark produces the identical profile.
+  ProfileLog Live = liveRun(B.Prog, B.DefaultInputs);
   expectBitIdentical(Live, Replayed);
 }
 

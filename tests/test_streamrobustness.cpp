@@ -19,6 +19,7 @@
 
 #include "analysis/DragReport.h"
 #include "analysis/ReportPrinter.h"
+#include "profiler/AsyncEventSink.h"
 #include "profiler/DragProfiler.h"
 #include "profiler/EventStream.h"
 #include "profiler/StreamSalvage.h"
@@ -29,10 +30,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace jdrag;
@@ -146,9 +150,11 @@ ir::Program buildChurnProgram() {
 
 /// Builds a small many-chunk framed stream in memory (no file header).
 std::vector<std::byte> buildFramedStream(std::size_t ChunkBytes = 64,
-                                         std::uint32_t Events = 30) {
+                                         std::uint32_t Events = 30,
+                                         WireFormat Format =
+                                             DefaultWireFormat) {
   MemorySink Mem;
-  EventBuffer Buf(Mem, ChunkBytes);
+  EventBuffer Buf(Mem, ChunkBytes, /*Checksum=*/true, Format);
   std::vector<SiteFrame> Frames = {{ir::MethodId(3), 7, 42},
                                    {ir::MethodId(1), 2, 11}};
   Buf.writeSite(SiteId(0), Frames);
@@ -231,6 +237,42 @@ TEST(CorruptionCorpus, EveryBitFlipIsDetected) {
   }
 }
 
+// The default-format sweeps above now exercise v3; the legacy encoding
+// keeps the same guarantees for as long as v2 recordings replay.
+TEST(CorruptionCorpus, V2TruncationAtEveryByteNeverCrashesOrOverreads) {
+  std::vector<std::byte> Stream =
+      buildFramedStream(64, 30, WireFormat::V2);
+  CountingConsumer Full;
+  ASSERT_TRUE(replayBytes(Stream, Full, nullptr, WireFormat::V2));
+  ASSERT_GT(Full.Events, 0u);
+  for (std::size_t Cut = 0; Cut != Stream.size(); ++Cut) {
+    CountingConsumer C;
+    std::string Err;
+    std::span<const std::byte> Prefix(Stream.data(), Cut);
+    if (replayBytes(Prefix, C, &Err, WireFormat::V2)) {
+      EXPECT_LE(C.Events + C.Sites, Full.Events + Full.Sites) << Cut;
+    } else {
+      EXPECT_FALSE(Err.empty()) << Cut;
+    }
+  }
+}
+
+TEST(CorruptionCorpus, V2EveryBitFlipIsDetected) {
+  std::vector<std::byte> Stream =
+      buildFramedStream(64, 30, WireFormat::V2);
+  for (std::size_t I = 0; I != Stream.size(); ++I) {
+    for (unsigned Bit : {0u, 7u}) {
+      std::vector<std::byte> Mut = Stream;
+      Mut[I] ^= std::byte(1u << Bit);
+      CountingConsumer C;
+      std::string Err;
+      EXPECT_FALSE(replayBytes(Mut, C, &Err, WireFormat::V2))
+          << "single-bit flip at byte " << I << " bit " << Bit
+          << " went undetected";
+    }
+  }
+}
+
 TEST(CorruptionCorpus, OversizedFrameCountInValidChunkRejected) {
   // A chunk that passes every frame check (magic, sequence, length,
   // CRC) but whose payload lies about its DefineSite frame count must
@@ -251,7 +293,7 @@ TEST(CorruptionCorpus, OversizedFrameCountInValidChunkRejected) {
 
   CountingConsumer C;
   std::string Err;
-  EXPECT_FALSE(replayBytes(Stream, C, &Err));
+  EXPECT_FALSE(replayBytes(Stream, C, &Err, WireFormat::V2));
   EXPECT_NE(Err.find("frames"), std::string::npos) << Err;
   EXPECT_EQ(C.Sites, 0u);
 }
@@ -431,6 +473,139 @@ TEST(FaultInjection, FsyncCadenceStillProducesAValidRecording) {
   EXPECT_TRUE(replayFile(Path, C, &Err)) << Err;
   EXPECT_GT(C.Events, 0u);
   std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// AsyncSink: the background writer preserves the crash-safety contract
+//===----------------------------------------------------------------------===//
+
+TEST(AsyncSink, InnerFailureIsAccountedAndSalvageRecoversThePrefix) {
+  // The acceptance scenario: a run whose *background* writer hits
+  // ENOSPC mid-recording. StreamHealth must account the loss exactly as
+  // the synchronous pipeline does, and the file must salvage to a
+  // replayable prefix.
+  ir::Program P = buildChurnProgram();
+  std::string Path = tempPath("async_crash.jdev");
+  FileEventSink File;
+  ASSERT_TRUE(File.open(Path));
+  FaultInjectionSink::Plan Plan;
+  Plan.FailAfterBytes = 6 * 1024;
+  FaultInjectionSink Faulty(File, Plan);
+
+  vm::VMOptions Opts;
+  Opts.DeepGCIntervalBytes = 100 * KB;
+  Opts.Sink = &Faulty;
+  Opts.EventChunkBytes = 512;
+  Opts.AsyncEvents = true;
+  vm::VirtualMachine VM(P, Opts);
+  VM.setInputs({300});
+  std::string Err;
+  ASSERT_EQ(VM.run(&Err), vm::Interpreter::Status::Ok) << Err;
+
+  StreamHealth H = VM.streamHealth();
+  EXPECT_TRUE(Faulty.tripped());
+  EXPECT_FALSE(H.intact());
+  EXPECT_GT(H.ChunksWritten, 0u);
+  EXPECT_GT(H.ChunksDropped, 0u);
+  EXPECT_GT(H.BytesDropped, 0u);
+  EXPECT_EQ(H.LastErrno, ENOSPC);
+
+  // The prefix that reached the file salvages and replays.
+  std::string Out = tempPath("async_crash_salvaged.jdev");
+  SalvageReport Rep;
+  ASSERT_TRUE(salvageEventFile(Path, Out, &Rep, &Err)) << Err;
+  EXPECT_GT(Rep.EventsRecovered, 0u);
+  CountingConsumer C;
+  ASSERT_TRUE(replayFile(Out, C, &Err)) << Err;
+  EXPECT_EQ(C.Events + C.Sites, Rep.EventsRecovered);
+  std::remove(Path.c_str());
+  std::remove(Out.c_str());
+}
+
+TEST(AsyncSink, DropPolicyAccountsEveryShedChunk) {
+  // Gate the inner sink so the queue is provably full, then count that
+  // accepted == forwarded + dropped with no chunk unaccounted.
+  class GatedSink : public EventSink {
+  public:
+    std::atomic<bool> Gate{false};
+    MemorySink Mem;
+    bool writeChunk(const std::byte *D, std::size_t S) override {
+      while (!Gate.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return Mem.writeChunk(D, S);
+    }
+  };
+  GatedSink Inner;
+  AsyncEventSink::Options AO;
+  AO.QueueChunks = 2;
+  AO.Policy = AsyncEventSink::QueueFullPolicy::Drop;
+  AsyncEventSink Async(Inner, AO);
+
+  constexpr std::size_t ChunkSize = 128;
+  constexpr std::uint64_t Total = 10;
+  std::vector<std::byte> Chunk(ChunkSize, std::byte{0x5A});
+  std::uint64_t Accepted = 0;
+  for (std::uint64_t I = 0; I != Total; ++I)
+    Accepted += Async.writeChunk(Chunk.data(), Chunk.size());
+  EXPECT_EQ(Accepted, Total); // drop policy never refuses
+  // Queue holds at most 2 + 1 in flight; with the writer gated at least
+  // Total - QueueChunks - 1 chunks must have been shed already.
+  EXPECT_GE(Async.droppedChunks(), Total - AO.QueueChunks - 1);
+
+  Inner.Gate.store(true);
+  EXPECT_FALSE(Async.finish()) << "a lossy stream must not finish clean";
+  EXPECT_EQ(Async.chunksForwarded() + Async.droppedChunks(), Total);
+  EXPECT_EQ(Async.droppedBytes(), Async.droppedChunks() * ChunkSize);
+  EXPECT_EQ(Inner.Mem.bytes().size(), Async.chunksForwarded() * ChunkSize);
+}
+
+TEST(AsyncSink, DroppedChunksLeaveADetectableSequenceGap) {
+  // A shed chunk must not go unnoticed at decode time: the survivors'
+  // sequence numbers jump, and the strict decoder says so.
+  MemorySink Mem;
+  EventBuffer Buf(Mem, /*ChunkBytes=*/64);
+  // Compact v3 Collect records are ~3 bytes; 400 of them fill enough
+  // 64-byte chunks that a spliced-out chunk always has a successor
+  // whose sequence number exposes the gap.
+  for (int I = 0; I != 400; ++I) {
+    EventRecord E;
+    E.Kind = static_cast<std::uint8_t>(EventKind::Collect);
+    E.Time = 100 + I;
+    E.Id = I;
+    Buf.writeEvent(E);
+  }
+  ASSERT_TRUE(Buf.flush());
+
+  // Remove the second chunk from the framed stream, as a Drop-policy
+  // queue overflow would.
+  std::span<const std::byte> Bytes = Mem.bytes();
+  ChunkHeader H0;
+  std::memcpy(&H0, Bytes.data(), sizeof(H0));
+  std::size_t First = sizeof(ChunkHeader) + H0.PayloadBytes;
+  ChunkHeader H1;
+  std::memcpy(&H1, Bytes.data() + First, sizeof(H1));
+  std::size_t Second = sizeof(ChunkHeader) + H1.PayloadBytes;
+  std::vector<std::byte> Gapped(Bytes.begin(), Bytes.begin() + First);
+  Gapped.insert(Gapped.end(), Bytes.begin() + First + Second, Bytes.end());
+
+  CountingConsumer C;
+  std::string Err;
+  EXPECT_FALSE(replayBytes(Gapped, C, &Err));
+  EXPECT_NE(Err.find("sequence"), std::string::npos) << Err;
+}
+
+TEST(AsyncSink, FinishIsIdempotentAndLosslessWhenNothingDrops) {
+  MemorySink Mem;
+  AsyncEventSink Async(Mem);
+  std::vector<std::byte> Chunk(256, std::byte{0x11});
+  for (int I = 0; I != 50; ++I)
+    ASSERT_TRUE(Async.writeChunk(Chunk.data(), Chunk.size()));
+  EXPECT_TRUE(Async.finish());
+  EXPECT_TRUE(Async.finish()); // idempotent
+  EXPECT_EQ(Async.droppedChunks(), 0u);
+  EXPECT_EQ(Mem.bytes().size(), 50u * 256u);
+  // Writes after finish are refused, not queued into the void.
+  EXPECT_FALSE(Async.writeChunk(Chunk.data(), Chunk.size()));
 }
 
 //===----------------------------------------------------------------------===//

@@ -63,8 +63,11 @@ struct Options {
   std::uint64_t IntervalBytes = 100 * KB;
   std::uint32_t Depth = 4;
   bool Exact = false;
-  bool Revised = false; ///< dumpjasm: dump the rewritten program
-  std::string OutPath;  ///< optimizeasm: write the revised .jasm here
+  bool Revised = false;   ///< dumpjasm: dump the rewritten program
+  bool Async = false;     ///< record: background writer thread
+  bool AsyncDrop = false; ///< record: shed chunks instead of blocking
+  profiler::WireFormat Format = profiler::DefaultWireFormat;
+  std::string OutPath; ///< optimizeasm: write the revised .jasm here
 };
 
 int usage() {
@@ -75,6 +78,9 @@ int usage() {
       "  list                         available workloads\n"
       "  profile <bench> <log-file>   phase 1: write the object log\n"
       "  record <bench> <file.jdev>   phase 1: record the raw event stream\n"
+      "                               (--async: background writer thread;\n"
+      "                               --async-drop: shed chunks instead of\n"
+      "                               blocking; --v2: legacy wire format)\n"
       "  replay <bench> <file.jdev>   phase 2: drag report from a recording\n"
       "                               (--out LOG also writes the object log)\n"
       "  fsck <file.jdev>             verify a recording chunk by chunk\n"
@@ -139,7 +145,9 @@ int cmdProfile(const BenchmarkProgram &B, const std::string &Path,
 int cmdRecord(const BenchmarkProgram &B, const std::string &Path,
               const Options &O) {
   profiler::FileEventSink Sink;
-  if (!Sink.open(Path)) {
+  profiler::FileEventSink::Options FO;
+  FO.Format = O.Format;
+  if (!Sink.open(Path, FO)) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
     return 1;
   }
@@ -147,6 +155,9 @@ int cmdRecord(const BenchmarkProgram &B, const std::string &Path,
   Opts.DeepGCIntervalBytes = O.IntervalBytes;
   Opts.SiteDepth = O.Depth;
   Opts.Sink = &Sink;
+  Opts.EventFormat = O.Format;
+  Opts.AsyncEvents = O.Async || O.AsyncDrop;
+  Opts.AsyncDropOnFull = O.AsyncDrop;
   vm::VirtualMachine VM(B.Prog, Opts);
   VM.setInputs(B.DefaultInputs);
   std::string Err;
@@ -535,6 +546,12 @@ int main(int argc, char **argv) {
       O.Exact = true;
     else if (Args[I] == "--revised")
       O.Revised = true;
+    else if (Args[I] == "--async")
+      O.Async = true;
+    else if (Args[I] == "--async-drop")
+      O.AsyncDrop = true;
+    else if (Args[I] == "--v2")
+      O.Format = profiler::WireFormat::V2;
     else if (Args[I] == "--out" && I + 1 < Args.size())
       O.OutPath = Args[++I];
     else
