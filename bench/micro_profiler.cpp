@@ -12,6 +12,7 @@
 #include "ir/Verifier.h"
 #include "profiler/AsyncEventSink.h"
 #include "profiler/DragProfiler.h"
+#include "profiler/ParallelReplay.h"
 #include "support/Crc32c.h"
 #include "vm/VirtualMachine.h"
 
@@ -333,7 +334,84 @@ void BM_ReplayDecode(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * EventsPerPass);
   State.SetBytesProcessed(State.iterations() * Mem.bytes().size());
 }
-BENCHMARK(BM_ReplayDecode)->Arg(2)->Arg(3);
+BENCHMARK(BM_ReplayDecode)->Arg(2)->Arg(3)->Arg(4);
+
+/// The same decode with the varint batch fast path disabled -- the gap
+/// between this and BM_ReplayDecode/3 is what the contiguous-bytes
+/// fast path buys on the per-byte bounds-checked fallback.
+void BM_ReplayDecodeNoBatch(benchmark::State &State) {
+  Program P = buildHotLoop();
+  auto Format = static_cast<profiler::WireFormat>(State.range(0));
+  profiler::MemorySink Mem;
+  VMOptions Opts;
+  Opts.DeepGCIntervalBytes = 100 * KB;
+  Opts.Sink = &Mem;
+  Opts.EventFormat = Format;
+  VirtualMachine VM(P, Opts);
+  VM.setInputs({10000});
+  if (VM.run() != Interpreter::Status::Ok)
+    std::abort();
+
+  class NullConsumer : public profiler::EventConsumer {
+  public:
+    std::uint64_t Events = 0;
+    void onSite(profiler::SiteId,
+                std::span<const profiler::SiteFrame>) override {}
+    void onEvent(const profiler::EventRecord &) override { ++Events; }
+  };
+  std::uint64_t EventsPerPass = 0;
+  for (auto _ : State) {
+    NullConsumer C;
+    profiler::FrameDecoder D(C, Format);
+    D.setBatchDecode(false);
+    if (!D.feed(Mem.bytes().data(), Mem.bytes().size()) ||
+        !D.atRecordBoundary())
+      std::abort();
+    EventsPerPass = C.Events;
+    benchmark::DoNotOptimize(C.Events);
+  }
+  State.SetItemsProcessed(State.iterations() * EventsPerPass);
+  State.SetBytesProcessed(State.iterations() * Mem.bytes().size());
+}
+BENCHMARK(BM_ReplayDecodeNoBatch)->Arg(3);
+
+/// End-to-end sharded replay (read + index + decode + merge) of a
+/// multi-chunk v4 recording; Arg is the worker count, items are object
+/// records in the resulting profile. Jobs=1 is the sequential path, so
+/// the ratio between rungs is the map-reduce speedup (ceilinged by the
+/// machine's core count).
+void BM_ReplayParallel(benchmark::State &State) {
+  Program P = buildHotLoop();
+  char Path[64];
+  std::snprintf(Path, sizeof(Path), "/tmp/jdrag_bench_par.%d.jdev",
+                static_cast<int>(getpid()));
+  {
+    profiler::FileEventSink Sink;
+    if (!Sink.open(Path))
+      std::abort();
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Opts.Sink = &Sink;
+    Opts.EventChunkBytes = 8 * 1024; // force a shardable chunk count
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({10000});
+    if (VM.run() != Interpreter::Status::Ok || !VM.streamIntact())
+      std::abort();
+  }
+  unsigned Jobs = static_cast<unsigned>(State.range(0));
+  std::size_t RecordsPerPass = 0;
+  for (auto _ : State) {
+    profiler::ProfileLog Log;
+    if (!profiler::replayProfileParallel(Path, P, profiler::ProfilerConfig(),
+                                         Jobs, Log))
+      std::abort();
+    RecordsPerPass = Log.Records.size();
+    benchmark::DoNotOptimize(Log.Records.data());
+  }
+  State.SetItemsProcessed(State.iterations() * RecordsPerPass);
+  std::remove(Path);
+}
+BENCHMARK(BM_ReplayParallel)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_ProfileLogRoundTrip(benchmark::State &State) {
   BenchmarkProgram B = buildJuru();

@@ -132,6 +132,174 @@ constexpr std::uint8_t UseDuringInitBit = 0x08; // Flags bit0
 constexpr std::uint8_t UseKindShift = 4;        // Sub (UseKind, 3 bits)
 constexpr std::uint8_t UseSpareMask = 0x80;     // bit 7
 
+/// Upper bound on any encoded non-site v3/v4 record: tag + 5 varints.
+/// With at least this much contiguous input left, a record decode can
+/// skip every per-byte bounds check (the batch fast path).
+constexpr std::size_t MaxV3EventBytes = 1 + 5 * MaxVarintBytes;
+
+/// VarReader without bounds checks, for spans proven long enough to
+/// hold the whole record. Still detects overlong varints (Bad) -- only
+/// the Short machinery is gone.
+struct FastVarReader {
+  const std::byte *P;
+  std::size_t Off = 0;
+  bool Bad = false;
+
+  std::uint64_t uvar() {
+    std::uint64_t V = 0;
+    for (std::size_t I = 0; I != MaxVarintBytes; ++I) {
+      auto B = std::to_integer<std::uint8_t>(P[Off++]);
+      V |= static_cast<std::uint64_t>(B & 0x7F) << (7 * I);
+      if (!(B & 0x80)) {
+        if (I == MaxVarintBytes - 1 && B > 1)
+          Bad = true; // 10th byte may only carry bit 64's remainder
+        return V;
+      }
+    }
+    Bad = true; // continuation bit set past the 10-byte limit
+    return 0;
+  }
+
+  std::int64_t svar() { return zigzagDecode(uvar()); }
+
+  std::uint32_t uvar32() {
+    std::uint64_t V = uvar();
+    if (V > 0xFFFFFFFFull)
+      Bad = true;
+    return static_cast<std::uint32_t>(V);
+  }
+};
+
+/// The footer's on-wire per-chunk entry (48 bytes, native-endian like
+/// the rest of the stream).
+struct WireIndexEntry {
+  std::uint64_t Offset;
+  std::uint32_t Seq;
+  std::uint32_t PayloadBytes;
+  std::uint32_t Crc;
+  std::uint32_t RecordCount;
+  std::uint64_t FirstTime;
+  std::uint64_t LastTime;
+  std::uint64_t FirstRecord;
+};
+static_assert(sizeof(WireIndexEntry) == 48, "footer wire format");
+static_assert(std::is_trivially_copyable_v<WireIndexEntry>);
+
+/// Result of measuring one record without dispatching it (the index
+/// rebuild scan): Len = 0 means the record straddles past the end of
+/// the span.
+struct WalkResult {
+  std::size_t Len = 0;
+  bool Malformed = false;
+  bool Timed = false;
+  ByteTime Time = 0;
+};
+
+WalkResult walkRecordV2(const std::byte *P, std::size_t N) {
+  WalkResult R;
+  if (N < sizeof(EventRecord))
+    return R;
+  EventRecord E;
+  std::memcpy(&E, P, sizeof(E));
+  if (E.Kind >= NumEventKinds) {
+    R.Malformed = true;
+    return R;
+  }
+  if (E.kind() == EventKind::DefineSite) {
+    if (E.Arg0 > MaxWireFrames) {
+      R.Malformed = true;
+      return R;
+    }
+    std::size_t Len = sizeof(EventRecord) +
+                      static_cast<std::size_t>(E.Arg0) * sizeof(WireFrame);
+    if (N < Len)
+      return R;
+    R.Len = Len;
+    return R;
+  }
+  R.Len = sizeof(EventRecord);
+  R.Timed = true;
+  R.Time = E.Time;
+  return R;
+}
+
+WalkResult walkRecordV3(const std::byte *P, std::size_t N,
+                        ByteTime LastTime) {
+  WalkResult R;
+  VarReader V{P, N};
+  std::uint8_t Tag;
+  if (!V.byte(Tag))
+    return R;
+  auto Kind = static_cast<EventKind>(Tag & TagKindMask);
+  if (Kind == EventKind::DefineSite) {
+    if (Tag & ~TagKindMask) {
+      R.Malformed = true;
+      return R;
+    }
+    V.uvar32(); // site id
+    std::uint64_t FrameCount = V.uvar();
+    if (!V.Short && !V.Bad && FrameCount > MaxWireFrames) {
+      R.Malformed = true;
+      return R;
+    }
+    for (std::uint64_t I = 0; I != FrameCount && !V.Short && !V.Bad; ++I) {
+      V.uvar32();
+      V.uvar32();
+      V.uvar32();
+    }
+  } else {
+    std::int64_t Delta = V.svar();
+    R.Timed = true;
+    R.Time = LastTime + static_cast<std::uint64_t>(Delta);
+    std::uint8_t SpareMask = ~TagKindMask;
+    switch (Kind) {
+    case EventKind::Alloc:
+      SpareMask = AllocSpareMask;
+      V.uvar();
+      V.uvar();
+      V.uvar();
+      V.uvar32();
+      break;
+    case EventKind::Use:
+      SpareMask = UseSpareMask;
+      if (!V.Short && ((Tag >> UseKindShift) & 0x7) == 7) {
+        R.Malformed = true;
+        return R;
+      }
+      V.uvar();
+      V.uvar32();
+      break;
+    case EventKind::GCEnd:
+      V.uvar();
+      V.uvar();
+      break;
+    case EventKind::Collect:
+    case EventKind::Survivor:
+      V.uvar();
+      break;
+    case EventKind::DeepGCEnd:
+    case EventKind::Terminate:
+      break;
+    case EventKind::DefineSite:
+      break; // unreachable: handled above
+    }
+    if (Tag & SpareMask) {
+      R.Malformed = true;
+      return R;
+    }
+  }
+  if (V.Bad) {
+    R.Malformed = true;
+    return R;
+  }
+  if (V.Short) {
+    R.Timed = false;
+    return R;
+  }
+  R.Len = V.Off;
+  return R;
+}
+
 } // namespace
 
 const char *jdrag::profiler::eventKindName(EventKind K) {
@@ -248,6 +416,15 @@ EventBuffer::EventBuffer(EventSink &Sink, std::size_t ChunkBytes,
 void EventBuffer::beginChunk() {
   Chunk.clear();
   Chunk.resize(sizeof(ChunkHeader)); // placeholder, filled at flush
+  if (Format == WireFormat::V4) {
+    // Every v4 chunk is self-contained: the delta chain restarts, so
+    // the first timed record carries its absolute time.
+    LastTime = 0;
+    ChunkRecords = 0;
+    ChunkHasTime = false;
+    ChunkFirstTime = ChunkLastTime = 0;
+    ChunkFirstRecord = Events;
+  }
 }
 
 void EventBuffer::writeBytes(const void *Data, std::size_t Size) {
@@ -270,6 +447,15 @@ void EventBuffer::writeEventV3(const EventRecord &E) {
   std::size_t N = 0;
   std::uint8_t Tag = E.Kind;
   auto Kind = E.kind();
+
+  // v4 keeps chunks record-aligned, and the delta below depends on
+  // which chunk the record lands in (the chain restarts per chunk) --
+  // so the chunk decision comes first: if the worst-case record might
+  // not fit, flush now and encode against the fresh chunk's zero base.
+  // Costs at most 50 slack bytes per chunk.
+  if (Format == WireFormat::V4 && Chunk.size() > sizeof(ChunkHeader) &&
+      sizeof(ChunkHeader) + ChunkBytes - Chunk.size() < sizeof(Buf))
+    flush();
 
   // Every timed record carries a zigzag delta against the previous one.
   std::int64_t Delta = static_cast<std::int64_t>(E.Time - LastTime);
@@ -315,7 +501,37 @@ void EventBuffer::writeEventV3(const EventRecord &E) {
     // DefineSite goes through writeSite(); never reaches here.
     return;
   }
-  writeBytes(Buf, N);
+  if (Format == WireFormat::V4)
+    appendRecordV4(Buf, N, /*Timed=*/true, E.Time);
+  else
+    writeBytes(Buf, N);
+}
+
+void EventBuffer::appendRecordV4(const void *Data, std::size_t Size,
+                                 bool Timed, ByteTime Time) {
+  // Timed records already secured their room in writeEventV3 (the
+  // chunk decision had to precede the delta encoding); untimed site
+  // records are placement-independent, so they flush-on-demand here.
+  std::size_t Cap = sizeof(ChunkHeader) + ChunkBytes;
+  if (!Timed && Chunk.size() > sizeof(ChunkHeader) &&
+      Chunk.size() + Size > Cap)
+    flush();
+  if (ChunkRecords == 0)
+    ChunkFirstRecord = Events; // Events is this record's global index
+  ++ChunkRecords;
+  if (Timed) {
+    if (!ChunkHasTime) {
+      ChunkHasTime = true;
+      ChunkFirstTime = Time;
+    }
+    ChunkLastTime = Time;
+  }
+  const auto *Src = static_cast<const std::byte *>(Data);
+  Chunk.insert(Chunk.end(), Src, Src + Size);
+  // A record bigger than the budget gets an oversized chunk of its
+  // own; either way the chunk ends at a record boundary.
+  if (Chunk.size() >= Cap)
+    flush();
 }
 
 void EventBuffer::writeEvent(const EventRecord &E) {
@@ -337,7 +553,7 @@ void EventBuffer::writeSite(SiteId Id, std::span<const SiteFrame> Frames) {
       WireFrame W{F.Method.Index, F.Pc, F.Line};
       writeBytes(&W, sizeof(W));
     }
-  } else {
+  } else if (Format == WireFormat::V3) {
     // DefineSite is untimed (Time is always 0) and does NOT participate
     // in the time-delta chain: sites intern lazily, so their position
     // in the stream is not meaningful to the clock.
@@ -355,6 +571,31 @@ void EventBuffer::writeSite(SiteId Id, std::span<const SiteFrame> Frames) {
       FN += putUvar(FB + FN, F.Line);
       writeBytes(FB, FN);
     }
+  } else {
+    // v4: same bytes as v3, but staged whole so the record lands in
+    // exactly one chunk.
+    SiteScratch.clear();
+    auto Put = [&](const std::uint8_t *P, std::size_t N) {
+      SiteScratch.insert(SiteScratch.end(),
+                         reinterpret_cast<const std::byte *>(P),
+                         reinterpret_cast<const std::byte *>(P) + N);
+    };
+    std::uint8_t Buf[1 + 2 * MaxVarintBytes];
+    std::size_t N = 0;
+    Buf[N++] = static_cast<std::uint8_t>(EventKind::DefineSite);
+    N += putUvar(Buf + N, Id);
+    N += putUvar(Buf + N, Frames.size());
+    Put(Buf, N);
+    for (const SiteFrame &F : Frames) {
+      std::uint8_t FB[3 * MaxVarintBytes];
+      std::size_t FN = 0;
+      FN += putUvar(FB + FN, F.Method.Index);
+      FN += putUvar(FB + FN, F.Pc);
+      FN += putUvar(FB + FN, F.Line);
+      Put(FB, FN);
+    }
+    appendRecordV4(SiteScratch.data(), SiteScratch.size(), /*Timed=*/false,
+                   0);
   }
   ++Events;
 }
@@ -378,6 +619,19 @@ bool EventBuffer::flush() {
   if (Accepted) {
     ++Health.ChunksWritten;
     Health.BytesWritten += Chunk.size();
+    if (Format == WireFormat::V4) {
+      ChunkIndexEntry E;
+      E.Offset = StreamOffset;
+      E.Seq = H.Seq;
+      E.PayloadBytes = H.PayloadBytes;
+      E.Crc = H.Crc;
+      E.RecordCount = ChunkRecords;
+      E.FirstTime = ChunkHasTime ? ChunkFirstTime : 0;
+      E.LastTime = ChunkHasTime ? ChunkLastTime : 0;
+      E.FirstRecord = ChunkFirstRecord;
+      Index.push_back(E);
+      StreamOffset += Chunk.size();
+    }
   } else {
     ++Health.ChunksDropped;
     Health.BytesDropped += Chunk.size();
@@ -396,6 +650,30 @@ bool EventBuffer::flush() {
   }
   beginChunk();
   return Accepted;
+}
+
+bool EventBuffer::finishStream() {
+  bool FlushOk = flush();
+  if (Format != WireFormat::V4 || FooterWritten)
+    return FlushOk;
+  FooterWritten = true;
+  // A footer asserts "these chunks are all in the stream, here" -- on a
+  // stream that already lost chunks that would be a lie, so a damaged
+  // stream simply ends footerless (readers rebuild the index; salvage
+  // re-emits one).
+  if (SinkFailed || !health().intact())
+    return FlushOk;
+  std::vector<std::byte> Footer = encodeChunkIndexFooter(Index, Events);
+  bool Accepted = Sink.writeChunk(Footer.data(), Footer.size());
+  if (Accepted) {
+    ++Health.ChunksWritten;
+    Health.BytesWritten += Footer.size();
+  } else {
+    ++Health.ChunksDropped;
+    Health.BytesDropped += Footer.size();
+    SinkFailed = true;
+  }
+  return FlushOk && Accepted;
 }
 
 StreamHealth EventBuffer::health() const {
@@ -463,6 +741,75 @@ bool StreamDecoder::decodeV2(const std::byte *Cur, std::size_t Avail,
 bool StreamDecoder::decodeV3(const std::byte *Cur, std::size_t Avail,
                              std::size_t &Off) {
   while (Off < Avail) {
+    // Batch fast path: with room for any complete non-site record, the
+    // varints decode without per-byte bounds checks -- the Short
+    // machinery below only matters near the end of the input.
+    if (Batch && Avail - Off >= MaxV3EventBytes) {
+      std::uint8_t Tag = std::to_integer<std::uint8_t>(Cur[Off]);
+      std::uint8_t KindBits = Tag & TagKindMask;
+      auto Kind = static_cast<EventKind>(KindBits);
+      if (Kind != EventKind::DefineSite) {
+        FastVarReader R{Cur + Off + 1};
+        EventRecord E;
+        E.Kind = KindBits;
+        E.Time = LastTime + static_cast<std::uint64_t>(R.svar());
+        switch (Kind) {
+        case EventKind::Alloc:
+          if (Tag & AllocSpareMask)
+            return fail("malformed event stream: spare tag bits set on "
+                        "alloc record");
+          E.Flags = (Tag & AllocIsArrayBit) ? 1 : 0;
+          E.Sub = static_cast<std::uint8_t>((Tag >> AllocKindShift) & 0x3);
+          E.Id = R.uvar();
+          E.Arg0 = R.uvar();
+          E.Arg1 = R.uvar();
+          E.Site = static_cast<SiteId>(R.uvar32() - 1);
+          break;
+        case EventKind::Use:
+          if (Tag & UseSpareMask)
+            return fail("malformed event stream: spare tag bits set on "
+                        "use record");
+          E.Flags = (Tag & UseDuringInitBit) ? 1 : 0;
+          E.Sub = static_cast<std::uint8_t>((Tag >> UseKindShift) & 0x7);
+          if (E.Sub == 7)
+            return fail("malformed event stream: unknown use kind 7");
+          E.Id = R.uvar();
+          E.Site = static_cast<SiteId>(R.uvar32() - 1);
+          break;
+        case EventKind::GCEnd:
+          if (Tag & ~TagKindMask)
+            return fail("malformed event stream: spare tag bits set on "
+                        "gc-end record");
+          E.Arg0 = R.uvar();
+          E.Arg1 = R.uvar();
+          break;
+        case EventKind::Collect:
+        case EventKind::Survivor:
+          if (Tag & ~TagKindMask)
+            return fail("malformed event stream: spare tag bits set on " +
+                        std::string(eventKindName(Kind)) + " record");
+          E.Id = R.uvar();
+          break;
+        case EventKind::DeepGCEnd:
+        case EventKind::Terminate:
+          if (Tag & ~TagKindMask)
+            return fail("malformed event stream: spare tag bits set on " +
+                        std::string(eventKindName(Kind)) + " record");
+          break;
+        case EventKind::DefineSite:
+          break; // unreachable: filtered above
+        }
+        if (R.Bad)
+          return fail("malformed event stream: bad varint in " +
+                      std::string(eventKindName(Kind)) + " record");
+        LastTime = E.Time;
+        C.onEvent(E);
+        ++Events;
+        Off += 1 + R.Off;
+        continue;
+      }
+    }
+
     VarReader R{Cur + Off, Avail - Off};
     std::uint8_t Tag;
     R.byte(Tag);
@@ -630,6 +977,32 @@ bool FrameDecoder::feed(const std::byte *Data, std::size_t Size) {
   while (Avail - Off >= sizeof(ChunkHeader)) {
     ChunkHeader H;
     std::memcpy(&H, Cur + Off, sizeof(H));
+    if (Format == WireFormat::V4 && H.Magic == FooterMagic) {
+      // Terminal chunk index footer: CRC-verify and swallow it -- its
+      // contents are a seek index, not stream data.
+      if (H.PayloadBytes > MaxChunkPayload)
+        return fail("corrupt event stream: implausible chunk index "
+                    "footer length");
+      if (H.Seq != NextSeq)
+        return fail("corrupt event stream: chunk index footer sequence "
+                    "mismatch");
+      std::size_t Block = sizeof(ChunkHeader) + H.PayloadBytes + 8;
+      if (Avail - Off < Block)
+        break; // partial footer: wait for more bytes
+      const std::byte *Payload = Cur + Off + sizeof(ChunkHeader);
+      std::uint32_t Crc = support::crc32c(Payload, H.PayloadBytes);
+      std::uint32_t Bytes = 0, Tail = 0;
+      std::memcpy(&Bytes, Payload + H.PayloadBytes, 4);
+      std::memcpy(&Tail, Payload + H.PayloadBytes + 4, 4);
+      if (Crc != H.Crc || Tail != FooterTailMagic || Bytes != Block)
+        return fail("corrupt event stream: damaged chunk index footer");
+      FooterSeen = true;
+      Off += Block;
+      continue;
+    }
+    if (FooterSeen)
+      return fail("corrupt event stream: data after the chunk index "
+                  "footer");
     if (H.Magic != ChunkMagic)
       return fail("corrupt event stream: bad chunk magic at chunk " +
                   std::to_string(NextSeq));
@@ -649,10 +1022,16 @@ bool FrameDecoder::feed(const std::byte *Data, std::size_t Size) {
       return fail("corrupt event stream: chunk " + std::to_string(NextSeq) +
                   " CRC mismatch (stored " + std::to_string(H.Crc) +
                   ", computed " + std::to_string(Crc) + ")");
+    if (Format == WireFormat::V4)
+      Records.resetTimeBase(); // every v4 chunk is self-contained
     if (!Records.feed(Payload, H.PayloadBytes)) {
       Failed = true;
       return false; // record-layer error() is surfaced by error()
     }
+    if (Format == WireFormat::V4 && !Records.atRecordBoundary())
+      return fail("corrupt event stream: record straddles a chunk "
+                  "boundary in v4 chunk " +
+                  std::to_string(NextSeq));
     ++Chunks;
     ++NextSeq;
     Off += sizeof(ChunkHeader) + H.PayloadBytes;
@@ -664,6 +1043,234 @@ bool FrameDecoder::feed(const std::byte *Data, std::size_t Size) {
   } else if (Off < Avail) {
     Pending.assign(Cur + Off, Cur + Avail);
   }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Chunk index footer
+//===----------------------------------------------------------------------===//
+
+std::vector<std::byte> jdrag::profiler::encodeChunkIndexFooter(
+    std::span<const ChunkIndexEntry> Entries, std::uint64_t TotalRecords) {
+  std::size_t Payload = 8 + Entries.size() * sizeof(WireIndexEntry);
+  std::vector<std::byte> Out(sizeof(ChunkHeader) + Payload + 8);
+  std::byte *Body = Out.data() + sizeof(ChunkHeader);
+  std::memcpy(Body, &TotalRecords, 8);
+  std::size_t O = 8;
+  for (const ChunkIndexEntry &E : Entries) {
+    WireIndexEntry W;
+    W.Offset = E.Offset;
+    W.Seq = E.Seq;
+    W.PayloadBytes = E.PayloadBytes;
+    W.Crc = E.Crc;
+    W.RecordCount = E.RecordCount;
+    W.FirstTime = E.FirstTime;
+    W.LastTime = E.LastTime;
+    W.FirstRecord = E.FirstRecord;
+    std::memcpy(Body + O, &W, sizeof(W));
+    O += sizeof(W);
+  }
+  ChunkHeader H;
+  H.Magic = FooterMagic;
+  H.Seq = static_cast<std::uint32_t>(Entries.size());
+  H.PayloadBytes = static_cast<std::uint32_t>(Payload);
+  H.Crc = support::crc32c(Body, Payload);
+  std::memcpy(Out.data(), &H, sizeof(H));
+  std::uint32_t Bytes = static_cast<std::uint32_t>(Out.size());
+  std::uint32_t Tail = FooterTailMagic;
+  std::memcpy(Out.data() + Out.size() - 8, &Bytes, 4);
+  std::memcpy(Out.data() + Out.size() - 4, &Tail, 4);
+  return Out;
+}
+
+std::size_t
+jdrag::profiler::footerBlockSize(std::span<const std::byte> Stream) {
+  constexpr std::size_t MinBlock = sizeof(ChunkHeader) + 8 + 8;
+  if (Stream.size() < MinBlock)
+    return 0;
+  std::uint32_t Bytes = 0, Tail = 0;
+  std::memcpy(&Bytes, Stream.data() + Stream.size() - 8, 4);
+  std::memcpy(&Tail, Stream.data() + Stream.size() - 4, 4);
+  if (Tail != FooterTailMagic || Bytes < MinBlock || Bytes > Stream.size())
+    return 0;
+  ChunkHeader H;
+  std::memcpy(&H, Stream.data() + (Stream.size() - Bytes), sizeof(H));
+  if (H.Magic != FooterMagic)
+    return 0;
+  if (sizeof(ChunkHeader) + H.PayloadBytes + 8 != Bytes)
+    return 0;
+  return Bytes;
+}
+
+bool jdrag::profiler::readChunkIndexFooter(std::span<const std::byte> Stream,
+                                           ChunkIndex &Out) {
+  std::size_t Bytes = footerBlockSize(Stream);
+  if (!Bytes)
+    return false;
+  std::size_t FooterStart = Stream.size() - Bytes;
+  const std::byte *Block = Stream.data() + FooterStart;
+  ChunkHeader H;
+  std::memcpy(&H, Block, sizeof(H));
+  const std::byte *Body = Block + sizeof(ChunkHeader);
+  if (support::crc32c(Body, H.PayloadBytes) != H.Crc)
+    return false;
+  if (H.PayloadBytes < 8 ||
+      (H.PayloadBytes - 8) % sizeof(WireIndexEntry) != 0)
+    return false;
+  std::size_t Count = (H.PayloadBytes - 8) / sizeof(WireIndexEntry);
+  if (Count != H.Seq)
+    return false;
+
+  ChunkIndex Idx;
+  Idx.FromFooter = true;
+  std::memcpy(&Idx.TotalRecords, Body, 8);
+  Idx.Entries.reserve(Count);
+  // Structural validation up front: entries must tile the data region
+  // exactly (contiguous, in sequence, plausible sizes), so readers can
+  // index the stream through them without further bounds checks. A
+  // footer can still lie about chunk *contents* (counts, times, CRCs);
+  // decoding verifies those and falls back to a rebuilt index.
+  std::uint64_t Off = 0;
+  for (std::size_t I = 0; I != Count; ++I) {
+    WireIndexEntry W;
+    std::memcpy(&W, Body + 8 + I * sizeof(W), sizeof(W));
+    if (W.Offset != Off || W.Seq != I || W.PayloadBytes == 0 ||
+        W.PayloadBytes > MaxChunkPayload)
+      return false;
+    Off += sizeof(ChunkHeader) + W.PayloadBytes;
+    ChunkIndexEntry E;
+    E.Offset = W.Offset;
+    E.Seq = W.Seq;
+    E.PayloadBytes = W.PayloadBytes;
+    E.Crc = W.Crc;
+    E.RecordCount = W.RecordCount;
+    E.FirstTime = W.FirstTime;
+    E.LastTime = W.LastTime;
+    E.FirstRecord = W.FirstRecord;
+    Idx.Entries.push_back(E);
+  }
+  if (Off != FooterStart)
+    return false;
+  Out = std::move(Idx);
+  return true;
+}
+
+bool jdrag::profiler::rebuildChunkIndex(std::span<const std::byte> Stream,
+                                        WireFormat F, ChunkIndex &Out,
+                                        std::string *Err) {
+  auto Fail = [&](std::string Msg) {
+    if (Err)
+      *Err = std::move(Msg);
+    return false;
+  };
+  Out.Entries.clear();
+  Out.TotalRecords = 0;
+  Out.FromFooter = false;
+
+  // Pass 1: walk the chunk frames (structure only -- payload CRCs are
+  // verified by whoever decodes the payloads).
+  std::size_t End = Stream.size();
+  std::size_t Off = 0;
+  std::uint32_t NextSeq = 0;
+  std::size_t PayloadTotal = 0;
+  while (Off < End) {
+    if (End - Off < sizeof(ChunkHeader))
+      return Fail("truncated chunk header at offset " + std::to_string(Off));
+    ChunkHeader H;
+    std::memcpy(&H, Stream.data() + Off, sizeof(H));
+    if (H.Magic == FooterMagic) {
+      // A footer is only legal as the terminal block; its contents are
+      // exactly what this rebuild replaces, so skip it unvalidated.
+      if (H.PayloadBytes > MaxChunkPayload ||
+          End - Off != sizeof(ChunkHeader) + H.PayloadBytes + 8)
+        return Fail("malformed chunk index footer");
+      break;
+    }
+    if (H.Magic != ChunkMagic)
+      return Fail("bad chunk magic at chunk " + std::to_string(NextSeq));
+    if (H.PayloadBytes == 0 || H.PayloadBytes > MaxChunkPayload)
+      return Fail("chunk " + std::to_string(NextSeq) +
+                  " has implausible payload length " +
+                  std::to_string(H.PayloadBytes));
+    if (H.Seq != NextSeq)
+      return Fail("chunk sequence jumped from " + std::to_string(NextSeq) +
+                  " to " + std::to_string(H.Seq));
+    if (End - Off < sizeof(ChunkHeader) + H.PayloadBytes)
+      return Fail("truncated chunk payload in chunk " +
+                  std::to_string(NextSeq));
+    ChunkIndexEntry E;
+    E.Offset = Off;
+    E.Seq = H.Seq;
+    E.PayloadBytes = H.PayloadBytes;
+    E.Crc = H.Crc;
+    E.HeadSkip = H.PayloadBytes; // overwritten if a record starts here
+    Out.Entries.push_back(E);
+    PayloadTotal += H.PayloadBytes;
+    ++NextSeq;
+    Off += sizeof(ChunkHeader) + H.PayloadBytes;
+  }
+
+  if (Out.Entries.empty())
+    return true;
+
+  // Pass 2: walk the records over the concatenated payloads (records
+  // straddle chunks in v2/v3), attributing each record to the chunk
+  // its first byte lands in and tracking the decoder state (time-delta
+  // seed, straddle skip) a shard worker needs to start there.
+  std::vector<std::byte> Buf;
+  Buf.reserve(PayloadTotal);
+  std::vector<std::size_t> Starts(Out.Entries.size());
+  for (std::size_t I = 0; I != Out.Entries.size(); ++I) {
+    Starts[I] = Buf.size();
+    const std::byte *P =
+        Stream.data() + Out.Entries[I].Offset + sizeof(ChunkHeader);
+    Buf.insert(Buf.end(), P, P + Out.Entries[I].PayloadBytes);
+  }
+
+  std::size_t Pos = 0;
+  std::size_t Cur = 0;
+  ByteTime LastTime = 0;
+  bool CurHasTime = false;
+  std::uint64_t Records = 0;
+  while (Pos < Buf.size()) {
+    std::size_t Prev = Cur;
+    while (Cur + 1 < Starts.size() && Pos >= Starts[Cur + 1])
+      ++Cur;
+    if (Cur != Prev) {
+      CurHasTime = false;
+      if (F == WireFormat::V4)
+        LastTime = 0; // the v4 delta chain restarts per chunk
+    }
+    ChunkIndexEntry &E = Out.Entries[Cur];
+    WalkResult W =
+        F == WireFormat::V2
+            ? walkRecordV2(Buf.data() + Pos, Buf.size() - Pos)
+            : walkRecordV3(Buf.data() + Pos, Buf.size() - Pos, LastTime);
+    if (W.Malformed)
+      return Fail("malformed record in chunk " + std::to_string(E.Seq));
+    if (W.Len == 0)
+      return Fail("truncated event stream: partial trailing record");
+    if (F == WireFormat::V4 && Pos + W.Len > Starts[Cur] + E.PayloadBytes)
+      return Fail("record straddles a chunk boundary in v4 chunk " +
+                  std::to_string(E.Seq));
+    if (E.RecordCount == 0) {
+      E.HeadSkip = static_cast<std::uint32_t>(Pos - Starts[Cur]);
+      E.TimeBase = F == WireFormat::V2 ? 0 : LastTime;
+      E.FirstRecord = Records;
+    }
+    ++E.RecordCount;
+    if (W.Timed) {
+      if (!CurHasTime) {
+        CurHasTime = true;
+        E.FirstTime = W.Time;
+      }
+      E.LastTime = W.Time;
+      LastTime = W.Time;
+    }
+    ++Records;
+    Pos += W.Len;
+  }
+  Out.TotalRecords = Records;
   return true;
 }
 
@@ -708,7 +1315,8 @@ bool jdrag::profiler::replayFile(const std::string &Path, EventConsumer &C,
   if (std::fread(&Version, sizeof(Version), 1, F) != 1 ||
       std::fread(&Reserved, sizeof(Reserved), 1, F) != 1 ||
       (Version != static_cast<std::uint32_t>(WireFormat::V2) &&
-       Version != static_cast<std::uint32_t>(WireFormat::V3))) {
+       Version != static_cast<std::uint32_t>(WireFormat::V3) &&
+       Version != static_cast<std::uint32_t>(WireFormat::V4))) {
     std::fclose(F);
     return Fail(Path + ": unsupported .jdev version " +
                 std::to_string(Version));

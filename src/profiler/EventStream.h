@@ -47,6 +47,18 @@
 /// exactly where corruption or truncation begins, and recover every
 /// complete record before it (see profiler/StreamSalvage.h).
 ///
+///   v4  v3's record encoding made *shard-decodable*: every chunk is
+///       self-contained (the time-delta chain restarts at zero in each
+///       chunk, so the first timed record carries its absolute time as
+///       the chunk's delta baseline; records never straddle chunk
+///       boundaries) and the stream ends with a chunk index footer --
+///       a specially-magic'd terminal frame listing every chunk's
+///       offset, sequence, CRC, record count and first/last time -- so
+///       a reader can fan chunk ranges out to N decode threads without
+///       scanning the file first (profiler/ParallelReplay.h). Readers
+///       rebuild a missing or untrusted index with one sequential pass
+///       (rebuildChunkIndex), which also serves v2/v3 streams.
+///
 /// The producer side degrades gracefully instead of failing silently:
 /// when a sink write fails, EventBuffer keeps accepting events, accounts
 /// every dropped chunk and byte in a StreamHealth struct, and warns once
@@ -95,10 +107,11 @@ const char *eventKindName(EventKind K);
 enum class WireFormat : std::uint8_t {
   V2 = 2, ///< fixed 40-byte EventRecords (legacy; still replayable)
   V3 = 3, ///< per-kind varint records with byte-clock time deltas
+  V4 = 4, ///< v3 records, but chunk-self-contained + chunk index footer
 };
 
-/// What new streams are written as (decoders accept both).
-inline constexpr WireFormat DefaultWireFormat = WireFormat::V3;
+/// What new streams are written as (decoders accept all versions).
+inline constexpr WireFormat DefaultWireFormat = WireFormat::V4;
 
 /// One decoded event. This is the *in-memory* record every consumer
 /// sees regardless of wire format; it is also, verbatim, the v2 wire
@@ -168,6 +181,85 @@ inline constexpr std::uint32_t ChunkMagic = 0x6b43646a;
 /// Sanity bound on chunk payloads; a decoder rejects larger length
 /// fields as corruption instead of attempting a giant buffer.
 inline constexpr std::uint32_t MaxChunkPayload = 64u << 20;
+
+//===----------------------------------------------------------------------===//
+// Chunk index footer (v4)
+//===----------------------------------------------------------------------===//
+
+/// "jdIx", little-endian: the ChunkHeader magic of the terminal chunk
+/// index footer frame a v4 stream ends with. Pre-v4 readers that walk
+/// frames strictly reject it as an unknown chunk, which is the intended
+/// compatibility break: v4 bumped the header version precisely so old
+/// readers refuse cleanly instead of mis-decoding.
+inline constexpr std::uint32_t FooterMagic = 0x7849646aU;
+
+/// "jdFt", little-endian: the trailing 4 bytes of the footer block. A
+/// reader finds the footer by reading the last 8 bytes of the stream
+/// (u32 block size, u32 this magic) -- no forward scan needed.
+inline constexpr std::uint32_t FooterTailMagic = 0x7446646aU;
+
+/// One chunk's entry in the index. The first five fields are what the
+/// footer serializes (48 bytes each on the wire, after a u64 record
+/// total); HeadSkip and TimeBase only exist for *rebuilt* indexes of
+/// v2/v3 streams, where records straddle chunks and time deltas chain
+/// across them -- both are structurally zero in v4 streams.
+struct ChunkIndexEntry {
+  std::uint64_t Offset = 0;      ///< stream offset of the ChunkHeader
+                                 ///< (first chunk = 0; file readers add
+                                 ///< the 16-byte .jdev header)
+  std::uint32_t Seq = 0;         ///< chunk sequence number
+  std::uint32_t PayloadBytes = 0;
+  std::uint32_t Crc = 0;         ///< CRC-32C of the payload
+  std::uint32_t RecordCount = 0; ///< records *starting* in this chunk
+  ByteTime FirstTime = 0;        ///< first timed record starting here
+                                 ///< (0 if none)
+  ByteTime LastTime = 0;         ///< last timed record starting here
+  std::uint64_t FirstRecord = 0; ///< global index of the first record
+                                 ///< starting in this chunk
+  // Rebuild-only fields (never serialized; zero for v4 streams):
+  std::uint32_t HeadSkip = 0; ///< leading payload bytes that belong to
+                              ///< a record begun in an earlier chunk
+  ByteTime TimeBase = 0;      ///< decoder time-delta seed at the first
+                              ///< record starting in this chunk
+};
+
+/// A stream's chunk map: either parsed from a v4 footer or rebuilt by
+/// one sequential pass. Chunk ranges from it can be decoded by
+/// independent workers (profiler/ParallelReplay.h).
+struct ChunkIndex {
+  std::vector<ChunkIndexEntry> Entries;
+  std::uint64_t TotalRecords = 0;
+  bool FromFooter = false; ///< parsed from a footer (i.e. unverified
+                           ///< producer claims) vs rebuilt from bytes
+};
+
+/// Serializes a footer block: ChunkHeader{FooterMagic, entry count,
+/// payload length, payload CRC} + payload (u64 total records, then one
+/// 48-byte entry per chunk) + u32 block size + u32 FooterTailMagic.
+std::vector<std::byte> encodeChunkIndexFooter(
+    std::span<const ChunkIndexEntry> Entries, std::uint64_t TotalRecords);
+
+/// Byte size of the structurally plausible footer block at the tail of
+/// \p Stream (raw framed bytes, no file header), or 0 if there is none.
+/// Checks shape only (tail magic, size bounds, header magic) -- use
+/// readChunkIndexFooter for CRC-verified contents.
+std::size_t footerBlockSize(std::span<const std::byte> Stream);
+
+/// Parses and CRC-verifies the footer at the tail of \p Stream into
+/// \p Out (FromFooter = true). Returns false if absent or invalid --
+/// callers fall back to rebuildChunkIndex.
+bool readChunkIndexFooter(std::span<const std::byte> Stream, ChunkIndex &Out);
+
+/// Rebuilds the chunk index with one strict sequential pass over
+/// \p Stream (raw framed bytes): walks every frame and record, filling
+/// per-chunk record counts, times, straddle skips and time-delta seeds.
+/// Serves v2/v3 streams (which never have a footer), v4 streams whose
+/// footer is missing or untrusted, and footer-vs-reality audits.
+/// Returns false with \p Err on structural damage (truncation, bad
+/// magic/sequence, malformed records) -- CRCs are NOT checked here;
+/// consumers verify payload CRCs when they decode.
+bool rebuildChunkIndex(std::span<const std::byte> Stream, WireFormat F,
+                       ChunkIndex &Out, std::string *Err = nullptr);
 
 /// Producer-side accounting of stream integrity. Every byte handed to a
 /// failing sink is counted, never silently discarded: after a run,
@@ -380,11 +472,15 @@ private:
 };
 
 /// Chunked accumulator between the emitting VM and a sink. Events are
-/// encoded (v2 fixed-width or v3 compact, per the constructor's
+/// encoded (v2 fixed-width or v3/v4 compact, per the constructor's
 /// WireFormat) into the current chunk; a full chunk is framed
 /// (ChunkHeader + payload) and handed to the sink, and writing continues
-/// in the next chunk, so records freely straddle chunk payload
-/// boundaries.
+/// in the next chunk. In v2/v3 records freely straddle chunk payload
+/// boundaries; in v4 every chunk is flushed at a record boundary (a
+/// record that will not fit starts the next chunk; one bigger than the
+/// chunk budget gets an oversized chunk of its own), the time-delta
+/// chain restarts per chunk, and finishStream() appends the chunk index
+/// footer.
 ///
 /// A sink failure does not stop event production: the buffer keeps
 /// accepting events, accounts every refused chunk in health(), and
@@ -409,6 +505,11 @@ public:
   /// Frames the current partial chunk and hands it to the sink.
   /// Returns false if the chunk was dropped (accounted in health()).
   bool flush();
+  /// End-of-stream: flushes and, for v4, appends the chunk index
+  /// footer frame (skipped when the stream is already known damaged --
+  /// a footer must only describe chunks that were actually written).
+  /// For v2/v3 this is exactly flush(). Idempotent.
+  bool finishStream();
   /// True while no sink write has failed.
   bool ok() const { return !SinkFailed; }
   /// Integrity accounting, including the sink's errno/retry counters
@@ -416,10 +517,14 @@ public:
   StreamHealth health() const;
   std::uint64_t eventsWritten() const { return Events; }
   WireFormat wireFormat() const { return Format; }
+  /// The v4 chunk index accumulated so far (what finishStream writes).
+  const std::vector<ChunkIndexEntry> &chunkIndex() const { return Index; }
 
 private:
   void writeBytes(const void *Data, std::size_t Size);
   void writeEventV3(const EventRecord &E);
+  void appendRecordV4(const void *Data, std::size_t Size, bool Timed,
+                      ByteTime Time);
   void beginChunk();
 
   EventSink &Sink;
@@ -427,12 +532,22 @@ private:
   std::size_t ChunkBytes;
   std::uint64_t Events = 0;
   std::uint32_t NextSeq = 0;
-  ByteTime LastTime = 0; ///< v3 time-delta chain
+  ByteTime LastTime = 0; ///< v3/v4 time-delta chain (v4: per chunk)
   StreamHealth Health;
   WireFormat Format;
   bool Checksum = true;
   bool SinkFailed = false;
   bool Warned = false;
+  // v4 chunk-index bookkeeping (empty/idle for v2/v3).
+  std::vector<ChunkIndexEntry> Index;
+  std::vector<std::byte> SiteScratch; ///< whole-record staging for v4
+  std::uint64_t StreamOffset = 0;     ///< offset of the next chunk
+  std::uint64_t ChunkFirstRecord = 0;
+  std::uint32_t ChunkRecords = 0;
+  ByteTime ChunkFirstTime = 0;
+  ByteTime ChunkLastTime = 0;
+  bool ChunkHasTime = false;
+  bool FooterWritten = false;
 };
 
 /// Receiver of decoded events. DefineSite records arrive through
@@ -457,6 +572,18 @@ public:
 
   /// Selects the record encoding. Only valid before the first feed().
   void setWireFormat(WireFormat F) { Format = F; }
+
+  /// Seeds or resets the v3/v4 time-delta chain. v4 framing resets it
+  /// to 0 at every chunk boundary (FrameDecoder does this); sharded
+  /// replay of v2/v3 streams seeds a worker's decoder with the chunk's
+  /// TimeBase from the rebuilt index. Only valid at a record boundary.
+  void resetTimeBase(ByteTime T = 0) { LastTime = T; }
+
+  /// Toggles the batch fast path: when enough contiguous bytes remain
+  /// to hold any non-site record, varints are decoded without per-byte
+  /// bounds checks. On by default; off exists only so the decode bench
+  /// can measure the gap (BM_ReplayDecodeNoBatch).
+  void setBatchDecode(bool On) { Batch = On; }
 
   /// Decodes as much as possible. Returns false (sticky) on malformed
   /// input; error() describes the problem.
@@ -483,9 +610,10 @@ private:
   std::vector<std::byte> Pending;
   std::vector<SiteFrame> FrameScratch;
   std::uint64_t Events = 0;
-  ByteTime LastTime = 0; ///< v3 time-delta chain
+  ByteTime LastTime = 0; ///< v3/v4 time-delta chain
   std::string Error;
   bool Failed = false;
+  bool Batch = true;
 };
 
 /// Incremental *chunk-layer* decoder: feed() arbitrary byte slices of a
@@ -498,21 +626,33 @@ class FrameDecoder {
 public:
   explicit FrameDecoder(EventConsumer &C,
                         WireFormat Format = DefaultWireFormat)
-      : Records(C, Format) {}
+      : Records(C, Format), Format(Format) {}
 
   /// Selects the record encoding. Only valid before the first feed().
-  void setWireFormat(WireFormat F) { Records.setWireFormat(F); }
+  void setWireFormat(WireFormat F) {
+    Records.setWireFormat(F);
+    Format = F;
+  }
+
+  /// Forwarded to the record layer (bench knob; see StreamDecoder).
+  void setBatchDecode(bool On) { Records.setBatchDecode(On); }
 
   bool feed(const std::byte *Data, std::size_t Size);
 
   /// True when the stream so far ends exactly at a chunk boundary that
   /// is also a record boundary -- i.e. a complete, undamaged stream.
+  /// (A v4 stream whose footer frame has not arrived still qualifies:
+  /// the footer is an index, not data, and readers rebuild missing
+  /// ones.)
   bool atRecordBoundary() const {
     return !Failed && Pending.empty() && Records.atRecordBoundary();
   }
 
   std::uint64_t eventsDecoded() const { return Records.eventsDecoded(); }
   std::uint64_t chunksDecoded() const { return Chunks; }
+  /// True once the terminal v4 chunk index footer was seen and
+  /// CRC-verified.
+  bool footerSeen() const { return FooterSeen; }
   const std::string &error() const {
     return Error.empty() ? Records.error() : Error;
   }
@@ -525,7 +665,9 @@ private:
   std::uint64_t Chunks = 0;
   std::uint32_t NextSeq = 0;
   std::string Error;
+  WireFormat Format;
   bool Failed = false;
+  bool FooterSeen = false;
 };
 
 /// A sink that decodes inline and feeds a consumer -- attached (live)
@@ -555,8 +697,8 @@ bool replayBytes(std::span<const std::byte> Bytes, EventConsumer &C,
                  WireFormat Format = DefaultWireFormat);
 
 /// Replays a `.jdev` recording into \p C, validating the file header,
-/// every chunk frame (sequence + CRC), and record completeness. Both v2
-/// and v3 recordings are accepted (the header version selects the
+/// every chunk frame (sequence + CRC), and record completeness. v2, v3
+/// and v4 recordings are accepted (the header version selects the
 /// record decoder). A header-only file (zero events) replays
 /// successfully. Damaged files fail with a precise error;
 /// `jdrag salvage` recovers their prefix.

@@ -1,0 +1,555 @@
+//===- profiler/ParallelReplay.cpp ----------------------------------------===//
+
+#include "profiler/ParallelReplay.h"
+
+#include "support/Crc32c.h"
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+using namespace jdrag;
+using namespace jdrag::profiler;
+using namespace jdrag::vm;
+
+namespace {
+
+bool readAll(const std::string &Path, std::vector<std::byte> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  In.seekg(0, std::ios::end);
+  std::streamoff End = In.tellg();
+  if (End < 0)
+    return false;
+  In.seekg(0, std::ios::beg);
+  Out.resize(static_cast<std::size_t>(End));
+  if (End > 0)
+    In.read(reinterpret_cast<char *>(Out.data()), End);
+  return static_cast<bool>(In);
+}
+
+/// One shard's knowledge about one object. Times that depend on the
+/// deep-GC interval boundary are split into *known* values (the shard
+/// saw the boundary locally) and *symbolic prefix* markers (the use
+/// happened before the shard's first DeepGCEnd, so its snapped time is
+/// the previous shard's exit boundary -- resolved at merge time).
+struct PartialTrailer {
+  enum class First : std::uint8_t { None, Prefix, Known };
+
+  ir::ClassId Class;
+  ir::ArrayKind AKind = ir::ArrayKind::Int;
+  bool IsArray = false;
+  bool HasAlloc = false;
+  bool PrefixUse = false;   ///< some use snapped to the entry boundary
+  bool HasKnownMax = false; ///< KnownMax holds a resolved use time
+  First FirstNonInit = First::None;
+  std::uint32_t Bytes = 0;
+  std::uint32_t UseCount = 0;
+  ByteTime AllocTime = 0;
+  ByteTime FirstNonInitTime = 0; ///< valid when FirstNonInit == Known
+  ByteTime KnownMax = 0;         ///< max resolved use time in this shard
+  SiteId AllocSiteStream = InvalidSite; ///< stream id; mapped at merge
+  SiteId LastUseSiteStream = InvalidSite;
+};
+
+/// The fold of all shards' partials for one object, with interval
+/// symbolics already resolved (fields are raw stream-clock times; the
+/// final max against AllocTime happens at emission).
+struct MergedTrailer {
+  ir::ClassId Class;
+  ir::ArrayKind AKind = ir::ArrayKind::Int;
+  bool IsArray = false;
+  bool HasAlloc = false;
+  bool Ended = false; ///< an end event already consumed this object
+  bool HasFirstNonInit = false;
+  bool HasUseMax = false;
+  std::uint32_t Bytes = 0;
+  std::uint32_t UseCount = 0;
+  ByteTime AllocTime = 0;
+  ByteTime FirstNonInitRaw = 0;
+  ByteTime UseMaxRaw = 0;
+  SiteId AllocSiteStream = InvalidSite;
+  SiteId LastUseSiteStream = InvalidSite;
+};
+
+/// Paged dense store keyed by object id -- the same id -> slot scheme
+/// as DragProfiler's TrailerTable (ids are dense and monotonic), plus a
+/// touched-id list so shard partials can be folded without scanning
+/// empty slots.
+template <typename T> class PagedTable {
+public:
+  T &get(ObjectId Id) {
+    std::size_t Pi = static_cast<std::size_t>(Id) / PageSize;
+    std::size_t Si = static_cast<std::size_t>(Id) % PageSize;
+    if (Pi >= Pages.size())
+      Pages.resize(Pi + 1);
+    if (!Pages[Pi])
+      Pages[Pi] = std::make_unique<Page>();
+    Page &Pg = *Pages[Pi];
+    if (!Pg.Live[Si]) {
+      Pg.Live[Si] = true;
+      Touched.push_back(Id);
+    }
+    return Pg.Slots[Si];
+  }
+  /// get() that also resets the slot (an Alloc starts the object over,
+  /// exactly like TrailerTable::insert).
+  T &reset(ObjectId Id) {
+    T &Slot = get(Id);
+    Slot = T();
+    return Slot;
+  }
+  T *find(ObjectId Id) {
+    std::size_t Pi = static_cast<std::size_t>(Id) / PageSize;
+    if (Pi >= Pages.size() || !Pages[Pi])
+      return nullptr;
+    Page &Pg = *Pages[Pi];
+    std::size_t Si = static_cast<std::size_t>(Id) % PageSize;
+    return Pg.Live[Si] ? &Pg.Slots[Si] : nullptr;
+  }
+  /// Ids with live slots, in first-touch (stream) order.
+  const std::vector<ObjectId> &touched() const { return Touched; }
+
+private:
+  static constexpr std::size_t PageSize = 4096;
+  struct Page {
+    T Slots[PageSize];
+    bool Live[PageSize] = {};
+  };
+  std::vector<std::unique_ptr<Page>> Pages;
+  std::vector<ObjectId> Touched;
+};
+
+struct EndEvent {
+  ObjectId Id = 0;
+  ByteTime Time = 0;
+  bool Survived = false;
+};
+
+/// Everything one worker produces from its chunk range.
+struct ShardResult {
+  PagedTable<PartialTrailer> Table;
+  std::vector<EndEvent> Ends; ///< Collect/Survivor, in stream order
+  std::vector<GCSample> Samples;
+  /// DefineSite records in arrival order (stream id + frames); interned
+  /// into the merged SiteTable in shard order, reproducing stream order.
+  std::vector<std::pair<SiteId, std::vector<SiteFrame>>> Sites;
+  ByteTime ExitInterval = 0; ///< last local DeepGCEnd time
+  ByteTime TerminateTime = 0;
+  bool HasExit = false;
+  bool SawTerminate = false;
+  bool Failed = false;
+  std::string Error;
+};
+
+/// EventConsumer that accumulates shard partials instead of emitting
+/// records -- the "map" side of the map-reduce.
+class ShardConsumer : public EventConsumer {
+public:
+  ShardConsumer(ShardResult &R, bool Snap, bool IntervalKnown)
+      : R(R), Snap(Snap), IntervalKnown(IntervalKnown) {}
+
+  void onSite(SiteId Id, std::span<const SiteFrame> Frames) override {
+    R.Sites.emplace_back(Id,
+                         std::vector<SiteFrame>(Frames.begin(), Frames.end()));
+  }
+
+  void onEvent(const EventRecord &E) override {
+    switch (E.kind()) {
+    case EventKind::Alloc: {
+      PartialTrailer &T = R.Table.reset(E.Id);
+      T.HasAlloc = true;
+      T.Class = ir::ClassId(static_cast<std::uint32_t>(E.Arg1));
+      T.AKind = static_cast<ir::ArrayKind>(E.Sub);
+      T.IsArray = E.Flags & 1;
+      T.Bytes = static_cast<std::uint32_t>(E.Arg0);
+      T.AllocTime = E.Time;
+      T.AllocSiteStream = E.Site;
+      break;
+    }
+    case EventKind::Use: {
+      // The alloc may live in an earlier shard, so a use with no local
+      // partial still creates one; if no shard ever saw the alloc the
+      // merged trailer stays HasAlloc = false and is never emitted
+      // (sequential semantics for VM-internal ids).
+      PartialTrailer &T = R.Table.get(E.Id);
+      bool DuringOwnInit = E.Flags & 1;
+      bool Known = !Snap || IntervalKnown;
+      ByteTime Raw = Snap ? Interval : E.Time;
+      if (!DuringOwnInit && T.FirstNonInit == PartialTrailer::First::None) {
+        T.FirstNonInit = Known ? PartialTrailer::First::Known
+                               : PartialTrailer::First::Prefix;
+        T.FirstNonInitTime = Known ? Raw : 0;
+      }
+      if (Known) {
+        T.HasKnownMax = true;
+        T.KnownMax = std::max(T.KnownMax, Raw);
+      } else {
+        T.PrefixUse = true;
+      }
+      T.LastUseSiteStream = E.Site;
+      ++T.UseCount;
+      break;
+    }
+    case EventKind::GCEnd:
+      R.Samples.push_back({E.Time, E.Arg0, E.Arg1});
+      break;
+    case EventKind::DeepGCEnd:
+      IntervalKnown = true;
+      Interval = E.Time;
+      R.HasExit = true;
+      R.ExitInterval = E.Time;
+      break;
+    case EventKind::Collect:
+    case EventKind::Survivor:
+      R.Ends.push_back({E.Id, E.Time, E.kind() == EventKind::Survivor});
+      break;
+    case EventKind::Terminate:
+      R.SawTerminate = true;
+      R.TerminateTime = E.Time;
+      break;
+    case EventKind::DefineSite:
+      break; // delivered via onSite
+    }
+  }
+
+private:
+  ShardResult &R;
+  bool Snap;
+  bool IntervalKnown; ///< a local DeepGCEnd has fixed the boundary
+  ByteTime Interval = 0;
+};
+
+bool shardFail(ShardResult &R, std::string Msg) {
+  R.Failed = true;
+  R.Error = std::move(Msg);
+  return false;
+}
+
+/// Re-verifies one chunk against its index entry: header fields, CRC,
+/// and (for footer-sourced indexes) the footer's own claims. The index
+/// construction already bounds-checked every offset, so the reads here
+/// cannot run off the stream.
+bool validateChunk(std::span<const std::byte> Framed, const ChunkIndexEntry &En,
+                   std::size_t GlobalIdx, bool FromFooter, ShardResult &R) {
+  ChunkHeader H;
+  std::memcpy(&H, Framed.data() + En.Offset, sizeof(H));
+  if (H.Magic != ChunkMagic || H.Seq != En.Seq ||
+      H.PayloadBytes != En.PayloadBytes ||
+      En.Seq != static_cast<std::uint32_t>(GlobalIdx))
+    return shardFail(R, "chunk index disagrees with the header of chunk " +
+                            std::to_string(GlobalIdx));
+  std::uint32_t Crc =
+      support::crc32c(Framed.data() + En.Offset + sizeof(ChunkHeader),
+                      H.PayloadBytes);
+  if (Crc != H.Crc || (FromFooter && En.Crc != H.Crc))
+    return shardFail(R, "CRC mismatch in chunk " + std::to_string(GlobalIdx));
+  return true;
+}
+
+/// Decodes chunks [B, E) of the stream into \p R. v4 chunks are
+/// self-contained; v2/v3 shards seed the decoder from the rebuilt
+/// index and finish a range-straddling tail record by reading the
+/// continuation (HeadSkip) bytes of the chunks after the range.
+void runShard(std::span<const std::byte> Framed, WireFormat F,
+              const ChunkIndex &Idx, std::size_t B, std::size_t E, bool Snap,
+              ShardResult &R) {
+  const std::vector<ChunkIndexEntry> &Ents = Idx.Entries;
+  ShardConsumer C(R, Snap, /*IntervalKnown=*/B == 0);
+  StreamDecoder Dec(C, F);
+  auto Payload = [&](const ChunkIndexEntry &En) {
+    return Framed.data() + En.Offset + sizeof(ChunkHeader);
+  };
+
+  if (F == WireFormat::V4) {
+    for (std::size_t I = B; I < E; ++I) {
+      const ChunkIndexEntry &En = Ents[I];
+      if (!validateChunk(Framed, En, I, Idx.FromFooter, R))
+        return;
+      std::uint64_t Before = Dec.eventsDecoded();
+      Dec.resetTimeBase(0);
+      if (!Dec.feed(Payload(En), En.PayloadBytes)) {
+        shardFail(R, Dec.error());
+        return;
+      }
+      if (!Dec.atRecordBoundary()) {
+        shardFail(R, "record straddles a chunk boundary in v4 chunk " +
+                         std::to_string(I));
+        return;
+      }
+      if (Dec.eventsDecoded() - Before != En.RecordCount) {
+        shardFail(R, "chunk index record count lies for chunk " +
+                         std::to_string(I));
+        return;
+      }
+    }
+    return;
+  }
+
+  // v2/v3: records may straddle chunks and (v3) time deltas chain
+  // across them. Skip leading chunks that only continue an earlier
+  // shard's record (that shard decodes those bytes as its tail), seed
+  // the time base at the first record that starts in this range, then
+  // decode to the end of the range.
+  std::size_t First = B;
+  while (First < E && Ents[First].RecordCount == 0) {
+    if (!validateChunk(Framed, Ents[First], First, Idx.FromFooter, R))
+      return;
+    ++First;
+  }
+  if (First == E)
+    return; // no record starts in this range
+  if (!validateChunk(Framed, Ents[First], First, Idx.FromFooter, R))
+    return;
+  Dec.resetTimeBase(Ents[First].TimeBase);
+  if (!Dec.feed(Payload(Ents[First]) + Ents[First].HeadSkip,
+                Ents[First].PayloadBytes - Ents[First].HeadSkip)) {
+    shardFail(R, Dec.error());
+    return;
+  }
+  for (std::size_t I = First + 1; I < E; ++I) {
+    if (!validateChunk(Framed, Ents[I], I, Idx.FromFooter, R))
+      return;
+    if (!Dec.feed(Payload(Ents[I]), Ents[I].PayloadBytes)) {
+      shardFail(R, Dec.error());
+      return;
+    }
+  }
+  // Tail completion: a record begun in our last chunk may continue into
+  // the next range. Its bytes are exactly the HeadSkip prefixes of the
+  // following chunks (whole payloads while RecordCount is 0). Those
+  // chunks' CRCs are verified by their owning shard.
+  for (std::size_t I = E; I < Ents.size() && Dec.pendingBytes() > 0; ++I) {
+    if (!Dec.feed(Payload(Ents[I]), Ents[I].HeadSkip)) {
+      shardFail(R, Dec.error());
+      return;
+    }
+  }
+  if (Dec.pendingBytes() > 0)
+    shardFail(R, "record at the end of the stream is incomplete");
+}
+
+/// Partitions chunks into at most \p Jobs contiguous ranges balanced by
+/// payload bytes and decodes them on one thread each. Returns false if
+/// any shard failed (first error in \p Err).
+bool runSharded(std::span<const std::byte> Framed, WireFormat F,
+                const ChunkIndex &Idx, unsigned Jobs, bool Snap,
+                std::vector<ShardResult> &Shards, std::string &Err) {
+  std::size_t N = Idx.Entries.size();
+  std::size_t S = std::min<std::size_t>(Jobs, N);
+  std::uint64_t Total = 0;
+  for (const ChunkIndexEntry &En : Idx.Entries)
+    Total += En.PayloadBytes;
+  std::vector<std::size_t> Cut(S + 1, 0);
+  Cut[S] = N;
+  std::size_t I = 0;
+  std::uint64_t Acc = 0;
+  for (std::size_t K = 1; K < S; ++K) {
+    std::uint64_t Target = Total * K / S;
+    while (I < N && Acc < Target)
+      Acc += Idx.Entries[I++].PayloadBytes;
+    Cut[K] = I;
+  }
+
+  Shards = std::vector<ShardResult>(S);
+  std::vector<std::thread> Threads;
+  Threads.reserve(S);
+  for (std::size_t K = 0; K < S; ++K)
+    Threads.emplace_back([&, K] {
+      runShard(Framed, F, Idx, Cut[K], Cut[K + 1], Snap, Shards[K]);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (const ShardResult &Sh : Shards)
+    if (Sh.Failed) {
+      Err = Sh.Error;
+      return false;
+    }
+  return true;
+}
+
+void foldPartial(MergedTrailer &M, const PartialTrailer &P,
+                 ByteTime EntryInterval) {
+  M.UseCount += P.UseCount;
+  if (P.UseCount)
+    M.LastUseSiteStream = P.LastUseSiteStream;
+  if (P.FirstNonInit != PartialTrailer::First::None && !M.HasFirstNonInit) {
+    M.HasFirstNonInit = true;
+    M.FirstNonInitRaw = P.FirstNonInit == PartialTrailer::First::Prefix
+                            ? EntryInterval
+                            : P.FirstNonInitTime;
+  }
+  if (P.PrefixUse) {
+    M.HasUseMax = true;
+    M.UseMaxRaw = std::max(M.UseMaxRaw, EntryInterval);
+  }
+  if (P.HasKnownMax) {
+    M.HasUseMax = true;
+    M.UseMaxRaw = std::max(M.UseMaxRaw, P.KnownMax);
+  }
+  if (P.HasAlloc && !M.HasAlloc) {
+    M.HasAlloc = true;
+    M.Class = P.Class;
+    M.AKind = P.AKind;
+    M.IsArray = P.IsArray;
+    M.Bytes = P.Bytes;
+    M.AllocTime = P.AllocTime;
+    M.AllocSiteStream = P.AllocSiteStream;
+  }
+}
+
+/// The "reduce" side: folds shard partials in shard order and emits
+/// object records in the stream order of their end events, reproducing
+/// DragProfiler's output exactly.
+void mergeShards(std::vector<ShardResult> &Shards,
+                 const ProfilerConfig &Config, ProfileLog &Out) {
+  ProfileLog Log;
+  Log.Records.reserve(1024);
+  Log.GCSamples.reserve(64);
+
+  // Sites: interning in shard order reproduces stream arrival order,
+  // hence the sequential profiler's local ids.
+  std::vector<SiteId> SiteMap;
+  SiteMap.reserve(256);
+  for (ShardResult &Sh : Shards)
+    for (auto &[StreamId, Frames] : Sh.Sites) {
+      SiteId Local = Log.Sites.internFrames(std::move(Frames));
+      if (StreamId >= SiteMap.size())
+        SiteMap.resize(StreamId + 1, InvalidSite);
+      SiteMap[StreamId] = Local;
+    }
+  auto MapSite = [&](SiteId StreamId) {
+    return StreamId < SiteMap.size() ? SiteMap[StreamId] : InvalidSite;
+  };
+
+  // Each shard's entry boundary is the previous shard's last deep-GC
+  // time (inherited across shards that saw none); shard 0 enters at 0,
+  // like the sequential profiler's initial IntervalStart.
+  std::vector<ByteTime> Entry(Shards.size(), 0);
+  for (std::size_t K = 1; K < Shards.size(); ++K)
+    Entry[K] =
+        Shards[K - 1].HasExit ? Shards[K - 1].ExitInterval : Entry[K - 1];
+
+  PagedTable<MergedTrailer> Merged;
+  for (std::size_t K = 0; K < Shards.size(); ++K)
+    for (ObjectId Id : Shards[K].Table.touched())
+      foldPartial(Merged.get(Id), *Shards[K].Table.find(Id), Entry[K]);
+
+  std::unordered_set<std::uint32_t> Excluded;
+  for (ir::ClassId C : Config.ExcludedClasses)
+    Excluded.insert(C.Index);
+
+  for (ShardResult &Sh : Shards) {
+    for (const EndEvent &End : Sh.Ends) {
+      MergedTrailer *T = Merged.find(End.Id);
+      if (!T || !T->HasAlloc || T->Ended)
+        continue; // VM-internal id, or already collected (first wins)
+      T->Ended = true;
+      if (!T->IsArray && Excluded.count(T->Class.Index) != 0)
+        continue;
+      ObjectRecord Rec;
+      Rec.Id = End.Id;
+      Rec.Class = T->Class;
+      Rec.AKind = T->AKind;
+      Rec.IsArray = T->IsArray;
+      Rec.Bytes = T->Bytes;
+      Rec.AllocTime = T->AllocTime;
+      Rec.FirstUseTime = T->HasFirstNonInit
+                             ? std::max(T->FirstNonInitRaw, T->AllocTime)
+                             : T->AllocTime;
+      Rec.LastUseTime =
+          T->HasUseMax ? std::max(T->UseMaxRaw, T->AllocTime) : T->AllocTime;
+      Rec.CollectTime = End.Time;
+      Rec.AllocSite = MapSite(T->AllocSiteStream);
+      Rec.LastUseSite = MapSite(T->LastUseSiteStream);
+      Rec.UseCount = T->UseCount;
+      Rec.UsedOutsideInit = T->HasFirstNonInit;
+      Rec.SurvivedToEnd = End.Survived;
+      Log.Records.push_back(Rec);
+    }
+    Log.GCSamples.insert(Log.GCSamples.end(), Sh.Samples.begin(),
+                         Sh.Samples.end());
+    if (Sh.SawTerminate)
+      Log.EndTime = Sh.TerminateTime;
+  }
+  Out = std::move(Log);
+}
+
+} // namespace
+
+unsigned jdrag::profiler::defaultReplayJobs() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+bool jdrag::profiler::replayProfileParallel(const std::string &Path,
+                                            const ir::Program &P,
+                                            ProfilerConfig Config,
+                                            unsigned Jobs, ProfileLog &Out,
+                                            std::string *Err) {
+  if (Jobs == 0)
+    Jobs = defaultReplayJobs();
+  auto Sequential = [&] {
+    return replayProfile(Path, P, std::move(Config), Out, Err);
+  };
+  if (Jobs <= 1)
+    return Sequential();
+
+  // Anything that prevents sharding -- unreadable file, bad header, a
+  // damaged footer, a stream the index rebuild rejects, or too few
+  // chunks to split -- runs the sequential path, which produces the
+  // canonical result or error message for that input.
+  std::vector<std::byte> Bytes;
+  if (!readAll(Path, Bytes) || Bytes.size() < 16)
+    return Sequential();
+  std::uint64_t Magic;
+  std::uint32_t Version;
+  std::memcpy(&Magic, Bytes.data(), sizeof(Magic));
+  std::memcpy(&Version, Bytes.data() + 8, sizeof(Version));
+  if (Magic != StreamFileMagic ||
+      (Version != static_cast<std::uint32_t>(WireFormat::V2) &&
+       Version != static_cast<std::uint32_t>(WireFormat::V3) &&
+       Version != static_cast<std::uint32_t>(WireFormat::V4)))
+    return Sequential();
+  WireFormat F = static_cast<WireFormat>(Version);
+  std::span<const std::byte> Framed(Bytes.data() + 16, Bytes.size() - 16);
+  if (Framed.empty())
+    return Sequential(); // header-only recording
+
+  ChunkIndex Idx;
+  if (F == WireFormat::V4 && footerBlockSize(Framed) != 0) {
+    // A structurally present but unparsable footer is damage; let the
+    // strict sequential path report it.
+    if (!readChunkIndexFooter(Framed, Idx))
+      return Sequential();
+  } else if (!rebuildChunkIndex(Framed, F, Idx)) {
+    return Sequential();
+  }
+  if (Idx.Entries.size() < 2)
+    return Sequential();
+
+  bool Snap = Config.SnapUseTimes;
+  for (int Attempt = 0; Attempt < 2; ++Attempt) {
+    std::vector<ShardResult> Shards;
+    std::string ShardErr;
+    if (runSharded(Framed, F, Idx, Jobs, Snap, Shards, ShardErr)) {
+      mergeShards(Shards, Config, Out);
+      return true;
+    }
+    // A footer is a producer claim; when reality disagrees, distrust it
+    // once, rebuild the index from the bytes and re-shard. A failure
+    // against a *rebuilt* index means real damage -- sequential replay
+    // owns the error message for that.
+    if (!Idx.FromFooter)
+      break;
+    ChunkIndex Rebuilt;
+    if (!rebuildChunkIndex(Framed, F, Rebuilt))
+      break;
+    Idx = std::move(Rebuilt);
+  }
+  return Sequential();
+}

@@ -1,0 +1,61 @@
+//===- profiler/ParallelReplay.h - Sharded drag replay ----------*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Map-reduce phase 2: replays a `.jdev` recording through N decode
+/// threads and merges their partial trailer tables into a ProfileLog
+/// that is bit-identical to the sequential replayProfile() result.
+///
+/// The map side partitions the stream's chunk index (parsed from a v4
+/// footer, or rebuilt with one sequential pass for v2/v3 and footerless
+/// v4 files) into contiguous chunk ranges balanced by payload bytes.
+/// Each worker verifies its chunks (magic, sequence, CRC-32C) and
+/// decodes them independently: v4 chunks are self-contained (per-chunk
+/// time baseline, record-aligned), while v2/v3 workers seed the time
+/// delta chain from the rebuilt index and finish a range-straddling
+/// tail record by reading into the next range's head bytes.
+///
+/// The reduce side folds the per-shard partials in shard order:
+/// allocation facts are first-wins, last-use times fold as a max,
+/// per-shard uses that happened before the shard's first deep-GC
+/// boundary are kept *symbolic* and resolved against the previous
+/// shard's exit boundary at merge time (so SnapUseTimes semantics
+/// survive sharding exactly), and object records are emitted in the
+/// stream order of their Collect/Survivor events.
+///
+/// Trust model: a footer is a producer claim. Workers re-verify every
+/// structural fact they rely on (header fields, CRC, record alignment,
+/// per-chunk record counts); a lying footer triggers one index rebuild
+/// and re-shard, and any other failure falls back to the sequential
+/// path, so the parallel entry point never crashes on -- and never
+/// disagrees with sequential replay about -- a damaged file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_PROFILER_PARALLELREPLAY_H
+#define JDRAG_PROFILER_PARALLELREPLAY_H
+
+#include "profiler/DragProfiler.h"
+
+namespace jdrag::profiler {
+
+/// Worker count for "use all cores": hardware_concurrency, at least 1.
+unsigned defaultReplayJobs();
+
+/// Replays the `.jdev` recording at \p Path through \p Jobs decode
+/// threads and moves the merged log into \p Out. The result (records,
+/// GC samples, site table, end time -- every serialized byte) is
+/// identical to replayProfile()'s for any readable recording. Jobs of
+/// 0 means defaultReplayJobs(); Jobs <= 1, single-chunk streams, and
+/// any pre-shard validation failure run the sequential path, so error
+/// behaviour on malformed files matches replayProfile() exactly.
+bool replayProfileParallel(const std::string &Path, const ir::Program &P,
+                           ProfilerConfig Config, unsigned Jobs,
+                           ProfileLog &Out, std::string *Err = nullptr);
+
+} // namespace jdrag::profiler
+
+#endif // JDRAG_PROFILER_PARALLELREPLAY_H

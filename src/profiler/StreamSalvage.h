@@ -73,13 +73,20 @@ struct SalvageReport {
   std::uint64_t BytesRecovered = 0;
   /// The valid prefix ended mid-record (the partial record is dropped).
   bool TailPartialRecord = false;
+  /// A v4 chunk index footer block is present at the file tail.
+  bool FooterPresent = false;
+  /// The footer parsed and CRC-verified (meaningless if !FooterPresent).
+  /// A missing footer is NOT damage (readers rebuild the index); a
+  /// present-but-corrupt one is.
+  bool FooterOk = false;
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   bool readable() const { return FileError.empty(); }
   /// True when the recording is fully intact (nothing was lost).
   bool clean() const {
-    return readable() && FirstDamaged == npos && !TailPartialRecord;
+    return readable() && FirstDamaged == npos && !TailPartialRecord &&
+           (!FooterPresent || FooterOk);
   }
   std::uint64_t chunksOk() const;
   std::uint64_t chunksDamaged() const;
@@ -90,18 +97,32 @@ struct SalvageReport {
 /// Scans the `.jdev` at \p Path, judging every chunk. When \p C is
 /// non-null, the longest valid event prefix is replayed into it (all
 /// complete records up to the first damage). Never fails hard on
-/// damaged input -- damage is reported in the returned verdicts.
+/// damaged input -- damage is reported in the returned verdicts. For
+/// v4 files the terminal chunk index footer is validated separately
+/// (FooterPresent/FooterOk) rather than judged as a chunk.
 SalvageReport scanEventFile(const std::string &Path, EventConsumer *C);
+
+/// scanEventFile with the per-chunk CRC verification fanned out over
+/// \p Jobs threads. Only the verification parallelizes -- the verdict
+/// walk and any prefix replay into \p C stay sequential and the report
+/// is identical to the sequential scan's; damaged or non-contiguous
+/// files fall back to scanEventFile wholesale. Jobs <= 1 is exactly
+/// scanEventFile.
+SalvageReport scanEventFileParallel(const std::string &Path, unsigned Jobs,
+                                    EventConsumer *C = nullptr);
 
 /// Recovers the longest valid event prefix of \p In and writes it to
 /// \p Out as a fresh, fully valid `.jdev` recording. Returns false and
 /// sets \p Err only when \p In is unreadable (no prefix exists) or
 /// \p Out cannot be written; recovering zero events from a readable
 /// file still succeeds (and writes a header-only recording). \p Rep,
-/// when non-null, receives the scan report of \p In.
+/// when non-null, receives the scan report of \p In. The output is
+/// written in the current default wire format, chunk index footer
+/// included. \p Jobs > 1 fans the probe pass's CRC verification out
+/// over that many threads (the re-encode pass is inherently ordered).
 bool salvageEventFile(const std::string &In, const std::string &Out,
                       SalvageReport *Rep = nullptr,
-                      std::string *Err = nullptr);
+                      std::string *Err = nullptr, unsigned Jobs = 1);
 
 } // namespace jdrag::profiler
 

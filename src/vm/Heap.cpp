@@ -99,8 +99,13 @@ GCStats Heap::collect() {
   ++GCCount;
   GCStats Stats;
 
-  // Mark phase.
-  std::vector<Handle> Stack;
+  // Mark phase. The worklist lives across collections (see Heap.h);
+  // topping the reserve up to the handle-table size bounds it above by
+  // the live-object count, so marking never reallocates mid-phase.
+  std::vector<Handle> &Stack = MarkStack;
+  Stack.clear();
+  if (Stack.capacity() < Table.size())
+    Stack.reserve(Table.size());
   auto Visit = [&](Handle H) { mark(H, Stack); };
   for (RootSource *S : RootSources)
     S->visitRoots(Visit);
@@ -123,7 +128,11 @@ GCStats Heap::collect() {
   }
 
   // Sweep phase. Unreachable-but-finalizable objects get resurrected
-  // onto the pending queue (their finalizers have not run yet).
+  // onto the pending queue (their finalizers have not run yet). The
+  // reachable totals are NOT re-accumulated object by object: every
+  // survivor stays in LiveObjects/LiveBytes (maintained at allocate and
+  // free), so the sweep's per-object bookkeeping reduces to clearing
+  // the mark bit.
   for (std::uint32_t Index = 0, E = static_cast<std::uint32_t>(Table.size());
        Index != E; ++Index) {
     HeapObject *Obj = Table[Index];
@@ -131,27 +140,20 @@ GCStats Heap::collect() {
       continue;
     if (Obj->Marked) {
       Obj->Marked = false;
-      ++Stats.ReachableObjects;
-      Stats.ReachableBytes += Obj->AccountedBytes;
       continue;
     }
     bool HasFinalizer = !Obj->isArray() &&
                         P.classOf(Obj->Class).Finalizer.isValid() &&
                         !Obj->Finalized;
     if (HasFinalizer && !Obj->PendingFinalize) {
+      // Survives this cycle.
       Obj->PendingFinalize = true;
       PendingQueue.push_back(Handle(Index));
       ++Stats.NewlyFinalizable;
-      ++Stats.ReachableObjects; // survives this cycle
-      Stats.ReachableBytes += Obj->AccountedBytes;
       continue;
     }
-    if (Obj->PendingFinalize && !Obj->Finalized) {
-      // Still waiting for its finalizer to run; keep it.
-      ++Stats.ReachableObjects;
-      Stats.ReachableBytes += Obj->AccountedBytes;
-      continue;
-    }
+    if (Obj->PendingFinalize && !Obj->Finalized)
+      continue; // still waiting for its finalizer to run; keep it
     ++Stats.FreedObjects;
     Stats.FreedBytes += Obj->AccountedBytes;
     if (Observer)
@@ -160,6 +162,8 @@ GCStats Heap::collect() {
       Emitter->collect(Obj->Id, AllocatedTotal);
     free(Index);
   }
+  Stats.ReachableObjects = LiveObjects;
+  Stats.ReachableBytes = LiveBytes;
 
   if (Observer)
     Observer->onGCEnd(AllocatedTotal, Stats.ReachableBytes,
@@ -188,7 +192,10 @@ GCStats Heap::collectMinor() {
 
   // Mark young objects reachable from the roots and from remembered
   // old objects' reference slots.
-  std::vector<Handle> Stack;
+  std::vector<Handle> &Stack = MarkStack;
+  Stack.clear();
+  if (Stack.capacity() < Table.size())
+    Stack.reserve(Table.size());
   auto Visit = [&](Handle H) { markYoung(H, Stack); };
   for (RootSource *S : RootSources)
     S->visitRoots(Visit);
@@ -224,23 +231,18 @@ GCStats Heap::collectMinor() {
         markYoung(V.asRef(), Stack);
   }
 
-  // Sweep the nursery; age and promote survivors.
+  // Sweep the nursery; age and promote survivors. Like collect(), the
+  // reachable totals come from the maintained LiveObjects/LiveBytes
+  // counters after the frees, not from per-object accumulation.
   for (std::uint32_t Index = 0, E = static_cast<std::uint32_t>(Table.size());
        Index != E; ++Index) {
     HeapObject *Obj = Table[Index];
-    if (!Obj)
+    if (!Obj || Obj->Old)
       continue;
-    if (Obj->Old) {
-      ++Stats.ReachableObjects;
-      Stats.ReachableBytes += Obj->AccountedBytes;
-      continue;
-    }
     if (Obj->Marked) {
       Obj->Marked = false;
       if (++Obj->Age >= Gen.PromoteAge)
         Obj->Old = true;
-      ++Stats.ReachableObjects;
-      Stats.ReachableBytes += Obj->AccountedBytes;
       continue;
     }
     bool HasFinalizer = !Obj->isArray() &&
@@ -250,15 +252,10 @@ GCStats Heap::collectMinor() {
       Obj->PendingFinalize = true;
       PendingQueue.push_back(Handle(Index));
       ++Stats.NewlyFinalizable;
-      ++Stats.ReachableObjects;
-      Stats.ReachableBytes += Obj->AccountedBytes;
       continue;
     }
-    if (Obj->PendingFinalize && !Obj->Finalized) {
-      ++Stats.ReachableObjects;
-      Stats.ReachableBytes += Obj->AccountedBytes;
+    if (Obj->PendingFinalize && !Obj->Finalized)
       continue;
-    }
     ++Stats.FreedObjects;
     Stats.FreedBytes += Obj->AccountedBytes;
     if (Observer)
@@ -267,6 +264,8 @@ GCStats Heap::collectMinor() {
       Emitter->collect(Obj->Id, AllocatedTotal);
     free(Index);
   }
+  Stats.ReachableObjects = LiveObjects;
+  Stats.ReachableBytes = LiveBytes;
 
   if (Observer)
     Observer->onGCEnd(AllocatedTotal, Stats.ReachableBytes,

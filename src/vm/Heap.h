@@ -203,6 +203,12 @@ private:
   std::vector<std::uint32_t> FreeHandles;
   std::vector<RootSource *> RootSources;
   std::vector<Handle> PendingQueue;
+  /// Mark-phase worklist, persistent across collections: big heaps made
+  /// per-collection construction (and its growth reallocations) a
+  /// visible fraction of GC time, so the capacity is kept and topped up
+  /// to the handle-table size -- the worst case, since each live object
+  /// enters the stack at most once.
+  std::vector<Handle> MarkStack;
   ByteTime AllocatedTotal = 0;
   std::uint64_t LiveBytes = 0;
   std::uint64_t LiveObjects = 0;

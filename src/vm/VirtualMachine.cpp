@@ -138,7 +138,7 @@ Interpreter::Status VirtualMachine::run(std::string *Err) {
     // callers how much of the recording survived. finish() runs on the
     // outermost sink BEFORE the health snapshot so an async writer's
     // drain-time losses are already accounted.
-    Emitter->flush();
+    Emitter->finishStream();
     profiler::EventSink *Outer =
         Async ? static_cast<profiler::EventSink *>(Async.get()) : Opts.Sink;
     bool FinishOk = Outer->finish();

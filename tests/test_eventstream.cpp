@@ -12,6 +12,7 @@
 #include "benchmarks/Benchmarks.h"
 #include "profiler/DragProfiler.h"
 #include "profiler/EventStream.h"
+#include "profiler/ParallelReplay.h"
 #include "profiler/StreamSalvage.h"
 #include "vm/Events.h"
 #include "vm/VirtualMachine.h"
@@ -555,6 +556,47 @@ TEST(RecordReplay, CommittedV2FixtureStillReplays) {
   // run of the same benchmark produces the identical profile.
   ProfileLog Live = liveRun(B.Prog, B.DefaultInputs);
   expectBitIdentical(Live, Replayed);
+}
+
+// Same contract for the committed v3 fixture: recorded before v4 added
+// record-aligned chunks and the index footer, so it has neither, and it
+// must keep replaying -- sequentially and sharded -- to the same
+// profile forever. Same benchmark and knobs as the v2 fixture, so the
+// pinned observables are shared. If this fails after a pipeline change,
+// v3 backward compatibility broke; fix the decoder, do not regenerate.
+TEST(RecordReplay, CommittedV3FixtureStillReplays) {
+  const std::string Path =
+      std::string(JDRAG_TEST_DATA_DIR) + "/juru_v3.jdev";
+
+  SalvageReport Rep = scanEventFile(Path, nullptr);
+  ASSERT_TRUE(Rep.readable()) << Rep.FileError;
+  EXPECT_EQ(Rep.Version, 3u);
+  EXPECT_TRUE(Rep.clean());
+  EXPECT_FALSE(Rep.FooterPresent); // pre-footer format, by construction
+
+  benchmarks::BenchmarkProgram B = benchmarks::buildJuru();
+  ProfileLog Replayed;
+  std::string Err;
+  ASSERT_TRUE(replayProfile(Path, B.Prog, ProfilerConfig(), Replayed, &Err))
+      << Err;
+  EXPECT_TRUE(Replayed.Complete);
+
+  // Pinned at fixture-generation time (jdrag record juru --v3, default
+  // interval and depth) -- identical to the v2 fixture's pins because
+  // the format must not change the profile.
+  EXPECT_EQ(Replayed.Records.size(), FixtureRecords);
+  EXPECT_EQ(Replayed.Sites.size(), FixtureSites);
+  EXPECT_EQ(Replayed.EndTime, FixtureEndTime);
+
+  ProfileLog Live = liveRun(B.Prog, B.DefaultInputs);
+  expectBitIdentical(Live, Replayed);
+
+  // And the sharded reader accepts the footerless v3 stream too.
+  ProfileLog Par;
+  ASSERT_TRUE(
+      replayProfileParallel(Path, B.Prog, ProfilerConfig(), 4, Par, &Err))
+      << Err;
+  expectBitIdentical(Replayed, Par);
 }
 
 // A TeeSink records and profiles in a single run; the recording then

@@ -40,6 +40,7 @@
 #include "ir/Disassembler.h"
 #include "ir/JasmPrinter.h"
 #include "profiler/DragProfiler.h"
+#include "profiler/ParallelReplay.h"
 #include "profiler/StreamSalvage.h"
 #include "transform/AutoOptimizer.h"
 #include "sa/CallGraph.h"
@@ -67,6 +68,8 @@ struct Options {
   bool Async = false;     ///< record: background writer thread
   bool AsyncDrop = false; ///< record: shed chunks instead of blocking
   profiler::WireFormat Format = profiler::DefaultWireFormat;
+  /// replay/fsck/salvage decode threads (0 = all cores).
+  unsigned Jobs = 0;
   std::string OutPath; ///< optimizeasm: write the revised .jasm here
 };
 
@@ -74,18 +77,22 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: jdrag <command> [args] [--interval KB] [--depth N] [--exact]\n"
+      "               [--jobs N]\n"
       "commands:\n"
       "  list                         available workloads\n"
       "  profile <bench> <log-file>   phase 1: write the object log\n"
       "  record <bench> <file.jdev>   phase 1: record the raw event stream\n"
       "                               (--async: background writer thread;\n"
       "                               --async-drop: shed chunks instead of\n"
-      "                               blocking; --v2: legacy wire format)\n"
+      "                               blocking; --v2/--v3: older formats)\n"
       "  replay <bench> <file.jdev>   phase 2: drag report from a recording\n"
-      "                               (--out LOG also writes the object log)\n"
+      "                               (--out LOG also writes the object log;\n"
+      "                               --jobs N decode threads, default all\n"
+      "                               cores)\n"
       "  fsck <file.jdev>             verify a recording chunk by chunk\n"
+      "                               (--jobs N parallel CRC verification)\n"
       "  salvage <in.jdev> <out.jdev> recover the valid prefix of a\n"
-      "                               damaged recording\n"
+      "                               damaged recording (--jobs N)\n"
       "  report <bench> [<log-file>]  phase 2: drag report\n"
       "  optimize <bench>             full profile->rewrite->measure loop\n"
       "  timeline <bench>             reachable/in-use ASCII chart\n"
@@ -182,18 +189,24 @@ int cmdRecord(const BenchmarkProgram &B, const std::string &Path,
   return 0;
 }
 
-int cmdFsck(const std::string &Path) {
-  profiler::SalvageReport Rep = profiler::scanEventFile(Path, nullptr);
+unsigned replayJobs(const Options &O) {
+  return O.Jobs ? O.Jobs : profiler::defaultReplayJobs();
+}
+
+int cmdFsck(const std::string &Path, const Options &O) {
+  profiler::SalvageReport Rep =
+      profiler::scanEventFileParallel(Path, replayJobs(O), nullptr);
   std::printf("%s", Rep.summary(Path).c_str());
   if (!Rep.readable())
     return 2;
   return Rep.clean() ? 0 : 1;
 }
 
-int cmdSalvage(const std::string &In, const std::string &Out) {
+int cmdSalvage(const std::string &In, const std::string &Out,
+               const Options &O) {
   profiler::SalvageReport Rep;
   std::string Err;
-  if (!profiler::salvageEventFile(In, Out, &Rep, &Err)) {
+  if (!profiler::salvageEventFile(In, Out, &Rep, &Err, replayJobs(O))) {
     std::fprintf(stderr, "salvage failed: %s\n", Err.c_str());
     return 1;
   }
@@ -211,7 +224,8 @@ int cmdReplay(const BenchmarkProgram &B, const std::string &Path,
   PC.SnapUseTimes = !O.Exact;
   profiler::ProfileLog Log;
   std::string Err;
-  if (!profiler::replayProfile(Path, B.Prog, PC, Log, &Err)) {
+  if (!profiler::replayProfileParallel(Path, B.Prog, PC, replayJobs(O), Log,
+                                       &Err)) {
     std::fprintf(stderr, "replay failed: %s\n", Err.c_str());
     return 1;
   }
@@ -552,6 +566,11 @@ int main(int argc, char **argv) {
       O.AsyncDrop = true;
     else if (Args[I] == "--v2")
       O.Format = profiler::WireFormat::V2;
+    else if (Args[I] == "--v3")
+      O.Format = profiler::WireFormat::V3;
+    else if (Args[I] == "--jobs" && I + 1 < Args.size())
+      O.Jobs = static_cast<unsigned>(
+          std::strtoul(Args[++I].c_str(), nullptr, 10));
     else if (Args[I] == "--out" && I + 1 < Args.size())
       O.OutPath = Args[++I];
     else
@@ -567,9 +586,9 @@ int main(int argc, char **argv) {
   if (Cmd == "asm")
     return cmdAsm(Pos[1]);
   if (Cmd == "fsck")
-    return cmdFsck(Pos[1]);
+    return cmdFsck(Pos[1], O);
   if (Cmd == "salvage")
-    return Pos.size() < 3 ? usage() : cmdSalvage(Pos[1], Pos[2]);
+    return Pos.size() < 3 ? usage() : cmdSalvage(Pos[1], Pos[2], O);
   if (Cmd == "runasm")
     return cmdRunAsm(Pos[1],
                      std::vector<std::string>(Pos.begin() + 2, Pos.end()));
