@@ -103,6 +103,110 @@ void BM_InterpreterNullSink(benchmark::State &State) {
 }
 BENCHMARK(BM_InterpreterNullSink)->Arg(10000);
 
+/// Hot-path ladder, dispatch rung: the null-sink run on the portable
+/// `switch` loop instead of computed-goto threading. The delta against
+/// BM_InterpreterNullSink is what threaded dispatch buys; the streams
+/// are bit-identical either way (docs/vm-hotpath.md).
+void BM_InterpreterSwitchDispatch(benchmark::State &State) {
+  Program P = buildHotLoop();
+  std::int64_t Iters = State.range(0);
+  for (auto _ : State) {
+    profiler::NullSink Sink;
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Opts.Sink = &Sink;
+    Opts.Dispatch = DispatchMode::Switch;
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({Iters});
+    if (VM.run() != Interpreter::Status::Ok)
+      std::abort();
+    benchmark::DoNotOptimize(Sink.bytesDiscarded());
+  }
+  State.SetItemsProcessed(State.iterations() * Iters);
+}
+BENCHMARK(BM_InterpreterSwitchDispatch)->Arg(10000);
+
+/// Hot-path ladder, emission rung: the null-sink run with the per-pc
+/// site-id/callee-context inline caches disabled, forcing every event
+/// through the context-trie probe. The delta against
+/// BM_InterpreterNullSink is what the caches save.
+void BM_InterpreterNoSiteCache(benchmark::State &State) {
+  Program P = buildHotLoop();
+  std::int64_t Iters = State.range(0);
+  for (auto _ : State) {
+    profiler::NullSink Sink;
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Opts.Sink = &Sink;
+    Opts.SiteInlineCache = false;
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({Iters});
+    if (VM.run() != Interpreter::Status::Ok)
+      std::abort();
+    benchmark::DoNotOptimize(Sink.bytesDiscarded());
+  }
+  State.SetItemsProcessed(State.iterations() * Iters);
+}
+BENCHMARK(BM_InterpreterNoSiteCache)->Arg(10000);
+
+/// Hot-path ladder, allocation rung: the null-sink run with the
+/// size-class allocation fast path off (every New/NewArray takes the
+/// full slow path: budget check, fresh object, policy checks).
+void BM_InterpreterNoAllocFastPath(benchmark::State &State) {
+  Program P = buildHotLoop();
+  std::int64_t Iters = State.range(0);
+  for (auto _ : State) {
+    profiler::NullSink Sink;
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Opts.Sink = &Sink;
+    Opts.AllocFastPath = false;
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({Iters});
+    if (VM.run() != Interpreter::Status::Ok)
+      std::abort();
+    benchmark::DoNotOptimize(Sink.bytesDiscarded());
+  }
+  State.SetItemsProcessed(State.iterations() * Iters);
+}
+BENCHMARK(BM_InterpreterNoAllocFastPath)->Arg(10000);
+
+/// The allocator in isolation: rounds of short-lived allocations with a
+/// collection between rounds, so the fast path's size-class free lists
+/// actually recycle. Arg is the fast-path switch (0 = legacy
+/// delete/new, 1 = size-class recycling + slot templates).
+void BM_AllocFastPath(benchmark::State &State) {
+  ProgramBuilder PB;
+  MiniJDK J = MiniJDK::build(PB);
+  (void)J;
+  ClassBuilder Node = PB.beginClass("Node", PB.objectClass());
+  Node.addField("next", ValueKind::Ref);
+  ClassBuilder MainC = PB.beginClass("Main", PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  M.ret();
+  M.finish();
+  PB.setMain(M.id());
+  Program P = PB.finish();
+  std::string Err;
+  if (!verifyProgram(P, &Err))
+    std::abort();
+
+  Heap H(P);
+  H.setFastPathAlloc(State.range(0) != 0);
+  ClassId NodeClass = P.findClass("Node");
+  constexpr std::int64_t Round = 4096;
+  std::int64_t Allocs = 0;
+  for (auto _ : State) {
+    for (std::int64_t I = 0; I != Round; ++I)
+      benchmark::DoNotOptimize(H.allocateObject(NodeClass));
+    Allocs += Round;
+    GCStats S = H.collect(); // everything is garbage; refill free lists
+    benchmark::DoNotOptimize(S.FreedObjects);
+  }
+  State.SetItemsProcessed(Allocs);
+}
+BENCHMARK(BM_AllocFastPath)->Arg(0)->Arg(1);
+
 /// The legacy fixed-width wire format on the same null-sink run. The
 /// delta against BM_InterpreterNullSink (which encodes v3 varints) is
 /// what the compact format costs -- or saves -- on the producer side.
@@ -237,9 +341,7 @@ void BM_MarkSweepGC(benchmark::State &State) {
   class Pin : public RootSource {
   public:
     Handle Head;
-    void visitRoots(const std::function<void(Handle)> &V) override {
-      V(Head);
-    }
+    void visitRoots(HandleVisitor V) override { V(Head); }
   } Roots;
   H.addRootSource(&Roots);
   std::int64_t N = State.range(0);

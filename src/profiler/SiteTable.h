@@ -46,6 +46,8 @@ struct SiteFrame {
 /// *allocation site*); outer frames give the nesting context.
 class SiteTable {
 public:
+  SiteTable();
+
   /// Interns the innermost min(Chain.size(), MaxDepth) frames of
   /// \p Chain. An empty chain (VM-internal allocation) gets a dedicated
   /// "<vm>" site.

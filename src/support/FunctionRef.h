@@ -1,0 +1,59 @@
+//===- support/FunctionRef.h - Non-owning callable reference ----*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FunctionRef is a trivially-copyable, non-owning reference to a
+/// callable -- two words, no heap allocation, no virtual call beyond the
+/// one indirect invoke. GC root enumeration passes a visitor to every
+/// root source for every collection; std::function there costs a
+/// possible allocation per construction and defeats inlining of the
+/// trampoline, neither of which a visitor that never outlives the call
+/// needs. The referenced callable must outlive the FunctionRef (always
+/// true for a visitor passed down a call chain).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_SUPPORT_FUNCTIONREF_H
+#define JDRAG_SUPPORT_FUNCTIONREF_H
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace jdrag::support {
+
+template <typename Fn> class FunctionRef;
+
+template <typename Ret, typename... Params> class FunctionRef<Ret(Params...)> {
+  Ret (*Callback)(std::intptr_t Callable, Params... P) = nullptr;
+  std::intptr_t Callable = 0;
+
+  template <typename C>
+  static Ret callbackFn(std::intptr_t Callable, Params... P) {
+    return (*reinterpret_cast<C *>(Callable))(std::forward<Params>(P)...);
+  }
+
+public:
+  FunctionRef() = default;
+
+  template <typename C,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<C>, FunctionRef> &&
+                std::is_invocable_r_v<Ret, C &, Params...>>>
+  FunctionRef(C &&Fn)
+      : Callback(callbackFn<std::remove_reference_t<C>>),
+        Callable(reinterpret_cast<std::intptr_t>(&Fn)) {}
+
+  Ret operator()(Params... P) const {
+    return Callback(Callable, std::forward<Params>(P)...);
+  }
+
+  explicit operator bool() const { return Callback != nullptr; }
+};
+
+} // namespace jdrag::support
+
+#endif // JDRAG_SUPPORT_FUNCTIONREF_H

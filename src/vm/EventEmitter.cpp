@@ -11,16 +11,41 @@ using namespace jdrag::vm;
 EventEmitter::EventEmitter(EventSink &Sink, Config C)
     : Buf(Sink, C.ChunkBytes, C.Checksum, C.Format), C(C) {
   Nodes.push_back(Node{}); // node 0: the root (empty) context
+  Children.resize(1024);   // power of two; see growChildren()
+}
+
+void EventEmitter::growChildren() {
+  std::vector<ChildSlot> Old(Children.size() * 2);
+  Old.swap(Children);
+  std::size_t Mask = Children.size() - 1;
+  for (const ChildSlot &S : Old) {
+    if (S.Node == EmptySlot)
+      continue;
+    std::size_t I = childHash(S.Parent, S.Method, S.Pc) & Mask;
+    while (Children[I].Node != EmptySlot)
+      I = (I + 1) & Mask;
+    Children[I] = S;
+  }
 }
 
 std::uint32_t EventEmitter::child(std::uint32_t Parent, ir::MethodId Method,
                                   std::uint32_t Pc, std::uint32_t Line) {
-  ChildKey K{Parent, Method.Index, Pc};
-  auto [It, New] =
-      Children.try_emplace(K, static_cast<std::uint32_t>(Nodes.size()));
-  if (New)
-    Nodes.push_back(Node{Parent, Method, Pc, Line, InvalidSite});
-  return It->second;
+  std::size_t Mask = Children.size() - 1;
+  std::size_t I = childHash(Parent, Method.Index, Pc) & Mask;
+  for (;; I = (I + 1) & Mask) {
+    ChildSlot &S = Children[I];
+    if (S.Node == EmptySlot)
+      break;
+    if (S.Parent == Parent && S.Method == Method.Index && S.Pc == Pc)
+      return S.Node;
+  }
+  auto N = static_cast<std::uint32_t>(Nodes.size());
+  Nodes.push_back(Node{Parent, Method, Pc, Line, InvalidSite});
+  Children[I] = ChildSlot{Parent, Method.Index, Pc, N};
+  // Grow at 3/4 load so probe sequences stay short.
+  if (++ChildCount * 4 > Children.size() * 3)
+    growChildren();
+  return N;
 }
 
 std::uint32_t EventEmitter::pushContext(std::uint32_t Parent,

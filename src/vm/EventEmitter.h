@@ -24,7 +24,6 @@
 #include "profiler/EventStream.h"
 #include "vm/Events.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace jdrag::vm {
@@ -99,34 +98,39 @@ private:
     profiler::SiteId Site = profiler::InvalidSite;
   };
 
-  struct ChildKey {
-    std::uint32_t Parent;
-    std::uint32_t Method;
-    std::uint32_t Pc;
-    friend bool operator==(const ChildKey &A, const ChildKey &B) {
-      return A.Parent == B.Parent && A.Method == B.Method && A.Pc == B.Pc;
-    }
+  /// One slot of the open-addressed trie-children table: the key triple
+  /// plus the child node index (EmptySlot when unoccupied). A flat
+  /// power-of-two linear-probe table replaces the former
+  /// std::unordered_map<ChildKey, ...>: the lookup that runs on every
+  /// context push and inline-cache miss costs one mix, one probe and
+  /// (almost always) one 16-byte compare, with no bucket-list chasing.
+  struct ChildSlot {
+    std::uint32_t Parent = 0;
+    std::uint32_t Method = 0;
+    std::uint32_t Pc = 0;
+    std::uint32_t Node = EmptySlot;
   };
-  struct ChildKeyHash {
-    std::size_t operator()(const ChildKey &K) const {
-      std::uint64_t H = 0xcbf29ce484222325ULL;
-      for (std::uint64_t V : {static_cast<std::uint64_t>(K.Parent),
-                              static_cast<std::uint64_t>(K.Method),
-                              static_cast<std::uint64_t>(K.Pc)}) {
-        H ^= V;
-        H *= 0x100000001b3ULL;
-      }
-      return static_cast<std::size_t>(H);
-    }
-  };
+  static constexpr std::uint32_t EmptySlot = ~static_cast<std::uint32_t>(0);
+
+  static std::uint64_t childHash(std::uint32_t Parent, std::uint32_t Method,
+                                 std::uint32_t Pc) {
+    std::uint64_t H = (static_cast<std::uint64_t>(Parent) << 32) ^
+                      (static_cast<std::uint64_t>(Method) << 16) ^ Pc;
+    // Fibonacci-style 64-bit mix; the table masks the high-entropy bits.
+    H *= 0x9e3779b97f4a7c15ULL;
+    H ^= H >> 29;
+    return H;
+  }
 
   std::uint32_t child(std::uint32_t Parent, ir::MethodId Method,
                       std::uint32_t Pc, std::uint32_t Line);
+  void growChildren();
 
   profiler::EventBuffer Buf;
   Config C;
   std::vector<Node> Nodes;
-  std::unordered_map<ChildKey, std::uint32_t, ChildKeyHash> Children;
+  std::vector<ChildSlot> Children; ///< open-addressed, power-of-two size
+  std::size_t ChildCount = 0;
   /// Producer-side dedup: distinct trie nodes whose depth-trimmed chains
   /// coincide (e.g. truncated recursion) must share one SiteId, exactly
   /// as per-event interning used to guarantee.

@@ -26,27 +26,30 @@ const char *jdrag::vm::useKindName(UseKind K) {
   return I < NumUseKinds ? UseKindNames[I] : "?";
 }
 
-Heap::Heap(const ir::Program &P) : P(P) {}
+Heap::Heap(const ir::Program &P) : P(P) { Templates.resize(P.Classes.size()); }
 
 Heap::~Heap() {
   for (HeapObject *Obj : Table)
     delete Obj;
+  for (auto &L : FreeLists)
+    for (HeapObject *Obj : L)
+      delete Obj;
 }
 
-Handle Heap::newHandle(HeapObject *Obj) {
-  std::uint32_t Index;
-  if (!FreeHandles.empty()) {
-    Index = FreeHandles.back();
-    FreeHandles.pop_back();
-    Table[Index] = Obj;
-  } else {
-    Index = static_cast<std::uint32_t>(Table.size());
-    Table.push_back(Obj);
-  }
-  return Handle(Index);
+void Heap::buildTemplate(ir::ClassId C, const ir::ClassInfo &CI,
+                         ClassTemplate &T) {
+  // Same image the slow path produces: default (Int 0) slots overlaid
+  // with the declared kind's zero, walking the super chain.
+  T.ZeroSlots.resize(CI.NumInstanceSlots);
+  for (ir::ClassId Cur = C; Cur.isValid(); Cur = P.classOf(Cur).Super)
+    for (ir::FieldId F : P.classOf(Cur).DeclaredInstanceFields) {
+      const ir::FieldInfo &FI = P.fieldOf(F);
+      T.ZeroSlots[FI.Slot] = Value::zeroOf(FI.Kind);
+    }
+  T.Built = true;
 }
 
-Handle Heap::allocateObject(ir::ClassId C) {
+Handle Heap::allocateObjectSlow(ir::ClassId C) {
   const ir::ClassInfo &CI = P.classOf(C);
   auto *Obj = new HeapObject();
   Obj->Class = C;
@@ -66,7 +69,7 @@ Handle Heap::allocateObject(ir::ClassId C) {
   return newHandle(Obj);
 }
 
-Handle Heap::allocateArray(ir::ArrayKind K, std::uint32_t Len) {
+Handle Heap::allocateArraySlow(ir::ArrayKind K, std::uint32_t Len) {
   auto *Obj = new HeapObject();
   Obj->Class = ir::ClassId();
   Obj->IsArray = true;
@@ -304,7 +307,10 @@ void Heap::free(std::uint32_t Index) {
   HeapObject *Obj = Table[Index];
   LiveBytes -= Obj->AccountedBytes;
   --LiveObjects;
-  delete Obj;
+  if (FastPath)
+    FreeLists[sizeClassOf(Obj->Slots.size())].push_back(Obj);
+  else
+    delete Obj;
   Table[Index] = nullptr;
   FreeHandles.push_back(Index);
   if (!RememberedSet.empty())
@@ -312,7 +318,7 @@ void Heap::free(std::uint32_t Index) {
 }
 
 void Heap::forEachLiveObject(
-    const std::function<void(Handle, const HeapObject &)> &Fn) const {
+    support::FunctionRef<void(Handle, const HeapObject &)> Fn) const {
   for (std::uint32_t Index = 0, E = static_cast<std::uint32_t>(Table.size());
        Index != E; ++Index)
     if (const HeapObject *Obj = Table[Index])

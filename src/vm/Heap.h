@@ -13,19 +13,36 @@
 /// whose class has a finalizer is resurrected onto a pending queue, its
 /// finalizer runs (driven by the VM), and the next GC reclaims it.
 ///
+/// Allocation has a fast path (docs/vm-hotpath.md): reclaimed
+/// HeapObjects are recycled through size-class free lists (the tcmalloc
+/// idea: freed storage is bucketed by size so a later allocation of a
+/// similar size reuses it without touching the system allocator), and
+/// instance zeroing copies a per-class precomputed slot template instead
+/// of walking the super chain per allocation. The fast path changes no
+/// observable behavior: object ids, the byte clock, GC scheduling and
+/// the emitted event stream are bit-identical with it on or off.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JDRAG_VM_HEAP_H
 #define JDRAG_VM_HEAP_H
 
 #include "ir/Program.h"
+#include "support/FunctionRef.h"
 #include "support/Units.h"
 #include "vm/Events.h"
 #include "vm/Value.h"
 
-#include <functional>
 #include <unordered_set>
 #include <vector>
+
+/// Compile-time default for the allocation fast path (CMake option
+/// JDRAG_ALLOC_FASTPATH; the fastpath-off preset turns it off so the
+/// legacy allocator stays exercised in CI). Runs can override it either
+/// way at runtime through VMOptions::AllocFastPath.
+#ifndef JDRAG_ALLOC_FASTPATH_DEFAULT
+#define JDRAG_ALLOC_FASTPATH_DEFAULT 1
+#endif
 
 namespace jdrag::vm {
 
@@ -63,13 +80,17 @@ public:
   }
 };
 
+/// Non-owning visitor for root enumeration: constructed from any
+/// callable, two words, never allocates (see support/FunctionRef.h).
+using HandleVisitor = support::FunctionRef<void(Handle)>;
+
 /// Anything that can contribute GC roots (interpreter frames, statics,
 /// native handle scopes).
 class RootSource {
 public:
   virtual ~RootSource();
   /// Calls \p Visit for every root handle (null handles are ignored).
-  virtual void visitRoots(const std::function<void(Handle)> &Visit) = 0;
+  virtual void visitRoots(HandleVisitor Visit) = 0;
 };
 
 /// Result of one GC cycle.
@@ -110,12 +131,58 @@ public:
   /// (may be null; independent of the legacy observer).
   void setEmitter(EventEmitter *E) { Emitter = E; }
 
+  /// Enables/disables the size-class free-list + slot-template
+  /// allocation fast path. Behavior-neutral; off reproduces the legacy
+  /// new/delete allocator exactly (the differential-test baseline).
+  void setFastPathAlloc(bool On) { FastPath = On; }
+  bool fastPathAlloc() const { return FastPath; }
+
   /// Allocates an instance of \p C with zeroed fields. Never fails (the
   /// byte budget is enforced by the VM, not here). Advances the clock.
-  Handle allocateObject(ir::ClassId C);
+  Handle allocateObject(ir::ClassId C) {
+    if (FastPath)
+      return allocateObjectFast(C);
+    return allocateObjectSlow(C);
+  }
 
   /// Allocates an array of \p Len elements of kind \p K, zeroed.
-  Handle allocateArray(ir::ArrayKind K, std::uint32_t Len);
+  Handle allocateArray(ir::ArrayKind K, std::uint32_t Len) {
+    if (FastPath)
+      return allocateArrayFast(K, Len);
+    return allocateArraySlow(K, Len);
+  }
+
+  /// The fast-path instance allocation the interpreter inlines: recycled
+  /// (or fresh) HeapObject, slot zeroing by template copy, counter
+  /// bumps. Requires the fast path to be enabled.
+  Handle allocateObjectFast(ir::ClassId C) {
+    const ir::ClassInfo &CI = P.classOf(C);
+    HeapObject *Obj = recycledOrNew(CI.NumInstanceSlots);
+    Obj->Class = C;
+    Obj->IsArray = false;
+    Obj->AccountedBytes = CI.InstanceAccountedBytes;
+    Obj->Id = NextObjectId++;
+    Obj->Slots = zeroSlotsFor(C, CI);
+    AllocatedTotal += Obj->AccountedBytes;
+    LiveBytes += Obj->AccountedBytes;
+    ++LiveObjects;
+    return newHandle(Obj);
+  }
+
+  /// Fast-path array allocation (recycled storage, assign-fill).
+  Handle allocateArrayFast(ir::ArrayKind K, std::uint32_t Len) {
+    HeapObject *Obj = recycledOrNew(Len);
+    Obj->Class = ir::ClassId();
+    Obj->IsArray = true;
+    Obj->AKind = K;
+    Obj->AccountedBytes = ir::Program::arrayAccountedBytes(K, Len);
+    Obj->Id = NextObjectId++;
+    Obj->Slots.assign(Len, Value::zeroOf(ir::elementValueKind(K)));
+    AllocatedTotal += Obj->AccountedBytes;
+    LiveBytes += Obj->AccountedBytes;
+    ++LiveObjects;
+    return newHandle(Obj);
+  }
 
   /// Dereferences a handle. The handle must be live and non-null.
   HeapObject &object(Handle H) {
@@ -157,6 +224,16 @@ public:
   /// budget is exhausted. No-op unless generational mode is enabled.
   void maybeScheduledGC();
 
+  /// Bytes the program may allocate before maybeScheduledGC() could
+  /// trigger a collection (~0ull when generational mode is off). One of
+  /// the three inputs to the interpreter's allocation-slack fast path.
+  std::uint64_t scheduledGCSlack() const {
+    if (!Gen.Enabled)
+      return ~0ull;
+    std::uint64_t Used = AllocatedTotal - LastScheduledGC;
+    return Used >= Gen.NurseryBytes ? 0 : Gen.NurseryBytes - Used;
+  }
+
   /// Write barrier: the interpreter calls this when a reference is
   /// stored into \p Container; old containers join the remembered set.
   void writeBarrier(Handle Container) {
@@ -183,13 +260,79 @@ public:
 
   /// Iterates live objects (used for termination survivor reports).
   void forEachLiveObject(
-      const std::function<void(Handle, const HeapObject &)> &Fn) const;
+      support::FunctionRef<void(Handle, const HeapObject &)> Fn) const;
 
   /// Total GC cycles run (for Table 4's "GC invoked less frequently").
   std::uint64_t gcCount() const { return GCCount; }
 
 private:
-  Handle newHandle(HeapObject *Obj);
+  /// Free lists are bucketed by ceil-log2 of the slot count; class K
+  /// holds objects whose Slots held up to 2^K values when freed. A
+  /// popped object usually has enough capacity for the request; when it
+  /// does not, the slot assign grows it (correct either way -- the
+  /// buckets only raise the reuse hit rate).
+  static constexpr unsigned NumSizeClasses = 14;
+
+  static unsigned sizeClassOf(std::size_t Slots) {
+    unsigned C = 0;
+    while (C + 1 < NumSizeClasses && (std::size_t(1) << C) < Slots)
+      ++C;
+    return C;
+  }
+
+  /// Pops a recycled object of a matching size class (resetting its
+  /// profile state) or heap-allocates a fresh one.
+  HeapObject *recycledOrNew(std::size_t Slots) {
+    std::vector<HeapObject *> &L = FreeLists[sizeClassOf(Slots)];
+    if (L.empty())
+      return new HeapObject();
+    HeapObject *Obj = L.back();
+    L.pop_back();
+    Obj->InitDepth = 0;
+    Obj->BirthCtorSerial = 0;
+    Obj->MonitorCount = 0;
+    Obj->Marked = false;
+    Obj->PendingFinalize = false;
+    Obj->Finalized = false;
+    Obj->Old = false;
+    Obj->Age = 0;
+    return Obj;
+  }
+
+  /// The precomputed zeroed-slot image of class \p C (built on first
+  /// allocation of the class; replaces the per-allocation super-chain
+  /// walk with one trivially-copyable vector assign).
+  const std::vector<Value> &zeroSlotsFor(ir::ClassId C,
+                                         const ir::ClassInfo &CI) {
+    ClassTemplate &T = Templates[C.Index];
+    if (!T.Built)
+      buildTemplate(C, CI, T);
+    return T.ZeroSlots;
+  }
+
+  Handle newHandle(HeapObject *Obj) {
+    std::uint32_t Index;
+    if (!FreeHandles.empty()) {
+      Index = FreeHandles.back();
+      FreeHandles.pop_back();
+      Table[Index] = Obj;
+    } else {
+      Index = static_cast<std::uint32_t>(Table.size());
+      Table.push_back(Obj);
+    }
+    return Handle(Index);
+  }
+
+  Handle allocateObjectSlow(ir::ClassId C);
+  Handle allocateArraySlow(ir::ArrayKind K, std::uint32_t Len);
+
+  struct ClassTemplate {
+    bool Built = false;
+    std::vector<Value> ZeroSlots;
+  };
+  void buildTemplate(ir::ClassId C, const ir::ClassInfo &CI,
+                     ClassTemplate &T);
+
   void mark(Handle H, std::vector<Handle> &Stack);
   /// Like mark(), but never traverses *into* old objects (their young
   /// referents are covered by the remembered set).
@@ -209,6 +352,11 @@ private:
   /// to the handle-table size -- the worst case, since each live object
   /// enters the stack at most once.
   std::vector<Handle> MarkStack;
+  /// Size-class recycling pools (fast path only; see NumSizeClasses).
+  std::vector<HeapObject *> FreeLists[NumSizeClasses];
+  /// Per-class zeroed slot images, indexed by ClassId.
+  std::vector<ClassTemplate> Templates;
+  bool FastPath = JDRAG_ALLOC_FASTPATH_DEFAULT != 0;
   ByteTime AllocatedTotal = 0;
   std::uint64_t LiveBytes = 0;
   std::uint64_t LiveObjects = 0;

@@ -34,13 +34,22 @@ Interpreter::Interpreter(const Program &P, Heap &H, std::vector<Value> &Statics,
                          std::vector<NativeFn> Natives, VMObserver *Observer,
                          InterpreterConfig Config)
     : P(P), TheHeap(H), Statics(Statics), Natives(std::move(Natives)),
-      Observer(Observer), Config(Config) {
+      Observer(Observer), Config(Config), SiteCache(Config.SiteInlineCache) {
   TheHeap.addRootSource(this);
+  Decoded.resize(P.Methods.size());
+  // Steady-state capacities: benchmarks reach tens of frames and a
+  // handful of chain/arg slots; reserving here keeps the first deep call
+  // chain from paying a reallocation ladder inside the hot loop.
+  Frames.reserve(64);
+  ActiveCtorSerials.reserve(16);
+  ChainScratch.reserve(Config.ChainDepth);
+  ArgScratch.reserve(16);
+  CachedClock = TheHeap.clock();
 }
 
 Interpreter::~Interpreter() { TheHeap.removeRootSource(this); }
 
-void Interpreter::visitRoots(const std::function<void(Handle)> &Visit) {
+void Interpreter::visitRoots(HandleVisitor Visit) {
   for (const Frame &F : Frames) {
     for (const Value &V : F.Locals)
       if (V.Kind == ValueKind::Ref)
@@ -54,6 +63,25 @@ void Interpreter::visitRoots(const std::function<void(Handle)> &Visit) {
     Visit(H);
   Visit(PendingException);
   Visit(OOMInstance);
+}
+
+Interpreter::DecodedInsn *Interpreter::decodedCode(const MethodInfo &M) {
+  std::vector<DecodedInsn> &D = Decoded[M.Id.Index];
+  if (D.empty() && !M.Code.empty()) {
+    D.reserve(M.Code.size());
+    for (const Instruction &I : M.Code) {
+      DecodedInsn DI;
+      DI.Op = I.Op;
+      DI.Line = I.Line;
+      DI.A = I.A;
+      if (I.Op == Opcode::DConst)
+        DI.DVal = I.DVal;
+      else
+        DI.IVal = I.IVal;
+      D.push_back(DI);
+    }
+  }
+  return D.data();
 }
 
 std::span<const CallFrameRef> Interpreter::captureChain() {
@@ -76,8 +104,7 @@ std::string Interpreter::here() const {
   if (Frames.empty())
     return "<no frame>";
   const Frame &F = Frames.back();
-  std::uint32_t Line =
-      F.Pc < F.M->Code.size() ? F.M->Code[F.Pc].Line : 0;
+  std::uint32_t Line = F.Pc < F.M->Code.size() ? F.M->Code[F.Pc].Line : 0;
   return formatString("%s pc %u (line %u)",
                       P.qualifiedMethodName(F.M->Id).c_str(), F.Pc, Line);
 }
@@ -96,12 +123,21 @@ void Interpreter::fireUse(Handle H, UseKind Kind, bool CalleeIsCtor) {
        std::binary_search(ActiveCtorSerials.begin(), ActiveCtorSerials.end(),
                           Obj.BirthCtorSerial));
   if (Observer)
-    Observer->onUse(Obj.Id, Kind, captureChain(), DuringInit, TheHeap.clock());
+    Observer->onUse(Obj.Id, Kind, captureChain(), DuringInit, CachedClock);
   if (Emitter) {
-    const Frame &F = Frames.back();
-    profiler::SiteId Site =
-        Emitter->siteFor(F.Ctx, F.M->Id, F.Pc, F.M->Code[F.Pc].Line);
-    Emitter->use(Obj.Id, Kind, Site, DuringInit, TheHeap.clock());
+    Frame &F = Frames.back();
+    DecodedInsn &DI = F.Code[F.Pc];
+    profiler::SiteId Site;
+    if (SiteCache && DI.SiteCtx == F.Ctx) {
+      Site = DI.Site;
+    } else {
+      Site = Emitter->siteFor(F.Ctx, F.M->Id, F.Pc, DI.Line);
+      if (SiteCache) {
+        DI.SiteCtx = F.Ctx;
+        DI.Site = Site;
+      }
+    }
+    Emitter->use(Obj.Id, Kind, Site, DuringInit, CachedClock);
   }
 }
 
@@ -112,19 +148,45 @@ void Interpreter::fireAllocate(Handle H) {
     return;
   const HeapObject &Obj = TheHeap.object(H);
   if (Observer)
-    Observer->onAllocate(Obj.Id, H, Obj, captureChain(), TheHeap.clock());
+    Observer->onAllocate(Obj.Id, H, Obj, captureChain(), CachedClock);
   if (Emitter) {
-    const Frame &F = Frames.back();
-    profiler::SiteId Site =
-        Emitter->siteFor(F.Ctx, F.M->Id, F.Pc, F.M->Code[F.Pc].Line);
-    Emitter->alloc(Obj.Id, Obj, Site, TheHeap.clock());
+    Frame &F = Frames.back();
+    DecodedInsn &DI = F.Code[F.Pc];
+    profiler::SiteId Site;
+    if (SiteCache && DI.SiteCtx == F.Ctx) {
+      Site = DI.Site;
+    } else {
+      Site = Emitter->siteFor(F.Ctx, F.M->Id, F.Pc, DI.Line);
+      if (SiteCache) {
+        DI.SiteCtx = F.Ctx;
+        DI.Site = Site;
+      }
+    }
+    Emitter->alloc(Obj.Id, Obj, Site, CachedClock);
   }
+}
+
+void Interpreter::recomputeAllocSlack() {
+  std::uint64_t S = TheHeap.scheduledGCSlack();
+  if (Config.DeepGCIntervalBytes) {
+    std::uint64_t Used = TheHeap.clock() - LastDeepGC;
+    S = std::min(S, Config.DeepGCIntervalBytes > Used
+                        ? Config.DeepGCIntervalBytes - Used
+                        : 0);
+  }
+  if (Config.MaxLiveBytes != ~0ull) {
+    std::uint64_t Live = TheHeap.liveBytes();
+    S = std::min(S, Config.MaxLiveBytes > Live ? Config.MaxLiveBytes - Live
+                                               : 0);
+  }
+  AllocSlack = S;
 }
 
 void Interpreter::pushFrame(const MethodInfo &M, std::span<const Value> Args,
                             std::uint32_t Ctx) {
   Frame NF;
   NF.M = &M;
+  NF.Code = decodedCode(M);
   NF.Pc = 0;
   NF.Ctx = Ctx;
   NF.Locals.resize(M.numLocals());
@@ -244,562 +306,28 @@ Interpreter::Status Interpreter::call(MethodId M, std::span<const Value> Args,
 }
 
 Interpreter::Status Interpreter::execute(std::size_t Base, std::string *Err) {
-  auto Trap = [&](const std::string &Msg) {
-    TrapMessage = here() + ": " + Msg;
-    if (Err)
-      *Err = TrapMessage;
-    return Status::Trap;
-  };
-  auto Uncaught = [&]() {
-    if (Err)
-      *Err = "uncaught exception of class " +
-             P.classOf(TheHeap.object(PendingException).Class).Name;
-    return Status::UncaughtException;
-  };
-  // Returns false when the allocation budget cannot be met even after GC.
-  auto EnsureBudget = [&](std::uint64_t Bytes) {
-    if (TheHeap.liveBytes() + Bytes <= Config.MaxLiveBytes)
-      return true;
-    TheHeap.collect();
-    return TheHeap.liveBytes() + Bytes <= Config.MaxLiveBytes;
-  };
-  auto MaybeDeepGC = [&] {
-    if (Config.DeepGCIntervalBytes && !InDeepGC &&
-        TheHeap.clock() - LastDeepGC >= Config.DeepGCIntervalBytes)
-      runDeepGC();
-  };
-
-  while (Frames.size() > Base) {
-    if (Trapped)
-      return Trap("trap inside finalizer");
-    if (++Steps > Config.MaxSteps) {
-      if (Err)
-        *Err = "step limit exceeded at " + here();
-      return Status::StepLimit;
-    }
-    Frame &F = Frames.back();
-    assert(F.Pc < F.M->Code.size() && "pc out of range (verifier bug)");
-    const Instruction &I = F.M->Code[F.Pc];
-    std::vector<Value> &S = F.Stack;
-
-    switch (I.Op) {
-    case Opcode::IConst:
-      S.push_back(Value::makeInt(I.IVal));
-      ++F.Pc;
-      break;
-    case Opcode::DConst:
-      S.push_back(Value::makeDouble(I.DVal));
-      ++F.Pc;
-      break;
-    case Opcode::AConstNull:
-      S.push_back(Value::makeNull());
-      ++F.Pc;
-      break;
-    case Opcode::Nop:
-      ++F.Pc;
-      break;
-    case Opcode::Pop:
-      S.pop_back();
-      ++F.Pc;
-      break;
-    case Opcode::Dup:
-      S.push_back(S.back());
-      ++F.Pc;
-      break;
-    case Opcode::Swap:
-      std::swap(S[S.size() - 1], S[S.size() - 2]);
-      ++F.Pc;
-      break;
-
-    case Opcode::ILoad:
-    case Opcode::DLoad:
-    case Opcode::ALoad:
-      S.push_back(F.Locals[static_cast<std::uint32_t>(I.A)]);
-      ++F.Pc;
-      break;
-    case Opcode::IStore:
-    case Opcode::DStore:
-    case Opcode::AStore:
-      F.Locals[static_cast<std::uint32_t>(I.A)] = S.back();
-      S.pop_back();
-      ++F.Pc;
-      break;
-
-    case Opcode::IAdd: {
-      // Two's-complement wraparound (Java semantics); go through
-      // unsigned so overflow is defined.
-      std::int64_t B = S.back().asInt();
-      S.pop_back();
-      S.back() = Value::makeInt(static_cast<std::int64_t>(
-          static_cast<std::uint64_t>(S.back().asInt()) +
-          static_cast<std::uint64_t>(B)));
-      ++F.Pc;
-      break;
-    }
-    case Opcode::ISub: {
-      // Two's-complement wraparound (Java semantics); go through
-      // unsigned so overflow is defined.
-      std::int64_t B = S.back().asInt();
-      S.pop_back();
-      S.back() = Value::makeInt(static_cast<std::int64_t>(
-          static_cast<std::uint64_t>(S.back().asInt()) -
-          static_cast<std::uint64_t>(B)));
-      ++F.Pc;
-      break;
-    }
-    case Opcode::IMul: {
-      // Two's-complement wraparound (Java semantics); go through
-      // unsigned so overflow is defined.
-      std::int64_t B = S.back().asInt();
-      S.pop_back();
-      S.back() = Value::makeInt(static_cast<std::int64_t>(
-          static_cast<std::uint64_t>(S.back().asInt()) *
-          static_cast<std::uint64_t>(B)));
-      ++F.Pc;
-      break;
-    }
-    case Opcode::IDiv: {
-      std::int64_t B = S.back().asInt();
-      S.pop_back();
-      if (B == 0)
-        return Trap("integer division by zero");
-      // INT64_MIN / -1 overflows (and faults on x86); Java wraps it
-      // back to INT64_MIN.
-      if (B == -1)
-        S.back() = Value::makeInt(static_cast<std::int64_t>(
-            -static_cast<std::uint64_t>(S.back().asInt())));
-      else
-        S.back() = Value::makeInt(S.back().asInt() / B);
-      ++F.Pc;
-      break;
-    }
-    case Opcode::IRem: {
-      std::int64_t B = S.back().asInt();
-      S.pop_back();
-      if (B == 0)
-        return Trap("integer remainder by zero");
-      // INT64_MIN % -1 faults on x86; the result is 0 in Java.
-      S.back() = Value::makeInt(B == -1 ? 0 : S.back().asInt() % B);
-      ++F.Pc;
-      break;
-    }
-    case Opcode::INeg:
-      S.back() = Value::makeInt(static_cast<std::int64_t>(
-          -static_cast<std::uint64_t>(S.back().asInt())));
-      ++F.Pc;
-      break;
-    case Opcode::IAnd: {
-      std::int64_t B = S.back().asInt();
-      S.pop_back();
-      S.back() = Value::makeInt(S.back().asInt() & B);
-      ++F.Pc;
-      break;
-    }
-    case Opcode::IOr: {
-      std::int64_t B = S.back().asInt();
-      S.pop_back();
-      S.back() = Value::makeInt(S.back().asInt() | B);
-      ++F.Pc;
-      break;
-    }
-    case Opcode::IXor: {
-      std::int64_t B = S.back().asInt();
-      S.pop_back();
-      S.back() = Value::makeInt(S.back().asInt() ^ B);
-      ++F.Pc;
-      break;
-    }
-    case Opcode::IShl: {
-      std::int64_t B = S.back().asInt();
-      S.pop_back();
-      S.back() = Value::makeInt(static_cast<std::int64_t>(
-          static_cast<std::uint64_t>(S.back().asInt()) << (B & 63)));
-      ++F.Pc;
-      break;
-    }
-    case Opcode::IShr: {
-      std::int64_t B = S.back().asInt();
-      S.pop_back();
-      S.back() = Value::makeInt(S.back().asInt() >> (B & 63));
-      ++F.Pc;
-      break;
-    }
-
-    case Opcode::DAdd: {
-      double B = S.back().asDouble();
-      S.pop_back();
-      S.back() = Value::makeDouble(S.back().asDouble() + B);
-      ++F.Pc;
-      break;
-    }
-    case Opcode::DSub: {
-      double B = S.back().asDouble();
-      S.pop_back();
-      S.back() = Value::makeDouble(S.back().asDouble() - B);
-      ++F.Pc;
-      break;
-    }
-    case Opcode::DMul: {
-      double B = S.back().asDouble();
-      S.pop_back();
-      S.back() = Value::makeDouble(S.back().asDouble() * B);
-      ++F.Pc;
-      break;
-    }
-    case Opcode::DDiv: {
-      double B = S.back().asDouble();
-      S.pop_back();
-      S.back() = Value::makeDouble(S.back().asDouble() / B);
-      ++F.Pc;
-      break;
-    }
-    case Opcode::DNeg:
-      S.back() = Value::makeDouble(-S.back().asDouble());
-      ++F.Pc;
-      break;
-    case Opcode::DCmp: {
-      double B = S.back().asDouble();
-      S.pop_back();
-      double A = S.back().asDouble();
-      // dcmpl semantics: NaN compares as -1.
-      std::int64_t R = A > B ? 1 : (A == B ? 0 : -1);
-      S.back() = Value::makeInt(R);
-      ++F.Pc;
-      break;
-    }
-    case Opcode::I2D:
-      S.back() = Value::makeDouble(static_cast<double>(S.back().asInt()));
-      ++F.Pc;
-      break;
-    case Opcode::D2I:
-      S.back() =
-          Value::makeInt(static_cast<std::int64_t>(S.back().asDouble()));
-      ++F.Pc;
-      break;
-
-    case Opcode::Goto:
-      F.Pc = static_cast<std::uint32_t>(I.A);
-      break;
-    case Opcode::IfEqZ:
-    case Opcode::IfNeZ:
-    case Opcode::IfLtZ:
-    case Opcode::IfLeZ:
-    case Opcode::IfGtZ:
-    case Opcode::IfGeZ: {
-      std::int64_t V = S.back().asInt();
-      S.pop_back();
-      bool Taken = false;
-      switch (I.Op) {
-      case Opcode::IfEqZ: Taken = V == 0; break;
-      case Opcode::IfNeZ: Taken = V != 0; break;
-      case Opcode::IfLtZ: Taken = V < 0; break;
-      case Opcode::IfLeZ: Taken = V <= 0; break;
-      case Opcode::IfGtZ: Taken = V > 0; break;
-      case Opcode::IfGeZ: Taken = V >= 0; break;
-      default: break;
-      }
-      F.Pc = Taken ? static_cast<std::uint32_t>(I.A) : F.Pc + 1;
-      break;
-    }
-    case Opcode::IfICmpEq:
-    case Opcode::IfICmpNe:
-    case Opcode::IfICmpLt:
-    case Opcode::IfICmpLe:
-    case Opcode::IfICmpGt:
-    case Opcode::IfICmpGe: {
-      std::int64_t B = S.back().asInt();
-      S.pop_back();
-      std::int64_t A = S.back().asInt();
-      S.pop_back();
-      bool Taken = false;
-      switch (I.Op) {
-      case Opcode::IfICmpEq: Taken = A == B; break;
-      case Opcode::IfICmpNe: Taken = A != B; break;
-      case Opcode::IfICmpLt: Taken = A < B; break;
-      case Opcode::IfICmpLe: Taken = A <= B; break;
-      case Opcode::IfICmpGt: Taken = A > B; break;
-      case Opcode::IfICmpGe: Taken = A >= B; break;
-      default: break;
-      }
-      F.Pc = Taken ? static_cast<std::uint32_t>(I.A) : F.Pc + 1;
-      break;
-    }
-    case Opcode::IfNull:
-    case Opcode::IfNonNull: {
-      Handle H = S.back().asRef();
-      S.pop_back();
-      bool Taken = (I.Op == Opcode::IfNull) == H.isNull();
-      F.Pc = Taken ? static_cast<std::uint32_t>(I.A) : F.Pc + 1;
-      break;
-    }
-    case Opcode::IfACmpEq:
-    case Opcode::IfACmpNe: {
-      Handle B = S.back().asRef();
-      S.pop_back();
-      Handle A = S.back().asRef();
-      S.pop_back();
-      bool Taken = (I.Op == Opcode::IfACmpEq) == (A == B);
-      F.Pc = Taken ? static_cast<std::uint32_t>(I.A) : F.Pc + 1;
-      break;
-    }
-
-    case Opcode::New: {
-      ClassId C(static_cast<std::uint32_t>(I.A));
-      std::uint32_t Bytes = P.classOf(C).InstanceAccountedBytes;
-      if (!EnsureBudget(Bytes)) {
-        if (!raiseOOM(Base))
-          return Uncaught();
-        continue;
-      }
-      Handle H = TheHeap.allocateObject(C);
-      if (!ActiveCtorSerials.empty())
-        TheHeap.object(H).BirthCtorSerial = ActiveCtorSerials.back();
-      S.push_back(Value::makeRef(H));
-      fireAllocate(H); // chain still points at the new instruction
-      ++F.Pc;
-      MaybeDeepGC();
-      TheHeap.maybeScheduledGC(); // generational policy (plain runs)
-      continue; // F may be stale after finalizers ran
-    }
-
-    case Opcode::GetField: {
-      Handle H = S.back().asRef();
-      if (H.isNull())
-        return Trap("getfield on null");
-      HeapObject &Obj = TheHeap.object(H);
-      if (Obj.isArray())
-        return Trap("getfield on array");
-      fireUse(H, UseKind::GetField);
-      const FieldInfo &FI = P.Fields[static_cast<std::uint32_t>(I.A)];
-      S.back() = Obj.Slots[FI.Slot];
-      ++F.Pc;
-      break;
-    }
-    case Opcode::PutField: {
-      Value V = S.back();
-      S.pop_back();
-      Handle H = S.back().asRef();
-      S.pop_back();
-      if (H.isNull())
-        return Trap("putfield on null");
-      HeapObject &Obj = TheHeap.object(H);
-      if (Obj.isArray())
-        return Trap("putfield on array");
-      fireUse(H, UseKind::PutField);
-      const FieldInfo &FI = P.Fields[static_cast<std::uint32_t>(I.A)];
-      Obj.Slots[FI.Slot] = V;
-      if (V.Kind == ValueKind::Ref && !V.asRef().isNull())
-        TheHeap.writeBarrier(H); // generational remembered set
-      ++F.Pc;
-      break;
-    }
-    case Opcode::GetStatic: {
-      const FieldInfo &FI = P.Fields[static_cast<std::uint32_t>(I.A)];
-      S.push_back(Statics[FI.Slot]);
-      ++F.Pc;
-      break;
-    }
-    case Opcode::PutStatic: {
-      const FieldInfo &FI = P.Fields[static_cast<std::uint32_t>(I.A)];
-      Statics[FI.Slot] = S.back();
-      S.pop_back();
-      ++F.Pc;
-      break;
-    }
-
-    case Opcode::NewArray: {
-      std::int64_t Len = S.back().asInt();
-      S.pop_back();
-      if (Len < 0 || Len > (1ll << 31))
-        return Trap("bad array length");
-      ArrayKind K = static_cast<ArrayKind>(I.A);
-      std::uint32_t Bytes =
-          Program::arrayAccountedBytes(K, static_cast<std::uint32_t>(Len));
-      if (!EnsureBudget(Bytes)) {
-        if (!raiseOOM(Base))
-          return Uncaught();
-        continue;
-      }
-      Handle H = TheHeap.allocateArray(K, static_cast<std::uint32_t>(Len));
-      if (!ActiveCtorSerials.empty())
-        TheHeap.object(H).BirthCtorSerial = ActiveCtorSerials.back();
-      S.push_back(Value::makeRef(H));
-      fireAllocate(H);
-      ++F.Pc;
-      MaybeDeepGC();
-      TheHeap.maybeScheduledGC();
-      continue;
-    }
-    case Opcode::ArrayLength: {
-      Handle H = S.back().asRef();
-      if (H.isNull())
-        return Trap("arraylength on null");
-      HeapObject &Obj = TheHeap.object(H);
-      if (!Obj.isArray())
-        return Trap("arraylength on non-array");
-      fireUse(H, UseKind::ArrayAccess);
-      S.back() = Value::makeInt(Obj.arrayLength());
-      ++F.Pc;
-      break;
-    }
-    case Opcode::AALoad:
-    case Opcode::IALoad:
-    case Opcode::CALoad:
-    case Opcode::DALoad: {
-      std::int64_t Idx = S.back().asInt();
-      S.pop_back();
-      Handle H = S.back().asRef();
-      if (H.isNull())
-        return Trap("array load on null");
-      HeapObject &Obj = TheHeap.object(H);
-      if (!Obj.isArray())
-        return Trap("array load on non-array");
-      if (Idx < 0 || static_cast<std::uint64_t>(Idx) >= Obj.Slots.size())
-        return Trap(formatString("array index %lld out of bounds (len %u)",
-                                 static_cast<long long>(Idx),
-                                 Obj.arrayLength()));
-      fireUse(H, UseKind::ArrayAccess);
-      S.back() = Obj.Slots[static_cast<std::size_t>(Idx)];
-      ++F.Pc;
-      break;
-    }
-    case Opcode::AAStore:
-    case Opcode::IAStore:
-    case Opcode::CAStore:
-    case Opcode::DAStore: {
-      Value V = S.back();
-      S.pop_back();
-      std::int64_t Idx = S.back().asInt();
-      S.pop_back();
-      Handle H = S.back().asRef();
-      S.pop_back();
-      if (H.isNull())
-        return Trap("array store on null");
-      HeapObject &Obj = TheHeap.object(H);
-      if (!Obj.isArray())
-        return Trap("array store on non-array");
-      if (Idx < 0 || static_cast<std::uint64_t>(Idx) >= Obj.Slots.size())
-        return Trap(formatString("array index %lld out of bounds (len %u)",
-                                 static_cast<long long>(Idx),
-                                 Obj.arrayLength()));
-      fireUse(H, UseKind::ArrayAccess);
-      if (I.Op == Opcode::CAStore)
-        V = Value::makeInt(V.asInt() & 0xFFFF); // char truncation
-      Obj.Slots[static_cast<std::size_t>(Idx)] = V;
-      if (I.Op == Opcode::AAStore && !V.asRef().isNull())
-        TheHeap.writeBarrier(H);
-      ++F.Pc;
-      break;
-    }
-
-    case Opcode::InvokeStatic: {
-      const MethodInfo &Callee = P.Methods[static_cast<std::uint32_t>(I.A)];
-      std::size_t NArgs = Callee.Params.size();
-      if (Callee.IsNative) {
-        NativeFn &Fn = Natives[Callee.Native.Index];
-        if (!Fn)
-          return Trap("unbound native " + Callee.Name);
-        ArgScratch.assign(S.end() - static_cast<std::ptrdiff_t>(NArgs),
-                          S.end());
-        S.resize(S.size() - NArgs);
-        NativeContext Ctx(*this, {ArgScratch.data(), ArgScratch.size()});
-        Value R = Fn(Ctx);
-        if (Callee.Ret != ValueKind::Void) {
-          assert(R.Kind == Callee.Ret && "native returned wrong kind");
-          S.push_back(R);
-        }
-        ++F.Pc;
-        break;
-      }
-      ArgScratch.assign(S.end() - static_cast<std::ptrdiff_t>(NArgs), S.end());
-      S.resize(S.size() - NArgs);
-      std::uint32_t CalleeCtx =
-          Emitter ? Emitter->pushContext(F.Ctx, F.M->Id, F.Pc, I.Line) : 0;
-      ++F.Pc;
-      pushFrame(Callee, {ArgScratch.data(), ArgScratch.size()}, CalleeCtx);
-      continue;
-    }
-    case Opcode::InvokeVirtual:
-    case Opcode::InvokeSpecial: {
-      const MethodInfo &Callee = P.Methods[static_cast<std::uint32_t>(I.A)];
-      std::size_t Total = Callee.Params.size() + 1;
-      Handle Recv = S[S.size() - Total].asRef();
-      if (Recv.isNull())
-        return Trap("invoke on null receiver: " + Callee.Name);
-      HeapObject &RObj = TheHeap.object(Recv);
-      const MethodInfo *Target = &Callee;
-      if (I.Op == Opcode::InvokeVirtual) {
-        if (RObj.isArray())
-          return Trap("invokevirtual on array");
-        const ClassInfo &RC = P.classOf(RObj.Class);
-        assert(Callee.VTableSlot >= 0 &&
-               static_cast<std::size_t>(Callee.VTableSlot) < RC.VTable.size());
-        Target = &P.methodOf(
-            RC.VTable[static_cast<std::uint32_t>(Callee.VTableSlot)]);
-      }
-      fireUse(Recv, UseKind::Invoke, Target->IsConstructor);
-      ArgScratch.assign(S.end() - static_cast<std::ptrdiff_t>(Total), S.end());
-      S.resize(S.size() - Total);
-      std::uint32_t CalleeCtx =
-          Emitter ? Emitter->pushContext(F.Ctx, F.M->Id, F.Pc, I.Line) : 0;
-      ++F.Pc;
-      pushFrame(*Target, {ArgScratch.data(), ArgScratch.size()}, CalleeCtx);
-      continue;
-    }
-
-    case Opcode::Return: {
-      popFrame();
-      continue;
-    }
-    case Opcode::IReturn:
-    case Opcode::DReturn:
-    case Opcode::AReturn: {
-      Value V = S.back();
-      popFrame();
-      if (Frames.size() > Base)
-        Frames.back().Stack.push_back(V);
-      else
-        TopReturn = V;
-      continue;
-    }
-
-    case Opcode::Throw: {
-      Handle Ex = S.back().asRef();
-      S.pop_back();
-      if (Ex.isNull())
-        return Trap("throw null");
-      if (TheHeap.object(Ex).isArray())
-        return Trap("throw of array");
-      fireUse(Ex, UseKind::Throw);
-      if (!throwToHandler(Ex, Base))
-        return Uncaught();
-      continue;
-    }
-
-    case Opcode::MonitorEnter: {
-      Handle H = S.back().asRef();
-      S.pop_back();
-      if (H.isNull())
-        return Trap("monitorenter on null");
-      fireUse(H, UseKind::Monitor);
-      ++TheHeap.object(H).MonitorCount;
-      ++F.Pc;
-      break;
-    }
-    case Opcode::MonitorExit: {
-      Handle H = S.back().asRef();
-      S.pop_back();
-      if (H.isNull())
-        return Trap("monitorexit on null");
-      HeapObject &Obj = TheHeap.object(H);
-      if (Obj.MonitorCount == 0)
-        return Trap("monitorexit without matching enter");
-      fireUse(H, UseKind::Monitor);
-      --Obj.MonitorCount;
-      ++F.Pc;
-      break;
-    }
-    }
-  }
-  return Status::Ok;
+#if JDRAG_HAVE_COMPUTED_GOTO
+  if (Config.Dispatch == DispatchMode::Threaded)
+    return executeThreaded(Base, Err);
+#endif
+  // Threaded dispatch unavailable (or switch requested): the switch loop
+  // runs the same handler bodies with identical observable behavior.
+  return executeSwitch(Base, Err);
 }
+
+// The two dispatch expansions of the shared loop body. See
+// InterpreterLoop.inc for the discipline both follow.
+
+#define JDRAG_INTERP_NAME executeSwitch
+#define JDRAG_INTERP_THREADED 0
+#include "vm/InterpreterLoop.inc"
+#undef JDRAG_INTERP_NAME
+#undef JDRAG_INTERP_THREADED
+
+#if JDRAG_HAVE_COMPUTED_GOTO
+#define JDRAG_INTERP_NAME executeThreaded
+#define JDRAG_INTERP_THREADED 1
+#include "vm/InterpreterLoop.inc"
+#undef JDRAG_INTERP_NAME
+#undef JDRAG_INTERP_THREADED
+#endif

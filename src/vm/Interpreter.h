@@ -16,6 +16,19 @@
 /// OutOfMemoryError is thrown as a real exception, since the paper's lazy
 /// allocation transformation reasons about OOM handlers (section 3.3.3).
 ///
+/// The hot path is layered (docs/vm-hotpath.md), each layer independently
+/// switchable and bit-identical in output to the baseline:
+///  - dispatch: instructions are pre-decoded into a dense execution form
+///    and dispatched by computed goto where the compiler supports it
+///    (InterpreterConfig::Dispatch; JDRAG_THREADED_DISPATCH in CMake);
+///  - emission: per-code-index inline caches resolve (context, method,
+///    pc) -> SiteId / callee context with one compare instead of a hash
+///    lookup per event (InterpreterConfig::SiteInlineCache);
+///  - allocation: an allocation-slack budget folds the deep-GC,
+///    scheduled-GC and live-byte checks into a single decrement so the
+///    common allocation never consults the heap's policy state
+///    (Heap::setFastPathAlloc).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JDRAG_VM_INTERPRETER_H
@@ -27,7 +40,24 @@
 
 #include <string>
 
+/// Compile-time opt-in for computed-goto threaded dispatch (CMake option
+/// JDRAG_THREADED_DISPATCH). Requires the GNU labels-as-values extension;
+/// on other compilers the interpreter silently falls back to the switch
+/// loop, which executes the identical handler bodies.
+#ifndef JDRAG_THREADED_DISPATCH_OPT
+#define JDRAG_THREADED_DISPATCH_OPT 1
+#endif
+#if JDRAG_THREADED_DISPATCH_OPT && (defined(__GNUC__) || defined(__clang__))
+#define JDRAG_HAVE_COMPUTED_GOTO 1
+#else
+#define JDRAG_HAVE_COMPUTED_GOTO 0
+#endif
+
 namespace jdrag::vm {
+
+/// Interpreter main-loop strategy. Threaded requires computed-goto
+/// support; when unavailable it degrades to Switch (same semantics).
+enum class DispatchMode : std::uint8_t { Switch, Threaded };
 
 /// Interpreter configuration.
 struct InterpreterConfig {
@@ -40,6 +70,11 @@ struct InterpreterConfig {
   std::uint64_t MaxLiveBytes = ~0ull;
   /// Frames captured per allocation/use event.
   std::uint32_t ChainDepth = 8;
+  /// Main-loop dispatch strategy (see DispatchMode).
+  DispatchMode Dispatch = DispatchMode::Threaded;
+  /// Per-code-index site-id / callee-context inline caches. Off forces
+  /// every event through the trie hash lookup (differential baseline).
+  bool SiteInlineCache = true;
 };
 
 /// The bytecode interpreter. Owns the frame stack; registers itself as a
@@ -79,7 +114,7 @@ public:
   std::uint64_t steps() const { return Steps; }
   std::uint64_t deepGCCount() const { return DeepGCs; }
 
-  void visitRoots(const std::function<void(Handle)> &Visit) override;
+  void visitRoots(HandleVisitor Visit) override;
 
   /// Fires a NativeDeref use event (NativeContext::deref calls this).
   void fireNativeUse(Handle H);
@@ -88,8 +123,38 @@ public:
   const ir::Program &program() const { return P; }
 
 private:
+  /// The dense execution form instructions are pre-decoded into, one per
+  /// ir::Instruction (same pc numbering). Besides the flattened operand
+  /// fields it carries the two monomorphic inline caches:
+  ///  - (SiteCtx -> Site): the interned SiteId for an event fired at this
+  ///    code index while the frame's call context is SiteCtx;
+  ///  - (CtxParent -> CtxChild): the callee context-trie node for an
+  ///    invoke at this code index under parent context CtxParent.
+  /// A cache hit is valid by construction -- the keyed context is part of
+  /// the cache line, so a context change simply misses and refills; no
+  /// invalidation protocol exists or is needed. A hit can never skip a
+  /// DefineSite record: the site was interned (and defined in-stream) on
+  /// the fill, so cached replies are always to already-defined sites.
+  struct DecodedInsn {
+    ir::Opcode Op = ir::Opcode::Nop;
+    std::uint32_t Line = 0;
+    std::int32_t A = 0;
+    union {
+      std::int64_t IVal = 0;
+      double DVal;
+    };
+    std::uint32_t SiteCtx = ~static_cast<std::uint32_t>(0);
+    std::uint32_t Site = ~static_cast<std::uint32_t>(0); // profiler::SiteId
+    std::uint32_t CtxParent = ~static_cast<std::uint32_t>(0);
+    std::uint32_t CtxChild = 0;
+  };
+
   struct Frame {
     const ir::MethodInfo *M = nullptr;
+    /// Decoded image of M->Code (owned by Interpreter::Decoded; shared by
+    /// all activations of the method, which is what makes the per-pc
+    /// caches inline caches rather than per-frame state).
+    DecodedInsn *Code = nullptr;
     std::uint32_t Pc = 0;
     /// Call-context trie node of this activation (EventEmitter);
     /// RootContext for base frames pushed by call().
@@ -102,7 +167,20 @@ private:
   };
 
   /// Executes until the frame stack shrinks back to \p Base frames.
+  /// Dispatches to the switch or threaded loop per Config.Dispatch; both
+  /// loops share one handler body (InterpreterLoop.inc).
   Status execute(std::size_t Base, std::string *Err);
+  Status executeSwitch(std::size_t Base, std::string *Err);
+#if JDRAG_HAVE_COMPUTED_GOTO
+  Status executeThreaded(std::size_t Base, std::string *Err);
+#endif
+
+  /// Returns (decoding on first request) the dense code of \p M.
+  DecodedInsn *decodedCode(const ir::MethodInfo &M);
+
+  /// Recomputes AllocSlack from the heap's policy state. Safe at any
+  /// point where CachedClock equals the true clock.
+  void recomputeAllocSlack();
 
   /// Pushes a frame for \p M, moving \p NumArgs values off \p Caller's
   /// stack into the locals. \p Ctx is the activation's call-context trie
@@ -159,6 +237,26 @@ private:
   std::uint64_t DeepGCs = 0;
   bool InDeepGC = false;
   bool Trapped = false;
+
+  /// Lazily decoded per-method code, indexed by MethodId. Inner vectors
+  /// are filled once and never resized after, so Frame::Code pointers
+  /// into them stay valid across pushes.
+  std::vector<std::vector<DecodedInsn>> Decoded;
+  /// Mirror of TheHeap.clock(), refreshed at execute() entry and at every
+  /// allocation/GC boundary; events read it instead of paying a heap
+  /// indirection per event. The clock ONLY advances at allocation, so
+  /// between those boundaries the mirror is exact by construction.
+  ByteTime CachedClock = 0;
+  /// Bytes the next allocations may consume without ANY policy check
+  /// firing: min of deep-GC slack, scheduled-GC (nursery) slack and
+  /// live-byte budget slack. The allocation fast path tests
+  /// `Bytes < AllocSlack` and decrements; every slow-path allocation (or
+  /// any GC) recomputes it exactly. The decrement keeps the invariant
+  /// AllocSlack <= true slack, so the fast path can never overrun a GC
+  /// trigger point the baseline would have hit.
+  std::uint64_t AllocSlack = 0;
+  bool FastAlloc = false; ///< TheHeap.fastPathAlloc(), cached per execute()
+  bool SiteCache = true;  ///< Config.SiteInlineCache (hot-loop copy)
 };
 
 const char *statusName(Interpreter::Status S);

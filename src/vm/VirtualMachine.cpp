@@ -21,6 +21,7 @@ VirtualMachine::VirtualMachine(const Program &P, VMOptions Opts)
       Statics.Values[F.Slot] = Value::zeroOf(F.Kind);
   TheHeap.addRootSource(&Statics);
   TheHeap.setGenerational(Opts.Generational);
+  TheHeap.setFastPathAlloc(Opts.AllocFastPath);
   bindStandardNatives();
 }
 
@@ -105,6 +106,8 @@ Interpreter::Status VirtualMachine::run(std::string *Err) {
   IC.MaxSteps = Opts.MaxSteps;
   IC.MaxLiveBytes = Opts.MaxLiveBytes;
   IC.ChainDepth = Opts.ChainDepth;
+  IC.Dispatch = Opts.Dispatch;
+  IC.SiteInlineCache = Opts.SiteInlineCache;
   Interp = std::make_unique<Interpreter>(P, TheHeap, Statics.Values,
                                          std::move(NativeTable), Opts.Observer,
                                          IC);

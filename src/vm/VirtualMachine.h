@@ -81,6 +81,17 @@ struct VMOptions {
   /// Two-generation runtime collection policy (off by default; the
   /// profiler's deep GCs are always full collections regardless).
   GenerationalConfig Generational;
+  /// Interpreter main-loop strategy. Threaded (computed goto) where the
+  /// compiler supports it, silently degrading to Switch elsewhere. Both
+  /// produce bit-identical event streams (docs/vm-hotpath.md).
+  DispatchMode Dispatch = DispatchMode::Threaded;
+  /// Per-code-index site-id/callee-context inline caches in the
+  /// interpreter. Off forces every event through the context-trie hash
+  /// lookup; output is identical either way.
+  bool SiteInlineCache = true;
+  /// Heap allocation fast path (size-class recycling + slot templates +
+  /// the interpreter's allocation-slack check). Behavior-neutral.
+  bool AllocFastPath = JDRAG_ALLOC_FASTPATH_DEFAULT != 0;
 };
 
 /// One executable VM instance over a verified Program.
@@ -124,7 +135,7 @@ private:
   class StaticArea : public RootSource {
   public:
     std::vector<Value> Values;
-    void visitRoots(const std::function<void(Handle)> &Visit) override {
+    void visitRoots(HandleVisitor Visit) override {
       for (const Value &V : Values)
         if (V.Kind == ir::ValueKind::Ref)
           Visit(V.asRef());

@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 using namespace jdrag;
 using namespace jdrag::profiler;
 using namespace jdrag::testutil;
@@ -35,7 +37,12 @@ using namespace jdrag::testutil;
 namespace {
 
 std::string tempPath(const char *Name) {
-  return std::string("/tmp/jdrag_eventstream_") + Name;
+  // Pid-unique: ctest runs each test in its own process, possibly in
+  // parallel, and tests sharing a fixed path (e.g. the two jess
+  // replay tests via expectBitIdentical's cmp files) would clobber
+  // each other.
+  return std::string("/tmp/jdrag_eventstream_") + std::to_string(getpid()) +
+         "_" + Name;
 }
 
 std::vector<char> readFileBytes(const std::string &Path) {

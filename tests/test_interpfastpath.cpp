@@ -1,0 +1,310 @@
+//===- tests/test_interpfastpath.cpp - Hot-path bit-identity tests --------===//
+//
+// Part of jdrag test suite.
+//
+// The interpreter hot path has three independently-switchable layers
+// (docs/vm-hotpath.md): threaded vs switch dispatch, the per-pc site-id
+// inline caches, and the size-class allocation fast path. All are
+// required to be *behavior-neutral*: for every program, every
+// combination must produce byte-identical `.jdev` event streams, the
+// same outputs, the same step counts and field-identical profile logs
+// as the all-off baseline. This suite is that differential check, over
+// the nine paper workloads and over synthetic programs that poke the
+// boundaries the fast paths must not blur (finalizers, caught OOM,
+// generational scheduling, uncaught exceptions).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "profiler/DragProfiler.h"
+#include "profiler/EventStream.h"
+#include "vm/Events.h"
+#include "vm/VirtualMachine.h"
+
+#include "VMTestUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace jdrag;
+using namespace jdrag::ir;
+using namespace jdrag::vm;
+using namespace jdrag::testutil;
+
+namespace {
+
+/// One point in the hot-path configuration space.
+struct Combo {
+  DispatchMode Dispatch;
+  bool SiteCache;
+  bool FastAlloc;
+};
+
+/// The all-off corner reproduces the pre-optimization interpreter.
+constexpr Combo Baseline = {DispatchMode::Switch, false, false};
+
+const Combo AllCombos[] = {
+    {DispatchMode::Switch, false, false}, {DispatchMode::Switch, false, true},
+    {DispatchMode::Switch, true, false},  {DispatchMode::Switch, true, true},
+    {DispatchMode::Threaded, false, false},
+    {DispatchMode::Threaded, false, true},
+    {DispatchMode::Threaded, true, false},
+    {DispatchMode::Threaded, true, true},
+};
+
+std::string describe(const Combo &C) {
+  std::string S = C.Dispatch == DispatchMode::Threaded ? "threaded" : "switch";
+  S += C.SiteCache ? "+cache" : "-cache";
+  S += C.FastAlloc ? "+fastalloc" : "-fastalloc";
+  return S;
+}
+
+/// Everything observable from one recorded run.
+struct StreamRun {
+  Interpreter::Status Status = Interpreter::Status::Ok;
+  std::vector<std::byte> Bytes;
+  std::vector<std::int64_t> Outputs;
+  std::uint64_t Steps = 0;
+};
+
+StreamRun record(const Program &P, const std::vector<std::int64_t> &In,
+                 VMOptions Opts, const Combo &C) {
+  profiler::MemorySink Sink;
+  Opts.Sink = &Sink;
+  Opts.Dispatch = C.Dispatch;
+  Opts.SiteInlineCache = C.SiteCache;
+  Opts.AllocFastPath = C.FastAlloc;
+  VirtualMachine VM(P, Opts);
+  VM.setInputs(In);
+  StreamRun R;
+  R.Status = VM.run();
+  R.Bytes.assign(Sink.bytes().begin(), Sink.bytes().end());
+  R.Outputs = VM.outputs();
+  R.Steps = VM.interpreter().steps();
+  return R;
+}
+
+/// Runs every combo and asserts each matches the baseline bit for bit.
+void expectAllCombosIdentical(const Program &P,
+                              const std::vector<std::int64_t> &In,
+                              VMOptions Opts, const std::string &Label) {
+  StreamRun Ref = record(P, In, Opts, Baseline);
+  EXPECT_FALSE(Ref.Bytes.empty()) << Label;
+  for (const Combo &C : AllCombos) {
+    StreamRun R = record(P, In, Opts, C);
+    EXPECT_EQ(R.Status, Ref.Status) << Label << " " << describe(C);
+    EXPECT_EQ(R.Outputs, Ref.Outputs) << Label << " " << describe(C);
+    EXPECT_EQ(R.Steps, Ref.Steps) << Label << " " << describe(C);
+    EXPECT_TRUE(R.Bytes == Ref.Bytes)
+        << Label << " " << describe(C) << ": .jdev stream diverged ("
+        << R.Bytes.size() << " vs " << Ref.Bytes.size() << " bytes)";
+  }
+}
+
+/// Alloc/use churn with a finalizable class: every deep GC runs
+/// finalizers (nested interpreter activations) between collections, so
+/// the hoisted fast-path state must survive re-entry.
+Program buildFinalizerChurn() {
+  TestProgramBuilder T;
+  ClassBuilder C = T.PB.beginClass("Fin", T.PB.objectClass());
+  FieldId V = C.addField("v", ValueKind::Int);
+  MethodBuilder Ctor = C.beginMethod("<init>", {}, ValueKind::Void);
+  Ctor.aload(0).invokespecial(T.PB.objectCtor()).ret();
+  Ctor.finish();
+  // finalize() allocates and uses, driving events from inside the
+  // nested activation.
+  MethodBuilder Fin = C.beginMethod("finalize", {}, ValueKind::Void);
+  Fin.iconst(3).newarray(ArrayKind::Int).pop();
+  Fin.aload(0).getfield(V).pop();
+  Fin.ret();
+  Fin.finish();
+
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t N = M.newLocal(ValueKind::Int);
+  std::uint32_t I = M.newLocal(ValueKind::Int);
+  std::uint32_t O = M.newLocal(ValueKind::Ref);
+  M.iconst(0).invokestatic(T.Read).istore(N);
+  Label Loop = M.newLabel(), Done = M.newLabel();
+  M.iconst(0).istore(I);
+  M.bind(Loop);
+  M.iload(I).iload(N).ifICmpGe(Done);
+  M.new_(C.id()).dup().invokespecial(Ctor.id()).astore(O);
+  M.aload(O).iload(I).putfield(V);
+  M.iconst(40).newarray(ArrayKind::Int).pop(); // garbage to force GCs
+  M.iload(I).iconst(1).iadd().istore(I);
+  M.goto_(Loop);
+  M.bind(Done);
+  M.aload(O).getfield(V).invokestatic(T.Emit);
+  M.ret();
+  M.finish();
+  T.PB.setMain(M.id());
+  return T.finishVerified();
+}
+
+/// Grows a reachable list until OOM, catches it, emits how far it got.
+/// The live-byte budget boundary is exactly where the allocation fast
+/// path must hand over to the slow path.
+Program buildCaughtOOM() {
+  TestProgramBuilder T;
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  FieldId Keep =
+      MainC.addField("keep", ValueKind::Ref, Visibility::Public, true);
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  std::uint32_t I = M.newLocal(ValueKind::Int);
+  std::uint32_t Arr = M.newLocal(ValueKind::Ref);
+  Label TS = M.newLabel(), TE = M.newLabel(), H = M.newLabel(),
+        Done = M.newLabel();
+  M.iconst(0).istore(I);
+  M.bind(TS);
+  Label Loop = M.newLabel();
+  M.bind(Loop);
+  M.iconst(100).newarray(ArrayKind::Ref).astore(Arr);
+  M.aload(Arr).iconst(0).getstatic(Keep).aastore();
+  M.aload(Arr).putstatic(Keep);
+  M.iload(I).iconst(1).iadd().istore(I);
+  M.goto_(Loop);
+  M.bind(TE);
+  M.goto_(Done);
+  M.bind(H);
+  M.pop().iload(I).invokestatic(T.Emit);
+  M.bind(Done);
+  M.ret();
+  M.addHandler(TS, TE, H, T.PB.oomClass());
+  M.finish();
+  T.PB.setMain(M.id());
+  return T.finishVerified();
+}
+
+/// main { throw } after some allocation -- the uncaught-exit path must
+/// also leave identical streams behind.
+Program buildUncaughtThrow() {
+  TestProgramBuilder T;
+  ClassBuilder MainC = T.PB.beginClass("Main", T.PB.objectClass());
+  MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
+  M.iconst(16).newarray(ArrayKind::Int).pop();
+  M.new_(T.PB.throwableClass())
+      .dup()
+      .invokespecial(
+          T.PB.program().findDeclaredMethod(T.PB.throwableClass(), "<init>"))
+      .athrow();
+  M.finish();
+  T.PB.setMain(M.id());
+  return T.finishVerified();
+}
+
+TEST(HotPathDifferential, PaperWorkloads) {
+  for (const benchmarks::BenchmarkProgram &B : benchmarks::buildAll()) {
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    expectAllCombosIdentical(B.Prog, B.DefaultInputs, Opts, B.Name);
+  }
+}
+
+TEST(HotPathDifferential, FinalizerChurn) {
+  Program P = buildFinalizerChurn();
+  VMOptions Opts;
+  Opts.DeepGCIntervalBytes = 16 * KB; // frequent deep GCs + finalizers
+  expectAllCombosIdentical(P, {400}, Opts, "finalizer-churn");
+}
+
+TEST(HotPathDifferential, CaughtOOMAtLiveByteBudget) {
+  Program P = buildCaughtOOM();
+  VMOptions Opts;
+  Opts.MaxLiveBytes = 64 * KB;
+  expectAllCombosIdentical(P, {}, Opts, "caught-oom");
+}
+
+TEST(HotPathDifferential, GenerationalScheduledGC) {
+  Program P = buildFinalizerChurn();
+  VMOptions Opts;
+  Opts.Generational.Enabled = true;
+  Opts.Generational.NurseryBytes = 8 * KB; // frequent minor GCs
+  expectAllCombosIdentical(P, {300}, Opts, "generational-churn");
+}
+
+TEST(HotPathDifferential, UncaughtThrow) {
+  Program P = buildUncaughtThrow();
+  StreamRun Ref = record(P, {}, VMOptions(), Baseline);
+  EXPECT_EQ(Ref.Status, Interpreter::Status::UncaughtException);
+  for (const Combo &C : AllCombos) {
+    StreamRun R = record(P, {}, VMOptions(), C);
+    EXPECT_EQ(R.Status, Ref.Status) << describe(C);
+    EXPECT_EQ(R.Steps, Ref.Steps) << describe(C);
+    EXPECT_TRUE(R.Bytes == Ref.Bytes) << describe(C);
+  }
+}
+
+/// The live-profiling path (DragProfiler's dispatch sink consuming the
+/// stream as it is produced) must end in field-identical logs; the
+/// serialized form is the strongest equality available.
+TEST(HotPathDifferential, ProfileLogIdentical) {
+  Program P = buildFinalizerChurn();
+  auto LogBytesFor = [&](const Combo &C) {
+    profiler::DragProfiler Prof(P);
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 16 * KB;
+    Prof.attachTo(Opts);
+    Opts.Dispatch = C.Dispatch;
+    Opts.SiteInlineCache = C.SiteCache;
+    Opts.AllocFastPath = C.FastAlloc;
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({200});
+    EXPECT_EQ(VM.run(), Interpreter::Status::Ok);
+    std::string Path = "/tmp/jdrag_fastpath_log.bin";
+    EXPECT_TRUE(Prof.log().writeFile(Path));
+    std::ifstream In(Path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(In),
+                             std::istreambuf_iterator<char>());
+  };
+  std::vector<char> Ref = LogBytesFor(Baseline);
+  ASSERT_FALSE(Ref.empty());
+  for (const Combo &C : AllCombos)
+    EXPECT_TRUE(LogBytesFor(C) == Ref) << describe(C);
+}
+
+/// The interpreter mirrors the heap's byte clock (refreshed only at
+/// allocation and GC boundaries) instead of reloading it per event; the
+/// observer-visible timestamps must be exactly the heap-clock values
+/// the uncached interpreter reports.
+TEST(HotPathDifferential, CachedClockTimestampsExact) {
+  class TimeLog : public VMObserver {
+  public:
+    std::vector<std::uint64_t> Times;
+    void onAllocate(ObjectId, Handle, const HeapObject &,
+                    std::span<const CallFrameRef>, ByteTime Now) override {
+      Times.push_back(Now);
+    }
+    void onUse(ObjectId, UseKind, std::span<const CallFrameRef>, bool,
+               ByteTime Now) override {
+      Times.push_back(Now);
+    }
+    void onDeepGCEnd(ByteTime Now) override { Times.push_back(Now); }
+  };
+  Program P = buildFinalizerChurn();
+  auto TimesFor = [&](const Combo &C) {
+    TimeLog Obs;
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 16 * KB;
+    Opts.Observer = &Obs;
+    Opts.Dispatch = C.Dispatch;
+    Opts.SiteInlineCache = C.SiteCache;
+    Opts.AllocFastPath = C.FastAlloc;
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({300});
+    EXPECT_EQ(VM.run(), Interpreter::Status::Ok);
+    return Obs.Times;
+  };
+  std::vector<std::uint64_t> Ref = TimesFor(Baseline);
+  ASSERT_FALSE(Ref.empty());
+  for (const Combo &C : AllCombos) {
+    std::vector<std::uint64_t> T = TimesFor(C);
+    EXPECT_TRUE(T == Ref) << describe(C) << ": " << T.size() << " vs "
+                          << Ref.size() << " timestamps";
+  }
+}
+
+} // namespace

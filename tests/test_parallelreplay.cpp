@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 using namespace jdrag;
 using namespace jdrag::profiler;
 using namespace jdrag::testutil;
@@ -38,7 +40,10 @@ using namespace jdrag::testutil;
 namespace {
 
 std::string tempPath(const char *Name) {
-  return std::string("/tmp/jdrag_parreplay_") + Name;
+  // Pid-unique so parallel ctest processes cannot clobber each
+  // other's files.
+  return std::string("/tmp/jdrag_parreplay_") + std::to_string(getpid()) + "_" +
+         Name;
 }
 
 std::vector<std::byte> readBytes(const std::string &Path) {

@@ -39,6 +39,8 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 using namespace jdrag;
 using namespace jdrag::profiler;
 using namespace jdrag::testutil;
@@ -46,7 +48,10 @@ using namespace jdrag::testutil;
 namespace {
 
 std::string tempPath(const char *Name) {
-  return std::string("/tmp/jdrag_robust_") + Name;
+  // Pid-unique so parallel ctest processes cannot clobber each
+  // other's files.
+  return std::string("/tmp/jdrag_robust_") + std::to_string(getpid()) + "_" +
+         Name;
 }
 
 std::vector<std::byte> readFileBytes(const std::string &Path) {

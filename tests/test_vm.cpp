@@ -860,7 +860,7 @@ namespace {
 class PinnedRoots : public RootSource {
 public:
   std::vector<Handle> Pins;
-  void visitRoots(const std::function<void(Handle)> &Visit) override {
+  void visitRoots(HandleVisitor Visit) override {
     for (Handle H : Pins)
       Visit(H);
   }
