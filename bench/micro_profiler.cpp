@@ -319,14 +319,15 @@ void BM_InterpreterProfiledMap(benchmark::State &State) {
 }
 BENCHMARK(BM_InterpreterProfiledMap)->Arg(10000);
 
-/// GC cost against live-set size: a linked list of `n` nodes survives
-/// each collection.
-void BM_MarkSweepGC(benchmark::State &State) {
+/// Shared scaffolding for the GC benches: a program with a linked Node
+/// class, and a one-handle root pin.
+Program buildNodeGCProgram() {
   ProgramBuilder PB;
   MiniJDK J = MiniJDK::build(PB);
   (void)J;
   ClassBuilder Node = PB.beginClass("Node", PB.objectClass());
   FieldId Next = Node.addField("next", ValueKind::Ref);
+  (void)Next;
   ClassBuilder MainC = PB.beginClass("Main", PB.objectClass());
   MethodBuilder M = MainC.beginMethod("main", {}, ValueKind::Void, true);
   M.ret();
@@ -336,14 +337,24 @@ void BM_MarkSweepGC(benchmark::State &State) {
   std::string Err;
   if (!verifyProgram(P, &Err))
     std::abort();
+  return P;
+}
 
+class HeadPin : public RootSource {
+public:
+  Handle Head;
+  void visitRoots(HandleVisitor V) override { V(Head); }
+};
+
+/// GC cost against live-set size: a linked list of `n` nodes survives
+/// each collection. range(0) = list length, range(1) = span backend.
+void BM_MarkSweepGC(benchmark::State &State) {
+  Program P = buildNodeGCProgram();
   Heap H(P);
-  class Pin : public RootSource {
-  public:
-    Handle Head;
-    void visitRoots(HandleVisitor V) override { V(Head); }
-  } Roots;
+  H.setSpanBackend(State.range(1) != 0);
+  HeadPin Roots;
   H.addRootSource(&Roots);
+  FieldId Next = P.findField(P.findClass("Node"), "next");
   std::int64_t N = State.range(0);
   for (std::int64_t I = 0; I != N; ++I) {
     Handle Fresh = H.allocateObject(P.findClass("Node"));
@@ -358,7 +369,58 @@ void BM_MarkSweepGC(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * N);
   H.removeRootSource(&Roots);
 }
-BENCHMARK(BM_MarkSweepGC)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_MarkSweepGC)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
+
+/// Minor-collection cost against OLD-generation size. A promoted list
+/// of range(0) nodes sits in the old generation; each iteration churns
+/// a fixed 64 young objects and runs a minor collection. The work a
+/// minor GC does should depend on the young population only: the
+/// legacy backend's sweep walks the whole handle table (so time grows
+/// with range(0)), while the span backend sweeps just the young span
+/// set (time flat in range(0)). range(1) = span backend.
+void BM_MinorGC(benchmark::State &State) {
+  Program P = buildNodeGCProgram();
+  Heap H(P);
+  H.setSpanBackend(State.range(1) != 0);
+  GenerationalConfig G;
+  G.Enabled = true;
+  G.PromoteAge = 1;
+  G.MajorEveryNMinors = 0;
+  H.setGenerational(G);
+  HeadPin Roots;
+  H.addRootSource(&Roots);
+  ClassId Node = P.findClass("Node");
+  FieldId Next = P.findField(Node, "next");
+  std::int64_t OldN = State.range(0);
+  for (std::int64_t I = 0; I != OldN; ++I) {
+    Handle Fresh = H.allocateObject(Node);
+    H.object(Fresh).Slots[P.fieldOf(Next).Slot] = Value::makeRef(Roots.Head);
+    Roots.Head = Fresh;
+  }
+  // One minor cycle promotes the whole pinned chain (PromoteAge = 1).
+  H.collectMinor();
+  for (auto _ : State) {
+    for (int I = 0; I != 64; ++I)
+      H.allocateObject(Node); // young garbage
+    GCStats S = H.collectMinor();
+    benchmark::DoNotOptimize(S.FreedObjects);
+  }
+  State.SetItemsProcessed(State.iterations());
+  H.removeRootSource(&Roots);
+}
+BENCHMARK(BM_MinorGC)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
 
 void BM_SiteInterning(benchmark::State &State) {
   profiler::SiteTable Sites;

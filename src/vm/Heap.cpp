@@ -3,6 +3,7 @@
 #include "vm/Heap.h"
 
 #include "vm/EventEmitter.h"
+#include "vm/HeapSpans.h"
 
 #include <algorithm>
 #include <iterator>
@@ -26,14 +27,45 @@ const char *jdrag::vm::useKindName(UseKind K) {
   return I < NumUseKinds ? UseKindNames[I] : "?";
 }
 
-Heap::Heap(const ir::Program &P) : P(P) { Templates.resize(P.Classes.size()); }
+Heap::Heap(const ir::Program &P) : P(P) {
+  Templates.resize(P.Classes.size());
+  if (Spans)
+    Store = std::make_unique<SpanStore>();
+}
 
 Heap::~Heap() {
+  if (Spans)
+    return; // SpanStore owns and destroys every record
   for (HeapObject *Obj : Table)
     delete Obj;
   for (auto &L : FreeLists)
     for (HeapObject *Obj : L)
       delete Obj;
+}
+
+void Heap::setSpanBackend(bool On) {
+  assert(Table.empty() && AllocatedTotal == 0 &&
+         "backend selection must precede the first allocation");
+  if (On == Spans)
+    return;
+  Spans = On;
+  Store = On ? std::make_unique<SpanStore>() : nullptr;
+}
+
+HeapObject *Heap::spanAcquire(unsigned SizeClass) {
+  return Store->acquire(SizeClass, /*Old=*/false);
+}
+
+void Heap::rememberContainer(HeapObject &Obj) {
+  if (Spans)
+    Store->remember(Obj);
+  else
+    RememberedSet.insert(Obj.Self);
+}
+
+std::size_t Heap::rememberedSetSize() const {
+  return Spans ? static_cast<std::size_t>(Store->rememberedCount())
+               : RememberedSet.size();
 }
 
 void Heap::buildTemplate(ir::ClassId C, const ir::ClassInfo &CI,
@@ -51,12 +83,16 @@ void Heap::buildTemplate(ir::ClassId C, const ir::ClassInfo &CI,
 
 Handle Heap::allocateObjectSlow(ir::ClassId C) {
   const ir::ClassInfo &CI = P.classOf(C);
-  auto *Obj = new HeapObject();
+  // Under the span backend the record may be recycled, so the slot
+  // image is rebuilt with assign (identical to resize on a fresh
+  // record, and it scrubs any previous occupant's values).
+  HeapObject *Obj =
+      Spans ? spanAcquire(sizeClassOf(CI.NumInstanceSlots)) : new HeapObject();
   Obj->Class = C;
   Obj->IsArray = false;
   Obj->AccountedBytes = CI.InstanceAccountedBytes;
   Obj->Id = NextObjectId++;
-  Obj->Slots.resize(CI.NumInstanceSlots);
+  Obj->Slots.assign(CI.NumInstanceSlots, Value());
   // Zero fields by declared kind, walking the super chain.
   for (ir::ClassId Cur = C; Cur.isValid(); Cur = P.classOf(Cur).Super)
     for (ir::FieldId F : P.classOf(Cur).DeclaredInstanceFields) {
@@ -70,7 +106,7 @@ Handle Heap::allocateObjectSlow(ir::ClassId C) {
 }
 
 Handle Heap::allocateArraySlow(ir::ArrayKind K, std::uint32_t Len) {
-  auto *Obj = new HeapObject();
+  HeapObject *Obj = Spans ? spanAcquire(sizeClassOf(Len)) : new HeapObject();
   Obj->Class = ir::ClassId();
   Obj->IsArray = true;
   Obj->AKind = K;
@@ -95,6 +131,8 @@ void Heap::mark(Handle H, std::vector<Handle> &Stack) {
   if (Obj.Marked)
     return;
   Obj.Marked = true;
+  if (Obj.Owner)
+    SpanStore::setMark(Obj); // mirror into the span bitmap for the sweep
   Stack.push_back(H);
 }
 
@@ -135,38 +173,18 @@ GCStats Heap::collect() {
   // reachable totals are NOT re-accumulated object by object: every
   // survivor stays in LiveObjects/LiveBytes (maintained at allocate and
   // free), so the sweep's per-object bookkeeping reduces to clearing
-  // the mark bit.
-  for (std::uint32_t Index = 0, E = static_cast<std::uint32_t>(Table.size());
-       Index != E; ++Index) {
-    HeapObject *Obj = Table[Index];
-    if (!Obj)
-      continue;
-    if (Obj->Marked) {
-      Obj->Marked = false;
-      continue;
-    }
-    bool HasFinalizer = !Obj->isArray() &&
-                        P.classOf(Obj->Class).Finalizer.isValid() &&
-                        !Obj->Finalized;
-    if (HasFinalizer && !Obj->PendingFinalize) {
-      // Survives this cycle.
-      Obj->PendingFinalize = true;
-      PendingQueue.push_back(Handle(Index));
-      ++Stats.NewlyFinalizable;
-      continue;
-    }
-    if (Obj->PendingFinalize && !Obj->Finalized)
-      continue; // still waiting for its finalizer to run; keep it
-    ++Stats.FreedObjects;
-    Stats.FreedBytes += Obj->AccountedBytes;
-    if (Observer)
-      Observer->onCollect(Obj->Id, *Obj, AllocatedTotal);
-    if (Emitter)
-      Emitter->collect(Obj->Id, AllocatedTotal);
-    free(Index);
-  }
+  // the mark bit. Both backends funnel dead candidates through
+  // reclaimOrResurrect in ascending handle-index order (the observable
+  // contract; docs/heap.md).
+  if (Spans)
+    sweepSpans(Stats, /*Minor=*/false);
+  else
+    sweepTable(Stats, /*Minor=*/false);
   Stats.ReachableObjects = LiveObjects;
   Stats.ReachableBytes = LiveBytes;
+
+  if (!Spans)
+    shrinkRememberedSet();
 
   if (Observer)
     Observer->onGCEnd(AllocatedTotal, Stats.ReachableBytes,
@@ -177,6 +195,114 @@ GCStats Heap::collect() {
   return Stats;
 }
 
+void Heap::reclaimOrResurrect(std::uint32_t Index, GCStats &Stats) {
+  HeapObject *Obj = Table[Index];
+  bool HasFinalizer = !Obj->isArray() &&
+                      P.classOf(Obj->Class).Finalizer.isValid() &&
+                      !Obj->Finalized;
+  if (HasFinalizer && !Obj->PendingFinalize) {
+    // Survives this cycle.
+    Obj->PendingFinalize = true;
+    PendingQueue.push_back(Handle(Index));
+    ++Stats.NewlyFinalizable;
+    return;
+  }
+  if (Obj->PendingFinalize && !Obj->Finalized)
+    return; // still waiting for its finalizer to run; keep it
+  ++Stats.FreedObjects;
+  Stats.FreedBytes += Obj->AccountedBytes;
+  if (Observer)
+    Observer->onCollect(Obj->Id, *Obj, AllocatedTotal);
+  if (Emitter)
+    Emitter->collect(Obj->Id, AllocatedTotal);
+  free(Index);
+}
+
+void Heap::sweepTable(GCStats &Stats, bool Minor) {
+  for (std::uint32_t Index = 0, E = static_cast<std::uint32_t>(Table.size());
+       Index != E; ++Index) {
+    HeapObject *Obj = Table[Index];
+    if (!Obj || (Minor && Obj->Old))
+      continue;
+    if (Obj->Marked) {
+      Obj->Marked = false;
+      if (Minor && ++Obj->Age >= Gen.PromoteAge)
+        Obj->Old = true;
+      continue;
+    }
+    reclaimOrResurrect(Index, Stats);
+  }
+}
+
+void Heap::sweepSpans(GCStats &Stats, bool Minor) {
+  // Pass 1: scan span bitmaps. Survivors are handled in place (clear
+  // the mark; on a minor cycle age and, past PromoteAge, move to an old
+  // span). Dead candidates are only GATHERED here -- running the
+  // reclaim protocol in span order would reorder observer events,
+  // finalizer queueing and handle reuse relative to the legacy table
+  // sweep. Promotion appends to the old span set, which this pass never
+  // iterates on a minor cycle (and a major cycle never promotes), so
+  // the sets are stable under iteration.
+  DeadScratch.clear();
+  auto SweepSet = [&](const std::vector<HeapSpan *> &Set) {
+    for (HeapSpan *S : Set) {
+      for (std::size_t W = 0; W != HeapSpan::BitmapWords; ++W) {
+        std::uint64_t Alloc = S->AllocBits[W];
+        std::uint64_t MarkedBits = S->MarkBits[W] & Alloc;
+        S->MarkBits[W] = 0;
+        if (!Alloc)
+          continue;
+        std::uint64_t Dead = Alloc & ~MarkedBits;
+        while (MarkedBits) {
+          std::uint32_t Slot = static_cast<std::uint32_t>(
+              W * 64 + std::countr_zero(MarkedBits));
+          MarkedBits &= MarkedBits - 1;
+          HeapObject &Obj = S->Records[Slot];
+          Obj.Marked = false;
+          if (Minor && ++Obj.Age >= Gen.PromoteAge) {
+            Obj.Old = true;
+            HeapObject *Moved = Store->promote(Obj);
+            Table[Moved->Self] = Moved;
+          }
+        }
+        while (Dead) {
+          std::uint32_t Slot =
+              static_cast<std::uint32_t>(W * 64 + std::countr_zero(Dead));
+          Dead &= Dead - 1;
+          DeadScratch.push_back(S->Records[Slot].Self);
+        }
+      }
+    }
+  };
+  SweepSet(Store->youngSpans());
+  if (!Minor)
+    SweepSet(Store->oldSpans());
+
+  // Pass 2: restore the handle table's ordering authority, then run the
+  // exact legacy per-candidate protocol.
+  std::sort(DeadScratch.begin(), DeadScratch.end());
+  for (std::uint32_t Index : DeadScratch)
+    reclaimOrResurrect(Index, Stats);
+
+  // Park fully-empty spans for reuse: keeps future sweeps and card
+  // scans proportional to occupied spans (the span analog of the
+  // legacy remembered-set storage shrink).
+  Store->parkEmptySpans(/*IncludeOld=*/!Minor);
+}
+
+void Heap::shrinkRememberedSet() {
+  // free() erases entries one at a time but unordered_set never gives
+  // buckets back, so a transient spike of old containers would pin the
+  // peak bucket array forever. After a major collection (which empties
+  // or thins the set) rebuild-and-swap when the buckets dwarf the
+  // survivors; rehash(0) is not required to shrink, a fresh set is.
+  if (RememberedSet.bucket_count() > 64 &&
+      RememberedSet.bucket_count() > 4 * (RememberedSet.size() + 1))
+    std::unordered_set<std::uint32_t>(RememberedSet.begin(),
+                                      RememberedSet.end())
+        .swap(RememberedSet);
+}
+
 void Heap::markYoung(Handle H, std::vector<Handle> &Stack) {
   if (H.isNull() || !isLive(H))
     return;
@@ -184,6 +310,8 @@ void Heap::markYoung(Handle H, std::vector<Handle> &Stack) {
   if (Obj.Marked || Obj.Old)
     return; // old objects are covered by the remembered set
   Obj.Marked = true;
+  if (Obj.Owner)
+    SpanStore::setMark(Obj); // mirror into the span bitmap for the sweep
   Stack.push_back(H);
 }
 
@@ -204,19 +332,39 @@ GCStats Heap::collectMinor() {
     S->visitRoots(Visit);
   for (Handle H : PendingQueue)
     markYoung(H, Stack);
-  for (std::uint32_t Index : RememberedSet) {
-    if (!Table[Index])
-      continue;
-    const HeapObject &Old = *Table[Index];
+  // Remembered-set scan. Iteration order differs between the backends
+  // (hash order vs card order) but cannot be observed: marking is an
+  // order-insensitive fixed point and only the sweep emits events.
+  auto ScanRemembered = [&](const HeapObject &Old) {
     if (Old.isArray()) {
       if (Old.AKind == ir::ArrayKind::Ref)
         for (const Value &V : Old.Slots)
           markYoung(V.asRef(), Stack);
-      continue;
+      return;
     }
     for (const Value &V : Old.Slots)
       if (V.Kind == ir::ValueKind::Ref)
         markYoung(V.asRef(), Stack);
+  };
+  if (Spans) {
+    // Card bits are cleared on free, so every set bit is a live old
+    // container -- no dead-entry skip needed.
+    for (const HeapSpan *S : Store->oldSpans())
+      for (std::size_t W = 0; W != HeapSpan::BitmapWords; ++W) {
+        std::uint64_t Cards = S->CardBits[W] & S->AllocBits[W];
+        while (Cards) {
+          std::uint32_t Slot =
+              static_cast<std::uint32_t>(W * 64 + std::countr_zero(Cards));
+          Cards &= Cards - 1;
+          ScanRemembered(S->Records[Slot]);
+        }
+      }
+  } else {
+    for (std::uint32_t Index : RememberedSet) {
+      if (!Table[Index])
+        continue;
+      ScanRemembered(*Table[Index]);
+    }
   }
 
   while (!Stack.empty()) {
@@ -236,37 +384,14 @@ GCStats Heap::collectMinor() {
 
   // Sweep the nursery; age and promote survivors. Like collect(), the
   // reachable totals come from the maintained LiveObjects/LiveBytes
-  // counters after the frees, not from per-object accumulation.
-  for (std::uint32_t Index = 0, E = static_cast<std::uint32_t>(Table.size());
-       Index != E; ++Index) {
-    HeapObject *Obj = Table[Index];
-    if (!Obj || Obj->Old)
-      continue;
-    if (Obj->Marked) {
-      Obj->Marked = false;
-      if (++Obj->Age >= Gen.PromoteAge)
-        Obj->Old = true;
-      continue;
-    }
-    bool HasFinalizer = !Obj->isArray() &&
-                        P.classOf(Obj->Class).Finalizer.isValid() &&
-                        !Obj->Finalized;
-    if (HasFinalizer && !Obj->PendingFinalize) {
-      Obj->PendingFinalize = true;
-      PendingQueue.push_back(Handle(Index));
-      ++Stats.NewlyFinalizable;
-      continue;
-    }
-    if (Obj->PendingFinalize && !Obj->Finalized)
-      continue;
-    ++Stats.FreedObjects;
-    Stats.FreedBytes += Obj->AccountedBytes;
-    if (Observer)
-      Observer->onCollect(Obj->Id, *Obj, AllocatedTotal);
-    if (Emitter)
-      Emitter->collect(Obj->Id, AllocatedTotal);
-    free(Index);
-  }
+  // counters after the frees, not from per-object accumulation. The
+  // span sweep touches only young spans -- this is the point of the
+  // generation-segregated span sets (the legacy walk visits the whole
+  // handle table no matter how small the nursery is).
+  if (Spans)
+    sweepSpans(Stats, /*Minor=*/true);
+  else
+    sweepTable(Stats, /*Minor=*/true);
   Stats.ReachableObjects = LiveObjects;
   Stats.ReachableBytes = LiveBytes;
 
@@ -307,14 +432,39 @@ void Heap::free(std::uint32_t Index) {
   HeapObject *Obj = Table[Index];
   LiveBytes -= Obj->AccountedBytes;
   --LiveObjects;
-  if (FastPath)
+  if (Spans) {
+    // Returns the record (and its card/mark bits) to its span; the
+    // record stays constructed so its Slots capacity is recycled.
+    Store->release(*Obj);
+  } else if (FastPath) {
     FreeLists[sizeClassOf(Obj->Slots.size())].push_back(Obj);
-  else
+  } else {
     delete Obj;
+  }
   Table[Index] = nullptr;
   FreeHandles.push_back(Index);
-  if (!RememberedSet.empty())
+  if (!Spans && !RememberedSet.empty())
     RememberedSet.erase(Index);
+}
+
+HeapOccupancy Heap::occupancy() const {
+  HeapOccupancy O;
+  O.HandleSlots = Table.size();
+  O.FreeHandleSlots = FreeHandles.size();
+  if (Spans) {
+    Store->fillOccupancy(O);
+    return O;
+  }
+  O.RememberedEntries = RememberedSet.size();
+  O.RememberedCapacity = RememberedSet.bucket_count();
+  for (unsigned C = 0; C != NumSizeClasses; ++C)
+    if (!FreeLists[C].empty()) {
+      HeapOccupancyRow R;
+      R.SizeClass = C;
+      R.FreeRecords = FreeLists[C].size();
+      O.Rows.push_back(R);
+    }
+  return O;
 }
 
 void Heap::forEachLiveObject(

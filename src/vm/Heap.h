@@ -22,6 +22,17 @@
 /// observable behavior: object ids, the byte clock, GC scheduling and
 /// the emitted event stream are bit-identical with it on or off.
 ///
+/// Object storage itself is pluggable (docs/heap.md). The default page-
+/// span backend carves fixed-size page runs from a growable arena; each
+/// span holds HeapObject records of one size class under per-span
+/// allocation/mark bitmaps, young and old generations live in disjoint
+/// span sets (so a minor sweep touches only young spans), and the
+/// remembered set is a card-style bitmap over old spans. The legacy
+/// new/delete-per-object backend is retained as the differential
+/// baseline; both produce bit-identical observable behavior because the
+/// handle table stays the sweep-ordering authority (spans only
+/// accelerate storage and dead-object discovery).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JDRAG_VM_HEAP_H
@@ -33,6 +44,8 @@
 #include "vm/Events.h"
 #include "vm/Value.h"
 
+#include <bit>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -44,13 +57,25 @@
 #define JDRAG_ALLOC_FASTPATH_DEFAULT 1
 #endif
 
+/// Compile-time default for the page-span heap backend (CMake option
+/// JDRAG_HEAP_SPANS; the heap-spans-off preset turns it off so the
+/// legacy flat backend stays exercised in CI). Runs can override it
+/// either way at runtime through VMOptions::HeapSpans.
+#ifndef JDRAG_HEAP_SPANS_DEFAULT
+#define JDRAG_HEAP_SPANS_DEFAULT 1
+#endif
+
 namespace jdrag::vm {
 
 class EventEmitter;
+struct HeapSpan;
+class SpanStore;
 
 /// A heap object: a plain instance (Slots = fields) or an array
-/// (Slots = elements). Stored behind a handle; GC never moves the C++
-/// storage, only recycles handles.
+/// (Slots = elements). Stored behind a handle. Under the legacy backend
+/// the C++ storage never moves; under the span backend promotion moves
+/// the record from a young to an old span, with the handle table
+/// absorbing the move (handles never change).
 class HeapObject {
 public:
   ir::ClassId Class;          ///< instance class; invalid for arrays
@@ -73,10 +98,34 @@ public:
   bool Old = false;              ///< promoted to the old generation
   std::uint8_t Age = 0;          ///< minor collections survived
   std::vector<Value> Slots;
+  /// Span-backend back references (null/0 under the legacy backend):
+  /// the owning span and the record's slot index within it.
+  HeapSpan *Owner = nullptr;
+  std::uint32_t SpanSlot = 0;
+  /// This object's own handle-table index. The handle table is the
+  /// sweep-ordering authority; span sweeps gather dead candidates by
+  /// bitmap and then process them in ascending Self order so observer
+  /// events, finalizer queueing and handle recycling stay bit-identical
+  /// with the legacy table walk.
+  std::uint32_t Self = 0;
 
   bool isArray() const { return IsArray; }
   std::uint32_t arrayLength() const {
     return static_cast<std::uint32_t>(Slots.size());
+  }
+
+  /// Resets the per-lifetime profile/GC state a recycled record must not
+  /// carry over from its previous occupant (shared by the legacy
+  /// free-list recycler and the span allocator).
+  void resetProfileState() {
+    InitDepth = 0;
+    BirthCtorSerial = 0;
+    MonitorCount = 0;
+    Marked = false;
+    PendingFinalize = false;
+    Finalized = false;
+    Old = false;
+    Age = 0;
   }
 };
 
@@ -101,6 +150,39 @@ struct GCStats {
   std::uint64_t ReachableBytes = 0;
   std::uint64_t NewlyFinalizable = 0;
   bool Minor = false; ///< nursery-only collection
+};
+
+/// One row of the --heap-stats occupancy dump: object-record usage for
+/// a (generation, size class) pair, aggregated across that pair's spans
+/// under the span backend, or one legacy free list (Spans = 0).
+struct HeapOccupancyRow {
+  unsigned SizeClass = 0;
+  bool Old = false;
+  std::size_t Spans = 0;       ///< spans of this (gen, class); 0 = legacy
+  std::size_t LiveRecords = 0; ///< allocated object records
+  std::size_t FreeRecords = 0; ///< recyclable records (span slots or list)
+};
+
+/// Snapshot of backend occupancy for debugging/regression reports
+/// (jdrag run --heap-stats). Purely informational; never consulted by
+/// allocation or collection.
+struct HeapOccupancy {
+  bool SpanBackend = false;
+  std::size_t HandleSlots = 0;      ///< handle-table size
+  std::size_t FreeHandleSlots = 0;  ///< recyclable handle indices
+  std::size_t YoungSpans = 0;       ///< spans in the young set
+  std::size_t OldSpans = 0;         ///< spans in the old set
+  std::size_t PooledSpans = 0;      ///< empty spans parked for reuse
+  std::size_t RecordsPerSpan = 0;   ///< object records per span
+  std::size_t SpanBytes = 0;        ///< bytes per span
+  /// Remembered-set occupancy: entries is live old-container count
+  /// (legacy: set size; spans: set card bits), capacity is the storage
+  /// the entries sit in (legacy: bucket count; spans: card-bit slots
+  /// across old spans). The post-major-collect shrink policy keeps
+  /// capacity from staying pinned at a transient peak.
+  std::size_t RememberedEntries = 0;
+  std::size_t RememberedCapacity = 0;
+  std::vector<HeapOccupancyRow> Rows;
 };
 
 /// Two-generation collection policy (paper section 4.2 runs the revised
@@ -136,6 +218,28 @@ public:
   /// new/delete allocator exactly (the differential-test baseline).
   void setFastPathAlloc(bool On) { FastPath = On; }
   bool fastPathAlloc() const { return FastPath; }
+
+  /// Selects the object-storage backend: page spans (on) or the legacy
+  /// flat new-per-object allocator (off). Behavior-neutral by the
+  /// sweep-ordering invariant (docs/heap.md); must be called before the
+  /// first allocation.
+  void setSpanBackend(bool On);
+  bool spanBackend() const { return Spans; }
+
+  /// Size classes bucket object records by ceil-log2 of the slot count:
+  /// class K holds records whose Slots held up to 2^K values. Class 0
+  /// covers 0..1 slots; the top class is open-ended. Shared by the
+  /// legacy free lists and the span backend (a span holds records of
+  /// one class, so recycling a record reuses right-sized Slots
+  /// capacity). Bit-scan form of the old linear search: for Slots >= 2,
+  /// ceil(log2(Slots)) == bit_width(Slots - 1).
+  static constexpr unsigned NumSizeClasses = 14;
+  static unsigned sizeClassOf(std::size_t Slots) {
+    if (Slots <= 1)
+      return 0;
+    unsigned C = static_cast<unsigned>(std::bit_width(Slots - 1));
+    return C < NumSizeClasses ? C : NumSizeClasses - 1;
+  }
 
   /// Allocates an instance of \p C with zeroed fields. Never fails (the
   /// byte budget is enforced by the VM, not here). Advances the clock.
@@ -234,15 +338,34 @@ public:
     return Used >= Gen.NurseryBytes ? 0 : Gen.NurseryBytes - Used;
   }
 
+  /// The heap's total contribution to the interpreter's AllocSlack gate
+  /// (the strict-< boundary discipline: the inline fast path takes only
+  /// allocations with Bytes < AllocSlack; equality and beyond go
+  /// through the slow path, docs/vm-hotpath.md). Today this is exactly
+  /// the scheduled-GC slack: span-remaining capacity folds in as
+  /// "infinite" because carving or refilling a span inside
+  /// allocateObjectFast/allocateArrayFast is policy-free -- no GC,
+  /// finalizer or OOM check can fire there, so the span backend adds no
+  /// boundary the gate must stop at. A future backend whose refill DOES
+  /// carry policy (e.g. a page-budget check) must min() its remaining
+  /// bytes here rather than teaching the interpreter a new input.
+  std::uint64_t allocationSlack() const { return scheduledGCSlack(); }
+
   /// Write barrier: the interpreter calls this when a reference is
-  /// stored into \p Container; old containers join the remembered set.
+  /// stored into \p Container; old containers join the remembered set
+  /// (legacy: unordered_set of handle indices; spans: a card bit on the
+  /// container's record in its old span).
   void writeBarrier(Handle Container) {
     if (Gen.Enabled && isLive(Container) && object(Container).Old)
-      RememberedSet.insert(Container.Index);
+      rememberContainer(object(Container));
   }
 
   std::uint64_t minorGCCount() const { return MinorGCCount; }
-  std::size_t rememberedSetSize() const { return RememberedSet.size(); }
+  std::size_t rememberedSetSize() const;
+
+  /// Snapshot of span/free-list/remembered-set occupancy for the
+  /// jdrag run --heap-stats debug dump.
+  HeapOccupancy occupancy() const;
 
   /// Objects awaiting finalization (the VM runs their finalize methods,
   /// then clears the queue entries via finishFinalization).
@@ -266,38 +389,33 @@ public:
   std::uint64_t gcCount() const { return GCCount; }
 
 private:
-  /// Free lists are bucketed by ceil-log2 of the slot count; class K
-  /// holds objects whose Slots held up to 2^K values when freed. A
-  /// popped object usually has enough capacity for the request; when it
-  /// does not, the slot assign grows it (correct either way -- the
-  /// buckets only raise the reuse hit rate).
-  static constexpr unsigned NumSizeClasses = 14;
-
-  static unsigned sizeClassOf(std::size_t Slots) {
-    unsigned C = 0;
-    while (C + 1 < NumSizeClasses && (std::size_t(1) << C) < Slots)
-      ++C;
-    return C;
-  }
-
-  /// Pops a recycled object of a matching size class (resetting its
-  /// profile state) or heap-allocates a fresh one.
+  /// Returns a reset object record for a \p Slots-slot allocation: a
+  /// young-span record under the span backend, otherwise a legacy
+  /// free-list pop (the popped record usually has enough Slots capacity
+  /// for the request; when it does not, the slot assign grows it --
+  /// correct either way, the buckets only raise the reuse hit rate) or
+  /// a fresh heap allocation.
   HeapObject *recycledOrNew(std::size_t Slots) {
+    if (Spans)
+      return spanAcquire(sizeClassOf(Slots));
     std::vector<HeapObject *> &L = FreeLists[sizeClassOf(Slots)];
     if (L.empty())
       return new HeapObject();
     HeapObject *Obj = L.back();
     L.pop_back();
-    Obj->InitDepth = 0;
-    Obj->BirthCtorSerial = 0;
-    Obj->MonitorCount = 0;
-    Obj->Marked = false;
-    Obj->PendingFinalize = false;
-    Obj->Finalized = false;
-    Obj->Old = false;
-    Obj->Age = 0;
+    Obj->resetProfileState();
     return Obj;
   }
+
+  /// Acquires a reset record from a young span of \p SizeClass
+  /// (out-of-line: needs the SpanStore definition). Policy-free: never
+  /// triggers GC, finalization or OOM, which is what keeps the
+  /// interpreter's AllocSlack gate ignorant of span boundaries.
+  HeapObject *spanAcquire(unsigned SizeClass);
+
+  /// Backend-dispatched write-barrier tail (container already known to
+  /// be live and old).
+  void rememberContainer(HeapObject &Obj);
 
   /// The precomputed zeroed-slot image of class \p C (built on first
   /// allocation of the class; replaces the per-allocation super-chain
@@ -320,6 +438,7 @@ private:
       Index = static_cast<std::uint32_t>(Table.size());
       Table.push_back(Obj);
     }
+    Obj->Self = Index;
     return Handle(Index);
   }
 
@@ -339,6 +458,30 @@ private:
   void markYoung(Handle H, std::vector<Handle> &Stack);
   void free(std::uint32_t Index);
 
+  /// The shared dead-candidate protocol every sweep variant funnels
+  /// through, verbatim from the original table sweep: resurrect onto
+  /// the pending-finalization queue, keep if awaiting a finalizer, else
+  /// emit collect events and free. Callers must invoke it in ascending
+  /// handle-index order -- that ordering IS the observable contract.
+  void reclaimOrResurrect(std::uint32_t Index, GCStats &Stats);
+
+  /// Span-backend sweep: scans the young span set (plus the old set for
+  /// a major collection) by bitmap, clears mark bits, ages/promotes
+  /// survivors on a minor cycle, gathers dead candidates into
+  /// DeadScratch, sorts them ascending and runs reclaimOrResurrect on
+  /// each. Finishes by parking fully-empty spans in the per-class pool
+  /// (the card bitmap's analog of the legacy remembered-set shrink).
+  void sweepSpans(GCStats &Stats, bool Minor);
+
+  /// Legacy-backend sweep: the original handle-table walk.
+  void sweepTable(GCStats &Stats, bool Minor);
+
+  /// Post-major-collect remembered-set storage release (legacy backend):
+  /// erase() never shrinks an unordered_set's bucket array, so a
+  /// transient old-container spike would pin its peak bucket count
+  /// forever; rebuild-and-swap when the buckets dwarf the survivors.
+  void shrinkRememberedSet();
+
   const ir::Program &P;
   VMObserver *Observer = nullptr;
   EventEmitter *Emitter = nullptr;
@@ -352,11 +495,18 @@ private:
   /// to the handle-table size -- the worst case, since each live object
   /// enters the stack at most once.
   std::vector<Handle> MarkStack;
-  /// Size-class recycling pools (fast path only; see NumSizeClasses).
+  /// Size-class recycling pools (legacy backend, fast path only).
   std::vector<HeapObject *> FreeLists[NumSizeClasses];
   /// Per-class zeroed slot images, indexed by ClassId.
   std::vector<ClassTemplate> Templates;
+  /// Span-backend storage (arena, span sets, free vectors, cards);
+  /// null when the legacy backend is active.
+  std::unique_ptr<SpanStore> Store;
+  /// Scratch for sweepSpans' gather-sort-reclaim pass; persistent so a
+  /// GC-heavy phase does not reallocate it every cycle.
+  std::vector<std::uint32_t> DeadScratch;
   bool FastPath = JDRAG_ALLOC_FASTPATH_DEFAULT != 0;
+  bool Spans = JDRAG_HEAP_SPANS_DEFAULT != 0;
   ByteTime AllocatedTotal = 0;
   std::uint64_t LiveBytes = 0;
   std::uint64_t LiveObjects = 0;

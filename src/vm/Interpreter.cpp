@@ -167,7 +167,12 @@ void Interpreter::fireAllocate(Handle H) {
 }
 
 void Interpreter::recomputeAllocSlack() {
-  std::uint64_t S = TheHeap.scheduledGCSlack();
+  // The heap folds every backend-side boundary into allocationSlack()
+  // (today: the scheduled-GC budget; span-refill is policy-free and
+  // contributes nothing -- see Heap::allocationSlack). The two
+  // interpreter-side budgets below min() in on top; the strict-<
+  // fast-path gate then stops at whichever boundary is nearest.
+  std::uint64_t S = TheHeap.allocationSlack();
   if (Config.DeepGCIntervalBytes) {
     std::uint64_t Used = TheHeap.clock() - LastDeepGC;
     S = std::min(S, Config.DeepGCIntervalBytes > Used

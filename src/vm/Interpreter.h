@@ -178,8 +178,11 @@ private:
   /// Returns (decoding on first request) the dense code of \p M.
   DecodedInsn *decodedCode(const ir::MethodInfo &M);
 
-  /// Recomputes AllocSlack from the heap's policy state. Safe at any
-  /// point where CachedClock equals the true clock.
+  /// Recomputes AllocSlack from the heap's policy state
+  /// (Heap::allocationSlack -- the single point where heap backends
+  /// fold their boundaries into the gate) plus the interpreter's own
+  /// deep-GC and live-byte budgets. Safe at any point where CachedClock
+  /// equals the true clock.
   void recomputeAllocSlack();
 
   /// Pushes a frame for \p M, moving \p NumArgs values off \p Caller's

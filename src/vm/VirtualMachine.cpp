@@ -22,6 +22,8 @@ VirtualMachine::VirtualMachine(const Program &P, VMOptions Opts)
   TheHeap.addRootSource(&Statics);
   TheHeap.setGenerational(Opts.Generational);
   TheHeap.setFastPathAlloc(Opts.AllocFastPath);
+  TheHeap.setSpanBackend(Opts.HeapSpans); // before any allocation
+
   bindStandardNatives();
 }
 

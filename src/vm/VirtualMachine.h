@@ -92,6 +92,11 @@ struct VMOptions {
   /// Heap allocation fast path (size-class recycling + slot templates +
   /// the interpreter's allocation-slack check). Behavior-neutral.
   bool AllocFastPath = JDRAG_ALLOC_FASTPATH_DEFAULT != 0;
+  /// Page-span object storage with generation-segregated span sets and
+  /// a card-bitmap remembered set (docs/heap.md). Behavior-neutral; off
+  /// selects the legacy flat new-per-object backend, the differential
+  /// baseline.
+  bool HeapSpans = JDRAG_HEAP_SPANS_DEFAULT != 0;
 };
 
 /// One executable VM instance over a verified Program.

@@ -2,16 +2,17 @@
 //
 // Part of jdrag test suite.
 //
-// The interpreter hot path has three independently-switchable layers
+// The VM hot path has four independently-switchable layers
 // (docs/vm-hotpath.md): threaded vs switch dispatch, the per-pc site-id
-// inline caches, and the size-class allocation fast path. All are
-// required to be *behavior-neutral*: for every program, every
-// combination must produce byte-identical `.jdev` event streams, the
-// same outputs, the same step counts and field-identical profile logs
-// as the all-off baseline. This suite is that differential check, over
-// the nine paper workloads and over synthetic programs that poke the
-// boundaries the fast paths must not blur (finalizers, caught OOM,
-// generational scheduling, uncaught exceptions).
+// inline caches, the size-class allocation fast path, and the page-span
+// heap backend (docs/heap.md). All are required to be
+// *behavior-neutral*: for every program, every combination must produce
+// byte-identical `.jdev` event streams, the same outputs, the same step
+// counts and field-identical profile logs as the all-off baseline. This
+// suite is that differential check, over the nine paper workloads and
+// over synthetic programs that poke the boundaries the fast paths must
+// not blur (finalizers, caught OOM, generational scheduling, uncaught
+// exceptions).
 //
 //===----------------------------------------------------------------------===//
 
@@ -41,24 +42,31 @@ struct Combo {
   DispatchMode Dispatch;
   bool SiteCache;
   bool FastAlloc;
+  bool Spans;
 };
 
-/// The all-off corner reproduces the pre-optimization interpreter.
-constexpr Combo Baseline = {DispatchMode::Switch, false, false};
+/// The all-off corner reproduces the pre-optimization interpreter over
+/// the legacy flat heap backend.
+constexpr Combo Baseline = {DispatchMode::Switch, false, false, false};
 
-const Combo AllCombos[] = {
-    {DispatchMode::Switch, false, false}, {DispatchMode::Switch, false, true},
-    {DispatchMode::Switch, true, false},  {DispatchMode::Switch, true, true},
-    {DispatchMode::Threaded, false, false},
-    {DispatchMode::Threaded, false, true},
-    {DispatchMode::Threaded, true, false},
-    {DispatchMode::Threaded, true, true},
-};
+/// The full dispatch x cache x fastalloc x heap-backend cross product.
+std::vector<Combo> allCombos() {
+  std::vector<Combo> Cs;
+  for (DispatchMode D : {DispatchMode::Switch, DispatchMode::Threaded})
+    for (bool Cache : {false, true})
+      for (bool Fast : {false, true})
+        for (bool Spans : {false, true})
+          Cs.push_back({D, Cache, Fast, Spans});
+  return Cs;
+}
+
+const std::vector<Combo> AllCombos = allCombos();
 
 std::string describe(const Combo &C) {
   std::string S = C.Dispatch == DispatchMode::Threaded ? "threaded" : "switch";
   S += C.SiteCache ? "+cache" : "-cache";
   S += C.FastAlloc ? "+fastalloc" : "-fastalloc";
+  S += C.Spans ? "+spans" : "-spans";
   return S;
 }
 
@@ -77,6 +85,7 @@ StreamRun record(const Program &P, const std::vector<std::int64_t> &In,
   Opts.Dispatch = C.Dispatch;
   Opts.SiteInlineCache = C.SiteCache;
   Opts.AllocFastPath = C.FastAlloc;
+  Opts.HeapSpans = C.Spans;
   VirtualMachine VM(P, Opts);
   VM.setInputs(In);
   StreamRun R;
@@ -251,6 +260,7 @@ TEST(HotPathDifferential, ProfileLogIdentical) {
     Opts.Dispatch = C.Dispatch;
     Opts.SiteInlineCache = C.SiteCache;
     Opts.AllocFastPath = C.FastAlloc;
+    Opts.HeapSpans = C.Spans;
     VirtualMachine VM(P, Opts);
     VM.setInputs({200});
     EXPECT_EQ(VM.run(), Interpreter::Status::Ok);
@@ -293,6 +303,7 @@ TEST(HotPathDifferential, CachedClockTimestampsExact) {
     Opts.Dispatch = C.Dispatch;
     Opts.SiteInlineCache = C.SiteCache;
     Opts.AllocFastPath = C.FastAlloc;
+    Opts.HeapSpans = C.Spans;
     VirtualMachine VM(P, Opts);
     VM.setInputs({300});
     EXPECT_EQ(VM.run(), Interpreter::Status::Ok);

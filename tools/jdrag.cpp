@@ -22,6 +22,8 @@
 //   jdrag disasm <bench>            program disassembly
 //   jdrag hierarchy <bench>         class hierarchy (JAN-style)
 //   jdrag callgraph <bench>         reachable methods + call sites
+//   jdrag run <bench>               plain uninstrumented run
+//                                   (--heap-stats: occupancy dump)
 //
 // Options after the subcommand: --interval <KB> (deep-GC period,
 // default 100), --depth <N> (nested-site depth, default 4), --exact
@@ -70,7 +72,10 @@ struct Options {
   profiler::WireFormat Format = profiler::DefaultWireFormat;
   /// replay/fsck/salvage decode threads (0 = all cores).
   unsigned Jobs = 0;
-  std::string OutPath; ///< optimizeasm: write the revised .jasm here
+  std::string OutPath;    ///< optimizeasm: write the revised .jasm here
+  bool HeapStats = false; ///< run: dump heap-backend occupancy
+  bool LegacyHeap = false; ///< run: flat new-per-object backend
+  bool Gen = false;        ///< run: enable the generational policy
 };
 
 int usage() {
@@ -108,7 +113,12 @@ int usage() {
       "  reportasm <file.jasm> [ints.] profile + drag report for a .jasm\n"
       "  optimizeasm <file.jasm> [i..] profile + rewrite + re-measure\n"
       "                               (--out FILE: write revised .jasm)\n"
-      "  export <bench> <file.csv>    per-object records as CSV\n");
+      "  export <bench> <file.csv>    per-object records as CSV\n"
+      "  run <bench>                  plain uninstrumented run\n"
+      "                               (--heap-stats: span/free-list/\n"
+      "                               remembered-set occupancy dump;\n"
+      "                               --legacy-heap: flat backend;\n"
+      "                               --gen: generational collection)\n");
   return 2;
 }
 
@@ -524,6 +534,49 @@ int cmdOptimizeAsm(const std::string &Path,
   return 0;
 }
 
+void printHeapStats(const vm::HeapOccupancy &Occ) {
+  if (Occ.SpanBackend)
+    std::printf("heap backend: page-spans (%zu-byte spans, %zu records "
+                "each)\n",
+                Occ.SpanBytes, Occ.RecordsPerSpan);
+  else
+    std::printf("heap backend: legacy flat (new per object, size-class "
+                "free lists)\n");
+  std::printf("handle table: %zu slots, %zu free\n", Occ.HandleSlots,
+              Occ.FreeHandleSlots);
+  if (Occ.SpanBackend)
+    std::printf("spans: %zu young, %zu old, %zu pooled\n", Occ.YoungSpans,
+                Occ.OldSpans, Occ.PooledSpans);
+  std::printf("remembered set: %zu entries, capacity %zu\n",
+              Occ.RememberedEntries, Occ.RememberedCapacity);
+  if (Occ.Rows.empty())
+    return;
+  std::printf("  %-6s %-6s %6s %8s %8s\n", "class", "gen", "spans", "live",
+              "free");
+  for (const vm::HeapOccupancyRow &Row : Occ.Rows)
+    std::printf("  %-6u %-6s %6zu %8zu %8zu\n", Row.SizeClass,
+                Row.Old ? "old" : "young", Row.Spans, Row.LiveRecords,
+                Row.FreeRecords);
+}
+
+int cmdRun(const BenchmarkProgram &B, const Options &O) {
+  vm::VMOptions Opts;
+  Opts.HeapSpans = !O.LegacyHeap;
+  Opts.Generational.Enabled = O.Gen;
+  vm::VirtualMachine VM(B.Prog, Opts);
+  VM.setInputs(B.DefaultInputs);
+  std::string Err;
+  if (VM.run(&Err) != vm::Interpreter::Status::Ok) {
+    std::fprintf(stderr, "run failed: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("ran '%s': %.2f MB allocated, %zu outputs\n", B.Name.c_str(),
+              toMB(VM.heap().clock()), VM.outputs().size());
+  if (O.HeapStats)
+    printHeapStats(VM.heap().occupancy());
+  return 0;
+}
+
 int cmdCallGraph(const BenchmarkProgram &B) {
   sa::CallGraph CG(B.Prog);
   std::printf("reachable methods (%zu):\n", CG.reachableMethods().size());
@@ -573,6 +626,12 @@ int main(int argc, char **argv) {
           std::strtoul(Args[++I].c_str(), nullptr, 10));
     else if (Args[I] == "--out" && I + 1 < Args.size())
       O.OutPath = Args[++I];
+    else if (Args[I] == "--heap-stats")
+      O.HeapStats = true;
+    else if (Args[I] == "--legacy-heap")
+      O.LegacyHeap = true;
+    else if (Args[I] == "--gen")
+      O.Gen = true;
     else
       Pos.push_back(Args[I]);
   }
@@ -627,5 +686,7 @@ int main(int argc, char **argv) {
     return cmdHierarchy(*B);
   if (Cmd == "callgraph")
     return cmdCallGraph(*B);
+  if (Cmd == "run")
+    return cmdRun(*B, O);
   return usage();
 }
