@@ -76,6 +76,15 @@ public:
   std::uint32_t retries() const override;
   std::uint64_t droppedChunks() const override;
   std::uint64_t droppedBytes() const override;
+  // Spool/failover accounting passes straight through to the inner sink
+  // (only SocketEventSink reports nonzero values). The writer thread is
+  // the one advancing them, so treat these as exact only after finish()
+  // has joined it.
+  std::uint64_t spooledChunks() const override {
+    return Inner.spooledChunks();
+  }
+  std::uint64_t spooledBytes() const override { return Inner.spooledBytes(); }
+  std::uint32_t failovers() const override { return Inner.failovers(); }
 
   /// Chunks handed to the inner sink so far (tests).
   std::uint64_t chunksForwarded() const { return Forwarded.load(); }

@@ -105,6 +105,8 @@ public:
     Log.Complete = H.intact();
     Log.DroppedChunks = H.ChunksDropped;
     Log.DroppedBytes = H.BytesDropped;
+    Log.Retries = H.Retries;
+    Log.LastErrno = H.LastErrno;
   }
 
   /// Live (not yet logged) object count -- should be 0 after a run.

@@ -18,6 +18,21 @@ using namespace jdrag::profiler;
 EventSink::~EventSink() = default;
 EventConsumer::~EventConsumer() = default;
 
+std::uint32_t jdrag::profiler::backoffDelayMicros(const BackoffPolicy &P,
+                                                  std::uint32_t Attempt,
+                                                  std::uint32_t Salt) {
+  std::uint32_t Shift = Attempt < P.MaxDelayShift ? Attempt : P.MaxDelayShift;
+  std::uint32_t Delay = P.BaseDelayMicros << Shift;
+  if (P.Jitter && Delay > 1) {
+    // Deterministic (seedless) jitter: a Weyl-style hash of the salt
+    // spreads a fleet of clients across [Delay/2, Delay] without
+    // consulting a clock or RNG, keeping retry schedules reproducible.
+    std::uint32_t H = (Salt + 1) * 2654435761u;
+    Delay -= H % (Delay / 2 + 1);
+  }
+  return Delay;
+}
+
 namespace {
 constexpr const char *EventKindNames[] = {
     "define-site", "alloc",   "use",      "gc-end",
@@ -374,14 +389,14 @@ bool FileEventSink::writeChunk(const std::byte *Data, std::size_t Size) {
       Attempts = 0;
       continue;
     }
-    if (!Transient || Attempts >= Opt.MaxRetries)
+    if (!Transient || Attempts >= Opt.Backoff.MaxRetries)
       return Ok = false;
     ++Attempts;
     ++Retries;
     std::clearerr(F);
     // Exponential backoff, capped well under human-visible latency.
     std::this_thread::sleep_for(std::chrono::microseconds(
-        100u << (Attempts < 7 ? Attempts : 7)));
+        backoffDelayMicros(Opt.Backoff, Attempts, Retries)));
   }
   Bytes += Size;
   ++Chunks;
@@ -680,6 +695,9 @@ StreamHealth EventBuffer::health() const {
   StreamHealth H = Health;
   H.Retries = Sink.retries();
   H.LastErrno = Sink.lastErrno();
+  H.SpooledChunks = Sink.spooledChunks();
+  H.SpooledBytes = Sink.spooledBytes();
+  H.Failovers = Sink.failovers();
   // Chunks a sink accepted but later shed (async queue under drop
   // policy, background write failure) count as dropped end-to-end.
   H.ChunksDropped += Sink.droppedChunks();

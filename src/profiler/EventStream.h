@@ -14,6 +14,9 @@
 ///   DispatchSink       decode chunks as they are flushed and feed an
 ///                      EventConsumer (attached / live profiling)
 ///   FileEventSink      write a `.jdev` recording for detached analysis
+///   SocketEventSink    stream chunks to an out-of-process jdragd
+///                      collector, degrading to a local spool file when
+///                      the daemon is unreachable (SocketEventSink.h)
 ///   AsyncEventSink     hand chunks to a background writer thread
 ///                      (profiler/AsyncEventSink.h)
 ///   MemorySink         keep the raw stream in memory (tests, tooling)
@@ -261,15 +264,43 @@ bool readChunkIndexFooter(std::span<const std::byte> Stream, ChunkIndex &Out);
 bool rebuildChunkIndex(std::span<const std::byte> Stream, WireFormat F,
                        ChunkIndex &Out, std::string *Err = nullptr);
 
+/// Retry/backoff schedule shared by every sink that retries transient
+/// failures (FileEventSink write errors, SocketEventSink connects and
+/// sends). Delay for attempt N is BaseDelayMicros << min(N, MaxDelayShift),
+/// optionally spread by deterministic jitter so a fleet of VMs does not
+/// reconnect in lockstep.
+struct BackoffPolicy {
+  /// Retry budget for one operation (a chunk write, a reconnect round).
+  std::uint32_t MaxRetries = 8;
+  /// First retry delay; doubles per attempt.
+  std::uint32_t BaseDelayMicros = 100;
+  /// Cap: the delay stops doubling after this many attempts.
+  std::uint32_t MaxDelayShift = 7;
+  /// Subtract a deterministic pseudo-random slice (up to half the delay,
+  /// keyed on \p Salt) so concurrent clients desynchronise.
+  bool Jitter = false;
+};
+
+/// Delay before retry attempt \p Attempt (0-based) under \p P, with the
+/// jitter keyed on \p Salt (e.g. pid ^ attempt).
+std::uint32_t backoffDelayMicros(const BackoffPolicy &P, std::uint32_t Attempt,
+                                 std::uint32_t Salt = 0);
+
 /// Producer-side accounting of stream integrity. Every byte handed to a
 /// failing sink is counted, never silently discarded: after a run,
 /// `intact()` says whether the recording is complete and the counters
 /// say exactly how much was lost and why (last errno, retries spent).
+/// Spooled chunks are NOT drops: they reached a durable local file
+/// instead of the remote collector and can be forwarded later
+/// (`jdrag send`), so intact() stays true for a fully-spooled stream.
 struct StreamHealth {
   std::uint64_t ChunksWritten = 0; ///< chunks accepted by the sink
   std::uint64_t ChunksDropped = 0; ///< chunks the sink refused or shed
   std::uint64_t BytesWritten = 0;  ///< frame bytes accepted (header+payload)
   std::uint64_t BytesDropped = 0;  ///< frame bytes refused or shed
+  std::uint64_t SpooledChunks = 0; ///< chunks diverted to a local spool
+  std::uint64_t SpooledBytes = 0;  ///< frame bytes diverted to the spool
+  std::uint32_t Failovers = 0;     ///< remote-to-spool failover events
   std::uint32_t Retries = 0;       ///< transient-error retries in the sink
   int LastErrno = 0;               ///< errno of the last sink failure
 
@@ -299,6 +330,14 @@ public:
   /// accounting so StreamHealth::intact() stays an end-to-end truth.
   virtual std::uint64_t droppedChunks() const { return 0; }
   virtual std::uint64_t droppedBytes() const { return 0; }
+  /// Chunks/bytes this sink accepted but diverted to a durable local
+  /// spool instead of their primary destination (SocketEventSink when
+  /// the daemon is unreachable), and how many failover transitions
+  /// happened. Spooled data is recoverable, so it is accounted apart
+  /// from drops.
+  virtual std::uint64_t spooledChunks() const { return 0; }
+  virtual std::uint64_t spooledBytes() const { return 0; }
+  virtual std::uint32_t failovers() const { return 0; }
 };
 
 /// Keeps the raw stream in memory.
@@ -356,6 +395,15 @@ public:
   }
   std::uint64_t droppedBytes() const override {
     return A.droppedBytes() + B.droppedBytes();
+  }
+  std::uint64_t spooledChunks() const override {
+    return A.spooledChunks() + B.spooledChunks();
+  }
+  std::uint64_t spooledBytes() const override {
+    return A.spooledBytes() + B.spooledBytes();
+  }
+  std::uint32_t failovers() const override {
+    return A.failovers() + B.failovers();
   }
 
 private:
@@ -426,8 +474,9 @@ public:
       static_cast<std::uint32_t>(DefaultWireFormat);
 
   struct Options {
-    /// Retry budget for transient errors on one chunk.
-    std::uint32_t MaxRetries = 8;
+    /// Retry schedule for transient errors on one chunk (the same
+    /// policy type SocketEventSink uses for reconnects).
+    BackoffPolicy Backoff;
     /// fsync the file every N accepted chunks (0 = never). With N=1
     /// every flushed chunk is durable before the VM continues.
     std::uint32_t FsyncEveryChunks = 0;

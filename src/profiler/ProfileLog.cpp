@@ -33,14 +33,16 @@ SpaceTime ProfileLog::inUseIntegral() const {
 
 namespace {
 
-// Format v04: magic, u32 version, u32 record size (layout check), then
-// EndTime, completeness (u8 Complete + u64 dropped chunks/bytes from
-// the recording's StreamHealth), sites, records, GC samples. The
-// version and record-size fields plus file-size validation of every
-// count make corrupt, truncated, or wrong-version files fail cleanly
-// instead of producing garbage records (or huge blind reserves).
-constexpr std::uint64_t LogMagic = 0x6a64726167763034ULL; // "jdragv04"
-constexpr std::uint32_t LogVersion = 4;
+// Format v05: magic, u32 version, u32 record size (layout check), then
+// EndTime, delivery accounting (u8 Complete, u64 dropped chunks/bytes,
+// u32 retries, i32 last errno from the recording's StreamHealth),
+// sites, records, GC samples. The version and record-size fields plus
+// file-size validation of every count make corrupt, truncated, or
+// wrong-version files fail cleanly instead of producing garbage records
+// (or huge blind reserves). v05 added the retry/errno counters (no v04
+// files were shipped; readers reject the old magic outright).
+constexpr std::uint64_t LogMagic = ProfileLogMagic; // "jdragv05"
+constexpr std::uint32_t LogVersion = 5;
 
 struct FileCloser {
   void operator()(std::FILE *F) const {
@@ -93,7 +95,8 @@ bool ProfileLog::writeFile(const std::string &Path) const {
     return false;
   std::uint8_t CompleteByte = Complete;
   if (!writePod(F.get(), CompleteByte) || !writePod(F.get(), DroppedChunks) ||
-      !writePod(F.get(), DroppedBytes))
+      !writePod(F.get(), DroppedBytes) || !writePod(F.get(), Retries) ||
+      !writePod(F.get(), LastErrno))
     return false;
 
   std::uint64_t NumSites = Sites.size();
@@ -177,7 +180,8 @@ bool ProfileLog::readFile(const std::string &Path, ProfileLog &Out) {
   std::uint8_t CompleteByte = 1;
   if (!readPod(F.get(), CompleteByte) || CompleteByte > 1 ||
       !readPod(F.get(), Out.DroppedChunks) ||
-      !readPod(F.get(), Out.DroppedBytes))
+      !readPod(F.get(), Out.DroppedBytes) || !readPod(F.get(), Out.Retries) ||
+      !readPod(F.get(), Out.LastErrno))
     return false;
   Out.Complete = CompleteByte;
   // A complete log must not claim drops (and vice versa).

@@ -77,6 +77,11 @@ struct GCSample {
   std::uint64_t ReachableObjects = 0;
 };
 
+/// `.jdlog` file magic ("jdragv05"): leads every serialized ProfileLog,
+/// so tools can tell an object log from an event recording by the first
+/// 8 bytes (cf. StreamFileMagic).
+inline constexpr std::uint64_t ProfileLogMagic = 0x6a64726167763035ULL;
+
 /// The complete phase-1 output.
 class ProfileLog {
 public:
@@ -91,6 +96,13 @@ public:
   /// Extent of the loss when !Complete (from profiler::StreamHealth).
   std::uint64_t DroppedChunks = 0;
   std::uint64_t DroppedBytes = 0;
+  /// Delivery effort behind the recording, also from StreamHealth: how
+  /// many transient sink errors were retried and the errno of the last
+  /// failure. Nonzero retries on a Complete log are normal (the retries
+  /// *succeeded*); `jdrag fsck` surfaces them so a flaky disk or daemon
+  /// link is visible before it escalates into drops.
+  std::uint32_t Retries = 0;
+  std::int32_t LastErrno = 0;
 
   /// Serializes to \p Path. Returns false on I/O error.
   bool writeFile(const std::string &Path) const;

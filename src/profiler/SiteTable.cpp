@@ -50,7 +50,9 @@ SiteId SiteTable::internFrames(std::vector<SiteFrame> Frames) {
 }
 
 std::string SiteTable::describe(const ir::Program &P, SiteId Id) const {
-  const auto &C = Chains.at(Id);
+  if (Id >= Chains.size())
+    return "<unknown site>";
+  const auto &C = Chains[Id];
   if (C.empty())
     return "<vm>";
   std::string Out;
@@ -65,7 +67,9 @@ std::string SiteTable::describe(const ir::Program &P, SiteId Id) const {
 
 std::string SiteTable::describeInnermost(const ir::Program &P,
                                          SiteId Id) const {
-  const auto &C = Chains.at(Id);
+  if (Id >= Chains.size())
+    return "<unknown site>";
+  const auto &C = Chains[Id];
   if (C.empty())
     return "<vm>";
   return formatString("%s:%u", P.qualifiedMethodName(C[0].Method).c_str(),

@@ -57,13 +57,21 @@ public:
   /// Interns an explicit frame list (used by the log reader).
   SiteId internFrames(std::vector<SiteFrame> Frames);
 
+  /// Unknown ids (InvalidSite, or a site lost to a truncated or
+  /// tail-replayed recording) resolve to an empty chain rather than
+  /// throwing: logs whose records reference unresolvable sites are a
+  /// legitimate salvage outcome, and every analysis must survive them.
   const std::vector<SiteFrame> &chain(SiteId Id) const {
-    return Chains.at(Id);
+    static const std::vector<SiteFrame> Empty;
+    return Id < Chains.size() ? Chains[Id] : Empty;
   }
 
-  /// The innermost frame, or nullptr for the "<vm>" site.
+  /// The innermost frame, or nullptr for the "<vm>" site and for
+  /// unknown ids.
   const SiteFrame *innermost(SiteId Id) const {
-    const auto &C = Chains.at(Id);
+    if (Id >= Chains.size())
+      return nullptr;
+    const auto &C = Chains[Id];
     return C.empty() ? nullptr : &C.front();
   }
 

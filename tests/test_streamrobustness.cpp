@@ -449,7 +449,7 @@ TEST(FaultInjection, ExhaustedRetryBudgetFailsTheSink) {
   std::string Path = tempPath("dead.jdev");
   DeadSink Sink;
   FileEventSink::Options Opt;
-  Opt.MaxRetries = 2;
+  Opt.Backoff.MaxRetries = 2;
   ASSERT_TRUE(Sink.open(Path, Opt)); // header goes through fwrite directly
   EventBuffer Buf(Sink);
   EventRecord E;

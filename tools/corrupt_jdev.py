@@ -14,6 +14,15 @@ shipping corrupt binaries in the repo:
     corrupt_jdev.py zero <in> <out> [--at FRACTION] [--len N]
         overwrite N bytes (default 16, one chunk header) with zeros at
         FRACTION of the file -- kills a chunk magic, forcing resync.
+    corrupt_jdev.py truncate-footer <in> <out>
+        cut the file midway through the v4 chunk index footer frame --
+        the crash-while-writing-the-footer case; every data chunk stays
+        a clean salvageable prefix;
+    corrupt_jdev.py lie-footer-tail <in> <out>
+        keep the footer tail magic but rewrite the adjacent block-size
+        word to a lie -- the footer locator must reject it (instead of
+        seeking into the middle of a chunk) and readers must fall back
+        to rebuilding the index from the chunk frames.
 
 Offsets are clamped past the 16-byte file header so the damage lands in
 the chunk stream (file-header damage is the trivially detected case).
@@ -21,9 +30,12 @@ No randomness anywhere: the same input produces the same output.
 """
 
 import argparse
+import struct
 import sys
 
 FILE_HEADER_BYTES = 16
+CHUNK_MAGIC = 0x6B43646A   # "jdCk"
+FOOTER_MAGIC = 0x7849646A  # "jdIx"
 
 
 def clamp_offset(data: bytes, fraction: float) -> int:
@@ -31,9 +43,24 @@ def clamp_offset(data: bytes, fraction: float) -> int:
     return max(FILE_HEADER_BYTES, min(off, len(data) - 1))
 
 
+def find_footer(data: bytes):
+    """Offset of the v4 chunk index footer frame, walking the chunk
+    headers from the front; None if the recording has no footer."""
+    off = FILE_HEADER_BYTES
+    while off + 16 <= len(data):
+        magic, _seq, payload, _crc = struct.unpack_from("<IIII", data, off)
+        if magic == FOOTER_MAGIC:
+            return off
+        if magic != CHUNK_MAGIC:
+            return None
+        off += 16 + payload
+    return None
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("mode", choices=["truncate", "bitflip", "zero"])
+    ap.add_argument("mode", choices=["truncate", "bitflip", "zero",
+                                     "truncate-footer", "lie-footer-tail"])
     ap.add_argument("infile")
     ap.add_argument("outfile")
     ap.add_argument("--at", type=float, default=0.6,
@@ -50,14 +77,33 @@ def main() -> int:
         print(f"{args.infile}: too short to be a recording", file=sys.stderr)
         return 2
 
-    off = clamp_offset(data, args.at)
-    if args.mode == "truncate":
-        data = data[:off]
-    elif args.mode == "bitflip":
-        data[off] ^= 1 << (args.bit & 7)
-    else:  # zero
-        end = min(off + args.length, len(data))
-        data[off:end] = bytes(end - off)
+    if args.mode in ("truncate-footer", "lie-footer-tail"):
+        off = find_footer(data)
+        if off is None:
+            print(f"{args.infile}: no chunk index footer (not v4, or "
+                  "already footerless)", file=sys.stderr)
+            return 2
+        _, _, payload, _ = struct.unpack_from("<IIII", data, off)
+        if args.mode == "truncate-footer":
+            # Keep the footer header and half its payload: an
+            # unmistakably started, unmistakably unfinished footer.
+            data = data[:off + 16 + payload // 2]
+        else:
+            # The final 8 bytes are <u32 block size><u32 tail magic>.
+            # Keep the magic, shrink the size by one header: it now
+            # points into the footer payload, where no footer header
+            # lives -- a locator that trusts it reads garbage.
+            block = 16 + payload + 8
+            struct.pack_into("<I", data, len(data) - 8, block - 16)
+    else:
+        off = clamp_offset(data, args.at)
+        if args.mode == "truncate":
+            data = data[:off]
+        elif args.mode == "bitflip":
+            data[off] ^= 1 << (args.bit & 7)
+        else:  # zero
+            end = min(off + args.length, len(data))
+            data[off:end] = bytes(end - off)
 
     with open(args.outfile, "wb") as f:
         f.write(data)

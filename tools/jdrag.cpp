@@ -41,8 +41,10 @@
 #include "vm/VirtualMachine.h"
 #include "ir/Disassembler.h"
 #include "ir/JasmPrinter.h"
+#include "daemon/Protocol.h"
 #include "profiler/DragProfiler.h"
 #include "profiler/ParallelReplay.h"
+#include "profiler/SocketEventSink.h"
 #include "profiler/StreamSalvage.h"
 #include "transform/AutoOptimizer.h"
 #include "sa/CallGraph.h"
@@ -52,6 +54,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -73,6 +76,8 @@ struct Options {
   /// replay/fsck/salvage decode threads (0 = all cores).
   unsigned Jobs = 0;
   std::string OutPath;    ///< optimizeasm: write the revised .jasm here
+  std::string Connect;    ///< record: stream to a jdragd at this address
+  std::string Name;       ///< send: client name announced in HELLO
   bool HeapStats = false; ///< run: dump heap-backend occupancy
   bool LegacyHeap = false; ///< run: flat new-per-object backend
   bool Gen = false;        ///< run: enable the generational policy
@@ -89,13 +94,19 @@ int usage() {
       "  record <bench> <file.jdev>   phase 1: record the raw event stream\n"
       "                               (--async: background writer thread;\n"
       "                               --async-drop: shed chunks instead of\n"
-      "                               blocking; --v2/--v3: older formats)\n"
+      "                               blocking; --v2/--v3: older formats;\n"
+      "                               --connect ADDR: stream to a jdragd,\n"
+      "                               file.jdev becomes the failover spool)\n"
+      "  send <file.jdev> <addr>      forward a recording (e.g. a failover\n"
+      "                               spool) to a jdragd (--name NAME)\n"
       "  replay <bench> <file.jdev>   phase 2: drag report from a recording\n"
       "                               (--out LOG also writes the object log;\n"
       "                               --jobs N decode threads, default all\n"
       "                               cores)\n"
-      "  fsck <file.jdev>             verify a recording chunk by chunk\n"
-      "                               (--jobs N parallel CRC verification)\n"
+      "  fsck <file>                  verify a .jdev recording chunk by\n"
+      "                               chunk (--jobs N parallel CRC checks),\n"
+      "                               or print an object log's delivery\n"
+      "                               health (drops, retries, last errno)\n"
       "  salvage <in.jdev> <out.jdev> recover the valid prefix of a\n"
       "                               damaged recording (--jobs N)\n"
       "  report <bench> [<log-file>]  phase 2: drag report\n"
@@ -161,17 +172,31 @@ int cmdProfile(const BenchmarkProgram &B, const std::string &Path,
 
 int cmdRecord(const BenchmarkProgram &B, const std::string &Path,
               const Options &O) {
-  profiler::FileEventSink Sink;
-  profiler::FileEventSink::Options FO;
-  FO.Format = O.Format;
-  if (!Sink.open(Path, FO)) {
-    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
-    return 1;
+  // Default: record to the local file. With --connect, stream to a
+  // jdragd instead and keep the positional path as the failover spool.
+  profiler::FileEventSink FileSink;
+  std::unique_ptr<profiler::SocketEventSink> SockSink;
+  profiler::EventSink *Sink = &FileSink;
+  if (!O.Connect.empty()) {
+    profiler::SocketEventSink::Options SO;
+    SO.Connect = O.Connect;
+    SO.SpoolPath = Path;
+    SO.Name = O.Name.empty() ? B.Name : O.Name;
+    SO.Format = O.Format;
+    SockSink = std::make_unique<profiler::SocketEventSink>(SO);
+    Sink = SockSink.get();
+  } else {
+    profiler::FileEventSink::Options FO;
+    FO.Format = O.Format;
+    if (!FileSink.open(Path, FO)) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return 1;
+    }
   }
   vm::VMOptions Opts;
   Opts.DeepGCIntervalBytes = O.IntervalBytes;
   Opts.SiteDepth = O.Depth;
-  Opts.Sink = &Sink;
+  Opts.Sink = Sink;
   Opts.EventFormat = O.Format;
   Opts.AsyncEvents = O.Async || O.AsyncDrop;
   Opts.AsyncDropOnFull = O.AsyncDrop;
@@ -182,10 +207,28 @@ int cmdRecord(const BenchmarkProgram &B, const std::string &Path,
     std::fprintf(stderr, "run failed: %s\n", Err.c_str());
     return 1;
   }
-  std::printf("recorded '%s': %.2f MB allocated, %llu event bytes -> %s\n",
-              B.Name.c_str(), toMB(VM.heap().clock()),
-              static_cast<unsigned long long>(Sink.bytesWritten()),
-              Path.c_str());
+  if (SockSink) {
+    const profiler::StreamHealth &H = VM.streamHealth();
+    std::printf("recorded '%s': %.2f MB allocated, %llu chunks to %s "
+                "(%llu sessions)\n",
+                B.Name.c_str(), toMB(VM.heap().clock()),
+                static_cast<unsigned long long>(SockSink->chunksSent()),
+                O.Connect.c_str(),
+                static_cast<unsigned long long>(SockSink->sessionsOpened()));
+    if (H.Failovers)
+      std::fprintf(stderr,
+                   "jdrag: daemon unreachable: %llu chunks (%llu bytes) "
+                   "diverted to spool %s -- forward later with "
+                   "`jdrag send %s %s`\n",
+                   static_cast<unsigned long long>(H.SpooledChunks),
+                   static_cast<unsigned long long>(H.SpooledBytes),
+                   Path.c_str(), Path.c_str(), O.Connect.c_str());
+  } else {
+    std::printf("recorded '%s': %.2f MB allocated, %llu event bytes -> %s\n",
+                B.Name.c_str(), toMB(VM.heap().clock()),
+                static_cast<unsigned long long>(FileSink.bytesWritten()),
+                Path.c_str());
+  }
   if (!VM.streamIntact()) {
     const profiler::StreamHealth &H = VM.streamHealth();
     std::fprintf(stderr,
@@ -203,13 +246,138 @@ unsigned replayJobs(const Options &O) {
   return O.Jobs ? O.Jobs : profiler::defaultReplayJobs();
 }
 
+/// fsck on an *object log* (`jdrag profile` output): print the delivery
+/// accounting its footer carries -- completeness, drops, and the
+/// retry/errno counters from the recording's StreamHealth.
+int fsckProfileLog(const std::string &Path) {
+  profiler::ProfileLog Log;
+  if (!profiler::ProfileLog::readFile(Path, Log)) {
+    std::fprintf(stderr, "%s: unreadable or corrupt object log\n",
+                 Path.c_str());
+    return 2;
+  }
+  std::printf("%s: object log, %zu records, %zu sites, %zu GC samples, "
+              "%.2f MB end time\n",
+              Path.c_str(), Log.Records.size(), Log.Sites.size(),
+              Log.GCSamples.size(), toMB(Log.EndTime));
+  std::printf("stream health: %s, %llu chunks (%llu bytes) dropped, "
+              "%u retries, last errno %d (%s)\n",
+              Log.Complete ? "complete" : "INCOMPLETE",
+              static_cast<unsigned long long>(Log.DroppedChunks),
+              static_cast<unsigned long long>(Log.DroppedBytes), Log.Retries,
+              Log.LastErrno,
+              Log.LastErrno ? std::strerror(Log.LastErrno) : "none");
+  return Log.Complete ? 0 : 1;
+}
+
 int cmdFsck(const std::string &Path, const Options &O) {
+  // Dispatch on the 8-byte file magic: event recordings and object logs
+  // both pass through fsck, each with its own health summary.
+  if (std::FILE *F = std::fopen(Path.c_str(), "rb")) {
+    std::uint64_t Magic = 0;
+    bool IsLog = std::fread(&Magic, sizeof(Magic), 1, F) == 1 &&
+                 Magic == profiler::ProfileLogMagic;
+    std::fclose(F);
+    if (IsLog)
+      return fsckProfileLog(Path);
+  }
   profiler::SalvageReport Rep =
       profiler::scanEventFileParallel(Path, replayJobs(O), nullptr);
   std::printf("%s", Rep.summary(Path).c_str());
   if (!Rep.readable())
     return 2;
   return Rep.clean() ? 0 : 1;
+}
+
+/// Forwards a `.jdev` recording -- typically a failover spool left by
+/// `record --connect` -- to a jdragd, frame by frame, through the same
+/// SocketEventSink the VM uses (so reconnects and backpressure apply).
+int cmdSend(const std::string &Path, const std::string &Addr,
+            const Options &O) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    std::fprintf(stderr, "cannot read %s\n", Path.c_str());
+    return 1;
+  }
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  std::fseek(F, 0, SEEK_SET);
+  std::vector<std::byte> Bytes(Size > 0 ? static_cast<std::size_t>(Size) : 0);
+  if (!Bytes.empty() &&
+      std::fread(Bytes.data(), 1, Bytes.size(), F) != Bytes.size()) {
+    std::fclose(F);
+    std::fprintf(stderr, "cannot read %s\n", Path.c_str());
+    return 1;
+  }
+  std::fclose(F);
+
+  // 16-byte .jdev header: u64 magic, u32 wire format, u32 reserved.
+  if (Bytes.size() < 16) {
+    std::fprintf(stderr, "%s: not a .jdev recording\n", Path.c_str());
+    return 1;
+  }
+  std::uint64_t Magic = 0;
+  std::uint32_t Version = 0;
+  std::memcpy(&Magic, Bytes.data(), 8);
+  std::memcpy(&Version, Bytes.data() + 8, 4);
+  if (Magic != profiler::StreamFileMagic || Version < 2 || Version > 4) {
+    std::fprintf(stderr, "%s: not a .jdev recording\n", Path.c_str());
+    return 1;
+  }
+
+  profiler::SocketEventSink::Options SO;
+  SO.Connect = Addr;
+  SO.Name = O.Name.empty() ? std::string("spool") : O.Name;
+  SO.Format = static_cast<profiler::WireFormat>(Version);
+  profiler::SocketEventSink Sink(SO);
+
+  // Walk the framed stream; each frame (a chunk, or the terminal footer
+  // block with its 8 tail bytes) is one writeChunk call, exactly the
+  // granularity the live VM produces.
+  std::size_t Off = 16;
+  std::uint64_t Frames = 0;
+  while (Off < Bytes.size()) {
+    if (Bytes.size() - Off < sizeof(profiler::ChunkHeader)) {
+      std::fprintf(stderr, "%s: truncated frame at offset %zu (fsck it)\n",
+                   Path.c_str(), Off);
+      return 1;
+    }
+    profiler::ChunkHeader H;
+    std::memcpy(&H, Bytes.data() + Off, sizeof(H));
+    bool IsFooter = H.Magic == profiler::FooterMagic;
+    if (!IsFooter && H.Magic != profiler::ChunkMagic) {
+      std::fprintf(stderr, "%s: bad chunk magic at offset %zu (fsck it)\n",
+                   Path.c_str(), Off);
+      return 1;
+    }
+    std::size_t FrameSize =
+        sizeof(H) + H.PayloadBytes + (IsFooter ? 8 : 0);
+    if (H.PayloadBytes > profiler::MaxChunkPayload ||
+        Bytes.size() - Off < FrameSize) {
+      std::fprintf(stderr, "%s: truncated frame at offset %zu (fsck it)\n",
+                   Path.c_str(), Off);
+      return 1;
+    }
+    Sink.writeChunk(Bytes.data() + Off, FrameSize);
+    Off += FrameSize;
+    ++Frames;
+  }
+  bool Ok = Sink.finish();
+  if (Sink.droppedChunks() || !Ok || !Sink.sessionsOpened()) {
+    std::fprintf(stderr,
+                 "jdrag: send failed: %llu/%llu frames delivered, "
+                 "%llu dropped, last errno %d (%s)\n",
+                 static_cast<unsigned long long>(Sink.chunksSent()),
+                 static_cast<unsigned long long>(Frames),
+                 static_cast<unsigned long long>(Sink.droppedChunks()),
+                 Sink.lastErrno(),
+                 Sink.lastErrno() ? std::strerror(Sink.lastErrno()) : "none");
+    return 1;
+  }
+  std::printf("sent %llu frames (%zu bytes) from %s to %s as '%s'\n",
+              static_cast<unsigned long long>(Frames), Bytes.size() - 16,
+              Path.c_str(), Addr.c_str(), SO.Name.c_str());
+  return 0;
 }
 
 int cmdSalvage(const std::string &In, const std::string &Out,
@@ -626,6 +794,10 @@ int main(int argc, char **argv) {
           std::strtoul(Args[++I].c_str(), nullptr, 10));
     else if (Args[I] == "--out" && I + 1 < Args.size())
       O.OutPath = Args[++I];
+    else if (Args[I] == "--connect" && I + 1 < Args.size())
+      O.Connect = Args[++I];
+    else if (Args[I] == "--name" && I + 1 < Args.size())
+      O.Name = Args[++I];
     else if (Args[I] == "--heap-stats")
       O.HeapStats = true;
     else if (Args[I] == "--legacy-heap")
@@ -648,6 +820,8 @@ int main(int argc, char **argv) {
     return cmdFsck(Pos[1], O);
   if (Cmd == "salvage")
     return Pos.size() < 3 ? usage() : cmdSalvage(Pos[1], Pos[2], O);
+  if (Cmd == "send")
+    return Pos.size() < 3 ? usage() : cmdSend(Pos[1], Pos[2], O);
   if (Cmd == "runasm")
     return cmdRunAsm(Pos[1],
                      std::vector<std::string>(Pos.begin() + 2, Pos.end()));
