@@ -31,6 +31,13 @@ std::string sanitizeName(const std::string &Name) {
   return Out;
 }
 
+/// Admin connections are line-oriented and low-volume; a peer that
+/// streams bytes without a newline, or never reads its responses, is
+/// hostile or broken and gets disconnected rather than growing daemon
+/// memory without bound.
+constexpr std::size_t MaxAdminLine = 4096;
+constexpr std::size_t MaxAdminPendingOut = 4u << 20;
+
 } // namespace
 
 struct CollectorDaemon::Session {
@@ -151,6 +158,12 @@ int CollectorDaemon::run() {
         Ev |= POLLOUT;
       Pfds.push_back({A->Fd, Ev, 0});
     }
+    // Snapshot counts: acceptSessions()/acceptAdmins() below grow the
+    // containers, but only these first NumSess/NumAdmins entries have a
+    // pollfd; a freshly accepted connection waits for the next
+    // iteration.
+    std::size_t NumSess = AdminBase - SessBase;
+    std::size_t NumAdmins = Pfds.size() - AdminBase;
 
     // Short timeout so a requestShutdown() from a signal handler is
     // noticed promptly even on an idle daemon.
@@ -166,10 +179,10 @@ int CollectorDaemon::run() {
     if (AdminLIdx != static_cast<std::size_t>(-1) &&
         (Pfds[AdminLIdx].revents & POLLIN))
       acceptAdmins();
-    for (std::size_t I = 0; I < Sessions.size(); ++I)
+    for (std::size_t I = 0; I < NumSess; ++I)
       if (Pfds[SessBase + I].revents & (POLLIN | POLLHUP | POLLERR))
         readSession(*Sessions[I]);
-    for (std::size_t I = 0; I < Admins.size(); ++I) {
+    for (std::size_t I = 0; I < NumAdmins; ++I) {
       short Re = Pfds[AdminBase + I].revents;
       if (Re & (POLLIN | POLLHUP | POLLERR))
         readAdmin(*Admins[I]);
@@ -359,6 +372,17 @@ void CollectorDaemon::handleMessage(Session &S, const MsgHeader &H,
       protocolError(S, "chunk message without chunk magic");
       return;
     }
+    // The inner length must agree with the message bytes, or the
+    // recording would hold frames whose headers lie about their extent
+    // and the chunk-aligned fsck-clean-prefix guarantee is void. A
+    // footer block carries 8 tail bytes (u32 size, u32 tail magic)
+    // after its payload.
+    if (CH.PayloadBytes > profiler::MaxChunkPayload ||
+        Payload.size() != sizeof(profiler::ChunkHeader) + CH.PayloadBytes +
+                              (IsFooter ? 8 : 0)) {
+      protocolError(S, "chunk frame length disagrees with message length");
+      return;
+    }
     S.Bytes += Payload.size();
     Stats.BytesReceived += Payload.size();
     if (IsFooter) {
@@ -473,6 +497,10 @@ void CollectorDaemon::readAdmin(AdminConn &A) {
           Line.pop_back();
         A.Out += execAdmin(Line);
         A.Out += "END\n";
+      }
+      if (A.In.size() > MaxAdminLine || A.Out.size() > MaxAdminPendingOut) {
+        A.Closed = true;
+        return;
       }
       continue;
     }

@@ -77,9 +77,10 @@ public:
   std::uint64_t droppedChunks() const override;
   std::uint64_t droppedBytes() const override;
   // Spool/failover accounting passes straight through to the inner sink
-  // (only SocketEventSink reports nonzero values). The writer thread is
-  // the one advancing them, so treat these as exact only after finish()
-  // has joined it.
+  // (only SocketEventSink reports nonzero values, and it keeps these
+  // counters atomic precisely so this pass-through is safe while the
+  // writer thread advances them). Momentary snapshots mid-run; exact
+  // once finish() has joined the writer.
   std::uint64_t spooledChunks() const override {
     return Inner.spooledChunks();
   }

@@ -188,12 +188,17 @@ void SocketEventSink::enterSpoolMode() {
 
 bool SocketEventSink::spoolChunk(const std::byte *Data, std::size_t Size) {
   enterSpoolMode();
-  if (!SpoolActive) {
-    accountDrop(Size);
-    return true;
-  }
   ChunkHeader H;
   std::memcpy(&H, Data, sizeof(H));
+  if (!SpoolActive) {
+    // No spool to degrade to: a data chunk is real loss, a footer is
+    // merely swallowed (footerless streams are valid).
+    if (H.Magic == FooterMagic)
+      ++FootersSwallowed;
+    else
+      accountDrop(Size);
+    return true;
+  }
   if (H.Magic == FooterMagic) {
     // The footer indexes the whole stream; writing it to a spool that
     // holds only the tail (or renumbered chunks) would lie. Footerless
@@ -204,6 +209,7 @@ bool SocketEventSink::spoolChunk(const std::byte *Data, std::size_t Size) {
     }
     if (!Spool->writeChunk(Data, Size)) {
       LastErr = Spool->lastErrno();
+      SpoolIdentity = false;
       accountDrop(Size);
       return true;
     }
@@ -218,6 +224,9 @@ bool SocketEventSink::spoolChunk(const std::byte *Data, std::size_t Size) {
   std::memcpy(Scratch.data(), &H, sizeof(H));
   if (!Spool->writeChunk(Scratch.data(), Scratch.size())) {
     LastErr = Spool->lastErrno();
+    // The spool now misses a chunk the stream contains; a later footer
+    // would index bytes the spool never received.
+    SpoolIdentity = false;
     accountDrop(Size);
     return true;
   }
@@ -229,6 +238,10 @@ bool SocketEventSink::spoolChunk(const std::byte *Data, std::size_t Size) {
 
 bool SocketEventSink::writeChunk(const std::byte *Data, std::size_t Size) {
   if (Size < sizeof(ChunkHeader)) {
+    // A runt frame is shed; whichever destination carries this stream
+    // is now missing a flushed chunk, so neither may claim the footer.
+    SessionIdentity = false;
+    SpoolIdentity = false;
     accountDrop(Size);
     return true;
   }
@@ -248,10 +261,12 @@ bool SocketEventSink::writeChunk(const std::byte *Data, std::size_t Size) {
   // One session message: outer frame + the chunk verbatim, with the
   // sequence renumbered into this session's stream. Footer frames go
   // verbatim -- their Seq field is the entry count, not a sequence.
-  Scratch.clear();
-  daemon::appendMsgHeader(Scratch, daemon::MsgType::Chunk,
-                          static_cast<std::uint32_t>(Size));
-  daemon::appendBytes(Scratch, Data, Size);
+  daemon::MsgHeader MH;
+  MH.Type = static_cast<std::uint32_t>(daemon::MsgType::Chunk);
+  MH.Length = static_cast<std::uint32_t>(Size);
+  Scratch.resize(sizeof(MH) + Size);
+  std::memcpy(Scratch.data(), &MH, sizeof(MH));
+  std::memcpy(Scratch.data() + sizeof(MH), Data, Size);
   if (!IsFooter) {
     ChunkHeader Out = H;
     Out.Seq = SessionSeq;
@@ -275,11 +290,14 @@ bool SocketEventSink::writeChunk(const std::byte *Data, std::size_t Size) {
     }
     if (!First && errno == EAGAIN && Opt.Policy == QueueFullPolicy::Drop) {
       // Kernel buffer full before the first byte: shed this chunk, keep
-      // the connection (the daemon is slow, not gone).
+      // the connection (the daemon is slow, not gone). The session
+      // stream now has a gap, so no later footer may be forwarded to it.
       if (IsFooter)
         ++FootersSwallowed;
-      else
+      else {
+        SessionIdentity = false;
         accountDrop(Size);
+      }
       return true;
     }
     // Connection failure (possibly mid-message: the daemon discards the
@@ -338,8 +356,8 @@ bool SocketEventSink::finish() {
   bool SpoolOk = true;
   if (Spool) {
     SpoolOk = Spool->finish();
-    if (!SpoolOk)
-      LastErr = Spool->lastErrno() ? Spool->lastErrno() : LastErr;
+    if (!SpoolOk && Spool->lastErrno())
+      LastErr = Spool->lastErrno();
   }
   return DroppedChunks == 0 && SpoolOk;
 }

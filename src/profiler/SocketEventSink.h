@@ -46,6 +46,7 @@
 #include "profiler/AsyncEventSink.h"
 #include "profiler/EventStream.h"
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -171,20 +172,26 @@ private:
   bool SpoolIdentity = true;
   std::vector<std::byte> Scratch;
 
-  std::uint64_t ChunksSent = 0;
-  std::uint64_t BytesSent = 0;
   std::uint64_t TotalRawSent = 0; ///< fault-plan odometer
   std::uint32_t RawSends = 0;     ///< fault-plan cadence counter
   bool FaultReset = false;        ///< one-shot reset already fired
-  std::uint64_t DroppedChunks = 0;
-  std::uint64_t DroppedBytes = 0;
-  std::uint64_t SpooledChunks = 0;
-  std::uint64_t SpooledBytes = 0;
-  std::uint32_t Failovers = 0;
-  std::uint32_t FootersSwallowed = 0;
-  std::uint32_t Retries = 0;
-  std::uint32_t Sessions = 0;
-  int LastErr = 0;
+
+  // Health counters. Atomic because when this sink sits behind an
+  // AsyncEventSink only the writer thread advances them, but the
+  // producer thread reads them mid-run through the accessors above
+  // (EventBuffer::health()); each is an independent momentary snapshot,
+  // exact once finish() has joined the writer.
+  std::atomic<std::uint64_t> ChunksSent{0};
+  std::atomic<std::uint64_t> BytesSent{0};
+  std::atomic<std::uint64_t> DroppedChunks{0};
+  std::atomic<std::uint64_t> DroppedBytes{0};
+  std::atomic<std::uint64_t> SpooledChunks{0};
+  std::atomic<std::uint64_t> SpooledBytes{0};
+  std::atomic<std::uint32_t> Failovers{0};
+  std::atomic<std::uint32_t> FootersSwallowed{0};
+  std::atomic<std::uint32_t> Retries{0};
+  std::atomic<std::uint32_t> Sessions{0};
+  std::atomic<int> LastErr{0};
 };
 
 } // namespace jdrag::profiler

@@ -29,6 +29,7 @@
 
 #include "gtest/gtest.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -586,7 +587,15 @@ TEST(SocketSink, SlowConsumerDropPolicySheds) {
   EXPECT_GT(Sock.droppedChunks(), 0u);
   EXPECT_LT(Sock.droppedChunks(), 64u); // some landed in the buffer
   EXPECT_EQ(Sock.spooledChunks(), 0u);  // shed, not failed over
-  EXPECT_FALSE(Sock.finish());          // drops => not fully delivered
+
+  // A shed chunk leaves a gap in the session stream, so the v4 index
+  // footer -- which indexes chunks the daemon never received -- must be
+  // swallowed, not forwarded.
+  std::vector<std::byte> Footer = encodeChunkIndexFooter({}, 0);
+  EXPECT_TRUE(Sock.writeChunk(Footer.data(), Footer.size()));
+  EXPECT_EQ(Sock.footersSwallowed(), 1u);
+
+  EXPECT_FALSE(Sock.finish()); // drops => not fully delivered
   ::close(Cfd);
   ::close(Lfd);
 }
@@ -644,6 +653,82 @@ TEST(Daemon, DribbleFedSessionReassemblesMessages) {
   std::string Clients = H.admin("CLIENTS");
   EXPECT_NE(Clients.find("name=dribble"), std::string::npos);
   EXPECT_NE(Clients.find("state=clean"), std::string::npos);
+  EXPECT_EQ(H.shutdown(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Hostile clients
+//===----------------------------------------------------------------------===//
+
+TEST(Daemon, RejectsChunkFrameLengthMismatch) {
+  DaemonHarness H;
+  H.start();
+
+  Address A;
+  std::string Err;
+  ASSERT_TRUE(parseAddress(H.SessionAddr, A, &Err));
+  int ErrNo = 0;
+  int Fd = connectTo(A, 2000, &ErrNo);
+  ASSERT_GE(Fd, 0) << std::strerror(ErrNo);
+
+  // HELLO, then a chunk whose inner header claims 64 payload bytes while
+  // the message carries only 32: recording it would break the
+  // chunk-aligned fsck-clean-prefix guarantee, so the daemon must treat
+  // it as a protocol error and drop the session.
+  HelloInfo Hello;
+  Hello.Pid = 43;
+  Hello.Name = "badlen";
+  std::vector<std::byte> Wire = encodeHello(Hello);
+  ChunkHeader CH;
+  CH.Magic = ChunkMagic;
+  CH.Seq = 0;
+  CH.PayloadBytes = 64;
+  appendMsgHeader(Wire, MsgType::Chunk, sizeof(CH) + 32);
+  appendBytes(Wire, &CH, sizeof(CH));
+  std::vector<std::byte> Payload(32, std::byte{0x5a});
+  appendBytes(Wire, Payload.data(), Payload.size());
+  ASSERT_EQ(::send(Fd, Wire.data(), Wire.size(), MSG_NOSIGNAL),
+            static_cast<long>(Wire.size()));
+
+  // The daemon closes the connection; the client sees EOF.
+  pollfd P{Fd, POLLIN, 0};
+  ASSERT_EQ(::poll(&P, 1, 5000), 1);
+  char Buf[16];
+  EXPECT_EQ(::recv(Fd, Buf, sizeof(Buf), 0), 0);
+  ::close(Fd);
+
+  std::string Health = H.admin("HEALTH");
+  EXPECT_NE(Health.find("protocol_errors=1"), std::string::npos);
+  EXPECT_NE(Health.find("chunks_received=0"), std::string::npos);
+  EXPECT_EQ(H.shutdown(), 0);
+}
+
+TEST(Daemon, AdminFloodWithoutNewlineIsDisconnected) {
+  DaemonHarness H;
+  H.start();
+
+  Address A;
+  std::string Err;
+  ASSERT_TRUE(parseAddress(H.AdminAddr, A, &Err));
+  int ErrNo = 0;
+  int Fd = connectTo(A, 2000, &ErrNo);
+  ASSERT_GE(Fd, 0) << std::strerror(ErrNo);
+
+  // A newline-free byte stream must not grow the daemon's pending-line
+  // buffer without bound: past the cap the connection is closed.
+  std::string Flood(16 * 1024, 'A');
+  (void)::send(Fd, Flood.data(), Flood.size(), MSG_NOSIGNAL);
+  pollfd P{Fd, POLLIN, 0};
+  ASSERT_EQ(::poll(&P, 1, 5000), 1);
+  // Closing with our bytes still queued may surface as ECONNRESET
+  // rather than a clean EOF; both mean "disconnected".
+  char Buf[16];
+  long R = ::recv(Fd, Buf, sizeof(Buf), 0);
+  EXPECT_TRUE(R == 0 || (R < 0 && errno == ECONNRESET));
+  ::close(Fd);
+
+  // The daemon itself is unharmed.
+  EXPECT_EQ(H.admin("PING"), "PONG\n");
   EXPECT_EQ(H.shutdown(), 0);
 }
 

@@ -258,7 +258,8 @@ int fsckProfileLog(const std::string &Path) {
   }
   std::printf("%s: object log, %zu records, %zu sites, %zu GC samples, "
               "%.2f MB end time\n",
-              Path.c_str(), Log.Records.size(), Log.Sites.size(),
+              Path.c_str(), Log.Records.size(),
+              static_cast<std::size_t>(Log.Sites.size()),
               Log.GCSamples.size(), toMB(Log.EndTime));
   std::printf("stream health: %s, %llu chunks (%llu bytes) dropped, "
               "%u retries, last errno %d (%s)\n",
