@@ -295,6 +295,56 @@ void BM_InterpreterProfiled(benchmark::State &State) {
 }
 BENCHMARK(BM_InterpreterProfiled)->Arg(10000);
 
+/// Sampled-recording overhead ladder: the full record-to-file path
+/// (emit, sample, encode, chunk, write) at a sweep of sampling rates.
+/// Arg0 is the loop count, Arg1 the --sample-bytes rate: 0 is exact
+/// mode (every allocation gets Use/Collect trailers -- the v4 stream,
+/// bit-identical to a plain recording), then 64Ki / 512Ki / 4Mi mean
+/// heap bytes per sample. The delta against BM_InterpreterPlain is the
+/// always-on overhead each rate pays; unsampled allocations take only
+/// the countdown decrement, so throughput should climb toward plain as
+/// the rate coarsens.
+void BM_SampledRecord(benchmark::State &State) {
+  Program P = buildHotLoop();
+  std::int64_t Iters = State.range(0);
+  std::uint64_t Rate = static_cast<std::uint64_t>(State.range(1));
+  char Path[64];
+  std::snprintf(Path, sizeof(Path), "/tmp/jdrag_bench_samp.%d.jdev",
+                static_cast<int>(getpid()));
+  std::uint64_t BytesOut = 0;
+  for (auto _ : State) {
+    profiler::SamplingParams SP;
+    SP.SampleBytes = Rate;
+    profiler::FileEventSink::Options FO;
+    FO.Format = profiler::effectiveFormat(profiler::DefaultWireFormat, SP);
+    FO.Sampling = SP;
+    profiler::FileEventSink Sink;
+    if (!Sink.open(Path, FO))
+      std::abort();
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Opts.Sink = &Sink;
+    Opts.SampleBytes = Rate;
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({Iters});
+    if (VM.run() != Interpreter::Status::Ok || !VM.streamIntact())
+      std::abort();
+    if (!Sink.finish())
+      std::abort();
+    BytesOut = Sink.bytesWritten();
+    benchmark::DoNotOptimize(BytesOut);
+  }
+  State.SetItemsProcessed(State.iterations() * Iters);
+  State.counters["stream_bytes"] =
+      benchmark::Counter(static_cast<double>(BytesOut));
+  std::remove(Path);
+}
+BENCHMARK(BM_SampledRecord)
+    ->Args({10000, 0})
+    ->Args({10000, 64 * 1024})
+    ->Args({10000, 512 * 1024})
+    ->Args({10000, 4 * 1024 * 1024});
+
 /// The trailer-store ladder rung: the same profiled run with the
 /// hash-map trailer store instead of the paged dense array. The delta
 /// against BM_InterpreterProfiled is the hashing cost on the per-Use

@@ -59,6 +59,12 @@ SiteId SiteGroup::dominantLastUseSite() const {
 
 DragReport::DragReport(const ir::Program &P, const ProfileLog &Log)
     : P(P), TheLog(Log), End(Log.EndTime) {
+  // Sampled logs (SampleRate != 0) hold a size-weighted Bernoulli subset
+  // of the allocations; every space-time sum below is scaled by the
+  // record's inverse inclusion probability so the report estimates the
+  // exact profile (Horvitz-Thompson). Exact logs get W == 1.0, which is
+  // IEEE-exact, so the sums are bit-identical to the unsampled math.
+  const std::uint64_t Rate = Log.SampleRate;
   std::unordered_map<SiteId, std::size_t> Index;
   for (const ObjectRecord &R : Log.Records) {
     auto [It, Fresh] = Index.try_emplace(R.AllocSite, Groups.size());
@@ -69,9 +75,16 @@ DragReport::DragReport(const ir::Program &P, const ProfileLog &Log)
     SiteGroup &G = Groups[It->second];
     ++G.ObjectCount;
     G.TotalBytes += R.Bytes;
-    SpaceTime Drag = R.drag();
+    double Prob = profiler::sampleProbability(R.Bytes, Rate);
+    SpaceTime W = 1.0 / Prob;
+    SpaceTime Drag = R.drag() * W;
+    G.EstObjects += W;
+    G.EstBytes += W * static_cast<double>(R.Bytes);
     G.TotalDrag += Drag;
-    G.DragPerObject.add(Drag);
+    G.DragVariance += profiler::sampleVarianceTerm(R.drag(), Prob);
+    // Per-object distributions describe the sampled records themselves,
+    // not the population, so they stay unweighted.
+    G.DragPerObject.add(R.drag());
     G.DragTimePerObject.add(static_cast<double>(R.dragTime()));
     G.LifeTimePerObject.add(static_cast<double>(R.lifeTime()));
     if (R.neverUsed()) {
@@ -86,9 +99,9 @@ DragReport::DragReport(const ir::Program &P, const ProfileLog &Log)
     G.DragByLastUse[R.neverUsed() ? InvalidSite : R.LastUseSite] += Drag;
 
     TotalDragSum += Drag;
-    ReachableSum += static_cast<SpaceTime>(R.Bytes) *
+    ReachableSum += W * static_cast<SpaceTime>(R.Bytes) *
                     static_cast<SpaceTime>(R.lifeTime());
-    InUseSum += static_cast<SpaceTime>(R.Bytes) *
+    InUseSum += W * static_cast<SpaceTime>(R.Bytes) *
                 static_cast<SpaceTime>(R.inUseTime());
   }
 
@@ -153,7 +166,8 @@ DragReport::DragReport(const ir::Program &P, const ProfileLog &Log)
     }
     ++G.ObjectCount;
     G.TotalBytes += R.Bytes;
-    G.TotalDrag += R.drag();
+    G.TotalDrag +=
+        R.drag() / profiler::sampleProbability(R.Bytes, Rate);
     if (R.neverUsed())
       ++G.NeverUsedCount;
   }

@@ -22,6 +22,7 @@
 #define JDRAG_ANALYSIS_DRAGREPORT_H
 
 #include "profiler/ProfileLog.h"
+#include "profiler/Sampling.h"
 #include "support/Statistics.h"
 
 #include <array>
@@ -35,13 +36,26 @@ using profiler::ProfileLog;
 using profiler::SiteId;
 
 /// Aggregate over all objects allocated at one nested allocation site.
+///
+/// Over an exact log every field is an exact sum. Over a sampled log
+/// (ProfileLog::SampleRate != 0) the integer fields stay *raw* counts
+/// of the sampled records while the SpaceTime sums are scaled
+/// Horvitz-Thompson estimates of the exact-profile values: each sampled
+/// record contributes its value times 1/p(bytes). EstObjects/EstBytes
+/// are the scaled companions of ObjectCount/TotalBytes, and
+/// DragVariance accumulates the HT variance of TotalDrag so reports can
+/// show a confidence interval next to the estimate.
 struct SiteGroup {
   SiteId Site = InvalidSite; ///< nested allocation site
-  std::uint64_t ObjectCount = 0;
+  std::uint64_t ObjectCount = 0;  ///< raw records (the sample count)
   std::uint64_t NeverUsedCount = 0;
-  std::uint64_t TotalBytes = 0;
-  SpaceTime TotalDrag = 0;     ///< byte^2
+  std::uint64_t TotalBytes = 0;   ///< raw bytes of sampled records
+  double EstObjects = 0;          ///< HT estimate of true object count
+  double EstBytes = 0;            ///< HT estimate of true byte total
+  SpaceTime TotalDrag = 0;     ///< byte^2 (HT-scaled when sampled)
   SpaceTime NeverUsedDrag = 0; ///< drag from never-used objects
+  /// HT variance of TotalDrag (0 for exact logs).
+  double DragVariance = 0;
   RunningStat DragPerObject;     ///< distribution of per-object drag
   RunningStat DragTimePerObject; ///< distribution of per-object drag time
   RunningStat LifeTimePerObject;
@@ -73,6 +87,10 @@ struct SiteGroup {
                              static_cast<double>(ObjectCount)
                        : 0.0;
   }
+
+  /// Half-width of the 95% confidence interval on TotalDrag (byte^2);
+  /// 0 for exact logs.
+  double dragCI95() const { return profiler::ci95(DragVariance); }
 
   /// The last-use site accounting for the most drag (InvalidSite if none
   /// of the group's objects was ever used).

@@ -17,6 +17,7 @@ std::string jdrag::analysis::renderSiteDetail(const DragReport &Report,
   const profiler::SiteTable &Sites = Report.log().Sites;
   LifetimePattern Pat = classifyPattern(G, T, Report.reachableIntegral());
 
+  bool Sampled = Report.log().SampleRate != 0;
   std::string Out;
   Out += formatString("site: %s\n", Sites.describe(P, G.Site).c_str());
   Out += formatString(
@@ -25,6 +26,12 @@ std::string jdrag::analysis::renderSiteDetail(const DragReport &Report,
       Report.totalDrag() > 0 ? 100.0 * G.TotalDrag / Report.totalDrag() : 0.0,
       static_cast<unsigned long long>(G.ObjectCount),
       static_cast<unsigned long long>(G.TotalBytes));
+  if (Sampled)
+    Out += formatString(
+        "  sampled: %llu records, drag CI95 +/- %.4f MB^2, "
+        "est %.0f objects / %.0f bytes\n",
+        static_cast<unsigned long long>(G.ObjectCount), toMB2(G.dragCI95()),
+        G.EstObjects, G.EstBytes);
   Out += formatString(
       "  never-used: %llu objects (%.1f%%), %.4f MB^2 (%.1f%% of site drag)\n",
       static_cast<unsigned long long>(G.NeverUsedCount),
@@ -55,7 +62,15 @@ std::string jdrag::analysis::renderDragReport(const DragReport &Report,
   const ir::Program &P = Report.program();
   const profiler::SiteTable &Sites = Report.log().Sites;
 
+  bool Sampled = Report.log().SampleRate != 0;
   std::string Out = "=== jdrag drag report ===\n";
+  if (Sampled)
+    Out += formatString(
+        "sampled profile: 1 allocation per ~%llu heap bytes (seed 0x%llx); "
+        "drag and byte figures are inverse-probability estimates, object "
+        "counts are raw sample counts\n",
+        static_cast<unsigned long long>(Report.log().SampleRate),
+        static_cast<unsigned long long>(Report.log().SampleSeed));
   if (!Report.log().Complete)
     Out += formatString(
         "WARNING: incomplete recording -- %llu chunks (%llu bytes) of the "
@@ -68,25 +83,32 @@ std::string jdrag::analysis::renderDragReport(const DragReport &Report,
       toMB2(Report.reachableIntegral()), toMB2(Report.inUseIntegral()),
       toMB2(Report.totalDrag()));
 
-  TextTable Table({"#", "drag MB^2", "% total", "objs", "never-used",
-                   "pattern", "nested allocation site"});
-  for (unsigned Col : {0u, 1u, 2u, 3u, 4u})
+  std::vector<std::string> Headers = {"#", "drag MB^2", "% total", "objs",
+                                      "never-used", "pattern",
+                                      "nested allocation site"};
+  if (Sampled)
+    Headers.insert(Headers.begin() + 2, "+/-95%");
+  TextTable Table(Headers);
+  for (unsigned Col = 0, E = Sampled ? 6u : 5u; Col != E; ++Col)
     Table.setAlign(Col, TextTable::Align::Right);
   std::uint32_t N = std::min<std::uint32_t>(
       Opts.MaxSites, static_cast<std::uint32_t>(Report.groups().size()));
   for (std::uint32_t I = 0; I != N; ++I) {
     const SiteGroup &G = Report.groups()[I];
     LifetimePattern Pat = classifyPattern(G, Opts.Thresholds, Report.reachableIntegral());
-    Table.addRow(
-        {formatString("%u", I + 1), formatFixed(toMB2(G.TotalDrag), 4),
-         formatFixed(Report.totalDrag() > 0
-                         ? 100.0 * G.TotalDrag / Report.totalDrag()
-                         : 0.0,
-                     1),
-         formatString("%llu", static_cast<unsigned long long>(G.ObjectCount)),
-         formatString("%llu",
-                      static_cast<unsigned long long>(G.NeverUsedCount)),
-         patternName(Pat), Sites.describe(P, G.Site)});
+    std::vector<std::string> Row = {
+        formatString("%u", I + 1), formatFixed(toMB2(G.TotalDrag), 4),
+        formatFixed(Report.totalDrag() > 0
+                        ? 100.0 * G.TotalDrag / Report.totalDrag()
+                        : 0.0,
+                    1),
+        formatString("%llu", static_cast<unsigned long long>(G.ObjectCount)),
+        formatString("%llu",
+                     static_cast<unsigned long long>(G.NeverUsedCount)),
+        patternName(Pat), Sites.describe(P, G.Site)};
+    if (Sampled)
+      Row.insert(Row.begin() + 2, formatFixed(toMB2(G.dragCI95()), 4));
+    Table.addRow(Row);
   }
   Out += Table.render();
 

@@ -37,10 +37,14 @@ namespace jdrag::daemon {
 
 /// One (benchmark, site) row of the fleet table.
 struct FleetRow {
-  SpaceTime Drag = 0; ///< byte^2
+  SpaceTime Drag = 0; ///< byte^2; scaled estimate for sampled sessions
   std::uint64_t Objects = 0;
   std::uint64_t Bytes = 0;
   std::uint64_t Sessions = 0; ///< sessions that contributed to this row
+  /// How many of those sessions were sampled (their drag contribution
+  /// is an inverse-probability-scaled estimate, not an exact sum).
+  /// TOP flags rows with any sampled contribution.
+  std::uint64_t SampledSessions = 0;
 };
 
 class FleetAggregate {
@@ -56,6 +60,7 @@ public:
 
   SpaceTime totalDrag() const { return Total; }
   std::uint64_t sessionsFolded() const { return Folded; }
+  std::uint64_t sampledSessionsFolded() const { return SampledFolded; }
   std::size_t rowCount() const { return Rows.size(); }
 
 private:
@@ -64,6 +69,7 @@ private:
   std::map<std::string, FleetRow> Rows;
   SpaceTime Total = 0;
   std::uint64_t Folded = 0;
+  std::uint64_t SampledFolded = 0;
 };
 
 } // namespace jdrag::daemon

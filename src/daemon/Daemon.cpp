@@ -2,6 +2,7 @@
 
 #include "daemon/Daemon.h"
 
+#include "profiler/Sampling.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -57,6 +58,12 @@ struct CollectorDaemon::Session {
   std::uint64_t DataChunks = 0;
   std::uint64_t Footers = 0;
   std::uint64_t Bytes = 0;
+  /// Object-byte totals of the session's decoded profile, stamped at
+  /// finalize: raw (as logged) and inverse-probability scaled (equal
+  /// for exact sessions). CLIENTS shows both so mixed exact/sampled
+  /// fleets are not silently summed as if comparable.
+  std::uint64_t RawObjBytes = 0;
+  std::uint64_t EstObjBytes = 0;
   bool GotBye = false;
   ByeInfo Bye;
   bool Closed = false;    ///< fd is dead; reap on the next sweep
@@ -332,6 +339,8 @@ void CollectorDaemon::handleMessage(Session &S, const MsgHeader &H,
                  sanitizeName(S.Info.Name) + ".jdev";
     profiler::FileEventSink::Options FO;
     FO.Format = S.Info.Format;
+    FO.Sampling.SampleBytes = S.Info.SampleBytes;
+    FO.Sampling.SampleSeed = S.Info.SampleSeed;
     FO.FsyncEveryChunks = Opt.FsyncEveryChunks;
     if (S.Rec.open(S.FilePath, FO)) {
       S.RecOpen = true;
@@ -455,6 +464,18 @@ void CollectorDaemon::finalizeSession(Session &S, bool Clean) {
     Log.Complete = Clean && S.Bye.ChunksDropped == 0;
     Log.DroppedChunks = S.Bye.ChunksDropped;
     Log.DroppedBytes = S.Bye.BytesDropped;
+    // A sampled session's log carries the HELLO params so the fold's
+    // per-site estimates are inverse-probability scaled. Exact sessions
+    // normalize to {0, 0} (canonical exact-log form).
+    Log.SampleRate = S.Info.SampleBytes;
+    Log.SampleSeed = S.Info.SampleBytes ? S.Info.SampleSeed : 0;
+    double Est = 0;
+    for (const profiler::ObjectRecord &R : Log.Records) {
+      S.RawObjBytes += R.Bytes;
+      Est += static_cast<double>(R.Bytes) *
+             profiler::sampleWeight(R.Bytes, Log.SampleRate);
+    }
+    S.EstObjBytes = static_cast<std::uint64_t>(Est);
     // One client's log must never take the collector down with it: a
     // fold that fails (however malformed the session was) costs that
     // session's contribution, nothing more.
@@ -531,16 +552,31 @@ void CollectorDaemon::flushAdmin(AdminConn &A) {
 }
 
 std::string CollectorDaemon::sessionLine(const Session &S) const {
-  return formatString(
+  std::string Sample =
+      !S.GotHello ? "-"
+      : S.Info.SampleBytes == 0
+          ? "exact"
+          : formatString("%llu",
+                         static_cast<unsigned long long>(S.Info.SampleBytes));
+  std::string Line = formatString(
       "client %llu name=%s pid=%llu state=%s chunks=%llu footers=%llu "
-      "bytes=%llu file=%s\n",
+      "bytes=%llu sample=%s file=%s",
       static_cast<unsigned long long>(S.Id),
       S.GotHello ? sanitizeName(S.Info.Name).c_str() : "-",
       static_cast<unsigned long long>(S.Info.Pid), S.State,
       static_cast<unsigned long long>(S.DataChunks),
       static_cast<unsigned long long>(S.Footers),
-      static_cast<unsigned long long>(S.Bytes),
+      static_cast<unsigned long long>(S.Bytes), Sample.c_str(),
       S.FilePath.empty() ? "-" : S.FilePath.c_str());
+  // Scaled-vs-raw object-byte totals exist once the profile is folded;
+  // a sampled session whose totals were summed raw would silently
+  // undercount next to an exact one.
+  if (S.Finalized && (S.RawObjBytes || S.EstObjBytes))
+    Line += formatString(
+        " raw-obj-bytes=%llu est-obj-bytes=%llu",
+        static_cast<unsigned long long>(S.RawObjBytes),
+        static_cast<unsigned long long>(S.EstObjBytes));
+  return Line + "\n";
 }
 
 std::string CollectorDaemon::clientsReport() const {
@@ -569,7 +605,7 @@ std::string CollectorDaemon::execAdmin(const std::string &Line) {
     return formatString("jdragd proto=%u\nsession_addr=%s\nadmin_addr=%s\n"
                         "output_dir=%s\nsessions_active=%llu\n"
                         "sessions_total=%llu\nfleet_rows=%zu\n"
-                        "fleet_sessions=%llu\n",
+                        "fleet_sessions=%llu\nfleet_sampled_sessions=%llu\n",
                         ProtocolVersion, SessAddr.str().c_str(),
                         AdminLfd >= 0 ? AdmAddr.str().c_str() : "-",
                         Opt.OutputDir.c_str(),
@@ -577,7 +613,9 @@ std::string CollectorDaemon::execAdmin(const std::string &Line) {
                         static_cast<unsigned long long>(Stats.SessionsTotal),
                         Fleet.rowCount(),
                         static_cast<unsigned long long>(
-                            Fleet.sessionsFolded()));
+                            Fleet.sessionsFolded()),
+                        static_cast<unsigned long long>(
+                            Fleet.sampledSessionsFolded()));
   if (Cmd == "CLIENTS")
     return clientsReport();
   if (Cmd == "TOP") {

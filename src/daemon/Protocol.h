@@ -93,6 +93,11 @@ struct HelloInfo {
   profiler::WireFormat Format = profiler::DefaultWireFormat;
   std::uint32_t Protocol = ProtocolVersion;
   std::string Name;
+  /// Sampling params behind the session's stream (0 = exact). Carried
+  /// as a 16-byte HELLO extension after the name; pre-sampling clients
+  /// omit it and decode as exact.
+  std::uint64_t SampleBytes = 0;
+  std::uint64_t SampleSeed = profiler::SamplingParams{}.SampleSeed;
 };
 
 /// Client-side delivery accounting carried by BYE.
@@ -118,14 +123,17 @@ inline void appendMsgHeader(std::vector<std::byte> &Out, MsgType T,
 }
 
 /// HELLO payload: u32 protocol version, u32 wire format, u64 pid,
-/// u32 name length, name bytes.
+/// u32 name length, name bytes, then a 16-byte sampling extension
+/// (u64 sample interval, u64 sample seed). Decoders accept both the
+/// extended and the legacy (extension-less) layout, so old and new
+/// clients and daemons interoperate; an absent extension means exact.
 inline std::vector<std::byte> encodeHello(const HelloInfo &Info) {
   std::vector<std::byte> Out;
   std::uint32_t NameLen =
       static_cast<std::uint32_t>(std::min<std::size_t>(Info.Name.size(),
                                                        MaxClientName));
-  Out.reserve(sizeof(MsgHeader) + 20 + NameLen);
-  appendMsgHeader(Out, MsgType::Hello, 20 + NameLen);
+  Out.reserve(sizeof(MsgHeader) + 36 + NameLen);
+  appendMsgHeader(Out, MsgType::Hello, 36 + NameLen);
   std::uint32_t Proto = Info.Protocol;
   std::uint32_t Fmt = static_cast<std::uint32_t>(Info.Format);
   appendBytes(Out, &Proto, 4);
@@ -133,6 +141,8 @@ inline std::vector<std::byte> encodeHello(const HelloInfo &Info) {
   appendBytes(Out, &Info.Pid, 8);
   appendBytes(Out, &NameLen, 4);
   appendBytes(Out, Info.Name.data(), NameLen);
+  appendBytes(Out, &Info.SampleBytes, 8);
+  appendBytes(Out, &Info.SampleSeed, 8);
   return Out;
 }
 
@@ -148,12 +158,14 @@ inline bool decodeHello(std::span<const std::byte> Payload, HelloInfo &Out,
   std::memcpy(&Fmt, Payload.data() + 4, 4);
   std::memcpy(&Out.Pid, Payload.data() + 8, 8);
   std::memcpy(&NameLen, Payload.data() + 16, 4);
-  if (NameLen > MaxClientName || Payload.size() != 20 + NameLen) {
+  // Legacy layout (no sampling extension) or extended (+16 bytes).
+  if (NameLen > MaxClientName ||
+      (Payload.size() != 20 + NameLen && Payload.size() != 36 + NameLen)) {
     if (Err)
       *Err = "malformed HELLO name length";
     return false;
   }
-  if (Fmt < 2 || Fmt > 4) {
+  if (Fmt < 2 || Fmt > 5) {
     if (Err)
       *Err = "HELLO carries unknown wire format " + std::to_string(Fmt);
     return false;
@@ -161,6 +173,12 @@ inline bool decodeHello(std::span<const std::byte> Payload, HelloInfo &Out,
   Out.Format = static_cast<profiler::WireFormat>(Fmt);
   Out.Name.assign(reinterpret_cast<const char *>(Payload.data()) + 20,
                   NameLen);
+  Out.SampleBytes = 0;
+  Out.SampleSeed = profiler::SamplingParams{}.SampleSeed;
+  if (Payload.size() == 36 + NameLen) {
+    std::memcpy(&Out.SampleBytes, Payload.data() + 20 + NameLen, 8);
+    std::memcpy(&Out.SampleSeed, Payload.data() + 28 + NameLen, 8);
+  }
   return true;
 }
 

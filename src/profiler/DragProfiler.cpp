@@ -133,8 +133,15 @@ bool jdrag::profiler::replayProfile(const std::string &Path,
                                     ProfilerConfig Config, ProfileLog &Out,
                                     std::string *Err) {
   DragProfiler Prof(P, std::move(Config));
-  if (!replayFile(Path, Prof, Err))
+  StreamHeaderInfo Info;
+  if (!replayFile(Path, Prof, Err, &Info))
     return false;
   Out = Prof.takeLog();
+  // A v5 recording is sampled: stamp the params so analysis scales.
+  // Exact logs normalize to {0, 0} -- the seed is meaningless without a
+  // rate, and a canonical form keeps exact logs bit-identical no matter
+  // which pipeline produced them.
+  Out.SampleRate = Info.Sampling.SampleBytes;
+  Out.SampleSeed = Info.Sampling.enabled() ? Info.Sampling.SampleSeed : 0;
   return true;
 }

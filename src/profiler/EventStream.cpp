@@ -345,6 +345,10 @@ bool FileEventSink::open(const std::string &Path, Options O) {
   Ok = std::fwrite(&StreamMagic, sizeof(StreamMagic), 1, F) == 1 &&
        std::fwrite(&Version, sizeof(Version), 1, F) == 1 &&
        std::fwrite(&Reserved, sizeof(Reserved), 1, F) == 1;
+  // v5 header extension: the sampling params that scale this stream.
+  if (Ok && Opt.Format == WireFormat::V5)
+    Ok = std::fwrite(&Opt.Sampling.SampleBytes, 8, 1, F) == 1 &&
+         std::fwrite(&Opt.Sampling.SampleSeed, 8, 1, F) == 1;
   if (!Ok)
     LastErr = errno;
   return Ok;
@@ -431,8 +435,8 @@ EventBuffer::EventBuffer(EventSink &Sink, std::size_t ChunkBytes,
 void EventBuffer::beginChunk() {
   Chunk.clear();
   Chunk.resize(sizeof(ChunkHeader)); // placeholder, filled at flush
-  if (Format == WireFormat::V4) {
-    // Every v4 chunk is self-contained: the delta chain restarts, so
+  if (chunkSelfContained(Format)) {
+    // Every v4/v5 chunk is self-contained: the delta chain restarts, so
     // the first timed record carries its absolute time.
     LastTime = 0;
     ChunkRecords = 0;
@@ -463,12 +467,12 @@ void EventBuffer::writeEventV3(const EventRecord &E) {
   std::uint8_t Tag = E.Kind;
   auto Kind = E.kind();
 
-  // v4 keeps chunks record-aligned, and the delta below depends on
+  // v4/v5 keep chunks record-aligned, and the delta below depends on
   // which chunk the record lands in (the chain restarts per chunk) --
   // so the chunk decision comes first: if the worst-case record might
   // not fit, flush now and encode against the fresh chunk's zero base.
   // Costs at most 50 slack bytes per chunk.
-  if (Format == WireFormat::V4 && Chunk.size() > sizeof(ChunkHeader) &&
+  if (chunkSelfContained(Format) && Chunk.size() > sizeof(ChunkHeader) &&
       sizeof(ChunkHeader) + ChunkBytes - Chunk.size() < sizeof(Buf))
     flush();
 
@@ -516,7 +520,7 @@ void EventBuffer::writeEventV3(const EventRecord &E) {
     // DefineSite goes through writeSite(); never reaches here.
     return;
   }
-  if (Format == WireFormat::V4)
+  if (chunkSelfContained(Format))
     appendRecordV4(Buf, N, /*Timed=*/true, E.Time);
   else
     writeBytes(Buf, N);
@@ -634,7 +638,7 @@ bool EventBuffer::flush() {
   if (Accepted) {
     ++Health.ChunksWritten;
     Health.BytesWritten += Chunk.size();
-    if (Format == WireFormat::V4) {
+    if (chunkSelfContained(Format)) {
       ChunkIndexEntry E;
       E.Offset = StreamOffset;
       E.Seq = H.Seq;
@@ -669,7 +673,7 @@ bool EventBuffer::flush() {
 
 bool EventBuffer::finishStream() {
   bool FlushOk = flush();
-  if (Format != WireFormat::V4 || FooterWritten)
+  if (!chunkSelfContained(Format) || FooterWritten)
     return FlushOk;
   FooterWritten = true;
   // A footer asserts "these chunks are all in the stream, here" -- on a
@@ -995,7 +999,7 @@ bool FrameDecoder::feed(const std::byte *Data, std::size_t Size) {
   while (Avail - Off >= sizeof(ChunkHeader)) {
     ChunkHeader H;
     std::memcpy(&H, Cur + Off, sizeof(H));
-    if (Format == WireFormat::V4 && H.Magic == FooterMagic) {
+    if (chunkSelfContained(Format) && H.Magic == FooterMagic) {
       // Terminal chunk index footer: CRC-verify and swallow it -- its
       // contents are a seek index, not stream data.
       if (H.PayloadBytes > MaxChunkPayload)
@@ -1040,15 +1044,15 @@ bool FrameDecoder::feed(const std::byte *Data, std::size_t Size) {
       return fail("corrupt event stream: chunk " + std::to_string(NextSeq) +
                   " CRC mismatch (stored " + std::to_string(H.Crc) +
                   ", computed " + std::to_string(Crc) + ")");
-    if (Format == WireFormat::V4)
-      Records.resetTimeBase(); // every v4 chunk is self-contained
+    if (chunkSelfContained(Format))
+      Records.resetTimeBase(); // every v4/v5 chunk is self-contained
     if (!Records.feed(Payload, H.PayloadBytes)) {
       Failed = true;
       return false; // record-layer error() is surfaced by error()
     }
-    if (Format == WireFormat::V4 && !Records.atRecordBoundary())
+    if (chunkSelfContained(Format) && !Records.atRecordBoundary())
       return fail("corrupt event stream: record straddles a chunk "
-                  "boundary in v4 chunk " +
+                  "boundary in self-contained chunk " +
                   std::to_string(NextSeq));
     ++Chunks;
     ++NextSeq;
@@ -1256,8 +1260,8 @@ bool jdrag::profiler::rebuildChunkIndex(std::span<const std::byte> Stream,
       ++Cur;
     if (Cur != Prev) {
       CurHasTime = false;
-      if (F == WireFormat::V4)
-        LastTime = 0; // the v4 delta chain restarts per chunk
+      if (chunkSelfContained(F))
+        LastTime = 0; // the v4/v5 delta chain restarts per chunk
     }
     ChunkIndexEntry &E = Out.Entries[Cur];
     WalkResult W =
@@ -1268,7 +1272,7 @@ bool jdrag::profiler::rebuildChunkIndex(std::span<const std::byte> Stream,
       return Fail("malformed record in chunk " + std::to_string(E.Seq));
     if (W.Len == 0)
       return Fail("truncated event stream: partial trailing record");
-    if (F == WireFormat::V4 && Pos + W.Len > Starts[Cur] + E.PayloadBytes)
+    if (chunkSelfContained(F) && Pos + W.Len > Starts[Cur] + E.PayloadBytes)
       return Fail("record straddles a chunk boundary in v4 chunk " +
                   std::to_string(E.Seq));
     if (E.RecordCount == 0) {
@@ -1314,7 +1318,7 @@ bool jdrag::profiler::replayBytes(std::span<const std::byte> Bytes,
 }
 
 bool jdrag::profiler::replayFile(const std::string &Path, EventConsumer &C,
-                                 std::string *Err) {
+                                 std::string *Err, StreamHeaderInfo *Info) {
   auto Fail = [&](const std::string &Msg) {
     if (Err)
       *Err = Msg;
@@ -1334,10 +1338,24 @@ bool jdrag::profiler::replayFile(const std::string &Path, EventConsumer &C,
       std::fread(&Reserved, sizeof(Reserved), 1, F) != 1 ||
       (Version != static_cast<std::uint32_t>(WireFormat::V2) &&
        Version != static_cast<std::uint32_t>(WireFormat::V3) &&
-       Version != static_cast<std::uint32_t>(WireFormat::V4))) {
+       Version != static_cast<std::uint32_t>(WireFormat::V4) &&
+       Version != static_cast<std::uint32_t>(WireFormat::V5))) {
     std::fclose(F);
     return Fail(Path + ": unsupported .jdev version " +
                 std::to_string(Version));
+  }
+  SamplingParams Sampling;
+  if (Version == static_cast<std::uint32_t>(WireFormat::V5)) {
+    // v5 header extension: the sampling params that scale this stream.
+    if (std::fread(&Sampling.SampleBytes, 8, 1, F) != 1 ||
+        std::fread(&Sampling.SampleSeed, 8, 1, F) != 1) {
+      std::fclose(F);
+      return Fail(Path + ": truncated v5 stream header");
+    }
+  }
+  if (Info) {
+    Info->Format = static_cast<WireFormat>(Version);
+    Info->Sampling = Sampling;
   }
 
   FrameDecoder D(C, static_cast<WireFormat>(Version));
@@ -1362,5 +1380,42 @@ bool jdrag::profiler::replayFile(const std::string &Path, EventConsumer &C,
     return Fail(Path +
                 ": truncated event stream (partial trailing chunk or "
                 "record); try `jdrag salvage`");
+  return true;
+}
+
+bool jdrag::profiler::readStreamHeader(const std::string &Path,
+                                       StreamHeaderInfo &Info,
+                                       std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Fail("cannot open " + Path);
+  std::uint64_t Magic = 0;
+  std::uint32_t Version = 0, Reserved = 0;
+  if (std::fread(&Magic, sizeof(Magic), 1, F) != 1 || Magic != StreamMagic) {
+    std::fclose(F);
+    return Fail(Path + ": not a .jdev event stream (bad magic)");
+  }
+  if (std::fread(&Version, sizeof(Version), 1, F) != 1 ||
+      std::fread(&Reserved, sizeof(Reserved), 1, F) != 1 ||
+      Version < static_cast<std::uint32_t>(WireFormat::V2) ||
+      Version > static_cast<std::uint32_t>(WireFormat::V5)) {
+    std::fclose(F);
+    return Fail(Path + ": unsupported .jdev version " +
+                std::to_string(Version));
+  }
+  Info.Format = static_cast<WireFormat>(Version);
+  Info.Sampling = SamplingParams{};
+  if (Info.Format == WireFormat::V5 &&
+      (std::fread(&Info.Sampling.SampleBytes, 8, 1, F) != 1 ||
+       std::fread(&Info.Sampling.SampleSeed, 8, 1, F) != 1)) {
+    std::fclose(F);
+    return Fail(Path + ": truncated v5 stream header");
+  }
+  std::fclose(F);
   return true;
 }

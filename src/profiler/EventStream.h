@@ -111,10 +111,59 @@ enum class WireFormat : std::uint8_t {
   V2 = 2, ///< fixed 40-byte EventRecords (legacy; still replayable)
   V3 = 3, ///< per-kind varint records with byte-clock time deltas
   V4 = 4, ///< v3 records, but chunk-self-contained + chunk index footer
+  V5 = 5, ///< v4 chunks/records/footer + sampling params in the header
 };
 
 /// What new streams are written as (decoders accept all versions).
+/// Sampled recordings upgrade to V5 (effectiveFormat below) because
+/// their header must carry the SamplingParams; exact recordings stay V4
+/// so `--sample-bytes 0` streams are byte-identical to pre-sampling
+/// ones.
 inline constexpr WireFormat DefaultWireFormat = WireFormat::V4;
+
+/// v4 introduced chunk-self-contained framing (per-chunk time baseline,
+/// record-aligned flushes, terminal index footer); v5 keeps all of it
+/// and only extends the file header. Every framing decision keys on
+/// this predicate, not on an exact version compare.
+inline constexpr bool chunkSelfContained(WireFormat F) {
+  return F >= WireFormat::V4;
+}
+
+/// Byte-interval allocation sampling parameters, carried in the v5 file
+/// header so a recording is self-describing: SampleBytes is the mean of
+/// the geometric inter-sample gap on the byte clock (heapprofd-style
+/// size-weighted sampling -- an allocation of s bytes is sampled with
+/// probability 1 - exp(-s/SampleBytes)); SampleSeed seeds the
+/// deterministic PRNG so a recording is reproducible. SampleBytes == 0
+/// means exact (every allocation tracked), the pre-v5 behaviour.
+struct SamplingParams {
+  std::uint64_t SampleBytes = 0;
+  std::uint64_t SampleSeed = 0x6a64726167ULL; // "jdrag"
+  constexpr bool enabled() const { return SampleBytes != 0; }
+};
+
+/// Default byte interval for sampled recordings (`--sample-bytes` with
+/// no explicit rate): small enough that the paper's workloads keep a
+/// statistically useful sample, large enough that almost every
+/// allocation takes the unsampled fast path.
+inline constexpr std::uint64_t DefaultSampleBytes = 64 * 1024;
+
+/// The format a recording must be written as given the requested format
+/// and sampling: sampling upgrades v4 to v5 (the header must carry the
+/// params); exact recordings keep the requested format. Sampling under
+/// v2/v3 has no header slot for the params -- callers reject that
+/// combination (jdrag does) rather than record an unscalable stream.
+inline constexpr WireFormat effectiveFormat(WireFormat F,
+                                            const SamplingParams &S) {
+  return S.enabled() && F == WireFormat::V4 ? WireFormat::V5 : F;
+}
+
+/// Size of the `.jdev` file header for format \p F: 16 bytes (magic,
+/// version, reserved) through v4; v5 appends u64 SampleBytes + u64
+/// SampleSeed for 32.
+inline constexpr std::size_t streamHeaderBytes(WireFormat F) {
+  return F == WireFormat::V5 ? 32 : 16;
+}
 
 /// One decoded event. This is the *in-memory* record every consumer
 /// sees regardless of wire format; it is also, verbatim, the v2 wire
@@ -483,6 +532,9 @@ public:
     /// Header version stamped on the file. Must match the WireFormat of
     /// the EventBuffer producing the chunks.
     WireFormat Format = DefaultWireFormat;
+    /// Sampling parameters stamped into a v5 header (ignored for older
+    /// formats, whose headers have no slot for them).
+    SamplingParams Sampling;
   };
 
   FileEventSink() = default;
@@ -746,13 +798,26 @@ bool replayBytes(std::span<const std::byte> Bytes, EventConsumer &C,
                  WireFormat Format = DefaultWireFormat);
 
 /// Replays a `.jdev` recording into \p C, validating the file header,
-/// every chunk frame (sequence + CRC), and record completeness. v2, v3
-/// and v4 recordings are accepted (the header version selects the
+/// every chunk frame (sequence + CRC), and record completeness. v2
+/// through v5 recordings are accepted (the header version selects the
 /// record decoder). A header-only file (zero events) replays
 /// successfully. Damaged files fail with a precise error;
-/// `jdrag salvage` recovers their prefix.
+/// `jdrag salvage` recovers their prefix. When \p Info is non-null it
+/// receives the header's format and sampling params (exact defaults for
+/// pre-v5 files).
+struct StreamHeaderInfo {
+  WireFormat Format = DefaultWireFormat;
+  SamplingParams Sampling;
+};
 bool replayFile(const std::string &Path, EventConsumer &C,
-                std::string *Err = nullptr);
+                std::string *Err = nullptr,
+                StreamHeaderInfo *Info = nullptr);
+
+/// Reads and validates just the `.jdev` file header at \p Path into
+/// \p Info. Returns false (with \p Err) on an unreadable file, bad
+/// magic, or unknown version.
+bool readStreamHeader(const std::string &Path, StreamHeaderInfo &Info,
+                      std::string *Err = nullptr);
 
 } // namespace jdrag::profiler
 

@@ -265,7 +265,7 @@ void runShard(std::span<const std::byte> Framed, WireFormat F,
     return Framed.data() + En.Offset + sizeof(ChunkHeader);
   };
 
-  if (F == WireFormat::V4) {
+  if (chunkSelfContained(F)) {
     for (std::size_t I = B; I < E; ++I) {
       const ChunkIndexEntry &En = Ents[I];
       if (!validateChunk(Framed, En, I, Idx.FromFooter, R))
@@ -513,15 +513,25 @@ bool jdrag::profiler::replayProfileParallel(const std::string &Path,
   if (Magic != StreamFileMagic ||
       (Version != static_cast<std::uint32_t>(WireFormat::V2) &&
        Version != static_cast<std::uint32_t>(WireFormat::V3) &&
-       Version != static_cast<std::uint32_t>(WireFormat::V4)))
+       Version != static_cast<std::uint32_t>(WireFormat::V4) &&
+       Version != static_cast<std::uint32_t>(WireFormat::V5)))
     return Sequential();
   WireFormat F = static_cast<WireFormat>(Version);
-  std::span<const std::byte> Framed(Bytes.data() + 16, Bytes.size() - 16);
+  std::size_t HeaderBytes = streamHeaderBytes(F);
+  if (Bytes.size() < HeaderBytes)
+    return Sequential(); // truncated v5 header; sequential owns the error
+  SamplingParams Sampling;
+  if (F == WireFormat::V5) {
+    std::memcpy(&Sampling.SampleBytes, Bytes.data() + 16, 8);
+    std::memcpy(&Sampling.SampleSeed, Bytes.data() + 24, 8);
+  }
+  std::span<const std::byte> Framed(Bytes.data() + HeaderBytes,
+                                    Bytes.size() - HeaderBytes);
   if (Framed.empty())
     return Sequential(); // header-only recording
 
   ChunkIndex Idx;
-  if (F == WireFormat::V4 && footerBlockSize(Framed) != 0) {
+  if (chunkSelfContained(F) && footerBlockSize(Framed) != 0) {
     // A structurally present but unparsable footer is damage; let the
     // strict sequential path report it.
     if (!readChunkIndexFooter(Framed, Idx))
@@ -538,6 +548,8 @@ bool jdrag::profiler::replayProfileParallel(const std::string &Path,
     std::string ShardErr;
     if (runSharded(Framed, F, Idx, Jobs, Snap, Shards, ShardErr)) {
       mergeShards(Shards, Config, Out);
+      Out.SampleRate = Sampling.SampleBytes;
+      Out.SampleSeed = Sampling.enabled() ? Sampling.SampleSeed : 0;
       return true;
     }
     // A footer is a producer claim; when reality disagrees, distrust it

@@ -33,16 +33,18 @@ SpaceTime ProfileLog::inUseIntegral() const {
 
 namespace {
 
-// Format v05: magic, u32 version, u32 record size (layout check), then
+// Format v06: magic, u32 version, u32 record size (layout check), then
 // EndTime, delivery accounting (u8 Complete, u64 dropped chunks/bytes,
-// u32 retries, i32 last errno from the recording's StreamHealth),
-// sites, records, GC samples. The version and record-size fields plus
-// file-size validation of every count make corrupt, truncated, or
-// wrong-version files fail cleanly instead of producing garbage records
-// (or huge blind reserves). v05 added the retry/errno counters (no v04
-// files were shipped; readers reject the old magic outright).
-constexpr std::uint64_t LogMagic = ProfileLogMagic; // "jdragv05"
-constexpr std::uint32_t LogVersion = 5;
+// u32 retries, i32 last errno from the recording's StreamHealth), the
+// sampling params behind the recording (u64 rate, u64 seed; rate 0 =
+// exact), sites, records, GC samples. The version and record-size
+// fields plus file-size validation of every count make corrupt,
+// truncated, or wrong-version files fail cleanly instead of producing
+// garbage records (or huge blind reserves). v05 added the retry/errno
+// counters; v06 added the sampling params (readers reject older magics
+// outright, matching prior bumps).
+constexpr std::uint64_t LogMagic = ProfileLogMagic; // "jdragv06"
+constexpr std::uint32_t LogVersion = 6;
 
 struct FileCloser {
   void operator()(std::FILE *F) const {
@@ -97,6 +99,8 @@ bool ProfileLog::writeFile(const std::string &Path) const {
   if (!writePod(F.get(), CompleteByte) || !writePod(F.get(), DroppedChunks) ||
       !writePod(F.get(), DroppedBytes) || !writePod(F.get(), Retries) ||
       !writePod(F.get(), LastErrno))
+    return false;
+  if (!writePod(F.get(), SampleRate) || !writePod(F.get(), SampleSeed))
     return false;
 
   std::uint64_t NumSites = Sites.size();
@@ -186,6 +190,8 @@ bool ProfileLog::readFile(const std::string &Path, ProfileLog &Out) {
   Out.Complete = CompleteByte;
   // A complete log must not claim drops (and vice versa).
   if (Out.Complete != (Out.DroppedChunks == 0 && Out.DroppedBytes == 0))
+    return false;
+  if (!readPod(F.get(), Out.SampleRate) || !readPod(F.get(), Out.SampleSeed))
     return false;
 
   std::uint64_t NumSites = 0;

@@ -77,10 +77,10 @@ struct GCSample {
   std::uint64_t ReachableObjects = 0;
 };
 
-/// `.jdlog` file magic ("jdragv05"): leads every serialized ProfileLog,
+/// `.jdlog` file magic ("jdragv06"): leads every serialized ProfileLog,
 /// so tools can tell an object log from an event recording by the first
-/// 8 bytes (cf. StreamFileMagic).
-inline constexpr std::uint64_t ProfileLogMagic = 0x6a64726167763035ULL;
+/// 8 bytes (cf. StreamFileMagic). v05 -> v06 added the sampling fields.
+inline constexpr std::uint64_t ProfileLogMagic = 0x6a64726167763036ULL;
 
 /// The complete phase-1 output.
 class ProfileLog {
@@ -103,6 +103,14 @@ public:
   /// link is visible before it escalates into drops.
   std::uint32_t Retries = 0;
   std::int32_t LastErrno = 0;
+  /// Byte interval of the allocation sampling behind this log (0 =
+  /// exact: every object has a record). Nonzero means Records are a
+  /// size-weighted subset and byte-weighted aggregates must be scaled
+  /// by inverse inclusion probability (profiler/Sampling.h) -- the
+  /// analysis layer does this when SampleRate != 0.
+  std::uint64_t SampleRate = 0;
+  /// Seed of the sampling PRNG (reproducibility bookkeeping).
+  std::uint64_t SampleSeed = 0;
 
   /// Serializes to \p Path. Returns false on I/O error.
   bool writeFile(const std::string &Path) const;

@@ -1,0 +1,124 @@
+//===- profiler/Sampling.h - Size-weighted allocation sampling --*- C++ -*-===//
+//
+// Part of jdrag (PLDI 2001 "Heap Profiling for Space-Efficient Java").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-interval geometric allocation sampling (the heapprofd scheme) and
+/// the Horvitz-Thompson estimator math that scales a sampled recording
+/// back to an unbiased estimate of the exact profile.
+///
+/// The policy is a countdown over the allocation byte stream: sample
+/// points are laid down a geometric(1/rate) number of bytes apart, so an
+/// allocation of S bytes is selected with probability
+///
+///     p(S) = 1 - exp(-S / rate)
+///
+/// -- size-weighted Bernoulli sampling where big objects (which dominate
+/// drag) are almost always kept and tiny ones are kept roughly S/rate of
+/// the time. A selected object's contribution to any byte-weighted sum is
+/// scaled by the inverse-probability weight 1/p(S), which makes the
+/// scaled sum an unbiased (Horvitz-Thompson) estimator of the exact sum.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JDRAG_PROFILER_SAMPLING_H
+#define JDRAG_PROFILER_SAMPLING_H
+
+#include "profiler/EventStream.h"
+#include "support/Random.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace jdrag::profiler {
+
+/// Probability that an allocation of \p Bytes is selected under byte
+/// interval \p SampleBytes. Rate 0 means sampling is off: everything is
+/// selected with certainty.
+inline double sampleProbability(std::uint64_t Bytes,
+                                std::uint64_t SampleBytes) {
+  if (SampleBytes == 0 || Bytes == 0)
+    return 1.0;
+  // -expm1(-x) = 1 - exp(-x) without cancellation for small x.
+  return -std::expm1(-static_cast<double>(Bytes) /
+                     static_cast<double>(SampleBytes));
+}
+
+/// Inverse-probability (Horvitz-Thompson) weight for a sampled
+/// allocation of \p Bytes.
+inline double sampleWeight(std::uint64_t Bytes, std::uint64_t SampleBytes) {
+  return 1.0 / sampleProbability(Bytes, SampleBytes);
+}
+
+/// Variance contribution of one sampled record whose exact value is
+/// \p Value and whose selection probability is \p P: Var for a single
+/// inclusion indicator is (1-p)/p^2 * value^2. Summed across records
+/// this is the standard HT variance estimate (inclusions are
+/// independent under the geometric point process, to first order).
+inline double sampleVarianceTerm(double Value, double P) {
+  return (1.0 - P) / (P * P) * Value * Value;
+}
+
+/// Half-width of a normal-approximation 95% confidence interval for an
+/// HT-estimated sum with accumulated variance \p Variance.
+inline double ci95(double Variance) {
+  return Variance > 0.0 ? 1.96 * std::sqrt(Variance) : 0.0;
+}
+
+/// The sampling decision itself: a deterministic, seedable countdown of
+/// bytes until the next sample point. Allocation order and sizes fully
+/// determine which objects are selected, so recordings are reproducible
+/// (same seed + same program => identical .jdev bytes).
+class SamplePolicy {
+public:
+  SamplePolicy() : Prng(SamplingParams{}.SampleSeed) {}
+
+  explicit SamplePolicy(const SamplingParams &P)
+      : Rate(P.SampleBytes), Prng(P.SampleSeed) {
+    if (Rate != 0)
+      NextGap = nextGap();
+  }
+
+  bool enabled() const { return Rate != 0; }
+
+  /// Advance the byte clock by one allocation of \p Bytes and decide
+  /// whether it carries a sample point. With sampling off every
+  /// allocation is selected.
+  bool sampleAllocation(std::uint64_t Bytes) {
+    if (Rate == 0)
+      return true;
+    if (Bytes < NextGap) {
+      NextGap -= Bytes;
+      return false;
+    }
+    // The allocation spans one or more sample points; consume them and
+    // carry the remainder of the last gap into the next allocation.
+    std::uint64_t Left = Bytes - NextGap;
+    std::uint64_t G = nextGap();
+    while (G <= Left) {
+      Left -= G;
+      G = nextGap();
+    }
+    NextGap = G - Left;
+    return true;
+  }
+
+private:
+  std::uint64_t nextGap() {
+    // Geometric with mean Rate, via inverse-CDF on the exponential;
+    // clamped to >= 1 so the countdown always advances.
+    double U = Prng.nextDouble(); // [0, 1), so log1p(-U) is finite
+    double G = -static_cast<double>(Rate) * std::log1p(-U);
+    return G < 1.0 ? 1 : static_cast<std::uint64_t>(G);
+  }
+
+  std::uint64_t Rate = 0;
+  std::uint64_t NextGap = 0;
+  SplitMix64 Prng;
+};
+
+} // namespace jdrag::profiler
+
+#endif // JDRAG_PROFILER_SAMPLING_H

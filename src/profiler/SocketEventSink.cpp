@@ -70,6 +70,8 @@ bool SocketEventSink::dialOnce() {
   Hello.Pid = Opt.Pid;
   Hello.Format = Opt.Format;
   Hello.Name = Opt.Name;
+  Hello.SampleBytes = Opt.Sampling.SampleBytes;
+  Hello.SampleSeed = Opt.Sampling.SampleSeed;
   std::vector<std::byte> Msg = daemon::encodeHello(Hello);
   bool First = false;
   if (!sendLoop(Msg.data(), Msg.size(), First)) {
@@ -176,6 +178,7 @@ void SocketEventSink::enterSpoolMode() {
   FileEventSink::Options FO;
   FO.Backoff = Opt.Backoff;
   FO.Format = Opt.Format;
+  FO.Sampling = Opt.Sampling;
   if (!Spool->open(Opt.SpoolPath, FO)) {
     LastErr = Spool->lastErrno() ? Spool->lastErrno() : EIO;
     Spool.reset();

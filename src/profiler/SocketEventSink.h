@@ -85,6 +85,10 @@ public:
     /// Wire format of the chunks this sink will carry; stamped on the
     /// session (and the spool header). Must match the EventBuffer's.
     WireFormat Format = DefaultWireFormat;
+    /// Sampling params behind the stream; carried by HELLO so the
+    /// daemon scales this session's estimates, and stamped on the spool
+    /// header so a degraded recording stays self-describing.
+    SamplingParams Sampling;
     /// Reconnect/retry schedule (shared with FileEventSink). Jitter on
     /// by default: a daemon restart must not be met by a thundering
     /// herd of lock-step clients.

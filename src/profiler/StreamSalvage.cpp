@@ -54,6 +54,14 @@ std::string SalvageReport::summary(const std::string &Path) const {
       Path.c_str(), Version, static_cast<unsigned long long>(FileBytes),
       Chunks.size(), static_cast<unsigned long long>(chunksOk()),
       static_cast<unsigned long long>(chunksDamaged()));
+  if (Sampling.enabled())
+    Out += formatString(
+        "sampling: interval %llu bytes, seed 0x%llx (estimates are "
+        "inverse-probability scaled)\n",
+        static_cast<unsigned long long>(Sampling.SampleBytes),
+        static_cast<unsigned long long>(Sampling.SampleSeed));
+  else
+    Out += "sampling: exact (every allocation recorded)\n";
   for (const ChunkVerdict &V : Chunks)
     if (!V.ok())
       Out += formatString(
@@ -141,9 +149,8 @@ SalvageReport jdrag::profiler::scanEventFile(const std::string &Path,
   }
   Rep.FileBytes = Bytes.size();
 
-  constexpr std::size_t FileHeaderBytes = 16;
   std::uint64_t Magic = 0;
-  if (Bytes.size() < FileHeaderBytes) {
+  if (Bytes.size() < 16) {
     Rep.FileError = "not a .jdev event stream (too short)";
     return Rep;
   }
@@ -155,18 +162,29 @@ SalvageReport jdrag::profiler::scanEventFile(const std::string &Path,
   std::memcpy(&Rep.Version, Bytes.data() + 8, sizeof(Rep.Version));
   if (Rep.Version != static_cast<std::uint32_t>(WireFormat::V2) &&
       Rep.Version != static_cast<std::uint32_t>(WireFormat::V3) &&
-      Rep.Version != static_cast<std::uint32_t>(WireFormat::V4)) {
+      Rep.Version != static_cast<std::uint32_t>(WireFormat::V4) &&
+      Rep.Version != static_cast<std::uint32_t>(WireFormat::V5)) {
     Rep.FileError =
         "unsupported .jdev version " + std::to_string(Rep.Version);
     return Rep;
   }
-  bool IsV4 = Rep.Version == static_cast<std::uint32_t>(WireFormat::V4);
+  bool SelfContained = chunkSelfContained(static_cast<WireFormat>(Rep.Version));
+  std::size_t FileHeaderBytes =
+      streamHeaderBytes(static_cast<WireFormat>(Rep.Version));
+  if (Bytes.size() < FileHeaderBytes) {
+    Rep.FileError = "truncated v5 stream header";
+    return Rep;
+  }
+  if (Rep.Version == static_cast<std::uint32_t>(WireFormat::V5)) {
+    std::memcpy(&Rep.Sampling.SampleBytes, Bytes.data() + 16, 8);
+    std::memcpy(&Rep.Sampling.SampleSeed, Bytes.data() + 24, 8);
+  }
 
-  // A v4 file may end with a chunk index footer block: judge it
+  // A v4/v5 file may end with a chunk index footer block: judge it
   // separately (it is an index, not data) and stop the chunk walk
   // where it starts.
   std::size_t ScanEnd = Bytes.size();
-  if (IsV4) {
+  if (SelfContained) {
     auto Framed = std::span<const std::byte>(Bytes).subspan(FileHeaderBytes);
     if (std::size_t FB = footerBlockSize(Framed)) {
       Rep.FooterPresent = true;
@@ -225,13 +243,13 @@ SalvageReport jdrag::profiler::scanEventFile(const std::string &Path,
         V.Status = ChunkStatus::BadCrc;
       } else if (!Damaged) {
         // Valid, in-sequence chunk before any damage: extend the prefix.
-        if (IsV4)
-          Records.resetTimeBase(); // every v4 chunk is self-contained
+        if (SelfContained)
+          Records.resetTimeBase(); // every v4/v5 chunk is self-contained
         if (Records.feed(Payload, H.PayloadBytes)) {
           FedBytes += H.PayloadBytes;
-          // v4 chunks must end at a record boundary; a straddling
+          // v4/v5 chunks must end at a record boundary; a straddling
           // record means the producer (or the bytes) lied.
-          if (IsV4 && Records.pendingBytes() != 0)
+          if (SelfContained && Records.pendingBytes() != 0)
             V.Status = ChunkStatus::BadRecords;
         } else {
           V.Status = ChunkStatus::BadRecords;
@@ -277,8 +295,7 @@ SalvageReport jdrag::profiler::scanEventFileParallel(const std::string &Path,
   if (!readAll(Path, Bytes))
     return Sequential(); // unreadable: let the sequential path say so
 
-  constexpr std::size_t FileHeaderBytes = 16;
-  if (Bytes.size() < FileHeaderBytes)
+  if (Bytes.size() < 16)
     return Sequential();
   std::uint64_t Magic = 0;
   std::uint32_t Version = 0;
@@ -287,13 +304,22 @@ SalvageReport jdrag::profiler::scanEventFileParallel(const std::string &Path,
   if (Magic != StreamFileMagic ||
       (Version != static_cast<std::uint32_t>(WireFormat::V2) &&
        Version != static_cast<std::uint32_t>(WireFormat::V3) &&
-       Version != static_cast<std::uint32_t>(WireFormat::V4)))
+       Version != static_cast<std::uint32_t>(WireFormat::V4) &&
+       Version != static_cast<std::uint32_t>(WireFormat::V5)))
     return Sequential();
   auto Format = static_cast<WireFormat>(Version);
-  bool IsV4 = Format == WireFormat::V4;
+  bool SelfContained = chunkSelfContained(Format);
+  std::size_t FileHeaderBytes = streamHeaderBytes(Format);
+  if (Bytes.size() < FileHeaderBytes)
+    return Sequential();
+  SamplingParams Sampling;
+  if (Format == WireFormat::V5) {
+    std::memcpy(&Sampling.SampleBytes, Bytes.data() + 16, 8);
+    std::memcpy(&Sampling.SampleSeed, Bytes.data() + 24, 8);
+  }
 
   auto Framed = std::span<const std::byte>(Bytes).subspan(FileHeaderBytes);
-  std::size_t FooterBytes = IsV4 ? footerBlockSize(Framed) : 0;
+  std::size_t FooterBytes = SelfContained ? footerBlockSize(Framed) : 0;
   ChunkIndex FooterIdx;
   if (FooterBytes && !readChunkIndexFooter(Framed, FooterIdx))
     return Sequential(); // damaged footer: report it sequentially
@@ -359,6 +385,7 @@ SalvageReport jdrag::profiler::scanEventFileParallel(const std::string &Path,
   // re-checking CRCs.
   SalvageReport Rep;
   Rep.Version = Version;
+  Rep.Sampling = Sampling;
   Rep.FileBytes = Bytes.size();
   Rep.Chunks = std::move(Chunks);
   Rep.FooterPresent = FooterBytes != 0;
@@ -378,7 +405,7 @@ SalvageReport jdrag::profiler::scanEventFileParallel(const std::string &Path,
   if (C) {
     StreamDecoder Records(*C, Format);
     for (const ChunkVerdict &V : Rep.Chunks) {
-      if (IsV4)
+      if (SelfContained)
         Records.resetTimeBase();
       Records.feed(Bytes.data() + V.Offset + sizeof(ChunkHeader),
                    V.PayloadBytes); // known well-formed
@@ -405,9 +432,14 @@ bool jdrag::profiler::salvageEventFile(const std::string &In,
     return Fail(In + ": " + Probe.FileError);
 
   FileEventSink Sink;
-  if (!Sink.open(Out))
+  FileEventSink::Options FO;
+  // A sampled input stays sampled: carry the params into the salvage
+  // output's header (which upgrades it to v5) so replay still scales.
+  FO.Sampling = Probe.Sampling;
+  FO.Format = effectiveFormat(FO.Format, FO.Sampling);
+  if (!Sink.open(Out, FO))
     return Fail("cannot write " + Out);
-  EventBuffer Buf(Sink);
+  EventBuffer Buf(Sink, /*ChunkBytes=*/0, /*Checksum=*/true, FO.Format);
   ReencodeConsumer Re(Buf);
   scanEventFile(In, &Re);
   // finishStream() appends the chunk index footer: salvage output is

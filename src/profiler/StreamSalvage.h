@@ -79,6 +79,10 @@ struct SalvageReport {
   /// A missing footer is NOT damage (readers rebuild the index); a
   /// present-but-corrupt one is.
   bool FooterOk = false;
+  /// Sampling params from a v5 header (SampleBytes 0 for exact or
+  /// pre-v5 recordings). Salvage propagates them to its output so a
+  /// recovered sampled recording still scales correctly.
+  SamplingParams Sampling;
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 

@@ -9,9 +9,15 @@ using namespace jdrag::profiler;
 using namespace jdrag::vm;
 
 EventEmitter::EventEmitter(EventSink &Sink, Config C)
-    : Buf(Sink, C.ChunkBytes, C.Checksum, C.Format), C(C) {
+    : Buf(Sink, C.ChunkBytes, C.Checksum, C.Format), C(C),
+      Policy(C.Sampling) {
   Nodes.push_back(Node{}); // node 0: the root (empty) context
   Children.resize(1024);   // power of two; see growChildren()
+}
+
+bool EventEmitter::sampleAllocation(HeapObject &Obj) {
+  Obj.Sampled = Policy.sampleAllocation(Obj.AccountedBytes);
+  return Obj.Sampled;
 }
 
 void EventEmitter::growChildren() {

@@ -22,6 +22,7 @@
 #define JDRAG_VM_EVENTEMITTER_H
 
 #include "profiler/EventStream.h"
+#include "profiler/Sampling.h"
 #include "vm/Events.h"
 
 #include <vector>
@@ -43,6 +44,8 @@ public:
     bool Checksum = true;
     /// Record encoding of the produced stream (see WireFormat).
     profiler::WireFormat Format = profiler::DefaultWireFormat;
+    /// Size-weighted allocation sampling (SampleBytes 0 = exact mode).
+    profiler::SamplingParams Sampling;
   };
 
   /// The empty call context (base frames: main, finalizer activations).
@@ -59,6 +62,14 @@ public:
   /// for an event at \p Method/\p Pc under call context \p Ctx.
   profiler::SiteId siteFor(std::uint32_t Ctx, ir::MethodId Method,
                            std::uint32_t Pc, std::uint32_t Line);
+
+  /// Runs the sampling policy over one allocation and stamps the
+  /// decision on the object. Returns the decision; when false the
+  /// caller may skip site interning and the Alloc record entirely (the
+  /// unsampled fast path). With sampling off this always returns true.
+  bool sampleAllocation(HeapObject &Obj);
+  /// True when a byte-interval sampling policy is active.
+  bool samplingEnabled() const { return Policy.enabled(); }
 
   void alloc(ObjectId Id, const HeapObject &Obj, profiler::SiteId Site,
              ByteTime Now);
@@ -136,6 +147,7 @@ private:
   /// as per-event interning used to guarantee.
   profiler::SiteTable Sites;
   std::vector<profiler::SiteFrame> FrameScratch;
+  profiler::SamplePolicy Policy;
 };
 
 } // namespace jdrag::vm

@@ -213,7 +213,7 @@ void Heap::reclaimOrResurrect(std::uint32_t Index, GCStats &Stats) {
   Stats.FreedBytes += Obj->AccountedBytes;
   if (Observer)
     Observer->onCollect(Obj->Id, *Obj, AllocatedTotal);
-  if (Emitter)
+  if (Emitter && Obj->Sampled)
     Emitter->collect(Obj->Id, AllocatedTotal);
   free(Index);
 }

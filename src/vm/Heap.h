@@ -96,6 +96,11 @@ public:
   bool PendingFinalize = false;  ///< sitting on the finalization queue
   bool Finalized = false;        ///< finalizer already ran
   bool Old = false;              ///< promoted to the old generation
+  /// Selected by the allocation-sampling policy: Use/Collect/Survivor
+  /// events are emitted only for sampled objects. Defaults true so
+  /// exact mode (sampling off) and objects that never pass through
+  /// fireAllocate behave as before.
+  bool Sampled = true;
   std::uint8_t Age = 0;          ///< minor collections survived
   std::vector<Value> Slots;
   /// Span-backend back references (null/0 under the legacy backend):
@@ -125,6 +130,7 @@ public:
     PendingFinalize = false;
     Finalized = false;
     Old = false;
+    Sampled = true;
     Age = 0;
   }
 };

@@ -113,6 +113,11 @@ void Interpreter::fireUse(Handle H, UseKind Kind, bool CalleeIsCtor) {
   if ((!Observer && !Emitter) || H.isNull())
     return;
   HeapObject &Obj = TheHeap.object(H);
+  // Unsampled objects carry no trailers: skip everything (including the
+  // DuringInit computation) unless a legacy observer still needs the
+  // callback. This early-out is the sampled-mode fast path.
+  if (!Obj.Sampled && !Observer)
+    return;
   // Initialization uses: the object's own <init> is active, this IS its
   // constructor invocation, or the constructor frame it was born inside
   // is still running (an object built as part of its container's
@@ -124,7 +129,7 @@ void Interpreter::fireUse(Handle H, UseKind Kind, bool CalleeIsCtor) {
                           Obj.BirthCtorSerial));
   if (Observer)
     Observer->onUse(Obj.Id, Kind, captureChain(), DuringInit, CachedClock);
-  if (Emitter) {
+  if (Emitter && Obj.Sampled) {
     Frame &F = Frames.back();
     DecodedInsn &DI = F.Code[F.Pc];
     profiler::SiteId Site;
@@ -146,10 +151,15 @@ void Interpreter::fireNativeUse(Handle H) { fireUse(H, UseKind::NativeDeref); }
 void Interpreter::fireAllocate(Handle H) {
   if (!Observer && !Emitter)
     return;
-  const HeapObject &Obj = TheHeap.object(H);
+  HeapObject &Obj = TheHeap.object(H);
   if (Observer)
     Observer->onAllocate(Obj.Id, H, Obj, captureChain(), CachedClock);
   if (Emitter) {
+    // The sampling decision runs here, once per allocation; an
+    // unsampled object skips site interning and the Alloc record (and,
+    // via its Sampled bit, every later Use/Survivor/Collect record).
+    if (!Emitter->sampleAllocation(Obj))
+      return;
     Frame &F = Frames.back();
     DecodedInsn &DI = F.Code[F.Pc];
     profiler::SiteId Site;

@@ -91,7 +91,12 @@ Interpreter::Status VirtualMachine::run(std::string *Err) {
     EC.SiteDepth = std::min(Opts.SiteDepth, Opts.ChainDepth);
     EC.ChunkBytes = Opts.EventChunkBytes;
     EC.Checksum = Opts.EventCrc;
-    EC.Format = Opts.EventFormat;
+    EC.Sampling.SampleBytes = Opts.SampleBytes;
+    EC.Sampling.SampleSeed = Opts.SampleSeed;
+    // Active sampling upgrades a v4 stream to v5 (the header gains the
+    // params a replayer needs to scale estimates); exact mode keeps the
+    // configured format so recordings stay bit-identical.
+    EC.Format = profiler::effectiveFormat(Opts.EventFormat, EC.Sampling);
     Emitter = std::make_unique<EventEmitter>(*RunSink, EC);
     TheHeap.setEmitter(Emitter.get());
   }
@@ -135,7 +140,8 @@ Interpreter::Status VirtualMachine::run(std::string *Err) {
   }
   if (Emitter) {
     TheHeap.forEachLiveObject([&](Handle, const HeapObject &Obj) {
-      Emitter->survivor(Obj.Id, TheHeap.clock());
+      if (Obj.Sampled)
+        Emitter->survivor(Obj.Id, TheHeap.clock());
     });
     Emitter->terminate(TheHeap.clock());
     // A failing sink does not trap the program: its result stands, the

@@ -68,6 +68,14 @@ struct VMOptions {
   /// attached DispatchSink must be configured with the same format
   /// (DragProfiler::attachTo handles this).
   profiler::WireFormat EventFormat = profiler::DefaultWireFormat;
+  /// Byte interval of size-weighted allocation sampling; 0 = exact
+  /// (every allocation instrumented). Nonzero upgrades the emitted
+  /// stream to v5, which records the interval + seed in its header so
+  /// replay can scale drag estimates back up (docs/sampling.md).
+  std::uint64_t SampleBytes = 0;
+  /// PRNG seed of the sampling policy; recordings are deterministic
+  /// functions of (program, interval, seed).
+  std::uint64_t SampleSeed = profiler::SamplingParams{}.SampleSeed;
   /// Hand flushed chunks to a background writer thread instead of
   /// calling Sink on the interpreter thread (see AsyncEventSink.h).
   /// Only meaningful for sinks that do real I/O -- an attached

@@ -213,6 +213,39 @@ TEST(HotPathDifferential, PaperWorkloads) {
   }
 }
 
+/// `--sample-bytes 0` is the exact mode, not a third pipeline: an
+/// explicit zero must leave every stream byte identical to a VM that
+/// never heard of sampling, across the whole hot-path matrix.
+TEST(HotPathDifferential, SampleBytesZeroIsExactMode) {
+  for (const benchmarks::BenchmarkProgram &B : benchmarks::buildAll()) {
+    VMOptions Plain;
+    Plain.DeepGCIntervalBytes = 100 * KB;
+    StreamRun Ref = record(B.Prog, B.DefaultInputs, Plain, Baseline);
+    VMOptions Zero = Plain;
+    Zero.SampleBytes = 0;
+    Zero.SampleSeed = 12345; // seed must be inert when sampling is off
+    for (const Combo &C : AllCombos) {
+      StreamRun R = record(B.Prog, B.DefaultInputs, Zero, C);
+      EXPECT_TRUE(R.Bytes == Ref.Bytes)
+          << B.Name << " " << describe(C)
+          << ": --sample-bytes 0 stream diverged from exact";
+    }
+  }
+}
+
+/// Sampling draws from a PRNG advanced once per allocation, so the
+/// sampled stream is a pure function of the allocation sequence -- the
+/// hot-path layers must not perturb it either.
+TEST(HotPathDifferential, SampledStreamComboInvariant) {
+  for (const benchmarks::BenchmarkProgram &B : benchmarks::buildAll()) {
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Opts.SampleBytes = 64 * KB;
+    expectAllCombosIdentical(B.Prog, B.DefaultInputs, Opts,
+                             B.Name + "+sampled");
+  }
+}
+
 TEST(HotPathDifferential, FinalizerChurn) {
   Program P = buildFinalizerChurn();
   VMOptions Opts;

@@ -73,6 +73,10 @@ struct Options {
   bool Async = false;     ///< record: background writer thread
   bool AsyncDrop = false; ///< record: shed chunks instead of blocking
   profiler::WireFormat Format = profiler::DefaultWireFormat;
+  /// record: sample ~1 allocation per this many heap bytes (0 = exact).
+  std::uint64_t SampleBytes = 0;
+  /// record: PRNG seed for the sampling gap sequence.
+  std::uint64_t SampleSeed = profiler::SamplingParams{}.SampleSeed;
   /// replay/fsck/salvage decode threads (0 = all cores).
   unsigned Jobs = 0;
   std::string OutPath;    ///< optimizeasm: write the revised .jasm here
@@ -95,6 +99,10 @@ int usage() {
       "                               (--async: background writer thread;\n"
       "                               --async-drop: shed chunks instead of\n"
       "                               blocking; --v2/--v3: older formats;\n"
+      "                               --sample-bytes N: record ~1 allocation\n"
+      "                               per N heap bytes (0 = exact, default;\n"
+      "                               writes a v5 stream); --sample-seed S:\n"
+      "                               sampling PRNG seed;\n"
       "                               --connect ADDR: stream to a jdragd,\n"
       "                               file.jdev becomes the failover spool)\n"
       "  send <file.jdev> <addr>      forward a recording (e.g. a failover\n"
@@ -172,6 +180,20 @@ int cmdProfile(const BenchmarkProgram &B, const std::string &Path,
 
 int cmdRecord(const BenchmarkProgram &B, const std::string &Path,
               const Options &O) {
+  profiler::SamplingParams SP;
+  SP.SampleBytes = O.SampleBytes;
+  SP.SampleSeed = O.SampleSeed;
+  if (SP.enabled() && O.Format < profiler::WireFormat::V4) {
+    std::fprintf(stderr,
+                 "jdrag: --sample-bytes needs the v4+ wire format "
+                 "(sampling params live in the v5 stream header); drop "
+                 "--v2/--v3 or record exact\n");
+    return 2;
+  }
+  // A sampled recording self-describes via the v5 header; exact
+  // recordings keep the default format so `--sample-bytes 0` output is
+  // byte-identical to a plain record.
+  profiler::WireFormat EffFmt = profiler::effectiveFormat(O.Format, SP);
   // Default: record to the local file. With --connect, stream to a
   // jdragd instead and keep the positional path as the failover spool.
   profiler::FileEventSink FileSink;
@@ -182,12 +204,14 @@ int cmdRecord(const BenchmarkProgram &B, const std::string &Path,
     SO.Connect = O.Connect;
     SO.SpoolPath = Path;
     SO.Name = O.Name.empty() ? B.Name : O.Name;
-    SO.Format = O.Format;
+    SO.Format = EffFmt;
+    SO.Sampling = SP;
     SockSink = std::make_unique<profiler::SocketEventSink>(SO);
     Sink = SockSink.get();
   } else {
     profiler::FileEventSink::Options FO;
-    FO.Format = O.Format;
+    FO.Format = EffFmt;
+    FO.Sampling = SP;
     if (!FileSink.open(Path, FO)) {
       std::fprintf(stderr, "cannot write %s\n", Path.c_str());
       return 1;
@@ -198,6 +222,8 @@ int cmdRecord(const BenchmarkProgram &B, const std::string &Path,
   Opts.SiteDepth = O.Depth;
   Opts.Sink = Sink;
   Opts.EventFormat = O.Format;
+  Opts.SampleBytes = O.SampleBytes;
+  Opts.SampleSeed = O.SampleSeed;
   Opts.AsyncEvents = O.Async || O.AsyncDrop;
   Opts.AsyncDropOnFull = O.AsyncDrop;
   vm::VirtualMachine VM(B.Prog, Opts);
@@ -268,6 +294,13 @@ int fsckProfileLog(const std::string &Path) {
               static_cast<unsigned long long>(Log.DroppedBytes), Log.Retries,
               Log.LastErrno,
               Log.LastErrno ? std::strerror(Log.LastErrno) : "none");
+  if (Log.SampleRate)
+    std::printf("sampling: 1 allocation per ~%llu heap bytes, seed 0x%llx "
+                "(records are a weighted sample)\n",
+                static_cast<unsigned long long>(Log.SampleRate),
+                static_cast<unsigned long long>(Log.SampleSeed));
+  else
+    std::printf("sampling: exact (every allocation recorded)\n");
   return Log.Complete ? 0 : 1;
 }
 
@@ -312,7 +345,8 @@ int cmdSend(const std::string &Path, const std::string &Addr,
   }
   std::fclose(F);
 
-  // 16-byte .jdev header: u64 magic, u32 wire format, u32 reserved.
+  // .jdev header: u64 magic, u32 wire format, u32 reserved, plus the
+  // 16-byte sampling extension (u64 interval, u64 seed) on v5 streams.
   if (Bytes.size() < 16) {
     std::fprintf(stderr, "%s: not a .jdev recording\n", Path.c_str());
     return 1;
@@ -321,21 +355,33 @@ int cmdSend(const std::string &Path, const std::string &Addr,
   std::uint32_t Version = 0;
   std::memcpy(&Magic, Bytes.data(), 8);
   std::memcpy(&Version, Bytes.data() + 8, 4);
-  if (Magic != profiler::StreamFileMagic || Version < 2 || Version > 4) {
+  if (Magic != profiler::StreamFileMagic || Version < 2 || Version > 5) {
     std::fprintf(stderr, "%s: not a .jdev recording\n", Path.c_str());
+    return 1;
+  }
+  auto Fmt = static_cast<profiler::WireFormat>(Version);
+  std::size_t HeaderBytes = profiler::streamHeaderBytes(Fmt);
+  if (Bytes.size() < HeaderBytes) {
+    std::fprintf(stderr, "%s: truncated v5 stream header\n", Path.c_str());
     return 1;
   }
 
   profiler::SocketEventSink::Options SO;
   SO.Connect = Addr;
   SO.Name = O.Name.empty() ? std::string("spool") : O.Name;
-  SO.Format = static_cast<profiler::WireFormat>(Version);
+  SO.Format = Fmt;
+  if (Fmt == profiler::WireFormat::V5) {
+    // Re-announce the spool's own sampling params in HELLO so the
+    // daemon scales this session exactly like the original recorder.
+    std::memcpy(&SO.Sampling.SampleBytes, Bytes.data() + 16, 8);
+    std::memcpy(&SO.Sampling.SampleSeed, Bytes.data() + 24, 8);
+  }
   profiler::SocketEventSink Sink(SO);
 
   // Walk the framed stream; each frame (a chunk, or the terminal footer
   // block with its 8 tail bytes) is one writeChunk call, exactly the
   // granularity the live VM produces.
-  std::size_t Off = 16;
+  std::size_t Off = HeaderBytes;
   std::uint64_t Frames = 0;
   while (Off < Bytes.size()) {
     if (Bytes.size() - Off < sizeof(profiler::ChunkHeader)) {
@@ -376,8 +422,9 @@ int cmdSend(const std::string &Path, const std::string &Addr,
     return 1;
   }
   std::printf("sent %llu frames (%zu bytes) from %s to %s as '%s'\n",
-              static_cast<unsigned long long>(Frames), Bytes.size() - 16,
-              Path.c_str(), Addr.c_str(), SO.Name.c_str());
+              static_cast<unsigned long long>(Frames),
+              Bytes.size() - HeaderBytes, Path.c_str(), Addr.c_str(),
+              SO.Name.c_str());
   return 0;
 }
 
@@ -790,6 +837,10 @@ int main(int argc, char **argv) {
       O.Format = profiler::WireFormat::V2;
     else if (Args[I] == "--v3")
       O.Format = profiler::WireFormat::V3;
+    else if (Args[I] == "--sample-bytes" && I + 1 < Args.size())
+      O.SampleBytes = std::strtoull(Args[++I].c_str(), nullptr, 0);
+    else if (Args[I] == "--sample-seed" && I + 1 < Args.size())
+      O.SampleSeed = std::strtoull(Args[++I].c_str(), nullptr, 0);
     else if (Args[I] == "--jobs" && I + 1 < Args.size())
       O.Jobs = static_cast<unsigned>(
           std::strtoul(Args[++I].c_str(), nullptr, 10));
