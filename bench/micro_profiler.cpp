@@ -14,11 +14,13 @@
 #include "profiler/DragProfiler.h"
 #include "profiler/ParallelReplay.h"
 #include "support/Crc32c.h"
+#include "support/Lz.h"
 #include "vm/VirtualMachine.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <unistd.h>
 
 using namespace jdrag;
@@ -345,6 +347,122 @@ BENCHMARK(BM_SampledRecord)
     ->Args({10000, 512 * 1024})
     ->Args({10000, 4 * 1024 * 1024});
 
+/// The BM_SampledRecord ladder with v6 chunk compression on -- the
+/// paired rung behind the `--compress` default. Same args (Arg1 = 0 is
+/// exact mode); the time delta against BM_SampledRecord at the same
+/// args is the whole cost of compressing on the file sink, and the
+/// stream_bytes / ratio counters are what it buys. The acceptance
+/// gates: exact-mode time within 1.05x of the uncompressed rung,
+/// recording size down >= 3x on the paper workloads (table1 measures
+/// those; this rung tracks the synthetic hot loop).
+void BM_CompressedRecord(benchmark::State &State) {
+  Program P = buildHotLoop();
+  std::int64_t Iters = State.range(0);
+  std::uint64_t Rate = static_cast<std::uint64_t>(State.range(1));
+  char Path[64];
+  std::snprintf(Path, sizeof(Path), "/tmp/jdrag_bench_comp.%d.jdev",
+                static_cast<int>(getpid()));
+  std::uint64_t BytesOut = 0, Raw = 0, Wire = 0;
+  for (auto _ : State) {
+    profiler::SamplingParams SP;
+    SP.SampleBytes = Rate;
+    profiler::FileEventSink::Options FO;
+    FO.Format =
+        profiler::effectiveFormat(profiler::DefaultWireFormat, SP, true);
+    FO.Sampling = SP;
+    FO.Compress = true;
+    profiler::FileEventSink Sink;
+    if (!Sink.open(Path, FO))
+      std::abort();
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Opts.Sink = &Sink;
+    Opts.SampleBytes = Rate;
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({Iters});
+    if (VM.run() != Interpreter::Status::Ok || !VM.streamIntact())
+      std::abort();
+    if (!Sink.finish())
+      std::abort();
+    BytesOut = Sink.bytesWritten();
+    Raw = Sink.rawPayloadBytes();
+    Wire = Sink.wirePayloadBytes();
+    benchmark::DoNotOptimize(BytesOut);
+  }
+  State.SetItemsProcessed(State.iterations() * Iters);
+  State.counters["stream_bytes"] =
+      benchmark::Counter(static_cast<double>(BytesOut));
+  State.counters["ratio"] = benchmark::Counter(
+      Wire ? static_cast<double>(Raw) / static_cast<double>(Wire) : 1.0);
+  std::remove(Path);
+}
+BENCHMARK(BM_CompressedRecord)
+    ->Args({10000, 0})
+    ->Args({10000, 64 * 1024})
+    ->Args({10000, 512 * 1024})
+    ->Args({10000, 4 * 1024 * 1024});
+
+/// The async paired rungs: `jdrag record --async` hands chunks to the
+/// AsyncEventSink writer thread, so the file sink's compression (like
+/// its fwrite) runs off the VM's critical path -- the deployment the
+/// compressor is designed for. CPU time here is the VM thread only
+/// (google-benchmark measures the bench thread), so the delta between
+/// the two rungs is what compression costs the *mutator* when the
+/// writer thread absorbs the codec work; the wall-clock delta still
+/// includes the drain wait at finish() on a saturated machine. Arg1 = 0
+/// keeps both rungs in exact mode.
+void BM_AsyncRecord(benchmark::State &State, bool Compress) {
+  Program P = buildHotLoop();
+  std::int64_t Iters = State.range(0);
+  std::uint64_t Rate = static_cast<std::uint64_t>(State.range(1));
+  char Path[64];
+  std::snprintf(Path, sizeof(Path), "/tmp/jdrag_bench_async.%d.jdev",
+                static_cast<int>(getpid()));
+  std::uint64_t BytesOut = 0, Raw = 0, Wire = 0;
+  for (auto _ : State) {
+    profiler::SamplingParams SP;
+    SP.SampleBytes = Rate;
+    profiler::FileEventSink::Options FO;
+    FO.Format =
+        profiler::effectiveFormat(profiler::DefaultWireFormat, SP, Compress);
+    FO.Sampling = SP;
+    FO.Compress = Compress;
+    profiler::FileEventSink Sink;
+    if (!Sink.open(Path, FO))
+      std::abort();
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Opts.Sink = &Sink;
+    Opts.SampleBytes = Rate;
+    Opts.AsyncEvents = true;
+    VirtualMachine VM(P, Opts);
+    VM.setInputs({Iters});
+    if (VM.run() != Interpreter::Status::Ok || !VM.streamIntact())
+      std::abort();
+    if (!Sink.finish())
+      std::abort();
+    BytesOut = Sink.bytesWritten();
+    Raw = Sink.rawPayloadBytes();
+    Wire = Sink.wirePayloadBytes();
+    benchmark::DoNotOptimize(BytesOut);
+  }
+  State.SetItemsProcessed(State.iterations() * Iters);
+  State.counters["stream_bytes"] =
+      benchmark::Counter(static_cast<double>(BytesOut));
+  if (Compress)
+    State.counters["ratio"] = benchmark::Counter(
+        Wire ? static_cast<double>(Raw) / static_cast<double>(Wire) : 1.0);
+  std::remove(Path);
+}
+void BM_SampledRecordAsync(benchmark::State &State) {
+  BM_AsyncRecord(State, false);
+}
+void BM_CompressedRecordAsync(benchmark::State &State) {
+  BM_AsyncRecord(State, true);
+}
+BENCHMARK(BM_SampledRecordAsync)->Args({10000, 0});
+BENCHMARK(BM_CompressedRecordAsync)->Args({10000, 0});
+
 /// The trailer-store ladder rung: the same profiled run with the
 /// hash-map trailer store instead of the paged dense array. The delta
 /// against BM_InterpreterProfiled is the hashing cost on the per-Use
@@ -588,6 +706,110 @@ void BM_ReplayDecodeNoBatch(benchmark::State &State) {
   State.SetBytesProcessed(State.iterations() * Mem.bytes().size());
 }
 BENCHMARK(BM_ReplayDecodeNoBatch)->Arg(3);
+
+/// Raw codec throughput: lzCompress + lzDecompress over the hot loop's
+/// real event stream, one 64 KiB block at a time (the production chunk
+/// size). Bytes processed are *uncompressed* bytes, so the rate reads
+/// as end-to-end round-trip MB/s; the ratio counter is the compression
+/// the event encoding admits.
+void BM_LzRoundTrip(benchmark::State &State) {
+  Program P = buildHotLoop();
+  profiler::MemorySink Mem;
+  VMOptions Opts;
+  Opts.DeepGCIntervalBytes = 100 * KB;
+  Opts.Sink = &Mem;
+  VirtualMachine VM(P, Opts);
+  VM.setInputs({10000});
+  if (VM.run() != Interpreter::Status::Ok)
+    std::abort();
+  std::span<const std::byte> Bytes = Mem.bytes();
+  constexpr std::size_t Block = 64 * 1024;
+
+  std::uint64_t Raw = 0, Packed = 0;
+  for (auto _ : State) {
+    Raw = Packed = 0;
+    std::vector<std::uint8_t> Out;
+    for (std::size_t Off = 0; Off < Bytes.size(); Off += Block) {
+      std::size_t N = std::min(Block, Bytes.size() - Off);
+      std::vector<std::uint8_t> C =
+          support::lzCompress(Bytes.data() + Off, N);
+      Raw += N;
+      Packed += C.empty() ? N : C.size();
+      if (!C.empty() &&
+          (!support::lzDecompress(C.data(), C.size(), Out, N) ||
+           Out.size() != N))
+        std::abort();
+      benchmark::DoNotOptimize(C.data());
+    }
+  }
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<std::int64_t>(Raw));
+  State.counters["ratio"] = benchmark::Counter(
+      Packed ? static_cast<double>(Raw) / static_cast<double>(Packed) : 1.0);
+}
+BENCHMARK(BM_LzRoundTrip);
+
+/// The compressed rung of the BM_ReplayDecode ladder: the same stream,
+/// v6-compressed once up front, decoded through the FrameDecoder's
+/// transparent chunk decompression. Bytes processed are the
+/// *compressed* input bytes; the acceptance gate compares items/s (the
+/// decoded-record rate) against BM_ReplayDecode/4 -- it must stay
+/// within 1.2x.
+void BM_ReplayDecodeCompressed(benchmark::State &State) {
+  Program P = buildHotLoop();
+  profiler::MemorySink Mem;
+  VMOptions Opts;
+  Opts.DeepGCIntervalBytes = 100 * KB;
+  Opts.Sink = &Mem;
+  VirtualMachine VM(P, Opts);
+  VM.setInputs({10000});
+  if (VM.run() != Interpreter::Status::Ok)
+    std::abort();
+
+  // One pass through the chunk compressor: the stream as a v6 sink
+  // would have put it on disk.
+  std::vector<std::byte> Packed;
+  {
+    profiler::ChunkCompressor Comp;
+    std::span<const std::byte> Bytes = Mem.bytes();
+    std::size_t Off = 0;
+    while (Off < Bytes.size()) {
+      profiler::ChunkHeader H;
+      std::memcpy(&H, Bytes.data() + Off, sizeof(H));
+      bool Footer = H.Magic == profiler::FooterMagic;
+      std::size_t Frame = sizeof(H) + H.PayloadBytes + (Footer ? 8 : 0);
+      std::span<const std::byte> T =
+          Comp.transform(Bytes.data() + Off, Frame);
+      if (T.empty())
+        std::abort();
+      Packed.insert(Packed.end(), T.begin(), T.end());
+      Off += Frame;
+    }
+  }
+
+  class NullConsumer : public profiler::EventConsumer {
+  public:
+    std::uint64_t Events = 0;
+    void onSite(profiler::SiteId,
+                std::span<const profiler::SiteFrame>) override {}
+    void onEvent(const profiler::EventRecord &) override { ++Events; }
+  };
+  std::uint64_t EventsPerPass = 0;
+  for (auto _ : State) {
+    NullConsumer C;
+    std::string Err;
+    if (!profiler::replayBytes(Packed, C, &Err, profiler::WireFormat::V6))
+      std::abort();
+    EventsPerPass = C.Events;
+    benchmark::DoNotOptimize(C.Events);
+  }
+  State.SetItemsProcessed(State.iterations() * EventsPerPass);
+  State.SetBytesProcessed(State.iterations() * Packed.size());
+  State.counters["ratio"] = benchmark::Counter(
+      static_cast<double>(Mem.bytes().size()) /
+      static_cast<double>(Packed.size()));
+}
+BENCHMARK(BM_ReplayDecodeCompressed);
 
 /// End-to-end sharded replay (read + index + decode + merge) of a
 /// multi-chunk v4 recording; Arg is the worker count, items are object

@@ -39,6 +39,21 @@ std::string sanitizeName(const std::string &Name) {
 constexpr std::size_t MaxAdminLine = 4096;
 constexpr std::size_t MaxAdminPendingOut = 4u << 20;
 
+/// Declared uncompressed size of a v6 compressed chunk payload: the LZ
+/// block's leading uvarint (a producer claim -- accounting only; the
+/// decoder re-validates it against the real output). Returns 0 on a
+/// malformed prefix.
+std::uint64_t lzDeclaredRawLen(const std::byte *P, std::size_t N) {
+  std::uint64_t V = 0;
+  for (std::size_t I = 0; I != N && I != 10; ++I) {
+    std::uint8_t B = static_cast<std::uint8_t>(P[I]);
+    V |= static_cast<std::uint64_t>(B & 0x7F) << (7 * I);
+    if (!(B & 0x80))
+      return V;
+  }
+  return 0;
+}
+
 } // namespace
 
 struct CollectorDaemon::Session {
@@ -64,6 +79,10 @@ struct CollectorDaemon::Session {
   /// fleets are not silently summed as if comparable.
   std::uint64_t RawObjBytes = 0;
   std::uint64_t EstObjBytes = 0;
+  /// v6 compression accounting over this session's data chunks:
+  /// payload bytes on the wire vs their declared uncompressed size.
+  std::uint64_t WirePayloadBytes = 0;
+  std::uint64_t RawPayloadBytes = 0;
   bool GotBye = false;
   ByeInfo Bye;
   bool Closed = false;    ///< fd is dead; reap on the next sweep
@@ -383,11 +402,17 @@ void CollectorDaemon::handleMessage(Session &S, const MsgHeader &H,
     }
     // The inner length must agree with the message bytes, or the
     // recording would hold frames whose headers lie about their extent
-    // and the chunk-aligned fsck-clean-prefix guarantee is void. A
-    // footer block carries 8 tail bytes (u32 size, u32 tail magic)
-    // after its payload.
-    if (CH.PayloadBytes > profiler::MaxChunkPayload ||
-        Payload.size() != sizeof(profiler::ChunkHeader) + CH.PayloadBytes +
+    // and the chunk-aligned fsck-clean-prefix guarantee is void. A v6
+    // session's length field may carry the compressed flag in bit 31;
+    // the low bits are the on-wire size. A footer block carries 8 tail
+    // bytes (u32 size, u32 tail magic) after its payload.
+    bool V6 = S.Info.Format >= profiler::WireFormat::V6;
+    bool Compressed =
+        V6 && !IsFooter && profiler::chunkCompressed(CH.PayloadBytes);
+    std::uint32_t WireLen =
+        V6 ? profiler::chunkWireBytes(CH.PayloadBytes) : CH.PayloadBytes;
+    if (WireLen > profiler::MaxChunkPayload ||
+        Payload.size() != sizeof(profiler::ChunkHeader) + WireLen +
                               (IsFooter ? 8 : 0)) {
       protocolError(S, "chunk frame length disagrees with message length");
       return;
@@ -400,6 +425,15 @@ void CollectorDaemon::handleMessage(Session &S, const MsgHeader &H,
     } else {
       ++S.DataChunks;
       ++Stats.ChunksReceived;
+      std::uint64_t Raw =
+          Compressed ? lzDeclaredRawLen(
+                           Payload.data() + sizeof(profiler::ChunkHeader),
+                           WireLen)
+                     : WireLen;
+      S.WirePayloadBytes += WireLen;
+      S.RawPayloadBytes += Raw;
+      Stats.WirePayloadBytes += WireLen;
+      Stats.RawPayloadBytes += Raw;
     }
     // 1. Recording. A write failure degrades this session to
     // aggregate-only; the stream keeps flowing.
@@ -469,6 +503,7 @@ void CollectorDaemon::finalizeSession(Session &S, bool Clean) {
     // normalize to {0, 0} (canonical exact-log form).
     Log.SampleRate = S.Info.SampleBytes;
     Log.SampleSeed = S.Info.SampleBytes ? S.Info.SampleSeed : 0;
+    Log.Compressed = S.Info.Format >= profiler::WireFormat::V6;
     double Est = 0;
     for (const profiler::ObjectRecord &R : Log.Records) {
       S.RawObjBytes += R.Bytes;
@@ -576,6 +611,16 @@ std::string CollectorDaemon::sessionLine(const Session &S) const {
         " raw-obj-bytes=%llu est-obj-bytes=%llu",
         static_cast<unsigned long long>(S.RawObjBytes),
         static_cast<unsigned long long>(S.EstObjBytes));
+  // v6 sessions: what the compression bought, per session.
+  if (S.GotHello && S.Info.Format >= profiler::WireFormat::V6)
+    Line += formatString(
+        " wire-bytes=%llu uncompressed-bytes=%llu ratio=%.2f",
+        static_cast<unsigned long long>(S.WirePayloadBytes),
+        static_cast<unsigned long long>(S.RawPayloadBytes),
+        S.WirePayloadBytes
+            ? static_cast<double>(S.RawPayloadBytes) /
+                  static_cast<double>(S.WirePayloadBytes)
+            : 1.0);
   return Line + "\n";
 }
 
@@ -605,7 +650,10 @@ std::string CollectorDaemon::execAdmin(const std::string &Line) {
     return formatString("jdragd proto=%u\nsession_addr=%s\nadmin_addr=%s\n"
                         "output_dir=%s\nsessions_active=%llu\n"
                         "sessions_total=%llu\nfleet_rows=%zu\n"
-                        "fleet_sessions=%llu\nfleet_sampled_sessions=%llu\n",
+                        "fleet_sessions=%llu\nfleet_sampled_sessions=%llu\n"
+                        "wire_payload_bytes=%llu\n"
+                        "uncompressed_payload_bytes=%llu\n"
+                        "compression_ratio=%.2f\n",
                         ProtocolVersion, SessAddr.str().c_str(),
                         AdminLfd >= 0 ? AdmAddr.str().c_str() : "-",
                         Opt.OutputDir.c_str(),
@@ -615,7 +663,15 @@ std::string CollectorDaemon::execAdmin(const std::string &Line) {
                         static_cast<unsigned long long>(
                             Fleet.sessionsFolded()),
                         static_cast<unsigned long long>(
-                            Fleet.sampledSessionsFolded()));
+                            Fleet.sampledSessionsFolded()),
+                        static_cast<unsigned long long>(
+                            Stats.WirePayloadBytes),
+                        static_cast<unsigned long long>(
+                            Stats.RawPayloadBytes),
+                        Stats.WirePayloadBytes
+                            ? static_cast<double>(Stats.RawPayloadBytes) /
+                                  static_cast<double>(Stats.WirePayloadBytes)
+                            : 1.0);
   if (Cmd == "CLIENTS")
     return clientsReport();
   if (Cmd == "TOP") {

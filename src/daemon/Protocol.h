@@ -165,7 +165,7 @@ inline bool decodeHello(std::span<const std::byte> Payload, HelloInfo &Out,
       *Err = "malformed HELLO name length";
     return false;
   }
-  if (Fmt < 2 || Fmt > 5) {
+  if (Fmt < 2 || Fmt > 6) {
     if (Err)
       *Err = "HELLO carries unknown wire format " + std::to_string(Fmt);
     return false;

@@ -143,5 +143,6 @@ bool jdrag::profiler::replayProfile(const std::string &Path,
   // which pipeline produced them.
   Out.SampleRate = Info.Sampling.SampleBytes;
   Out.SampleSeed = Info.Sampling.enabled() ? Info.Sampling.SampleSeed : 0;
+  Out.Compressed = Info.Compressed;
   return true;
 }

@@ -3,6 +3,7 @@
 #include "profiler/EventStream.h"
 
 #include "support/Crc32c.h"
+#include "support/Lz.h"
 
 #include <chrono>
 #include <cstring>
@@ -323,6 +324,102 @@ const char *jdrag::profiler::eventKindName(EventKind K) {
 }
 
 //===----------------------------------------------------------------------===//
+// Chunk compression (v6)
+//===----------------------------------------------------------------------===//
+
+bool jdrag::profiler::chunkPayloadBytes(const ChunkHeader &H,
+                                        const std::byte *Payload,
+                                        std::vector<std::uint8_t> &Scratch,
+                                        std::span<const std::byte> &Out) {
+  std::uint32_t Wire = chunkWireBytes(H.PayloadBytes);
+  if (!chunkCompressed(H.PayloadBytes)) {
+    Out = {Payload, Wire};
+    return true;
+  }
+  if (!support::lzDecompress(Payload, Wire, Scratch, MaxChunkPayload))
+    return false;
+  Out = {reinterpret_cast<const std::byte *>(Scratch.data()),
+         Scratch.size()};
+  return true;
+}
+
+std::span<const std::byte>
+ChunkCompressor::transform(const std::byte *Data, std::size_t Size) {
+  if (Size < sizeof(ChunkHeader))
+    return {};
+  ChunkHeader H;
+  std::memcpy(&H, Data, sizeof(H));
+
+  if (H.Magic == FooterMagic) {
+    // The footer frame itself stays uncompressed (it is small, and
+    // salvage resynchronizes on its magic), but its entries must index
+    // the stream this compressor actually produced: rewrite Offset and
+    // PayloadBytes from the per-chunk wire records, recompute the
+    // payload CRC, and leave everything else (Seq = entry count, times,
+    // per-chunk payload CRCs over the *uncompressed* bytes) alone.
+    if (H.PayloadBytes < 8 || H.PayloadBytes > MaxChunkPayload ||
+        Size != sizeof(ChunkHeader) + H.PayloadBytes + 8 ||
+        (H.PayloadBytes - 8) % sizeof(WireIndexEntry) != 0)
+      return {};
+    Scratch.assign(Data, Data + Size);
+    std::byte *Body = Scratch.data() + sizeof(ChunkHeader);
+    std::size_t Count = (H.PayloadBytes - 8) / sizeof(WireIndexEntry);
+    std::size_t Wi = 0;
+    for (std::size_t I = 0; I != Count; ++I) {
+      WireIndexEntry W;
+      std::memcpy(&W, Body + 8 + I * sizeof(W), sizeof(W));
+      // Both lists are in ascending Seq order; entries for chunks this
+      // compressor never saw (shed upstream, pre-spool) keep their
+      // producer values -- readers catch the mismatch and rebuild.
+      while (Wi < Wire.size() && Wire[Wi].Seq < W.Seq)
+        ++Wi;
+      if (Wi < Wire.size() && Wire[Wi].Seq == W.Seq) {
+        W.Offset = Wire[Wi].Offset;
+        W.PayloadBytes = Wire[Wi].Field;
+        std::memcpy(Body + 8 + I * sizeof(W), &W, sizeof(W));
+      }
+    }
+    H.Crc = support::crc32c(Body, H.PayloadBytes);
+    std::memcpy(Scratch.data(), &H, sizeof(H));
+    Offset += Size;
+    return Scratch;
+  }
+
+  if (H.Magic != ChunkMagic)
+    return {};
+  std::uint32_t WireLen = chunkWireBytes(H.PayloadBytes);
+  if (WireLen == 0 || WireLen > MaxChunkPayload ||
+      Size != sizeof(ChunkHeader) + WireLen)
+    return {};
+  const std::byte *Payload = Data + sizeof(ChunkHeader);
+  std::uint32_t NewField = H.PayloadBytes;
+  std::span<const std::byte> Frame(Data, Size);
+  if (!chunkCompressed(H.PayloadBytes)) {
+    RawBytes += WireLen;
+    Lz = support::lzCompress(Payload, WireLen);
+    if (!Lz.empty()) {
+      // lzCompress only returns a block strictly smaller than the
+      // input, so the flag bit never collides with the length bits.
+      NewField = static_cast<std::uint32_t>(Lz.size()) | ChunkCompressedBit;
+      Scratch.resize(sizeof(ChunkHeader) + Lz.size());
+      ChunkHeader NH = H;
+      NH.PayloadBytes = NewField;
+      std::memcpy(Scratch.data(), &NH, sizeof(NH));
+      std::memcpy(Scratch.data() + sizeof(NH), Lz.data(), Lz.size());
+      Frame = Scratch;
+    }
+  } else {
+    // Already-compressed input (a pre-compressed frame passing through,
+    // e.g. a spool being re-sunk): forward verbatim.
+    RawBytes += WireLen;
+  }
+  Wire.push_back({H.Seq, Offset, NewField});
+  WireBytes += chunkWireBytes(NewField);
+  Offset += Frame.size();
+  return Frame;
+}
+
+//===----------------------------------------------------------------------===//
 // FileEventSink
 //===----------------------------------------------------------------------===//
 
@@ -345,12 +442,14 @@ bool FileEventSink::open(const std::string &Path, Options O) {
   Ok = std::fwrite(&StreamMagic, sizeof(StreamMagic), 1, F) == 1 &&
        std::fwrite(&Version, sizeof(Version), 1, F) == 1 &&
        std::fwrite(&Reserved, sizeof(Reserved), 1, F) == 1;
-  // v5 header extension: the sampling params that scale this stream.
-  if (Ok && Opt.Format == WireFormat::V5)
+  // v5+ header extension: the sampling params that scale this stream.
+  if (Ok && Opt.Format >= WireFormat::V5)
     Ok = std::fwrite(&Opt.Sampling.SampleBytes, 8, 1, F) == 1 &&
          std::fwrite(&Opt.Sampling.SampleSeed, 8, 1, F) == 1;
   if (!Ok)
     LastErr = errno;
+  if (Ok && Opt.Compress && Opt.Format >= WireFormat::V6)
+    Comp = std::make_unique<ChunkCompressor>();
   return Ok;
 }
 
@@ -375,6 +474,21 @@ bool FileEventSink::durableFlush() {
 bool FileEventSink::writeChunk(const std::byte *Data, std::size_t Size) {
   if (!F || !Ok)
     return false;
+  if (Comp) {
+    // Compress here, not in EventBuffer::flush: under AsyncEventSink
+    // this runs on the background writer thread, keeping the transform
+    // off the VM's critical path.
+    std::span<const std::byte> T = Comp->transform(Data, Size);
+    if (T.empty()) {
+      LastErr = EINVAL; // structurally invalid frame; never expected
+      return Ok = false;
+    }
+    return writeFrame(T.data(), T.size());
+  }
+  return writeFrame(Data, Size);
+}
+
+bool FileEventSink::writeFrame(const std::byte *Data, std::size_t Size) {
   std::size_t Off = 0;
   std::uint32_t Attempts = 0;
   while (Off < Size) {
@@ -1028,7 +1142,15 @@ bool FrameDecoder::feed(const std::byte *Data, std::size_t Size) {
     if (H.Magic != ChunkMagic)
       return fail("corrupt event stream: bad chunk magic at chunk " +
                   std::to_string(NextSeq));
-    if (H.PayloadBytes == 0 || H.PayloadBytes > MaxChunkPayload)
+    // v6: bit 31 of the length field flags a compressed payload and the
+    // low bits are the on-wire byte count. In pre-v6 streams the raw
+    // field is the length, so a flagged frame fails the bound below --
+    // the intended clean refusal of old readers.
+    bool Compressed =
+        Format >= WireFormat::V6 && chunkCompressed(H.PayloadBytes);
+    std::uint32_t WireLen =
+        Compressed ? chunkWireBytes(H.PayloadBytes) : H.PayloadBytes;
+    if (WireLen == 0 || WireLen > MaxChunkPayload)
       return fail("corrupt event stream: chunk " + std::to_string(NextSeq) +
                   " has implausible payload length " +
                   std::to_string(H.PayloadBytes));
@@ -1036,17 +1158,24 @@ bool FrameDecoder::feed(const std::byte *Data, std::size_t Size) {
       return fail("corrupt event stream: chunk sequence jumped from " +
                   std::to_string(NextSeq) + " to " + std::to_string(H.Seq) +
                   " (dropped or reordered chunks)");
-    if (Avail - Off < sizeof(ChunkHeader) + H.PayloadBytes)
+    if (Avail - Off < sizeof(ChunkHeader) + WireLen)
       break; // partial payload: wait for more bytes
     const std::byte *Payload = Cur + Off + sizeof(ChunkHeader);
-    std::uint32_t Crc = support::crc32c(Payload, H.PayloadBytes);
+    // Decompress once, at chunk granularity, before the CRC: the CRC
+    // covers the *uncompressed* payload, so integrity semantics (and
+    // every salvage verdict built on them) are unchanged by v6.
+    std::span<const std::byte> Body(Payload, WireLen);
+    if (Compressed && !chunkPayloadBytes(H, Payload, Inflate, Body))
+      return fail("corrupt event stream: chunk " + std::to_string(NextSeq) +
+                  " has a malformed compressed payload");
+    std::uint32_t Crc = support::crc32c(Body.data(), Body.size());
     if (Crc != H.Crc)
       return fail("corrupt event stream: chunk " + std::to_string(NextSeq) +
                   " CRC mismatch (stored " + std::to_string(H.Crc) +
                   ", computed " + std::to_string(Crc) + ")");
     if (chunkSelfContained(Format))
-      Records.resetTimeBase(); // every v4/v5 chunk is self-contained
-    if (!Records.feed(Payload, H.PayloadBytes)) {
+      Records.resetTimeBase(); // every v4+ chunk is self-contained
+    if (!Records.feed(Body.data(), Body.size())) {
       Failed = true;
       return false; // record-layer error() is surfaced by error()
     }
@@ -1056,7 +1185,7 @@ bool FrameDecoder::feed(const std::byte *Data, std::size_t Size) {
                   std::to_string(NextSeq));
     ++Chunks;
     ++NextSeq;
-    Off += sizeof(ChunkHeader) + H.PayloadBytes;
+    Off += sizeof(ChunkHeader) + WireLen;
   }
 
   if (!Pending.empty()) {
@@ -1156,10 +1285,13 @@ bool jdrag::profiler::readChunkIndexFooter(std::span<const std::byte> Stream,
   for (std::size_t I = 0; I != Count; ++I) {
     WireIndexEntry W;
     std::memcpy(&W, Body + 8 + I * sizeof(W), sizeof(W));
-    if (W.Offset != Off || W.Seq != I || W.PayloadBytes == 0 ||
-        W.PayloadBytes > MaxChunkPayload)
+    // v6 entries carry the on-wire field (compressed flag + compressed
+    // length); the tiling below is over on-wire bytes either way.
+    std::uint32_t WireLen = chunkWireBytes(W.PayloadBytes);
+    if (W.Offset != Off || W.Seq != I || WireLen == 0 ||
+        WireLen > MaxChunkPayload)
       return false;
-    Off += sizeof(ChunkHeader) + W.PayloadBytes;
+    Off += sizeof(ChunkHeader) + WireLen;
     ChunkIndexEntry E;
     E.Offset = W.Offset;
     E.Seq = W.Seq;
@@ -1210,26 +1342,32 @@ bool jdrag::profiler::rebuildChunkIndex(std::span<const std::byte> Stream,
     }
     if (H.Magic != ChunkMagic)
       return Fail("bad chunk magic at chunk " + std::to_string(NextSeq));
-    if (H.PayloadBytes == 0 || H.PayloadBytes > MaxChunkPayload)
+    // v6 frames may flag a compressed payload; the structural walk is
+    // over on-wire bytes. Pre-v6 formats have no flag bit, so a set bit
+    // 31 keeps failing the length bound below.
+    bool Compressed = F >= WireFormat::V6 && chunkCompressed(H.PayloadBytes);
+    std::uint32_t WireLen =
+        Compressed ? chunkWireBytes(H.PayloadBytes) : H.PayloadBytes;
+    if (WireLen == 0 || WireLen > MaxChunkPayload)
       return Fail("chunk " + std::to_string(NextSeq) +
                   " has implausible payload length " +
                   std::to_string(H.PayloadBytes));
     if (H.Seq != NextSeq)
       return Fail("chunk sequence jumped from " + std::to_string(NextSeq) +
                   " to " + std::to_string(H.Seq));
-    if (End - Off < sizeof(ChunkHeader) + H.PayloadBytes)
+    if (End - Off < sizeof(ChunkHeader) + WireLen)
       return Fail("truncated chunk payload in chunk " +
                   std::to_string(NextSeq));
     ChunkIndexEntry E;
     E.Offset = Off;
     E.Seq = H.Seq;
-    E.PayloadBytes = H.PayloadBytes;
+    E.PayloadBytes = H.PayloadBytes; // on-wire field, flag included
     E.Crc = H.Crc;
-    E.HeadSkip = H.PayloadBytes; // overwritten if a record starts here
+    E.HeadSkip = WireLen; // overwritten if a record starts here
     Out.Entries.push_back(E);
-    PayloadTotal += H.PayloadBytes;
+    PayloadTotal += WireLen;
     ++NextSeq;
-    Off += sizeof(ChunkHeader) + H.PayloadBytes;
+    Off += sizeof(ChunkHeader) + WireLen;
   }
 
   if (Out.Entries.empty())
@@ -1242,11 +1380,21 @@ bool jdrag::profiler::rebuildChunkIndex(std::span<const std::byte> Stream,
   std::vector<std::byte> Buf;
   Buf.reserve(PayloadTotal);
   std::vector<std::size_t> Starts(Out.Entries.size());
+  std::vector<std::uint8_t> Inflate;
   for (std::size_t I = 0; I != Out.Entries.size(); ++I) {
     Starts[I] = Buf.size();
-    const std::byte *P =
-        Stream.data() + Out.Entries[I].Offset + sizeof(ChunkHeader);
-    Buf.insert(Buf.end(), P, P + Out.Entries[I].PayloadBytes);
+    ChunkIndexEntry &E = Out.Entries[I];
+    const std::byte *P = Stream.data() + E.Offset + sizeof(ChunkHeader);
+    // The record walk needs uncompressed bytes; a v6 chunk whose
+    // compressed payload does not decode is structural damage, same
+    // class as a truncated frame. (CRCs are still not checked here.)
+    ChunkHeader H;
+    H.PayloadBytes = E.PayloadBytes;
+    std::span<const std::byte> Body;
+    if (!chunkPayloadBytes(H, P, Inflate, Body))
+      return Fail("corrupt compressed payload in chunk " +
+                  std::to_string(E.Seq));
+    Buf.insert(Buf.end(), Body.begin(), Body.end());
   }
 
   std::size_t Pos = 0;
@@ -1272,7 +1420,12 @@ bool jdrag::profiler::rebuildChunkIndex(std::span<const std::byte> Stream,
       return Fail("malformed record in chunk " + std::to_string(E.Seq));
     if (W.Len == 0)
       return Fail("truncated event stream: partial trailing record");
-    if (chunkSelfContained(F) && Pos + W.Len > Starts[Cur] + E.PayloadBytes)
+    // Chunk extents in Buf come from Starts, not E.PayloadBytes: for a
+    // compressed chunk the entry holds the on-wire field, while Buf
+    // holds the decompressed payload.
+    std::size_t CurEnd =
+        Cur + 1 < Starts.size() ? Starts[Cur + 1] : Buf.size();
+    if (chunkSelfContained(F) && Pos + W.Len > CurEnd)
       return Fail("record straddles a chunk boundary in v4 chunk " +
                   std::to_string(E.Seq));
     if (E.RecordCount == 0) {
@@ -1317,6 +1470,43 @@ bool jdrag::profiler::replayBytes(std::span<const std::byte> Bytes,
   return true;
 }
 
+namespace {
+
+/// The one place the `.jdev` header is parsed: magic, version range,
+/// and the v5+ sampling extension. \p F must be positioned at byte 0;
+/// on success it is left at the first chunk frame and \p Info is
+/// filled. replayFile and readStreamHeader both go through here, so a
+/// format bump (like v6) lands exactly once.
+bool readHeaderFrom(std::FILE *F, const std::string &Path,
+                    StreamHeaderInfo &Info, std::string &Err) {
+  std::uint64_t Magic = 0;
+  std::uint32_t Version = 0, Reserved = 0;
+  if (std::fread(&Magic, sizeof(Magic), 1, F) != 1 || Magic != StreamMagic) {
+    Err = Path + ": not a .jdev event stream (bad magic)";
+    return false;
+  }
+  if (std::fread(&Version, sizeof(Version), 1, F) != 1 ||
+      std::fread(&Reserved, sizeof(Reserved), 1, F) != 1 ||
+      Version < static_cast<std::uint32_t>(WireFormat::V2) ||
+      Version > static_cast<std::uint32_t>(WireFormat::V6)) {
+    Err = Path + ": unsupported .jdev version " + std::to_string(Version);
+    return false;
+  }
+  Info.Format = static_cast<WireFormat>(Version);
+  Info.Sampling = SamplingParams{};
+  Info.Compressed = Info.Format >= WireFormat::V6;
+  if (Info.Format >= WireFormat::V5 &&
+      (std::fread(&Info.Sampling.SampleBytes, 8, 1, F) != 1 ||
+       std::fread(&Info.Sampling.SampleSeed, 8, 1, F) != 1)) {
+    Err = Path + ": truncated v" + std::to_string(Version) +
+          " stream header";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
 bool jdrag::profiler::replayFile(const std::string &Path, EventConsumer &C,
                                  std::string *Err, StreamHeaderInfo *Info) {
   auto Fail = [&](const std::string &Msg) {
@@ -1328,37 +1518,16 @@ bool jdrag::profiler::replayFile(const std::string &Path, EventConsumer &C,
   if (!F)
     return Fail("cannot open " + Path);
 
-  std::uint64_t Magic = 0;
-  std::uint32_t Version = 0, Reserved = 0;
-  if (std::fread(&Magic, sizeof(Magic), 1, F) != 1 || Magic != StreamMagic) {
+  StreamHeaderInfo Hdr;
+  std::string HdrErr;
+  if (!readHeaderFrom(F, Path, Hdr, HdrErr)) {
     std::fclose(F);
-    return Fail(Path + ": not a .jdev event stream (bad magic)");
+    return Fail(HdrErr);
   }
-  if (std::fread(&Version, sizeof(Version), 1, F) != 1 ||
-      std::fread(&Reserved, sizeof(Reserved), 1, F) != 1 ||
-      (Version != static_cast<std::uint32_t>(WireFormat::V2) &&
-       Version != static_cast<std::uint32_t>(WireFormat::V3) &&
-       Version != static_cast<std::uint32_t>(WireFormat::V4) &&
-       Version != static_cast<std::uint32_t>(WireFormat::V5))) {
-    std::fclose(F);
-    return Fail(Path + ": unsupported .jdev version " +
-                std::to_string(Version));
-  }
-  SamplingParams Sampling;
-  if (Version == static_cast<std::uint32_t>(WireFormat::V5)) {
-    // v5 header extension: the sampling params that scale this stream.
-    if (std::fread(&Sampling.SampleBytes, 8, 1, F) != 1 ||
-        std::fread(&Sampling.SampleSeed, 8, 1, F) != 1) {
-      std::fclose(F);
-      return Fail(Path + ": truncated v5 stream header");
-    }
-  }
-  if (Info) {
-    Info->Format = static_cast<WireFormat>(Version);
-    Info->Sampling = Sampling;
-  }
+  if (Info)
+    *Info = Hdr;
 
-  FrameDecoder D(C, static_cast<WireFormat>(Version));
+  FrameDecoder D(C, Hdr.Format);
   std::byte Buf[64 * 1024];
   bool Ok = true;
   while (true) {
@@ -1394,27 +1563,10 @@ bool jdrag::profiler::readStreamHeader(const std::string &Path,
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
     return Fail("cannot open " + Path);
-  std::uint64_t Magic = 0;
-  std::uint32_t Version = 0, Reserved = 0;
-  if (std::fread(&Magic, sizeof(Magic), 1, F) != 1 || Magic != StreamMagic) {
+  std::string HdrErr;
+  if (!readHeaderFrom(F, Path, Info, HdrErr)) {
     std::fclose(F);
-    return Fail(Path + ": not a .jdev event stream (bad magic)");
-  }
-  if (std::fread(&Version, sizeof(Version), 1, F) != 1 ||
-      std::fread(&Reserved, sizeof(Reserved), 1, F) != 1 ||
-      Version < static_cast<std::uint32_t>(WireFormat::V2) ||
-      Version > static_cast<std::uint32_t>(WireFormat::V5)) {
-    std::fclose(F);
-    return Fail(Path + ": unsupported .jdev version " +
-                std::to_string(Version));
-  }
-  Info.Format = static_cast<WireFormat>(Version);
-  Info.Sampling = SamplingParams{};
-  if (Info.Format == WireFormat::V5 &&
-      (std::fread(&Info.Sampling.SampleBytes, 8, 1, F) != 1 ||
-       std::fread(&Info.Sampling.SampleSeed, 8, 1, F) != 1)) {
-    std::fclose(F);
-    return Fail(Path + ": truncated v5 stream header");
+    return Fail(HdrErr);
   }
   std::fclose(F);
   return true;

@@ -82,6 +82,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -112,6 +113,10 @@ enum class WireFormat : std::uint8_t {
   V3 = 3, ///< per-kind varint records with byte-clock time deltas
   V4 = 4, ///< v3 records, but chunk-self-contained + chunk index footer
   V5 = 5, ///< v4 chunks/records/footer + sampling params in the header
+  V6 = 6, ///< v5 header + per-chunk transparent LZ compression: a chunk
+          ///< frame may carry an LZ-compressed payload, flagged in bit
+          ///< 31 of ChunkHeader::PayloadBytes, with the CRC still
+          ///< computed over the *uncompressed* payload bytes
 };
 
 /// What new streams are written as (decoders accept all versions).
@@ -158,11 +163,27 @@ inline constexpr WireFormat effectiveFormat(WireFormat F,
   return S.enabled() && F == WireFormat::V4 ? WireFormat::V5 : F;
 }
 
+/// effectiveFormat with chunk compression in the picture: compression
+/// upgrades v4/v5 to v6 (the header version is what tells a reader that
+/// chunk frames may carry the compressed-payload flag); with
+/// compression off the sampling-only rule above applies, so
+/// `--compress=off` recordings stay byte-identical to pre-v6 ones.
+/// Compression under v2/v3 framing is rejected by callers (jdrag does)
+/// -- those readers have no flag bit to honour.
+inline constexpr WireFormat effectiveFormat(WireFormat F,
+                                            const SamplingParams &S,
+                                            bool Compress) {
+  WireFormat E = effectiveFormat(F, S);
+  return Compress && (E == WireFormat::V4 || E == WireFormat::V5)
+             ? WireFormat::V6
+             : E;
+}
+
 /// Size of the `.jdev` file header for format \p F: 16 bytes (magic,
-/// version, reserved) through v4; v5 appends u64 SampleBytes + u64
-/// SampleSeed for 32.
+/// version, reserved) through v4; v5 and v6 append u64 SampleBytes +
+/// u64 SampleSeed for 32.
 inline constexpr std::size_t streamHeaderBytes(WireFormat F) {
-  return F == WireFormat::V5 ? 32 : 16;
+  return F >= WireFormat::V5 ? 32 : 16;
 }
 
 /// One decoded event. This is the *in-memory* record every consumer
@@ -233,6 +254,38 @@ inline constexpr std::uint32_t ChunkMagic = 0x6b43646a;
 /// Sanity bound on chunk payloads; a decoder rejects larger length
 /// fields as corruption instead of attempting a giant buffer.
 inline constexpr std::uint32_t MaxChunkPayload = 64u << 20;
+
+/// v6: bit 31 of ChunkHeader::PayloadBytes flags an LZ-compressed
+/// payload; the low 31 bits are then the *on-wire* (compressed) byte
+/// count and Crc stays the CRC-32C of the uncompressed payload, so
+/// integrity and salvage semantics are unchanged. Pre-v6 readers
+/// reject a flagged frame outright: the raw field exceeds
+/// MaxChunkPayload (64 MiB < 2^31), which is exactly the clean refusal
+/// the version bump is for.
+inline constexpr std::uint32_t ChunkCompressedBit = 0x80000000u;
+
+/// On-wire payload bytes of a frame whose PayloadBytes field is
+/// \p Field (masks off the compressed flag).
+inline constexpr std::uint32_t chunkWireBytes(std::uint32_t Field) {
+  return Field & ~ChunkCompressedBit;
+}
+
+/// True when \p Field flags a compressed payload.
+inline constexpr bool chunkCompressed(std::uint32_t Field) {
+  return (Field & ChunkCompressedBit) != 0;
+}
+
+/// Decompresses a flagged chunk payload. \p H is the frame header,
+/// \p Payload its chunkWireBytes(H.PayloadBytes) on-wire bytes. On
+/// success \p Out refers to the uncompressed payload -- the input span
+/// itself for a raw chunk, \p Scratch for a compressed one -- and true
+/// is returned. Returns false when a flagged payload is malformed
+/// (truncated token stream, out-of-range offsets, a declared length
+/// over MaxChunkPayload). Does NOT check the CRC; callers verify
+/// crc32c over \p Out against H.Crc.
+bool chunkPayloadBytes(const ChunkHeader &H, const std::byte *Payload,
+                       std::vector<std::uint8_t> &Scratch,
+                       std::span<const std::byte> &Out);
 
 //===----------------------------------------------------------------------===//
 // Chunk index footer (v4)
@@ -312,6 +365,58 @@ bool readChunkIndexFooter(std::span<const std::byte> Stream, ChunkIndex &Out);
 /// consumers verify payload CRCs when they decode.
 bool rebuildChunkIndex(std::span<const std::byte> Stream, WireFormat F,
                        ChunkIndex &Out, std::string *Err = nullptr);
+
+//===----------------------------------------------------------------------===//
+// Chunk compression (v6)
+//===----------------------------------------------------------------------===//
+
+/// Rewrites a framed chunk stream into its v6 compressed form, one
+/// frame at a time -- the shared engine behind FileEventSink's
+/// `Compress` option and SocketEventSink's pre-send compression, so the
+/// transform runs off the VM's critical path (on the file sink /
+/// background writer / sender, never in EventBuffer::flush).
+///
+/// Data chunks get their payload LZ-compressed (stored raw, flag
+/// clear, when incompressible -- lzCompress's >= rule guarantees a
+/// compressed frame is strictly smaller); Seq, Magic and Crc are
+/// preserved, Crc still covering the uncompressed payload. The
+/// terminal chunk index footer passes through uncompressed but has its
+/// entries rewritten -- Offset and PayloadBytes replaced with the
+/// actual on-wire values this compressor produced, payload CRC
+/// recomputed -- so footer offsets index the *compressed* chunks and
+/// sharded replay seeks correctly. Entries whose Seq this compressor
+/// never saw (e.g. chunks shed before a spool opened) keep their
+/// producer values; readers detect the mismatch and rebuild, exactly
+/// as they do for loss today.
+class ChunkCompressor {
+public:
+  /// Transforms one framed chunk (16-byte ChunkHeader + payload; footer
+  /// frames carry 8 tail bytes). Returns the frame to put on the wire:
+  /// the input span itself when it passes through unchanged, or an
+  /// internally-owned scratch buffer (valid until the next call)
+  /// holding the compressed frame / rewritten footer. Returns an empty
+  /// span on a structurally invalid input frame.
+  std::span<const std::byte> transform(const std::byte *Data,
+                                       std::size_t Size);
+
+  /// Uncompressed payload bytes that entered / on-wire payload bytes
+  /// that left (the compression ratio numerator/denominator).
+  std::uint64_t rawPayloadBytes() const { return RawBytes; }
+  std::uint64_t wirePayloadBytes() const { return WireBytes; }
+
+private:
+  struct WireRecord {
+    std::uint32_t Seq = 0;
+    std::uint64_t Offset = 0;     ///< on-wire stream offset of the frame
+    std::uint32_t Field = 0;      ///< on-wire PayloadBytes field
+  };
+  std::vector<WireRecord> Wire;
+  std::vector<std::uint8_t> Lz;     ///< lzCompress output scratch
+  std::vector<std::byte> Scratch;   ///< rewritten frame scratch
+  std::uint64_t Offset = 0;         ///< on-wire offset of the next frame
+  std::uint64_t RawBytes = 0;
+  std::uint64_t WireBytes = 0;
+};
 
 /// Retry/backoff schedule shared by every sink that retries transient
 /// failures (FileEventSink write errors, SocketEventSink connects and
@@ -532,9 +637,14 @@ public:
     /// Header version stamped on the file. Must match the WireFormat of
     /// the EventBuffer producing the chunks.
     WireFormat Format = DefaultWireFormat;
-    /// Sampling parameters stamped into a v5 header (ignored for older
-    /// formats, whose headers have no slot for them).
+    /// Sampling parameters stamped into a v5/v6 header (ignored for
+    /// older formats, whose headers have no slot for them).
     SamplingParams Sampling;
+    /// Compress chunk payloads before they hit the disk (v6). Requires
+    /// Format == V6; incoming frames that are already compressed (the
+    /// daemon recording what a v6 client sent, `jdrag send` forwarding
+    /// a spool) are written verbatim, never re-compressed.
+    bool Compress = false;
   };
 
   FileEventSink() = default;
@@ -553,6 +663,14 @@ public:
   std::uint64_t bytesWritten() const { return Bytes; }
   int lastErrno() const override { return LastErr; }
   std::uint32_t retries() const override { return Retries; }
+  /// Compression accounting (zero unless Options::Compress): payload
+  /// bytes before / after the chunk compressor.
+  std::uint64_t rawPayloadBytes() const {
+    return Comp ? Comp->rawPayloadBytes() : 0;
+  }
+  std::uint64_t wirePayloadBytes() const {
+    return Comp ? Comp->wirePayloadBytes() : 0;
+  }
 
 protected:
   /// Write seam: returns bytes actually written, setting errno on a
@@ -562,8 +680,10 @@ protected:
 
 private:
   bool durableFlush();
+  bool writeFrame(const std::byte *Data, std::size_t Size);
 
   std::FILE *F = nullptr;
+  std::unique_ptr<ChunkCompressor> Comp; ///< non-null when compressing
   Options Opt;
   std::uint64_t Bytes = 0;
   std::uint64_t Chunks = 0;
@@ -763,6 +883,7 @@ private:
 
   StreamDecoder Records;
   std::vector<std::byte> Pending;
+  std::vector<std::uint8_t> Inflate; ///< v6 per-chunk decompress scratch
   std::uint64_t Chunks = 0;
   std::uint32_t NextSeq = 0;
   std::string Error;
@@ -799,8 +920,8 @@ bool replayBytes(std::span<const std::byte> Bytes, EventConsumer &C,
 
 /// Replays a `.jdev` recording into \p C, validating the file header,
 /// every chunk frame (sequence + CRC), and record completeness. v2
-/// through v5 recordings are accepted (the header version selects the
-/// record decoder). A header-only file (zero events) replays
+/// through v6 recordings are accepted (the header version selects the
+/// record decoder; v6 chunk payloads are decompressed transparently). A header-only file (zero events) replays
 /// successfully. Damaged files fail with a precise error;
 /// `jdrag salvage` recovers their prefix. When \p Info is non-null it
 /// receives the header's format and sampling params (exact defaults for
@@ -808,6 +929,9 @@ bool replayBytes(std::span<const std::byte> Bytes, EventConsumer &C,
 struct StreamHeaderInfo {
   WireFormat Format = DefaultWireFormat;
   SamplingParams Sampling;
+  /// True for a v6 header: chunk frames in this stream may carry
+  /// compressed payloads.
+  bool Compressed = false;
 };
 bool replayFile(const std::string &Path, EventConsumer &C,
                 std::string *Err = nullptr,

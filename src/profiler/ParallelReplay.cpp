@@ -233,9 +233,14 @@ bool shardFail(ShardResult &R, std::string Msg) {
 /// Re-verifies one chunk against its index entry: header fields, CRC,
 /// and (for footer-sourced indexes) the footer's own claims. The index
 /// construction already bounds-checked every offset, so the reads here
-/// cannot run off the stream.
+/// cannot run off the stream. On success \p Body is the chunk's record
+/// payload -- decompressed into \p Inflate for a flagged v6 chunk, the
+/// raw wire bytes otherwise (the CRC always covers the uncompressed
+/// payload).
 bool validateChunk(std::span<const std::byte> Framed, const ChunkIndexEntry &En,
-                   std::size_t GlobalIdx, bool FromFooter, ShardResult &R) {
+                   std::size_t GlobalIdx, bool FromFooter, WireFormat F,
+                   std::vector<std::uint8_t> &Inflate,
+                   std::span<const std::byte> &Body, ShardResult &R) {
   ChunkHeader H;
   std::memcpy(&H, Framed.data() + En.Offset, sizeof(H));
   if (H.Magic != ChunkMagic || H.Seq != En.Seq ||
@@ -243,9 +248,15 @@ bool validateChunk(std::span<const std::byte> Framed, const ChunkIndexEntry &En,
       En.Seq != static_cast<std::uint32_t>(GlobalIdx))
     return shardFail(R, "chunk index disagrees with the header of chunk " +
                             std::to_string(GlobalIdx));
-  std::uint32_t Crc =
-      support::crc32c(Framed.data() + En.Offset + sizeof(ChunkHeader),
-                      H.PayloadBytes);
+  std::uint32_t WireLen =
+      F >= WireFormat::V6 ? chunkWireBytes(H.PayloadBytes) : H.PayloadBytes;
+  const std::byte *Payload = Framed.data() + En.Offset + sizeof(ChunkHeader);
+  Body = std::span<const std::byte>(Payload, WireLen);
+  if (F >= WireFormat::V6 && chunkCompressed(H.PayloadBytes) &&
+      !chunkPayloadBytes(H, Payload, Inflate, Body))
+    return shardFail(R, "corrupt compressed payload in chunk " +
+                            std::to_string(GlobalIdx));
+  std::uint32_t Crc = support::crc32c(Body.data(), Body.size());
   if (Crc != H.Crc || (FromFooter && En.Crc != H.Crc))
     return shardFail(R, "CRC mismatch in chunk " + std::to_string(GlobalIdx));
   return true;
@@ -261,6 +272,8 @@ void runShard(std::span<const std::byte> Framed, WireFormat F,
   const std::vector<ChunkIndexEntry> &Ents = Idx.Entries;
   ShardConsumer C(R, Snap, /*IntervalKnown=*/B == 0);
   StreamDecoder Dec(C, F);
+  std::vector<std::uint8_t> Inflate; // per-shard v6 scratch
+  std::span<const std::byte> Body;
   auto Payload = [&](const ChunkIndexEntry &En) {
     return Framed.data() + En.Offset + sizeof(ChunkHeader);
   };
@@ -268,11 +281,11 @@ void runShard(std::span<const std::byte> Framed, WireFormat F,
   if (chunkSelfContained(F)) {
     for (std::size_t I = B; I < E; ++I) {
       const ChunkIndexEntry &En = Ents[I];
-      if (!validateChunk(Framed, En, I, Idx.FromFooter, R))
+      if (!validateChunk(Framed, En, I, Idx.FromFooter, F, Inflate, Body, R))
         return;
       std::uint64_t Before = Dec.eventsDecoded();
       Dec.resetTimeBase(0);
-      if (!Dec.feed(Payload(En), En.PayloadBytes)) {
+      if (!Dec.feed(Body.data(), Body.size())) {
         shardFail(R, Dec.error());
         return;
       }
@@ -297,13 +310,15 @@ void runShard(std::span<const std::byte> Framed, WireFormat F,
   // decode to the end of the range.
   std::size_t First = B;
   while (First < E && Ents[First].RecordCount == 0) {
-    if (!validateChunk(Framed, Ents[First], First, Idx.FromFooter, R))
+    if (!validateChunk(Framed, Ents[First], First, Idx.FromFooter, F, Inflate,
+                       Body, R))
       return;
     ++First;
   }
   if (First == E)
     return; // no record starts in this range
-  if (!validateChunk(Framed, Ents[First], First, Idx.FromFooter, R))
+  if (!validateChunk(Framed, Ents[First], First, Idx.FromFooter, F, Inflate,
+                     Body, R))
     return;
   Dec.resetTimeBase(Ents[First].TimeBase);
   if (!Dec.feed(Payload(Ents[First]) + Ents[First].HeadSkip,
@@ -312,7 +327,8 @@ void runShard(std::span<const std::byte> Framed, WireFormat F,
     return;
   }
   for (std::size_t I = First + 1; I < E; ++I) {
-    if (!validateChunk(Framed, Ents[I], I, Idx.FromFooter, R))
+    if (!validateChunk(Framed, Ents[I], I, Idx.FromFooter, F, Inflate, Body,
+                       R))
       return;
     if (!Dec.feed(Payload(Ents[I]), Ents[I].PayloadBytes)) {
       shardFail(R, Dec.error());
@@ -341,9 +357,11 @@ bool runSharded(std::span<const std::byte> Framed, WireFormat F,
                 std::vector<ShardResult> &Shards, std::string &Err) {
   std::size_t N = Idx.Entries.size();
   std::size_t S = std::min<std::size_t>(Jobs, N);
+  // Balance by on-wire bytes (masking the v6 compressed flag, a no-op
+  // for pre-v6 entries where payloads stay under 2^31).
   std::uint64_t Total = 0;
   for (const ChunkIndexEntry &En : Idx.Entries)
-    Total += En.PayloadBytes;
+    Total += chunkWireBytes(En.PayloadBytes);
   std::vector<std::size_t> Cut(S + 1, 0);
   Cut[S] = N;
   std::size_t I = 0;
@@ -351,7 +369,7 @@ bool runSharded(std::span<const std::byte> Framed, WireFormat F,
   for (std::size_t K = 1; K < S; ++K) {
     std::uint64_t Target = Total * K / S;
     while (I < N && Acc < Target)
-      Acc += Idx.Entries[I++].PayloadBytes;
+      Acc += chunkWireBytes(Idx.Entries[I++].PayloadBytes);
     Cut[K] = I;
   }
 
@@ -511,17 +529,15 @@ bool jdrag::profiler::replayProfileParallel(const std::string &Path,
   std::memcpy(&Magic, Bytes.data(), sizeof(Magic));
   std::memcpy(&Version, Bytes.data() + 8, sizeof(Version));
   if (Magic != StreamFileMagic ||
-      (Version != static_cast<std::uint32_t>(WireFormat::V2) &&
-       Version != static_cast<std::uint32_t>(WireFormat::V3) &&
-       Version != static_cast<std::uint32_t>(WireFormat::V4) &&
-       Version != static_cast<std::uint32_t>(WireFormat::V5)))
+      Version < static_cast<std::uint32_t>(WireFormat::V2) ||
+      Version > static_cast<std::uint32_t>(WireFormat::V6))
     return Sequential();
   WireFormat F = static_cast<WireFormat>(Version);
   std::size_t HeaderBytes = streamHeaderBytes(F);
   if (Bytes.size() < HeaderBytes)
-    return Sequential(); // truncated v5 header; sequential owns the error
+    return Sequential(); // truncated v5+ header; sequential owns the error
   SamplingParams Sampling;
-  if (F == WireFormat::V5) {
+  if (F >= WireFormat::V5) {
     std::memcpy(&Sampling.SampleBytes, Bytes.data() + 16, 8);
     std::memcpy(&Sampling.SampleSeed, Bytes.data() + 24, 8);
   }
@@ -550,6 +566,7 @@ bool jdrag::profiler::replayProfileParallel(const std::string &Path,
       mergeShards(Shards, Config, Out);
       Out.SampleRate = Sampling.SampleBytes;
       Out.SampleSeed = Sampling.enabled() ? Sampling.SampleSeed : 0;
+      Out.Compressed = F >= WireFormat::V6;
       return true;
     }
     // A footer is a producer claim; when reality disagrees, distrust it

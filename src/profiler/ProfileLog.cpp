@@ -33,18 +33,19 @@ SpaceTime ProfileLog::inUseIntegral() const {
 
 namespace {
 
-// Format v06: magic, u32 version, u32 record size (layout check), then
+// Format v07: magic, u32 version, u32 record size (layout check), then
 // EndTime, delivery accounting (u8 Complete, u64 dropped chunks/bytes,
 // u32 retries, i32 last errno from the recording's StreamHealth), the
 // sampling params behind the recording (u64 rate, u64 seed; rate 0 =
-// exact), sites, records, GC samples. The version and record-size
-// fields plus file-size validation of every count make corrupt,
-// truncated, or wrong-version files fail cleanly instead of producing
-// garbage records (or huge blind reserves). v05 added the retry/errno
-// counters; v06 added the sampling params (readers reject older magics
-// outright, matching prior bumps).
-constexpr std::uint64_t LogMagic = ProfileLogMagic; // "jdragv06"
-constexpr std::uint32_t LogVersion = 6;
+// exact), u8 compressed-provenance flag, sites, records, GC samples.
+// The version and record-size fields plus file-size validation of every
+// count make corrupt, truncated, or wrong-version files fail cleanly
+// instead of producing garbage records (or huge blind reserves). v05
+// added the retry/errno counters; v06 added the sampling params; v07
+// added the compressed flag (readers reject older magics outright,
+// matching prior bumps).
+constexpr std::uint64_t LogMagic = ProfileLogMagic; // "jdragv07"
+constexpr std::uint32_t LogVersion = 7;
 
 struct FileCloser {
   void operator()(std::FILE *F) const {
@@ -101,6 +102,9 @@ bool ProfileLog::writeFile(const std::string &Path) const {
       !writePod(F.get(), LastErrno))
     return false;
   if (!writePod(F.get(), SampleRate) || !writePod(F.get(), SampleSeed))
+    return false;
+  std::uint8_t CompressedByte = Compressed;
+  if (!writePod(F.get(), CompressedByte))
     return false;
 
   std::uint64_t NumSites = Sites.size();
@@ -193,6 +197,10 @@ bool ProfileLog::readFile(const std::string &Path, ProfileLog &Out) {
     return false;
   if (!readPod(F.get(), Out.SampleRate) || !readPod(F.get(), Out.SampleSeed))
     return false;
+  std::uint8_t CompressedByte = 0;
+  if (!readPod(F.get(), CompressedByte) || CompressedByte > 1)
+    return false;
+  Out.Compressed = CompressedByte;
 
   std::uint64_t NumSites = 0;
   if (!readPod(F.get(), NumSites))

@@ -77,10 +77,11 @@ struct GCSample {
   std::uint64_t ReachableObjects = 0;
 };
 
-/// `.jdlog` file magic ("jdragv06"): leads every serialized ProfileLog,
+/// `.jdlog` file magic ("jdragv07"): leads every serialized ProfileLog,
 /// so tools can tell an object log from an event recording by the first
-/// 8 bytes (cf. StreamFileMagic). v05 -> v06 added the sampling fields.
-inline constexpr std::uint64_t ProfileLogMagic = 0x6a64726167763036ULL;
+/// 8 bytes (cf. StreamFileMagic). v05 -> v06 added the sampling fields;
+/// v06 -> v07 added the Compressed provenance flag.
+inline constexpr std::uint64_t ProfileLogMagic = 0x6a64726167763037ULL;
 
 /// The complete phase-1 output.
 class ProfileLog {
@@ -111,6 +112,10 @@ public:
   std::uint64_t SampleRate = 0;
   /// Seed of the sampling PRNG (reproducibility bookkeeping).
   std::uint64_t SampleSeed = 0;
+  /// The event stream behind this log used v6 chunk compression
+  /// (provenance only -- decompressed streams are bit-identical, so
+  /// nothing downstream scales or changes by this).
+  bool Compressed = false;
 
   /// Serializes to \p Path. Returns false on I/O error.
   bool writeFile(const std::string &Path) const;

@@ -26,6 +26,8 @@ constexpr int PollSliceMs = 100;
 SocketEventSink::SocketEventSink(Options O) : Opt(std::move(O)) {
   if (!Opt.Pid)
     Opt.Pid = static_cast<std::uint64_t>(::getpid());
+  if (Opt.Compress && Opt.Format >= WireFormat::V6)
+    Comp = std::make_unique<ChunkCompressor>();
 }
 
 SocketEventSink::~SocketEventSink() { finish(); }
@@ -240,6 +242,24 @@ bool SocketEventSink::spoolChunk(const std::byte *Data, std::size_t Size) {
 }
 
 bool SocketEventSink::writeChunk(const std::byte *Data, std::size_t Size) {
+  // Compress up front -- before the session/spool fork -- so every
+  // destination carries the same v6 frames: the daemon records them
+  // verbatim and a degraded spool holds identical bytes. Like the
+  // file sink, this runs on AsyncEventSink's writer thread when this
+  // sink sits behind one, off the VM's critical path.
+  if (Comp && Size >= sizeof(ChunkHeader)) {
+    std::span<const std::byte> T = Comp->transform(Data, Size);
+    if (T.empty()) {
+      // Structurally invalid frame from the producer: shed it like a
+      // runt (never a real EventBuffer frame).
+      SessionIdentity = false;
+      SpoolIdentity = false;
+      accountDrop(Size);
+      return true;
+    }
+    Data = T.data();
+    Size = T.size();
+  }
   if (Size < sizeof(ChunkHeader)) {
     // A runt frame is shed; whichever destination carries this stream
     // is now missing a flushed chunk, so neither may claim the footer.

@@ -89,6 +89,12 @@ public:
     /// daemon scales this session's estimates, and stamped on the spool
     /// header so a degraded recording stays self-describing.
     SamplingParams Sampling;
+    /// Compress chunk payloads (LZ, support/Lz.h) before they leave the
+    /// process: the daemon receives -- and records verbatim -- v6
+    /// frames, and a degraded spool holds the same compressed bytes.
+    /// Requires Format == V6; compression happens once, here, so the
+    /// wire and the spool never diverge. Ignored otherwise.
+    bool Compress = false;
     /// Reconnect/retry schedule (shared with FileEventSink). Jitter on
     /// by default: a daemon restart must not be met by a thundering
     /// herd of lock-step clients.
@@ -140,6 +146,14 @@ public:
   /// v4 index footers deliberately not forwarded because the
   /// destination did not hold the whole stream (not data loss).
   std::uint32_t footersSwallowed() const { return FootersSwallowed; }
+  /// Compression accounting (0 both when not compressing): payload
+  /// bytes before and after the LZ pass, data chunks only.
+  std::uint64_t rawPayloadBytes() const {
+    return Comp ? Comp->rawPayloadBytes() : 0;
+  }
+  std::uint64_t wirePayloadBytes() const {
+    return Comp ? Comp->wirePayloadBytes() : 0;
+  }
   bool connected() const { return Fd >= 0; }
   bool spooling() const { return SpoolActive; }
 
@@ -165,6 +179,7 @@ private:
   bool SpoolFailed = false;
   bool Finished = false;
   std::unique_ptr<FileEventSink> Spool;
+  std::unique_ptr<ChunkCompressor> Comp; ///< non-null when compressing
 
   // Per-destination sequence renumbering. Each daemon session and the
   // spool restart chunk sequences at 0 so every destination is a

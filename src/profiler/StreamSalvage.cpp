@@ -31,6 +31,8 @@ const char *jdrag::profiler::chunkStatusName(ChunkStatus S) {
     return "crc-mismatch";
   case ChunkStatus::BadRecords:
     return "bad-records";
+  case ChunkStatus::BadCompression:
+    return "bad-compression";
   }
   return "?";
 }
@@ -62,6 +64,17 @@ std::string SalvageReport::summary(const std::string &Path) const {
         static_cast<unsigned long long>(Sampling.SampleSeed));
   else
     Out += "sampling: exact (every allocation recorded)\n";
+  if (Compressed) {
+    double Ratio = WirePayloadBytes
+                       ? static_cast<double>(RawPayloadBytes) /
+                             static_cast<double>(WirePayloadBytes)
+                       : 1.0;
+    Out += formatString(
+        "compression: %llu bytes on disk <- %llu uncompressed "
+        "(%.2fx ratio)\n",
+        static_cast<unsigned long long>(WirePayloadBytes),
+        static_cast<unsigned long long>(RawPayloadBytes), Ratio);
+  }
   for (const ChunkVerdict &V : Chunks)
     if (!V.ok())
       Out += formatString(
@@ -160,10 +173,8 @@ SalvageReport jdrag::profiler::scanEventFile(const std::string &Path,
     return Rep;
   }
   std::memcpy(&Rep.Version, Bytes.data() + 8, sizeof(Rep.Version));
-  if (Rep.Version != static_cast<std::uint32_t>(WireFormat::V2) &&
-      Rep.Version != static_cast<std::uint32_t>(WireFormat::V3) &&
-      Rep.Version != static_cast<std::uint32_t>(WireFormat::V4) &&
-      Rep.Version != static_cast<std::uint32_t>(WireFormat::V5)) {
+  if (Rep.Version < static_cast<std::uint32_t>(WireFormat::V2) ||
+      Rep.Version > static_cast<std::uint32_t>(WireFormat::V6)) {
     Rep.FileError =
         "unsupported .jdev version " + std::to_string(Rep.Version);
     return Rep;
@@ -172,13 +183,14 @@ SalvageReport jdrag::profiler::scanEventFile(const std::string &Path,
   std::size_t FileHeaderBytes =
       streamHeaderBytes(static_cast<WireFormat>(Rep.Version));
   if (Bytes.size() < FileHeaderBytes) {
-    Rep.FileError = "truncated v5 stream header";
+    Rep.FileError = "truncated stream header";
     return Rep;
   }
-  if (Rep.Version == static_cast<std::uint32_t>(WireFormat::V5)) {
+  if (Rep.Version >= static_cast<std::uint32_t>(WireFormat::V5)) {
     std::memcpy(&Rep.Sampling.SampleBytes, Bytes.data() + 16, 8);
     std::memcpy(&Rep.Sampling.SampleSeed, Bytes.data() + 24, 8);
   }
+  Rep.Compressed = Rep.Version >= static_cast<std::uint32_t>(WireFormat::V6);
 
   // A v4/v5 file may end with a chunk index footer block: judge it
   // separately (it is an index, not data) and stop the chunk walk
@@ -201,6 +213,7 @@ SalvageReport jdrag::profiler::scanEventFile(const std::string &Path,
   std::uint32_t ExpectedSeq = 0;
   bool Damaged = false;
   std::uint64_t FedBytes = 0;
+  std::vector<std::uint8_t> Inflate; // v6 decompression scratch
 
   auto judge = [&](ChunkVerdict V) {
     if (!V.ok() && Rep.FirstDamaged == SalvageReport::npos)
@@ -220,39 +233,56 @@ SalvageReport jdrag::profiler::scanEventFile(const std::string &Path,
     ChunkHeader H;
     std::memcpy(&H, Bytes.data() + Off, sizeof(H));
     V.Seq = H.Seq;
-    V.PayloadBytes = H.PayloadBytes;
+    // A v6 chunk header's length field may carry the compressed flag in
+    // bit 31; the low bits are what actually sits on disk. Pre-v6 files
+    // take the field at face value, as before.
+    bool Comp = Rep.Compressed && chunkCompressed(H.PayloadBytes);
+    std::uint32_t WireLen =
+        Rep.Compressed ? chunkWireBytes(H.PayloadBytes) : H.PayloadBytes;
+    V.PayloadBytes = WireLen;
 
     bool Resync = false;
     if (H.Magic != ChunkMagic) {
       V.Status = ChunkStatus::BadMagic;
       Resync = true;
-    } else if (H.PayloadBytes == 0 || H.PayloadBytes > MaxChunkPayload) {
+    } else if (WireLen == 0 || WireLen > MaxChunkPayload) {
       V.Status = ChunkStatus::OversizedPayload;
       Resync = true;
     } else if (!Damaged && H.Seq != ExpectedSeq) {
       // Only meaningful before the first damage; after a resync the
       // sequence is whatever the surviving chunks say.
       V.Status = ChunkStatus::BadSequence;
-    } else if (ScanEnd - Off - sizeof(ChunkHeader) < H.PayloadBytes) {
+    } else if (ScanEnd - Off - sizeof(ChunkHeader) < WireLen) {
       V.Status = ChunkStatus::TruncatedPayload;
       judge(V);
       break; // nothing beyond EOF to resynchronize on
     } else {
       const std::byte *Payload = Bytes.data() + Off + sizeof(ChunkHeader);
-      if (support::crc32c(Payload, H.PayloadBytes) != H.Crc) {
+      // Decompress first: the CRC covers the *uncompressed* payload, so
+      // a garbled compressed block surfaces either here (token stream
+      // broken) or as a CRC mismatch (tokens decode to wrong bytes).
+      std::span<const std::byte> Body(Payload, WireLen);
+      if (Comp && !chunkPayloadBytes(H, Payload, Inflate, Body)) {
+        V.Status = ChunkStatus::BadCompression;
+      } else if (support::crc32c(Body.data(), Body.size()) != H.Crc) {
         V.Status = ChunkStatus::BadCrc;
-      } else if (!Damaged) {
-        // Valid, in-sequence chunk before any damage: extend the prefix.
-        if (SelfContained)
-          Records.resetTimeBase(); // every v4/v5 chunk is self-contained
-        if (Records.feed(Payload, H.PayloadBytes)) {
-          FedBytes += H.PayloadBytes;
-          // v4/v5 chunks must end at a record boundary; a straddling
-          // record means the producer (or the bytes) lied.
-          if (SelfContained && Records.pendingBytes() != 0)
+      } else {
+        Rep.WirePayloadBytes += WireLen;
+        Rep.RawPayloadBytes += Body.size();
+        if (!Damaged) {
+          // Valid, in-sequence chunk before any damage: extend the
+          // prefix.
+          if (SelfContained)
+            Records.resetTimeBase(); // every v4+ chunk is self-contained
+          if (Records.feed(Body.data(), Body.size())) {
+            FedBytes += Body.size();
+            // v4+ chunks must end at a record boundary; a straddling
+            // record means the producer (or the bytes) lied.
+            if (SelfContained && Records.pendingBytes() != 0)
+              V.Status = ChunkStatus::BadRecords;
+          } else {
             V.Status = ChunkStatus::BadRecords;
-        } else {
-          V.Status = ChunkStatus::BadRecords;
+          }
         }
       }
       // Valid chunks after damage are judged but not replayed: a
@@ -267,7 +297,7 @@ SalvageReport jdrag::profiler::scanEventFile(const std::string &Path,
         break;
       Off = Next;
     } else {
-      Off += sizeof(ChunkHeader) + H.PayloadBytes;
+      Off += sizeof(ChunkHeader) + WireLen;
       ExpectedSeq = H.Seq + 1;
     }
   }
@@ -302,18 +332,17 @@ SalvageReport jdrag::profiler::scanEventFileParallel(const std::string &Path,
   std::memcpy(&Magic, Bytes.data(), sizeof(Magic));
   std::memcpy(&Version, Bytes.data() + 8, sizeof(Version));
   if (Magic != StreamFileMagic ||
-      (Version != static_cast<std::uint32_t>(WireFormat::V2) &&
-       Version != static_cast<std::uint32_t>(WireFormat::V3) &&
-       Version != static_cast<std::uint32_t>(WireFormat::V4) &&
-       Version != static_cast<std::uint32_t>(WireFormat::V5)))
+      Version < static_cast<std::uint32_t>(WireFormat::V2) ||
+      Version > static_cast<std::uint32_t>(WireFormat::V6))
     return Sequential();
   auto Format = static_cast<WireFormat>(Version);
   bool SelfContained = chunkSelfContained(Format);
+  bool CompFmt = Format >= WireFormat::V6;
   std::size_t FileHeaderBytes = streamHeaderBytes(Format);
   if (Bytes.size() < FileHeaderBytes)
     return Sequential();
   SamplingParams Sampling;
-  if (Format == WireFormat::V5) {
+  if (Format >= WireFormat::V5) {
     std::memcpy(&Sampling.SampleBytes, Bytes.data() + 16, 8);
     std::memcpy(&Sampling.SampleSeed, Bytes.data() + 24, 8);
   }
@@ -335,17 +364,19 @@ SalvageReport jdrag::profiler::scanEventFileParallel(const std::string &Path,
       return Sequential();
     ChunkHeader H;
     std::memcpy(&H, Bytes.data() + Off, sizeof(H));
-    if (H.Magic != ChunkMagic || H.PayloadBytes == 0 ||
-        H.PayloadBytes > MaxChunkPayload || H.Seq != NextSeq ||
-        ScanEnd - Off - sizeof(ChunkHeader) < H.PayloadBytes)
+    std::uint32_t WireLen =
+        CompFmt ? chunkWireBytes(H.PayloadBytes) : H.PayloadBytes;
+    if (H.Magic != ChunkMagic || WireLen == 0 ||
+        WireLen > MaxChunkPayload || H.Seq != NextSeq ||
+        ScanEnd - Off - sizeof(ChunkHeader) < WireLen)
       return Sequential();
     ChunkVerdict V;
     V.Offset = Off;
     V.Seq = H.Seq;
-    V.PayloadBytes = H.PayloadBytes;
+    V.PayloadBytes = WireLen;
     Chunks.push_back(V);
     ++NextSeq;
-    Off += sizeof(ChunkHeader) + H.PayloadBytes;
+    Off += sizeof(ChunkHeader) + WireLen;
   }
 
   // Fan the CRC verification out over the workers, splitting the chunk
@@ -354,14 +385,27 @@ SalvageReport jdrag::profiler::scanEventFileParallel(const std::string &Path,
   unsigned Workers =
       static_cast<unsigned>(std::min<std::size_t>(Jobs, N ? N : 1));
   std::atomic<bool> CrcOk{true};
+  // Decompressed size per chunk (== V.PayloadBytes for raw chunks).
+  // Workers write disjoint index ranges, so no synchronization needed.
+  std::vector<std::uint64_t> RawSizes(N, 0);
   auto Verify = [&](std::size_t Lo, std::size_t Hi) {
+    std::vector<std::uint8_t> Inflate; // per-worker scratch
     for (std::size_t I = Lo; I != Hi && CrcOk.load(); ++I) {
       const ChunkVerdict &V = Chunks[I];
       ChunkHeader H;
       std::memcpy(&H, Bytes.data() + V.Offset, sizeof(H));
-      if (support::crc32c(Bytes.data() + V.Offset + sizeof(ChunkHeader),
-                          V.PayloadBytes) != H.Crc)
+      const std::byte *Payload = Bytes.data() + V.Offset + sizeof(ChunkHeader);
+      std::span<const std::byte> Body(Payload, V.PayloadBytes);
+      if (CompFmt && chunkCompressed(H.PayloadBytes) &&
+          !chunkPayloadBytes(H, Payload, Inflate, Body)) {
+        CrcOk.store(false); // broken compressed payload: damage
+        return;
+      }
+      if (support::crc32c(Body.data(), Body.size()) != H.Crc) {
         CrcOk.store(false);
+        return;
+      }
+      RawSizes[I] = Body.size();
     }
   };
   if (Workers > 1) {
@@ -386,14 +430,16 @@ SalvageReport jdrag::profiler::scanEventFileParallel(const std::string &Path,
   SalvageReport Rep;
   Rep.Version = Version;
   Rep.Sampling = Sampling;
+  Rep.Compressed = CompFmt;
   Rep.FileBytes = Bytes.size();
   Rep.Chunks = std::move(Chunks);
   Rep.FooterPresent = FooterBytes != 0;
   Rep.FooterOk = FooterBytes != 0;
-  std::uint64_t Payload = 0;
-  for (const ChunkVerdict &V : Rep.Chunks)
-    Payload += V.PayloadBytes;
-  Rep.BytesRecovered = Payload;
+  for (std::size_t I = 0; I != N; ++I) {
+    Rep.WirePayloadBytes += Rep.Chunks[I].PayloadBytes;
+    Rep.RawPayloadBytes += RawSizes[I];
+  }
+  Rep.BytesRecovered = Rep.RawPayloadBytes;
 
   // Validate the record layer BEFORE any dispatch (a fallback after
   // partially feeding \p C would replay events twice).
@@ -404,11 +450,17 @@ SalvageReport jdrag::profiler::scanEventFileParallel(const std::string &Path,
   Rep.EventsRecovered = Idx.TotalRecords;
   if (C) {
     StreamDecoder Records(*C, Format);
+    std::vector<std::uint8_t> Inflate;
     for (const ChunkVerdict &V : Rep.Chunks) {
       if (SelfContained)
         Records.resetTimeBase();
-      Records.feed(Bytes.data() + V.Offset + sizeof(ChunkHeader),
-                   V.PayloadBytes); // known well-formed
+      ChunkHeader H;
+      std::memcpy(&H, Bytes.data() + V.Offset, sizeof(H));
+      const std::byte *Payload = Bytes.data() + V.Offset + sizeof(ChunkHeader);
+      std::span<const std::byte> Body(Payload, V.PayloadBytes);
+      if (CompFmt && chunkCompressed(H.PayloadBytes))
+        chunkPayloadBytes(H, Payload, Inflate, Body); // verified above
+      Records.feed(Body.data(), Body.size()); // known well-formed
     }
   }
   return Rep;
@@ -433,10 +485,13 @@ bool jdrag::profiler::salvageEventFile(const std::string &In,
 
   FileEventSink Sink;
   FileEventSink::Options FO;
-  // A sampled input stays sampled: carry the params into the salvage
-  // output's header (which upgrades it to v5) so replay still scales.
+  // A sampled input stays sampled and a compressed input stays
+  // compressed: carry both into the salvage output's header (which
+  // upgrades it to v5/v6) so replay still scales and the recovered
+  // recording keeps its space savings.
   FO.Sampling = Probe.Sampling;
-  FO.Format = effectiveFormat(FO.Format, FO.Sampling);
+  FO.Compress = Probe.Compressed;
+  FO.Format = effectiveFormat(FO.Format, FO.Sampling, FO.Compress);
   if (!Sink.open(Out, FO))
     return Fail("cannot write " + Out);
   EventBuffer Buf(Sink, /*ChunkBytes=*/0, /*Checksum=*/true, FO.Format);

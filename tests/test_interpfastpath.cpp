@@ -26,7 +26,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -96,6 +98,46 @@ StreamRun record(const Program &P, const std::vector<std::int64_t> &In,
   return R;
 }
 
+/// v6 differential leg: run the combo's framed stream through the
+/// ChunkCompressor and require every transformed frame to decompress
+/// back to the original payload, CRC preserved -- the "decompressed
+/// payloads are bit-identical to the uncompressed recording"
+/// guarantee, per workload, per combo.
+void expectCompressionRoundTrip(std::span<const std::byte> Stream,
+                                const std::string &Label) {
+  profiler::ChunkCompressor Comp;
+  std::vector<std::uint8_t> Inflate;
+  std::size_t Off = 0;
+  while (Off < Stream.size()) {
+    profiler::ChunkHeader H;
+    ASSERT_LE(Off + sizeof(H), Stream.size()) << Label;
+    std::memcpy(&H, Stream.data() + Off, sizeof(H));
+    bool Footer = H.Magic == profiler::FooterMagic;
+    std::size_t Frame = sizeof(H) + H.PayloadBytes + (Footer ? 8 : 0);
+    ASSERT_LE(Off + Frame, Stream.size()) << Label;
+    std::span<const std::byte> T = Comp.transform(Stream.data() + Off, Frame);
+    ASSERT_FALSE(T.empty()) << Label << ": compressor rejected frame at "
+                            << Off;
+    profiler::ChunkHeader W;
+    ASSERT_GE(T.size(), sizeof(W)) << Label;
+    std::memcpy(&W, T.data(), sizeof(W));
+    EXPECT_EQ(W.Seq, H.Seq) << Label;
+    std::span<const std::byte> Body;
+    ASSERT_TRUE(
+        profiler::chunkPayloadBytes(W, T.data() + sizeof(W), Inflate, Body))
+        << Label << ": frame at " << Off << " does not decompress";
+    if (!Footer) {
+      EXPECT_EQ(W.Crc, H.Crc) << Label << ": CRC no longer covers the "
+                              << "uncompressed payload";
+      ASSERT_EQ(Body.size(), H.PayloadBytes) << Label;
+      EXPECT_TRUE(std::memcmp(Body.data(), Stream.data() + Off + sizeof(H),
+                              Body.size()) == 0)
+          << Label << ": decompressed payload diverged at frame " << Off;
+    }
+    Off += Frame;
+  }
+}
+
 /// Runs every combo and asserts each matches the baseline bit for bit.
 void expectAllCombosIdentical(const Program &P,
                               const std::vector<std::int64_t> &In,
@@ -110,6 +152,7 @@ void expectAllCombosIdentical(const Program &P,
     EXPECT_TRUE(R.Bytes == Ref.Bytes)
         << Label << " " << describe(C) << ": .jdev stream diverged ("
         << R.Bytes.size() << " vs " << Ref.Bytes.size() << " bytes)";
+    expectCompressionRoundTrip(R.Bytes, Label + " " + describe(C));
   }
 }
 

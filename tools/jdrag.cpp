@@ -77,6 +77,11 @@ struct Options {
   std::uint64_t SampleBytes = 0;
   /// record: PRNG seed for the sampling gap sequence.
   std::uint64_t SampleSeed = profiler::SamplingParams{}.SampleSeed;
+  /// record: LZ-compress chunk payloads (v6 stream). On by default --
+  /// --compress=off restores the pre-v6, byte-identical output. No
+  /// effect on --v2/--v3 recordings (those formats predate chunks that
+  /// can carry the flag).
+  bool Compress = true;
   /// replay/fsck/salvage decode threads (0 = all cores).
   unsigned Jobs = 0;
   std::string OutPath;    ///< optimizeasm: write the revised .jasm here
@@ -103,6 +108,10 @@ int usage() {
       "                               per N heap bytes (0 = exact, default;\n"
       "                               writes a v5 stream); --sample-seed S:\n"
       "                               sampling PRNG seed;\n"
+      "                               --compress[=off]: LZ-compress chunk\n"
+      "                               payloads (v6 stream; on by default,\n"
+      "                               =off restores the uncompressed v4/v5\n"
+      "                               output byte for byte);\n"
       "                               --connect ADDR: stream to a jdragd,\n"
       "                               file.jdev becomes the failover spool)\n"
       "  send <file.jdev> <addr>      forward a recording (e.g. a failover\n"
@@ -190,10 +199,12 @@ int cmdRecord(const BenchmarkProgram &B, const std::string &Path,
                  "--v2/--v3 or record exact\n");
     return 2;
   }
-  // A sampled recording self-describes via the v5 header; exact
-  // recordings keep the default format so `--sample-bytes 0` output is
-  // byte-identical to a plain record.
-  profiler::WireFormat EffFmt = profiler::effectiveFormat(O.Format, SP);
+  // A sampled recording self-describes via the v5 header, a compressed
+  // one via v6; `--sample-bytes 0 --compress=off` output stays
+  // byte-identical to a pre-v6 plain record. Compression only upgrades
+  // v4/v5 -- an explicit --v2/--v3 recording stays uncompressed.
+  profiler::WireFormat EffFmt =
+      profiler::effectiveFormat(O.Format, SP, O.Compress);
   // Default: record to the local file. With --connect, stream to a
   // jdragd instead and keep the positional path as the failover spool.
   profiler::FileEventSink FileSink;
@@ -206,12 +217,14 @@ int cmdRecord(const BenchmarkProgram &B, const std::string &Path,
     SO.Name = O.Name.empty() ? B.Name : O.Name;
     SO.Format = EffFmt;
     SO.Sampling = SP;
+    SO.Compress = O.Compress && EffFmt >= profiler::WireFormat::V6;
     SockSink = std::make_unique<profiler::SocketEventSink>(SO);
     Sink = SockSink.get();
   } else {
     profiler::FileEventSink::Options FO;
     FO.Format = EffFmt;
     FO.Sampling = SP;
+    FO.Compress = O.Compress && EffFmt >= profiler::WireFormat::V6;
     if (!FileSink.open(Path, FO)) {
       std::fprintf(stderr, "cannot write %s\n", Path.c_str());
       return 1;
@@ -254,6 +267,14 @@ int cmdRecord(const BenchmarkProgram &B, const std::string &Path,
                 B.Name.c_str(), toMB(VM.heap().clock()),
                 static_cast<unsigned long long>(FileSink.bytesWritten()),
                 Path.c_str());
+    if (FileSink.rawPayloadBytes())
+      std::printf("compression: %llu payload bytes -> %llu on disk "
+                  "(%.2fx)\n",
+                  static_cast<unsigned long long>(FileSink.rawPayloadBytes()),
+                  static_cast<unsigned long long>(
+                      FileSink.wirePayloadBytes()),
+                  static_cast<double>(FileSink.rawPayloadBytes()) /
+                      static_cast<double>(FileSink.wirePayloadBytes()));
   }
   if (!VM.streamIntact()) {
     const profiler::StreamHealth &H = VM.streamHealth();
@@ -355,14 +376,14 @@ int cmdSend(const std::string &Path, const std::string &Addr,
   std::uint32_t Version = 0;
   std::memcpy(&Magic, Bytes.data(), 8);
   std::memcpy(&Version, Bytes.data() + 8, 4);
-  if (Magic != profiler::StreamFileMagic || Version < 2 || Version > 5) {
+  if (Magic != profiler::StreamFileMagic || Version < 2 || Version > 6) {
     std::fprintf(stderr, "%s: not a .jdev recording\n", Path.c_str());
     return 1;
   }
   auto Fmt = static_cast<profiler::WireFormat>(Version);
   std::size_t HeaderBytes = profiler::streamHeaderBytes(Fmt);
   if (Bytes.size() < HeaderBytes) {
-    std::fprintf(stderr, "%s: truncated v5 stream header\n", Path.c_str());
+    std::fprintf(stderr, "%s: truncated stream header\n", Path.c_str());
     return 1;
   }
 
@@ -370,12 +391,15 @@ int cmdSend(const std::string &Path, const std::string &Addr,
   SO.Connect = Addr;
   SO.Name = O.Name.empty() ? std::string("spool") : O.Name;
   SO.Format = Fmt;
-  if (Fmt == profiler::WireFormat::V5) {
+  if (Fmt >= profiler::WireFormat::V5) {
     // Re-announce the spool's own sampling params in HELLO so the
     // daemon scales this session exactly like the original recorder.
     std::memcpy(&SO.Sampling.SampleBytes, Bytes.data() + 16, 8);
     std::memcpy(&SO.Sampling.SampleSeed, Bytes.data() + 24, 8);
   }
+  // A v6 spool's frames are already compressed; forward them verbatim
+  // (SO.Compress stays off -- re-compressing flagged chunks would be a
+  // no-op passthrough anyway, but verbatim is the contract).
   profiler::SocketEventSink Sink(SO);
 
   // Walk the framed stream; each frame (a chunk, or the terminal footer
@@ -397,9 +421,13 @@ int cmdSend(const std::string &Path, const std::string &Addr,
                    Path.c_str(), Off);
       return 1;
     }
-    std::size_t FrameSize =
-        sizeof(H) + H.PayloadBytes + (IsFooter ? 8 : 0);
-    if (H.PayloadBytes > profiler::MaxChunkPayload ||
+    // v6 length fields may carry the compressed flag in bit 31; the low
+    // bits are the frame's on-disk extent.
+    std::uint32_t WireLen = Version >= 6
+                                ? profiler::chunkWireBytes(H.PayloadBytes)
+                                : H.PayloadBytes;
+    std::size_t FrameSize = sizeof(H) + WireLen + (IsFooter ? 8 : 0);
+    if (WireLen > profiler::MaxChunkPayload ||
         Bytes.size() - Off < FrameSize) {
       std::fprintf(stderr, "%s: truncated frame at offset %zu (fsck it)\n",
                    Path.c_str(), Off);
@@ -837,6 +865,10 @@ int main(int argc, char **argv) {
       O.Format = profiler::WireFormat::V2;
     else if (Args[I] == "--v3")
       O.Format = profiler::WireFormat::V3;
+    else if (Args[I] == "--compress" || Args[I] == "--compress=on")
+      O.Compress = true;
+    else if (Args[I] == "--compress=off")
+      O.Compress = false;
     else if (Args[I] == "--sample-bytes" && I + 1 < Args.size())
       O.SampleBytes = std::strtoull(Args[++I].c_str(), nullptr, 0);
     else if (Args[I] == "--sample-seed" && I + 1 < Args.size())
