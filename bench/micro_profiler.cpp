@@ -7,6 +7,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/RecordFold.h"
+#include "analysis/StreamingAnalysis.h"
+#include "support/Statistics.h"
 #include "benchmarks/Benchmarks.h"
 #include "benchmarks/MiniJDK.h"
 #include "ir/Verifier.h"
@@ -18,6 +21,10 @@
 #include "vm/VirtualMachine.h"
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
 
 #include <cstdio>
 #include <cstring>
@@ -848,6 +855,203 @@ void BM_ReplayParallel(benchmark::State &State) {
   std::remove(Path);
 }
 BENCHMARK(BM_ReplayParallel)->Arg(1)->Arg(2)->Arg(4);
+
+/// The pre-fold DragReport aggregation loop, reproduced line-for-line
+/// from the old constructor as BM_Report's baseline: one
+/// unordered_map::try_emplace per record, three Welford RunningStat
+/// updates, and a per-group unordered_map last-use partition -- the
+/// per-record hashing and allocation churn the fold engine replaced.
+struct LegacySiteGroup {
+  profiler::SiteId Site = profiler::InvalidSite;
+  std::uint64_t ObjectCount = 0;
+  std::uint64_t TotalBytes = 0;
+  std::uint64_t NeverUsedCount = 0;
+  std::uint64_t LargeDragCount = 0;
+  SpaceTime EstObjects = 0, EstBytes = 0, TotalDrag = 0, DragVariance = 0,
+            NeverUsedDrag = 0;
+  RunningStat DragPerObject, DragTimePerObject, LifeTimePerObject;
+  std::array<std::uint64_t, analysis::SiteGroup::NumHistoBuckets>
+      DragTimeHisto = {};
+  std::unordered_map<profiler::SiteId, SpaceTime> DragByLastUse;
+};
+
+std::vector<LegacySiteGroup> legacyAggregate(const profiler::ProfileLog &Log) {
+  const std::uint64_t Rate = Log.SampleRate;
+  std::vector<LegacySiteGroup> Groups;
+  std::unordered_map<profiler::SiteId, std::size_t> Index;
+  SpaceTime TotalDragSum = 0, ReachableSum = 0, InUseSum = 0;
+  for (const profiler::ObjectRecord &R : Log.Records) {
+    auto [It, Fresh] = Index.try_emplace(R.AllocSite, Groups.size());
+    if (Fresh) {
+      Groups.emplace_back();
+      Groups.back().Site = R.AllocSite;
+    }
+    LegacySiteGroup &G = Groups[It->second];
+    ++G.ObjectCount;
+    G.TotalBytes += R.Bytes;
+    double Prob = profiler::sampleProbability(R.Bytes, Rate);
+    SpaceTime W = 1.0 / Prob;
+    SpaceTime Drag = R.drag() * W;
+    G.EstObjects += W;
+    G.EstBytes += W * static_cast<double>(R.Bytes);
+    G.TotalDrag += Drag;
+    G.DragVariance += profiler::sampleVarianceTerm(R.drag(), Prob);
+    G.DragPerObject.add(R.drag());
+    G.DragTimePerObject.add(static_cast<double>(R.dragTime()));
+    G.LifeTimePerObject.add(static_cast<double>(R.lifeTime()));
+    if (R.neverUsed()) {
+      ++G.NeverUsedCount;
+      G.NeverUsedDrag += Drag;
+    }
+    if (R.lifeTime() > 0 && static_cast<double>(R.dragTime()) >=
+                                static_cast<double>(R.lifeTime()) / 3.0)
+      ++G.LargeDragCount;
+    ++G.DragTimeHisto[analysis::SiteGroup::histoBucket(R.dragTime())];
+    G.DragByLastUse[R.neverUsed() ? profiler::InvalidSite : R.LastUseSite] +=
+        Drag;
+    TotalDragSum += Drag;
+    ReachableSum += W * static_cast<SpaceTime>(R.Bytes) *
+                    static_cast<SpaceTime>(R.lifeTime());
+    InUseSum += W * static_cast<SpaceTime>(R.Bytes) *
+                static_cast<SpaceTime>(R.inUseTime());
+  }
+  std::sort(Groups.begin(), Groups.end(),
+            [](const LegacySiteGroup &A, const LegacySiteGroup &B) {
+              if (A.TotalDrag != B.TotalDrag)
+                return A.TotalDrag > B.TotalDrag;
+              return A.Site < B.Site;
+            });
+  benchmark::DoNotOptimize(TotalDragSum + ReachableSum + InUseSum);
+  return Groups;
+}
+
+/// Phase-2 report ladder over one recorded .jdev (docs/analysis.md):
+///
+///   arg 0: materialized, legacy map pipeline -- replay into
+///          ProfileLog::Records, then the pre-fold DragReport loop
+///          (legacyAggregate above; the denominator of the >=2x gate in
+///          BENCH_9.json)
+///   arg 1: materialized, open-addressed -- same replay, fold engine over
+///          the vector (what DragReport(P, Log) runs today)
+///   arg 2: streaming, open-addressed -- the production analyzeEventStream
+///          path: records fold as the decoder emits them, Records never
+///          materializes
+///   arg 3: streaming, map-index ablation -- the fold with unordered_map
+///          indexes, isolating the open-addressed index win from the
+///          no-materialization win
+///   arg 4: sharded streaming merge (jobs=2; on a 1-CPU box this prices
+///          the shard/merge machinery, not parallel speedup)
+///   arg 5: aggregation only, legacy map pipeline -- over a pre-decoded
+///          record vector (decode floor factored out)
+///   arg 6: aggregation only, open-addressed fold
+///   arg 7: decode floor -- the streaming driver with every fold
+///          disabled; what "reports at decode speed" is measured against
+///
+/// items/s = object records through the report per second. The
+/// resident_bytes counter is the analysis-state high-water: the record
+/// vector for materialized rungs, fold state + decode trailer peak for
+/// streaming ones -- the O(records) vs O(sites) story in one number.
+void BM_Report(benchmark::State &State) {
+  // A real paper workload (site-diverse, ~35k records), not the
+  // single-site hot loop: report aggregation cost scales with site
+  // spread, which is exactly what the map-vs-open rungs measure.
+  BenchmarkProgram B = buildJavac();
+  const Program &P = B.Prog;
+  char Path[64];
+  std::snprintf(Path, sizeof(Path), "/tmp/jdrag_bench_report.%d.jdev",
+                static_cast<int>(getpid()));
+  {
+    profiler::FileEventSink Sink;
+    if (!Sink.open(Path))
+      std::abort();
+    VMOptions Opts;
+    Opts.DeepGCIntervalBytes = 100 * KB;
+    Opts.Sink = &Sink;
+    Opts.EventChunkBytes = 8 * 1024; // force a shardable chunk count
+    VirtualMachine VM(P, Opts);
+    VM.setInputs(B.DefaultInputs);
+    if (VM.run() != Interpreter::Status::Ok || !VM.streamIntact())
+      std::abort();
+  }
+  const int Mode = static_cast<int>(State.range(0));
+  std::uint64_t Records = 0;
+  std::size_t Resident = 0;
+  if (Mode == 5 || Mode == 6) {
+    // Aggregation-only rungs: the decode floor (shared by every rung
+    // above) factored out. This pair prices exactly the per-record
+    // hashing the open-addressed index killed.
+    profiler::ProfileLog Log;
+    if (!profiler::replayProfileParallel(Path, P, profiler::ProfilerConfig(),
+                                         1, Log))
+      std::abort();
+    for (auto _ : State) {
+      if (Mode == 5) {
+        std::vector<LegacySiteGroup> Groups = legacyAggregate(Log);
+        benchmark::DoNotOptimize(Groups.data());
+      } else {
+        analysis::SiteGroupFold F(Log.SampleRate);
+        for (const profiler::ObjectRecord &R : Log.Records)
+          F.fold(R);
+        analysis::DragReportData Data = F.finish(P, Log.Sites);
+        benchmark::DoNotOptimize(Data.Groups.data());
+      }
+    }
+    State.SetItemsProcessed(State.iterations() * Log.Records.size());
+    State.counters["resident_bytes"] =
+        static_cast<double>(Log.Records.size() * sizeof(profiler::ObjectRecord));
+    std::remove(Path);
+    return;
+  }
+  for (auto _ : State) {
+    if (Mode <= 1) {
+      profiler::ProfileLog Log;
+      if (!profiler::replayProfileParallel(Path, P,
+                                           profiler::ProfilerConfig(), 1, Log))
+        std::abort();
+      if (Mode == 0) {
+        std::vector<LegacySiteGroup> Groups = legacyAggregate(Log);
+        benchmark::DoNotOptimize(Groups.data());
+      } else {
+        analysis::SiteGroupFold F(Log.SampleRate);
+        for (const profiler::ObjectRecord &R : Log.Records)
+          F.fold(R);
+        analysis::DragReportData Data = F.finish(P, Log.Sites);
+        benchmark::DoNotOptimize(Data.Groups.data());
+      }
+      Records = Log.Records.size();
+      Resident = Log.Records.size() * sizeof(profiler::ObjectRecord);
+    } else {
+      analysis::StreamAnalysisOptions O;
+      O.Jobs = Mode == 4 ? 2 : 1;
+      O.UseMapIndex = Mode == 3;
+      if (Mode == 7) {
+        O.WantReport = false;
+        O.WantLifetimes = false;
+        O.CurveSamples = 0;
+      }
+      analysis::StreamAnalysisResult R;
+      if (!analysis::analyzeEventStream(Path, P, O, R) || R.Materialized)
+        std::abort();
+      benchmark::DoNotOptimize(R.Report.get());
+      Records = R.RecordsFolded;
+      // ~64 B per live decode trailer (PartialTrailer + page slack).
+      Resident = R.FoldStateBytes + R.PeakTrailers * 64;
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * Records);
+  State.counters["resident_bytes"] = static_cast<double>(Resident);
+  std::remove(Path);
+}
+BENCHMARK(BM_Report)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(5)
+    ->Arg(6)
+    ->Arg(7)
+    ->UseRealTime();
 
 void BM_ProfileLogRoundTrip(benchmark::State &State) {
   BenchmarkProgram B = buildJuru();

@@ -2,10 +2,10 @@
 
 #include "analysis/DragReport.h"
 
+#include "analysis/RecordFold.h"
 #include "support/Format.h"
 
 #include <algorithm>
-#include <map>
 
 using namespace jdrag;
 using namespace jdrag::analysis;
@@ -47,6 +47,9 @@ std::string ClassGroup::name(const ir::Program &P) const {
 }
 
 SiteId SiteGroup::dominantLastUseSite() const {
+  // DragByLastUse is sorted site-ascending, so strict > picks the
+  // lowest-id site among exact ties -- the same answer on every
+  // aggregation path.
   SiteId Best = InvalidSite;
   SpaceTime BestDrag = -1.0;
   for (const auto &[Site, Drag] : DragByLastUse)
@@ -59,127 +62,31 @@ SiteId SiteGroup::dominantLastUseSite() const {
 
 DragReport::DragReport(const ir::Program &P, const ProfileLog &Log)
     : P(P), TheLog(Log), End(Log.EndTime) {
-  // Sampled logs (SampleRate != 0) hold a size-weighted Bernoulli subset
-  // of the allocations; every space-time sum below is scaled by the
-  // record's inverse inclusion probability so the report estimates the
-  // exact profile (Horvitz-Thompson). Exact logs get W == 1.0, which is
-  // IEEE-exact, so the sums are bit-identical to the unsampled math.
-  const std::uint64_t Rate = Log.SampleRate;
-  std::unordered_map<SiteId, std::size_t> Index;
-  for (const ObjectRecord &R : Log.Records) {
-    auto [It, Fresh] = Index.try_emplace(R.AllocSite, Groups.size());
-    if (Fresh) {
-      Groups.emplace_back();
-      Groups.back().Site = R.AllocSite;
-    }
-    SiteGroup &G = Groups[It->second];
-    ++G.ObjectCount;
-    G.TotalBytes += R.Bytes;
-    double Prob = profiler::sampleProbability(R.Bytes, Rate);
-    SpaceTime W = 1.0 / Prob;
-    SpaceTime Drag = R.drag() * W;
-    G.EstObjects += W;
-    G.EstBytes += W * static_cast<double>(R.Bytes);
-    G.TotalDrag += Drag;
-    G.DragVariance += profiler::sampleVarianceTerm(R.drag(), Prob);
-    // Per-object distributions describe the sampled records themselves,
-    // not the population, so they stay unweighted.
-    G.DragPerObject.add(R.drag());
-    G.DragTimePerObject.add(static_cast<double>(R.dragTime()));
-    G.LifeTimePerObject.add(static_cast<double>(R.lifeTime()));
-    if (R.neverUsed()) {
-      ++G.NeverUsedCount;
-      G.NeverUsedDrag += Drag;
-    }
-    if (R.lifeTime() > 0 &&
-        static_cast<double>(R.dragTime()) >=
-            static_cast<double>(R.lifeTime()) / 3.0)
-      ++G.LargeDragCount;
-    ++G.DragTimeHisto[SiteGroup::histoBucket(R.dragTime())];
-    G.DragByLastUse[R.neverUsed() ? InvalidSite : R.LastUseSite] += Drag;
+  // One pass through Log.Records feeding the same fold the streaming
+  // engine runs off the decoder -- so `--materialize` really is a
+  // bit-identity oracle, not a second implementation to keep in sync.
+  // The site-table size hint presizes the group storage and the probe
+  // index (a log's distinct alloc sites are a subset of its sites).
+  SiteGroupFold Fold(Log.SampleRate, Log.Sites.size());
+  for (const ObjectRecord &R : Log.Records)
+    Fold.fold(R);
+  adopt(Fold.finish(P, Log.Sites));
+}
 
-    TotalDragSum += Drag;
-    ReachableSum += W * static_cast<SpaceTime>(R.Bytes) *
-                    static_cast<SpaceTime>(R.lifeTime());
-    InUseSum += W * static_cast<SpaceTime>(R.Bytes) *
-                static_cast<SpaceTime>(R.inUseTime());
-  }
+DragReport::DragReport(const ir::Program &P, const ProfileLog &Log,
+                       DragReportData Data)
+    : P(P), TheLog(Log), End(Log.EndTime) {
+  adopt(std::move(Data));
+}
 
-  std::sort(Groups.begin(), Groups.end(),
-            [](const SiteGroup &A, const SiteGroup &B) {
-              if (A.TotalDrag != B.TotalDrag)
-                return A.TotalDrag > B.TotalDrag;
-              return A.Site < B.Site; // deterministic tie-break
-            });
-  for (std::size_t I = 0, E = Groups.size(); I != E; ++I)
-    GroupIndex[Groups[I].Site] = I;
-
-  // Coarse partition: key on the innermost frame of the nested site.
-  struct CoarseKey {
-    std::uint32_t MethodIndex;
-    std::uint32_t Pc;
-    bool operator<(const CoarseKey &O) const {
-      return MethodIndex != O.MethodIndex ? MethodIndex < O.MethodIndex
-                                          : Pc < O.Pc;
-    }
-  };
-  std::map<CoarseKey, CoarseGroup> Coarse;
-  for (const SiteGroup &G : Groups) {
-    const profiler::SiteFrame *Inner = Log.Sites.innermost(G.Site);
-    CoarseKey Key{Inner ? Inner->Method.Index : ~0u, Inner ? Inner->Pc : 0};
-    CoarseGroup &C = Coarse[Key];
-    if (C.NestedSites.empty() && Inner) {
-      C.Method = Inner->Method;
-      C.Pc = Inner->Pc;
-      C.Line = Inner->Line;
-    }
-    C.TotalDrag += G.TotalDrag;
-    C.ObjectCount += G.ObjectCount;
-    C.NeverUsedCount += G.NeverUsedCount;
-    C.NeverUsedDrag += G.NeverUsedDrag;
-    C.NestedSites.push_back(G.Site);
-  }
-  CoarseGroups.reserve(Coarse.size());
-  for (auto &[Key, C] : Coarse)
-    CoarseGroups.push_back(std::move(C));
-  std::sort(CoarseGroups.begin(), CoarseGroups.end(),
-            [](const CoarseGroup &A, const CoarseGroup &B) {
-              if (A.TotalDrag != B.TotalDrag)
-                return A.TotalDrag > B.TotalDrag;
-              if (A.Method != B.Method)
-                return A.Method < B.Method;
-              return A.Pc < B.Pc;
-            });
-
-  // Per-class partition: key = class index, or array kind tagged high.
-  std::map<std::uint64_t, ClassGroup> ByClass;
-  for (const ObjectRecord &R : Log.Records) {
-    std::uint64_t Key = R.IsArray
-                            ? (1ull << 40) + static_cast<std::uint64_t>(
-                                                 R.AKind)
-                            : R.Class.Index;
-    ClassGroup &G = ByClass[Key];
-    if (G.ObjectCount == 0) {
-      G.Class = R.Class;
-      G.AKind = R.AKind;
-      G.IsArray = R.IsArray;
-    }
-    ++G.ObjectCount;
-    G.TotalBytes += R.Bytes;
-    G.TotalDrag +=
-        R.drag() / profiler::sampleProbability(R.Bytes, Rate);
-    if (R.neverUsed())
-      ++G.NeverUsedCount;
-  }
-  ClassGroups.reserve(ByClass.size());
-  for (auto &[Key, G] : ByClass)
-    ClassGroups.push_back(std::move(G));
-  std::sort(ClassGroups.begin(), ClassGroups.end(),
-            [](const ClassGroup &A, const ClassGroup &B) {
-              if (A.TotalDrag != B.TotalDrag)
-                return A.TotalDrag > B.TotalDrag;
-              return A.TotalBytes > B.TotalBytes;
-            });
+void DragReport::adopt(DragReportData Data) {
+  Groups = std::move(Data.Groups);
+  CoarseGroups = std::move(Data.CoarseGroups);
+  ClassGroups = std::move(Data.ClassGroups);
+  GroupIndex = std::move(Data.GroupIndex);
+  TotalDragSum = Data.TotalDragSum;
+  ReachableSum = Data.ReachableSum;
+  InUseSum = Data.InUseSum;
 }
 
 const SiteGroup *DragReport::group(SiteId Site) const {

@@ -27,6 +27,7 @@
 
 #include <array>
 #include <unordered_map>
+#include <utility>
 
 namespace jdrag::analysis {
 
@@ -34,6 +35,8 @@ using profiler::InvalidSite;
 using profiler::ObjectRecord;
 using profiler::ProfileLog;
 using profiler::SiteId;
+
+struct DragReportData; // RecordFold.h: the fold engine's finished output
 
 /// Aggregate over all objects allocated at one nested allocation site.
 ///
@@ -60,8 +63,12 @@ struct SiteGroup {
   RunningStat DragTimePerObject; ///< distribution of per-object drag time
   RunningStat LifeTimePerObject;
   std::uint64_t LargeDragCount = 0; ///< drag time >= 1/3 of lifetime
-  /// Drag partitioned by nested last-use site.
-  std::unordered_map<SiteId, SpaceTime> DragByLastUse;
+  /// Drag partitioned by nested last-use site (InvalidSite buckets the
+  /// never-used drag), sorted site-ascending. A flat vector, not a map:
+  /// it is write-once at finalization, read-only afterwards, and the
+  /// sorted order makes dominantLastUseSite() deterministic across the
+  /// streaming, materialized and shard-merged aggregation paths.
+  std::vector<std::pair<SiteId, SpaceTime>> DragByLastUse;
   /// Log-scale histogram of per-object drag times ("the tool also
   /// partitions the dragged objects at that anchor allocation site
   /// according to their drag time", section 3.4). Bucket i counts drag
@@ -129,7 +136,16 @@ struct ClassGroup {
 /// The phase-2 report over one profile log.
 class DragReport {
 public:
+  /// Materialized path: folds Log.Records through the same SiteGroupFold
+  /// the streaming engine uses -- it is the bit-identity oracle for the
+  /// streaming path, not a separate implementation.
   DragReport(const ir::Program &P, const ProfileLog &Log);
+
+  /// Streaming path: adopts a finished fold. \p Log is the record-free
+  /// shell (sites, sampling params, end time) the streaming driver
+  /// produced alongside the fold.
+  DragReport(const ir::Program &P, const ProfileLog &Log,
+             DragReportData Data);
 
   /// Nested-site groups, sorted by descending total drag.
   const std::vector<SiteGroup> &groups() const { return Groups; }
@@ -155,6 +171,8 @@ public:
   const ProfileLog &log() const { return TheLog; }
 
 private:
+  void adopt(DragReportData Data);
+
   const ir::Program &P;
   const ProfileLog &TheLog;
   std::vector<SiteGroup> Groups;

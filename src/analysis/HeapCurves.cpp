@@ -2,6 +2,7 @@
 
 #include "analysis/HeapCurves.h"
 
+#include "analysis/RecordFold.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -12,6 +13,11 @@ using profiler::ObjectRecord;
 using profiler::ProfileLog;
 
 namespace {
+
+// The event-sweep machinery below serves figure2Csv only (it samples
+// two logs onto one shared grid); single-log curves go through
+// HeapCurveFold, which buildHeapCurve drives over the materialized
+// records and the streaming engine drives off the decoder.
 
 /// Signed byte deltas at event times; prefix sums give the curve.
 struct Event {
@@ -49,7 +55,10 @@ std::vector<std::uint64_t> sample(const std::vector<Event> &Events,
   return Out;
 }
 
-std::vector<ByteTime> makeGrid(ByteTime End, std::uint32_t NumSamples) {
+} // namespace
+
+std::vector<ByteTime>
+jdrag::analysis::makeHeapCurveGrid(ByteTime End, std::uint32_t NumSamples) {
   std::vector<ByteTime> Grid;
   if (NumSamples == 0)
     return Grid;
@@ -59,8 +68,6 @@ std::vector<ByteTime> makeGrid(ByteTime End, std::uint32_t NumSamples) {
         (static_cast<unsigned __int128>(End) * (I + 1)) / NumSamples));
   return Grid;
 }
-
-} // namespace
 
 SpaceTime HeapCurve::reachableIntegral() const {
   SpaceTime Sum = 0;
@@ -91,44 +98,58 @@ std::uint64_t HeapCurve::peakReachable() const {
 
 HeapCurve jdrag::analysis::buildHeapCurve(const ProfileLog &Log,
                                           std::uint32_t NumSamples) {
-  HeapCurve C;
-  C.Times = makeGrid(Log.EndTime, NumSamples);
-  C.ReachableBytes = sample(buildEvents(Log, /*InUse=*/false), C.Times);
-  C.InUseBytes = sample(buildEvents(Log, /*InUse=*/true), C.Times);
-  return C;
+  HeapCurveFold Fold(Log.EndTime, NumSamples);
+  for (const ObjectRecord &R : Log.Records)
+    Fold.fold(R);
+  return Fold.finish();
+}
+
+const std::vector<std::string> &jdrag::analysis::recordsCsvColumns() {
+  static const std::vector<std::string> Columns = {
+      "id",   "class", "bytes", "alloc",      "first_use",
+      "last_use", "collect", "lag", "use",    "drag",
+      "void", "never_used", "survived", "alloc_site", "last_use_site"};
+  return Columns;
+}
+
+std::vector<std::string>
+jdrag::analysis::recordCsvRow(const ir::Program &P,
+                              const profiler::SiteTable &Sites,
+                              const ObjectRecord &R) {
+  std::string ClassName =
+      R.IsArray ? ir::arrayKindName(R.AKind)
+                : (R.Class.isValid() && R.Class.Index < P.Classes.size()
+                       ? P.classOf(R.Class).Name
+                       : "<unknown>");
+  return {formatString("%llu", static_cast<unsigned long long>(R.Id)),
+          ClassName,
+          formatString("%u", R.Bytes),
+          formatString("%llu", static_cast<unsigned long long>(R.AllocTime)),
+          formatString("%llu",
+                       static_cast<unsigned long long>(R.FirstUseTime)),
+          formatString("%llu",
+                       static_cast<unsigned long long>(R.LastUseTime)),
+          formatString("%llu",
+                       static_cast<unsigned long long>(R.CollectTime)),
+          formatString("%llu", static_cast<unsigned long long>(R.lagTime())),
+          formatString("%llu", static_cast<unsigned long long>(R.useTime())),
+          formatString("%llu",
+                       static_cast<unsigned long long>(R.dragTime())),
+          formatString("%llu",
+                       static_cast<unsigned long long>(R.voidTime())),
+          R.neverUsed() ? "1" : "0",
+          R.SurvivedToEnd ? "1" : "0",
+          Sites.describe(P, R.AllocSite),
+          R.LastUseSite != profiler::InvalidSite
+              ? Sites.describe(P, R.LastUseSite)
+              : ""};
 }
 
 CsvWriter jdrag::analysis::recordsCsv(const ir::Program &P,
                                       const ProfileLog &Log) {
-  CsvWriter Csv({"id", "class", "bytes", "alloc", "first_use", "last_use",
-                 "collect", "lag", "use", "drag", "void", "never_used",
-                 "survived", "alloc_site", "last_use_site"});
-  for (const ObjectRecord &R : Log.Records) {
-    std::string ClassName =
-        R.IsArray ? ir::arrayKindName(R.AKind)
-                  : (R.Class.isValid() && R.Class.Index < P.Classes.size()
-                         ? P.classOf(R.Class).Name
-                         : "<unknown>");
-    Csv.addRow(
-        {formatString("%llu", static_cast<unsigned long long>(R.Id)),
-         ClassName, formatString("%u", R.Bytes),
-         formatString("%llu", static_cast<unsigned long long>(R.AllocTime)),
-         formatString("%llu",
-                      static_cast<unsigned long long>(R.FirstUseTime)),
-         formatString("%llu",
-                      static_cast<unsigned long long>(R.LastUseTime)),
-         formatString("%llu",
-                      static_cast<unsigned long long>(R.CollectTime)),
-         formatString("%llu", static_cast<unsigned long long>(R.lagTime())),
-         formatString("%llu", static_cast<unsigned long long>(R.useTime())),
-         formatString("%llu", static_cast<unsigned long long>(R.dragTime())),
-         formatString("%llu", static_cast<unsigned long long>(R.voidTime())),
-         R.neverUsed() ? "1" : "0", R.SurvivedToEnd ? "1" : "0",
-         Log.Sites.describe(P, R.AllocSite),
-         R.LastUseSite != profiler::InvalidSite
-             ? Log.Sites.describe(P, R.LastUseSite)
-             : ""});
-  }
+  CsvWriter Csv(recordsCsvColumns());
+  for (const ObjectRecord &R : Log.Records)
+    Csv.addRow(recordCsvRow(P, Log.Sites, R));
   return Csv;
 }
 
@@ -136,7 +157,7 @@ CsvWriter jdrag::analysis::figure2Csv(const ProfileLog &Original,
                                       const ProfileLog &Revised,
                                       std::uint32_t NumSamples) {
   ByteTime End = std::max(Original.EndTime, Revised.EndTime);
-  std::vector<ByteTime> Grid = makeGrid(End, NumSamples);
+  std::vector<ByteTime> Grid = makeHeapCurveGrid(End, NumSamples);
 
   auto SampleLog = [&](const ProfileLog &Log, bool InUse) {
     return sample(buildEvents(Log, InUse), Grid);

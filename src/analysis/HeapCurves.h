@@ -43,10 +43,27 @@ struct HeapCurve {
   std::uint64_t peakReachable() const;
 };
 
+/// The uniform sample grid over [0, End]: NumSamples times, the i-th at
+/// End * (i+1) / NumSamples. Shared by the materialized event sweep and
+/// the streaming HeapCurveFold so both land events in identical cells.
+std::vector<ByteTime> makeHeapCurveGrid(ByteTime End,
+                                        std::uint32_t NumSamples);
+
 /// Builds the curve from \p Log with \p NumSamples uniform samples over
-/// [0, Log.EndTime].
+/// [0, Log.EndTime]. Implemented on HeapCurveFold (one pass over the
+/// records, O(NumSamples) state).
 HeapCurve buildHeapCurve(const profiler::ProfileLog &Log,
                          std::uint32_t NumSamples = 256);
+
+/// Column headers of the per-object record CSV.
+const std::vector<std::string> &recordsCsvColumns();
+
+/// One record's CSV row, in recordsCsvColumns() order. Shared by the
+/// materialized recordsCsv() and the streaming CsvExportFold so their
+/// output is byte-identical.
+std::vector<std::string> recordCsvRow(const ir::Program &P,
+                                      const profiler::SiteTable &Sites,
+                                      const profiler::ObjectRecord &R);
 
 /// Dumps every object record as CSV (one row per object: class, bytes,
 /// alloc/first-use/last-use/collect times, lag/use/drag/void, sites) for

@@ -2,6 +2,7 @@
 
 #include "analysis/LagDragVoid.h"
 
+#include "analysis/RecordFold.h"
 #include "support/Format.h"
 
 using namespace jdrag;
@@ -9,18 +10,13 @@ using namespace jdrag::analysis;
 
 LifetimeDecomposition
 jdrag::analysis::decomposeLifetimes(const profiler::ProfileLog &Log) {
-  LifetimeDecomposition D;
-  for (const profiler::ObjectRecord &R : Log.Records) {
-    SpaceTime B = static_cast<SpaceTime>(R.Bytes);
-    if (R.neverUsed()) {
-      D.Void += B * static_cast<SpaceTime>(R.voidTime());
-      continue;
-    }
-    D.Lag += B * static_cast<SpaceTime>(R.lagTime());
-    D.Use += B * static_cast<SpaceTime>(R.useTime());
-    D.Drag += B * static_cast<SpaceTime>(R.dragTime());
-  }
-  return D;
+  // One fold over the records -- the same LifetimeFold the streaming
+  // engine drives off the decoder, so both paths agree bit-for-bit and
+  // the R&R identity holds exactly (the fold sums in 128-bit integers).
+  LifetimeFold Fold;
+  for (const profiler::ObjectRecord &R : Log.Records)
+    Fold.fold(R);
+  return Fold.finish();
 }
 
 std::string

@@ -14,6 +14,13 @@ using namespace jdrag::daemon;
 void FleetAggregate::fold(const std::string &Bench, const ir::Program &P,
                           const profiler::ProfileLog &Log) {
   analysis::DragReport Report(P, Log);
+  fold(Bench, Report);
+}
+
+void FleetAggregate::fold(const std::string &Bench,
+                          const analysis::DragReport &Report) {
+  const ir::Program &P = Report.program();
+  const profiler::ProfileLog &Log = Report.log();
   const profiler::SiteTable &Sites = Log.Sites;
   bool Sampled = Log.SampleRate != 0;
   for (const analysis::SiteGroup &G : Report.groups()) {

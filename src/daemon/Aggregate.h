@@ -33,6 +33,10 @@ namespace jdrag::ir {
 class Program;
 } // namespace jdrag::ir
 
+namespace jdrag::analysis {
+class DragReport;
+} // namespace jdrag::analysis
+
 namespace jdrag::daemon {
 
 /// One (benchmark, site) row of the fleet table.
@@ -50,9 +54,15 @@ struct FleetRow {
 class FleetAggregate {
 public:
   /// Folds one session's log: per-site drag sums from a DragReport are
-  /// added to the fleet rows under "<bench>  <site>" keys.
+  /// added to the fleet rows under "<bench>  <site>" keys. Builds the
+  /// report with the shared fold engine (analysis/RecordFold.h) and
+  /// delegates to the DragReport overload.
   void fold(const std::string &Bench, const ir::Program &P,
             const profiler::ProfileLog &Log);
+
+  /// Folds an already-built report -- e.g. one the streaming engine
+  /// produced without ever materializing the session's records.
+  void fold(const std::string &Bench, const analysis::DragReport &Report);
 
   /// The heaviest \p N rows, one line each, sorted by drag descending
   /// (key ascending on ties -- fully deterministic).

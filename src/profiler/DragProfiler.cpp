@@ -44,6 +44,7 @@ void DragProfiler::onEvent(const EventRecord &E) {
     T.LastUseTime = E.Time; // never-used objects drag from creation
     T.AllocSite = localSite(E.Site);
     T.Excluded = !T.IsArray && Excluded.count(T.Class.Index) != 0;
+    PeakLive = std::max(PeakLive, liveTrailers());
     break;
   }
   case EventKind::Use: {
@@ -125,7 +126,10 @@ void DragProfiler::emitRecord(ObjectId Id, const Trailer &T, ByteTime Now,
   R.UseCount = T.UseCount;
   R.UsedOutsideInit = T.UsedOutsideInit;
   R.SurvivedToEnd = Survived;
-  Log.Records.push_back(R);
+  if (RecSink)
+    RecSink->onRecord(R);
+  else
+    Log.Records.push_back(R);
 }
 
 bool jdrag::profiler::replayProfile(const std::string &Path,
@@ -144,5 +148,26 @@ bool jdrag::profiler::replayProfile(const std::string &Path,
   Out.SampleRate = Info.Sampling.SampleBytes;
   Out.SampleSeed = Info.Sampling.enabled() ? Info.Sampling.SampleSeed : 0;
   Out.Compressed = Info.Compressed;
+  return true;
+}
+
+bool jdrag::profiler::replayProfileTo(const std::string &Path,
+                                      const ir::Program &P,
+                                      ProfilerConfig Config, RecordSink &Sink,
+                                      ProfileLog &ShellOut, std::string *Err,
+                                      std::size_t *PeakTrailers) {
+  DragProfiler Prof(P, std::move(Config));
+  Prof.setRecordSink(&Sink);
+  StreamHeaderInfo Info;
+  if (!replayFile(Path, Prof, Err, &Info))
+    return false;
+  if (PeakTrailers)
+    *PeakTrailers = Prof.peakLiveTrailers();
+  ShellOut = Prof.takeLog();
+  // Same sampling-params stamping as replayProfile: canonical {0, 0}
+  // for exact streams so shells compare bit-identical across pipelines.
+  ShellOut.SampleRate = Info.Sampling.SampleBytes;
+  ShellOut.SampleSeed = Info.Sampling.enabled() ? Info.Sampling.SampleSeed : 0;
+  ShellOut.Compressed = Info.Compressed;
   return true;
 }

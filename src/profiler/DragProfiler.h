@@ -70,6 +70,17 @@ struct ProfilerConfig {
   bool UseDenseTrailers = true;
 };
 
+/// Receives finished object records as the profiler emits them, instead
+/// of having them appended to ProfileLog::Records. The streaming
+/// analysis engine (analysis/StreamingAnalysis.h) registers one so
+/// phase 2 runs in O(live sites) memory: records are folded the moment
+/// the object dies and never stored.
+class RecordSink {
+public:
+  virtual ~RecordSink() = default;
+  virtual void onRecord(const ObjectRecord &R) = 0;
+};
+
 /// The phase-1 profiler. Attach to a VirtualMachine (attachTo) or replay
 /// a recorded stream over it, then take the log.
 class DragProfiler : public EventConsumer {
@@ -123,6 +134,15 @@ public:
   std::size_t liveTrailers() const {
     return Config.UseDenseTrailers ? Dense.size() : Trailers.size();
   }
+
+  /// High-water mark of liveTrailers() over the run: the O(live objects)
+  /// part of the streaming engine's resident state (BENCH_9).
+  std::size_t peakLiveTrailers() const { return PeakLive; }
+
+  /// Diverts finished records to \p S; the log keeps everything else
+  /// (sites, GC samples, end time, health) and Log.Records stays empty.
+  /// Pass nullptr to restore the default materializing behaviour.
+  void setRecordSink(RecordSink *S) { RecSink = S; }
 
 private:
   struct Trailer {
@@ -227,6 +247,8 @@ private:
   std::unordered_map<vm::ObjectId, Trailer> Trailers;
   std::unordered_set<std::uint32_t> Excluded; ///< class indices
   ByteTime IntervalStart = 0; ///< last deep-GC boundary on the byte clock
+  RecordSink *RecSink = nullptr;
+  std::size_t PeakLive = 0;
 };
 
 /// Detached phase 2: replays the `.jdev` recording at \p Path through a
@@ -235,6 +257,17 @@ private:
 bool replayProfile(const std::string &Path, const ir::Program &P,
                    ProfilerConfig Config, ProfileLog &Out,
                    std::string *Err = nullptr);
+
+/// Streaming phase 2: replays the recording at \p Path, delivering every
+/// finished record to \p Sink instead of materializing it. \p ShellOut
+/// receives the record-free log shell (sites, GC samples, end time,
+/// sampling params) -- everything a report needs except Records, which
+/// stays empty. \p PeakTrailers (optional) receives the trailer-table
+/// high-water mark.
+bool replayProfileTo(const std::string &Path, const ir::Program &P,
+                     ProfilerConfig Config, RecordSink &Sink,
+                     ProfileLog &ShellOut, std::string *Err = nullptr,
+                     std::size_t *PeakTrailers = nullptr);
 
 } // namespace jdrag::profiler
 

@@ -1253,13 +1253,15 @@ jdrag::profiler::footerBlockSize(std::span<const std::byte> Stream) {
   return Bytes;
 }
 
-bool jdrag::profiler::readChunkIndexFooter(std::span<const std::byte> Stream,
-                                           ChunkIndex &Out) {
-  std::size_t Bytes = footerBlockSize(Stream);
-  if (!Bytes)
-    return false;
-  std::size_t FooterStart = Stream.size() - Bytes;
-  const std::byte *Block = Stream.data() + FooterStart;
+namespace {
+
+/// Parses and CRC-verifies one footer block into \p Idx; \p DataEnd
+/// receives the on-wire offset just past the last indexed chunk (the
+/// sum of the entries' extents, which callers with the full stream in
+/// hand check against the footer's actual start). The block's size was
+/// already validated against its header by footerBlockSize.
+bool parseFooterBlock(const std::byte *Block, ChunkIndex &Idx,
+                      std::uint64_t &DataEnd) {
   ChunkHeader H;
   std::memcpy(&H, Block, sizeof(H));
   const std::byte *Body = Block + sizeof(ChunkHeader);
@@ -1272,7 +1274,6 @@ bool jdrag::profiler::readChunkIndexFooter(std::span<const std::byte> Stream,
   if (Count != H.Seq)
     return false;
 
-  ChunkIndex Idx;
   Idx.FromFooter = true;
   std::memcpy(&Idx.TotalRecords, Body, 8);
   Idx.Entries.reserve(Count);
@@ -1303,7 +1304,41 @@ bool jdrag::profiler::readChunkIndexFooter(std::span<const std::byte> Stream,
     E.FirstRecord = W.FirstRecord;
     Idx.Entries.push_back(E);
   }
-  if (Off != FooterStart)
+  DataEnd = Off;
+  return true;
+}
+
+} // namespace
+
+bool jdrag::profiler::readChunkIndexFooter(std::span<const std::byte> Stream,
+                                           ChunkIndex &Out) {
+  std::size_t Bytes = footerBlockSize(Stream);
+  if (!Bytes)
+    return false;
+  std::size_t FooterStart = Stream.size() - Bytes;
+  ChunkIndex Idx;
+  std::uint64_t DataEnd = 0;
+  if (!parseFooterBlock(Stream.data() + FooterStart, Idx, DataEnd))
+    return false;
+  if (DataEnd != FooterStart)
+    return false;
+  Out = std::move(Idx);
+  return true;
+}
+
+bool jdrag::profiler::peekChunkIndexFooterTail(std::span<const std::byte> Tail,
+                                               ChunkIndex &Out) {
+  // footerBlockSize only looks at the last `Bytes` bytes, so running it
+  // on a suffix is sound; what a suffix cannot support is the tiling
+  // check against the footer's absolute start, which is why this is a
+  // "peek" -- the entries are verified internally consistent, not
+  // consistent with the data region.
+  std::size_t Bytes = footerBlockSize(Tail);
+  if (!Bytes)
+    return false;
+  ChunkIndex Idx;
+  std::uint64_t DataEnd = 0;
+  if (!parseFooterBlock(Tail.data() + (Tail.size() - Bytes), Idx, DataEnd))
     return false;
   Out = std::move(Idx);
   return true;

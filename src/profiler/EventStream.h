@@ -355,6 +355,18 @@ std::size_t footerBlockSize(std::span<const std::byte> Stream);
 /// callers fall back to rebuildChunkIndex.
 bool readChunkIndexFooter(std::span<const std::byte> Stream, ChunkIndex &Out);
 
+/// Like readChunkIndexFooter, but \p Tail is only a *suffix* of the
+/// framed stream (it must end where the stream ends), so the one check
+/// that needs the full extent -- entries tiling the data region exactly
+/// up to the footer -- is skipped. Everything else (tail magic, header,
+/// payload CRC, per-entry offset chain) is verified. This lets a reader
+/// peek footer metadata (e.g. the stream's end time, max of the entries'
+/// LastTime) from the last few KB of a file without loading it; the
+/// claims are still a producer's, so consumers must cross-check them
+/// against what an actual decode observes.
+bool peekChunkIndexFooterTail(std::span<const std::byte> Tail,
+                              ChunkIndex &Out);
+
 /// Rebuilds the chunk index with one strict sequential pass over
 /// \p Stream (raw framed bytes): walks every frame and record, filling
 /// per-chunk record counts, times, straddle skips and time-delta seeds.

@@ -77,9 +77,11 @@ struct MergedTrailer {
 };
 
 /// Paged dense store keyed by object id -- the same id -> slot scheme
-/// as DragProfiler's TrailerTable (ids are dense and monotonic), plus a
-/// touched-id list so shard partials can be folded without scanning
-/// empty slots.
+/// as DragProfiler's TrailerTable (ids are dense and monotonic). A page
+/// whose live count drains to zero behind the allocation frontier is
+/// released, so in fold mode (where in-shard objects erase their
+/// partial the moment they die) a shard's resident state tracks its
+/// live-object population, not every object it ever decoded.
 template <typename T> class PagedTable {
 public:
   T &get(ObjectId Id) {
@@ -89,10 +91,13 @@ public:
       Pages.resize(Pi + 1);
     if (!Pages[Pi])
       Pages[Pi] = std::make_unique<Page>();
+    if (Pi > Frontier)
+      Frontier = Pi;
     Page &Pg = *Pages[Pi];
     if (!Pg.Live[Si]) {
       Pg.Live[Si] = true;
-      Touched.push_back(Id);
+      Pg.Slots[Si] = T();
+      ++Pg.LiveCount;
     }
     return Pg.Slots[Si];
   }
@@ -111,17 +116,44 @@ public:
     std::size_t Si = static_cast<std::size_t>(Id) % PageSize;
     return Pg.Live[Si] ? &Pg.Slots[Si] : nullptr;
   }
-  /// Ids with live slots, in first-touch (stream) order.
-  const std::vector<ObjectId> &touched() const { return Touched; }
+  void erase(ObjectId Id) {
+    std::size_t Pi = static_cast<std::size_t>(Id) / PageSize;
+    if (Pi >= Pages.size() || !Pages[Pi])
+      return;
+    Page &Pg = *Pages[Pi];
+    std::size_t Si = static_cast<std::size_t>(Id) % PageSize;
+    if (!Pg.Live[Si])
+      return;
+    Pg.Live[Si] = false;
+    --Pg.LiveCount;
+    // Keep the frontier page even when briefly empty: the id sequence is
+    // still filling it and releasing would just recreate it.
+    if (Pg.LiveCount == 0 && Pi < Frontier)
+      Pages[Pi].reset();
+  }
+  /// Visits every live slot in id order. Merge-side folding is per-id
+  /// independent, so id order (vs the old first-touch order) changes no
+  /// observable result -- each id appears at most once per shard.
+  template <typename Fn> void forEachLive(Fn F) const {
+    for (std::size_t Pi = 0; Pi < Pages.size(); ++Pi) {
+      if (!Pages[Pi] || Pages[Pi]->LiveCount == 0)
+        continue;
+      const Page &Pg = *Pages[Pi];
+      for (std::size_t Si = 0; Si < PageSize; ++Si)
+        if (Pg.Live[Si])
+          F(static_cast<ObjectId>(Pi * PageSize + Si), Pg.Slots[Si]);
+    }
+  }
 
 private:
   static constexpr std::size_t PageSize = 4096;
   struct Page {
     T Slots[PageSize];
     bool Live[PageSize] = {};
+    std::size_t LiveCount = 0;
   };
   std::vector<std::unique_ptr<Page>> Pages;
-  std::vector<ObjectId> Touched;
+  std::size_t Frontier = 0;
 };
 
 struct EndEvent {
@@ -147,11 +179,19 @@ struct ShardResult {
 };
 
 /// EventConsumer that accumulates shard partials instead of emitting
-/// records -- the "map" side of the map-reduce.
+/// records -- the "map" side of the map-reduce. With a ShardFoldSink
+/// attached, an object whose alloc *and* end both fall in this shard is
+/// completed locally: the finished record goes straight to the fold (on
+/// this shard's decode thread) and its partial is erased, so neither the
+/// partial nor the end event survives to the merge. Only objects that
+/// straddle a shard boundary keep the materialize-path bookkeeping.
 class ShardConsumer : public EventConsumer {
 public:
-  ShardConsumer(ShardResult &R, bool Snap, bool IntervalKnown)
-      : R(R), Snap(Snap), IntervalKnown(IntervalKnown) {}
+  ShardConsumer(ShardResult &R, bool Snap, bool IntervalKnown,
+                unsigned ShardIdx = 0, ShardFoldSink *Fold = nullptr,
+                const std::unordered_set<std::uint32_t> *Excluded = nullptr)
+      : R(R), Snap(Snap), IntervalKnown(IntervalKnown), ShardIdx(ShardIdx),
+        Fold(Fold), Excluded(Excluded) {}
 
   void onSite(SiteId Id, std::span<const SiteFrame> Frames) override {
     R.Sites.emplace_back(Id,
@@ -205,9 +245,23 @@ public:
       R.ExitInterval = E.Time;
       break;
     case EventKind::Collect:
-    case EventKind::Survivor:
+    case EventKind::Survivor: {
+      if (Fold) {
+        PartialTrailer *T = R.Table.find(E.Id);
+        if (T && T->HasAlloc) {
+          emitLocal(E.Id, *T, E.Time,
+                    /*Survived=*/E.kind() == EventKind::Survivor);
+          R.Table.erase(E.Id);
+          break;
+        }
+        // A partial without the alloc (or no partial at all) means the
+        // object straddles a shard boundary: keep the bookkeeping and
+        // let the merge emit it -- or drop it, for VM-internal ids no
+        // shard ever saw an alloc for, matching sequential replay.
+      }
       R.Ends.push_back({E.Id, E.Time, E.kind() == EventKind::Survivor});
       break;
+    }
     case EventKind::Terminate:
       R.SawTerminate = true;
       R.TerminateTime = E.Time;
@@ -218,10 +272,47 @@ public:
   }
 
 private:
+  /// Builds the finished record for an object whose whole lifetime fell
+  /// inside this shard, with the exact field formulas of mergeShards'
+  /// emission loop. The formulas collapse because the alloc is local:
+  /// any symbolic (Prefix) use resolves to the shard's entry boundary,
+  /// and on the monotonic byte clock that boundary precedes everything
+  /// in this shard, so max(boundary, AllocTime) == AllocTime -- exactly
+  /// the value the Known-less branches below produce.
+  void emitLocal(ObjectId Id, const PartialTrailer &T, ByteTime Now,
+                 bool Survived) {
+    if (!T.IsArray && Excluded->count(T.Class.Index) != 0)
+      return;
+    ObjectRecord Rec;
+    Rec.Id = Id;
+    Rec.Class = T.Class;
+    Rec.AKind = T.AKind;
+    Rec.IsArray = T.IsArray;
+    Rec.Bytes = T.Bytes;
+    Rec.AllocTime = T.AllocTime;
+    Rec.FirstUseTime = T.FirstNonInit == PartialTrailer::First::Known
+                           ? std::max(T.FirstNonInitTime, T.AllocTime)
+                           : T.AllocTime;
+    Rec.LastUseTime =
+        T.HasKnownMax ? std::max(T.KnownMax, T.AllocTime) : T.AllocTime;
+    Rec.CollectTime = Now;
+    // Stream site ids, like every fold-mode record; the driver hands the
+    // caller a stream-id -> log-id map to remap the folds once.
+    Rec.AllocSite = T.AllocSiteStream;
+    Rec.LastUseSite = T.LastUseSiteStream;
+    Rec.UseCount = T.UseCount;
+    Rec.UsedOutsideInit = T.FirstNonInit != PartialTrailer::First::None;
+    Rec.SurvivedToEnd = Survived;
+    Fold->onShardRecord(ShardIdx, Rec);
+  }
+
   ShardResult &R;
   bool Snap;
   bool IntervalKnown; ///< a local DeepGCEnd has fixed the boundary
   ByteTime Interval = 0;
+  unsigned ShardIdx;
+  ShardFoldSink *Fold;
+  const std::unordered_set<std::uint32_t> *Excluded;
 };
 
 bool shardFail(ShardResult &R, std::string Msg) {
@@ -268,9 +359,11 @@ bool validateChunk(std::span<const std::byte> Framed, const ChunkIndexEntry &En,
 /// continuation (HeadSkip) bytes of the chunks after the range.
 void runShard(std::span<const std::byte> Framed, WireFormat F,
               const ChunkIndex &Idx, std::size_t B, std::size_t E, bool Snap,
-              ShardResult &R) {
+              ShardResult &R, unsigned ShardIdx = 0,
+              ShardFoldSink *Fold = nullptr,
+              const std::unordered_set<std::uint32_t> *Excluded = nullptr) {
   const std::vector<ChunkIndexEntry> &Ents = Idx.Entries;
-  ShardConsumer C(R, Snap, /*IntervalKnown=*/B == 0);
+  ShardConsumer C(R, Snap, /*IntervalKnown=*/B == 0, ShardIdx, Fold, Excluded);
   StreamDecoder Dec(C, F);
   std::vector<std::uint8_t> Inflate; // per-shard v6 scratch
   std::span<const std::byte> Body;
@@ -354,7 +447,9 @@ void runShard(std::span<const std::byte> Framed, WireFormat F,
 /// any shard failed (first error in \p Err).
 bool runSharded(std::span<const std::byte> Framed, WireFormat F,
                 const ChunkIndex &Idx, unsigned Jobs, bool Snap,
-                std::vector<ShardResult> &Shards, std::string &Err) {
+                std::vector<ShardResult> &Shards, std::string &Err,
+                ShardFoldSink *Fold = nullptr,
+                const std::unordered_set<std::uint32_t> *Excluded = nullptr) {
   std::size_t N = Idx.Entries.size();
   std::size_t S = std::min<std::size_t>(Jobs, N);
   // Balance by on-wire bytes (masking the v6 compressed flag, a no-op
@@ -378,7 +473,8 @@ bool runSharded(std::span<const std::byte> Framed, WireFormat F,
   Threads.reserve(S);
   for (std::size_t K = 0; K < S; ++K)
     Threads.emplace_back([&, K] {
-      runShard(Framed, F, Idx, Cut[K], Cut[K + 1], Snap, Shards[K]);
+      runShard(Framed, F, Idx, Cut[K], Cut[K + 1], Snap, Shards[K],
+               static_cast<unsigned>(K), Fold, Excluded);
     });
   for (std::thread &T : Threads)
     T.join();
@@ -422,9 +518,14 @@ void foldPartial(MergedTrailer &M, const PartialTrailer &P,
 
 /// The "reduce" side: folds shard partials in shard order and emits
 /// object records in the stream order of their end events, reproducing
-/// DragProfiler's output exactly.
+/// DragProfiler's output exactly. With \p Fold set, boundary-crossing
+/// records go to Fold->onMergedRecord (carrying *stream* site ids, like
+/// the shard-local records) instead of Out.Records, and \p SiteMapOut
+/// receives the stream-id -> Out.Sites-id map the caller remaps with.
 void mergeShards(std::vector<ShardResult> &Shards,
-                 const ProfilerConfig &Config, ProfileLog &Out) {
+                 const ProfilerConfig &Config, ProfileLog &Out,
+                 ShardFoldSink *Fold = nullptr,
+                 std::vector<SiteId> *SiteMapOut = nullptr) {
   ProfileLog Log;
   Log.Records.reserve(1024);
   Log.GCSamples.reserve(64);
@@ -443,6 +544,8 @@ void mergeShards(std::vector<ShardResult> &Shards,
   auto MapSite = [&](SiteId StreamId) {
     return StreamId < SiteMap.size() ? SiteMap[StreamId] : InvalidSite;
   };
+  if (SiteMapOut)
+    *SiteMapOut = SiteMap;
 
   // Each shard's entry boundary is the previous shard's last deep-GC
   // time (inherited across shards that saw none); shard 0 enters at 0,
@@ -454,8 +557,9 @@ void mergeShards(std::vector<ShardResult> &Shards,
 
   PagedTable<MergedTrailer> Merged;
   for (std::size_t K = 0; K < Shards.size(); ++K)
-    for (ObjectId Id : Shards[K].Table.touched())
-      foldPartial(Merged.get(Id), *Shards[K].Table.find(Id), Entry[K]);
+    Shards[K].Table.forEachLive([&](ObjectId Id, const PartialTrailer &Pt) {
+      foldPartial(Merged.get(Id), Pt, Entry[K]);
+    });
 
   std::unordered_set<std::uint32_t> Excluded;
   for (ir::ClassId C : Config.ExcludedClasses)
@@ -482,12 +586,16 @@ void mergeShards(std::vector<ShardResult> &Shards,
       Rec.LastUseTime =
           T->HasUseMax ? std::max(T->UseMaxRaw, T->AllocTime) : T->AllocTime;
       Rec.CollectTime = End.Time;
-      Rec.AllocSite = MapSite(T->AllocSiteStream);
-      Rec.LastUseSite = MapSite(T->LastUseSiteStream);
+      Rec.AllocSite = Fold ? T->AllocSiteStream : MapSite(T->AllocSiteStream);
+      Rec.LastUseSite =
+          Fold ? T->LastUseSiteStream : MapSite(T->LastUseSiteStream);
       Rec.UseCount = T->UseCount;
       Rec.UsedOutsideInit = T->HasFirstNonInit;
       Rec.SurvivedToEnd = End.Survived;
-      Log.Records.push_back(Rec);
+      if (Fold)
+        Fold->onMergedRecord(Rec);
+      else
+        Log.Records.push_back(Rec);
     }
     Log.GCSamples.insert(Log.GCSamples.end(), Sh.Samples.begin(),
                          Sh.Samples.end());
@@ -495,6 +603,56 @@ void mergeShards(std::vector<ShardResult> &Shards,
       Log.EndTime = Sh.TerminateTime;
   }
   Out = std::move(Log);
+}
+
+/// Everything the sharded entry points need from the file before they
+/// can split it: the raw bytes, parsed header fields, the framed chunk
+/// region and a chunk index with at least two entries.
+struct ShardedStream {
+  std::vector<std::byte> Bytes;
+  WireFormat F = WireFormat::V2;
+  SamplingParams Sampling;
+  std::span<const std::byte> Framed;
+  ChunkIndex Idx;
+};
+
+/// Shared prologue of replayProfileParallel and the fold variant.
+/// Returns false when anything prevents sharding -- unreadable file, bad
+/// header, a damaged footer, a stream the index rebuild rejects, or too
+/// few chunks to split -- so the caller runs the sequential path, which
+/// produces the canonical result or error message for that input.
+bool loadForSharding(const std::string &Path, ShardedStream &S) {
+  if (!readAll(Path, S.Bytes) || S.Bytes.size() < 16)
+    return false;
+  std::uint64_t Magic;
+  std::uint32_t Version;
+  std::memcpy(&Magic, S.Bytes.data(), sizeof(Magic));
+  std::memcpy(&Version, S.Bytes.data() + 8, sizeof(Version));
+  if (Magic != StreamFileMagic ||
+      Version < static_cast<std::uint32_t>(WireFormat::V2) ||
+      Version > static_cast<std::uint32_t>(WireFormat::V6))
+    return false;
+  S.F = static_cast<WireFormat>(Version);
+  std::size_t HeaderBytes = streamHeaderBytes(S.F);
+  if (S.Bytes.size() < HeaderBytes)
+    return false; // truncated v5+ header; sequential owns the error
+  if (S.F >= WireFormat::V5) {
+    std::memcpy(&S.Sampling.SampleBytes, S.Bytes.data() + 16, 8);
+    std::memcpy(&S.Sampling.SampleSeed, S.Bytes.data() + 24, 8);
+  }
+  S.Framed = std::span<const std::byte>(S.Bytes.data() + HeaderBytes,
+                                        S.Bytes.size() - HeaderBytes);
+  if (S.Framed.empty())
+    return false; // header-only recording
+  if (chunkSelfContained(S.F) && footerBlockSize(S.Framed) != 0) {
+    // A structurally present but unparsable footer is damage; let the
+    // strict sequential path report it.
+    if (!readChunkIndexFooter(S.Framed, S.Idx))
+      return false;
+  } else if (!rebuildChunkIndex(S.Framed, S.F, S.Idx)) {
+    return false;
+  }
+  return S.Idx.Entries.size() >= 2;
 }
 
 } // namespace
@@ -517,68 +675,93 @@ bool jdrag::profiler::replayProfileParallel(const std::string &Path,
   if (Jobs <= 1)
     return Sequential();
 
-  // Anything that prevents sharding -- unreadable file, bad header, a
-  // damaged footer, a stream the index rebuild rejects, or too few
-  // chunks to split -- runs the sequential path, which produces the
-  // canonical result or error message for that input.
-  std::vector<std::byte> Bytes;
-  if (!readAll(Path, Bytes) || Bytes.size() < 16)
-    return Sequential();
-  std::uint64_t Magic;
-  std::uint32_t Version;
-  std::memcpy(&Magic, Bytes.data(), sizeof(Magic));
-  std::memcpy(&Version, Bytes.data() + 8, sizeof(Version));
-  if (Magic != StreamFileMagic ||
-      Version < static_cast<std::uint32_t>(WireFormat::V2) ||
-      Version > static_cast<std::uint32_t>(WireFormat::V6))
-    return Sequential();
-  WireFormat F = static_cast<WireFormat>(Version);
-  std::size_t HeaderBytes = streamHeaderBytes(F);
-  if (Bytes.size() < HeaderBytes)
-    return Sequential(); // truncated v5+ header; sequential owns the error
-  SamplingParams Sampling;
-  if (F >= WireFormat::V5) {
-    std::memcpy(&Sampling.SampleBytes, Bytes.data() + 16, 8);
-    std::memcpy(&Sampling.SampleSeed, Bytes.data() + 24, 8);
-  }
-  std::span<const std::byte> Framed(Bytes.data() + HeaderBytes,
-                                    Bytes.size() - HeaderBytes);
-  if (Framed.empty())
-    return Sequential(); // header-only recording
-
-  ChunkIndex Idx;
-  if (chunkSelfContained(F) && footerBlockSize(Framed) != 0) {
-    // A structurally present but unparsable footer is damage; let the
-    // strict sequential path report it.
-    if (!readChunkIndexFooter(Framed, Idx))
-      return Sequential();
-  } else if (!rebuildChunkIndex(Framed, F, Idx)) {
-    return Sequential();
-  }
-  if (Idx.Entries.size() < 2)
+  ShardedStream S;
+  if (!loadForSharding(Path, S))
     return Sequential();
 
   bool Snap = Config.SnapUseTimes;
   for (int Attempt = 0; Attempt < 2; ++Attempt) {
     std::vector<ShardResult> Shards;
     std::string ShardErr;
-    if (runSharded(Framed, F, Idx, Jobs, Snap, Shards, ShardErr)) {
+    if (runSharded(S.Framed, S.F, S.Idx, Jobs, Snap, Shards, ShardErr)) {
       mergeShards(Shards, Config, Out);
-      Out.SampleRate = Sampling.SampleBytes;
-      Out.SampleSeed = Sampling.enabled() ? Sampling.SampleSeed : 0;
-      Out.Compressed = F >= WireFormat::V6;
+      Out.SampleRate = S.Sampling.SampleBytes;
+      Out.SampleSeed = S.Sampling.enabled() ? S.Sampling.SampleSeed : 0;
+      Out.Compressed = S.F >= WireFormat::V6;
       return true;
     }
     // A footer is a producer claim; when reality disagrees, distrust it
     // once, rebuild the index from the bytes and re-shard. A failure
     // against a *rebuilt* index means real damage -- sequential replay
     // owns the error message for that.
-    if (!Idx.FromFooter)
+    if (!S.Idx.FromFooter)
       break;
     ChunkIndex Rebuilt;
-    if (!rebuildChunkIndex(Framed, F, Rebuilt))
+    if (!rebuildChunkIndex(S.Framed, S.F, Rebuilt))
       break;
-    Idx = std::move(Rebuilt);
+    S.Idx = std::move(Rebuilt);
+  }
+  return Sequential();
+}
+
+bool jdrag::profiler::replayProfileParallelFold(
+    const std::string &Path, const ir::Program &P, ProfilerConfig Config,
+    unsigned Jobs, ShardFoldSink &Sink, ProfileLog &Shell,
+    std::vector<SiteId> &SiteMapOut, std::string *Err) {
+  if (Jobs == 0)
+    Jobs = defaultReplayJobs();
+  auto Sequential = [&] {
+    // One logical shard, fed by the sequential streaming profiler. Its
+    // records already carry log-local site ids, so the map the caller
+    // remaps with is the identity over Shell.Sites.
+    Sink.beginAttempt(1);
+    class Adapter : public RecordSink {
+    public:
+      explicit Adapter(ShardFoldSink &S) : S(S) {}
+      void onRecord(const ObjectRecord &R) override { S.onShardRecord(0, R); }
+
+    private:
+      ShardFoldSink &S;
+    } A(Sink);
+    if (!replayProfileTo(Path, P, Config, A, Shell, Err))
+      return false;
+    SiteMapOut.resize(Shell.Sites.size());
+    for (std::size_t I = 0; I < SiteMapOut.size(); ++I)
+      SiteMapOut[I] = static_cast<SiteId>(I);
+    return true;
+  };
+  if (Jobs <= 1)
+    return Sequential();
+
+  ShardedStream S;
+  if (!loadForSharding(Path, S))
+    return Sequential();
+
+  std::unordered_set<std::uint32_t> Excluded;
+  for (ir::ClassId C : Config.ExcludedClasses)
+    Excluded.insert(C.Index);
+  bool Snap = Config.SnapUseTimes;
+  for (int Attempt = 0; Attempt < 2; ++Attempt) {
+    // A retry decodes the stream again, so the sink must drop whatever
+    // the failed attempt already folded.
+    Sink.beginAttempt(static_cast<unsigned>(
+        std::min<std::size_t>(Jobs, S.Idx.Entries.size())));
+    std::vector<ShardResult> Shards;
+    std::string ShardErr;
+    if (runSharded(S.Framed, S.F, S.Idx, Jobs, Snap, Shards, ShardErr, &Sink,
+                   &Excluded)) {
+      mergeShards(Shards, Config, Shell, &Sink, &SiteMapOut);
+      Shell.SampleRate = S.Sampling.SampleBytes;
+      Shell.SampleSeed = S.Sampling.enabled() ? S.Sampling.SampleSeed : 0;
+      Shell.Compressed = S.F >= WireFormat::V6;
+      return true;
+    }
+    if (!S.Idx.FromFooter)
+      break;
+    ChunkIndex Rebuilt;
+    if (!rebuildChunkIndex(S.Framed, S.F, Rebuilt))
+      break;
+    S.Idx = std::move(Rebuilt);
   }
   return Sequential();
 }

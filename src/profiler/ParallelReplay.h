@@ -56,6 +56,46 @@ bool replayProfileParallel(const std::string &Path, const ir::Program &P,
                            ProfilerConfig Config, unsigned Jobs,
                            ProfileLog &Out, std::string *Err = nullptr);
 
+/// Per-shard fold hooks for the streaming analysis engine: the sharded
+/// replay delivers finished records here instead of materializing them,
+/// so the caller can fold shard-local partial aggregates and merge them
+/// (analysis/RecordFold.h) without an O(objects) record vector.
+///
+/// Record site ids are *stream* ids; resolve them through the SiteMap
+/// the driver returns (in the sequential fallback the map is the
+/// identity, since records already carry log-local ids).
+class ShardFoldSink {
+public:
+  virtual ~ShardFoldSink() = default;
+
+  /// Called before each decode attempt (a footer-distrusting retry
+  /// decodes the stream again) with the number of shards; must drop any
+  /// state folded by a previous attempt.
+  virtual void beginAttempt(unsigned ShardCount) = 0;
+
+  /// A record whose whole lifetime fell inside shard \p Shard, emitted
+  /// during decode. Called *concurrently* from the shard worker
+  /// threads, but any two calls with the same \p Shard value are
+  /// ordered -- keep per-shard state and merge after the replay.
+  virtual void onShardRecord(unsigned Shard, const ObjectRecord &R) = 0;
+
+  /// A shard-boundary-crossing record, emitted by the single-threaded
+  /// merge step in end-event stream order.
+  virtual void onMergedRecord(const ObjectRecord &R) = 0;
+};
+
+/// Streaming counterpart of replayProfileParallel: same sharding, trust
+/// model and fallback ladder, but every finished record is delivered to
+/// \p Sink and \p Shell receives the record-free log shell (sites, GC
+/// samples, end time, sampling params). \p SiteMapOut maps the stream
+/// site ids carried by the sink's records to Shell.Sites ids; pass each
+/// fold to RecordFold::remapSites(SiteMapOut) after the call.
+bool replayProfileParallelFold(const std::string &Path, const ir::Program &P,
+                               ProfilerConfig Config, unsigned Jobs,
+                               ShardFoldSink &Sink, ProfileLog &Shell,
+                               std::vector<SiteId> &SiteMapOut,
+                               std::string *Err = nullptr);
+
 } // namespace jdrag::profiler
 
 #endif // JDRAG_PROFILER_PARALLELREPLAY_H

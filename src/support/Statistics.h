@@ -50,6 +50,24 @@ public:
   double max() const { return N ? MaxV : 0.0; }
   double sum() const { return Mean * static_cast<double>(N); }
 
+  /// Reconstructs a stat from externally accumulated moments. The fold
+  /// engine (analysis/RecordFold.h) keeps exact sums of X and X^2 so
+  /// that shard-merged and sequential folds agree bit-for-bit, then
+  /// converts to Welford form (Mean, M2 = sum(X^2) - N*Mean^2) here.
+  /// \p Min / \p Max are ignored when \p N is zero.
+  static RunningStat fromMoments(std::uint64_t N, double Mean, double M2,
+                                 double Min, double Max) {
+    RunningStat S;
+    S.N = N;
+    S.Mean = Mean;
+    S.M2 = M2;
+    if (N) {
+      S.MinV = Min;
+      S.MaxV = Max;
+    }
+    return S;
+  }
+
 private:
   std::uint64_t N = 0;
   double Mean = 0.0;

@@ -1,0 +1,364 @@
+//===- tests/test_streaminganalysis.cpp - Streaming fold engine tests -----===//
+//
+// Part of jdrag test suite.
+//
+// The streaming single-pass analysis engine (analysis/RecordFold.h,
+// analysis/StreamingAnalysis.h) and its bit-identity contract: every
+// result a streaming fold produces -- drag report, Roejemo-Runciman
+// lifetime decomposition, Figure 2 curves, per-object CSV -- must be
+// byte-for-byte identical to the materialized O(records) pipeline,
+// sequentially and under the sharded merge. The determinism machinery
+// gets its own units (ExactSum permutation invariance and correct
+// rounding, OpenIndex growth), and the R&R identity
+//   lag + use + drag4 + void == reachable
+// is held exactly, in integer arithmetic, across all nine paper
+// workloads x {exact, sampled} x {v4, v6}.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RecordFold.h"
+#include "analysis/ReportPrinter.h"
+#include "analysis/StreamingAnalysis.h"
+#include "benchmarks/Benchmarks.h"
+#include "profiler/EventStream.h"
+#include "support/ExactSum.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace jdrag;
+using namespace jdrag::analysis;
+using namespace jdrag::profiler;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ExactSum: the determinism bedrock
+//===----------------------------------------------------------------------===//
+
+// A spread of magnitudes wide enough that naive double summation is
+// order-sensitive (the test below proves it is), deterministic seed.
+std::vector<double> mixedMagnitudes(std::size_t N) {
+  std::mt19937_64 Rng(0x5eed);
+  std::vector<double> V;
+  V.reserve(N);
+  for (std::size_t I = 0; I != N; ++I) {
+    double Mant = static_cast<double>(Rng() >> 11);
+    int Exp = static_cast<int>(Rng() % 160) - 80;
+    V.push_back(std::ldexp(Mant, Exp));
+  }
+  return V;
+}
+
+TEST(ExactSum, PermutationInvariantBits) {
+  std::vector<double> V = mixedMagnitudes(500);
+
+  ExactSum Forward;
+  double NaiveFwd = 0;
+  for (double X : V) {
+    Forward.add(X);
+    NaiveFwd += X;
+  }
+
+  std::vector<double> Shuffled = V;
+  std::mt19937_64 Rng(42);
+  int NaiveDiffers = 0;
+  for (int Round = 0; Round != 8; ++Round) {
+    std::shuffle(Shuffled.begin(), Shuffled.end(), Rng);
+    ExactSum S;
+    double Naive = 0;
+    for (double X : Shuffled) {
+      S.add(X);
+      Naive += X;
+    }
+    NaiveDiffers += Naive != NaiveFwd;
+    EXPECT_TRUE(S == Forward);
+    EXPECT_EQ(S.toDouble(), Forward.toDouble());
+  }
+  // Naive double accumulation IS order-sensitive on this input -- the
+  // invariance above is not vacuous.
+  EXPECT_GT(NaiveDiffers, 0);
+}
+
+TEST(ExactSum, MergeEqualsSequential) {
+  std::vector<double> V = mixedMagnitudes(300);
+  ExactSum Sequential;
+  for (double X : V)
+    Sequential.add(X);
+  // Any sharding of the input, merged in any order, gives the same bits.
+  for (std::size_t Shards : {2u, 3u, 7u}) {
+    std::vector<ExactSum> Partial(Shards);
+    for (std::size_t I = 0; I != V.size(); ++I)
+      Partial[I % Shards].add(V[I]);
+    ExactSum Merged;
+    for (auto It = Partial.rbegin(); It != Partial.rend(); ++It)
+      Merged.add(*It);
+    EXPECT_TRUE(Merged == Sequential);
+  }
+}
+
+TEST(ExactSum, CorrectlyRoundedTies) {
+  // 2^53 + 1 is exactly halfway between 2^53 and 2^53 + 2; round to
+  // nearest-even keeps 2^53. Naive double addition agrees here, but the
+  // point is that ExactSum holds the exact value until toDouble().
+  ExactSum A;
+  A.add(std::ldexp(1.0, 53));
+  A.add(1.0);
+  EXPECT_EQ(A.toDouble(), std::ldexp(1.0, 53));
+  // 2^53 + 3 is halfway between 2^53 + 2 and 2^53 + 4; even is + 4.
+  // Naive summation gets this WRONG left-to-right ((2^53 + 1) + 2 ==
+  // 2^53 + 2): only the exact accumulator sees the true tie.
+  ExactSum B;
+  B.add(std::ldexp(1.0, 53));
+  B.add(1.0);
+  B.add(2.0);
+  EXPECT_EQ(B.toDouble(), std::ldexp(1.0, 53) + 4.0);
+}
+
+TEST(ExactSum, TruncationBelowLsbIsPerAddend) {
+  // Bits below 2^-128 are dropped per addend, never accumulated.
+  ExactSum S;
+  for (int I = 0; I != 1000; ++I)
+    S.add(std::ldexp(1.0, -129));
+  EXPECT_TRUE(S.isZero());
+  // 2^-128 itself is the LSB and representable.
+  ExactSum T;
+  T.add(std::ldexp(1.0, -128));
+  EXPECT_EQ(T.toDouble(), std::ldexp(1.0, -128));
+}
+
+//===----------------------------------------------------------------------===//
+// OpenIndex: the per-record hot-path index
+//===----------------------------------------------------------------------===//
+
+TEST(OpenIndex, InsertLookupThroughGrowth) {
+  OpenIndex<std::uint32_t> Idx;
+  const std::uint32_t N = 20000;
+  for (std::uint32_t I = 0; I != N; ++I)
+    EXPECT_EQ(Idx.lookupOrInsert(I * 7 + 1, I), I);
+  EXPECT_EQ(Idx.size(), N);
+  // Every key survives the rehashes with its original value.
+  for (std::uint32_t I = 0; I != N; ++I)
+    EXPECT_EQ(Idx.lookupOrInsert(I * 7 + 1, 0xDEAD), I);
+  EXPECT_EQ(Idx.size(), N);
+}
+
+TEST(OpenIndex, InvalidSiteKeyIsStorable) {
+  // Empty slots are tagged on the value, so the all-ones key (the
+  // never-used last-use bucket) is an ordinary key.
+  OpenIndex<std::uint32_t> Idx;
+  EXPECT_EQ(Idx.lookupOrInsert(InvalidSite, 7), 7u);
+  EXPECT_EQ(Idx.lookupOrInsert(InvalidSite, 9), 7u);
+  EXPECT_EQ(Idx.lookupOrInsert(0, 1), 1u);
+  EXPECT_EQ(Idx.size(), 2u);
+}
+
+TEST(OpenIndex, SizeHintPreservesSemantics) {
+  OpenIndex<std::uint64_t> Hinted(1000), Cold;
+  for (std::uint64_t I = 0; I != 1000; ++I) {
+    std::uint64_t Key = I * 0x10001;
+    EXPECT_EQ(Hinted.lookupOrInsert(Key, static_cast<std::uint32_t>(I)),
+              Cold.lookupOrInsert(Key, static_cast<std::uint32_t>(I)));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming vs materialized vs sharded: the bit-identity matrix
+//===----------------------------------------------------------------------===//
+
+void recordWorkload(const benchmarks::BenchmarkProgram &B,
+                    std::uint64_t SampleBytes, bool Compress,
+                    const std::string &Path) {
+  FileEventSink Sink;
+  FileEventSink::Options FO;
+  FO.Sampling.SampleBytes = SampleBytes;
+  FO.Format = effectiveFormat(FO.Format, FO.Sampling, Compress);
+  FO.Compress = Compress && FO.Format >= WireFormat::V6;
+  ASSERT_TRUE(Sink.open(Path, FO));
+  vm::VMOptions Opts;
+  Opts.DeepGCIntervalBytes = 100 * KB;
+  Opts.Sink = &Sink;
+  Opts.SampleBytes = SampleBytes;
+  vm::VirtualMachine VM(B.Prog, Opts);
+  VM.setInputs(B.DefaultInputs);
+  ASSERT_EQ(VM.run(), vm::Interpreter::Status::Ok);
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+// One workload, one wire config: run streaming (sequential), streaming
+// (sharded x3) and materialized passes over the same recording and
+// require identical bits everywhere.
+void checkIdentity(const benchmarks::BenchmarkProgram &B,
+                   std::uint64_t SampleBytes, bool Compress,
+                   bool &SawSharded) {
+  std::string Tag = B.Name + (SampleBytes ? "_sampled" : "_exact") +
+                    (Compress ? "_v6" : "_v4");
+  std::string Jdev = "/tmp/jdrag_sa_" + Tag + ".jdev";
+  recordWorkload(B, SampleBytes, Compress, Jdev);
+
+  StreamAnalysisOptions Base;
+  Base.WantReport = true;
+  Base.WantLifetimes = true;
+  Base.CurveSamples = 64;
+
+  // Sequential streaming pass, with the CSV riding along.
+  StreamAnalysisOptions SO = Base;
+  SO.ExportCsvPath = "/tmp/jdrag_sa_" + Tag + "_s.csv";
+  StreamAnalysisResult S;
+  std::string Err;
+  ASSERT_TRUE(analyzeEventStream(Jdev, B.Prog, SO, S, &Err)) << Err;
+  EXPECT_FALSE(S.Materialized) << Tag;
+  EXPECT_FALSE(S.Sharded) << Tag;
+
+  // Materialized oracle.
+  StreamAnalysisOptions MO = Base;
+  MO.ForceMaterialize = true;
+  MO.ExportCsvPath = "/tmp/jdrag_sa_" + Tag + "_m.csv";
+  StreamAnalysisResult M;
+  ASSERT_TRUE(analyzeEventStream(Jdev, B.Prog, MO, M, &Err)) << Err;
+  EXPECT_TRUE(M.Materialized);
+
+  // Sharded streaming pass (export stays sequential by contract, so no
+  // CSV here).
+  StreamAnalysisOptions PO = Base;
+  PO.Jobs = 3;
+  StreamAnalysisResult P;
+  ASSERT_TRUE(analyzeEventStream(Jdev, B.Prog, PO, P, &Err)) << Err;
+  EXPECT_FALSE(P.Materialized) << Tag;
+  SawSharded |= P.Sharded;
+
+  // The rendered drag report -- ranking, every formatted number, the
+  // Patterns section -- byte-identical across all three pipelines.
+  std::string Rendered = renderDragReport(*M.Report);
+  EXPECT_EQ(renderDragReport(*S.Report), Rendered) << Tag;
+  EXPECT_EQ(renderDragReport(*P.Report), Rendered) << Tag;
+
+  // Lifetime decomposition: exact double equality, field by field.
+  for (const StreamAnalysisResult *R : {&S, &P}) {
+    EXPECT_EQ(R->Lifetimes.Lag, M.Lifetimes.Lag) << Tag;
+    EXPECT_EQ(R->Lifetimes.Use, M.Lifetimes.Use) << Tag;
+    EXPECT_EQ(R->Lifetimes.Drag, M.Lifetimes.Drag) << Tag;
+    EXPECT_EQ(R->Lifetimes.Void, M.Lifetimes.Void) << Tag;
+  }
+
+  // Curves: identical grids, identical byte counts.
+  EXPECT_EQ(S.Curve.Times, M.Curve.Times) << Tag;
+  EXPECT_EQ(S.Curve.ReachableBytes, M.Curve.ReachableBytes) << Tag;
+  EXPECT_EQ(S.Curve.InUseBytes, M.Curve.InUseBytes) << Tag;
+  EXPECT_EQ(P.Curve.ReachableBytes, M.Curve.ReachableBytes) << Tag;
+  EXPECT_EQ(P.Curve.InUseBytes, M.Curve.InUseBytes) << Tag;
+
+  // CSV export: byte-identical files, same row count.
+  EXPECT_EQ(slurp(SO.ExportCsvPath), slurp(MO.ExportCsvPath)) << Tag;
+  EXPECT_EQ(S.ExportRows, M.ExportRows) << Tag;
+
+  // Same records went through every pipeline.
+  EXPECT_EQ(S.RecordsFolded, M.RecordsFolded) << Tag;
+  EXPECT_EQ(P.RecordsFolded, M.RecordsFolded) << Tag;
+
+  std::remove(Jdev.c_str());
+  std::remove(SO.ExportCsvPath.c_str());
+  std::remove(MO.ExportCsvPath.c_str());
+}
+
+TEST(StreamingIdentity, NineWorkloadsExactAndSampledV4AndV6) {
+  bool SawSharded = false;
+  for (const auto &B : benchmarks::buildAll())
+    for (std::uint64_t SampleBytes : {std::uint64_t(0), std::uint64_t(4096)})
+      for (bool Compress : {false, true}) {
+        checkIdentity(B, SampleBytes, Compress, SawSharded);
+        if (HasFatalFailure())
+          return;
+      }
+  // At least some recordings have enough chunks to actually shard; the
+  // Jobs=3 legs above were not all degenerate single-shard runs.
+  EXPECT_TRUE(SawSharded);
+}
+
+//===----------------------------------------------------------------------===//
+// The R&R identity: lag + use + drag4 + void == reachable
+//===----------------------------------------------------------------------===//
+
+profiler::ProfileLog profileLive(const benchmarks::BenchmarkProgram &B,
+                                 std::uint64_t SampleBytes) {
+  DragProfiler Prof(B.Prog);
+  vm::VMOptions Opts;
+  Opts.DeepGCIntervalBytes = 100 * KB;
+  Opts.SampleBytes = SampleBytes;
+  Prof.attachTo(Opts);
+  vm::VirtualMachine VM(B.Prog, Opts);
+  VM.setInputs(B.DefaultInputs);
+  EXPECT_EQ(VM.run(), vm::Interpreter::Status::Ok) << B.Name;
+  return Prof.takeLog();
+}
+
+TEST(LifetimeIdentity, ExactIntegerIdentityAcrossWorkloads) {
+  for (const auto &B : benchmarks::buildAll())
+    for (std::uint64_t SampleBytes : {std::uint64_t(0), std::uint64_t(4096)}) {
+      profiler::ProfileLog Log = profileLive(B, SampleBytes);
+      std::string Tag = B.Name + (SampleBytes ? "/sampled" : "/exact");
+
+      // Streaming: the fold's 128-bit integer sums satisfy the identity
+      // EXACTLY -- not within epsilon.
+      LifetimeFold LF;
+      for (const auto &R : Log.Records)
+        LF.fold(R);
+      EXPECT_TRUE(LF.identityExact()) << Tag;
+
+      // And a sharded fold of the same records preserves it.
+      LifetimeFold A, Z;
+      for (std::size_t I = 0; I != Log.Records.size(); ++I)
+        (I % 2 ? A : Z).fold(Log.Records[I]);
+      Z.merge(A);
+      EXPECT_TRUE(Z.identityExact()) << Tag;
+      EXPECT_EQ(Z.reachableInt(), LF.reachableInt()) << Tag;
+
+      // Materialized: decomposeLifetimes rounds each integral once, so
+      // the double-space identity holds to rounding of the exact sums.
+      LifetimeDecomposition D = decomposeLifetimes(Log);
+      double Reach = static_cast<double>(LF.reachableInt());
+      EXPECT_NEAR(D.total(), Reach, Reach * 1e-12) << Tag;
+      // The profiler's own reachable integral agrees with the fold's.
+      EXPECT_NEAR(Log.reachableIntegral(), Reach, Reach * 1e-9) << Tag;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// End-time peek
+//===----------------------------------------------------------------------===//
+
+TEST(StreamingAnalysis, PeekEndTimeMatchesDecode) {
+  auto All = benchmarks::buildAll();
+  const auto &B = All.front();
+  for (bool Compress : {false, true}) {
+    std::string Jdev = "/tmp/jdrag_sa_peek.jdev";
+    recordWorkload(B, 0, Compress, Jdev);
+    ByteTime Peeked = 0;
+    ASSERT_TRUE(peekStreamEndTime(Jdev, Peeked));
+    StreamAnalysisOptions O;
+    O.WantReport = false;
+    StreamAnalysisResult R;
+    std::string Err;
+    ASSERT_TRUE(analyzeEventStream(Jdev, B.Prog, O, R, &Err)) << Err;
+    EXPECT_EQ(Peeked, R.Shell->EndTime);
+    std::remove(Jdev.c_str());
+  }
+}
+
+} // namespace

@@ -36,6 +36,7 @@
 #include "analysis/LagDragVoid.h"
 #include "analysis/ReportPrinter.h"
 #include "analysis/Savings.h"
+#include "analysis/StreamingAnalysis.h"
 #include "benchmarks/Benchmarks.h"
 #include "ir/Assembler.h"
 #include "vm/VirtualMachine.h"
@@ -84,6 +85,10 @@ struct Options {
   bool Compress = true;
   /// replay/fsck/salvage decode threads (0 = all cores).
   unsigned Jobs = 0;
+  /// report/timeline/lagdragvoid/export over a .jdev: run the
+  /// materialized pipeline instead of the streaming fold engine (the
+  /// bit-identity oracle; outputs must match byte for byte).
+  bool Materialize = false;
   std::string OutPath;    ///< optimizeasm: write the revised .jasm here
   std::string Connect;    ///< record: stream to a jdragd at this address
   std::string Name;       ///< send: client name announced in HELLO
@@ -126,10 +131,17 @@ int usage() {
       "                               health (drops, retries, last errno)\n"
       "  salvage <in.jdev> <out.jdev> recover the valid prefix of a\n"
       "                               damaged recording (--jobs N)\n"
-      "  report <bench> [<log-file>]  phase 2: drag report\n"
+      "  report <bench> [<file>]      phase 2: drag report from an object\n"
+      "                               log (.jdlog) or event recording\n"
+      "                               (.jdev; streamed in one pass --\n"
+      "                               --materialize: O(records) oracle\n"
+      "                               path, byte-identical output)\n"
       "  optimize <bench>             full profile->rewrite->measure loop\n"
-      "  timeline <bench>             reachable/in-use ASCII chart\n"
-      "  lagdragvoid <bench>          R&R lifetime decomposition\n"
+      "  timeline <bench> [<.jdev>]   reachable/in-use ASCII chart (from a\n"
+      "                               fresh run, or streamed off a\n"
+      "                               recording; --materialize as above)\n"
+      "  lagdragvoid <bench> [<.jdev>] R&R lifetime decomposition (same\n"
+      "                               recording/--materialize options)\n"
       "  static <bench>               section-5 static analysis findings\n"
       "  disasm <bench>               bytecode disassembly\n"
       "  dumpjasm <bench> [<file>]    serialize to .jasm (--revised:\n"
@@ -141,7 +153,10 @@ int usage() {
       "  reportasm <file.jasm> [ints.] profile + drag report for a .jasm\n"
       "  optimizeasm <file.jasm> [i..] profile + rewrite + re-measure\n"
       "                               (--out FILE: write revised .jasm)\n"
-      "  export <bench> <file.csv>    per-object records as CSV\n"
+      "  export <bench> <csv> [<.jdev>] per-object records as CSV (from a\n"
+      "                               fresh run, or streamed row by row\n"
+      "                               off a recording; --materialize as\n"
+      "                               above)\n"
       "  run <bench>                  plain uninstrumented run\n"
       "                               (--heap-stats: span/free-list/\n"
       "                               remembered-set occupancy dump;\n"
@@ -159,11 +174,16 @@ std::optional<BenchmarkProgram> findBench(const std::string &Name) {
   return std::nullopt;
 }
 
-RunResult runProfiled(const BenchmarkProgram &B, const Options &O) {
+profiler::ProfilerConfig profilerConfig(const Options &O) {
   profiler::ProfilerConfig PC;
   PC.SiteDepth = O.Depth;
   PC.SnapUseTimes = !O.Exact;
-  return profiledRun(B.Prog, B.DefaultInputs, O.IntervalBytes, PC);
+  return PC;
+}
+
+RunResult runProfiled(const BenchmarkProgram &B, const Options &O) {
+  return profiledRun(B.Prog, B.DefaultInputs, O.IntervalBytes,
+                     profilerConfig(O));
 }
 
 int cmdList() {
@@ -291,6 +311,37 @@ int cmdRecord(const BenchmarkProgram &B, const std::string &Path,
 
 unsigned replayJobs(const Options &O) {
   return O.Jobs ? O.Jobs : profiler::defaultReplayJobs();
+}
+
+/// True when \p Path carries the .jdev stream magic. Everything else --
+/// object logs, garbage -- stays on the commands' existing file paths.
+bool isEventRecording(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::uint64_t Magic = 0;
+  bool Ok = std::fread(&Magic, sizeof(Magic), 1, F) == 1 &&
+            Magic == profiler::StreamFileMagic;
+  std::fclose(F);
+  return Ok;
+}
+
+/// Shared driver for report/timeline/lagdragvoid/export over a .jdev:
+/// wires the CLI options into the streaming engine (or, under
+/// --materialize, the O(records) oracle path) and reports failures the
+/// way `replay` does.
+bool analyzeRecording(const BenchmarkProgram &B, const std::string &Path,
+                      const Options &O, StreamAnalysisOptions &SA,
+                      StreamAnalysisResult &R) {
+  SA.Config = profilerConfig(O);
+  SA.Jobs = replayJobs(O);
+  SA.ForceMaterialize = O.Materialize;
+  std::string Err;
+  if (!analyzeEventStream(Path, B.Prog, SA, R, &Err)) {
+    std::fprintf(stderr, "replay failed: %s\n", Err.c_str());
+    return false;
+  }
+  return true;
 }
 
 /// fsck on an *object log* (`jdrag profile` output): print the delivery
@@ -494,6 +545,14 @@ int cmdReplay(const BenchmarkProgram &B, const std::string &Path,
 
 int cmdReport(const BenchmarkProgram &B, const std::string &LogPath,
               const Options &O) {
+  if (!LogPath.empty() && isEventRecording(LogPath)) {
+    StreamAnalysisOptions SA;
+    StreamAnalysisResult R;
+    if (!analyzeRecording(B, LogPath, O, SA, R))
+      return 1;
+    std::printf("%s", renderDragReport(*R.Report).c_str());
+    return 0;
+  }
   profiler::ProfileLog Log;
   if (!LogPath.empty()) {
     if (!profiler::ProfileLog::readFile(LogPath, Log)) {
@@ -522,15 +581,18 @@ int cmdOptimize(const BenchmarkProgram &B) {
   return 0;
 }
 
-int cmdTimeline(const BenchmarkProgram &B, const Options &O) {
-  RunResult R = runProfiled(B, O);
-  constexpr std::uint32_t Cols = 76, Rows = 16;
-  HeapCurve C = buildHeapCurve(R.Log, Cols);
+/// The timeline chart grid: 76 curve samples wide, 16 rows tall.
+constexpr std::uint32_t TimelineCols = 76;
+
+void printTimeline(const std::string &Name, ByteTime EndTime,
+                   const HeapCurve &C) {
+  constexpr std::uint32_t Rows = 16;
+  const auto Cols = static_cast<std::uint32_t>(C.ReachableBytes.size());
   std::uint64_t Peak = C.peakReachable();
   if (!Peak)
-    return 0;
+    return;
   std::printf("'%s': %.2f MB allocated, peak reachable %.3f MB\n\n",
-              B.Name.c_str(), toMB(R.Log.EndTime), toMB(Peak));
+              Name.c_str(), toMB(EndTime), toMB(Peak));
   for (std::uint32_t Row = 0; Row != Rows; ++Row) {
     std::uint64_t Level = Peak - (Peak * Row) / Rows;
     std::string Line;
@@ -546,10 +608,39 @@ int cmdTimeline(const BenchmarkProgram &B, const Options &O) {
   }
   std::printf("    MB   +%s\n", std::string(Cols, '-').c_str());
   std::printf("          # drag (reachable, not in use), @ in-use\n");
+}
+
+int cmdTimeline(const BenchmarkProgram &B, const std::string &JdevPath,
+                const Options &O) {
+  if (!JdevPath.empty()) {
+    StreamAnalysisOptions SA;
+    SA.WantReport = false;
+    SA.CurveSamples = TimelineCols;
+    StreamAnalysisResult R;
+    if (!analyzeRecording(B, JdevPath, O, SA, R))
+      return 1;
+    printTimeline(B.Name, R.Shell->EndTime, R.Curve);
+    return 0;
+  }
+  RunResult R = runProfiled(B, O);
+  printTimeline(B.Name, R.Log.EndTime, buildHeapCurve(R.Log, TimelineCols));
   return 0;
 }
 
-int cmdLagDragVoid(const BenchmarkProgram &B, const Options &O) {
+int cmdLagDragVoid(const BenchmarkProgram &B, const std::string &JdevPath,
+                   const Options &O) {
+  if (!JdevPath.empty()) {
+    StreamAnalysisOptions SA;
+    SA.WantReport = false;
+    SA.WantLifetimes = true;
+    StreamAnalysisResult R;
+    if (!analyzeRecording(B, JdevPath, O, SA, R))
+      return 1;
+    std::printf("'%s' (%.2f MB allocated): %s\n", B.Name.c_str(),
+                toMB(R.Shell->EndTime),
+                renderDecomposition(R.Lifetimes).c_str());
+    return 0;
+  }
   RunResult R = runProfiled(B, O);
   LifetimeDecomposition D = decomposeLifetimes(R.Log);
   std::printf("'%s' (%.2f MB allocated): %s\n", B.Name.c_str(),
@@ -558,7 +649,18 @@ int cmdLagDragVoid(const BenchmarkProgram &B, const Options &O) {
 }
 
 int cmdExport(const BenchmarkProgram &B, const std::string &Path,
-              const Options &O) {
+              const std::string &JdevPath, const Options &O) {
+  if (!JdevPath.empty()) {
+    StreamAnalysisOptions SA;
+    SA.WantReport = false;
+    SA.ExportCsvPath = Path;
+    StreamAnalysisResult R;
+    if (!analyzeRecording(B, JdevPath, O, SA, R))
+      return 1;
+    std::printf("wrote %zu object records to %s\n",
+                static_cast<std::size_t>(R.ExportRows), Path.c_str());
+    return 0;
+  }
   RunResult R = runProfiled(B, O);
   CsvWriter Csv = recordsCsv(B.Prog, R.Log);
   if (!Csv.writeFile(Path)) {
@@ -876,6 +978,8 @@ int main(int argc, char **argv) {
     else if (Args[I] == "--jobs" && I + 1 < Args.size())
       O.Jobs = static_cast<unsigned>(
           std::strtoul(Args[++I].c_str(), nullptr, 10));
+    else if (Args[I] == "--materialize")
+      O.Materialize = true;
     else if (Args[I] == "--out" && I + 1 < Args.size())
       O.OutPath = Args[++I];
     else if (Args[I] == "--connect" && I + 1 < Args.size())
@@ -929,11 +1033,13 @@ int main(int argc, char **argv) {
   if (Cmd == "optimize")
     return cmdOptimize(*B);
   if (Cmd == "timeline")
-    return cmdTimeline(*B, O);
+    return cmdTimeline(*B, Pos.size() > 2 ? Pos[2] : "", O);
   if (Cmd == "lagdragvoid")
-    return cmdLagDragVoid(*B, O);
+    return cmdLagDragVoid(*B, Pos.size() > 2 ? Pos[2] : "", O);
   if (Cmd == "export")
-    return Pos.size() < 3 ? usage() : cmdExport(*B, Pos[2], O);
+    return Pos.size() < 3
+               ? usage()
+               : cmdExport(*B, Pos[2], Pos.size() > 3 ? Pos[3] : "", O);
   if (Cmd == "static")
     return cmdStatic(*B);
   if (Cmd == "disasm")
